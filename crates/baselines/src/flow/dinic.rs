@@ -1,0 +1,295 @@
+//! Dinic's maximum-flow algorithm on an adjacency-list flow network.
+//!
+//! Used by the FBB-MW-style baseline: hypergraph min-cuts are computed by
+//! max-flow on the star-expanded network, and the source side of the
+//! minimum cut is read off the final residual graph.
+
+/// Edge capacity type. `CAP_INF` models the uncuttable infinite edges of
+/// the star expansion.
+pub type Cap = u64;
+
+/// Effectively infinite capacity (never saturated by unit-capacity nets).
+pub const CAP_INF: Cap = u64::MAX / 4;
+
+#[derive(Debug, Clone)]
+struct Edge {
+    to: u32,
+    cap: Cap,
+    /// Index of the reverse edge in `graph[to]`.
+    rev: u32,
+}
+
+/// A flow network supporting incremental max-flow queries.
+///
+/// Nodes are dense `usize` indices fixed at construction; edges are added
+/// with [`FlowNetwork::add_edge`]. Residual state persists between
+/// [`FlowNetwork::max_flow`] calls, so augmenting after adding edges
+/// (as the FBB loop does when collapsing nodes into the source) only pays
+/// for the *new* flow.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    graph: Vec<Vec<Edge>>,
+    level: Vec<i32>,
+    iter: Vec<usize>,
+}
+
+impl FlowNetwork {
+    /// Creates a network with `n` nodes and no edges.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            graph: vec![Vec::new(); n],
+            level: vec![-1; n],
+            iter: vec![0; n],
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Returns `true` for an empty network.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.graph.is_empty()
+    }
+
+    /// Adds a directed edge `u → v` with the given capacity (the implicit
+    /// reverse edge has capacity 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `v` is out of range or `u == v`.
+    pub fn add_edge(&mut self, u: usize, v: usize, cap: Cap) {
+        assert!(u < self.graph.len() && v < self.graph.len(), "node out of range");
+        assert_ne!(u, v, "self-loops carry no flow");
+        let rev_u = self.graph[v].len() as u32;
+        let rev_v = self.graph[u].len() as u32;
+        self.graph[u].push(Edge { to: v as u32, cap, rev: rev_u });
+        self.graph[v].push(Edge { to: u as u32, cap: 0, rev: rev_v });
+    }
+
+    /// Augments to a maximum flow from `s` to `t` over the current
+    /// residual graph and returns the *additional* flow pushed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == t`.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> Cap {
+        assert_ne!(s, t, "source equals sink");
+        let mut flow = 0;
+        while self.build_levels(s, t) {
+            self.iter.iter_mut().for_each(|i| *i = 0);
+            loop {
+                let f = self.augment(s, t, CAP_INF);
+                if f == 0 {
+                    break;
+                }
+                flow += f;
+            }
+        }
+        flow
+    }
+
+    /// BFS level graph; returns whether `t` is reachable.
+    fn build_levels(&mut self, s: usize, t: usize) -> bool {
+        self.level.iter_mut().for_each(|l| *l = -1);
+        let mut queue = std::collections::VecDeque::new();
+        self.level[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for e in &self.graph[v] {
+                if e.cap > 0 && self.level[e.to as usize] < 0 {
+                    self.level[e.to as usize] = self.level[v] + 1;
+                    queue.push_back(e.to as usize);
+                }
+            }
+        }
+        self.level[t] >= 0
+    }
+
+    /// DFS blocking-flow augmentation.
+    fn augment(&mut self, v: usize, t: usize, limit: Cap) -> Cap {
+        if v == t {
+            return limit;
+        }
+        while self.iter[v] < self.graph[v].len() {
+            let i = self.iter[v];
+            let (to, cap, rev) = {
+                let e = &self.graph[v][i];
+                (e.to as usize, e.cap, e.rev as usize)
+            };
+            if cap > 0 && self.level[to] == self.level[v] + 1 {
+                let d = self.augment(to, t, limit.min(cap));
+                if d > 0 {
+                    self.graph[v][i].cap -= d;
+                    self.graph[to][rev].cap += d;
+                    return d;
+                }
+            }
+            self.iter[v] += 1;
+        }
+        0
+    }
+
+    /// Returns the source side of the minimum cut: all nodes reachable
+    /// from `s` in the residual graph. Call after [`Self::max_flow`].
+    #[must_use]
+    pub fn min_cut_side(&self, s: usize) -> Vec<bool> {
+        let mut side = vec![false; self.graph.len()];
+        let mut queue = std::collections::VecDeque::new();
+        side[s] = true;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for e in &self.graph[v] {
+                if e.cap > 0 && !side[e.to as usize] {
+                    side[e.to as usize] = true;
+                    queue.push_back(e.to as usize);
+                }
+            }
+        }
+        side
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_path() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 5);
+        net.add_edge(1, 2, 3);
+        assert_eq!(net.max_flow(0, 2), 3);
+    }
+
+    #[test]
+    fn parallel_paths() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 2);
+        net.add_edge(0, 2, 2);
+        net.add_edge(1, 3, 2);
+        net.add_edge(2, 3, 2);
+        assert_eq!(net.max_flow(0, 3), 4);
+    }
+
+    #[test]
+    fn classic_textbook_network() {
+        // CLRS figure: max flow 23.
+        let mut net = FlowNetwork::new(6);
+        net.add_edge(0, 1, 16);
+        net.add_edge(0, 2, 13);
+        net.add_edge(1, 2, 10);
+        net.add_edge(2, 1, 4);
+        net.add_edge(1, 3, 12);
+        net.add_edge(3, 2, 9);
+        net.add_edge(2, 4, 14);
+        net.add_edge(4, 3, 7);
+        net.add_edge(3, 5, 20);
+        net.add_edge(4, 5, 4);
+        assert_eq!(net.max_flow(0, 5), 23);
+    }
+
+    #[test]
+    fn min_cut_side_is_minimal() {
+        let mut net = FlowNetwork::new(4);
+        net.add_edge(0, 1, 10);
+        net.add_edge(1, 2, 1); // bottleneck
+        net.add_edge(2, 3, 10);
+        assert_eq!(net.max_flow(0, 3), 1);
+        let side = net.min_cut_side(0);
+        assert_eq!(side, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn incremental_augmentation_after_adding_edges() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 1);
+        net.add_edge(1, 2, 5);
+        assert_eq!(net.max_flow(0, 2), 1);
+        // Widen the bottleneck: only the delta is returned.
+        net.add_edge(0, 1, 3);
+        assert_eq!(net.max_flow(0, 2), 3);
+    }
+
+    #[test]
+    fn disconnected_sink_gets_zero() {
+        let mut net = FlowNetwork::new(3);
+        net.add_edge(0, 1, 4);
+        assert_eq!(net.max_flow(0, 2), 0);
+        let side = net.min_cut_side(0);
+        assert!(side[0] && side[1] && !side[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "source equals sink")]
+    fn same_source_sink_panics() {
+        let mut net = FlowNetwork::new(2);
+        let _ = net.max_flow(1, 1);
+    }
+
+    mod proptests {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// Brute-force min cut: minimum over all s-side subsets of the
+        /// capacity leaving the subset.
+        fn brute_force_min_cut(n: usize, edges: &[(usize, usize, Cap)]) -> Cap {
+            let s = 0usize;
+            let t = n - 1;
+            let mut best = Cap::MAX;
+            for mask in 0..(1u32 << n) {
+                if mask & (1 << s) == 0 || mask & (1 << t) != 0 {
+                    continue;
+                }
+                let cut: Cap = edges
+                    .iter()
+                    .filter(|&&(u, v, _)| mask & (1 << u) != 0 && mask & (1 << v) == 0)
+                    .map(|&(_, _, c)| c)
+                    .sum();
+                best = best.min(cut);
+            }
+            best
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(128))]
+
+            /// Max-flow equals the brute-forced min cut on small random
+            /// digraphs (max-flow min-cut theorem as an oracle).
+            #[test]
+            fn dinic_matches_brute_force(
+                n in 3usize..8,
+                raw_edges in proptest::collection::vec(
+                    (0usize..8, 0usize..8, 1u64..16), 1..24,
+                ),
+            ) {
+                let edges: Vec<(usize, usize, Cap)> = raw_edges
+                    .into_iter()
+                    .map(|(u, v, c)| (u % n, v % n, c))
+                    .filter(|&(u, v, _)| u != v)
+                    .collect();
+                let mut net = FlowNetwork::new(n);
+                for &(u, v, c) in &edges {
+                    net.add_edge(u, v, c);
+                }
+                let flow = net.max_flow(0, n - 1);
+                let cut = brute_force_min_cut(n, &edges);
+                prop_assert_eq!(flow, cut);
+                // And the residual-reachable side is a valid s-side.
+                let side = net.min_cut_side(0);
+                prop_assert!(side[0]);
+                prop_assert!(!side[n - 1]);
+                let crossing: Cap = edges
+                    .iter()
+                    .filter(|&&(u, v, _)| side[u] && !side[v])
+                    .map(|&(_, _, c)| c)
+                    .sum();
+                prop_assert_eq!(crossing, flow);
+            }
+        }
+    }
+}

@@ -1,0 +1,678 @@
+//! FBB-MW-style network-flow multi-way partitioner (after Liu & Wong,
+//! "Network-Flow-Based Multiway Partitioning with Area and Pin
+//! Constraints", TCAD 17(1), 1998).
+//!
+//! Each peeling step computes a sequence of minimum cuts on the
+//! star-expanded flow network of the remainder's subcircuit
+//! (flow-balanced bipartition): after every max-flow, the source side of
+//! the min cut is a candidate block; the source set is then enlarged
+//! (collapsing the cut side plus one adjacent cell) and the flow is
+//! augmented incrementally, producing monotonically growing candidates.
+//! The largest candidate meeting both the area (`S_MAX`) and pin
+//! (`T_MAX`) constraints is peeled off; the procedure recurses on the
+//! rest.
+
+mod dinic;
+
+pub use dinic::{Cap, FlowNetwork, CAP_INF};
+
+use fpart_core::PartitionState;
+use fpart_device::{lower_bound, DeviceConstraints};
+use fpart_hypergraph::{Hypergraph, NodeId};
+
+use crate::BaselineOutcome;
+
+/// Configuration of the FBB-MW-style partitioner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowConfig {
+    /// Safety valve: abort after `M · max_iterations_factor + 32` peels.
+    pub max_iterations_factor: usize,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig { max_iterations_factor: 4 }
+    }
+}
+
+/// Errors of the flow-based partitioner (mirrors
+/// [`fpart_core::PartitionError`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// A node is larger than the device.
+    OversizedNode {
+        /// The offending node.
+        node: NodeId,
+        /// Its size.
+        size: u32,
+    },
+    /// The peel loop hit its safety valve.
+    IterationLimit {
+        /// Iterations executed.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowError::OversizedNode { node, size } => {
+                write!(f, "node {node:?} of size {size} exceeds the device capacity")
+            }
+            FlowError::IterationLimit { iterations } => {
+                write!(f, "no feasible partition within {iterations} peels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+/// Partitions `graph` with the FBB-MW-style flow method.
+///
+/// # Errors
+///
+/// Returns [`FlowError::OversizedNode`] for a cell that cannot fit any
+/// device and [`FlowError::IterationLimit`] when peeling stalls.
+///
+/// # Example
+///
+/// ```
+/// use fpart_baselines::{fbb_mw_partition, FlowConfig};
+/// use fpart_device::DeviceConstraints;
+/// use fpart_hypergraph::gen::{clustered_circuit, ClusteredConfig};
+///
+/// # fn main() -> Result<(), fpart_baselines::flow::FlowError> {
+/// let (graph, _) = clustered_circuit(&ClusteredConfig::new("demo", 3, 20), 1);
+/// let outcome = fbb_mw_partition(&graph, DeviceConstraints::new(25, 100), &FlowConfig::default())?;
+/// assert!(outcome.device_count >= 3);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fbb_mw_partition(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+    config: &FlowConfig,
+) -> Result<BaselineOutcome, FlowError> {
+    if graph.node_count() == 0 {
+        return Ok(BaselineOutcome {
+            assignment: Vec::new(),
+            device_count: 0,
+            feasible: true,
+            cut: 0,
+        });
+    }
+    for v in graph.node_ids() {
+        if u64::from(graph.node_size(v)) > constraints.s_max {
+            return Err(FlowError::OversizedNode { node: v, size: graph.node_size(v) });
+        }
+    }
+
+    let m = lower_bound(graph, constraints);
+    let cap = m * config.max_iterations_factor + 32;
+    let mut state = PartitionState::single_block(graph);
+    let remainder = 0usize;
+    let mut iterations = 0usize;
+
+    while !constraints.fits(
+        state.block_size(remainder),
+        state.block_terminals(remainder),
+    ) {
+        iterations += 1;
+        if iterations > cap {
+            return Err(FlowError::IterationLimit { iterations });
+        }
+        let cells = state.nodes_in_block(remainder);
+        let peel = fbb_peel(graph, &state, &cells, constraints);
+        let mut peel = if peel.is_empty() {
+            // Degenerate subcircuit: peel a BFS chunk to guarantee progress.
+            bfs_chunk(graph, &state, &cells, constraints)
+        } else {
+            peel
+        };
+        top_up(graph, &state, &cells, constraints, &mut peel);
+        let p = state.add_block();
+        for &v in &peel {
+            state.move_node(v, p);
+        }
+    }
+
+    // Compact empty blocks (the remainder can end empty).
+    let k = state.block_count();
+    let mut dense = vec![u32::MAX; k];
+    let mut count = 0u32;
+    for (b, slot) in dense.iter_mut().enumerate() {
+        if state.block_size(b) > 0 {
+            *slot = count;
+            count += 1;
+        }
+    }
+    let assignment: Vec<u32> = graph
+        .node_ids()
+        .map(|v| dense[state.block_of(v)])
+        .collect();
+    let feasible = (0..k)
+        .filter(|&b| state.block_size(b) > 0)
+        .all(|b| constraints.fits(state.block_size(b), state.block_terminals(b)));
+    Ok(BaselineOutcome {
+        assignment,
+        device_count: count as usize,
+        feasible,
+        cut: state.cut_count(),
+    })
+}
+
+/// One flow-balanced-bipartition peel over the remainder's cells.
+/// Returns the cells of the best candidate block (possibly empty when
+/// the flow process degenerates).
+///
+/// Attempts run with a shrinking sink-ball budget: when the device's pin
+/// constraint (rather than its size) binds, the first attempt's
+/// candidates are all I/O-infeasible and a smaller neighbourhood must be
+/// carved out.
+fn fbb_peel(
+    graph: &Hypergraph,
+    state: &PartitionState<'_>,
+    cells: &[NodeId],
+    constraints: DeviceConstraints,
+) -> Vec<NodeId> {
+    let total: u64 = cells.iter().map(|&v| u64::from(graph.node_size(v))).sum();
+    let mut budget = constraints.s_max.saturating_mul(3).min(total);
+    let mut last_fallback: Vec<NodeId> = Vec::new();
+    while budget >= 2 {
+        let (best, fallback) = fbb_peel_attempt(graph, state, cells, constraints, budget);
+        if let Some(x) = best {
+            return x;
+        }
+        if let Some(x) = fallback {
+            last_fallback = x;
+        }
+        budget /= 2;
+    }
+    last_fallback
+}
+
+/// One directed FBB attempt with a fixed sink-ball budget.
+/// Returns `(feasible_best, size_feasible_fallback)`.
+fn fbb_peel_attempt(
+    graph: &Hypergraph,
+    state: &PartitionState<'_>,
+    cells: &[NodeId],
+    constraints: DeviceConstraints,
+    ball_budget: u64,
+) -> (Option<Vec<NodeId>>, Option<Vec<NodeId>>) {
+    if cells.len() < 2 {
+        return (Some(cells.to_vec()), None);
+    }
+
+    // Local indexing of the subcircuit.
+    let mut local = vec![u32::MAX; graph.node_count()];
+    for (i, &v) in cells.iter().enumerate() {
+        local[v.index()] = i as u32;
+    }
+
+    // Nets with ≥ 2 pins inside the subcircuit get star nodes.
+    let mut star_nets = Vec::new();
+    let mut seen = vec![false; graph.net_count()];
+    for &v in cells {
+        for &net in graph.nets(v) {
+            if seen[net.index()] {
+                continue;
+            }
+            seen[net.index()] = true;
+            let inside = graph
+                .pins(net)
+                .iter()
+                .filter(|p| local[p.index()] != u32::MAX)
+                .count();
+            if inside >= 2 {
+                star_nets.push(net);
+            }
+        }
+    }
+
+    let nc = cells.len();
+    let source = nc + 2 * star_nets.len();
+    let sink = source + 1;
+    let mut network = FlowNetwork::new(sink + 1);
+    for (j, &net) in star_nets.iter().enumerate() {
+        let e_in = nc + 2 * j;
+        let e_out = e_in + 1;
+        network.add_edge(e_in, e_out, 1);
+        for &p in graph.pins(net) {
+            let l = local[p.index()];
+            if l != u32::MAX {
+                network.add_edge(l as usize, e_in, CAP_INF);
+                network.add_edge(e_out, l as usize, CAP_INF);
+            }
+        }
+    }
+
+    // Seeds: the source seed is the biggest/highest-degree cell; the sink
+    // is a *set* — every cell outside a BFS ball of ~3·S_MAX around the
+    // source. Confining the cut to the source's neighbourhood keeps the
+    // minimum cut on the source side (a min cut over the whole subcircuit
+    // frequently isolates the sink instead) and bounds the grow loop.
+    let seed_s = *cells
+        .iter()
+        .max_by_key(|&&v| (graph.node_size(v), graph.nets(v).len(), std::cmp::Reverse(v.index())))
+        .expect("cells non-empty");
+    let ball = bfs_ball(graph, cells, &local, seed_s, ball_budget);
+    let mut in_sink = vec![true; nc];
+    for &v in &ball {
+        in_sink[local[v.index()] as usize] = false;
+    }
+    if in_sink.iter().all(|&s| !s) {
+        // The ball swallowed everything: fall back to the farthest cell.
+        let seed_t = farthest_within(graph, cells, &local, seed_s);
+        if seed_t == seed_s {
+            return (Some(vec![seed_s]), None);
+        }
+        in_sink[local[seed_t.index()] as usize] = true;
+    }
+    network.add_edge(source, local[seed_s.index()] as usize, CAP_INF);
+    for (i, &s) in in_sink.iter().enumerate() {
+        if s {
+            network.add_edge(i, sink, CAP_INF);
+        }
+    }
+
+    let mut in_source = vec![false; nc];
+    in_source[local[seed_s.index()] as usize] = true;
+
+    let mut best: Option<(u64, usize, Vec<NodeId>)> = None; // (size, T, cells)
+    let mut fallback: Option<(u64, Vec<NodeId>)> = None; // size-feasible only
+    for _ in 0..nc {
+        let _ = network.max_flow(source, sink);
+        let side = network.min_cut_side(source);
+        let x: Vec<NodeId> = cells
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| side[i])
+            .map(|(_, &v)| v)
+            .collect();
+        let w: u64 = x.iter().map(|&v| u64::from(graph.node_size(v))).sum();
+        if w > constraints.s_max {
+            break;
+        }
+        let t = peel_terminals(graph, state, &x);
+        if constraints.fits(w, t) {
+            let better = match &best {
+                Some((bw, bt, _)) => (w, std::cmp::Reverse(t)) > (*bw, std::cmp::Reverse(*bt)),
+                None => true,
+            };
+            if better {
+                best = Some((w, t, x.clone()));
+            }
+        } else if best.is_none() {
+            let better = fallback.as_ref().is_none_or(|(bw, _)| w > *bw);
+            if better {
+                fallback = Some((w, x.clone()));
+            }
+        }
+        // Grow: collapse the cut side into the source plus one adjacent
+        // free cell, forcing the next cut strictly further out.
+        for (i, &s) in side.iter().enumerate().take(nc) {
+            if s && !in_source[i] {
+                in_source[i] = true;
+                network.add_edge(source, i, CAP_INF);
+            }
+        }
+        let next = pick_adjacent(graph, cells, &local, &side, &in_sink);
+        let Some(next) = next else { break };
+        let l = local[next.index()] as usize;
+        in_source[l] = true;
+        network.add_edge(source, l, CAP_INF);
+    }
+
+    (best.map(|(_, _, x)| x), fallback.map(|(_, x)| x))
+}
+
+/// BFS ball around `seed` containing cells of total size at most `budget`.
+fn bfs_ball(
+    graph: &Hypergraph,
+    cells: &[NodeId],
+    local: &[u32],
+    seed: NodeId,
+    budget: u64,
+) -> Vec<NodeId> {
+    let _ = cells;
+    let mut ball = Vec::new();
+    let mut size = 0u64;
+    let mut seen = vec![false; graph.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    seen[seed.index()] = true;
+    queue.push_back(seed);
+    while let Some(v) = queue.pop_front() {
+        let s = u64::from(graph.node_size(v));
+        if size + s > budget {
+            break;
+        }
+        size += s;
+        ball.push(v);
+        for &net in graph.nets(v) {
+            for &u in graph.pins(net) {
+                if local[u.index()] != u32::MAX && !seen[u.index()] {
+                    seen[u.index()] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    ball
+}
+
+/// Greedily grows a peel with adjacent free cells while both device
+/// constraints stay satisfied (or the peel is still infeasible and the
+/// addition does not worsen it). Flow candidates land wherever the cut
+/// topology puts them — often well below `S_MAX` — and this fill pass is
+/// what makes the peeled device earn its keep.
+fn top_up(
+    graph: &Hypergraph,
+    state: &PartitionState<'_>,
+    cells: &[NodeId],
+    constraints: DeviceConstraints,
+    peel: &mut Vec<NodeId>,
+) {
+    let mut free = vec![false; graph.node_count()];
+    for &v in cells {
+        free[v.index()] = true;
+    }
+    let mut size = 0u64;
+    for &v in peel.iter() {
+        free[v.index()] = false;
+        size += u64::from(graph.node_size(v));
+    }
+    // cov[net] = peel pins on the net; t = current exact terminal count.
+    let mut cov = vec![0u32; graph.net_count()];
+    for &v in peel.iter() {
+        for &net in graph.nets(v) {
+            cov[net.index()] += 1;
+        }
+    }
+    let exposed = |cov_e: u32, net: fpart_hypergraph::NetId| {
+        let n = graph.pins(net).len() as u32;
+        cov_e >= 1
+            && (n > cov_e || graph.net_has_terminal(net) || state.net_span(net) > 1)
+    };
+    let mut t = 0usize;
+    let mut seen = vec![false; graph.net_count()];
+    for &v in peel.iter() {
+        for &net in graph.nets(v) {
+            if !seen[net.index()] {
+                seen[net.index()] = true;
+                if exposed(cov[net.index()], net) {
+                    t += 1;
+                }
+            }
+        }
+    }
+
+    loop {
+        // Best adjacent candidate: smallest terminal delta, then biggest
+        // size (fill fast without spending pins).
+        let mut best: Option<(i64, std::cmp::Reverse<u32>, NodeId)> = None;
+        let mut frontier_seen = vec![false; graph.node_count()];
+        for &v in peel.iter() {
+            for &net in graph.nets(v) {
+                for &u in graph.pins(net) {
+                    if !free[u.index()] || frontier_seen[u.index()] {
+                        continue;
+                    }
+                    frontier_seen[u.index()] = true;
+                    let s = u64::from(graph.node_size(u));
+                    if size + s > constraints.s_max {
+                        continue;
+                    }
+                    let mut dt = 0i64;
+                    for &e in graph.nets(u) {
+                        let c = cov[e.index()];
+                        let before = exposed(c, e);
+                        let after = {
+                            let n = graph.pins(e).len() as u32;
+                            n > c + 1
+                                || graph.net_has_terminal(e)
+                                || state.net_span(e) > 1
+                        };
+                        dt += i64::from(after) - i64::from(before);
+                    }
+                    if t as i64 + dt > constraints.t_max as i64 {
+                        continue;
+                    }
+                    let key = (dt, std::cmp::Reverse(graph.node_size(u)), u);
+                    if best.is_none_or(|b| key < b) {
+                        best = Some(key);
+                    }
+                }
+            }
+        }
+        let Some((dt, _, u)) = best else { break };
+        free[u.index()] = false;
+        size += u64::from(graph.node_size(u));
+        t = (t as i64 + dt) as usize;
+        for &e in graph.nets(u) {
+            cov[e.index()] += 1;
+        }
+        peel.push(u);
+    }
+}
+
+/// Exact terminal count the candidate block would have in global context.
+fn peel_terminals(graph: &Hypergraph, state: &PartitionState<'_>, x: &[NodeId]) -> usize {
+    let mut in_x = vec![false; graph.node_count()];
+    for &v in x {
+        in_x[v.index()] = true;
+    }
+    let mut seen = vec![false; graph.net_count()];
+    let mut t = 0usize;
+    for &v in x {
+        for &net in graph.nets(v) {
+            if seen[net.index()] {
+                continue;
+            }
+            seen[net.index()] = true;
+            let exposed = graph.net_has_terminal(net)
+                || graph.pins(net).iter().any(|p| !in_x[p.index()])
+                || state.net_span(net) > 1;
+            if exposed {
+                t += 1;
+            }
+        }
+    }
+    t
+}
+
+/// BFS-farthest cell from `seed` within the subcircuit.
+fn farthest_within(
+    graph: &Hypergraph,
+    cells: &[NodeId],
+    local: &[u32],
+    seed: NodeId,
+) -> NodeId {
+    let mut dist = vec![-1i64; graph.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[seed.index()] = 0;
+    queue.push_back(seed);
+    let mut best = (seed, 0i64);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v.index()];
+        if d > best.1 {
+            best = (v, d);
+        }
+        for &net in graph.nets(v) {
+            for &u in graph.pins(net) {
+                if local[u.index()] != u32::MAX && dist[u.index()] < 0 {
+                    dist[u.index()] = d + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    if best.0 != seed {
+        best.0
+    } else {
+        cells.iter().copied().find(|&c| c != seed).unwrap_or(seed)
+    }
+}
+
+/// Picks a free cell (outside the cut side and not sink-collapsed)
+/// adjacent to the cut side; falls back to any free cell. `None` when the
+/// free pool is exhausted.
+fn pick_adjacent(
+    graph: &Hypergraph,
+    cells: &[NodeId],
+    local: &[u32],
+    side: &[bool],
+    in_sink: &[bool],
+) -> Option<NodeId> {
+    for &v in cells {
+        if !side[local[v.index()] as usize] {
+            continue;
+        }
+        for &net in graph.nets(v) {
+            for &u in graph.pins(net) {
+                let l = local[u.index()];
+                if l != u32::MAX && !side[l as usize] && !in_sink[l as usize] {
+                    return Some(u);
+                }
+            }
+        }
+    }
+    cells.iter().copied().find(|&v| {
+        let l = local[v.index()] as usize;
+        !side[l] && !in_sink[l]
+    })
+}
+
+/// BFS chunk respecting both device constraints — the guaranteed-progress
+/// fallback when the flow process yields nothing. Returns at least one
+/// cell (possibly alone-infeasible, which the caller reports).
+fn bfs_chunk(
+    graph: &Hypergraph,
+    state: &PartitionState<'_>,
+    cells: &[NodeId],
+    constraints: DeviceConstraints,
+) -> Vec<NodeId> {
+    let mut in_set = vec![false; graph.node_count()];
+    for &v in cells {
+        in_set[v.index()] = true;
+    }
+    let mut chunk = Vec::new();
+    let mut size = 0u64;
+    let mut seen = vec![false; graph.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    let start = cells[0];
+    seen[start.index()] = true;
+    queue.push_back(start);
+    while let Some(v) = queue.pop_front() {
+        let s = u64::from(graph.node_size(v));
+        if size + s > constraints.s_max {
+            continue;
+        }
+        // Tentatively accept, then verify the pin budget exactly.
+        chunk.push(v);
+        let t = peel_terminals(graph, state, &chunk);
+        if chunk.len() > 1 && !constraints.fits(size + s, t) {
+            chunk.pop();
+            continue;
+        }
+        size += s;
+        for &net in graph.nets(v) {
+            for &u in graph.pins(net) {
+                if in_set[u.index()] && !seen[u.index()] {
+                    seen[u.index()] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    if chunk.is_empty() {
+        chunk.push(start);
+    }
+    chunk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_hypergraph::gen::{clustered_circuit, ClusteredConfig};
+    use fpart_hypergraph::HypergraphBuilder;
+
+    #[test]
+    fn flow_partition_is_valid_and_feasible() {
+        let (g, _) = clustered_circuit(&ClusteredConfig::new("cl", 3, 20), 5);
+        let constraints = DeviceConstraints::new(25, 100);
+        let out = fbb_mw_partition(&g, constraints, &FlowConfig::default()).unwrap();
+        out.validate(&g, constraints);
+        assert!(out.feasible);
+        assert!(out.device_count >= 3);
+    }
+
+    #[test]
+    fn flow_respects_io_constraint() {
+        // 48 terminal nets on a 25-IOB device: splitting is forced by I/O
+        // even though the logic fits one device.
+        let mut cfg = ClusteredConfig::new("cl", 4, 16);
+        cfg.terminals = 48;
+        let (g, _) = clustered_circuit(&cfg, 7);
+        let constraints = DeviceConstraints::new(1000, 25);
+        let out = fbb_mw_partition(&g, constraints, &FlowConfig::default()).unwrap();
+        out.validate(&g, constraints);
+        assert!(out.feasible);
+        assert!(out.device_count >= 2);
+    }
+
+    #[test]
+    fn flow_finds_thin_planted_cut() {
+        let cfg = ClusteredConfig::new("cl", 2, 30);
+        let (g, _) = clustered_circuit(&cfg, 13);
+        // S_MAX equals the planted cluster size, so the top-up pass
+        // cannot grow the peel past the planted boundary.
+        let constraints = DeviceConstraints::new(30, 200);
+        let out = fbb_mw_partition(&g, constraints, &FlowConfig::default()).unwrap();
+        out.validate(&g, constraints);
+        assert_eq!(out.device_count, 2);
+        // The min-cut method should land at (or very near) the planted cut.
+        assert!(
+            out.cut <= cfg.inter_nets + 3,
+            "cut {} vs planted {}",
+            out.cut,
+            cfg.inter_nets
+        );
+    }
+
+    #[test]
+    fn oversized_node_rejected() {
+        let mut b = HypergraphBuilder::new();
+        let x = b.add_node("x", 99);
+        let y = b.add_node("y", 1);
+        b.add_net("e", [x, y]).unwrap();
+        let g = b.finish().unwrap();
+        let err =
+            fbb_mw_partition(&g, DeviceConstraints::new(50, 10), &FlowConfig::default())
+                .unwrap_err();
+        assert!(matches!(err, FlowError::OversizedNode { .. }));
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = HypergraphBuilder::new().finish().unwrap();
+        let out =
+            fbb_mw_partition(&g, DeviceConstraints::new(10, 10), &FlowConfig::default()).unwrap();
+        assert_eq!(out.device_count, 0);
+    }
+
+    #[test]
+    fn two_cell_circuit() {
+        let mut b = HypergraphBuilder::new();
+        let x = b.add_node("x", 3);
+        let y = b.add_node("y", 3);
+        b.add_net("e", [x, y]).unwrap();
+        let g = b.finish().unwrap();
+        let constraints = DeviceConstraints::new(4, 10);
+        let out = fbb_mw_partition(&g, constraints, &FlowConfig::default()).unwrap();
+        out.validate(&g, constraints);
+        assert_eq!(out.device_count, 2);
+    }
+}

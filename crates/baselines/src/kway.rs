@@ -1,0 +1,90 @@
+//! k-way.x-style `(p,p)` baseline (Kuznar, Brglez, Kozminski, DAC'93).
+//!
+//! Recursive bipartitioning: each iteration peels one feasible block off
+//! the remainder and improves only between the two lately partitioned
+//! blocks, with plain one-level FM gains and a cut-size-only cost. This
+//! is the greedy paradigm the FPART paper starts from (§3): no
+//! infeasibility-distance cost, no solution stacks, no extra improvement
+//! schedule, no asymmetric move regions.
+//!
+//! Implemented by running the FPART engine under
+//! [`FpartConfig::classical`], which disables every FPART-specific
+//! device — making the comparison in the benchmark tables a controlled
+//! experiment on the paper's actual contribution rather than on
+//! incidental implementation differences.
+
+use fpart_core::{partition, FpartConfig, PartitionError};
+use fpart_device::DeviceConstraints;
+use fpart_hypergraph::Hypergraph;
+
+use crate::BaselineOutcome;
+
+/// Partitions `graph` with the k-way.x-style recursive-FM baseline.
+///
+/// # Errors
+///
+/// Returns the underlying [`PartitionError`] when a node exceeds the
+/// device size or the iteration safety valve trips.
+///
+/// # Example
+///
+/// ```
+/// use fpart_baselines::kway_partition;
+/// use fpart_device::Device;
+/// use fpart_hypergraph::gen::{clustered_circuit, ClusteredConfig};
+///
+/// # fn main() -> Result<(), fpart_core::PartitionError> {
+/// let (graph, _) = clustered_circuit(&ClusteredConfig::new("demo", 3, 20), 1);
+/// let outcome = kway_partition(&graph, Device::XC3020.constraints(0.9))?;
+/// assert!(outcome.device_count >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn kway_partition(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+) -> Result<BaselineOutcome, PartitionError> {
+    let config = FpartConfig::classical();
+    let outcome = partition(graph, constraints, &config)?;
+    Ok(BaselineOutcome {
+        assignment: outcome.assignment,
+        device_count: outcome.device_count,
+        feasible: outcome.feasible,
+        cut: outcome.cut,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_core::partition;
+    use fpart_hypergraph::gen::{synthesize_mcnc, find_profile, Technology};
+    use fpart_hypergraph::gen::{clustered_circuit, ClusteredConfig};
+
+    #[test]
+    fn kway_produces_valid_feasible_partition() {
+        let (g, _) = clustered_circuit(&ClusteredConfig::new("cl", 4, 20), 6);
+        let constraints = DeviceConstraints::new(25, 100);
+        let out = kway_partition(&g, constraints).unwrap();
+        out.validate(&g, constraints);
+        assert!(out.feasible);
+    }
+
+    /// The headline claim of the paper: FPART's guidance devices beat the
+    /// plain recursive-FM baseline on device count (or at worst tie) on
+    /// realistic workloads.
+    #[test]
+    fn fpart_is_no_worse_than_kway_on_mcnc_circuit() {
+        let p = find_profile("s13207").unwrap();
+        let g = synthesize_mcnc(p, Technology::Xc3000);
+        let constraints = fpart_device::Device::XC3020.constraints(0.9);
+        let kway = kway_partition(&g, constraints).unwrap();
+        let fpart = partition(&g, constraints, &FpartConfig::default()).unwrap();
+        assert!(
+            fpart.device_count <= kway.device_count,
+            "fpart {} vs kway {}",
+            fpart.device_count,
+            kway.device_count
+        );
+    }
+}

@@ -1,0 +1,172 @@
+//! Naive first-fit BFS clustering baseline.
+//!
+//! Visits cells in breadth-first order from an arbitrary seed and packs
+//! them greedily into the current block until either device constraint
+//! would be violated, then opens a new block. Provides the floor against
+//! which real partitioners are measured, and a guaranteed-terminating
+//! fallback.
+
+use fpart_core::PartitionState;
+use fpart_device::DeviceConstraints;
+use fpart_hypergraph::{Hypergraph, NodeId};
+
+use crate::BaselineOutcome;
+
+/// Partitions `graph` by first-fit BFS clustering.
+///
+/// Cells are taken in multi-source BFS order (restarting at the
+/// lowest-index unvisited cell per component) and appended to the current
+/// block while it stays within `constraints`; a violation opens a fresh
+/// block. The result is always a valid partition; it is feasible unless a
+/// single cell alone violates the constraints.
+///
+/// # Example
+///
+/// ```
+/// use fpart_baselines::first_fit_partition;
+/// use fpart_device::DeviceConstraints;
+/// use fpart_hypergraph::gen::{clustered_circuit, ClusteredConfig};
+///
+/// let (graph, _) = clustered_circuit(&ClusteredConfig::new("demo", 3, 16), 1);
+/// let outcome = first_fit_partition(&graph, DeviceConstraints::new(20, 100));
+/// assert!(outcome.device_count >= 3);
+/// ```
+#[must_use]
+pub fn first_fit_partition(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+) -> BaselineOutcome {
+    let n = graph.node_count();
+    if n == 0 {
+        return BaselineOutcome {
+            assignment: Vec::new(),
+            device_count: 0,
+            feasible: true,
+            cut: 0,
+        };
+    }
+
+    // BFS order over the net adjacency, restarting per component.
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        seen[start] = true;
+        queue.push_back(NodeId::from_index(start));
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &net in graph.nets(v) {
+                for &u in graph.pins(net) {
+                    if !seen[u.index()] {
+                        seen[u.index()] = true;
+                        queue.push_back(u);
+                    }
+                }
+            }
+        }
+    }
+
+    // Greedy packing with exact incremental terminal accounting: tentatively
+    // place each cell in the current block and roll back on violation.
+    let mut state = PartitionState::single_block(graph);
+    // Start with everything in block 0 (the "unpacked pool"), pack into
+    // fresh blocks; the pool must end empty.
+    let mut current = state.add_block();
+    for &v in &order {
+        state.move_node(v, current);
+        let ok = constraints.fits(state.block_size(current), state.block_terminals(current));
+        if !ok && state.block_size(current) > u64::from(graph.node_size(v)) {
+            // Not the only cell: roll back and open a new block.
+            let fresh = state.add_block();
+            state.move_node(v, fresh);
+            current = fresh;
+        }
+    }
+
+    // Compact: drop the (now empty) pool block and renumber.
+    let k = state.block_count();
+    let mut dense = vec![u32::MAX; k];
+    let mut count = 0u32;
+    for (b, slot) in dense.iter_mut().enumerate() {
+        if state.block_size(b) > 0 {
+            *slot = count;
+            count += 1;
+        }
+    }
+    let assignment: Vec<u32> = graph
+        .node_ids()
+        .map(|v| dense[state.block_of(v)])
+        .collect();
+    let feasible = (0..k)
+        .filter(|&b| state.block_size(b) > 0)
+        .all(|b| constraints.fits(state.block_size(b), state.block_terminals(b)));
+
+    BaselineOutcome {
+        assignment,
+        device_count: count as usize,
+        feasible,
+        cut: state.cut_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_hypergraph::gen::{clustered_circuit, window_circuit, ClusteredConfig, WindowConfig};
+    use fpart_hypergraph::HypergraphBuilder;
+
+    #[test]
+    fn packs_all_cells() {
+        let (g, _) = clustered_circuit(&ClusteredConfig::new("cl", 3, 15), 2);
+        let constraints = DeviceConstraints::new(20, 100);
+        let out = first_fit_partition(&g, constraints);
+        out.validate(&g, constraints);
+        assert!(out.feasible);
+        assert!(out.device_count >= 3);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = HypergraphBuilder::new().finish().unwrap();
+        let out = first_fit_partition(&g, DeviceConstraints::new(10, 10));
+        assert_eq!(out.device_count, 0);
+        assert!(out.feasible);
+    }
+
+    #[test]
+    fn single_oversized_cell_is_placed_but_infeasible() {
+        let mut b = HypergraphBuilder::new();
+        let x = b.add_node("x", 100);
+        let y = b.add_node("y", 1);
+        b.add_net("e", [x, y]).unwrap();
+        let g = b.finish().unwrap();
+        let constraints = DeviceConstraints::new(50, 10);
+        let out = first_fit_partition(&g, constraints);
+        out.validate(&g, constraints);
+        assert!(!out.feasible);
+    }
+
+    #[test]
+    fn respects_io_constraint() {
+        let g = window_circuit(&WindowConfig::new("w", 200, 30), 3);
+        let constraints = DeviceConstraints::new(1000, 20);
+        let out = first_fit_partition(&g, constraints);
+        out.validate(&g, constraints);
+        // blocks capped by the 20-terminal budget, so several are needed
+        assert!(out.device_count > 1);
+        assert!(out.feasible);
+    }
+
+    #[test]
+    fn is_a_floor_not_a_ceiling() {
+        // The naive method should never beat the lower bound.
+        let (g, _) = clustered_circuit(&ClusteredConfig::new("cl", 4, 25), 8);
+        let constraints = DeviceConstraints::new(30, 200);
+        let out = first_fit_partition(&g, constraints);
+        let m = fpart_device::lower_bound(&g, constraints);
+        assert!(out.device_count >= m);
+    }
+}

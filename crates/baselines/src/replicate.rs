@@ -1,0 +1,366 @@
+//! Logic replication post-pass (the "r" of the paper's r+p.0 and PROP
+//! comparison methods, after Kring & Newton's undirected replication
+//! model, generalized to multi-way IOB accounting).
+//!
+//! A cell may be *copied* into additional blocks. With copies, a net `e`
+//! needs an IOB in block `b` only when `e` is present in `b` (an original
+//! pin or a copy) and is not *closed* there — closed meaning every
+//! original pin of `e` is either in `b` or copied into `b`, and `e` has
+//! no primary terminal. Copying `v` into `b` therefore:
+//!
+//! * removes the IOB of every net whose only missing pin in `b` was `v`;
+//! * adds an IOB for each of `v`'s other nets newly present in `b` that
+//!   are not closed there (the copy's support signals must be imported —
+//!   the undirected approximation of functional replication);
+//! * consumes `size(v)` cells of `b`'s capacity.
+//!
+//! The pass greedily applies the best positive-gain copy until none is
+//! left. The paper's point stands either way: replication lets the
+//! recursive methods (r+p.0, PROP) buy IOBs with spare logic capacity,
+//! which FPART instead achieves with guided iterative improvement.
+
+use std::collections::HashSet;
+
+use fpart_device::DeviceConstraints;
+use fpart_hypergraph::{Hypergraph, NetId, NodeId};
+
+/// One applied copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Copy {
+    /// The replicated cell.
+    pub node: NodeId,
+    /// The block that received the copy.
+    pub block: u32,
+    /// IOB reduction of that block at the time the copy was applied.
+    pub gain: usize,
+}
+
+/// Result of a replication pass.
+#[derive(Debug, Clone)]
+pub struct ReplicationOutcome {
+    /// Applied copies, in application order.
+    pub copies: Vec<Copy>,
+    /// Per-block terminal counts before the pass.
+    pub terminals_before: Vec<usize>,
+    /// Per-block terminal counts after the pass.
+    pub terminals_after: Vec<usize>,
+    /// Per-block sizes after the pass (originals + copies).
+    pub sizes_after: Vec<u64>,
+}
+
+impl ReplicationOutcome {
+    /// Total IOBs saved across all blocks.
+    #[must_use]
+    pub fn terminals_saved(&self) -> usize {
+        let before: usize = self.terminals_before.iter().sum();
+        let after: usize = self.terminals_after.iter().sum();
+        before.saturating_sub(after)
+    }
+}
+
+/// State of the replication computation.
+struct ReplicationState<'a> {
+    graph: &'a Hypergraph,
+    assignment: &'a [u32],
+    k: usize,
+    constraints: DeviceConstraints,
+    /// `copied[node]` = blocks holding a copy of the node.
+    copied: Vec<HashSet<u32>>,
+    sizes: Vec<u64>,
+}
+
+impl ReplicationState<'_> {
+    /// Whether net `e` is present in block `b` (original pin or copy).
+    fn present(&self, e: NetId, b: u32) -> bool {
+        self.graph.pins(e).iter().any(|&p| {
+            self.assignment[p.index()] == b || self.copied[p.index()].contains(&b)
+        })
+    }
+
+    /// Original pins of `e` missing from block `b`'s closure.
+    fn missing_pins(&self, e: NetId, b: u32) -> Vec<NodeId> {
+        self.graph
+            .pins(e)
+            .iter()
+            .copied()
+            .filter(|&p| {
+                self.assignment[p.index()] != b && !self.copied[p.index()].contains(&b)
+            })
+            .collect()
+    }
+
+    /// Whether `e` consumes an IOB in `b` under the current copies.
+    fn exposed(&self, e: NetId, b: u32) -> bool {
+        if !self.present(e, b) {
+            return false;
+        }
+        self.graph.net_has_terminal(e) || !self.missing_pins(e, b).is_empty()
+    }
+
+    /// Exact terminal count of block `b`.
+    fn terminals(&self, b: u32) -> usize {
+        let mut seen = vec![false; self.graph.net_count()];
+        let mut count = 0usize;
+        for v in self.graph.node_ids() {
+            if self.assignment[v.index()] != b && !self.copied[v.index()].contains(&b) {
+                continue;
+            }
+            for &e in self.graph.nets(v) {
+                if !seen[e.index()] {
+                    seen[e.index()] = true;
+                    if self.exposed(e, b) {
+                        count += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// IOB change in block `b` if `v` were copied into it (positive =
+    /// reduction), or `None` when the copy is inadmissible (already
+    /// there, over capacity).
+    fn copy_gain(&self, v: NodeId, b: u32) -> Option<i64> {
+        if self.assignment[v.index()] == b || self.copied[v.index()].contains(&b) {
+            return None;
+        }
+        let new_size = self.sizes[b as usize] + u64::from(self.graph.node_size(v));
+        if new_size > self.constraints.s_max {
+            return None;
+        }
+        let mut gain = 0i64;
+        for &e in self.graph.nets(v) {
+            let was_exposed = self.exposed(e, b);
+            // After the copy: e is present in b; closed iff its missing
+            // pins were exactly {v} and it has no terminal.
+            let missing = self.missing_pins(e, b);
+            let closed_after = !self.graph.net_has_terminal(e)
+                && missing.iter().all(|&p| p == v);
+            let present_before = self.present(e, b);
+            let exposed_after = !closed_after;
+            match (present_before, was_exposed, exposed_after) {
+                // Newly present and not closed: one more import.
+                (false, _, true) => gain -= 1,
+                // Was exposed, now closed: one IOB saved.
+                (true, true, false) => gain += 1,
+                _ => {}
+            }
+        }
+        Some(gain)
+    }
+
+    fn apply(&mut self, v: NodeId, b: u32) {
+        self.copied[v.index()].insert(b);
+        self.sizes[b as usize] += u64::from(self.graph.node_size(v));
+    }
+}
+
+/// Runs the greedy replication pass over a finished `k`-way partition.
+///
+/// `assignment` maps every node to its block (`< k`). The pass never
+/// violates the size constraint and only applies strictly IOB-reducing
+/// copies, so the partition's feasibility can only improve.
+///
+/// # Panics
+///
+/// Panics if `assignment` does not cover the graph or references a block
+/// `≥ k`.
+///
+/// # Example
+///
+/// ```
+/// use fpart_baselines::{kway_partition, replicate};
+/// use fpart_device::Device;
+/// use fpart_hypergraph::gen::{window_circuit, WindowConfig};
+///
+/// # fn main() -> Result<(), fpart_core::PartitionError> {
+/// let circuit = window_circuit(&WindowConfig::new("demo", 200, 16), 1);
+/// let constraints = Device::XC3020.constraints(0.9);
+/// let base = kway_partition(&circuit, constraints)?;
+/// let report = replicate(&circuit, &base.assignment, base.device_count, constraints);
+/// println!("{} copies save {} IOBs", report.copies.len(), report.terminals_saved());
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn replicate(
+    graph: &Hypergraph,
+    assignment: &[u32],
+    k: usize,
+    constraints: DeviceConstraints,
+) -> ReplicationOutcome {
+    assert_eq!(assignment.len(), graph.node_count(), "assignment must cover every node");
+    assert!(assignment.iter().all(|&b| (b as usize) < k), "block out of range");
+
+    let mut sizes = vec![0u64; k];
+    for v in graph.node_ids() {
+        sizes[assignment[v.index()] as usize] += u64::from(graph.node_size(v));
+    }
+    let mut state = ReplicationState {
+        graph,
+        assignment,
+        k,
+        constraints,
+        copied: vec![HashSet::new(); graph.node_count()],
+        sizes,
+    };
+
+    let terminals_before: Vec<usize> = (0..k as u32).map(|b| state.terminals(b)).collect();
+
+    let mut copies = Vec::new();
+    // Greedy rounds: scan boundary candidates, apply the single best
+    // positive-gain copy, repeat. Bounded by the total spare capacity.
+    loop {
+        let mut best: Option<(i64, NodeId, u32)> = None;
+        for e in graph.net_ids() {
+            if state.graph.net_terminal_count(e) > 0 && graph.pins(e).len() < 2 {
+                continue;
+            }
+            // Candidate pairs: each pin of a multi-block net × each other
+            // block the net touches.
+            let blocks: Vec<u32> = {
+                let mut bs: Vec<u32> = graph
+                    .pins(e)
+                    .iter()
+                    .map(|&p| assignment[p.index()])
+                    .collect();
+                bs.sort_unstable();
+                bs.dedup();
+                bs
+            };
+            if blocks.len() < 2 {
+                continue;
+            }
+            for &p in graph.pins(e) {
+                for &b in &blocks {
+                    if let Some(gain) = state.copy_gain(p, b) {
+                        if gain > 0 && best.is_none_or(|(bg, _, _)| gain > bg) {
+                            best = Some((gain, p, b));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((gain, v, b)) = best else { break };
+        state.apply(v, b);
+        copies.push(Copy { node: v, block: b, gain: gain as usize });
+        // Safety: never more copies than cells (the gain condition makes
+        // this unreachable, but a bound keeps adversarial inputs finite).
+        if copies.len() > graph.node_count() * state.k {
+            break;
+        }
+    }
+
+    let terminals_after: Vec<usize> = (0..k as u32).map(|b| state.terminals(b)).collect();
+    ReplicationOutcome {
+        copies,
+        terminals_before,
+        terminals_after,
+        sizes_after: state.sizes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_hypergraph::HypergraphBuilder;
+
+    /// Star driver: v drives three 2-pin nets into block 1; copying v
+    /// into block 1 closes all three and opens nothing (v has no other
+    /// nets).
+    #[test]
+    fn star_driver_replication_saves_iobs() {
+        let mut bld = HypergraphBuilder::new();
+        let v = bld.add_node("v", 1);
+        let sinks: Vec<NodeId> = (0..3).map(|i| bld.add_node(format!("s{i}"), 1)).collect();
+        for (i, &s) in sinks.iter().enumerate() {
+            bld.add_net(format!("e{i}"), [v, s]).unwrap();
+        }
+        let g = bld.finish().unwrap();
+        let assignment = vec![0, 1, 1, 1];
+        let constraints = DeviceConstraints::new(10, 10);
+        let out = replicate(&g, &assignment, 2, constraints);
+        // The best first copy is v into block 1: closes all three nets
+        // there at once.
+        assert_eq!(out.copies[0].node, v);
+        assert_eq!(out.copies[0].block, 1);
+        assert_eq!(out.copies[0].gain, 3);
+        assert_eq!(out.terminals_before, vec![3, 3]);
+        assert_eq!(out.terminals_after[1], 0);
+        // In the undirected model the sinks may then be copied back into
+        // block 0, closing the nets on that side too (the duplicated
+        // logic is charged against the capacity).
+        assert!(out.terminals_saved() >= 3);
+        for (b, &s) in out.sizes_after.iter().enumerate() {
+            assert!(s <= constraints.s_max, "block {b} over capacity");
+        }
+    }
+
+    /// A copy whose support imports outweigh (or equal) its savings is
+    /// not applied.
+    #[test]
+    fn unprofitable_copy_is_skipped() {
+        let mut bld = HypergraphBuilder::new();
+        let v = bld.add_node("v", 1);
+        let sink = bld.add_node("sink", 1);
+        // One net into block 1 (potential saving = 1)…
+        bld.add_net("out", [v, sink]).unwrap();
+        // …but three support nets of v that would all need importing.
+        for i in 0..3 {
+            let u = bld.add_node(format!("u{i}"), 1);
+            bld.add_net(format!("in{i}"), [v, u]).unwrap();
+        }
+        // And the sink drives a block-1-internal net, so copying the sink
+        // back into block 0 would open that net there (gain 0, skipped).
+        let w = bld.add_node("w", 1);
+        bld.add_net("fanout", [sink, w]).unwrap();
+        let g = bld.finish().unwrap();
+        // v and its supports in block 0; sink and w in block 1.
+        let assignment = vec![0, 1, 0, 0, 0, 1];
+        let out = replicate(&g, &assignment, 2, DeviceConstraints::new(10, 10));
+        assert!(out.copies.is_empty(), "copies: {:?}", out.copies);
+        assert_eq!(out.terminals_saved(), 0);
+    }
+
+    /// Size capacity blocks replication.
+    #[test]
+    fn capacity_limits_replication() {
+        let mut bld = HypergraphBuilder::new();
+        let v = bld.add_node("v", 5);
+        let s = bld.add_node("s", 8);
+        bld.add_net("e", [v, s]).unwrap();
+        let g = bld.finish().unwrap();
+        let assignment = vec![0, 1];
+        // Block 1 already at 8 of 10: the 5-cell copy does not fit.
+        let out = replicate(&g, &assignment, 2, DeviceConstraints::new(10, 10));
+        assert!(out.copies.is_empty());
+    }
+
+    /// Terminal-attached nets can never be closed by replication.
+    #[test]
+    fn terminal_nets_stay_exposed() {
+        let mut bld = HypergraphBuilder::new();
+        let v = bld.add_node("v", 1);
+        let s = bld.add_node("s", 1);
+        let e = bld.add_net("e", [v, s]).unwrap();
+        bld.add_terminal("pad", e).unwrap();
+        let g = bld.finish().unwrap();
+        let out = replicate(&g, &[0, 1], 2, DeviceConstraints::new(10, 10));
+        assert!(out.copies.is_empty());
+        assert_eq!(out.terminals_after, vec![1, 1]);
+    }
+
+    /// Replication never increases any block's terminal count and never
+    /// overfills a block, on a realistic workload.
+    #[test]
+    fn replication_is_monotone_on_generated_circuit() {
+        use fpart_hypergraph::gen::{clustered_circuit, ClusteredConfig};
+        let (g, planted) = clustered_circuit(&ClusteredConfig::new("cl", 3, 15), 9);
+        let constraints = DeviceConstraints::new(25, 100);
+        let out = replicate(&g, &planted, 3, constraints);
+        for b in 0..3 {
+            assert!(out.terminals_after[b] <= out.terminals_before[b], "block {b}");
+            assert!(out.sizes_after[b] <= constraints.s_max);
+        }
+    }
+}

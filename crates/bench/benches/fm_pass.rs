@@ -1,0 +1,93 @@
+//! Microbenchmark: one `Improve(...)` call (a full FM pass series with
+//! stacks) on MCNC-scale subcircuits, two-block and multi-way.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fpart_core::{improve, CostEvaluator, FpartConfig, ImproveContext, PartitionState};
+use fpart_device::Device;
+use fpart_hypergraph::gen::{find_profile, synthesize_mcnc, Technology};
+
+fn bench_improve(c: &mut Criterion) {
+    let graph = synthesize_mcnc(find_profile("s9234").expect("profile"), Technology::Xc3000);
+    let constraints = Device::XC3020.constraints(0.9);
+    let config = FpartConfig::default();
+    let evaluator = CostEvaluator::new(constraints, &config, 8, graph.terminal_count());
+
+    // Two-block: a 57-cell prefix block vs the rest as remainder.
+    let assignment: Vec<u32> = (0..graph.node_count())
+        .map(|i| u32::from(i >= 57))
+        .collect();
+    c.bench_function("improve_two_block_s9234", |b| {
+        b.iter_batched(
+            || PartitionState::from_assignment(&graph, assignment.clone(), 2),
+            |mut state| {
+                let ctx = ImproveContext {
+                    evaluator: &evaluator,
+                    config: &config,
+                    remainder: 1,
+                    minimum_reached: false,
+                };
+                improve(&mut state, &[0, 1], &ctx);
+                state.cut_count()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    // Gain-variant costs: 1-level, 3-level, and the §5 I/O-pin objective.
+    for (label, variant) in [
+        ("gain1", FpartConfig { gain_levels: 1, ..FpartConfig::default() }),
+        ("gain3", FpartConfig { gain_levels: 3, ..FpartConfig::default() }),
+        (
+            "io_gain",
+            FpartConfig {
+                gain_objective: fpart_core::config::GainObjective::IoPins,
+                ..FpartConfig::default()
+            },
+        ),
+    ] {
+        let assignment = assignment.clone();
+        let evaluator =
+            CostEvaluator::new(constraints, &variant, 8, graph.terminal_count());
+        c.bench_function(&format!("improve_two_block_s9234_{label}"), |b| {
+            b.iter_batched(
+                || PartitionState::from_assignment(&graph, assignment.clone(), 2),
+                |mut state| {
+                    let ctx = ImproveContext {
+                        evaluator: &evaluator,
+                        config: &variant,
+                        remainder: 1,
+                        minimum_reached: false,
+                    };
+                    improve(&mut state, &[0, 1], &ctx);
+                    state.cut_count()
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+
+    // Multi-way: 8 stripes, all blocks active.
+    let stripes: Vec<u32> = (0..graph.node_count())
+        .map(|i| (i * 8 / graph.node_count()) as u32)
+        .collect();
+    c.bench_function("improve_all_blocks_s9234", |b| {
+        b.iter_batched(
+            || PartitionState::from_assignment(&graph, stripes.clone(), 8),
+            |mut state| {
+                let ctx = ImproveContext {
+                    evaluator: &evaluator,
+                    config: &config,
+                    remainder: 7,
+                    minimum_reached: false,
+                };
+                let all: Vec<usize> = (0..8).collect();
+                improve(&mut state, &all, &ctx);
+                state.cut_count()
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_improve);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! End-to-end benchmark: full multi-way partitioning per method on a
+//! small and a mid-size MCNC workload (the Table 6 timing experiment in
+//! Criterion form).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpart_baselines::{fbb_mw_partition, first_fit_partition, kway_partition, FlowConfig};
+use fpart_core::{partition, FpartConfig};
+use fpart_device::Device;
+use fpart_hypergraph::gen::{find_profile, synthesize_mcnc, Technology};
+
+fn bench_full(c: &mut Criterion) {
+    for name in ["c3540", "s9234"] {
+        let graph = synthesize_mcnc(find_profile(name).expect("profile"), Technology::Xc3000);
+        let constraints = Device::XC3020.constraints(0.9);
+
+        c.bench_function(&format!("fpart_{name}_xc3020"), |b| {
+            b.iter(|| {
+                partition(&graph, constraints, &FpartConfig::default())
+                    .expect("partitions")
+                    .device_count
+            });
+        });
+        c.bench_function(&format!("kway_{name}_xc3020"), |b| {
+            b.iter(|| kway_partition(&graph, constraints).expect("partitions").device_count);
+        });
+        c.bench_function(&format!("flow_{name}_xc3020"), |b| {
+            b.iter(|| {
+                fbb_mw_partition(&graph, constraints, &FlowConfig::default())
+                    .expect("partitions")
+                    .device_count
+            });
+        });
+        c.bench_function(&format!("naive_{name}_xc3020"), |b| {
+            b.iter(|| first_fit_partition(&graph, constraints).device_count);
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_full
+}
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Microbenchmark: gain-bucket operations (the FM inner-loop data
+//! structure, §3.7).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fpart_core::bucket::GainBucket;
+
+fn bench_buckets(c: &mut Criterion) {
+    let n = 4096usize;
+    let p_max = 16usize;
+
+    c.bench_function("bucket_insert_4096", |b| {
+        b.iter_batched(
+            || GainBucket::new(n, p_max),
+            |mut bucket| {
+                for cell in 0..n as u32 {
+                    bucket.insert(cell, (cell as i32 % 33) - 16);
+                }
+                bucket
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("bucket_adjust_4096", |b| {
+        let mut filled = GainBucket::new(n, p_max);
+        for cell in 0..n as u32 {
+            filled.insert(cell, (cell as i32 % 33) - 16);
+        }
+        b.iter_batched(
+            || filled.clone(),
+            |mut bucket| {
+                for cell in 0..n as u32 {
+                    let delta = if cell % 2 == 0 { 1 } else { -1 };
+                    let g = bucket.gain_of(cell);
+                    if (-(p_max as i32)..=p_max as i32).contains(&(g + delta)) {
+                        bucket.adjust(cell, delta);
+                    }
+                }
+                bucket
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    c.bench_function("bucket_pop_best_4096", |b| {
+        let mut filled = GainBucket::new(n, p_max);
+        for cell in 0..n as u32 {
+            filled.insert(cell, (cell as i32 % 33) - 16);
+        }
+        b.iter_batched(
+            || filled.clone(),
+            |mut bucket| {
+                while let Some(g) = bucket.max_gain() {
+                    let cell = *bucket.cells_at(g).last().expect("non-empty bucket");
+                    bucket.remove(cell);
+                }
+                bucket
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_buckets);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Microbenchmark: synthetic-circuit generation and coarsening — the
+//! workload-preparation substrate every experiment pays for.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpart_hypergraph::coarsen::coarsen_by_connectivity;
+use fpart_hypergraph::gen::{
+    find_profile, rent_circuit, synthesize_mcnc, RentConfig, Technology,
+};
+
+fn bench_generators(c: &mut Criterion) {
+    c.bench_function("rent_circuit_1000", |b| {
+        let config = RentConfig::new("bench", 1000, 100);
+        b.iter(|| rent_circuit(&config, 7).node_count());
+    });
+
+    c.bench_function("synthesize_s13207", |b| {
+        let profile = find_profile("s13207").expect("profile");
+        b.iter(|| synthesize_mcnc(profile, Technology::Xc3000).net_count());
+    });
+
+    let graph = synthesize_mcnc(find_profile("s13207").expect("profile"), Technology::Xc3000);
+    c.bench_function("coarsen_s13207", |b| {
+        b.iter(|| coarsen_by_connectivity(&graph, 6, 3).coarse.node_count());
+    });
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

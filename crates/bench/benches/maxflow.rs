@@ -1,0 +1,49 @@
+//! Microbenchmark: Dinic max-flow on star-expanded circuit networks (the
+//! FBB-MW substrate).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fpart_baselines::flow::{FlowNetwork, CAP_INF};
+use fpart_hypergraph::gen::{find_profile, synthesize_mcnc, Technology};
+use fpart_hypergraph::Hypergraph;
+
+/// Builds the star-expanded flow network of the whole circuit with
+/// source/sink attached to the first and last node.
+fn star_network(graph: &Hypergraph) -> (FlowNetwork, usize, usize) {
+    let nc = graph.node_count();
+    let nets: Vec<_> = graph
+        .net_ids()
+        .filter(|&e| graph.pins(e).len() >= 2)
+        .collect();
+    let source = nc + 2 * nets.len();
+    let sink = source + 1;
+    let mut network = FlowNetwork::new(sink + 1);
+    for (j, &net) in nets.iter().enumerate() {
+        let e_in = nc + 2 * j;
+        let e_out = e_in + 1;
+        network.add_edge(e_in, e_out, 1);
+        for &p in graph.pins(net) {
+            network.add_edge(p.index(), e_in, CAP_INF);
+            network.add_edge(e_out, p.index(), CAP_INF);
+        }
+    }
+    network.add_edge(source, 0, CAP_INF);
+    network.add_edge(nc - 1, sink, CAP_INF);
+    (network, source, sink)
+}
+
+fn bench_maxflow(c: &mut Criterion) {
+    for name in ["s9234", "s13207"] {
+        let graph = synthesize_mcnc(find_profile(name).expect("profile"), Technology::Xc3000);
+        let (network, source, sink) = star_network(&graph);
+        c.bench_function(&format!("dinic_star_{name}"), |b| {
+            b.iter_batched(
+                || network.clone(),
+                |mut net| net.max_flow(source, sink),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+}
+
+criterion_group!(benches, bench_maxflow);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Ablation study over the paper's design choices (our extension; the
+//! paper motivates each device qualitatively in §3, this quantifies them).
+//!
+//! For a set of circuits on XC3020, FPART runs with each guidance device
+//! disabled in turn:
+//!
+//! * `-stacks`   — no dual solution stacks (§3.6)
+//! * `-cost`     — cut-only solution ranking instead of the
+//!   infeasibility-distance key (§3.3–3.4)
+//! * `-balance`  — no external-I/O balancing factor `d_k^E` (§3.4)
+//! * `-schedule` — only the last-pair improvement pass (§3.1)
+//! * `-regions`  — symmetric classical move window instead of the
+//!   asymmetric ε regions (§3.5)
+//! * `-gain2`    — one-level gains only (§3.7)
+//! * `-init`     — random initial peels instead of the constructive
+//!   bipartition (§3.2; the paper warns random initials "may lead to
+//!   poor results")
+//! * `+gain3`    — three-level gains (the higher-level-gain experiment
+//!   the paper discusses via \[7\])
+
+use fpart_bench::render_table;
+use fpart_bench::runner::Workload;
+use fpart_core::{partition, FpartConfig};
+use fpart_device::Device;
+use fpart_hypergraph::gen::find_profile;
+
+fn main() {
+    let circuits = ["c3540", "c5315", "s5378", "s9234", "s13207", "s38584"];
+    let variants: Vec<(&str, FpartConfig)> = vec![
+        ("full", FpartConfig::default()),
+        ("-stacks", FpartConfig { use_solution_stacks: false, ..FpartConfig::default() }),
+        ("-cost", FpartConfig { use_infeasibility_cost: false, ..FpartConfig::default() }),
+        ("-balance", FpartConfig { use_external_balance: false, ..FpartConfig::default() }),
+        ("-schedule", FpartConfig { use_improvement_schedule: false, ..FpartConfig::default() }),
+        ("-regions", FpartConfig { use_move_regions: false, ..FpartConfig::default() }),
+        ("-gain2", FpartConfig { gain_levels: 1, ..FpartConfig::default() }),
+        ("-init", FpartConfig { use_constructive_initial: false, ..FpartConfig::default() }),
+        ("+gain3", FpartConfig { gain_levels: 3, ..FpartConfig::default() }),
+    ];
+
+    let mut header: Vec<&str> = vec!["circuit", "M"];
+    header.extend(variants.iter().map(|(name, _)| *name));
+    let mut rows = Vec::new();
+    let mut totals = vec![0usize; variants.len()];
+
+    for circuit in circuits {
+        let profile = find_profile(circuit).expect("known circuit");
+        let workload = Workload::new(profile, Device::XC3020);
+        let mut row = vec![circuit.to_owned(), workload.lower_bound.to_string()];
+        for (i, (_, config)) in variants.iter().enumerate() {
+            let cell = match partition(&workload.graph, workload.constraints, config) {
+                Ok(o) => {
+                    totals[i] += o.device_count;
+                    format!("{}{}", o.device_count, if o.feasible { "" } else { "!" })
+                }
+                Err(_) => "err".to_owned(),
+            };
+            row.push(cell);
+        }
+        rows.push(row);
+    }
+
+    let mut totals_row = vec!["Total".to_owned(), String::new()];
+    totals_row.extend(totals.iter().map(ToString::to_string));
+
+    println!("Ablation: device count on XC3020 with each FPART device disabled in turn");
+    println!("a trailing ! marks an infeasible result\n");
+    print!("{}", render_table(&header, &rows, Some(totals_row)));
+}

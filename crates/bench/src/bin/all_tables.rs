@@ -1,0 +1,57 @@
+//! Batch runner: every circuit × device × method of Tables 2–5 in one
+//! pass, emitting a CSV (`results.csv` by default) for downstream
+//! analysis and the EXPERIMENTS.md bookkeeping.
+//!
+//! ```sh
+//! cargo run --release -p fpart-bench --bin all_tables [output.csv]
+//! ```
+
+use std::io::Write;
+
+use fpart_bench::published::{
+    PublishedRow, TABLE2_XC3020, TABLE3_XC3042, TABLE4_XC3090, TABLE5_XC2064,
+};
+use fpart_bench::runner::{run_methods, Workload};
+use fpart_device::Device;
+use fpart_hypergraph::gen::find_profile;
+
+fn main() -> std::io::Result<()> {
+    let path = std::env::args().nth(1).unwrap_or_else(|| "results.csv".to_owned());
+    let mut out = std::fs::File::create(&path)?;
+    writeln!(
+        out,
+        "table,device,circuit,method,devices,feasible,cut,seconds,published_fpart,lower_bound"
+    )?;
+
+    let tables: [(&str, Device, &[PublishedRow]); 4] = [
+        ("table2", Device::XC3020, &TABLE2_XC3020),
+        ("table3", Device::XC3042, &TABLE3_XC3042),
+        ("table4", Device::XC3090, &TABLE4_XC3090),
+        ("table5", Device::XC2064, &TABLE5_XC2064),
+    ];
+
+    for (table, device, rows) in tables {
+        for row in rows {
+            let profile = find_profile(row.circuit).expect("published rows match profiles");
+            let workload = Workload::new(profile, device);
+            for result in run_methods(&workload) {
+                writeln!(
+                    out,
+                    "{table},{},{},{},{},{},{},{:.4},{},{}",
+                    device.name,
+                    row.circuit,
+                    result.method,
+                    result.device_count,
+                    result.feasible,
+                    result.cut,
+                    result.elapsed.as_secs_f64(),
+                    row.fpart.map_or_else(|| "-".to_owned(), |v| v.to_string()),
+                    workload.lower_bound,
+                )?;
+            }
+            eprintln!("{table} {} {} done", device.name, row.circuit);
+        }
+    }
+    println!("wrote {path}");
+    Ok(())
+}

@@ -1,0 +1,17 @@
+use fpart_core::{partition, FpartConfig};
+use fpart_device::Device;
+use fpart_hypergraph::gen::{mcnc_profiles, synthesize_mcnc, Technology};
+fn main() {
+    for (dev, delta) in [(Device::XC3020, 0.9), (Device::XC3042, 0.9), (Device::XC3090, 0.9)] {
+        let c = dev.constraints(delta);
+        print!("{:8}", dev.name);
+        let mut tot = 0; let mut mtot = 0;
+        for p in mcnc_profiles() {
+            let g = synthesize_mcnc(p, Technology::Xc3000);
+            let o = partition(&g, c, &FpartConfig::default()).unwrap();
+            print!(" {}{}", o.device_count, if o.feasible {""} else {"!"});
+            tot += o.device_count; mtot += o.lower_bound;
+        }
+        println!("  total={tot} M={mtot}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Regenerates paper **Figure 3**: the feasible space for cell moves.
+//!
+//! Figure 3 shows the size window a non-remainder block must stay inside
+//! for a move to be admissible — strict in two-block passes (`ε²_min`),
+//! loose in multi-block passes (`ε*_min`), unbounded for the remainder.
+//! This binary prints the windows for the XC3020 device and an acceptance
+//! map over block sizes, verifying the three regimes.
+
+use fpart_core::constraints::{MoveRegions, PassKind};
+use fpart_core::{FpartConfig, PartitionState};
+use fpart_device::Device;
+use fpart_hypergraph::HypergraphBuilder;
+
+fn main() {
+    let config = FpartConfig::default();
+    let constraints = Device::XC3020.constraints(0.9);
+    println!(
+        "Figure 3: feasible move regions on XC3020 (S_MAX = {})\n",
+        constraints.s_max
+    );
+    for (label, kind) in [
+        ("two-block pass (ε²_min = 0.95, ε_max = 1.05)", PassKind::TwoBlock),
+        ("multi-block pass (ε*_min = 0.3, ε_max = 1.05)", PassKind::MultiBlock),
+    ] {
+        let regions = MoveRegions::new(&config, constraints, kind, usize::MAX, false);
+        println!(
+            "{label}: non-remainder block size window [{}, {}]",
+            regions.lower_bound(),
+            regions.upper_bound()
+        );
+    }
+    let after_m = MoveRegions::new(&config, constraints, PassKind::TwoBlock, usize::MAX, true);
+    println!(
+        "after k > M: upper bound tightens to S_MAX = {}\n",
+        after_m.upper_bound()
+    );
+
+    // Acceptance map: can a unit cell leave/enter a block of size S?
+    // Build a 3-block state: probe block (varying), peer block, remainder.
+    println!("acceptance of a unit-cell move vs donor block size (two-block pass):");
+    println!("{:>5}  {:>6}  {:>7}", "S", "donate", "receive");
+    for size in [10u64, 30, 40, 54, 55, 56, 57, 58, 59, 60] {
+        let mut b = HypergraphBuilder::new();
+        let probe = b.add_node("probe", size as u32);
+        let unit = b.add_node("unit", 1);
+        let peer = b.add_node("peer", 40);
+        let rem = b.add_node("rem", 100);
+        b.add_net("n1", [probe, unit]).expect("valid pins");
+        b.add_net("n2", [peer, rem]).expect("valid pins");
+        let g = b.finish().expect("valid graph");
+        // probe+unit in block 0, peer in block 1, remainder cell in block 2
+        let state = PartitionState::from_assignment(&g, vec![0, 0, 1, 2], 3);
+        let regions = MoveRegions::new(&config, constraints, PassKind::TwoBlock, 2, false);
+        let donate = regions.move_allowed(&state, 1, 0, 2);
+        let receive = regions.move_allowed(&state, 1, 2, 0);
+        println!(
+            "{:>5}  {:>6}  {:>7}",
+            size + 1,
+            if donate { "yes" } else { "no" },
+            if receive { "yes" } else { "no" }
+        );
+    }
+    println!("\n(the remainder itself is exempt from both bounds: ε^R_max = ∞)");
+}

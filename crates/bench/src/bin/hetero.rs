@@ -1,0 +1,78 @@
+//! Heterogeneous device-cost study (our extension; the
+//! total-device-cost objective of Kuznar/Brglez/Zajc, DAC'94, which the
+//! paper cites as related work).
+//!
+//! Three strategies per circuit:
+//!
+//! * **homogeneous** — FPART onto the largest catalog part (XC3090);
+//! * **refit** — the same partition, each block downgraded to the
+//!   cheapest device it still fits;
+//! * **in-flow** — [`fpart_core::partition_hetero`]: every peel
+//!   auditions each device type and the best price-per-packed-cell wins.
+
+use fpart_bench::render_table;
+use fpart_bench::runner::Workload;
+use fpart_core::{partition, partition_hetero, FpartConfig};
+use fpart_device::fit::{default_price_list, fit_blocks};
+use fpart_device::Device;
+use fpart_hypergraph::gen::find_profile;
+
+fn main() {
+    let circuits = ["c3540", "c5315", "s5378", "s9234", "s13207", "s15850"];
+    let list = default_price_list();
+    let xc3090_price = list
+        .iter()
+        .find(|p| p.device == Device::XC3090)
+        .expect("catalog has the XC3090")
+        .price;
+
+    let header = [
+        "circuit", "homog. k", "homog. cost", "refit cost", "in-flow k", "in-flow cost",
+        "in-flow mix",
+    ];
+    let mut rows = Vec::new();
+    for circuit in circuits {
+        let profile = find_profile(circuit).expect("known circuit");
+        let workload = Workload::new(profile, Device::XC3090);
+        let Ok(outcome) =
+            partition(&workload.graph, workload.constraints, &FpartConfig::default())
+        else {
+            continue;
+        };
+        let usages = outcome.usages();
+        let refit = fit_blocks(&usages, 0.9, &list);
+        let homogeneous = xc3090_price * outcome.device_count as f64;
+
+        let inflow =
+            partition_hetero(&workload.graph, &list, 0.9, &FpartConfig::default());
+        let (inflow_k, inflow_cost, inflow_mix) = match &inflow {
+            Ok(h) => {
+                let mut mix: Vec<&str> =
+                    h.devices.iter().map(|d| d.device.name).collect();
+                mix.sort_unstable();
+                mix.dedup();
+                (
+                    format!("{}{}", h.device_count(), if h.feasible { "" } else { "!" }),
+                    format!("{:.1}", h.total_price),
+                    mix.join("+"),
+                )
+            }
+            Err(_) => ("err".to_owned(), "-".to_owned(), "-".to_owned()),
+        };
+
+        rows.push(vec![
+            circuit.to_owned(),
+            outcome.device_count.to_string(),
+            format!("{homogeneous:.1}"),
+            refit.map_or_else(|| "-".to_owned(), |r| format!("{:.1}", r.total_price)),
+            inflow_k,
+            inflow_cost,
+            inflow_mix,
+        ]);
+    }
+    println!(
+        "Heterogeneous device cost: homogeneous XC3090 vs post-hoc refit vs in-flow selection\n"
+    );
+    print!("{}", render_table(&header, &rows, None));
+    println!("\n(relative prices; the in-flow strategy may use more, cheaper devices)");
+}

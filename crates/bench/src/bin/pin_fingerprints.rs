@@ -1,0 +1,35 @@
+//! Utility: print the workload fingerprints to pin in
+//! `tests/golden_workloads.rs` after an intentional generator change.
+
+use fpart_hypergraph::gen::{mcnc_profiles, synthesize_mcnc, Technology};
+use fpart_hypergraph::Hypergraph;
+
+fn fingerprint(graph: &Hypergraph) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |value: u64| {
+        for byte in value.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(graph.node_count() as u64);
+    mix(graph.net_count() as u64);
+    mix(graph.terminal_count() as u64);
+    for net in graph.net_ids() {
+        mix(graph.pins(net).len() as u64);
+        for &pin in graph.pins(net) {
+            mix(pin.index() as u64);
+        }
+    }
+    for t in graph.terminal_ids() {
+        mix(graph.terminal_net(t).index() as u64);
+    }
+    h
+}
+
+fn main() {
+    for p in mcnc_profiles() {
+        let g = synthesize_mcnc(p, Technology::Xc3000);
+        println!("    (\"{}\", {:#018x}),", p.name, fingerprint(&g));
+    }
+}

@@ -1,0 +1,64 @@
+//! Replication ingredient study (our extension; models the "r" of the
+//! paper's r+p.0 and PROP comparison columns).
+//!
+//! For each circuit on XC3020, the k-way.x-style baseline partitions the
+//! circuit, then the Kring–Newton-style replication post-pass buys IOBs
+//! with spare logic capacity. Reported: copies applied, total IOBs
+//! saved, and blocks repaired from pin-infeasible to feasible — the
+//! mechanism by which r+p.0 beat plain k-way.x in the paper's tables.
+
+use fpart_baselines::{kway_partition, replicate};
+use fpart_bench::render_table;
+use fpart_bench::runner::Workload;
+use fpart_device::Device;
+use fpart_hypergraph::gen::find_profile;
+
+fn main() {
+    let circuits = ["c3540", "c5315", "c7552", "s5378", "s9234", "s13207"];
+    let header = [
+        "circuit", "k", "copies", "IOBs saved", "infeasible before", "infeasible after",
+    ];
+    let mut rows = Vec::new();
+    for circuit in circuits {
+        let profile = find_profile(circuit).expect("known circuit");
+        let workload = Workload::new(profile, Device::XC3020);
+        let Ok(base) = kway_partition(&workload.graph, workload.constraints) else {
+            rows.push(vec![circuit.to_owned(), "err".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            continue;
+        };
+        let rep = replicate(
+            &workload.graph,
+            &base.assignment,
+            base.device_count,
+            workload.constraints,
+        );
+        let infeasible = |terminals: &[usize], sizes: &[u64]| {
+            terminals
+                .iter()
+                .zip(sizes)
+                .filter(|&(&t, &s)| !workload.constraints.fits(s, t))
+                .count()
+        };
+        // Sizes before replication equal sizes_after minus the copies'
+        // contribution; recompute from the assignment for exactness.
+        let mut sizes_before = vec![0u64; base.device_count];
+        for v in workload.graph.node_ids() {
+            sizes_before[base.assignment[v.index()] as usize] +=
+                u64::from(workload.graph.node_size(v));
+        }
+        rows.push(vec![
+            circuit.to_owned(),
+            base.device_count.to_string(),
+            rep.copies.len().to_string(),
+            rep.terminals_saved().to_string(),
+            infeasible(&rep.terminals_before, &sizes_before).to_string(),
+            infeasible(&rep.terminals_after, &rep.sizes_after).to_string(),
+        ]);
+    }
+    println!("Replication study: k-way.x baseline + Kring–Newton replication on XC3020\n");
+    print!("{}", render_table(&header, &rows, None));
+    println!(
+        "\nReplication converts spare CLBs into IOB savings — the ingredient that\
+         \nlifts r+p.0 over k-way.x in the paper's Tables 2–3."
+    );
+}

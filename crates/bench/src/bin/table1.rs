@@ -1,0 +1,40 @@
+//! Regenerates paper **Table 1**: benchmark circuit characteristics.
+//!
+//! For each MCNC circuit, prints the published #IOBs and #CLBs per
+//! technology mapping next to the counts of the synthesized workloads
+//! (which must match exactly), plus the synthetic netlist's structural
+//! statistics for transparency.
+
+use fpart_bench::render_table;
+use fpart_hypergraph::gen::{mcnc_profiles, synthesize_mcnc, Technology};
+use fpart_hypergraph::stats::CircuitStats;
+
+fn main() {
+    let header = [
+        "circuit", "#IOBs", "CLB2000*", "CLB3000*", "CLB2000", "CLB3000", "nets", "pins",
+        "mean deg",
+    ];
+    let mut rows = Vec::new();
+    for p in mcnc_profiles() {
+        let g2000 = synthesize_mcnc(p, Technology::Xc2000);
+        let g3000 = synthesize_mcnc(p, Technology::Xc3000);
+        let s = CircuitStats::of(&g3000);
+        assert_eq!(g2000.node_count(), p.clbs_xc2000);
+        assert_eq!(g3000.node_count(), p.clbs_xc3000);
+        assert_eq!(g3000.terminal_count(), p.iobs);
+        rows.push(vec![
+            p.name.to_owned(),
+            p.iobs.to_string(),
+            p.clbs_xc2000.to_string(),
+            p.clbs_xc3000.to_string(),
+            g2000.node_count().to_string(),
+            g3000.node_count().to_string(),
+            s.nets.to_string(),
+            s.pins.to_string(),
+            format!("{:.2}", s.mean_net_degree),
+        ]);
+    }
+    println!("Table 1: benchmark circuit characteristics");
+    println!("columns marked * are published; unmarked are the synthesized workloads\n");
+    print!("{}", render_table(&header, &rows, None));
+}

@@ -1,0 +1,17 @@
+//! Regenerates paper **Table 2**: results comparison on the XC3020
+//! device (δ = 0.9).
+
+use fpart_bench::published::TABLE2_XC3020;
+use fpart_bench::run_results_table;
+use fpart_device::Device;
+
+fn main() {
+    print!(
+        "{}",
+        run_results_table(
+            "Table 2: partitioning into XC3020 devices (S_ds=64, T_MAX=64, δ=0.9)",
+            Device::XC3020,
+            &TABLE2_XC3020,
+        )
+    );
+}

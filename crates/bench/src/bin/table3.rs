@@ -1,0 +1,17 @@
+//! Regenerates paper **Table 3**: results comparison on the XC3042
+//! device (δ = 0.9).
+
+use fpart_bench::published::TABLE3_XC3042;
+use fpart_bench::run_results_table;
+use fpart_device::Device;
+
+fn main() {
+    print!(
+        "{}",
+        run_results_table(
+            "Table 3: partitioning into XC3042 devices (S_ds=144, T_MAX=96, δ=0.9)",
+            Device::XC3042,
+            &TABLE3_XC3042,
+        )
+    );
+}

@@ -1,0 +1,27 @@
+//! Regenerates paper **Table 4**: results comparison on the XC3090
+//! device (δ = 0.9). The paper prints separate totals for the six small
+//! and four large circuits; both appear in the output here.
+
+use fpart_bench::published::TABLE4_XC3090;
+use fpart_bench::run_results_table;
+use fpart_device::Device;
+
+fn main() {
+    print!(
+        "{}",
+        run_results_table(
+            "Table 4 (small circuits): partitioning into XC3090 devices (S_ds=320, T_MAX=144, δ=0.9)",
+            Device::XC3090,
+            &TABLE4_XC3090[..6],
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        run_results_table(
+            "Table 4 (large circuits): partitioning into XC3090 devices (S_ds=320, T_MAX=144, δ=0.9)",
+            Device::XC3090,
+            &TABLE4_XC3090[6..],
+        )
+    );
+}

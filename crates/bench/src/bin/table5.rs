@@ -1,0 +1,17 @@
+//! Regenerates paper **Table 5**: results comparison on the XC2064
+//! device (δ = 1.0, XC2000 technology mapping).
+
+use fpart_bench::published::TABLE5_XC2064;
+use fpart_bench::run_results_table;
+use fpart_device::Device;
+
+fn main() {
+    print!(
+        "{}",
+        run_results_table(
+            "Table 5: partitioning into XC2064 devices (S_ds=64, T_MAX=58, δ=1.0)",
+            Device::XC2064,
+            &TABLE5_XC2064,
+        )
+    );
+}

@@ -1,0 +1,51 @@
+//! Regenerates paper **Table 6**: FPART execution time per circuit ×
+//! device. Absolute numbers are incomparable (SUN Sparc Ultra 5, 1999,
+//! vs this machine); the reproduced *shape* is the relative ordering —
+//! time grows with the iteration count (final k) and circuit size, and
+//! XC3090 runs are the cheapest.
+
+use fpart_bench::published::TABLE6_CPU;
+use fpart_bench::render_table;
+use fpart_bench::runner::Workload;
+use fpart_core::{partition, FpartConfig};
+use fpart_device::Device;
+use fpart_hypergraph::gen::find_profile;
+
+fn main() {
+    let devices = [Device::XC3020, Device::XC3042, Device::XC3090, Device::XC2064];
+    let header = [
+        "circuit", "XC3020*", "XC3042*", "XC3090*", "XC2064*", "XC3020", "XC3042", "XC3090",
+        "XC2064",
+    ];
+    let fmt = |v: Option<f64>| v.map_or_else(|| "-".to_owned(), |s| format!("{s:.2}"));
+    let mut rows = Vec::new();
+    for &(name, p3020, p3042, p3090, p2064) in &TABLE6_CPU {
+        let profile = find_profile(name).expect("table names match profiles");
+        let mut measured = Vec::new();
+        for (device, published) in devices.iter().zip([p3020, p3042, p3090, p2064]) {
+            if published.is_none() {
+                // The paper has a dash here (circuit not run on XC2064).
+                measured.push("-".to_owned());
+                continue;
+            }
+            let workload = Workload::new(profile, *device);
+            let start = std::time::Instant::now();
+            let _ = partition(&workload.graph, workload.constraints, &FpartConfig::default());
+            measured.push(format!("{:.2}", start.elapsed().as_secs_f64()));
+        }
+        rows.push(vec![
+            name.to_owned(),
+            fmt(p3020),
+            fmt(p3042),
+            fmt(p3090),
+            fmt(p2064),
+            measured[0].clone(),
+            measured[1].clone(),
+            measured[2].clone(),
+            measured[3].clone(),
+        ]);
+    }
+    println!("Table 6: FPART execution time in seconds");
+    println!("columns marked * are the paper's (SUN Sparc Ultra 5); unmarked are this machine\n");
+    print!("{}", render_table(&header, &rows, None));
+}

@@ -1,0 +1,110 @@
+//! Shared experiment drivers used by the per-table binaries.
+
+use fpart_device::Device;
+use fpart_hypergraph::gen::find_profile;
+
+use crate::published::PublishedRow;
+use crate::runner::{run_methods, MethodResult, Workload};
+use crate::table::{opt, render_table};
+
+/// Runs one results table (Tables 2–5): every circuit of `rows` on
+/// `device`, printing published columns next to measured ones.
+///
+/// Returns the rendered table (also printed to stdout by the binaries).
+#[must_use]
+pub fn run_results_table(title: &str, device: Device, rows: &[PublishedRow]) -> String {
+    let header = [
+        "circuit", "kway.x*", "r+p.0*", "PROP*", "SC*", "WCDP*", "FBB-MW*", "FPART*", "M*",
+        "FPART", "kway", "flow", "naive", "M", "t_FPART",
+    ];
+    let mut body = Vec::new();
+    let mut totals = [0usize; 5]; // fpart, kway, flow, naive, m
+    let mut published_fpart = 0usize;
+
+    for row in rows {
+        let profile = find_profile(row.circuit).expect("published row matches a profile");
+        let workload = Workload::new(profile, device);
+        let results = run_methods(&workload);
+        let get = |name: &str| -> &MethodResult {
+            results
+                .iter()
+                .find(|r| r.method == name)
+                .expect("method present")
+        };
+        let fpart = get("FPART");
+        let kway = get("kway");
+        let flow = get("flow");
+        let naive = get("naive");
+        totals[0] += fpart.device_count;
+        totals[1] += kway.device_count;
+        totals[2] += flow.device_count;
+        totals[3] += naive.device_count;
+        totals[4] += workload.lower_bound;
+        published_fpart += row.fpart.unwrap_or(0);
+
+        let mark = |r: &MethodResult| {
+            format!(
+                "{}{}",
+                r.device_count,
+                if r.feasible { "" } else { "!" }
+            )
+        };
+        body.push(vec![
+            row.circuit.to_owned(),
+            opt(row.kway_x),
+            opt(row.rp0),
+            opt(row.prop_prop),
+            opt(row.sc),
+            opt(row.wcdp),
+            opt(row.fbb_mw),
+            opt(row.fpart),
+            row.lower_bound.to_string(),
+            mark(fpart),
+            mark(kway),
+            mark(flow),
+            mark(naive),
+            workload.lower_bound.to_string(),
+            format!("{:.2}s", fpart.elapsed.as_secs_f64()),
+        ]);
+    }
+
+    let totals_row = vec![
+        "Total".to_owned(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        String::new(),
+        published_fpart.to_string(),
+        rows.iter().map(|r| r.lower_bound).sum::<usize>().to_string(),
+        totals[0].to_string(),
+        totals[1].to_string(),
+        totals[2].to_string(),
+        totals[3].to_string(),
+        totals[4].to_string(),
+        String::new(),
+    ];
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    out.push_str("columns marked * are the paper's published values; unmarked are measured here\n");
+    out.push_str("a trailing ! marks an infeasible result\n\n");
+    out.push_str(&render_table(&header, &body, Some(totals_row)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::published::TABLE5_XC2064;
+
+    #[test]
+    fn results_table_renders_with_all_rows() {
+        // Table 5 is the smallest (4 circuits) — run it for real.
+        let text = run_results_table("test", Device::XC2064, &TABLE5_XC2064[..1]);
+        assert!(text.contains("c3540"));
+        assert!(text.contains("Total"));
+    }
+}

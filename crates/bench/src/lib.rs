@@ -1,0 +1,20 @@
+//! Experiment harness for the FPART reproduction.
+//!
+//! One binary per table/figure of the paper regenerates the corresponding
+//! experiment (see `src/bin/`); this library holds the shared machinery:
+//! running every implemented method on a workload, the published result
+//! columns of Tables 2–5 (quoted for side-by-side comparison, exactly as
+//! the paper itself quotes its competitors), and plain-text table
+//! rendering.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod published;
+pub mod runner;
+pub mod table;
+
+pub use experiments::run_results_table;
+pub use runner::{run_methods, MethodResult, Workload};
+pub use table::render_table;

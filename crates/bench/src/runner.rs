@@ -1,0 +1,152 @@
+//! Running every implemented method on one workload.
+
+use std::time::{Duration, Instant};
+
+use fpart_baselines::{fbb_mw_partition, first_fit_partition, kway_partition, FlowConfig};
+use fpart_core::{partition, FpartConfig};
+use fpart_device::{lower_bound, Device, DeviceConstraints};
+use fpart_hypergraph::gen::{synthesize_mcnc, McncProfile, Technology};
+use fpart_hypergraph::Hypergraph;
+
+/// One benchmark workload: a synthesized MCNC circuit and a device.
+#[derive(Debug)]
+pub struct Workload {
+    /// Circuit name (matches the paper's tables).
+    pub circuit: &'static str,
+    /// Synthesized hypergraph.
+    pub graph: Hypergraph,
+    /// Device constraints (filling ratio already applied).
+    pub constraints: DeviceConstraints,
+    /// Theoretical lower bound `M`.
+    pub lower_bound: usize,
+}
+
+impl Workload {
+    /// Builds the workload for one paper circuit × device combination,
+    /// choosing the technology mapping by device family and the paper's
+    /// filling ratio by device (0.9 for XC3000 parts, 1.0 for XC2064).
+    #[must_use]
+    pub fn new(profile: &McncProfile, device: Device) -> Self {
+        let tech = if device.is_xc2000_family() {
+            Technology::Xc2000
+        } else {
+            Technology::Xc3000
+        };
+        let delta = if device.is_xc2000_family() { 1.0 } else { 0.9 };
+        let constraints = device.constraints(delta);
+        let graph = synthesize_mcnc(profile, tech);
+        let lower_bound = lower_bound(&graph, constraints);
+        Workload { circuit: profile.name, graph, constraints, lower_bound }
+    }
+}
+
+/// Result of one method on one workload.
+#[derive(Debug, Clone)]
+pub struct MethodResult {
+    /// Method name (`"FPART"`, `"kway"`, `"flow"`, `"naive"`).
+    pub method: &'static str,
+    /// Devices used.
+    pub device_count: usize,
+    /// Whether every block met the constraints.
+    pub feasible: bool,
+    /// Nets spanning more than one block.
+    pub cut: usize,
+    /// Wall-clock run time.
+    pub elapsed: Duration,
+}
+
+/// Runs FPART and all baselines on a workload. Methods that error
+/// (oversized node, iteration valve) are reported infeasible with zero
+/// devices rather than aborting the table.
+#[must_use]
+pub fn run_methods(workload: &Workload) -> Vec<MethodResult> {
+    let mut results = Vec::with_capacity(4);
+
+    let start = Instant::now();
+    let fpart = partition(&workload.graph, workload.constraints, &FpartConfig::default());
+    results.push(match fpart {
+        Ok(o) => MethodResult {
+            method: "FPART",
+            device_count: o.device_count,
+            feasible: o.feasible,
+            cut: o.cut,
+            elapsed: start.elapsed(),
+        },
+        Err(_) => failed("FPART", start.elapsed()),
+    });
+
+    let start = Instant::now();
+    let kway = kway_partition(&workload.graph, workload.constraints);
+    results.push(match kway {
+        Ok(o) => MethodResult {
+            method: "kway",
+            device_count: o.device_count,
+            feasible: o.feasible,
+            cut: o.cut,
+            elapsed: start.elapsed(),
+        },
+        Err(_) => failed("kway", start.elapsed()),
+    });
+
+    let start = Instant::now();
+    let flow = fbb_mw_partition(&workload.graph, workload.constraints, &FlowConfig::default());
+    results.push(match flow {
+        Ok(o) => MethodResult {
+            method: "flow",
+            device_count: o.device_count,
+            feasible: o.feasible,
+            cut: o.cut,
+            elapsed: start.elapsed(),
+        },
+        Err(_) => failed("flow", start.elapsed()),
+    });
+
+    let start = Instant::now();
+    let naive = first_fit_partition(&workload.graph, workload.constraints);
+    results.push(MethodResult {
+        method: "naive",
+        device_count: naive.device_count,
+        feasible: naive.feasible,
+        cut: naive.cut,
+        elapsed: start.elapsed(),
+    });
+
+    results
+}
+
+fn failed(method: &'static str, elapsed: Duration) -> MethodResult {
+    MethodResult { method, device_count: 0, feasible: false, cut: 0, elapsed }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_hypergraph::gen::find_profile;
+
+    #[test]
+    fn workload_uses_family_specific_mapping() {
+        let p = find_profile("c3540").unwrap();
+        let w2064 = Workload::new(p, Device::XC2064);
+        let w3020 = Workload::new(p, Device::XC3020);
+        assert_eq!(w2064.graph.node_count(), p.clbs_xc2000);
+        assert_eq!(w3020.graph.node_count(), p.clbs_xc3000);
+        assert_eq!(w2064.constraints.s_max, 64); // δ = 1.0
+        assert_eq!(w3020.constraints.s_max, 57); // δ = 0.9
+        assert_eq!(w2064.lower_bound, 6);
+        assert_eq!(w3020.lower_bound, 5);
+    }
+
+    #[test]
+    fn run_methods_reports_all_four() {
+        let p = find_profile("c3540").unwrap();
+        let w = Workload::new(p, Device::XC3090);
+        let results = run_methods(&w);
+        assert_eq!(results.len(), 4);
+        let names: Vec<_> = results.iter().map(|r| r.method).collect();
+        assert_eq!(names, vec!["FPART", "kway", "flow", "naive"]);
+        for r in &results {
+            assert!(r.feasible, "{} infeasible", r.method);
+            assert!(r.device_count >= w.lower_bound);
+        }
+    }
+}

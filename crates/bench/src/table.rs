@@ -1,0 +1,109 @@
+//! Minimal plain-text table rendering for the experiment binaries.
+
+/// Renders a table with a header row, separator, body rows, and an
+/// optional totals row, right-aligning every column to its widest cell.
+///
+/// # Example
+///
+/// ```
+/// use fpart_bench::render_table;
+///
+/// let text = render_table(
+///     &["circuit", "k"],
+///     &[vec!["c3540".into(), "6".into()]],
+///     Some(vec!["Total".into(), "6".into()]),
+/// );
+/// assert!(text.contains("c3540"));
+/// assert!(text.contains("Total"));
+/// ```
+#[must_use]
+pub fn render_table(
+    header: &[&str],
+    rows: &[Vec<String>],
+    totals: Option<Vec<String>>,
+) -> String {
+    let columns = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    let all_rows: Vec<&Vec<String>> = rows.iter().chain(totals.iter()).collect();
+    for row in &all_rows {
+        assert_eq!(row.len(), columns, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| (*s).to_owned()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    if let Some(totals) = totals {
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (columns - 1)));
+        out.push('\n');
+        out.push_str(&fmt_row(&totals, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an optional count, printing a dash for `None` (matching the
+/// paper's tables).
+#[must_use]
+pub fn opt(value: Option<usize>) -> String {
+    value.map_or_else(|| "-".to_owned(), |v| v.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let t = render_table(
+            &["a", "bb"],
+            &[vec!["xxx".into(), "1".into()], vec!["y".into(), "22".into()]],
+            None,
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Every line has the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn totals_row_separated() {
+        let t = render_table(
+            &["c", "k"],
+            &[vec!["x".into(), "3".into()]],
+            Some(vec!["Total".into(), "3".into()]),
+        );
+        assert!(t.matches("-----").count() >= 2);
+        assert!(t.trim_end().ends_with('3'));
+    }
+
+    #[test]
+    fn opt_formats_dash() {
+        assert_eq!(opt(None), "-");
+        assert_eq!(opt(Some(7)), "7");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let _ = render_table(&["a"], &[vec!["x".into(), "y".into()]], None);
+    }
+}

@@ -1,0 +1,141 @@
+//! Minimal argument parser: positionals plus `--flag [value]` options.
+//!
+//! Deliberately dependency-free (the workspace's external crates are
+//! restricted); covers exactly what the `fpart` CLI needs.
+
+use std::collections::HashMap;
+
+/// Parsed command line: positional arguments and `--key value` /
+/// `--switch` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    options: HashMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// The option names a command accepts, used to decide whether a `--flag`
+/// consumes a value.
+#[derive(Debug, Clone, Copy)]
+pub struct Spec<'a> {
+    /// Options that take a value (`--device XC3020`).
+    pub valued: &'a [&'a str],
+    /// Boolean switches (`--trace`).
+    pub switches: &'a [&'a str],
+}
+
+impl Args {
+    /// Parses raw arguments against a spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on unknown options or missing
+    /// values.
+    pub fn parse(raw: &[String], spec: Spec<'_>) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = raw.iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if spec.switches.contains(&name) {
+                    args.switches.push(name.to_owned());
+                } else if spec.valued.contains(&name) {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("option --{name} needs a value"))?;
+                    args.options.insert(name.to_owned(), value.clone());
+                } else {
+                    return Err(format!("unknown option --{name}"));
+                }
+            } else {
+                args.positionals.push(arg.clone());
+            }
+        }
+        Ok(args)
+    }
+
+    /// Positional argument by index.
+    #[must_use]
+    pub fn positional(&self, index: usize) -> Option<&str> {
+        self.positionals.get(index).map(String::as_str)
+    }
+
+    /// Value of a `--key value` option.
+    #[must_use]
+    pub fn option(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// Parses an option value, with a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the option on parse failure.
+    pub fn option_parsed<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+    ) -> Result<T, String> {
+        match self.option(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("option --{name}: cannot parse `{v}`")),
+        }
+    }
+
+    /// Whether a boolean switch was given.
+    #[must_use]
+    pub fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn to_vec(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    const SPEC: Spec<'_> = Spec {
+        valued: &["device", "delta", "seed"],
+        switches: &["trace"],
+    };
+
+    #[test]
+    fn parses_mixed_arguments() {
+        let args = Args::parse(
+            &to_vec(&["input.fhg", "--device", "XC3020", "--trace", "out.txt"]),
+            SPEC,
+        )
+        .unwrap();
+        assert_eq!(args.positional(0), Some("input.fhg"));
+        assert_eq!(args.positional(1), Some("out.txt"));
+        assert_eq!(args.positional(2), None);
+        assert_eq!(args.option("device"), Some("XC3020"));
+        assert!(args.switch("trace"));
+        assert!(!args.switch("verbose"));
+    }
+
+    #[test]
+    fn rejects_unknown_option() {
+        let err = Args::parse(&to_vec(&["--bogus"]), SPEC).unwrap_err();
+        assert!(err.contains("--bogus"));
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        let err = Args::parse(&to_vec(&["--device"]), SPEC).unwrap_err();
+        assert!(err.contains("needs a value"));
+    }
+
+    #[test]
+    fn option_parsed_with_default() {
+        let args = Args::parse(&to_vec(&["--delta", "0.8"]), SPEC).unwrap();
+        assert_eq!(args.option_parsed("delta", 0.9f64).unwrap(), 0.8);
+        assert_eq!(args.option_parsed("seed", 7u64).unwrap(), 7);
+        let bad = Args::parse(&to_vec(&["--delta", "abc"]), SPEC).unwrap();
+        assert!(bad.option_parsed("delta", 0.9f64).is_err());
+    }
+}

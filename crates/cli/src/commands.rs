@@ -1,0 +1,310 @@
+//! Implementations of the `fpart` subcommands.
+
+use std::path::Path;
+
+use fpart_baselines::{fbb_mw_partition, first_fit_partition, kway_partition, FlowConfig};
+use fpart_core::{partition_traced, FpartConfig, TraceEvent};
+use fpart_device::{lower_bound, Device, DeviceConstraints};
+use fpart_hypergraph::gen::{
+    clustered_circuit, layered_circuit, rent_circuit, synthesize_mcnc, window_circuit,
+    ClusteredConfig, LayeredConfig, RentConfig, Technology, WindowConfig,
+};
+use fpart_hypergraph::stats::{rent_exponent, CircuitStats};
+use fpart_hypergraph::Hypergraph;
+
+use crate::args::{Args, Spec};
+use crate::netlist_file;
+
+/// `fpart partition <netlist> ...`
+pub fn partition(raw: &[String]) -> Result<(), String> {
+    let spec = Spec {
+        valued: &["device", "delta", "method", "output", "s-max", "t-max"],
+        switches: &["trace"],
+    };
+    let args = Args::parse(raw, spec)?;
+    let input = args.positional(0).ok_or("partition needs a netlist file")?;
+    let graph = netlist_file::read(Path::new(input))?;
+
+    let constraints = resolve_constraints(&args)?;
+    let method = args.option("method").unwrap_or("fpart");
+    let m = lower_bound(&graph, constraints);
+    eprintln!(
+        "{}: {} cells, {} nets, {} terminals; device {constraints}; lower bound M = {m}",
+        input,
+        graph.node_count(),
+        graph.net_count(),
+        graph.terminal_count()
+    );
+
+    let started = std::time::Instant::now();
+    let (assignment, device_count, feasible, cut) = match method {
+        "fpart" => {
+            let outcome =
+                partition_traced(&graph, constraints, &FpartConfig::default(), args.switch("trace"))
+                    .map_err(|e| e.to_string())?;
+            if args.switch("trace") {
+                print_trace(&outcome.trace);
+            }
+            println!("{}", fpart_core::QualityReport::new(&outcome, constraints));
+            (outcome.assignment, outcome.device_count, outcome.feasible, outcome.cut)
+        }
+        "kway" => {
+            let o = kway_partition(&graph, constraints).map_err(|e| e.to_string())?;
+            (o.assignment, o.device_count, o.feasible, o.cut)
+        }
+        "flow" => {
+            let o = fbb_mw_partition(&graph, constraints, &FlowConfig::default())
+                .map_err(|e| e.to_string())?;
+            (o.assignment, o.device_count, o.feasible, o.cut)
+        }
+        "naive" => {
+            let o = first_fit_partition(&graph, constraints);
+            (o.assignment, o.device_count, o.feasible, o.cut)
+        }
+        "multilevel" => {
+            let o = fpart_core::partition_multilevel(
+                &graph,
+                constraints,
+                &FpartConfig::default(),
+                &fpart_core::MultilevelConfig::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            (o.assignment, o.device_count, o.feasible, o.cut)
+        }
+        "direct" => {
+            let o = fpart_core::partition_direct(
+                &graph,
+                constraints,
+                &FpartConfig::default(),
+                &fpart_core::DirectConfig::default(),
+            )
+            .map_err(|e| e.to_string())?;
+            (o.assignment, o.device_count, o.feasible, o.cut)
+        }
+        other => {
+            return Err(format!(
+                "unknown method `{other}` (fpart|kway|flow|naive|multilevel|direct)"
+            ))
+        }
+    };
+
+    println!(
+        "{method}: {device_count} devices (lower bound {m}), feasible: {feasible}, cut nets: {cut}, {:.2?}",
+        started.elapsed()
+    );
+    print_block_summary(&graph, &assignment, device_count, constraints);
+    if device_count > 1 {
+        println!(
+            "{}",
+            fpart_core::InterconnectReport::new(&graph, &assignment, device_count)
+        );
+    }
+
+    if let Some(output) = args.option("output") {
+        let file = std::fs::File::create(output)
+            .map_err(|e| format!("cannot create {output}: {e}"))?;
+        fpart_core::write_assignment(file, &graph, &assignment)
+            .map_err(|e| format!("cannot write {output}: {e}"))?;
+        eprintln!("assignment written to {output}");
+    }
+    Ok(())
+}
+
+fn resolve_constraints(args: &Args) -> Result<DeviceConstraints, String> {
+    let delta: f64 = args.option_parsed("delta", 0.9)?;
+    if !(0.0..=1.0).contains(&delta) || delta == 0.0 {
+        return Err("--delta must be in (0, 1]".to_owned());
+    }
+    if let Some(name) = args.option("device") {
+        let device = Device::by_name(name)
+            .ok_or_else(|| format!("unknown device `{name}` (see `fpart devices`)"))?;
+        return Ok(device.constraints(delta));
+    }
+    match (args.option("s-max"), args.option("t-max")) {
+        (Some(_), Some(_)) => Ok(DeviceConstraints::new(
+            args.option_parsed("s-max", 0u64)?,
+            args.option_parsed("t-max", 0usize)?,
+        )),
+        _ => Err("give --device NAME, or both --s-max and --t-max".to_owned()),
+    }
+}
+
+fn print_block_summary(
+    graph: &Hypergraph,
+    assignment: &[u32],
+    device_count: usize,
+    constraints: DeviceConstraints,
+) {
+    if device_count == 0 {
+        return;
+    }
+    let state = fpart_core::PartitionState::from_assignment(
+        graph,
+        assignment.to_vec(),
+        device_count,
+    );
+    for b in 0..device_count {
+        let fits = constraints.fits(state.block_size(b), state.block_terminals(b));
+        println!(
+            "  block {b:3}: S={:4}/{}  T={:4}/{}  {}",
+            state.block_size(b),
+            constraints.s_max,
+            state.block_terminals(b),
+            constraints.t_max,
+            if fits { "ok" } else { "VIOLATION" }
+        );
+    }
+}
+
+fn print_trace(trace: &fpart_core::Trace) {
+    for event in trace.events() {
+        match event {
+            TraceEvent::IterationStart { iteration, remainder_size, remainder_terminals } => {
+                eprintln!(
+                    "iteration {iteration}: remainder S={remainder_size} T={remainder_terminals}"
+                );
+            }
+            TraceEvent::Improve { kind, final_key, .. } => {
+                eprintln!(
+                    "  improve {kind:?}: d_k={:.3} cut={}",
+                    final_key.infeasibility, final_key.cut
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// `fpart stats <netlist>`
+pub fn stats(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, Spec { valued: &[], switches: &[] })?;
+    let input = args.positional(0).ok_or("stats needs a netlist file")?;
+    let graph = netlist_file::read(Path::new(input))?;
+    let s = CircuitStats::of(&graph);
+    println!("{input}: `{}`", graph.name());
+    println!("  nodes:      {:8}  (total size {})", s.nodes, s.total_size);
+    println!("  nets:       {:8}  (pins {})", s.nets, s.pins);
+    println!("  terminals:  {:8}", s.terminals);
+    println!(
+        "  net degree: mean {:.2}, max {}; node degree: mean {:.2}, max {}",
+        s.mean_net_degree, s.max_net_degree, s.mean_node_degree, s.max_node_degree
+    );
+    println!("  terminal-net fraction: {:.3}", s.terminal_net_fraction);
+    match rent_exponent(&graph) {
+        Some(p) => println!("  estimated Rent exponent: {p:.3}"),
+        None => println!("  estimated Rent exponent: (circuit too small)"),
+    }
+    Ok(())
+}
+
+/// `fpart gen <kind> ...`
+pub fn generate(raw: &[String]) -> Result<(), String> {
+    let spec = Spec {
+        valued: &[
+            "nodes", "terminals", "seed", "output", "circuit", "tech", "clusters",
+            "cluster-size", "levels", "width",
+        ],
+        switches: &[],
+    };
+    let args = Args::parse(raw, spec)?;
+    let kind = args.positional(0).ok_or("gen needs a kind (rent|window|layered|clustered|mcnc)")?;
+    let output = args.option("output").ok_or("gen needs --output FILE")?;
+    let seed: u64 = args.option_parsed("seed", 1)?;
+    let nodes: usize = args.option_parsed("nodes", 500)?;
+    let terminals: usize = args.option_parsed("terminals", 40)?;
+
+    let graph = match kind {
+        "rent" => rent_circuit(&RentConfig::new("generated", nodes, terminals), seed),
+        "window" => window_circuit(&WindowConfig::new("generated", nodes, terminals), seed),
+        "layered" => {
+            let levels: usize = args.option_parsed("levels", 8)?;
+            let width: usize = args.option_parsed("width", 16)?;
+            layered_circuit(&LayeredConfig::new("generated", levels, width), seed)
+        }
+        "clustered" => {
+            let clusters: usize = args.option_parsed("clusters", 4)?;
+            let cluster_size: usize = args.option_parsed("cluster-size", 25)?;
+            clustered_circuit(&ClusteredConfig::new("generated", clusters, cluster_size), seed).0
+        }
+        "mcnc" => {
+            let circuit = args.option("circuit").ok_or("mcnc needs --circuit NAME")?;
+            let profile = fpart_hypergraph::gen::find_profile(circuit)
+                .ok_or_else(|| format!("unknown MCNC circuit `{circuit}`"))?;
+            let tech = match args.option("tech").unwrap_or("xc3000") {
+                "xc2000" => Technology::Xc2000,
+                "xc3000" => Technology::Xc3000,
+                other => return Err(format!("unknown tech `{other}` (xc2000|xc3000)")),
+            };
+            synthesize_mcnc(profile, tech)
+        }
+        other => return Err(format!("unknown generator `{other}`")),
+    };
+
+    netlist_file::write(Path::new(output), &graph)?;
+    println!(
+        "wrote {}: {} nodes, {} nets, {} terminals",
+        output,
+        graph.node_count(),
+        graph.net_count(),
+        graph.terminal_count()
+    );
+    Ok(())
+}
+
+/// `fpart convert <in> <out>`
+pub fn convert(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, Spec { valued: &[], switches: &[] })?;
+    let input = args.positional(0).ok_or("convert needs an input file")?;
+    let output = args.positional(1).ok_or("convert needs an output file")?;
+    let graph = netlist_file::read(Path::new(input))?;
+    netlist_file::write(Path::new(output), &graph)?;
+    println!("converted {input} -> {output}");
+    Ok(())
+}
+
+/// `fpart verify <netlist> <assignment> ...`
+pub fn verify(raw: &[String]) -> Result<(), String> {
+    let spec = Spec { valued: &["device", "delta", "s-max", "t-max"], switches: &[] };
+    let args = Args::parse(raw, spec)?;
+    let netlist = args.positional(0).ok_or("verify needs a netlist file")?;
+    let assignment_file = args.positional(1).ok_or("verify needs an assignment file")?;
+    let graph = netlist_file::read(Path::new(netlist))?;
+    let constraints = resolve_constraints(&args)?;
+
+    // Assignment file: `node_name block` lines (the partition command's
+    // --output format).
+    let file = std::fs::File::open(assignment_file)
+        .map_err(|e| format!("cannot read {assignment_file}: {e}"))?;
+    let (assignment, k) = fpart_core::read_assignment(file, &graph)
+        .map_err(|e| format!("{assignment_file}: {e}"))?;
+
+    let verification = fpart_core::verify_assignment(&graph, &assignment, k, constraints);
+    println!(
+        "{k} blocks, cut {} nets; device {constraints}",
+        verification.cut
+    );
+    if verification.is_feasible() {
+        println!("VALID: every block meets the device constraints");
+        Ok(())
+    } else {
+        for violation in &verification.violations {
+            println!("violation: {violation}");
+        }
+        Err(format!("{} violations found", verification.violations.len()))
+    }
+}
+
+/// `fpart devices`
+pub fn devices(_raw: &[String]) -> Result<(), String> {
+    println!("{:>8} {:>6} {:>6}   S_MAX at δ=0.9", "device", "CLBs", "IOBs");
+    for d in Device::catalog() {
+        println!(
+            "{:>8} {:>6} {:>6}   {}",
+            d.name,
+            d.s_ds,
+            d.t_max,
+            d.constraints(0.9).s_max
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! `fpart` — command-line front end for the FPART multi-way FPGA
+//! netlist partitioner.
+//!
+//! ```text
+//! fpart partition <netlist> --device XC3020 [--delta 0.9] [--method fpart|kway|flow|naive]
+//!                 [--s-max N --t-max N] [--output assignment.txt] [--trace]
+//! fpart stats <netlist>
+//! fpart gen <kind> --nodes N --terminals T [--seed S] [--circuit NAME --tech xc3000] --output FILE
+//! fpart convert <input> <output>
+//! ```
+//!
+//! Netlist files use the `.fhg` text format, or hMETIS `.hgr` when the
+//! extension is `.hgr`.
+
+mod args;
+mod commands;
+mod netlist_file;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+fpart — multi-way FPGA netlist partitioning (FPART, DATE 1999)
+
+USAGE:
+  fpart partition <netlist> --device <NAME> [options]   partition onto devices
+  fpart stats <netlist>                                 netlist statistics
+  fpart gen <kind> [options]                            generate a synthetic netlist
+  fpart convert <input> <output>                        convert between .fhg/.hgr/.blif
+  fpart verify <netlist> <assignment> --device <NAME>   check an assignment file
+  fpart devices                                         list the device catalog
+
+PARTITION OPTIONS:
+  --device <NAME>     device from the catalog (see `fpart devices`)
+  --s-max N --t-max N custom device instead of --device
+  --delta <F>         filling ratio (default 0.9)
+  --method <M>        fpart (default) | kway | flow | naive | multilevel | direct
+  --output <FILE>     write `node block` assignment lines
+  --trace             print the improvement schedule while running
+
+GEN KINDS AND OPTIONS:
+  rent | window | layered | clustered | mcnc
+  --nodes N --terminals N --seed S        (rent, window, clustered, layered)
+  --circuit NAME --tech xc2000|xc3000     (mcnc)
+  --output <FILE>                         output netlist (.fhg or .hgr)
+";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().map(String::as_str) else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &raw[1..];
+    let result = match command {
+        "partition" => commands::partition(rest),
+        "stats" => commands::stats(rest),
+        "gen" => commands::generate(rest),
+        "convert" => commands::convert(rest),
+        "verify" => commands::verify(rest),
+        "devices" => commands::devices(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

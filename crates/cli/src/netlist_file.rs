@@ -1,0 +1,73 @@
+//! Format-dispatching netlist reading and writing (`.fhg` / `.hgr`).
+
+use std::fs::File;
+use std::path::Path;
+
+use fpart_hypergraph::Hypergraph;
+
+/// Reads a netlist, choosing the parser by file extension (`.hgr` →
+/// hMETIS, `.blif` → BLIF, anything else → `.fhg`).
+///
+/// # Errors
+///
+/// Returns a human-readable message on I/O or parse failure.
+pub fn read(path: &Path) -> Result<Hypergraph, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
+    let ext = |name: &str| path.extension().is_some_and(|e| e.eq_ignore_ascii_case(name));
+    if ext("hgr") {
+        fpart_hypergraph::hmetis::read_hmetis(file)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    } else if ext("blif") {
+        fpart_hypergraph::blif::read_blif(file).map_err(|e| format!("{}: {e}", path.display()))
+    } else {
+        fpart_hypergraph::io::read_netlist(file).map_err(|e| format!("{}: {e}", path.display()))
+    }
+}
+
+/// Writes a netlist, choosing the format by file extension.
+///
+/// # Errors
+///
+/// Returns a human-readable message on I/O failure.
+pub fn write(path: &Path, graph: &Hypergraph) -> Result<(), String> {
+    let file =
+        File::create(path).map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+    let is_hgr = path.extension().is_some_and(|e| e.eq_ignore_ascii_case("hgr"));
+    let result = if is_hgr {
+        fpart_hypergraph::hmetis::write_hmetis(file, graph)
+    } else {
+        fpart_hypergraph::io::write_netlist(file, graph)
+    };
+    result.map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_hypergraph::gen::{window_circuit, WindowConfig};
+
+    #[test]
+    fn roundtrips_both_formats() {
+        let dir = std::env::temp_dir().join("fpart_cli_netlist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = window_circuit(&WindowConfig::new("t", 40, 4), 1);
+
+        let fhg = dir.join("t.fhg");
+        write(&fhg, &g).unwrap();
+        let back = read(&fhg).unwrap();
+        assert_eq!(back.node_count(), 40);
+        assert_eq!(back.terminal_count(), 4);
+
+        let hgr = dir.join("t.hgr");
+        write(&hgr, &g).unwrap();
+        let back = read(&hgr).unwrap();
+        assert_eq!(back.node_count(), 40);
+        assert_eq!(back.terminal_count(), 0); // dropped by the format
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let err = read(Path::new("/nonexistent/zzz.fhg")).unwrap_err();
+        assert!(err.contains("cannot open"));
+    }
+}

@@ -1,0 +1,224 @@
+//! End-to-end tests of the `fpart` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fpart() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_fpart"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fpart_cli_test_{tag}"));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = fpart().arg("help").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("partition"));
+}
+
+#[test]
+fn no_command_fails_with_usage() {
+    let out = fpart().output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn devices_lists_catalog() {
+    let out = fpart().arg("devices").output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("XC3020"));
+    assert!(text.contains("XC2064"));
+}
+
+#[test]
+fn gen_stats_partition_convert_pipeline() {
+    let dir = temp_dir("pipeline");
+    let netlist = dir.join("circuit.fhg");
+    let hgr = dir.join("circuit.hgr");
+    let assignment = dir.join("assignment.txt");
+
+    // gen
+    let out = fpart()
+        .args([
+            "gen", "rent", "--nodes", "200", "--terminals", "24", "--seed", "7", "--output",
+        ])
+        .arg(&netlist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // stats
+    let out = fpart().arg("stats").arg(&netlist).output().expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("nodes:"), "{text}");
+    assert!(text.contains("200"));
+
+    // partition with a named device
+    let out = fpart()
+        .args(["partition"])
+        .arg(&netlist)
+        .args(["--device", "XC3020", "--output"])
+        .arg(&assignment)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("devices"), "{text}");
+    assert!(text.contains("feasible: true"), "{text}");
+    let written = std::fs::read_to_string(&assignment).expect("assignment file");
+    assert_eq!(written.lines().count(), 200);
+
+    // convert to hMETIS
+    let out = fpart().arg("convert").arg(&netlist).arg(&hgr).output().expect("runs");
+    assert!(out.status.success());
+    let hgr_text = std::fs::read_to_string(&hgr).expect("hgr file");
+    assert!(hgr_text.lines().any(|l| l.split_whitespace().count() >= 2));
+}
+
+#[test]
+fn partition_with_custom_device_and_methods() {
+    let dir = temp_dir("methods");
+    let netlist = dir.join("c.fhg");
+    let out = fpart()
+        .args(["gen", "clustered", "--clusters", "3", "--cluster-size", "15", "--output"])
+        .arg(&netlist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+
+    for method in ["fpart", "kway", "flow", "naive", "multilevel", "direct"] {
+        let out = fpart()
+            .arg("partition")
+            .arg(&netlist)
+            .args(["--s-max", "20", "--t-max", "100", "--method", method])
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{method}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(String::from_utf8_lossy(&out.stdout).contains("devices"));
+    }
+}
+
+#[test]
+fn partition_rejects_bad_inputs() {
+    let out = fpart().args(["partition", "/nonexistent.fhg", "--device", "XC3020"]).output().expect("runs");
+    assert!(!out.status.success());
+
+    let dir = temp_dir("bad");
+    let netlist = dir.join("c.fhg");
+    std::fs::write(&netlist, "node a 1\nnet n a\n").unwrap();
+    // no device given
+    let out = fpart().arg("partition").arg(&netlist).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--device"));
+    // unknown device
+    let out = fpart()
+        .arg("partition")
+        .arg(&netlist)
+        .args(["--device", "XC9999"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    // unknown method
+    let out = fpart()
+        .arg("partition")
+        .arg(&netlist)
+        .args(["--s-max", "5", "--t-max", "5", "--method", "magic"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn verify_accepts_partition_output_and_rejects_tampering() {
+    let dir = temp_dir("verify");
+    let netlist = dir.join("c.fhg");
+    let assignment = dir.join("a.txt");
+    let out = fpart()
+        .args(["gen", "rent", "--nodes", "150", "--terminals", "16", "--output"])
+        .arg(&netlist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let out = fpart()
+        .arg("partition")
+        .arg(&netlist)
+        .args(["--device", "XC3020", "--output"])
+        .arg(&assignment)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+
+    // Verifies clean…
+    let out = fpart()
+        .arg("verify")
+        .arg(&netlist)
+        .arg(&assignment)
+        .args(["--device", "XC3020"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("VALID"));
+
+    // …and flags a tampered assignment (everything onto block 0).
+    let text = std::fs::read_to_string(&assignment).unwrap();
+    let tampered: String = text
+        .lines()
+        .map(|l| {
+            let name = l.split_whitespace().next().unwrap();
+            format!("{name} 0\n")
+        })
+        .collect();
+    std::fs::write(&assignment, tampered).unwrap();
+    let out = fpart()
+        .arg("verify")
+        .arg(&netlist)
+        .arg(&assignment)
+        .args(["--device", "XC3020"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("violation"));
+}
+
+#[test]
+fn blif_input_is_accepted() {
+    let dir = temp_dir("blif");
+    let blif = dir.join("adder.blif");
+    std::fs::write(
+        &blif,
+        ".model adder\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n",
+    )
+    .unwrap();
+    let out = fpart().arg("stats").arg(&blif).output().expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("terminals:"), "{text}");
+}
+
+#[test]
+fn gen_mcnc_circuit() {
+    let dir = temp_dir("mcnc");
+    let netlist = dir.join("c3540.fhg");
+    let out = fpart()
+        .args(["gen", "mcnc", "--circuit", "c3540", "--tech", "xc3000", "--output"])
+        .arg(&netlist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("283 nodes"), "{text}");
+    assert!(text.contains("72 terminals"), "{text}");
+}

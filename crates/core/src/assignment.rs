@@ -1,0 +1,185 @@
+//! Assignment-file I/O: the plain `node_name block` interchange format
+//! the `fpart` CLI emits and verifies. Library users get the same
+//! round-trip without reimplementing the parsing.
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! u17 0
+//! u18 2
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use fpart_hypergraph::Hypergraph;
+
+/// An error while reading an assignment file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ReadAssignmentError {
+    /// A line was not `node block`.
+    MalformedLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A named node does not exist in the graph.
+    UnknownNode {
+        /// 1-based line number.
+        line: usize,
+        /// The unresolved name.
+        name: String,
+    },
+    /// A node of the graph has no line in the file.
+    MissingNode {
+        /// Name of the uncovered node.
+        name: String,
+    },
+    /// The reader failed or produced non-UTF-8 data.
+    Io {
+        /// 1-based line number where reading failed.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ReadAssignmentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadAssignmentError::MalformedLine { line } => {
+                write!(f, "line {line}: expected `node block`")
+            }
+            ReadAssignmentError::UnknownNode { line, name } => {
+                write!(f, "line {line}: unknown node `{name}`")
+            }
+            ReadAssignmentError::MissingNode { name } => {
+                write!(f, "node `{name}` has no assignment")
+            }
+            ReadAssignmentError::Io { line } => write!(f, "line {line}: read failed"),
+        }
+    }
+}
+
+impl Error for ReadAssignmentError {}
+
+/// Writes an assignment as `node_name block` lines (pass `&mut writer`
+/// to keep the writer).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != graph.node_count()`.
+pub fn write_assignment<W: Write>(
+    mut writer: W,
+    graph: &Hypergraph,
+    assignment: &[u32],
+) -> std::io::Result<()> {
+    assert_eq!(assignment.len(), graph.node_count(), "assignment must cover the graph");
+    for node in graph.node_ids() {
+        writeln!(writer, "{} {}", graph.node_name(node), assignment[node.index()])?;
+    }
+    Ok(())
+}
+
+/// Reads an assignment, resolving node names against `graph`.
+///
+/// Returns the per-node block vector and the block count (1 + the
+/// largest block index seen).
+///
+/// # Errors
+///
+/// Returns [`ReadAssignmentError`] on malformed lines, unknown names, or
+/// nodes left unassigned.
+pub fn read_assignment<R: Read>(
+    reader: R,
+    graph: &Hypergraph,
+) -> Result<(Vec<u32>, usize), ReadAssignmentError> {
+    let index = graph.node_index_by_name();
+    let mut assignment = vec![u32::MAX; graph.node_count()];
+    let mut k = 0usize;
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.map_err(|_| ReadAssignmentError::Io { line: line_no })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let (Some(name), Some(block)) = (fields.next(), fields.next()) else {
+            return Err(ReadAssignmentError::MalformedLine { line: line_no });
+        };
+        let node = index.get(name).ok_or_else(|| ReadAssignmentError::UnknownNode {
+            line: line_no,
+            name: name.to_owned(),
+        })?;
+        let block: u32 = block
+            .parse()
+            .map_err(|_| ReadAssignmentError::MalformedLine { line: line_no })?;
+        assignment[node.index()] = block;
+        k = k.max(block as usize + 1);
+    }
+    if let Some(missing) = graph.node_ids().find(|v| assignment[v.index()] == u32::MAX) {
+        return Err(ReadAssignmentError::MissingNode {
+            name: graph.node_name(missing).to_owned(),
+        });
+    }
+    Ok((assignment, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_hypergraph::HypergraphBuilder;
+
+    fn sample() -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let x = b.add_node("x", 1);
+        let y = b.add_node("y", 1);
+        b.add_net("e", [x, y]).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let g = sample();
+        let mut text = Vec::new();
+        write_assignment(&mut text, &g, &[1, 0]).unwrap();
+        let (assignment, k) = read_assignment(text.as_slice(), &g).unwrap();
+        assert_eq!(assignment, vec![1, 0]);
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let g = sample();
+        let text = "# header\n\nx 0\ny 0\n";
+        let (assignment, k) = read_assignment(text.as_bytes(), &g).unwrap();
+        assert_eq!(assignment, vec![0, 0]);
+        assert_eq!(k, 1);
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let g = sample();
+        let err = read_assignment("z 0\n".as_bytes(), &g).unwrap_err();
+        assert!(matches!(err, ReadAssignmentError::UnknownNode { .. }));
+    }
+
+    #[test]
+    fn missing_node_rejected() {
+        let g = sample();
+        let err = read_assignment("x 0\n".as_bytes(), &g).unwrap_err();
+        assert!(matches!(err, ReadAssignmentError::MissingNode { .. }));
+    }
+
+    #[test]
+    fn malformed_line_rejected() {
+        let g = sample();
+        let err = read_assignment("x notanumber\n".as_bytes(), &g).unwrap_err();
+        assert!(matches!(err, ReadAssignmentError::MalformedLine { line: 1 }));
+        let err = read_assignment("loner\n".as_bytes(), &g).unwrap_err();
+        assert!(matches!(err, ReadAssignmentError::MalformedLine { line: 1 }));
+    }
+}

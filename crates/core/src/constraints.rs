@@ -1,0 +1,287 @@
+//! Feasible-move regions (paper §3.5).
+//!
+//! The paper delimits the solution-space exploration with asymmetric size
+//! windows on cell moves:
+//!
+//! * a non-remainder block may not shrink below `ε_min · S_MAX`, with a
+//!   strict `ε²_min = 0.95` during two-block passes (to bias moves *from*
+//!   the remainder) and a loose `ε*_min = 0.3` during multi-block passes;
+//! * a non-remainder block may grow to `ε_max · S_MAX = 1.05 · S_MAX`
+//!   while the iteration count has not yet reached the lower bound `M`;
+//!   beyond `M` there must be enough slack, so growth stops at `S_MAX`;
+//! * the remainder has no size window at all (`ε^R_max = ∞`);
+//! * I/O counts are never constrained during improvement.
+//!
+//! (The paper prints the window as `S_MAX(1−ε_min) ≤ S_i ≤ S_MAX(1+ε_max)`
+//! but reports `ε²_min = 0.95`, `ε*_min = 0.3`, `ε_max = 1.05`; read
+//! literally the two are inconsistent. We take the published *values* as
+//! direct multipliers — lower bound `ε_min·S_MAX`, upper bound
+//! `ε_max·S_MAX` — which is the only reading under which the stated intent
+//! "ε_min for two-block passes should be more strict, otherwise clusters
+//! have a tendency to move to the remainder" holds.)
+
+use fpart_device::DeviceConstraints;
+
+use crate::config::FpartConfig;
+use crate::state::PartitionState;
+
+/// Which improvement pass is running; selects the `ε_min` coefficient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassKind {
+    /// An `Improve(A, B)` call between exactly two blocks.
+    TwoBlock,
+    /// An `Improve(P₀ … P_k, R_k)` call involving three or more blocks.
+    MultiBlock,
+}
+
+/// Precomputed move-legality windows for one improvement call.
+#[derive(Debug, Clone, Copy)]
+pub struct MoveRegions {
+    /// Lower size bound for non-remainder blocks (`ε_min · S_MAX`).
+    lower: u64,
+    /// Upper size bound for non-remainder blocks.
+    upper: u64,
+    /// Block index of the current remainder (exempt from both bounds).
+    remainder: usize,
+    /// Whether the paper's asymmetric regions are active (ablation flag).
+    enabled: bool,
+    /// Plain `S_MAX`, used as the symmetric cap in the ablated mode.
+    s_max: u64,
+}
+
+impl MoveRegions {
+    /// Builds the regions for one improvement call.
+    ///
+    /// `minimum_reached` is `k > M` in the paper's terms: once the
+    /// iteration count exceeds the theoretical minimum, size-violating
+    /// moves into non-remainder blocks are forbidden.
+    #[must_use]
+    pub fn new(
+        config: &FpartConfig,
+        constraints: DeviceConstraints,
+        kind: PassKind,
+        remainder: usize,
+        minimum_reached: bool,
+    ) -> Self {
+        let s_max = constraints.s_max;
+        let eps_min = match kind {
+            PassKind::TwoBlock => config.eps_min_two,
+            PassKind::MultiBlock => config.eps_min_multi,
+        };
+        let upper = if minimum_reached {
+            s_max
+        } else {
+            (s_max as f64 * config.eps_max).floor() as u64
+        };
+        MoveRegions {
+            lower: (s_max as f64 * eps_min).ceil() as u64,
+            upper,
+            remainder,
+            enabled: config.use_move_regions,
+            s_max,
+        }
+    }
+
+    /// Returns the lower size bound applied to non-remainder donors.
+    #[must_use]
+    pub fn lower_bound(&self) -> u64 {
+        if self.enabled {
+            self.lower
+        } else {
+            0
+        }
+    }
+
+    /// Returns the upper size bound applied to non-remainder receivers.
+    #[must_use]
+    pub fn upper_bound(&self) -> u64 {
+        if self.enabled {
+            self.upper
+        } else {
+            (self.s_max as f64 * 1.05).floor() as u64
+        }
+    }
+
+    /// Block-level gate: can `block` possibly donate a cell?
+    ///
+    /// Used to skip whole move directions (the paper removes the
+    /// direction's bucket from the heap when a block reaches the region
+    /// boundary).
+    #[inline]
+    #[must_use]
+    pub fn can_donate(&self, state: &PartitionState<'_>, block: usize) -> bool {
+        block == self.remainder || state.block_size(block) > self.lower_bound()
+    }
+
+    /// Block-level gate: can `block` possibly receive a cell?
+    #[inline]
+    #[must_use]
+    pub fn can_receive(&self, state: &PartitionState<'_>, block: usize) -> bool {
+        if self.enabled && block == self.remainder {
+            return true; // ε^R_max = ∞
+        }
+        state.block_size(block) < self.upper_bound()
+    }
+
+    /// Exact per-cell legality of moving a cell of `cell_size` from
+    /// `from` to `to` given the blocks' current sizes.
+    #[inline]
+    #[must_use]
+    pub fn move_allowed(
+        &self,
+        state: &PartitionState<'_>,
+        cell_size: u64,
+        from: usize,
+        to: usize,
+    ) -> bool {
+        let remainder_exempt = self.enabled;
+        if !(remainder_exempt && from == self.remainder) {
+            let after = state.block_size(from).saturating_sub(cell_size);
+            if after < self.lower_bound() {
+                return false;
+            }
+        }
+        if !(remainder_exempt && to == self.remainder) {
+            let after = state.block_size(to) + cell_size;
+            if after > self.upper_bound() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_hypergraph::{Hypergraph, HypergraphBuilder, NodeId};
+
+    fn graph_with_sizes(sizes: &[u32]) -> Hypergraph {
+        let mut b = HypergraphBuilder::new();
+        let nodes: Vec<NodeId> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| b.add_node(format!("n{i}"), s))
+            .collect();
+        for w in nodes.windows(2) {
+            b.add_net(format!("e{}", w[0]), [w[0], w[1]]).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    fn regions(kind: PassKind, minimum_reached: bool) -> MoveRegions {
+        MoveRegions::new(
+            &FpartConfig::default(),
+            DeviceConstraints::new(100, 50),
+            kind,
+            0, // block 0 is the remainder
+            minimum_reached,
+        )
+    }
+
+    #[test]
+    fn bounds_follow_paper_values() {
+        let two = regions(PassKind::TwoBlock, false);
+        assert_eq!(two.lower_bound(), 95);
+        assert_eq!(two.upper_bound(), 105);
+        let multi = regions(PassKind::MultiBlock, false);
+        assert_eq!(multi.lower_bound(), 30);
+        assert_eq!(multi.upper_bound(), 105);
+        let after_m = regions(PassKind::TwoBlock, true);
+        assert_eq!(after_m.upper_bound(), 100);
+    }
+
+    #[test]
+    fn remainder_is_exempt_both_ways() {
+        // block 0 (remainder) holds 60+40, block 1 holds 100.
+        let g = graph_with_sizes(&[60, 40, 100]);
+        let state =
+            crate::state::PartitionState::from_assignment(&g, vec![0, 0, 1], 2);
+        let r = regions(PassKind::TwoBlock, false);
+        // Remainder may shrink below any lower bound (donating 5 of 100
+        // leaves 95 on the remainder; irrelevant — it is exempt) as long
+        // as the receiver accepts the size (100 + 5 = 105 ≤ 105)…
+        assert!(r.move_allowed(&state, 5, 0, 1));
+        // …and may grow without an upper limit: the remainder at 100
+        // receiving 4 more is fine even though a non-remainder block of
+        // 100 could also accept it; the donor (block 1, 100 → 96 ≥ 95)
+        // stays inside its own window.
+        assert!(r.move_allowed(&state, 4, 1, 0));
+    }
+
+    #[test]
+    fn non_remainder_upper_bound_enforced() {
+        let g = graph_with_sizes(&[60, 40, 100]);
+        let state =
+            crate::state::PartitionState::from_assignment(&g, vec![0, 0, 1], 2);
+        let r = regions(PassKind::TwoBlock, false);
+        // moving size-60 cell into block 1 (100) → 160 > 105: illegal.
+        assert!(!r.move_allowed(&state, 60, 0, 1));
+        // size-5 cell into block 1 → 105 = bound: legal.
+        assert!(r.move_allowed(&state, 5, 0, 1));
+        // into the remainder there is no upper limit; the donor only has
+        // to respect its own lower bound (100 − 5 = 95 ≥ 95).
+        assert!(r.move_allowed(&state, 5, 1, 0));
+        // …whereas donating 6 would drop the donor to 94 < 95.
+        assert!(!r.move_allowed(&state, 6, 1, 0));
+    }
+
+    #[test]
+    fn strict_two_block_lower_bound_blocks_donation() {
+        // block 1 at exactly 96: donating 2 → 94 < 95 illegal; 1 → 95 legal.
+        let g = graph_with_sizes(&[10, 94, 2]);
+        let state =
+            crate::state::PartitionState::from_assignment(&g, vec![0, 1, 1], 2);
+        let r = regions(PassKind::TwoBlock, false);
+        assert_eq!(state.block_size(1), 96);
+        assert!(!r.move_allowed(&state, 2, 1, 0));
+        assert!(r.move_allowed(&state, 1, 1, 0));
+    }
+
+    #[test]
+    fn multi_block_lower_bound_is_loose() {
+        let g = graph_with_sizes(&[10, 94, 2]);
+        let state =
+            crate::state::PartitionState::from_assignment(&g, vec![0, 1, 1], 2);
+        let r = regions(PassKind::MultiBlock, false);
+        // down to 30 is fine in multi-block passes.
+        assert!(r.move_allowed(&state, 2, 1, 0));
+    }
+
+    #[test]
+    fn block_level_gates() {
+        let g = graph_with_sizes(&[10, 94, 2]);
+        let state =
+            crate::state::PartitionState::from_assignment(&g, vec![0, 1, 1], 2);
+        let r = regions(PassKind::TwoBlock, false);
+        assert!(r.can_donate(&state, 0)); // remainder always
+        assert!(r.can_donate(&state, 1)); // 96 > 95
+        assert!(r.can_receive(&state, 1)); // 96 < 105
+        assert!(r.can_receive(&state, 0)); // remainder always
+
+        let after_m = regions(PassKind::TwoBlock, true);
+        // upper becomes 100; block 1 at 96 can still receive.
+        assert!(after_m.can_receive(&state, 1));
+    }
+
+    #[test]
+    fn ablated_regions_are_symmetric() {
+        let config = FpartConfig { use_move_regions: false, ..FpartConfig::default() };
+        let r = MoveRegions::new(
+            &config,
+            DeviceConstraints::new(100, 50),
+            PassKind::TwoBlock,
+            0,
+            false,
+        );
+        let g = graph_with_sizes(&[60, 40, 100]);
+        let state =
+            crate::state::PartitionState::from_assignment(&g, vec![0, 0, 1], 2);
+        // no lower bound: block 1 may donate its whole content as long as
+        // the receiver fits (100 + 5 = 105 ≤ 105)…
+        assert_eq!(r.lower_bound(), 0);
+        assert!(r.move_allowed(&state, 5, 1, 0));
+        // …but the remainder is capped like everyone else (100 + 40 > 105).
+        assert!(!r.move_allowed(&state, 40, 1, 0));
+    }
+}

@@ -1,0 +1,79 @@
+//! FPART: iterative-improvement-based multi-way netlist partitioning for
+//! FPGAs.
+//!
+//! This crate reproduces the partitioning system of Krupnova & Saucier
+//! (DATE 1999). Given a circuit hypergraph
+//! ([`fpart_hypergraph::Hypergraph`]) and an FPGA device
+//! ([`fpart_device::DeviceConstraints`]), [`partition`] finds a feasible
+//! multi-way partition — every block within the device's CLB and IOB
+//! budgets — using as few devices as possible.
+//!
+//! The method is built from classical iterative-improvement machinery —
+//! Fiduccia–Mattheyses passes, Krishnamurthy second-level gains, and
+//! Sanchis' multi-way generalization — guided by the paper's
+//! FPGA-specific devices:
+//!
+//! * an **infeasibility-distance** cost function and lexicographic
+//!   solution key ([`cost`]);
+//! * asymmetric **feasible-move regions** biasing moves *out of* the
+//!   remainder ([`constraints`]);
+//! * dual **solution stacks** of semi-feasible and infeasible restart
+//!   points ([`stack`]);
+//! * a scheduled set of improvement passes per peeling iteration
+//!   ([`driver`]).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fpart_core::{partition, FpartConfig};
+//! use fpart_device::Device;
+//! use fpart_hypergraph::gen::{window_circuit, WindowConfig};
+//!
+//! # fn main() -> Result<(), fpart_core::PartitionError> {
+//! let circuit = window_circuit(&WindowConfig::new("demo", 400, 32), 42);
+//! let device = Device::XC3020.constraints(0.9);
+//! let outcome = partition(&circuit, device, &FpartConfig::default())?;
+//! assert!(outcome.feasible);
+//! println!("{} devices (lower bound {})", outcome.device_count, outcome.lower_bound);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod assignment;
+pub mod bucket;
+pub mod config;
+pub mod constraints;
+pub mod cost;
+pub mod direct;
+pub mod driver;
+pub mod engine;
+pub mod fm;
+pub mod gain;
+pub mod hetero;
+pub mod initial;
+pub mod interconnect;
+pub mod multilevel;
+pub mod refine;
+pub mod report;
+pub mod stack;
+pub mod state;
+pub mod trace;
+pub mod verify;
+
+pub use assignment::{read_assignment, write_assignment, ReadAssignmentError};
+pub use config::FpartConfig;
+pub use cost::{classify, CostEvaluator, FeasibilityClass, SolutionKey};
+pub use direct::{partition_direct, DirectConfig};
+pub use driver::{partition, partition_traced, BlockReport, PartitionError, PartitionOutcome};
+pub use engine::{improve, ImproveContext, ImproveStats, NO_REMAINDER};
+pub use hetero::{partition_hetero, HeteroOutcome};
+pub use initial::{bipartition_remainder, InitialMethod};
+pub use interconnect::InterconnectReport;
+pub use multilevel::{partition_multilevel, MultilevelConfig};
+pub use report::QualityReport;
+pub use state::PartitionState;
+pub use trace::{ImproveKind, Trace, TraceEvent};
+pub use verify::{verify_assignment, Verification, Violation};

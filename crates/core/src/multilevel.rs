@@ -1,0 +1,225 @@
+//! Multilevel (clustered) partitioning: coarsen → partition → project →
+//! refine.
+//!
+//! Clustering is one of the classical FM quality/runtime levers the
+//! paper's introduction surveys. This module composes the substrates:
+//! [`fpart_hypergraph::coarsen`] shrinks the circuit by heavy-edge
+//! matching, the FPART driver partitions the coarse circuit, the
+//! solution is projected back, and pairwise improvement passes refine it
+//! on the original netlist.
+
+use fpart_device::DeviceConstraints;
+use fpart_hypergraph::coarsen::coarsen_by_connectivity;
+use fpart_hypergraph::Hypergraph;
+
+use crate::config::FpartConfig;
+use crate::cost::CostEvaluator;
+use crate::driver::{partition, PartitionError, PartitionOutcome};
+use crate::refine::{refine_pairs, RefineConfig};
+use crate::state::PartitionState;
+use crate::trace::Trace;
+
+/// Options of the multilevel mode.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultilevelConfig {
+    /// Coarsening levels (each level roughly halves the node count).
+    pub levels: usize,
+    /// Cluster size cap as a fraction of `S_MAX` (clusters larger than
+    /// the device could never be placed; smaller caps keep refinement
+    /// room). Clamped to at least 2 cells.
+    pub cluster_cap_fraction: f64,
+    /// Maximum pairwise refinement rounds per level.
+    pub refine_rounds: usize,
+    /// Block pairs refined per round (the most cut-connected ones).
+    pub pairs_per_round: usize,
+    /// Seed for the matching order.
+    pub seed: u64,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        MultilevelConfig {
+            levels: 2,
+            cluster_cap_fraction: 0.1,
+            refine_rounds: 4,
+            pairs_per_round: 8,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Partitions `graph` through a multilevel flow: coarsen
+/// `ml.levels` times, run FPART on the coarsest hypergraph, project the
+/// solution back level by level, and refine with pairwise improvement
+/// passes at every level.
+///
+/// # Errors
+///
+/// Propagates [`PartitionError`] from the coarse-level FPART run; an
+/// oversized *cluster* cannot occur (the cap keeps clusters below
+/// `S_MAX`), but an oversized original node still errors.
+///
+/// # Example
+///
+/// ```
+/// use fpart_core::{partition_multilevel, FpartConfig, MultilevelConfig};
+/// use fpart_device::Device;
+/// use fpart_hypergraph::gen::{window_circuit, WindowConfig};
+///
+/// # fn main() -> Result<(), fpart_core::PartitionError> {
+/// let circuit = window_circuit(&WindowConfig::new("demo", 300, 24), 1);
+/// let outcome = partition_multilevel(
+///     &circuit,
+///     Device::XC3020.constraints(0.9),
+///     &FpartConfig::default(),
+///     &MultilevelConfig::default(),
+/// )?;
+/// assert!(outcome.feasible);
+/// # Ok(())
+/// # }
+/// ```
+pub fn partition_multilevel(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+    config: &FpartConfig,
+    ml: &MultilevelConfig,
+) -> Result<PartitionOutcome, PartitionError> {
+    config.validate();
+    for v in graph.node_ids() {
+        let size = graph.node_size(v);
+        if u64::from(size) > constraints.s_max {
+            return Err(PartitionError::OversizedNode { node: v, size, s_max: constraints.s_max });
+        }
+    }
+    let started = std::time::Instant::now();
+    let cap = ((constraints.s_max as f64 * ml.cluster_cap_fraction) as u64).max(2);
+
+    // Coarsen.
+    let mut levels = Vec::new();
+    let mut current = graph.clone();
+    for level in 0..ml.levels {
+        if current.node_count() < 32 {
+            break;
+        }
+        let coarsening = coarsen_by_connectivity(&current, cap, ml.seed ^ level as u64);
+        if coarsening.ratio() < 1.05 {
+            break; // matching saturated; further levels are pointless
+        }
+        let next = coarsening.coarse.clone();
+        levels.push(coarsening);
+        current = next;
+    }
+
+    // Partition the coarsest level.
+    let coarse_outcome = partition(&current, constraints, config)?;
+    let mut assignment = coarse_outcome.assignment;
+    let mut k = coarse_outcome.device_count;
+
+    // Project back and refine at every level. The fine side of level i
+    // is the coarse side of level i−1 (level 0's fine side is the input).
+    let m = fpart_device::lower_bound(graph, constraints);
+    let evaluator = CostEvaluator::new(constraints, config, m, graph.terminal_count());
+    for i in (0..levels.len()).rev() {
+        assignment = levels[i].project(&assignment);
+        let fine: &Hypergraph = if i == 0 { graph } else { &levels[i - 1].coarse };
+        let mut state = PartitionState::from_assignment(fine, assignment, k.max(1));
+        let refine = RefineConfig { rounds: ml.refine_rounds, pairs_per_round: ml.pairs_per_round };
+        refine_pairs(&mut state, &evaluator, config, &refine);
+        assignment = state.assignment().to_vec();
+        k = state.block_count();
+    }
+
+    // Assemble the final outcome on the original graph.
+    let state = PartitionState::from_assignment(graph, assignment, k.max(1));
+    let outcome = crate::driver::assemble_outcome(
+        graph,
+        &state,
+        constraints,
+        m,
+        coarse_outcome.iterations,
+        coarse_outcome.improve_calls,
+        coarse_outcome.total_moves,
+        started.elapsed(),
+        Trace::disabled(),
+    );
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_device::Device;
+    use fpart_hypergraph::gen::{find_profile, synthesize_mcnc, Technology};
+    use fpart_hypergraph::gen::{window_circuit, WindowConfig};
+
+    #[test]
+    fn multilevel_produces_valid_feasible_partition() {
+        let g = window_circuit(&WindowConfig::new("w", 400, 30), 3);
+        let constraints = Device::XC3020.constraints(0.9);
+        let out = partition_multilevel(
+            &g,
+            constraints,
+            &FpartConfig::default(),
+            &MultilevelConfig::default(),
+        )
+        .expect("runs");
+        assert_eq!(out.assignment.len(), g.node_count());
+        let total: u64 = out.blocks.iter().map(|b| b.size).sum();
+        assert_eq!(total, g.total_size());
+        assert!(out.feasible, "blocks: {:?}", out.blocks);
+        assert!(out.device_count >= out.lower_bound);
+    }
+
+    #[test]
+    fn multilevel_quality_is_comparable_to_flat_on_mcnc() {
+        let p = find_profile("s9234").expect("known circuit");
+        let g = synthesize_mcnc(p, Technology::Xc3000);
+        let constraints = Device::XC3020.constraints(0.9);
+        let flat = partition(&g, constraints, &FpartConfig::default()).expect("flat");
+        let ml = partition_multilevel(
+            &g,
+            constraints,
+            &FpartConfig::default(),
+            &MultilevelConfig::default(),
+        )
+        .expect("multilevel");
+        assert!(ml.feasible);
+        // Clustering may trade a little quality for speed; hold it to a
+        // generous band so regressions stand out.
+        assert!(
+            ml.device_count <= flat.device_count + flat.device_count / 2 + 1,
+            "multilevel {} vs flat {}",
+            ml.device_count,
+            flat.device_count
+        );
+    }
+
+    #[test]
+    fn zero_levels_degenerates_to_flat() {
+        let g = window_circuit(&WindowConfig::new("w", 150, 16), 7);
+        let constraints = Device::XC3020.constraints(0.9);
+        let ml_config = MultilevelConfig { levels: 0, ..MultilevelConfig::default() };
+        let out =
+            partition_multilevel(&g, constraints, &FpartConfig::default(), &ml_config)
+                .expect("runs");
+        let flat = partition(&g, constraints, &FpartConfig::default()).expect("flat");
+        assert_eq!(out.device_count, flat.device_count);
+    }
+
+    #[test]
+    fn oversized_node_still_errors() {
+        let mut b = fpart_hypergraph::HypergraphBuilder::new();
+        let x = b.add_node("x", 100);
+        let y = b.add_node("y", 1);
+        b.add_net("e", [x, y]).unwrap();
+        let g = b.finish().unwrap();
+        let err = partition_multilevel(
+            &g,
+            DeviceConstraints::new(50, 10),
+            &FpartConfig::default(),
+            &MultilevelConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, PartitionError::OversizedNode { .. }));
+    }
+}

@@ -1,0 +1,173 @@
+//! Pairwise refinement of an existing k-way partition.
+//!
+//! Shared by the multilevel flow and the direct k-way mode: repeatedly
+//! run two-block improvement passes on the most cut-connected block
+//! pairs. Unlike the driver's schedule there is no remainder — every
+//! block obeys the same move window.
+
+use fpart_hypergraph::NetId;
+
+use crate::config::FpartConfig;
+use crate::cost::CostEvaluator;
+use crate::engine::{improve, ImproveContext, NO_REMAINDER};
+use crate::state::PartitionState;
+
+/// Options of the pairwise refiner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefineConfig {
+    /// Maximum refinement rounds.
+    pub rounds: usize,
+    /// Block pairs refined per round (each block at most once a round).
+    pub pairs_per_round: usize,
+}
+
+impl Default for RefineConfig {
+    fn default() -> Self {
+        RefineConfig { rounds: 4, pairs_per_round: 8 }
+    }
+}
+
+/// Refines `state` with two-block improvement passes over the most
+/// cut-connected block pairs until a round stops improving. Returns the
+/// number of pair passes that improved the solution key.
+pub fn refine_pairs(
+    state: &mut PartitionState<'_>,
+    evaluator: &CostEvaluator,
+    config: &FpartConfig,
+    refine: &RefineConfig,
+) -> usize {
+    let k = state.block_count();
+    let mut improved_total = 0usize;
+    if k < 2 {
+        return 0;
+    }
+    // The strict two-block ε²_min exists to protect the remainder during
+    // the recursive flow; refinement has no remainder, so both blocks of
+    // a pair get the loose multi-block coefficient.
+    let config = FpartConfig { eps_min_two: config.eps_min_multi, ..config.clone() };
+    let config = &config;
+    for _ in 0..refine.rounds {
+        let pairs = top_crossing_pairs(state, refine.pairs_per_round);
+        if pairs.is_empty() {
+            break;
+        }
+        let mut improved = false;
+        for (a, b) in pairs {
+            let ctx = ImproveContext {
+                evaluator,
+                config,
+                remainder: NO_REMAINDER,
+                minimum_reached: true, // strict S_MAX cap during refinement
+            };
+            let stats = improve(state, &[a, b], &ctx);
+            if stats.final_key.better_than(&stats.initial_key) {
+                improved = true;
+                improved_total += 1;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    improved_total
+}
+
+/// The block pairs with the most crossing nets, each block used at most
+/// once (so one round touches many regions).
+#[must_use]
+pub fn top_crossing_pairs(state: &PartitionState<'_>, limit: usize) -> Vec<(usize, usize)> {
+    let k = state.block_count();
+    let graph = state.graph();
+    let mut crossings = std::collections::HashMap::<(usize, usize), usize>::new();
+    for net in graph.net_ids() {
+        let net: NetId = net;
+        if state.net_span(net) < 2 {
+            continue;
+        }
+        let blocks: Vec<usize> =
+            (0..k).filter(|&b| state.net_pins_in(net, b) > 0).collect();
+        for i in 0..blocks.len() {
+            for j in (i + 1)..blocks.len() {
+                *crossings.entry((blocks[i], blocks[j])).or_default() += 1;
+            }
+        }
+    }
+    let mut pairs: Vec<((usize, usize), usize)> = crossings.into_iter().collect();
+    pairs.sort_by_key(|&((a, b), c)| (std::cmp::Reverse(c), a, b));
+    let mut used = vec![false; k];
+    let mut out = Vec::new();
+    for ((a, b), _) in pairs {
+        if out.len() >= limit {
+            break;
+        }
+        if !used[a] && !used[b] {
+            used[a] = true;
+            used[b] = true;
+            out.push((a, b));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpart_device::DeviceConstraints;
+    use fpart_hypergraph::gen::{clustered_circuit, ClusteredConfig};
+
+    #[test]
+    fn top_pairs_orders_by_crossings() {
+        let (g, planted) = clustered_circuit(&ClusteredConfig::new("cl", 3, 10), 3);
+        let state = PartitionState::from_assignment(&g, planted, 3);
+        let pairs = top_crossing_pairs(&state, 3);
+        assert!(!pairs.is_empty());
+        // Each block appears at most once.
+        let mut seen = std::collections::HashSet::new();
+        for (a, b) in &pairs {
+            assert!(seen.insert(*a));
+            assert!(seen.insert(*b));
+        }
+    }
+
+    #[test]
+    fn refine_improves_a_scrambled_partition() {
+        let cfg = ClusteredConfig::new("cl", 3, 20);
+        let (g, planted) = clustered_circuit(&cfg, 7);
+        // Scramble: swap every 4th node's cluster.
+        let mut assignment = planted.clone();
+        for i in (0..assignment.len()).step_by(4) {
+            assignment[i] = (assignment[i] + 1) % 3;
+        }
+        let mut state = PartitionState::from_assignment(&g, assignment, 3);
+        let before = state.cut_count();
+        let config = FpartConfig::default();
+        let evaluator = CostEvaluator::new(
+            DeviceConstraints::new(25, 100),
+            &config,
+            3,
+            g.terminal_count(),
+        );
+        let improved = refine_pairs(
+            &mut state,
+            &evaluator,
+            &config,
+            &RefineConfig::default(),
+        );
+        state.assert_consistent();
+        assert!(improved > 0);
+        assert!(state.cut_count() < before);
+    }
+
+    #[test]
+    fn single_block_is_a_noop() {
+        let (g, _) = clustered_circuit(&ClusteredConfig::new("cl", 2, 8), 1);
+        let mut state = PartitionState::single_block(&g);
+        let config = FpartConfig::default();
+        let evaluator =
+            CostEvaluator::new(DeviceConstraints::new(100, 100), &config, 1, 0);
+        assert_eq!(
+            refine_pairs(&mut state, &evaluator, &config, &RefineConfig::default()),
+            0
+        );
+    }
+}

@@ -1,0 +1,201 @@
+//! Dual solution stacks (paper §3.6).
+//!
+//! During the first FM execution of an improvement call the best solutions
+//! encountered are retained — semi-feasible ones in one stack, infeasible
+//! ones in another (an infeasible solution can have a better infeasibility
+//! cost than any semi-feasible one, and exploring around it can escape a
+//! local minimum). A series of FM passes is then restarted from each
+//! stacked solution and the overall best result wins.
+
+use crate::cost::{FeasibilityClass, SolutionKey};
+
+/// A bounded, best-first-ordered stack of candidate restart solutions.
+///
+/// Snapshots are per-cell block assignments of the improvement call's
+/// active cells (cheap: the active set is usually a small fraction of the
+/// circuit).
+#[derive(Debug, Clone)]
+pub struct SolutionStack {
+    entries: Vec<(SolutionKey, Vec<u32>)>,
+    depth: usize,
+}
+
+impl SolutionStack {
+    /// Creates a stack retaining at most `depth` solutions
+    /// (`D_stack = 4` in the paper).
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        SolutionStack { entries: Vec::with_capacity(depth + 1), depth }
+    }
+
+    /// Number of retained solutions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when nothing is retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Offers a solution. It is retained when the stack has room or when
+    /// it beats the current worst entry; exact key duplicates are
+    /// rejected (restarting from an identical solution is wasted work).
+    ///
+    /// The snapshot is only materialized (via `snapshot`) when the
+    /// solution is actually retained.
+    pub fn offer(&mut self, key: SolutionKey, snapshot: impl FnOnce() -> Vec<u32>) -> bool {
+        if self.depth == 0 {
+            return false;
+        }
+        if self.entries.iter().any(|(k, _)| k.cmp_key(&key) == std::cmp::Ordering::Equal) {
+            return false;
+        }
+        let pos = self
+            .entries
+            .partition_point(|(k, _)| k.better_than(&key) || k.cmp_key(&key).is_eq());
+        if pos >= self.depth {
+            return false;
+        }
+        self.entries.insert(pos, (key, snapshot()));
+        self.entries.truncate(self.depth);
+        true
+    }
+
+    /// Iterates retained solutions best-first.
+    pub fn iter(&self) -> impl Iterator<Item = (&SolutionKey, &[u32])> {
+        self.entries.iter().map(|(k, s)| (k, s.as_slice()))
+    }
+
+    /// The best retained key, if any.
+    #[must_use]
+    pub fn best_key(&self) -> Option<&SolutionKey> {
+        self.entries.first().map(|(k, _)| k)
+    }
+}
+
+/// The pair of stacks of §3.6: one for semi-feasible (or feasible)
+/// solutions, one for infeasible ones.
+#[derive(Debug, Clone)]
+pub struct DualStacks {
+    /// Solutions with at most one constraint-violating block.
+    pub semi_feasible: SolutionStack,
+    /// Solutions with two or more violating blocks.
+    pub infeasible: SolutionStack,
+}
+
+impl DualStacks {
+    /// Creates both stacks with the same depth.
+    #[must_use]
+    pub fn new(depth: usize) -> Self {
+        DualStacks {
+            semi_feasible: SolutionStack::new(depth),
+            infeasible: SolutionStack::new(depth),
+        }
+    }
+
+    /// Routes a solution to the stack matching its feasibility class.
+    pub fn offer(&mut self, key: SolutionKey, snapshot: impl FnOnce() -> Vec<u32>) -> bool {
+        match key.class() {
+            FeasibilityClass::Feasible | FeasibilityClass::SemiFeasible => {
+                self.semi_feasible.offer(key, snapshot)
+            }
+            FeasibilityClass::Infeasible => self.infeasible.offer(key, snapshot),
+        }
+    }
+
+    /// Iterates all retained solutions: semi-feasible stack first (as in
+    /// the paper's restart order), each best-first.
+    pub fn iter(&self) -> impl Iterator<Item = (&SolutionKey, &[u32])> {
+        self.semi_feasible.iter().chain(self.infeasible.iter())
+    }
+
+    /// Total retained solutions across both stacks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.semi_feasible.len() + self.infeasible.len()
+    }
+
+    /// Returns `true` when both stacks are empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(feasible: usize, total: usize, dist: f64) -> SolutionKey {
+        SolutionKey {
+            feasible_blocks: feasible,
+            total_blocks: total,
+            infeasibility: dist,
+            terminal_sum: 0,
+            external_balance: 0.0,
+            cut: 0,
+        }
+    }
+
+    #[test]
+    fn keeps_best_up_to_depth() {
+        let mut s = SolutionStack::new(2);
+        assert!(s.offer(key(3, 4, 2.0), || vec![0]));
+        assert!(s.offer(key(3, 4, 1.0), || vec![1]));
+        // worse than both and stack full → rejected
+        assert!(!s.offer(key(3, 4, 3.0), || vec![2]));
+        // better than the worst → inserted, worst evicted
+        assert!(s.offer(key(3, 4, 0.5), || vec![3]));
+        let kept: Vec<f64> = s.iter().map(|(k, _)| k.infeasibility).collect();
+        assert_eq!(kept, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let mut s = SolutionStack::new(4);
+        assert!(s.offer(key(3, 4, 1.0), || vec![0]));
+        assert!(!s.offer(key(3, 4, 1.0), || vec![1]));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn zero_depth_never_retains() {
+        let mut s = SolutionStack::new(0);
+        assert!(!s.offer(key(4, 4, 0.0), std::vec::Vec::new));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_lazy() {
+        let mut s = SolutionStack::new(1);
+        assert!(s.offer(key(3, 4, 1.0), || vec![7]));
+        // Rejected offer must not call the snapshot closure.
+        let rejected = s.offer(key(3, 4, 2.0), || panic!("snapshot taken for rejected offer"));
+        assert!(!rejected);
+    }
+
+    #[test]
+    fn best_key_is_first() {
+        let mut s = SolutionStack::new(3);
+        s.offer(key(2, 4, 1.0), std::vec::Vec::new);
+        s.offer(key(3, 4, 5.0), std::vec::Vec::new);
+        assert_eq!(s.best_key().unwrap().feasible_blocks, 3);
+    }
+
+    #[test]
+    fn dual_routing_by_class() {
+        let mut d = DualStacks::new(2);
+        assert!(d.offer(key(3, 4, 1.0), std::vec::Vec::new)); // semi-feasible
+        assert!(d.offer(key(1, 4, 0.5), std::vec::Vec::new)); // infeasible
+        assert!(d.offer(key(4, 4, 0.0), std::vec::Vec::new)); // feasible → semi stack
+        assert_eq!(d.semi_feasible.len(), 2);
+        assert_eq!(d.infeasible.len(), 1);
+        assert_eq!(d.len(), 3);
+        // iteration order: semi stack first
+        let classes: Vec<usize> = d.iter().map(|(k, _)| k.feasible_blocks).collect();
+        assert_eq!(classes, vec![4, 3, 1]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Heterogeneous device fitting: assign each partition block the
+//! cheapest catalog device it fits (the total-device-cost objective of
+//! Kuznar/Brglez/Zajc, DAC'94, which the FPART paper cites as related
+//! work).
+//!
+//! Prices are era-plausible *relative* figures (larger parts cost
+//! disproportionately more, as they did); absolute values are synthetic
+//! and only the ordering matters for the experiments.
+
+use crate::{BlockUsage, Device};
+
+/// A catalog device with a relative price.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PricedDevice {
+    /// The device.
+    pub device: Device,
+    /// Relative price (arbitrary units; only ratios are meaningful).
+    pub price: f64,
+}
+
+/// A per-block device assignment with its total cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitReport {
+    /// Chosen device per block, aligned with the input usages.
+    pub per_block: Vec<PricedDevice>,
+    /// Sum of the chosen devices' prices.
+    pub total_price: f64,
+}
+
+impl FitReport {
+    /// Number of distinct device types used.
+    #[must_use]
+    pub fn distinct_devices(&self) -> usize {
+        let mut names: Vec<&str> = self.per_block.iter().map(|p| p.device.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        names.len()
+    }
+}
+
+/// An era-plausible relative price list for the XC2000/XC3000 catalog:
+/// price grows superlinearly with capacity (die size and yield).
+#[must_use]
+pub fn default_price_list() -> Vec<PricedDevice> {
+    [
+        (Device::XC2064, 1.0),
+        (Device::XC2018, 1.5),
+        (Device::XC3020, 1.3),
+        (Device::XC3030, 2.0),
+        (Device::XC3042, 3.0),
+        (Device::XC3064, 5.0),
+        (Device::XC3090, 8.5),
+    ]
+    .into_iter()
+    .map(|(device, price)| PricedDevice { device, price })
+    .collect()
+}
+
+/// The cheapest device of `list` whose constraints (at filling ratio
+/// `delta`) accommodate `usage`; ties broken toward the smaller part.
+#[must_use]
+pub fn cheapest_fit(
+    usage: BlockUsage,
+    delta: f64,
+    list: &[PricedDevice],
+) -> Option<PricedDevice> {
+    list.iter()
+        .filter(|p| p.device.constraints(delta).fits(usage.size, usage.terminals))
+        .min_by(|a, b| {
+            a.price
+                .total_cmp(&b.price)
+                .then_with(|| a.device.s_ds.cmp(&b.device.s_ds))
+        })
+        .copied()
+}
+
+/// Fits every block of a partition to its cheapest device. Returns
+/// `None` when some block fits no catalog device.
+#[must_use]
+pub fn fit_blocks(
+    usages: &[BlockUsage],
+    delta: f64,
+    list: &[PricedDevice],
+) -> Option<FitReport> {
+    let per_block: Option<Vec<PricedDevice>> = usages
+        .iter()
+        .map(|&usage| cheapest_fit(usage, delta, list))
+        .collect();
+    let per_block = per_block?;
+    let total_price = per_block.iter().map(|p| p.price).sum();
+    Some(FitReport { per_block, total_price })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cheapest_fit_prefers_cheap_parts() {
+        let list = default_price_list();
+        // A tiny block fits everything; XC2064 is the cheapest.
+        let fit = cheapest_fit(BlockUsage::new(10, 10), 1.0, &list).unwrap();
+        assert_eq!(fit.device, Device::XC2064);
+        // 60 IOBs rule out the XC2064 (58); the XC3020 is next-cheapest.
+        let fit = cheapest_fit(BlockUsage::new(10, 60), 1.0, &list).unwrap();
+        assert_eq!(fit.device, Device::XC3020);
+        // A 300-CLB block needs the XC3090.
+        let fit = cheapest_fit(BlockUsage::new(300, 10), 1.0, &list).unwrap();
+        assert_eq!(fit.device, Device::XC3090);
+    }
+
+    #[test]
+    fn filling_ratio_is_applied() {
+        let list = default_price_list();
+        // 64 cells fit the XC2064 only at δ = 1.0.
+        assert_eq!(
+            cheapest_fit(BlockUsage::new(64, 10), 1.0, &list).unwrap().device,
+            Device::XC2064
+        );
+        let at_90 = cheapest_fit(BlockUsage::new(64, 10), 0.9, &list).unwrap();
+        assert_ne!(at_90.device, Device::XC2064);
+    }
+
+    #[test]
+    fn oversized_block_fits_nothing() {
+        let list = default_price_list();
+        assert_eq!(cheapest_fit(BlockUsage::new(1000, 10), 1.0, &list), None);
+        assert_eq!(cheapest_fit(BlockUsage::new(10, 500), 1.0, &list), None);
+    }
+
+    #[test]
+    fn fit_blocks_totals_and_distinct_count() {
+        let list = default_price_list();
+        let usages = [
+            BlockUsage::new(10, 10),   // XC2064 (1.0)
+            BlockUsage::new(120, 70),  // needs ≥120 CLB, ≥70 IOB → XC3042 (3.0)
+            BlockUsage::new(10, 10),   // XC2064 (1.0)
+        ];
+        let report = fit_blocks(&usages, 1.0, &list).unwrap();
+        assert_eq!(report.per_block[0].device, Device::XC2064);
+        assert_eq!(report.per_block[1].device, Device::XC3042);
+        assert!((report.total_price - 5.0).abs() < 1e-12);
+        assert_eq!(report.distinct_devices(), 2);
+    }
+
+    #[test]
+    fn fit_blocks_none_on_unfittable() {
+        let list = default_price_list();
+        assert!(fit_blocks(&[BlockUsage::new(9999, 1)], 1.0, &list).is_none());
+    }
+
+    #[test]
+    fn empty_partition_costs_nothing() {
+        let report = fit_blocks(&[], 1.0, &default_price_list()).unwrap();
+        assert_eq!(report.total_price, 0.0);
+        assert_eq!(report.distinct_devices(), 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Connectivity clustering (coarsening) of circuit hypergraphs.
+//!
+//! Clustering is one of the classical FM quality levers the paper's
+//! introduction surveys (Hagen/Huang/Kahng, Hauck/Borriello): matching
+//! strongly connected cells into clusters shrinks the problem, a
+//! partitioner runs on the coarse hypergraph, and the solution is
+//! projected back for refinement on the original circuit.
+//!
+//! The matcher is heavy-edge style: cells are visited in a
+//! deterministic shuffled order and merged with their most-connected
+//! unmatched neighbour (connectivity = Σ 1/(|e|−1) over shared nets),
+//! subject to a cluster size cap.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::builder::HypergraphBuilder;
+use crate::graph::Hypergraph;
+use crate::ids::NodeId;
+
+/// A coarsened hypergraph together with the fine → coarse mapping.
+#[derive(Debug, Clone)]
+pub struct Coarsening {
+    /// The clustered hypergraph. Cluster sizes are the sums of their
+    /// members' sizes; nets are projected (duplicate pins collapsed) and
+    /// nets falling entirely inside one cluster without terminals are
+    /// dropped.
+    pub coarse: Hypergraph,
+    /// `map[fine_node] = coarse_node`.
+    pub map: Vec<NodeId>,
+}
+
+impl Coarsening {
+    /// Projects a coarse per-node block assignment back onto the fine
+    /// hypergraph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coarse_assignment` does not cover the coarse graph.
+    #[must_use]
+    pub fn project(&self, coarse_assignment: &[u32]) -> Vec<u32> {
+        assert_eq!(
+            coarse_assignment.len(),
+            self.coarse.node_count(),
+            "assignment must cover the coarse graph"
+        );
+        self.map
+            .iter()
+            .map(|c| coarse_assignment[c.index()])
+            .collect()
+    }
+
+    /// Coarsening ratio `fine nodes / coarse nodes`.
+    #[must_use]
+    pub fn ratio(&self) -> f64 {
+        if self.coarse.node_count() == 0 {
+            return 1.0;
+        }
+        self.map.len() as f64 / self.coarse.node_count() as f64
+    }
+}
+
+/// Clusters `graph` by heavy-edge matching with the given cluster size
+/// cap, deterministically from `seed`.
+///
+/// Pass `max_cluster_size ≥` twice the max node size to allow any pair
+/// to merge; the device size is a natural cap (a cluster larger than the
+/// device could never be placed).
+///
+/// # Panics
+///
+/// Panics if `max_cluster_size == 0`.
+#[must_use]
+pub fn coarsen_by_connectivity(
+    graph: &Hypergraph,
+    max_cluster_size: u64,
+    seed: u64,
+) -> Coarsening {
+    assert!(max_cluster_size > 0, "cluster size cap must be positive");
+    let n = graph.node_count();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut rng);
+
+    // match_of[v] = cluster partner (possibly v itself for singletons).
+    let mut matched = vec![false; n];
+    let mut absorbed = vec![false; n];
+    let mut partner: Vec<Option<NodeId>> = vec![None; n];
+    let mut connectivity = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
+
+    for &v_idx in &order {
+        if matched[v_idx] {
+            continue;
+        }
+        let v = NodeId::from_index(v_idx);
+        // Score unmatched neighbours.
+        touched.clear();
+        for &net in graph.nets(v) {
+            let pins = graph.pins(net);
+            if pins.len() < 2 {
+                continue;
+            }
+            let w = 1.0 / (pins.len() as f64 - 1.0);
+            for &u in pins {
+                if u != v && !matched[u.index()] {
+                    if connectivity[u.index()] == 0.0 {
+                        touched.push(u.index());
+                    }
+                    connectivity[u.index()] += w;
+                }
+            }
+        }
+        let v_size = u64::from(graph.node_size(v));
+        let best = touched
+            .iter()
+            .copied()
+            .filter(|&u| {
+                v_size + u64::from(graph.node_size(NodeId::from_index(u)))
+                    <= max_cluster_size
+            })
+            .max_by(|&a, &b| {
+                connectivity[a]
+                    .total_cmp(&connectivity[b])
+                    .then_with(|| b.cmp(&a))
+            });
+        for &u in &touched {
+            connectivity[u] = 0.0;
+        }
+        matched[v_idx] = true;
+        if let Some(u) = best {
+            matched[u] = true;
+            absorbed[u] = true;
+            partner[v_idx] = Some(NodeId::from_index(u));
+        }
+    }
+
+    // Assign cluster ids.
+    let mut map = vec![NodeId::from_index(0); n];
+    let mut builder = HypergraphBuilder::named(format!("{}_coarse", graph.name()));
+    let mut next = 0usize;
+    for v_idx in 0..n {
+        let v = NodeId::from_index(v_idx);
+        if let Some(u) = partner[v_idx] {
+            let id = builder.add_node(
+                format!("c{next}"),
+                graph.node_size(v) + graph.node_size(u),
+            );
+            map[v_idx] = id;
+            map[u.index()] = id;
+            next += 1;
+        } else if !absorbed[v_idx] {
+            // Singleton (not absorbed by anyone).
+            let id = builder.add_node(format!("c{next}"), graph.node_size(v));
+            map[v_idx] = id;
+            next += 1;
+        }
+    }
+
+    // Project nets.
+    for net in graph.net_ids() {
+        let mut pins: Vec<NodeId> = graph.pins(net).iter().map(|p| map[p.index()]).collect();
+        pins.sort_unstable();
+        pins.dedup();
+        let has_terminal = graph.net_has_terminal(net);
+        if pins.len() < 2 && !has_terminal {
+            continue; // absorbed inside one cluster
+        }
+        let id = builder
+            .add_net(graph.net_name(net), pins)
+            .expect("projected pins are valid coarse nodes");
+        for &t in graph.net_terminals(net) {
+            builder
+                .add_terminal(graph.terminal_name(t), id)
+                .expect("net id from this builder");
+        }
+    }
+
+    let coarse = builder.finish().expect("coarse hypergraph is structurally valid");
+    Coarsening { coarse, map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{clustered_circuit, window_circuit, ClusteredConfig, WindowConfig};
+
+    #[test]
+    fn coarsening_halves_node_count_roughly() {
+        let g = window_circuit(&WindowConfig::new("w", 400, 20), 3);
+        let c = coarsen_by_connectivity(&g, 4, 7);
+        assert!(c.coarse.node_count() < g.node_count());
+        assert!(c.coarse.node_count() >= g.node_count() / 2);
+        assert!(c.ratio() > 1.0 && c.ratio() <= 2.0);
+    }
+
+    #[test]
+    fn sizes_are_conserved() {
+        let g = window_circuit(&WindowConfig::new("w", 200, 10), 5);
+        let c = coarsen_by_connectivity(&g, 8, 1);
+        assert_eq!(c.coarse.total_size(), g.total_size());
+    }
+
+    #[test]
+    fn terminals_survive_coarsening() {
+        let g = window_circuit(&WindowConfig::new("w", 150, 12), 9);
+        let c = coarsen_by_connectivity(&g, 4, 2);
+        assert_eq!(c.coarse.terminal_count(), g.terminal_count());
+    }
+
+    #[test]
+    fn cluster_size_cap_is_respected() {
+        let mut cfg = WindowConfig::new("w", 200, 10);
+        cfg.extra_size_prob = 0.5;
+        let g = window_circuit(&cfg, 4);
+        let cap = 6u64;
+        let c = coarsen_by_connectivity(&g, cap, 3);
+        for v in c.coarse.node_ids() {
+            // A singleton larger than the cap may exist (it was never
+            // merged); merged clusters respect the cap.
+            let size = u64::from(c.coarse.node_size(v));
+            let max_fine = g
+                .node_ids()
+                .map(|f| u64::from(g.node_size(f)))
+                .max()
+                .unwrap_or(1);
+            assert!(size <= cap.max(max_fine), "cluster {v:?} has size {size}");
+        }
+    }
+
+    #[test]
+    fn projection_inverts_mapping() {
+        let g = window_circuit(&WindowConfig::new("w", 100, 8), 11);
+        let c = coarsen_by_connectivity(&g, 4, 5);
+        let coarse_assignment: Vec<u32> =
+            (0..c.coarse.node_count() as u32).map(|i| i % 3).collect();
+        let fine = c.project(&coarse_assignment);
+        assert_eq!(fine.len(), g.node_count());
+        for v in g.node_ids() {
+            assert_eq!(fine[v.index()], coarse_assignment[c.map[v.index()].index()]);
+        }
+    }
+
+    #[test]
+    fn planted_clusters_merge_internally() {
+        // Heavy-edge matching on a planted circuit should merge within
+        // clusters far more often than across.
+        let (g, planted) = clustered_circuit(&ClusteredConfig::new("cl", 4, 20), 13);
+        let c = coarsen_by_connectivity(&g, 2, 1);
+        let mut cross = 0usize;
+        let mut total = 0usize;
+        // Two fine nodes sharing a coarse node: same planted cluster?
+        for a in g.node_ids() {
+            for b in g.node_ids() {
+                if a < b && c.map[a.index()] == c.map[b.index()] {
+                    total += 1;
+                    if planted[a.index()] != planted[b.index()] {
+                        cross += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            (cross as f64) < 0.2 * total as f64,
+            "{cross}/{total} merges crossed planted clusters"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let g = window_circuit(&WindowConfig::new("w", 120, 8), 2);
+        let a = coarsen_by_connectivity(&g, 4, 9);
+        let b = coarsen_by_connectivity(&g, 4, 9);
+        assert_eq!(a.map, b.map);
+        assert_eq!(a.coarse.node_count(), b.coarse.node_count());
+    }
+
+    #[test]
+    fn empty_graph_coarsens_to_empty() {
+        let g = crate::HypergraphBuilder::new().finish().unwrap();
+        let c = coarsen_by_connectivity(&g, 4, 0);
+        assert_eq!(c.coarse.node_count(), 0);
+        assert_eq!(c.ratio(), 1.0);
+    }
+}

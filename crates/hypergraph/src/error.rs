@@ -1,0 +1,161 @@
+//! Error types for hypergraph construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while building a [`crate::Hypergraph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildError {
+    /// A net referenced a node id that does not exist in the builder.
+    UnknownNode {
+        /// The offending raw node index.
+        node: usize,
+        /// Name of the net that referenced it.
+        net: String,
+    },
+    /// A terminal referenced a net id that does not exist in the builder.
+    UnknownNet {
+        /// The offending raw net index.
+        net: usize,
+        /// Name of the terminal that referenced it.
+        terminal: String,
+    },
+    /// A net listed the same node twice.
+    DuplicatePin {
+        /// Name of the offending net.
+        net: String,
+        /// The duplicated node.
+        node: usize,
+    },
+    /// A net had no pins and no terminals, which no algorithm can interpret.
+    EmptyNet {
+        /// Name of the offending net.
+        net: String,
+    },
+    /// Two nodes, nets, or terminals were given the same name.
+    DuplicateName {
+        /// The clashing name.
+        name: String,
+    },
+    /// A node was declared with size zero.
+    ZeroSizeNode {
+        /// Name of the offending node.
+        node: String,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownNode { node, net } => {
+                write!(f, "net `{net}` references unknown node index {node}")
+            }
+            BuildError::UnknownNet { net, terminal } => {
+                write!(f, "terminal `{terminal}` references unknown net index {net}")
+            }
+            BuildError::DuplicatePin { net, node } => {
+                write!(f, "net `{net}` lists node index {node} more than once")
+            }
+            BuildError::EmptyNet { net } => write!(f, "net `{net}` has no pins"),
+            BuildError::DuplicateName { name } => {
+                write!(f, "name `{name}` is declared more than once")
+            }
+            BuildError::ZeroSizeNode { node } => {
+                write!(f, "node `{node}` has size zero")
+            }
+        }
+    }
+}
+
+impl Error for BuildError {}
+
+/// An error produced while parsing the `.fhg` netlist text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseNetlistError {
+    /// A line did not match any known record type.
+    UnknownRecord {
+        /// 1-based line number.
+        line: usize,
+        /// The unrecognized leading keyword.
+        keyword: String,
+    },
+    /// A record had too few or malformed fields.
+    MalformedRecord {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what was expected.
+        expected: &'static str,
+    },
+    /// A record referenced a name that was never declared.
+    UnknownName {
+        /// 1-based line number.
+        line: usize,
+        /// The unresolved name.
+        name: String,
+    },
+    /// The parsed netlist failed structural validation.
+    Build(BuildError),
+}
+
+impl fmt::Display for ParseNetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNetlistError::UnknownRecord { line, keyword } => {
+                write!(f, "line {line}: unknown record type `{keyword}`")
+            }
+            ParseNetlistError::MalformedRecord { line, expected } => {
+                write!(f, "line {line}: malformed record, expected {expected}")
+            }
+            ParseNetlistError::UnknownName { line, name } => {
+                write!(f, "line {line}: reference to undeclared name `{name}`")
+            }
+            ParseNetlistError::Build(e) => write!(f, "netlist validation failed: {e}"),
+        }
+    }
+}
+
+impl Error for ParseNetlistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseNetlistError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for ParseNetlistError {
+    fn from(e: BuildError) -> Self {
+        ParseNetlistError::Build(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = BuildError::EmptyNet { net: "n7".into() };
+        assert_eq!(e.to_string(), "net `n7` has no pins");
+        let p = ParseNetlistError::UnknownName {
+            line: 3,
+            name: "zz".into(),
+        };
+        assert!(p.to_string().starts_with("line 3:"));
+    }
+
+    #[test]
+    fn parse_error_wraps_build_error_as_source() {
+        let p: ParseNetlistError = BuildError::DuplicateName { name: "a".into() }.into();
+        assert!(Error::source(&p).is_some());
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BuildError>();
+        assert_send_sync::<ParseNetlistError>();
+    }
+}

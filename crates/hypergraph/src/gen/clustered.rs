@@ -1,0 +1,202 @@
+//! Clustered circuit generator with a planted partition.
+//!
+//! Produces `clusters` dense groups connected by a configurable number of
+//! sparse inter-cluster nets. Because the optimal partition is (close to)
+//! the planted clustering, these circuits make excellent ground-truth tests
+//! for partitioners: a competent algorithm should recover cuts close to
+//! the planted inter-cluster net count.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::HypergraphBuilder;
+use crate::graph::Hypergraph;
+use crate::ids::NodeId;
+
+/// Parameters of the clustered generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteredConfig {
+    /// Circuit name recorded on the generated hypergraph.
+    pub name: String,
+    /// Number of planted clusters (≥ 1).
+    pub clusters: usize,
+    /// Nodes per cluster (≥ 2).
+    pub cluster_size: usize,
+    /// Intra-cluster nets per cluster.
+    pub intra_nets: usize,
+    /// Total inter-cluster nets (each touches 2–3 clusters).
+    pub inter_nets: usize,
+    /// Number of primary terminals, attached round-robin across clusters.
+    pub terminals: usize,
+}
+
+impl ClusteredConfig {
+    /// A configuration with dense clusters (`2·cluster_size` intra nets)
+    /// and a thin crossing cut.
+    #[must_use]
+    pub fn new(name: impl Into<String>, clusters: usize, cluster_size: usize) -> Self {
+        ClusteredConfig {
+            name: name.into(),
+            clusters,
+            cluster_size,
+            intra_nets: cluster_size * 2,
+            inter_nets: clusters.saturating_sub(1) * 3,
+            terminals: clusters * 2,
+        }
+    }
+}
+
+/// Generates a clustered circuit, deterministically from `seed`.
+///
+/// Returns the hypergraph and the planted cluster index of every node.
+///
+/// # Panics
+///
+/// Panics if `clusters == 0` or `cluster_size < 2`.
+#[must_use]
+pub fn clustered_circuit(config: &ClusteredConfig, seed: u64) -> (Hypergraph, Vec<u32>) {
+    assert!(config.clusters > 0, "need at least one cluster");
+    assert!(config.cluster_size >= 2, "clusters need at least two nodes");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = HypergraphBuilder::named(config.name.clone());
+    let mut planted = Vec::with_capacity(config.clusters * config.cluster_size);
+
+    let mut cluster_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(config.clusters);
+    for c in 0..config.clusters {
+        let mut nodes = Vec::with_capacity(config.cluster_size);
+        for i in 0..config.cluster_size {
+            nodes.push(builder.add_node(format!("c{c}n{i}"), 1));
+            planted.push(c as u32);
+        }
+        cluster_nodes.push(nodes);
+    }
+
+    let mut net_ids = Vec::new();
+    // Intra-cluster nets: a spanning chain first (so each cluster is
+    // connected), then random 2–4 pin nets.
+    for (c, nodes) in cluster_nodes.iter().enumerate() {
+        for (i, w) in nodes.windows(2).enumerate() {
+            let id = builder
+                .add_net(format!("c{c}chain{i}"), [w[0], w[1]])
+                .expect("chain pins valid");
+            net_ids.push(id);
+        }
+        let extra = config.intra_nets.saturating_sub(nodes.len().saturating_sub(1));
+        for e in 0..extra {
+            let deg = rng.gen_range(2..=4usize.min(nodes.len()));
+            let picks = rand::seq::index::sample(&mut rng, nodes.len(), deg);
+            let pins: Vec<NodeId> = picks.into_iter().map(|k| nodes[k]).collect();
+            let id = builder
+                .add_net(format!("c{c}intra{e}"), pins)
+                .expect("intra pins valid");
+            net_ids.push(id);
+        }
+    }
+
+    // Inter-cluster nets: pick 2–3 distinct clusters, one node from each.
+    for e in 0..config.inter_nets {
+        if config.clusters < 2 {
+            break;
+        }
+        let k = rng.gen_range(2..=3usize.min(config.clusters));
+        let picks = rand::seq::index::sample(&mut rng, config.clusters, k);
+        let pins: Vec<NodeId> = picks
+            .into_iter()
+            .map(|c| cluster_nodes[c][rng.gen_range(0..config.cluster_size)])
+            .collect();
+        let id = builder
+            .add_net(format!("inter{e}"), pins)
+            .expect("inter pins valid");
+        net_ids.push(id);
+    }
+
+    for t in 0..config.terminals.min(net_ids.len()) {
+        builder
+            .add_terminal(format!("io{t}"), net_ids[t * net_ids.len() / config.terminals.max(1)])
+            .expect("net id valid");
+    }
+
+    let graph = builder.finish().expect("generated netlist is structurally valid");
+    (graph, planted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traverse::connected_components;
+
+    #[test]
+    fn deterministic() {
+        let cfg = ClusteredConfig::new("cl", 4, 20);
+        let (a, pa) = clustered_circuit(&cfg, 8);
+        let (b, pb) = clustered_circuit(&cfg, 8);
+        assert_eq!(pa, pb);
+        assert_eq!(a.net_count(), b.net_count());
+    }
+
+    #[test]
+    fn planted_labels_match_layout() {
+        let cfg = ClusteredConfig::new("cl", 3, 10);
+        let (g, planted) = clustered_circuit(&cfg, 1);
+        assert_eq!(g.node_count(), 30);
+        assert_eq!(planted.len(), 30);
+        assert_eq!(planted[0], 0);
+        assert_eq!(planted[29], 2);
+    }
+
+    #[test]
+    fn whole_circuit_is_connected_when_inter_nets_exist() {
+        let cfg = ClusteredConfig::new("cl", 4, 12);
+        let (g, _) = clustered_circuit(&cfg, 3);
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn inter_cluster_cut_is_thin() {
+        let cfg = ClusteredConfig::new("cl", 2, 40);
+        let (g, planted) = clustered_circuit(&cfg, 5);
+        // Count nets crossing the planted bipartition.
+        let crossing = g
+            .net_ids()
+            .filter(|&e| {
+                let mut any0 = false;
+                let mut any1 = false;
+                for &p in g.pins(e) {
+                    match planted[p.index()] {
+                        0 => any0 = true,
+                        _ => any1 = true,
+                    }
+                }
+                any0 && any1
+            })
+            .count();
+        assert_eq!(crossing, cfg.inter_nets);
+        // And the planted cut is much thinner than the intra-net mass.
+        assert!(crossing * 10 < g.net_count());
+    }
+
+    #[test]
+    fn terminal_count_respected() {
+        let cfg = ClusteredConfig::new("cl", 4, 10);
+        let (g, _) = clustered_circuit(&cfg, 2);
+        assert_eq!(g.terminal_count(), cfg.terminals);
+    }
+
+    #[test]
+    fn single_cluster_has_no_inter_nets() {
+        let mut cfg = ClusteredConfig::new("cl", 1, 10);
+        cfg.inter_nets = 5; // requested but impossible
+        let (g, _) = clustered_circuit(&cfg, 1);
+        // chain (9) + extra intra (20 - 9 = 11) = 20 nets, no inter
+        assert_eq!(g.net_count(), cfg.intra_nets);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn tiny_cluster_panics() {
+        let cfg = ClusteredConfig::new("cl", 2, 1);
+        let _ = clustered_circuit(&cfg, 0);
+    }
+}

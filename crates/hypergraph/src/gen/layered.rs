@@ -1,0 +1,203 @@
+//! Layered combinational-circuit (DAG) generator.
+//!
+//! Models a mapped combinational netlist: nodes are LUT-like cells arranged
+//! in topological levels; each cell draws 2–`max_fanin` inputs from earlier
+//! levels with a recency bias, and each cell's output becomes one net
+//! driving its consumers. Primary inputs feed level 0 through terminal
+//! nets; cells whose output is never consumed become primary outputs.
+//!
+//! Compared to [`super::window_circuit`] this generator produces true
+//! driver/sink structure and is used by tests that need DAG-shaped
+//! circuits (e.g. the c6288-multiplier-like stress cases).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::HypergraphBuilder;
+use crate::graph::Hypergraph;
+use crate::ids::NodeId;
+
+/// Parameters of the layered DAG generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayeredConfig {
+    /// Circuit name recorded on the generated hypergraph.
+    pub name: String,
+    /// Number of topological levels (≥ 1).
+    pub levels: usize,
+    /// Cells per level (≥ 1).
+    pub width: usize,
+    /// Number of primary inputs (terminals feeding level 0).
+    pub primary_inputs: usize,
+    /// Maximum fanin per cell (≥ 2).
+    pub max_fanin: usize,
+    /// Recency bias: probability that each fanin comes from the previous
+    /// level rather than a uniformly random earlier level.
+    pub locality: f64,
+}
+
+impl LayeredConfig {
+    /// A multiplier-array-like configuration (deep, narrow, very local).
+    #[must_use]
+    pub fn new(name: impl Into<String>, levels: usize, width: usize) -> Self {
+        LayeredConfig {
+            name: name.into(),
+            levels,
+            width,
+            primary_inputs: width.max(2),
+            max_fanin: 4,
+            locality: 0.85,
+        }
+    }
+}
+
+/// Generates a layered DAG circuit, deterministically from `seed`.
+///
+/// # Panics
+///
+/// Panics if `levels == 0`, `width == 0`, or `max_fanin < 2`.
+#[must_use]
+pub fn layered_circuit(config: &LayeredConfig, seed: u64) -> Hypergraph {
+    assert!(config.levels > 0, "need at least one level");
+    assert!(config.width > 0, "need at least one cell per level");
+    assert!(config.max_fanin >= 2, "cells need fanin of at least two");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = HypergraphBuilder::named(config.name.clone());
+
+    let mut level_nodes: Vec<Vec<NodeId>> = Vec::with_capacity(config.levels);
+    for level in 0..config.levels {
+        let mut nodes = Vec::with_capacity(config.width);
+        for i in 0..config.width {
+            nodes.push(builder.add_node(format!("l{level}c{i}"), 1));
+        }
+        level_nodes.push(nodes);
+    }
+
+    // consumers[cell] = cells that read this cell's output.
+    let total = config.levels * config.width;
+    let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); total];
+
+    for level in 1..config.levels {
+        for &cell in &level_nodes[level] {
+            let fanin = rng.gen_range(2..=config.max_fanin);
+            for _ in 0..fanin {
+                let src_level = if rng.gen_bool(config.locality.clamp(0.0, 1.0)) {
+                    level - 1
+                } else {
+                    rng.gen_range(0..level)
+                };
+                let src = level_nodes[src_level][rng.gen_range(0..config.width)];
+                if !consumers[src.index()].contains(&cell) {
+                    consumers[src.index()].push(cell);
+                }
+            }
+        }
+    }
+
+    // One net per driving cell: driver + its consumers.
+    let mut output_candidates = Vec::new();
+    for (idx, sinks) in consumers.iter().enumerate() {
+        let driver = NodeId::from_index(idx);
+        if sinks.is_empty() {
+            output_candidates.push(driver);
+            continue;
+        }
+        let mut pins = Vec::with_capacity(sinks.len() + 1);
+        pins.push(driver);
+        pins.extend_from_slice(sinks);
+        builder
+            .add_net(format!("w{idx}"), pins)
+            .expect("driver and sinks are distinct valid nodes");
+    }
+
+    // Primary inputs: terminal-attached nets into level 0 (each drives a
+    // couple of level-0 cells).
+    for i in 0..config.primary_inputs {
+        let fanout = rng.gen_range(1..=2.min(config.width));
+        let picks = rand::seq::index::sample(&mut rng, config.width, fanout);
+        let pins: Vec<NodeId> = picks.into_iter().map(|k| level_nodes[0][k]).collect();
+        let net = builder
+            .add_net(format!("pi_net{i}"), pins)
+            .expect("level-0 picks are valid");
+        builder
+            .add_terminal(format!("pi{i}"), net)
+            .expect("net id is valid");
+    }
+
+    // Primary outputs: every unconsumed cell gets a terminal net.
+    for (i, driver) in output_candidates.into_iter().enumerate() {
+        let net = builder
+            .add_net(format!("po_net{i}"), [driver])
+            .expect("driver is a valid node");
+        builder
+            .add_terminal(format!("po{i}"), net)
+            .expect("net id is valid");
+    }
+
+    builder.finish().expect("generated netlist is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let cfg = LayeredConfig::new("dag", 8, 16);
+        let a = layered_circuit(&cfg, 3);
+        let b = layered_circuit(&cfg, 3);
+        assert_eq!(a.net_count(), b.net_count());
+        assert_eq!(a.terminal_count(), b.terminal_count());
+    }
+
+    #[test]
+    fn node_count_is_levels_times_width() {
+        let cfg = LayeredConfig::new("dag", 5, 7);
+        let g = layered_circuit(&cfg, 1);
+        assert_eq!(g.node_count(), 35);
+    }
+
+    #[test]
+    fn has_primary_inputs_and_outputs() {
+        let cfg = LayeredConfig::new("dag", 6, 8);
+        let g = layered_circuit(&cfg, 5);
+        // all terminals exist and include the requested PIs
+        assert!(g.terminal_count() >= cfg.primary_inputs);
+        // last level cells are never consumed → all are outputs
+        let po_count = g.terminal_count() - cfg.primary_inputs;
+        assert!(po_count >= cfg.width);
+    }
+
+    #[test]
+    fn every_net_has_pins_and_each_nonlevel0_cell_is_connected() {
+        let cfg = LayeredConfig::new("dag", 4, 6);
+        let g = layered_circuit(&cfg, 9);
+        for net in g.net_ids() {
+            assert!(!g.pins(net).is_empty());
+        }
+        // Cells above level 0 requested fanin ≥ 2, so they appear in nets.
+        for idx in cfg.width..g.node_count() {
+            assert!(
+                !g.nets(NodeId::from_index(idx)).is_empty(),
+                "cell {idx} is disconnected"
+            );
+        }
+    }
+
+    #[test]
+    fn locality_one_keeps_fanin_in_previous_level() {
+        let mut cfg = LayeredConfig::new("dag", 3, 4);
+        cfg.locality = 1.0;
+        // With locality 1.0, nets only ever connect adjacent levels, so no
+        // net spans more than 2·width pins and the circuit is still valid.
+        let g = layered_circuit(&cfg, 2);
+        assert!(g.net_count() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_panics() {
+        let cfg = LayeredConfig::new("dag", 0, 4);
+        let _ = layered_circuit(&cfg, 0);
+    }
+}

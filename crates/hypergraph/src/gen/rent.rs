@@ -1,0 +1,332 @@
+//! Top-down Rent-hierarchy circuit generator.
+//!
+//! Builds a netlist whose every aligned sub-block of size `g` exposes
+//! `T(g) ≈ t · g^p` boundary nets — Rent's rule by construction, not by
+//! sampling. This matches how real mapped netlists behave under min-cut
+//! partitioning far better than flat span-distribution generators, and is
+//! the generator behind the synthetic MCNC workloads.
+//!
+//! The construction recursively bisects the cell range. A region receives
+//! a list of *stubs* — nets that must have at least one pin inside it.
+//! At each bisection the two halves receive Rent-rule external-net targets
+//! `t·(g/2)^p`; parent stubs are dealt to the halves, and the deficit is
+//! made up with fresh nets crossing the bisection (which is exactly what
+//! makes the cut of an aligned block `≈ t·g^p`). Leaves resolve stubs to
+//! concrete pins and add local two/three-pin nets for internal structure.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::HypergraphBuilder;
+use crate::graph::Hypergraph;
+use crate::ids::NodeId;
+
+/// Parameters of the Rent-hierarchy generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RentConfig {
+    /// Circuit name recorded on the generated hypergraph.
+    pub name: String,
+    /// Number of interior nodes.
+    pub nodes: usize,
+    /// Number of primary terminals; also sets the Rent coefficient via
+    /// `t = terminals / nodes^p` (Rent's law applied at chip level).
+    pub terminals: usize,
+    /// Rent exponent `p ∈ (0, 1)`.
+    pub rent_exponent: f64,
+    /// Internal Rent coefficient `t`. When `None`, derived from the chip
+    /// pin count as `t = terminals / nodes^p`. Pad-limited circuits (many
+    /// I/Os relative to logic) sit in Rent "Region II": their chip pin
+    /// count over-estimates internal leakiness, so callers modelling such
+    /// circuits should set the internal coefficient explicitly.
+    pub rent_coefficient: Option<f64>,
+    /// Leaf region size at which recursion stops (≥ 2).
+    pub leaf_size: usize,
+    /// Local (intra-leaf) nets per leaf cell.
+    pub local_net_ratio: f64,
+}
+
+impl RentConfig {
+    /// A realistic logic-netlist configuration for the given node and
+    /// terminal counts (`p = 0.65`).
+    #[must_use]
+    pub fn new(name: impl Into<String>, nodes: usize, terminals: usize) -> Self {
+        RentConfig {
+            name: name.into(),
+            nodes,
+            terminals,
+            rent_exponent: 0.65,
+            rent_coefficient: None,
+            leaf_size: 8,
+            local_net_ratio: 0.9,
+        }
+    }
+}
+
+/// In-progress net: the pins accumulated so far.
+#[derive(Debug, Default)]
+struct NetDraft {
+    pins: Vec<NodeId>,
+}
+
+struct Generator<'c> {
+    config: &'c RentConfig,
+    rng: StdRng,
+    nets: Vec<NetDraft>,
+    /// Rent coefficient `t`.
+    t: f64,
+}
+
+impl Generator<'_> {
+    /// Rent target for a region of `g` cells.
+    fn target(&self, g: usize) -> usize {
+        (self.t * (g as f64).powf(self.config.rent_exponent)).round() as usize
+    }
+
+    fn fresh_net(&mut self) -> usize {
+        self.nets.push(NetDraft::default());
+        self.nets.len() - 1
+    }
+
+    /// Recursively wires the region `[lo, hi)` given the nets that must
+    /// reach into it.
+    fn build(&mut self, lo: usize, hi: usize, stubs: Vec<usize>) {
+        let g = hi - lo;
+        if g <= self.config.leaf_size.max(2) {
+            self.build_leaf(lo, hi, stubs);
+            return;
+        }
+        // Randomized bisection point. The wide band matters: it makes
+        // coherent low-boundary regions exist at *many* sizes, as in real
+        // designs, rather than only at the power-of-two-ish sizes a
+        // balanced bisection would produce.
+        let mid = lo + (g as f64 * self.rng.gen_range(0.38..0.62)) as usize;
+        let mid = mid.clamp(lo + 1, hi - 1);
+        let (gl, gr) = (mid - lo, hi - mid);
+
+        // Deal parent stubs to the halves proportionally to size.
+        let mut stubs_l = Vec::new();
+        let mut stubs_r = Vec::new();
+        let p_left = gl as f64 / g as f64;
+        for stub in stubs {
+            if self.rng.gen_bool(p_left) {
+                stubs_l.push(stub);
+            } else {
+                stubs_r.push(stub);
+            }
+        }
+
+        // Fresh nets crossing the bisection. The balanced count
+        // C = (T(g_l) + T(g_r) − E) / 2 keeps each child's expected
+        // external count exactly on its Rent target: with
+        // E = t·g^p dealt proportionally, E_child = E/2 + C = t·(g/2)^p.
+        let dealt = stubs_l.len() + stubs_r.len();
+        let want = self.target(gl) + self.target(gr);
+        let crossings = (want.saturating_sub(dealt) / 2).max(1);
+        for _ in 0..crossings {
+            let net = self.fresh_net();
+            stubs_l.push(net);
+            stubs_r.push(net);
+        }
+
+        self.build(lo, mid, stubs_l);
+        self.build(mid, hi, stubs_r);
+    }
+
+    /// Resolves stubs to pins and adds local structure inside a leaf.
+    fn build_leaf(&mut self, lo: usize, hi: usize, stubs: Vec<usize>) {
+        let g = hi - lo;
+        for stub in stubs {
+            // 1–2 pins per stub inside this leaf.
+            let pins = 1 + usize::from(self.rng.gen_bool(0.3) && g > 1);
+            let picks = rand::seq::index::sample(&mut self.rng, g, pins.min(g));
+            for k in picks {
+                let node = NodeId::from_index(lo + k);
+                if !self.nets[stub].pins.contains(&node) {
+                    self.nets[stub].pins.push(node);
+                }
+            }
+        }
+        // Local nets: short chains keep the leaf connected, plus random
+        // 2–3 pin nets up to the configured ratio.
+        if g >= 2 {
+            for i in lo..hi - 1 {
+                let net = self.fresh_net();
+                self.nets[net].pins.push(NodeId::from_index(i));
+                self.nets[net].pins.push(NodeId::from_index(i + 1));
+            }
+            let extra = ((g as f64 * self.config.local_net_ratio) as usize)
+                .saturating_sub(g - 1);
+            for _ in 0..extra {
+                let deg = 2 + usize::from(self.rng.gen_bool(0.4) && g > 2);
+                let picks = rand::seq::index::sample(&mut self.rng, g, deg);
+                let net = self.fresh_net();
+                for k in picks {
+                    self.nets[net].pins.push(NodeId::from_index(lo + k));
+                }
+            }
+        }
+    }
+}
+
+/// Generates a Rent-hierarchy circuit, deterministically from `seed`.
+///
+/// The result has exactly `config.nodes` unit-size nodes and
+/// `config.terminals` terminals; aligned sub-blocks of size `g` expose
+/// `≈ t·g^p` nets where `t = terminals / nodes^p`.
+///
+/// # Panics
+///
+/// Panics if `nodes == 0`, `terminals == 0`, or `rent_exponent` is outside
+/// `(0, 1)`.
+#[must_use]
+pub fn rent_circuit(config: &RentConfig, seed: u64) -> Hypergraph {
+    assert!(config.nodes > 0, "rent generator needs at least one node");
+    assert!(config.terminals > 0, "rent generator needs at least one terminal");
+    assert!(
+        config.rent_exponent > 0.0 && config.rent_exponent < 1.0,
+        "rent exponent must be in (0, 1)"
+    );
+
+    let t = config.rent_coefficient.unwrap_or_else(|| {
+        config.terminals as f64 / (config.nodes as f64).powf(config.rent_exponent)
+    });
+    let mut generator = Generator {
+        config,
+        rng: StdRng::seed_from_u64(seed),
+        nets: Vec::with_capacity(config.nodes * 2),
+        t,
+    };
+
+    // Root stubs: exactly one net per primary terminal.
+    let root_stubs: Vec<usize> = (0..config.terminals)
+        .map(|_| generator.fresh_net())
+        .collect();
+    generator.build(0, config.nodes, root_stubs.clone());
+
+    let mut builder = HypergraphBuilder::named(config.name.clone());
+    for i in 0..config.nodes {
+        builder.add_node(format!("x{i}"), 1);
+    }
+    // Map draft index → final NetId (drafts that ended with < 1 pin are
+    // dropped; single-pin nets are kept only when terminal-attached).
+    let mut final_ids = vec![None; generator.nets.len()];
+    let is_root: Vec<bool> = {
+        let mut v = vec![false; generator.nets.len()];
+        for &s in &root_stubs {
+            v[s] = true;
+        }
+        v
+    };
+    for (i, draft) in generator.nets.iter().enumerate() {
+        let keep = if is_root[i] {
+            !draft.pins.is_empty()
+        } else {
+            draft.pins.len() >= 2
+        };
+        if keep {
+            let id = builder
+                .add_net(format!("e{i}"), draft.pins.iter().copied())
+                .expect("draft pins are distinct valid nodes");
+            final_ids[i] = Some(id);
+        }
+    }
+    for (k, &stub) in root_stubs.iter().enumerate() {
+        if let Some(net) = final_ids[stub] {
+            builder
+                .add_terminal(format!("io{k}"), net)
+                .expect("net id from this builder");
+        }
+    }
+    builder.finish().expect("generated netlist is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::rent_exponent;
+
+    #[test]
+    fn deterministic() {
+        let cfg = RentConfig::new("r", 500, 50);
+        let a = rent_circuit(&cfg, 9);
+        let b = rent_circuit(&cfg, 9);
+        assert_eq!(a.net_count(), b.net_count());
+        for (na, nb) in a.net_ids().zip(b.net_ids()) {
+            assert_eq!(a.pins(na), b.pins(nb));
+        }
+    }
+
+    #[test]
+    fn respects_counts() {
+        let cfg = RentConfig::new("r", 700, 80);
+        let g = rent_circuit(&cfg, 4);
+        assert_eq!(g.node_count(), 700);
+        // Every root stub is dealt into at least one half at every level,
+        // so every terminal net reaches a leaf and gets a pin: exact.
+        assert_eq!(g.terminal_count(), 80);
+    }
+
+    #[test]
+    fn aligned_block_cut_follows_rent_target() {
+        // For an aligned block of size g, the number of exposed nets
+        // should be close to t·g^p.
+        let cfg = RentConfig::new("r", 1024, 100);
+        let g = rent_circuit(&cfg, 7);
+        let t = 100.0 / 1024f64.powf(0.65);
+        let block = 128usize;
+        let target = t * (block as f64).powf(0.65);
+        // Count nets exposed to the aligned block [0, 128).
+        let exposed = g
+            .net_ids()
+            .filter(|&e| {
+                let inside = g.pins(e).iter().any(|p| p.index() < block);
+                let outside =
+                    g.pins(e).iter().any(|p| p.index() >= block) || g.net_has_terminal(e);
+                inside && outside
+            })
+            .count();
+        let ratio = exposed as f64 / target;
+        assert!(
+            (0.5..2.5).contains(&ratio),
+            "exposed {exposed} vs rent target {target:.1}"
+        );
+    }
+
+    #[test]
+    fn estimated_rent_exponent_is_near_configured() {
+        let mut cfg = RentConfig::new("r", 2048, 150);
+        cfg.rent_exponent = 0.6;
+        let g = rent_circuit(&cfg, 3);
+        let p = rent_exponent(&g).expect("large enough");
+        assert!((0.3..0.9).contains(&p), "estimated {p}");
+    }
+
+    #[test]
+    fn all_nets_have_valid_arity() {
+        let cfg = RentConfig::new("r", 300, 40);
+        let g = rent_circuit(&cfg, 11);
+        for e in g.net_ids() {
+            let pins = g.pins(e).len();
+            assert!(pins >= 1);
+            if pins == 1 {
+                assert!(g.net_has_terminal(e), "floating single-pin net");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_chains_keep_leaves_connected() {
+        let cfg = RentConfig::new("r", 64, 8);
+        let g = rent_circuit(&cfg, 2);
+        let (_, components) = crate::traverse::connected_components(&g);
+        // chains within leaves + crossing nets keep everything connected
+        assert_eq!(components, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one terminal")]
+    fn zero_terminals_panics() {
+        let cfg = RentConfig::new("r", 10, 0);
+        let _ = rent_circuit(&cfg, 0);
+    }
+}

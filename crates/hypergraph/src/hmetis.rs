@@ -1,0 +1,333 @@
+//! hMETIS `.hgr` hypergraph format support.
+//!
+//! The hMETIS format is the de-facto interchange format of the
+//! partitioning literature:
+//!
+//! ```text
+//! % optional comments
+//! <#hyperedges> <#vertices> [fmt]
+//! <hyperedge lines: 1-based vertex indices, weight first when fmt ∈ {1, 11}>
+//! <vertex weight lines when fmt ∈ {10, 11}>
+//! ```
+//!
+//! Mapping to [`Hypergraph`]: vertices become interior nodes `v1…vn`
+//! (vertex weights become node sizes; unweighted vertices get size 1),
+//! hyperedges become nets `e0…`. Hyperedge weights are parsed and
+//! discarded — the FPGA partitioning model of this crate has no weighted
+//! nets — and the format carries no primary-terminal information, so
+//! read circuits have no terminals (attach them afterwards with a
+//! builder if needed).
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::builder::HypergraphBuilder;
+use crate::error::ParseNetlistError;
+use crate::graph::Hypergraph;
+use crate::ids::NodeId;
+
+/// Parses an hMETIS `.hgr` hypergraph from any reader.
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] on malformed headers, vertex indices out
+/// of range, or structural validation failure.
+pub fn read_hmetis<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> {
+    let mut lines = BufReader::new(reader)
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l));
+
+    // Header: first non-comment line.
+    let (header_line_no, header) = loop {
+        match lines.next() {
+            Some((no, Ok(line))) => {
+                let trimmed = line.trim().to_owned();
+                if trimmed.is_empty() || trimmed.starts_with('%') {
+                    continue;
+                }
+                break (no, trimmed);
+            }
+            Some((no, Err(_))) => {
+                return Err(ParseNetlistError::MalformedRecord {
+                    line: no,
+                    expected: "valid UTF-8 text",
+                });
+            }
+            None => {
+                return Err(ParseNetlistError::MalformedRecord {
+                    line: 1,
+                    expected: "hMETIS header `<edges> <vertices> [fmt]`",
+                });
+            }
+        }
+    };
+    let mut fields = header.split_whitespace();
+    let edges: usize = fields
+        .next()
+        .and_then(|f| f.parse().ok())
+        .ok_or(ParseNetlistError::MalformedRecord {
+            line: header_line_no,
+            expected: "hyperedge count",
+        })?;
+    let vertices: usize = fields
+        .next()
+        .and_then(|f| f.parse().ok())
+        .ok_or(ParseNetlistError::MalformedRecord {
+            line: header_line_no,
+            expected: "vertex count",
+        })?;
+    let fmt: u32 = match fields.next() {
+        None => 0,
+        Some(f) => f.parse().map_err(|_| ParseNetlistError::MalformedRecord {
+            line: header_line_no,
+            expected: "fmt of 0, 1, 10, or 11",
+        })?,
+    };
+    if ![0, 1, 10, 11].contains(&fmt) {
+        return Err(ParseNetlistError::MalformedRecord {
+            line: header_line_no,
+            expected: "fmt of 0, 1, 10, or 11",
+        });
+    }
+    let edge_weights = fmt == 1 || fmt == 11;
+    let vertex_weights = fmt == 10 || fmt == 11;
+
+    let mut builder = HypergraphBuilder::new();
+    let nodes: Vec<NodeId> = (1..=vertices)
+        .map(|i| builder.add_node(format!("v{i}"), 1))
+        .collect();
+
+    let mut data_lines = lines.filter_map(|(no, l)| match l {
+        Ok(line) => {
+            let t = line.trim().to_owned();
+            (!t.is_empty() && !t.starts_with('%')).then_some((no, t))
+        }
+        Err(_) => None,
+    });
+
+    for e in 0..edges {
+        let (no, line) = data_lines.next().ok_or(ParseNetlistError::MalformedRecord {
+            line: header_line_no,
+            expected: "one line per hyperedge",
+        })?;
+        let mut fields = line.split_whitespace();
+        if edge_weights {
+            // Weight parsed and discarded (unweighted partitioning model).
+            let _ = fields.next().and_then(|f| f.parse::<u64>().ok()).ok_or(
+                ParseNetlistError::MalformedRecord { line: no, expected: "hyperedge weight" },
+            )?;
+        }
+        let mut pins = Vec::new();
+        for f in fields {
+            let idx: usize =
+                f.parse().map_err(|_| ParseNetlistError::MalformedRecord {
+                    line: no,
+                    expected: "1-based vertex index",
+                })?;
+            if idx == 0 || idx > vertices {
+                return Err(ParseNetlistError::UnknownName { line: no, name: f.to_owned() });
+            }
+            let node = nodes[idx - 1];
+            if !pins.contains(&node) {
+                pins.push(node);
+            }
+        }
+        builder.add_net(format!("e{e}"), pins)?;
+    }
+
+    if vertex_weights {
+        for (i, &node) in nodes.iter().enumerate() {
+            let (no, line) = data_lines.next().ok_or(ParseNetlistError::MalformedRecord {
+                line: header_line_no,
+                expected: "one weight line per vertex",
+            })?;
+            let weight: u32 =
+                line.trim().parse().map_err(|_| ParseNetlistError::MalformedRecord {
+                    line: no,
+                    expected: "vertex weight",
+                })?;
+            let _ = i;
+            builder.set_node_size(node, weight);
+        }
+    }
+
+    Ok(builder.finish()?)
+}
+
+/// Parses an hMETIS `.hgr` hypergraph from a string slice.
+///
+/// # Errors
+///
+/// See [`read_hmetis`].
+pub fn parse_hmetis(text: &str) -> Result<Hypergraph, ParseNetlistError> {
+    read_hmetis(text.as_bytes())
+}
+
+/// Writes a hypergraph in hMETIS `.hgr` format (pass `&mut writer` to
+/// keep the writer).
+///
+/// Vertex weights are emitted (fmt 10) when any node size differs
+/// from 1; terminals are not representable in the format and a comment
+/// records how many were dropped.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_hmetis<W: Write>(mut writer: W, graph: &Hypergraph) -> std::io::Result<()> {
+    let weighted = graph.node_ids().any(|v| graph.node_size(v) != 1);
+    if graph.terminal_count() > 0 {
+        writeln!(
+            writer,
+            "% {} primary terminals not representable in hMETIS format",
+            graph.terminal_count()
+        )?;
+    }
+    writeln!(
+        writer,
+        "{} {}{}",
+        graph.net_count(),
+        graph.node_count(),
+        if weighted { " 10" } else { "" }
+    )?;
+    for net in graph.net_ids() {
+        let pins: Vec<String> = graph
+            .pins(net)
+            .iter()
+            .map(|p| (p.index() + 1).to_string())
+            .collect();
+        writeln!(writer, "{}", pins.join(" "))?;
+    }
+    if weighted {
+        for node in graph.node_ids() {
+            writeln!(writer, "{}", graph.node_size(node))?;
+        }
+    }
+    Ok(())
+}
+
+/// Serializes a hypergraph to an hMETIS `.hgr` string.
+#[must_use]
+pub fn hmetis_to_string(graph: &Hypergraph) -> String {
+    let mut out = Vec::new();
+    write_hmetis(&mut out, graph).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect(".hgr output is always UTF-8")
+}
+
+/// Indexes node names of the `v<i>` convention back to 1-based vertex
+/// numbers (useful when correlating with external hMETIS tools).
+#[must_use]
+pub fn vertex_numbers(graph: &Hypergraph) -> HashMap<NodeId, usize> {
+    graph.node_ids().map(|v| (v, v.index() + 1)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIMPLE: &str = "\
+% a 4-vertex, 3-edge example
+3 4
+1 2
+2 3 4
+1 4
+";
+
+    #[test]
+    fn parse_unweighted() {
+        let g = parse_hmetis(SIMPLE).unwrap();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.net_count(), 3);
+        assert_eq!(g.total_size(), 4);
+        assert_eq!(g.node_name(NodeId::from_index(0)), "v1");
+        assert_eq!(g.pins(crate::NetId::from_index(1)).len(), 3);
+    }
+
+    #[test]
+    fn parse_edge_weights_discarded() {
+        let text = "2 3 1\n7 1 2\n9 2 3\n";
+        let g = parse_hmetis(text).unwrap();
+        assert_eq!(g.net_count(), 2);
+        assert_eq!(g.pins(crate::NetId::from_index(0)).len(), 2);
+    }
+
+    #[test]
+    fn parse_vertex_weights() {
+        let text = "1 3 10\n1 2 3\n5\n6\n7\n";
+        let g = parse_hmetis(text).unwrap();
+        assert_eq!(g.total_size(), 18);
+        assert_eq!(g.node_size(NodeId::from_index(2)), 7);
+    }
+
+    #[test]
+    fn parse_both_weights() {
+        let text = "1 2 11\n4 1 2\n3\n9\n";
+        let g = parse_hmetis(text).unwrap();
+        assert_eq!(g.total_size(), 12);
+        assert_eq!(g.net_count(), 1);
+    }
+
+    #[test]
+    fn rejects_bad_fmt() {
+        let err = parse_hmetis("1 2 7\n1 2\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::MalformedRecord { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertex() {
+        let err = parse_hmetis("1 2\n1 5\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::UnknownName { .. }));
+    }
+
+    #[test]
+    fn rejects_missing_edge_lines() {
+        let err = parse_hmetis("3 4\n1 2\n").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::MalformedRecord { .. }));
+    }
+
+    #[test]
+    fn duplicate_pins_are_collapsed() {
+        // Some emitters list a vertex twice on one edge.
+        let g = parse_hmetis("1 3\n1 2 2 3\n").unwrap();
+        assert_eq!(g.pins(crate::NetId::from_index(0)).len(), 3);
+    }
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let g = parse_hmetis(SIMPLE).unwrap();
+        let text = hmetis_to_string(&g);
+        let g2 = parse_hmetis(&text).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.net_count(), g2.net_count());
+        for (a, b) in g.net_ids().zip(g2.net_ids()) {
+            assert_eq!(g.pins(a), g2.pins(b));
+        }
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let text = "1 3 10\n1 2 3\n5\n6\n7\n";
+        let g = parse_hmetis(text).unwrap();
+        let g2 = parse_hmetis(&hmetis_to_string(&g)).unwrap();
+        assert_eq!(g2.total_size(), 18);
+    }
+
+    #[test]
+    fn generated_circuit_exports_and_reimports() {
+        use crate::gen::{window_circuit, WindowConfig};
+        let g = window_circuit(&WindowConfig::new("w", 80, 8), 3);
+        let text = hmetis_to_string(&g);
+        assert!(text.starts_with("% 8 primary terminals"));
+        let g2 = parse_hmetis(&text).unwrap();
+        assert_eq!(g2.node_count(), 80);
+        assert_eq!(g2.net_count(), g.net_count());
+        assert_eq!(g2.terminal_count(), 0); // dropped, by format
+    }
+
+    #[test]
+    fn vertex_number_map() {
+        let g = parse_hmetis(SIMPLE).unwrap();
+        let map = vertex_numbers(&g);
+        assert_eq!(map[&NodeId::from_index(3)], 4);
+    }
+}

@@ -1,0 +1,97 @@
+//! Index newtypes for nodes, nets, and terminals.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $tag:literal) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+        #[cfg_attr(feature = "serde", serde(transparent))]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// Creates an id from a raw index.
+            ///
+            /// Ids are only meaningful relative to the [`crate::Hypergraph`]
+            /// they were obtained from; constructing one by hand is mainly
+            /// useful in tests and when deserializing external data.
+            #[inline]
+            #[must_use]
+            pub const fn from_index(index: usize) -> Self {
+                Self(index as u32)
+            }
+
+            /// Returns the raw index backing this id.
+            #[inline]
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            #[inline]
+            fn from(id: $name) -> usize {
+                id.index()
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of an interior node (a logic cell / cluster) of a
+    /// [`crate::Hypergraph`].
+    NodeId,
+    "x"
+);
+
+id_type!(
+    /// Identifier of a net (hyperedge) of a [`crate::Hypergraph`].
+    NetId,
+    "e"
+);
+
+id_type!(
+    /// Identifier of a primary terminal (external I/O) of a
+    /// [`crate::Hypergraph`].
+    TerminalId,
+    "y"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let n = NodeId::from_index(17);
+        assert_eq!(n.index(), 17);
+        assert_eq!(usize::from(n), 17);
+    }
+
+    #[test]
+    fn debug_and_display_tags() {
+        assert_eq!(format!("{:?}", NodeId::from_index(3)), "x3");
+        assert_eq!(format!("{}", NetId::from_index(4)), "e4");
+        assert_eq!(format!("{}", TerminalId::from_index(5)), "y5");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+        assert_eq!(NetId::from_index(9), NetId::from_index(9));
+    }
+}

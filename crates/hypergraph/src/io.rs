@@ -1,0 +1,229 @@
+//! Line-oriented text format (`.fhg`) for circuit hypergraphs.
+//!
+//! The format is deliberately simple so benchmark netlists can be stored in
+//! version control and diffed:
+//!
+//! ```text
+//! # comment
+//! circuit s5378
+//! node u17 1
+//! node u18 2
+//! net n1 u17 u18
+//! terminal pad3 n1
+//! ```
+//!
+//! Records may appear in any order as long as every name is declared before
+//! it is referenced. Blank lines and `#` comments are ignored.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::builder::HypergraphBuilder;
+use crate::error::ParseNetlistError;
+use crate::graph::Hypergraph;
+use crate::ids::{NetId, NodeId};
+
+/// Parses a netlist from any reader (pass `&mut reader` if you need the
+/// reader back afterwards).
+///
+/// # Errors
+///
+/// Returns [`ParseNetlistError`] on malformed records, undeclared names, or
+/// structural validation failure.
+pub fn read_netlist<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> {
+    let mut builder = HypergraphBuilder::new();
+    let mut nodes: HashMap<String, NodeId> = HashMap::new();
+    let mut nets: HashMap<String, NetId> = HashMap::new();
+
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.map_err(|_| ParseNetlistError::MalformedRecord {
+            line: line_no,
+            expected: "valid UTF-8 text",
+        })?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split_whitespace();
+        let keyword = fields.next().expect("non-empty line has a first field");
+        match keyword {
+            "circuit" => {
+                let name = fields.next().ok_or(ParseNetlistError::MalformedRecord {
+                    line: line_no,
+                    expected: "`circuit <name>`",
+                })?;
+                builder.set_name(name);
+            }
+            "node" => {
+                let name = fields.next();
+                let size = fields.next().and_then(|s| s.parse::<u32>().ok());
+                let (Some(name), Some(size)) = (name, size) else {
+                    return Err(ParseNetlistError::MalformedRecord {
+                        line: line_no,
+                        expected: "`node <name> <size>`",
+                    });
+                };
+                let id = builder.add_node(name, size);
+                nodes.insert(name.to_owned(), id);
+            }
+            "net" => {
+                let name = fields.next().ok_or(ParseNetlistError::MalformedRecord {
+                    line: line_no,
+                    expected: "`net <name> <node>...`",
+                })?;
+                let mut pins = Vec::new();
+                for pin in fields {
+                    let id = nodes.get(pin).ok_or_else(|| ParseNetlistError::UnknownName {
+                        line: line_no,
+                        name: pin.to_owned(),
+                    })?;
+                    pins.push(*id);
+                }
+                let id = builder.add_net(name, pins)?;
+                nets.insert(name.to_owned(), id);
+            }
+            "terminal" => {
+                let name = fields.next();
+                let net = fields.next();
+                let (Some(name), Some(net)) = (name, net) else {
+                    return Err(ParseNetlistError::MalformedRecord {
+                        line: line_no,
+                        expected: "`terminal <name> <net>`",
+                    });
+                };
+                let net_id = nets.get(net).ok_or_else(|| ParseNetlistError::UnknownName {
+                    line: line_no,
+                    name: net.to_owned(),
+                })?;
+                builder.add_terminal(name, *net_id)?;
+            }
+            other => {
+                return Err(ParseNetlistError::UnknownRecord {
+                    line: line_no,
+                    keyword: other.to_owned(),
+                });
+            }
+        }
+    }
+    Ok(builder.finish()?)
+}
+
+/// Parses a netlist from a string slice.
+///
+/// # Errors
+///
+/// See [`read_netlist`].
+pub fn parse_netlist(text: &str) -> Result<Hypergraph, ParseNetlistError> {
+    read_netlist(text.as_bytes())
+}
+
+/// Writes a netlist in `.fhg` format (pass `&mut writer` if you need the
+/// writer back afterwards).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_netlist<W: Write>(mut writer: W, graph: &Hypergraph) -> std::io::Result<()> {
+    if !graph.name().is_empty() {
+        writeln!(writer, "circuit {}", graph.name())?;
+    }
+    for node in graph.node_ids() {
+        writeln!(writer, "node {} {}", graph.node_name(node), graph.node_size(node))?;
+    }
+    for net in graph.net_ids() {
+        write!(writer, "net {}", graph.net_name(net))?;
+        for &pin in graph.pins(net) {
+            write!(writer, " {}", graph.node_name(pin))?;
+        }
+        writeln!(writer)?;
+    }
+    for terminal in graph.terminal_ids() {
+        writeln!(
+            writer,
+            "terminal {} {}",
+            graph.terminal_name(terminal),
+            graph.net_name(graph.terminal_net(terminal))
+        )?;
+    }
+    Ok(())
+}
+
+/// Serializes a netlist to a `.fhg` string.
+#[must_use]
+pub fn netlist_to_string(graph: &Hypergraph) -> String {
+    let mut out = Vec::new();
+    write_netlist(&mut out, graph).expect("writing to a Vec cannot fail");
+    String::from_utf8(out).expect(".fhg output is always UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# tiny sample
+circuit demo
+node a 1
+node b 2
+node c 1
+net n1 a b
+net n2 b c
+terminal in0 n1
+terminal out0 n2
+";
+
+    #[test]
+    fn parse_sample() {
+        let h = parse_netlist(SAMPLE).unwrap();
+        assert_eq!(h.name(), "demo");
+        assert_eq!(h.node_count(), 3);
+        assert_eq!(h.net_count(), 2);
+        assert_eq!(h.terminal_count(), 2);
+        assert_eq!(h.total_size(), 4);
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let h = parse_netlist(SAMPLE).unwrap();
+        let text = netlist_to_string(&h);
+        let h2 = parse_netlist(&text).unwrap();
+        assert_eq!(h2.node_count(), h.node_count());
+        assert_eq!(h2.net_count(), h.net_count());
+        assert_eq!(h2.terminal_count(), h.terminal_count());
+        assert_eq!(h2.total_size(), h.total_size());
+        for (a, b) in h.net_ids().zip(h2.net_ids()) {
+            assert_eq!(h.pins(a), h2.pins(b));
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_keyword() {
+        let err = parse_netlist("frobnicate x").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::UnknownRecord { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_undeclared_pin() {
+        let err = parse_netlist("net n1 ghost").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::UnknownName { .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_node() {
+        let err = parse_netlist("node a notanumber").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::MalformedRecord { .. }));
+    }
+
+    #[test]
+    fn rejects_undeclared_terminal_net() {
+        let err = parse_netlist("terminal t ghostnet").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::UnknownName { .. }));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let h = parse_netlist("\n# hi\n\nnode a 1\nnet n a\n").unwrap();
+        assert_eq!(h.node_count(), 1);
+    }
+}

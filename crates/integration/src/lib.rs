@@ -1,0 +1,5 @@
+//! Host crate for the workspace-level integration tests in `/tests`.
+//!
+//! This crate intentionally has no library code: its `[[test]]` targets
+//! point at the repository-root `tests/` directory so the cross-crate
+//! integration suite lives where the repository layout promises it.

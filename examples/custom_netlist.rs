@@ -1,0 +1,66 @@
+//! Partition a netlist from the `.fhg` text format: parse, partition,
+//! and write the per-device sub-netlists back out.
+//!
+//! ```sh
+//! cargo run --release -p fpart-core --example custom_netlist
+//! ```
+//!
+//! In a real flow the input would come from a file
+//! (`fpart_hypergraph::io::read_netlist` accepts any `Read`); here the
+//! netlist is embedded so the example is self-contained.
+
+use fpart_core::{partition, FpartConfig};
+use fpart_device::DeviceConstraints;
+use fpart_hypergraph::io::{netlist_to_string, parse_netlist};
+use fpart_hypergraph::subgraph::{subgraph, BoundaryHandling};
+
+const NETLIST: &str = "\
+circuit crossbar4
+node sw00 3
+node sw01 3
+node sw10 3
+node sw11 3
+node buf0 1
+node buf1 1
+net row0 sw00 sw01 buf0
+net row1 sw10 sw11 buf1
+net col0 sw00 sw10
+net col1 sw01 sw11
+terminal in0 row0
+terminal in1 row1
+terminal out0 col0
+terminal out1 col1
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = parse_netlist(NETLIST)?;
+    println!(
+        "parsed `{}`: {} nodes, {} nets, {} terminals",
+        circuit.name(),
+        circuit.node_count(),
+        circuit.net_count(),
+        circuit.terminal_count()
+    );
+
+    // A deliberately tiny device so the crossbar must split.
+    let constraints = DeviceConstraints::new(8, 6);
+    let outcome = partition(&circuit, constraints, &FpartConfig::default())?;
+    println!(
+        "partitioned onto {} devices (feasible: {})\n",
+        outcome.device_count, outcome.feasible
+    );
+
+    // Emit one sub-netlist per device; cut nets get boundary terminals
+    // (`cut_<net>`), so each file's terminals are exactly the IOBs that
+    // device consumes.
+    for block in 0..outcome.device_count {
+        let members: Vec<_> = circuit
+            .node_ids()
+            .filter(|v| outcome.assignment[v.index()] as usize == block)
+            .collect();
+        let sub = subgraph(&circuit, &members, BoundaryHandling::MarkTerminals);
+        println!("--- device {block} ---");
+        print!("{}", netlist_to_string(&sub.graph));
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Sweep one circuit across the whole device catalog and filling ratios —
+//! the "which part should I buy?" workflow the paper's tooling served.
+//!
+//! ```sh
+//! cargo run --release -p fpart-core --example device_sweep
+//! ```
+
+use fpart_core::{partition, FpartConfig};
+use fpart_device::{lower_bound, Device};
+use fpart_hypergraph::gen::{find_profile, synthesize_mcnc, Technology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = find_profile("s9234").expect("known circuit");
+    let circuit = synthesize_mcnc(profile, Technology::Xc3000);
+    println!(
+        "s9234 on the XC3000 catalog ({} CLBs, {} IOBs)\n",
+        circuit.node_count(),
+        circuit.terminal_count()
+    );
+    println!(
+        "{:>8} {:>6} {:>8} {:>3} {:>7} {:>9} {:>9}",
+        "device", "delta", "devices", "M", "cut", "fill %", "time"
+    );
+
+    for device in Device::catalog() {
+        if device.is_xc2000_family() {
+            continue; // the s-circuits were only mapped to XC3000
+        }
+        for delta in [0.8, 0.9, 1.0] {
+            let constraints = device.constraints(delta);
+            if u64::from(circuit.node_ids().map(|v| circuit.node_size(v)).max().unwrap_or(1))
+                > constraints.s_max
+            {
+                continue;
+            }
+            let m = lower_bound(&circuit, constraints);
+            let start = std::time::Instant::now();
+            let outcome = partition(&circuit, constraints, &FpartConfig::default())?;
+            let fill = circuit.total_size() as f64
+                / (outcome.device_count as f64 * constraints.s_max as f64)
+                * 100.0;
+            println!(
+                "{:>8} {:>6.2} {:>7}{} {:>3} {:>7} {:>8.1}% {:>8.2?}",
+                device.name,
+                delta,
+                outcome.device_count,
+                if outcome.feasible { " " } else { "!" },
+                m,
+                outcome.cut,
+                fill,
+                start.elapsed()
+            );
+        }
+    }
+    println!("\nlarger parts and looser filling ratios need fewer devices, at lower fill");
+    Ok(())
+}

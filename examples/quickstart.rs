@@ -1,0 +1,69 @@
+//! Quickstart: build a small circuit, partition it onto XC3020 devices,
+//! and inspect the result.
+//!
+//! ```sh
+//! cargo run --release -p fpart-core --example quickstart
+//! ```
+
+use fpart_core::{partition, FpartConfig, PartitionError};
+use fpart_device::Device;
+use fpart_hypergraph::HypergraphBuilder;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A toy circuit: two 8-cell ripple-carry chains sharing a few control
+    // signals, plus primary I/O pads.
+    let mut builder = HypergraphBuilder::named("quickstart");
+    let mut cells = Vec::new();
+    for chain in 0..2 {
+        for bit in 0..8 {
+            cells.push(builder.add_node(format!("add{chain}_{bit}"), 4));
+        }
+    }
+    // Carry chains.
+    for chain in 0..2 {
+        for bit in 0..7 {
+            let a = cells[chain * 8 + bit];
+            let b = cells[chain * 8 + bit + 1];
+            builder.add_net(format!("carry{chain}_{bit}"), [a, b])?;
+        }
+    }
+    // Shared control net spanning both chains.
+    let control = builder.add_net("enable", [cells[0], cells[3], cells[8], cells[11]])?;
+    builder.add_terminal("pad_enable", control)?;
+    // Result pads on the last bit of each chain.
+    for chain in 0..2 {
+        let out = builder.add_net(format!("sum{chain}"), [cells[chain * 8 + 7]])?;
+        builder.add_terminal(format!("pad_sum{chain}"), out)?;
+    }
+    let circuit = builder.finish()?;
+
+    // Partition onto XC3020 parts with the paper's 0.9 filling ratio.
+    let device = Device::XC3020;
+    let constraints = device.constraints(0.9);
+    let outcome = match partition(&circuit, constraints, &FpartConfig::default()) {
+        Ok(outcome) => outcome,
+        Err(e @ PartitionError::OversizedNode { .. }) => {
+            eprintln!("this circuit cannot fit the device: {e}");
+            return Err(e.into());
+        }
+        Err(e) => return Err(e.into()),
+    };
+
+    println!(
+        "{} cells / {} nets -> {} x {} (lower bound {}, feasible: {})",
+        circuit.node_count(),
+        circuit.net_count(),
+        outcome.device_count,
+        device,
+        outcome.lower_bound,
+        outcome.feasible,
+    );
+    for (i, block) in outcome.blocks.iter().enumerate() {
+        println!(
+            "  device {i}: {} cells used of {}, {} IOBs of {}",
+            block.size, constraints.s_max, block.terminals, constraints.t_max
+        );
+    }
+    println!("  nets crossing devices: {}", outcome.cut);
+    Ok(())
+}

@@ -1,0 +1,191 @@
+//! Adversarial and degenerate-input tests: the shapes that break naive
+//! partitioners — giant nets, stars, disconnected components, heavy
+//! cells, I/O-impossible circuits.
+
+use fpart_core::{partition, FpartConfig, PartitionError};
+use fpart_device::DeviceConstraints;
+use fpart_hypergraph::{Hypergraph, HypergraphBuilder, NodeId};
+
+/// One net containing every cell: always cut once split, exposed to
+/// every block.
+#[test]
+fn single_giant_net() {
+    let mut b = HypergraphBuilder::new();
+    let nodes: Vec<NodeId> = (0..60).map(|i| b.add_node(format!("n{i}"), 1)).collect();
+    b.add_net("giant", nodes).unwrap();
+    let g = b.finish().unwrap();
+    let constraints = DeviceConstraints::new(20, 10);
+    let outcome = partition(&g, constraints, &FpartConfig::default()).expect("runs");
+    assert!(outcome.feasible);
+    assert!(outcome.device_count >= 3);
+    // The giant net is exposed to every block.
+    for block in &outcome.blocks {
+        assert!(block.terminals >= 1);
+    }
+}
+
+/// A star: one hub on 50 two-pin nets. The hub's block pays one IOB per
+/// spoke net that leaves it.
+#[test]
+fn star_topology() {
+    let mut b = HypergraphBuilder::new();
+    let hub = b.add_node("hub", 1);
+    for i in 0..50 {
+        let leaf = b.add_node(format!("leaf{i}"), 1);
+        b.add_net(format!("spoke{i}"), [hub, leaf]).unwrap();
+    }
+    let g = b.finish().unwrap();
+    let constraints = DeviceConstraints::new(30, 25);
+    let outcome = partition(&g, constraints, &FpartConfig::default()).expect("runs");
+    assert!(outcome.feasible, "blocks: {:?}", outcome.blocks);
+    // With 25 IOBs per device, the hub's block keeps ≥ 25 leaves local.
+    let hub_block = outcome.assignment[hub.index()];
+    let hub_block_report = &outcome.blocks[hub_block as usize];
+    assert!(hub_block_report.size >= 25);
+}
+
+/// Many disconnected components (no net crosses them): bin-packing-like.
+#[test]
+fn disconnected_components() {
+    let mut b = HypergraphBuilder::new();
+    for c in 0..12 {
+        let nodes: Vec<NodeId> =
+            (0..5).map(|i| b.add_node(format!("c{c}n{i}"), 1)).collect();
+        for w in nodes.windows(2) {
+            b.add_net(format!("c{c}e{}", w[0]), [w[0], w[1]]).unwrap();
+        }
+    }
+    let g = b.finish().unwrap();
+    let constraints = DeviceConstraints::new(15, 10);
+    let outcome = partition(&g, constraints, &FpartConfig::default()).expect("runs");
+    assert!(outcome.feasible);
+    // 60 cells / 15 per device → at least 4; components are free to pack.
+    assert!(outcome.device_count >= 4);
+    assert!(outcome.device_count <= 8, "used {}", outcome.device_count);
+    // No component needs to be cut: cut can be zero (components fit).
+    assert!(outcome.cut <= 12);
+}
+
+/// Wildly heterogeneous cell sizes: two near-device-sized cells plus
+/// dust. Exercises packing around immovable boulders.
+#[test]
+fn boulders_and_dust() {
+    let mut b = HypergraphBuilder::new();
+    let big1 = b.add_node("big1", 50);
+    let big2 = b.add_node("big2", 50);
+    let mut prev = big1;
+    for i in 0..40 {
+        let dust = b.add_node(format!("d{i}"), 1);
+        b.add_net(format!("e{i}"), [prev, dust]).unwrap();
+        prev = dust;
+    }
+    b.add_net("bridge", [prev, big2]).unwrap();
+    let g = b.finish().unwrap();
+    let constraints = DeviceConstraints::new(57, 64);
+    let outcome = partition(&g, constraints, &FpartConfig::default()).expect("runs");
+    assert!(outcome.feasible);
+    // The boulders can never share a device (50 + 50 > 57).
+    let b1 = outcome.assignment[big1.index()];
+    let b2 = outcome.assignment[big2.index()];
+    assert_ne!(b1, b2);
+}
+
+/// A circuit whose terminals alone exceed any achievable block count:
+/// every cell drives a terminal net and T_MAX is 1.
+#[test]
+fn io_impossible_circuit_fails_gracefully() {
+    let mut b = HypergraphBuilder::new();
+    let nodes: Vec<NodeId> = (0..8).map(|i| b.add_node(format!("n{i}"), 1)).collect();
+    for w in nodes.windows(2) {
+        b.add_net(format!("e{}", w[0]), [w[0], w[1]]).unwrap();
+    }
+    // Every cell also has a terminal net.
+    for (i, &n) in nodes.iter().enumerate() {
+        let net = b.add_net(format!("t{i}"), [n]).unwrap();
+        b.add_terminal(format!("pad{i}"), net).unwrap();
+    }
+    let g = b.finish().unwrap();
+    // One IOB per device but each cell needs one for its pad plus any
+    // cut nets — a single-cell block costs ≥ 1 (pad) + crossing chain
+    // nets, so feasibility is impossible.
+    let constraints = DeviceConstraints::new(4, 1);
+    match partition(&g, constraints, &FpartConfig::default()) {
+        Err(PartitionError::IterationLimit { .. }) => {}
+        Ok(outcome) => assert!(!outcome.feasible, "cannot be feasible"),
+        Err(e) => panic!("unexpected error: {e}"),
+    }
+}
+
+/// Nets with duplicate structure (parallel nets between the same pins)
+/// are each counted separately in gains and IOBs.
+#[test]
+fn parallel_nets() {
+    let mut b = HypergraphBuilder::new();
+    let x = b.add_node("x", 1);
+    let y = b.add_node("y", 1);
+    for i in 0..5 {
+        b.add_net(format!("p{i}"), [x, y]).unwrap();
+    }
+    let g = b.finish().unwrap();
+    let state = fpart_core::PartitionState::from_assignment(&g, vec![0, 1], 2);
+    assert_eq!(state.cut_count(), 5);
+    assert_eq!(state.block_terminals(0), 5);
+    // Merging removes all five at once.
+    let constraints = DeviceConstraints::new(2, 10);
+    let outcome = partition(&g, constraints, &FpartConfig::default()).expect("runs");
+    assert_eq!(outcome.device_count, 1);
+    assert_eq!(outcome.cut, 0);
+}
+
+/// Zero-terminal circuit: the I/O machinery must not divide by zero or
+/// misbehave when `|Y₀| = 0` (external balance is undefined).
+#[test]
+fn no_terminals_at_all() {
+    let mut b = HypergraphBuilder::new();
+    let nodes: Vec<NodeId> = (0..30).map(|i| b.add_node(format!("n{i}"), 1)).collect();
+    for w in nodes.windows(2) {
+        b.add_net(format!("e{}", w[0]), [w[0], w[1]]).unwrap();
+    }
+    let g = b.finish().unwrap();
+    let constraints = DeviceConstraints::new(10, 5);
+    let outcome = partition(&g, constraints, &FpartConfig::default()).expect("runs");
+    assert!(outcome.feasible);
+    assert_eq!(outcome.device_count, 3);
+}
+
+/// The same circuit under ever-tighter terminal budgets: device counts
+/// must be monotone (non-decreasing) as T_MAX shrinks.
+#[test]
+fn tighter_io_budgets_never_help() {
+    let g = chain_with_terminals(80, 20);
+    let mut last = 0usize;
+    for t_max in [64usize, 16, 8, 4] {
+        let constraints = DeviceConstraints::new(30, t_max);
+        let Ok(outcome) = partition(&g, constraints, &FpartConfig::default()) else {
+            continue; // tightest budgets may be infeasible — fine
+        };
+        if !outcome.feasible {
+            continue;
+        }
+        assert!(
+            outcome.device_count >= last,
+            "t_max {t_max}: {} devices after {last}",
+            outcome.device_count
+        );
+        last = outcome.device_count;
+    }
+}
+
+fn chain_with_terminals(n: usize, terminals: usize) -> Hypergraph {
+    let mut b = HypergraphBuilder::new();
+    let nodes: Vec<NodeId> = (0..n).map(|i| b.add_node(format!("n{i}"), 1)).collect();
+    let mut nets = Vec::new();
+    for w in nodes.windows(2) {
+        nets.push(b.add_net(format!("e{}", w[0]), [w[0], w[1]]).unwrap());
+    }
+    for t in 0..terminals {
+        let net = nets[t * nets.len() / terminals];
+        b.add_terminal(format!("pad{t}"), net).unwrap();
+    }
+    b.finish().unwrap()
+}

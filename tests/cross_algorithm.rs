@@ -1,0 +1,104 @@
+//! Cross-method integration: the ordering claims of the paper's tables
+//! must hold between our implementations on the synthesized workloads.
+
+use fpart_baselines::{fbb_mw_partition, first_fit_partition, kway_partition, FlowConfig};
+use fpart_core::{partition, FpartConfig};
+use fpart_device::Device;
+use fpart_hypergraph::gen::{find_profile, synthesize_mcnc, Technology};
+
+/// FPART never uses more devices than the recursive-FM baseline — the
+/// paper's headline (Table 2: 180 vs 210).
+#[test]
+fn fpart_beats_or_ties_kway_everywhere() {
+    let constraints = Device::XC3020.constraints(0.9);
+    for name in ["c3540", "c5315", "c7552", "s5378", "s9234", "s13207"] {
+        let graph = synthesize_mcnc(find_profile(name).expect("known"), Technology::Xc3000);
+        let fpart = partition(&graph, constraints, &FpartConfig::default()).expect("fpart");
+        let kway = kway_partition(&graph, constraints).expect("kway");
+        assert!(fpart.feasible, "{name}: fpart infeasible");
+        // An infeasible greedy result is a loss regardless of its count.
+        assert!(
+            !kway.feasible || fpart.device_count <= kway.device_count,
+            "{name}: fpart {} > kway {}",
+            fpart.device_count,
+            kway.device_count
+        );
+    }
+}
+
+/// Every serious method beats naive first-fit.
+#[test]
+fn everyone_beats_naive() {
+    let constraints = Device::XC3020.constraints(0.9);
+    for name in ["c3540", "s9234"] {
+        let graph = synthesize_mcnc(find_profile(name).expect("known"), Technology::Xc3000);
+        let naive = first_fit_partition(&graph, constraints);
+        let fpart = partition(&graph, constraints, &FpartConfig::default()).expect("fpart");
+        let flow =
+            fbb_mw_partition(&graph, constraints, &FlowConfig::default()).expect("flow");
+        assert!(fpart.device_count < naive.device_count, "{name} fpart vs naive");
+        assert!(flow.device_count < naive.device_count, "{name} flow vs naive");
+    }
+}
+
+/// All methods produce structurally valid partitions of the same circuit
+/// (validated independently by `BaselineOutcome::validate`).
+#[test]
+fn all_methods_produce_valid_partitions() {
+    let constraints = Device::XC3042.constraints(0.9);
+    let graph = synthesize_mcnc(find_profile("s5378").expect("known"), Technology::Xc3000);
+
+    let kway = kway_partition(&graph, constraints).expect("kway");
+    kway.validate(&graph, constraints);
+
+    let flow = fbb_mw_partition(&graph, constraints, &FlowConfig::default()).expect("flow");
+    flow.validate(&graph, constraints);
+
+    let naive = first_fit_partition(&graph, constraints);
+    naive.validate(&graph, constraints);
+
+    let fpart = partition(&graph, constraints, &FpartConfig::default()).expect("fpart");
+    // Adapt the core outcome to the same validator.
+    let as_baseline = fpart_baselines::BaselineOutcome {
+        assignment: fpart.assignment.clone(),
+        device_count: fpart.device_count,
+        feasible: fpart.feasible,
+        cut: fpart.cut,
+    };
+    as_baseline.validate(&graph, constraints);
+}
+
+/// The ablated (classical) configuration is never better than the full
+/// FPART configuration on the paper workloads — each §3 device earns its
+/// keep.
+#[test]
+fn full_config_dominates_classical_config() {
+    let constraints = Device::XC3020.constraints(0.9);
+    for name in ["c5315", "s9234", "s13207"] {
+        let graph = synthesize_mcnc(find_profile(name).expect("known"), Technology::Xc3000);
+        let full = partition(&graph, constraints, &FpartConfig::default()).expect("full");
+        let classical =
+            partition(&graph, constraints, &FpartConfig::classical()).expect("classical");
+        assert!(
+            full.device_count <= classical.device_count,
+            "{name}: full {} > classical {}",
+            full.device_count,
+            classical.device_count
+        );
+    }
+}
+
+/// I/O-critical circuit: c5315 (301 IOBs) exceeds its size-only bound on
+/// XC3020 for every method, exactly as in the paper (M = 7, all methods
+/// ≥ 8).
+#[test]
+fn io_critical_circuit_exceeds_size_bound() {
+    let constraints = Device::XC3020.constraints(0.9);
+    let graph = synthesize_mcnc(find_profile("c5315").expect("known"), Technology::Xc3000);
+    let fpart = partition(&graph, constraints, &FpartConfig::default()).expect("fpart");
+    assert!(fpart.feasible);
+    assert!(
+        fpart.device_count > fpart.lower_bound,
+        "expected I/O pressure to push c5315 above its size bound"
+    );
+}

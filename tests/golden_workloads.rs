@@ -1,0 +1,81 @@
+//! Golden-workload determinism tests.
+//!
+//! Every experiment in EXPERIMENTS.md depends on the synthetic MCNC
+//! workloads being *bit-identical* across runs and refactors — the Rent
+//! calibration (DESIGN.md) is tied to these exact netlists. These tests
+//! pin a structural fingerprint of each workload; if a generator change
+//! alters them, the calibration and the recorded results must be redone,
+//! and this failing test is the reminder.
+
+use fpart_hypergraph::gen::{mcnc_profiles, synthesize_mcnc, Technology};
+use fpart_hypergraph::Hypergraph;
+
+/// FNV-1a over the full net/pin/terminal structure.
+fn fingerprint(graph: &Hypergraph) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |value: u64| {
+        for byte in value.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(graph.node_count() as u64);
+    mix(graph.net_count() as u64);
+    mix(graph.terminal_count() as u64);
+    for net in graph.net_ids() {
+        mix(graph.pins(net).len() as u64);
+        for &pin in graph.pins(net) {
+            mix(pin.index() as u64);
+        }
+    }
+    for t in graph.terminal_ids() {
+        mix(graph.terminal_net(t).index() as u64);
+    }
+    h
+}
+
+#[test]
+fn workload_fingerprints_are_stable_within_a_run() {
+    for profile in mcnc_profiles().iter().take(4) {
+        let a = fingerprint(&synthesize_mcnc(profile, Technology::Xc3000));
+        let b = fingerprint(&synthesize_mcnc(profile, Technology::Xc3000));
+        assert_eq!(a, b, "{} is not deterministic", profile.name);
+    }
+}
+
+/// The pinned fingerprints of all ten XC3000-mapped workloads. If this
+/// test fails after an intentional generator change, re-run the full
+/// calibration (see DESIGN.md), update EXPERIMENTS.md, and re-pin.
+#[test]
+fn xc3000_workload_fingerprints_are_pinned() {
+    let measured: Vec<(String, u64)> = mcnc_profiles()
+        .iter()
+        .map(|p| {
+            let g = synthesize_mcnc(p, Technology::Xc3000);
+            (p.name.to_owned(), fingerprint(&g))
+        })
+        .collect();
+    // To re-pin after an intentional change, print `measured` and paste.
+    let pinned: Vec<(String, u64)> = PINNED_XC3000
+        .iter()
+        .map(|(n, f)| ((*n).to_owned(), *f))
+        .collect();
+    assert_eq!(
+        measured, pinned,
+        "workload fingerprints changed — recalibrate and re-pin (see test docs)"
+    );
+}
+
+/// Pinned on the calibration used by EXPERIMENTS.md.
+const PINNED_XC3000: [(&str, u64); 10] = [
+    ("c3540", 0xc53db55fca2e099c),
+    ("c5315", 0xb5f6c97ad7f2b67e),
+    ("c6288", 0x0d90a10bcc7fbe8b),
+    ("c7552", 0xccf115b8e1ddf144),
+    ("s5378", 0x3a906c17503c9d99),
+    ("s9234", 0x64d26f9b548740b4),
+    ("s13207", 0x8881e89309f618ab),
+    ("s15850", 0x0153fdf7b183ff39),
+    ("s38417", 0x87b0501d86b5e021),
+    ("s38584", 0xbe287c0a2941f555),
+];

@@ -1,0 +1,239 @@
+//! Property-based tests over the core data structures and algorithms:
+//! random circuits, random move sequences, random device constraints.
+
+use fpart_core::bucket::GainBucket;
+use fpart_core::{partition, FpartConfig, PartitionState, SolutionKey};
+use fpart_device::DeviceConstraints;
+use fpart_hypergraph::gen::{window_circuit, WindowConfig};
+use fpart_hypergraph::{Hypergraph, NodeId};
+use proptest::prelude::*;
+
+/// Strategy: a small random hypergraph (connected enough to be
+/// interesting, with random sizes and a few terminals).
+fn arb_graph() -> impl Strategy<Value = Hypergraph> {
+    (4usize..40, 0usize..8, any::<u64>()).prop_map(|(nodes, terminals, seed)| {
+        let mut cfg = WindowConfig::new("prop", nodes, terminals);
+        cfg.extra_size_prob = 0.3;
+        window_circuit(&cfg, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental bookkeeping in `PartitionState` stays exactly
+    /// consistent with a from-scratch recount under arbitrary move
+    /// sequences.
+    #[test]
+    fn partition_state_consistent_under_random_moves(
+        graph in arb_graph(),
+        moves in proptest::collection::vec((any::<u32>(), 0usize..4), 0..60),
+        k in 2usize..5,
+    ) {
+        let n = graph.node_count();
+        let assignment: Vec<u32> = (0..n as u32).map(|i| i % k as u32).collect();
+        let mut state = PartitionState::from_assignment(&graph, assignment, k);
+        for (node, block) in moves {
+            let node = NodeId::from_index(node as usize % n);
+            state.move_node(node, block % k);
+        }
+        state.assert_consistent();
+    }
+
+    /// Terminal sums and cut counts are invariant under block
+    /// relabeling-like move cycles (move a node away and back).
+    #[test]
+    fn move_cycles_restore_state(
+        graph in arb_graph(),
+        picks in proptest::collection::vec(any::<u32>(), 1..20),
+    ) {
+        let n = graph.node_count();
+        let assignment: Vec<u32> = (0..n as u32).map(|i| i % 3).collect();
+        let mut state = PartitionState::from_assignment(&graph, assignment.clone(), 3);
+        let before: Vec<(u64, usize, usize)> = (0..3)
+            .map(|b| (state.block_size(b), state.block_terminals(b), state.block_externals(b)))
+            .collect();
+        let cut = state.cut_count();
+        for &p in &picks {
+            let node = NodeId::from_index(p as usize % n);
+            let home = state.block_of(node);
+            state.move_node(node, (home + 1) % 3);
+            state.move_node(node, (home + 2) % 3);
+            state.move_node(node, home);
+        }
+        let after: Vec<(u64, usize, usize)> = (0..3)
+            .map(|b| (state.block_size(b), state.block_terminals(b), state.block_externals(b)))
+            .collect();
+        prop_assert_eq!(before, after);
+        prop_assert_eq!(cut, state.cut_count());
+    }
+
+    /// FPART on random circuits: always terminates, and when it reports
+    /// feasible every block really fits and the count respects the bound.
+    #[test]
+    fn fpart_outcome_contract_on_random_circuits(
+        graph in arb_graph(),
+        s_max in 8u64..64,
+        t_max in 8usize..64,
+    ) {
+        let constraints = DeviceConstraints::new(s_max, t_max);
+        let max_node = graph.node_ids().map(|v| u64::from(graph.node_size(v))).max().unwrap_or(0);
+        prop_assume!(max_node <= s_max);
+        match partition(&graph, constraints, &FpartConfig::default()) {
+            Ok(outcome) => {
+                let total: u64 = outcome.blocks.iter().map(|b| b.size).sum();
+                prop_assert_eq!(total, graph.total_size());
+                if outcome.feasible {
+                    prop_assert!(outcome.device_count >= outcome.lower_bound);
+                    for b in &outcome.blocks {
+                        prop_assert!(constraints.fits(b.size, b.terminals));
+                    }
+                }
+            }
+            Err(fpart_core::PartitionError::IterationLimit { .. }) => {
+                // Permitted on adversarial I/O-dominated inputs.
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("unexpected error: {e}"))),
+        }
+    }
+
+    /// GainBucket behaves like a naive map from cell to gain.
+    #[test]
+    fn gain_bucket_matches_model(
+        ops in proptest::collection::vec((0u32..64, -8i32..=8, any::<bool>()), 1..200)
+    ) {
+        let mut bucket = GainBucket::new(64, 8);
+        let mut model: std::collections::HashMap<u32, i32> = std::collections::HashMap::new();
+        for (cell, gain, insert) in ops {
+            if insert {
+                model.entry(cell).or_insert_with(|| {
+                    bucket.insert(cell, gain);
+                    gain
+                });
+            } else {
+                let was = model.remove(&cell).is_some();
+                prop_assert_eq!(bucket.remove(cell), was);
+            }
+            prop_assert_eq!(bucket.len(), model.len());
+        }
+        // Max gain agrees with the model.
+        prop_assert_eq!(bucket.max_gain(), model.values().max().copied());
+        // Every modeled cell is present with the right gain.
+        for (&cell, &gain) in &model {
+            prop_assert!(bucket.contains(cell));
+            prop_assert_eq!(bucket.gain_of(cell), gain);
+        }
+    }
+
+    /// The text parsers never panic on arbitrary input — they either
+    /// parse or return a structured error.
+    #[test]
+    fn parsers_never_panic_on_garbage(text in "\\PC*{0,400}") {
+        let _ = fpart_hypergraph::io::parse_netlist(&text);
+        let _ = fpart_hypergraph::hmetis::parse_hmetis(&text);
+        let _ = fpart_hypergraph::blif::parse_blif(&text);
+    }
+
+    /// Structured-ish random `.fhg` documents: parse errors are fine,
+    /// successful parses must produce self-consistent graphs.
+    #[test]
+    fn fhg_fuzz_with_plausible_records(
+        records in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "node a 1", "node b 2", "node c 3", "net n1 a b", "net n2 b c",
+                "net n3 a", "terminal t1 n1", "terminal t2 n9", "circuit x",
+                "# comment", "", "node a", "net", "bogus line",
+            ]),
+            0..20,
+        )
+    ) {
+        let text = records.join("\n");
+        if let Ok(g) = fpart_hypergraph::io::parse_netlist(&text) {
+            for net in g.net_ids() {
+                for &pin in g.pins(net) {
+                    prop_assert!(g.nets(pin).contains(&net));
+                }
+            }
+        }
+    }
+
+    /// Coarsening conserves total size and yields a surjective map onto
+    /// the coarse nodes, for random circuits and caps.
+    #[test]
+    fn coarsening_invariants(
+        graph in arb_graph(),
+        cap in 2u64..12,
+        seed in any::<u64>(),
+    ) {
+        let c = fpart_hypergraph::coarsen::coarsen_by_connectivity(&graph, cap, seed);
+        prop_assert_eq!(c.coarse.total_size(), graph.total_size());
+        prop_assert_eq!(c.map.len(), graph.node_count());
+        let mut hit = vec![false; c.coarse.node_count()];
+        for m in &c.map {
+            prop_assert!(m.index() < c.coarse.node_count());
+            hit[m.index()] = true;
+        }
+        prop_assert!(hit.iter().all(|&h| h), "every coarse node has members");
+        prop_assert_eq!(c.coarse.terminal_count(), graph.terminal_count());
+    }
+
+    /// The independent verifier agrees with the incremental state on
+    /// random assignments.
+    #[test]
+    fn verifier_matches_state(
+        graph in arb_graph(),
+        k in 1usize..5,
+        seed in any::<u32>(),
+    ) {
+        let n = graph.node_count();
+        let assignment: Vec<u32> =
+            (0..n as u32).map(|i| (i.wrapping_mul(seed | 1)) % k as u32).collect();
+        let state = PartitionState::from_assignment(&graph, assignment.clone(), k);
+        let v = fpart_core::verify_assignment(
+            &graph,
+            &assignment,
+            k,
+            DeviceConstraints::new(u64::MAX / 2, usize::MAX / 2),
+        );
+        prop_assert_eq!(v.cut, state.cut_count());
+        for b in 0..k {
+            prop_assert_eq!(v.sizes[b], state.block_size(b));
+            prop_assert_eq!(v.terminals[b], state.block_terminals(b));
+        }
+    }
+
+    /// The lexicographic solution order is total, antisymmetric, and
+    /// transitive over random keys.
+    #[test]
+    fn solution_key_order_is_consistent(
+        raw in proptest::collection::vec(
+            (0usize..5, 0.0f64..4.0, 0usize..200, 0.0f64..2.0, 0usize..100),
+            3..12,
+        )
+    ) {
+        let keys: Vec<SolutionKey> = raw
+            .into_iter()
+            .map(|(f, d, t, e, c)| SolutionKey {
+                feasible_blocks: f,
+                total_blocks: 5,
+                infeasibility: d,
+                terminal_sum: t,
+                external_balance: e,
+                cut: c,
+            })
+            .collect();
+        for a in &keys {
+            prop_assert!(!a.better_than(a));
+            for b in &keys {
+                if a.better_than(b) {
+                    prop_assert!(!b.better_than(a));
+                }
+                for c in &keys {
+                    if a.better_than(b) && b.better_than(c) {
+                        prop_assert!(a.better_than(c));
+                    }
+                }
+            }
+        }
+    }
+}

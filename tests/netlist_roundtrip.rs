@@ -1,0 +1,81 @@
+//! Text-format integration: circuits survive a write/parse round trip
+//! with identical structure and identical partitioning results.
+
+use fpart_core::{partition, FpartConfig};
+use fpart_device::DeviceConstraints;
+use fpart_hypergraph::gen::{
+    clustered_circuit, layered_circuit, window_circuit, ClusteredConfig, LayeredConfig,
+    WindowConfig,
+};
+use fpart_hypergraph::io::{netlist_to_string, parse_netlist};
+use fpart_hypergraph::Hypergraph;
+
+fn assert_same_structure(a: &Hypergraph, b: &Hypergraph) {
+    assert_eq!(a.name(), b.name());
+    assert_eq!(a.node_count(), b.node_count());
+    assert_eq!(a.net_count(), b.net_count());
+    assert_eq!(a.terminal_count(), b.terminal_count());
+    assert_eq!(a.total_size(), b.total_size());
+    for (na, nb) in a.net_ids().zip(b.net_ids()) {
+        assert_eq!(a.net_name(na), b.net_name(nb));
+        let pins_a: Vec<&str> = a.pins(na).iter().map(|&p| a.node_name(p)).collect();
+        let pins_b: Vec<&str> = b.pins(nb).iter().map(|&p| b.node_name(p)).collect();
+        assert_eq!(pins_a, pins_b);
+    }
+    for (ta, tb) in a.terminal_ids().zip(b.terminal_ids()) {
+        assert_eq!(a.terminal_name(ta), b.terminal_name(tb));
+        assert_eq!(
+            a.net_name(a.terminal_net(ta)),
+            b.net_name(b.terminal_net(tb))
+        );
+    }
+}
+
+#[test]
+fn window_circuit_roundtrips() {
+    let g = window_circuit(&WindowConfig::new("w", 300, 24), 5);
+    let text = netlist_to_string(&g);
+    let parsed = parse_netlist(&text).expect("parses back");
+    assert_same_structure(&g, &parsed);
+}
+
+#[test]
+fn layered_circuit_roundtrips() {
+    let g = layered_circuit(&LayeredConfig::new("dag", 6, 10), 3);
+    let parsed = parse_netlist(&netlist_to_string(&g)).expect("parses back");
+    assert_same_structure(&g, &parsed);
+}
+
+#[test]
+fn clustered_circuit_roundtrips() {
+    let (g, _) = clustered_circuit(&ClusteredConfig::new("cl", 3, 12), 1);
+    let parsed = parse_netlist(&netlist_to_string(&g)).expect("parses back");
+    assert_same_structure(&g, &parsed);
+}
+
+/// Partitioning the parsed copy gives the identical result — the text
+/// format carries everything the algorithms see.
+#[test]
+fn partition_is_identical_across_roundtrip() {
+    let g = window_circuit(&WindowConfig::new("w", 250, 30), 11);
+    let parsed = parse_netlist(&netlist_to_string(&g)).expect("parses back");
+    let constraints = DeviceConstraints::new(40, 48);
+    let a = partition(&g, constraints, &FpartConfig::default()).expect("original");
+    let b = partition(&parsed, constraints, &FpartConfig::default()).expect("parsed");
+    assert_eq!(a.assignment, b.assignment);
+    assert_eq!(a.device_count, b.device_count);
+    assert_eq!(a.cut, b.cut);
+}
+
+/// Sizes above one survive the round trip (regression guard: the format
+/// must not assume unit sizes).
+#[test]
+fn sized_nodes_roundtrip() {
+    let mut cfg = WindowConfig::new("sized", 120, 10);
+    cfg.extra_size_prob = 0.5;
+    let g = window_circuit(&cfg, 7);
+    let parsed = parse_netlist(&netlist_to_string(&g)).expect("parses back");
+    for (a, b) in g.node_ids().zip(parsed.node_ids()) {
+        assert_eq!(g.node_size(a), parsed.node_size(b));
+    }
+}

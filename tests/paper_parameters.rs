@@ -1,0 +1,92 @@
+//! Paper-fidelity checks: the fixed parameter values of §4 and the exact
+//! reproducibility of every `M` column in Tables 2–5.
+
+use fpart_core::FpartConfig;
+use fpart_device::{lower_bound, Device};
+use fpart_hypergraph::gen::{find_profile, mcnc_profiles, synthesize_mcnc, Technology};
+
+/// §4: "All the results of the FPART algorithm were obtained with the
+/// following fixed values of the parameters…"
+#[test]
+fn default_config_is_the_papers_parameterization() {
+    let c = FpartConfig::default();
+    assert_eq!(c.sigma1, 0.5);
+    assert_eq!(c.sigma2, 0.5);
+    assert_eq!(c.n_small, 15);
+    assert_eq!(c.lambda_s, 0.4);
+    assert_eq!(c.lambda_t, 0.6);
+    assert_eq!(c.lambda_r, 0.1);
+    assert_eq!(c.eps_max, 1.05);
+    assert_eq!(c.eps_min_multi, 0.3);
+    assert_eq!(c.eps_min_two, 0.95);
+    assert_eq!(c.stack_depth, 4);
+    assert_eq!(c.gain_levels, 2);
+}
+
+/// The M column of Table 2 (XC3020, δ = 0.9), all ten circuits.
+#[test]
+fn table2_lower_bounds_exact() {
+    let expected = [5, 7, 15, 9, 7, 8, 16, 15, 39, 51];
+    let constraints = Device::XC3020.constraints(0.9);
+    for (profile, m) in mcnc_profiles().iter().zip(expected) {
+        let graph = synthesize_mcnc(profile, Technology::Xc3000);
+        assert_eq!(lower_bound(&graph, constraints), m, "{}", profile.name);
+    }
+}
+
+/// The M column of Table 3 (XC3042, δ = 0.9).
+#[test]
+fn table3_lower_bounds_exact() {
+    let expected = [3, 4, 7, 4, 3, 4, 8, 7, 18, 23];
+    let constraints = Device::XC3042.constraints(0.9);
+    for (profile, m) in mcnc_profiles().iter().zip(expected) {
+        let graph = synthesize_mcnc(profile, Technology::Xc3000);
+        assert_eq!(lower_bound(&graph, constraints), m, "{}", profile.name);
+    }
+}
+
+/// The M column of Table 4 (XC3090, δ = 0.9).
+#[test]
+fn table4_lower_bounds_exact() {
+    let expected = [1, 3, 3, 3, 2, 2, 4, 3, 8, 11];
+    let constraints = Device::XC3090.constraints(0.9);
+    for (profile, m) in mcnc_profiles().iter().zip(expected) {
+        let graph = synthesize_mcnc(profile, Technology::Xc3000);
+        assert_eq!(lower_bound(&graph, constraints), m, "{}", profile.name);
+    }
+}
+
+/// The M column of Table 5 (XC2064, δ = 1.0, XC2000 mapping).
+#[test]
+fn table5_lower_bounds_exact() {
+    let expected = [("c3540", 6), ("c5315", 9), ("c7552", 10), ("c6288", 14)];
+    let constraints = Device::XC2064.constraints(1.0);
+    for (name, m) in expected {
+        let profile = find_profile(name).expect("known circuit");
+        let graph = synthesize_mcnc(profile, Technology::Xc2000);
+        assert_eq!(lower_bound(&graph, constraints), m, "{name}");
+    }
+}
+
+/// Table 1 is reproduced exactly by the synthesizer: node counts per
+/// mapping and terminal counts for every circuit.
+#[test]
+fn table1_circuit_characteristics_exact() {
+    for profile in mcnc_profiles() {
+        for tech in [Technology::Xc2000, Technology::Xc3000] {
+            let graph = synthesize_mcnc(profile, tech);
+            assert_eq!(graph.node_count(), profile.clbs(tech), "{} {tech}", profile.name);
+            assert_eq!(graph.terminal_count(), profile.iobs, "{} {tech}", profile.name);
+            assert_eq!(graph.total_size(), profile.clbs(tech) as u64);
+        }
+    }
+}
+
+/// The paper's device data sheet values.
+#[test]
+fn device_catalog_matches_section4() {
+    assert_eq!((Device::XC3020.s_ds, Device::XC3020.t_max), (64, 64));
+    assert_eq!((Device::XC3042.s_ds, Device::XC3042.t_max), (144, 96));
+    assert_eq!((Device::XC3090.s_ds, Device::XC3090.t_max), (320, 144));
+    assert_eq!((Device::XC2064.s_ds, Device::XC2064.t_max), (64, 58));
+}
