@@ -37,11 +37,7 @@ impl FlowNetwork {
     /// Creates a network with `n` nodes and no edges.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        FlowNetwork {
-            graph: vec![Vec::new(); n],
-            level: vec![-1; n],
-            iter: vec![0; n],
-        }
+        FlowNetwork { graph: vec![Vec::new(); n], level: vec![-1; n], iter: vec![0; n] }
     }
 
     /// Number of nodes.

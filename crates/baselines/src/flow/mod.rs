@@ -114,16 +114,14 @@ pub fn fbb_mw_partition(
     let mut state = PartitionState::single_block(graph);
     let remainder = 0usize;
     let mut iterations = 0usize;
+    let mut cells = Vec::new();
 
-    while !constraints.fits(
-        state.block_size(remainder),
-        state.block_terminals(remainder),
-    ) {
+    while !constraints.fits(state.block_size(remainder), state.block_terminals(remainder)) {
         iterations += 1;
         if iterations > cap {
             return Err(FlowError::IterationLimit { iterations });
         }
-        let cells = state.nodes_in_block(remainder);
+        state.nodes_in_block_into(remainder, &mut cells);
         let peel = fbb_peel(graph, &state, &cells, constraints);
         let mut peel = if peel.is_empty() {
             // Degenerate subcircuit: peel a BFS chunk to guarantee progress.
@@ -148,10 +146,7 @@ pub fn fbb_mw_partition(
             count += 1;
         }
     }
-    let assignment: Vec<u32> = graph
-        .node_ids()
-        .map(|v| dense[state.block_of(v)])
-        .collect();
+    let assignment: Vec<u32> = graph.node_ids().map(|v| dense[state.block_of(v)]).collect();
     let feasible = (0..k)
         .filter(|&b| state.block_size(b) > 0)
         .all(|b| constraints.fits(state.block_size(b), state.block_terminals(b)));
@@ -221,11 +216,7 @@ fn fbb_peel_attempt(
                 continue;
             }
             seen[net.index()] = true;
-            let inside = graph
-                .pins(net)
-                .iter()
-                .filter(|p| local[p.index()] != u32::MAX)
-                .count();
+            let inside = graph.pins(net).iter().filter(|p| local[p.index()] != u32::MAX).count();
             if inside >= 2 {
                 star_nets.push(net);
             }
@@ -286,12 +277,8 @@ fn fbb_peel_attempt(
     for _ in 0..nc {
         let _ = network.max_flow(source, sink);
         let side = network.min_cut_side(source);
-        let x: Vec<NodeId> = cells
-            .iter()
-            .enumerate()
-            .filter(|&(i, _)| side[i])
-            .map(|(_, &v)| v)
-            .collect();
+        let x: Vec<NodeId> =
+            cells.iter().enumerate().filter(|&(i, _)| side[i]).map(|(_, &v)| v).collect();
         let w: u64 = x.iter().map(|&v| u64::from(graph.node_size(v))).sum();
         if w > constraints.s_max {
             break;
@@ -393,8 +380,7 @@ fn top_up(
     }
     let exposed = |cov_e: u32, net: fpart_hypergraph::NetId| {
         let n = graph.pins(net).len() as u32;
-        cov_e >= 1
-            && (n > cov_e || graph.net_has_terminal(net) || state.net_span(net) > 1)
+        cov_e >= 1 && (n > cov_e || graph.net_has_terminal(net) || state.net_span(net) > 1)
     };
     let mut t = 0usize;
     let mut seen = vec![false; graph.net_count()];
@@ -431,9 +417,7 @@ fn top_up(
                         let before = exposed(c, e);
                         let after = {
                             let n = graph.pins(e).len() as u32;
-                            n > c + 1
-                                || graph.net_has_terminal(e)
-                                || state.net_span(e) > 1
+                            n > c + 1 || graph.net_has_terminal(e) || state.net_span(e) > 1
                         };
                         dt += i64::from(after) - i64::from(before);
                     }
@@ -484,12 +468,7 @@ fn peel_terminals(graph: &Hypergraph, state: &PartitionState<'_>, x: &[NodeId]) 
 }
 
 /// BFS-farthest cell from `seed` within the subcircuit.
-fn farthest_within(
-    graph: &Hypergraph,
-    cells: &[NodeId],
-    local: &[u32],
-    seed: NodeId,
-) -> NodeId {
+fn farthest_within(graph: &Hypergraph, cells: &[NodeId], local: &[u32], seed: NodeId) -> NodeId {
     let mut dist = vec![-1i64; graph.node_count()];
     let mut queue = std::collections::VecDeque::new();
     dist[seed.index()] = 0;
@@ -634,12 +613,7 @@ mod tests {
         out.validate(&g, constraints);
         assert_eq!(out.device_count, 2);
         // The min-cut method should land at (or very near) the planted cut.
-        assert!(
-            out.cut <= cfg.inter_nets + 3,
-            "cut {} vs planted {}",
-            out.cut,
-            cfg.inter_nets
-        );
+        assert!(out.cut <= cfg.inter_nets + 3, "cut {} vs planted {}", out.cut, cfg.inter_nets);
     }
 
     #[test]
@@ -649,9 +623,8 @@ mod tests {
         let y = b.add_node("y", 1);
         b.add_net("e", [x, y]).unwrap();
         let g = b.finish().unwrap();
-        let err =
-            fbb_mw_partition(&g, DeviceConstraints::new(50, 10), &FlowConfig::default())
-                .unwrap_err();
+        let err = fbb_mw_partition(&g, DeviceConstraints::new(50, 10), &FlowConfig::default())
+            .unwrap_err();
         assert!(matches!(err, FlowError::OversizedNode { .. }));
     }
 

@@ -58,8 +58,8 @@ pub fn kway_partition(
 mod tests {
     use super::*;
     use fpart_core::partition;
-    use fpart_hypergraph::gen::{synthesize_mcnc, find_profile, Technology};
     use fpart_hypergraph::gen::{clustered_circuit, ClusteredConfig};
+    use fpart_hypergraph::gen::{find_profile, synthesize_mcnc, Technology};
 
     #[test]
     fn kway_produces_valid_feasible_partition() {

@@ -67,13 +67,9 @@ impl BaselineOutcome {
         }
         let k = self.device_count;
         assert!(self.assignment.iter().all(|&b| (b as usize) < k));
-        let state = fpart_core::PartitionState::from_assignment(
-            graph,
-            self.assignment.clone(),
-            k,
-        );
-        let all_fit = (0..k)
-            .all(|b| constraints.fits(state.block_size(b), state.block_terminals(b)));
+        let state = fpart_core::PartitionState::from_assignment(graph, self.assignment.clone(), k);
+        let all_fit =
+            (0..k).all(|b| constraints.fits(state.block_size(b), state.block_terminals(b)));
         assert_eq!(all_fit, self.feasible, "feasibility flag disagrees with blocks");
         assert_eq!(state.cut_count(), self.cut, "cut count disagrees");
     }

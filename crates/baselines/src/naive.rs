@@ -32,18 +32,10 @@ use crate::BaselineOutcome;
 /// assert!(outcome.device_count >= 3);
 /// ```
 #[must_use]
-pub fn first_fit_partition(
-    graph: &Hypergraph,
-    constraints: DeviceConstraints,
-) -> BaselineOutcome {
+pub fn first_fit_partition(graph: &Hypergraph, constraints: DeviceConstraints) -> BaselineOutcome {
     let n = graph.node_count();
     if n == 0 {
-        return BaselineOutcome {
-            assignment: Vec::new(),
-            device_count: 0,
-            feasible: true,
-            cut: 0,
-        };
+        return BaselineOutcome { assignment: Vec::new(), device_count: 0, feasible: true, cut: 0 };
     }
 
     // BFS order over the net adjacency, restarting per component.
@@ -96,20 +88,12 @@ pub fn first_fit_partition(
             count += 1;
         }
     }
-    let assignment: Vec<u32> = graph
-        .node_ids()
-        .map(|v| dense[state.block_of(v)])
-        .collect();
+    let assignment: Vec<u32> = graph.node_ids().map(|v| dense[state.block_of(v)]).collect();
     let feasible = (0..k)
         .filter(|&b| state.block_size(b) > 0)
         .all(|b| constraints.fits(state.block_size(b), state.block_terminals(b)));
 
-    BaselineOutcome {
-        assignment,
-        device_count: count as usize,
-        feasible,
-        cut: state.cut_count(),
-    }
+    BaselineOutcome { assignment, device_count: count as usize, feasible, cut: state.cut_count() }
 }
 
 #[cfg(test)]

@@ -72,9 +72,10 @@ struct ReplicationState<'a> {
 impl ReplicationState<'_> {
     /// Whether net `e` is present in block `b` (original pin or copy).
     fn present(&self, e: NetId, b: u32) -> bool {
-        self.graph.pins(e).iter().any(|&p| {
-            self.assignment[p.index()] == b || self.copied[p.index()].contains(&b)
-        })
+        self.graph
+            .pins(e)
+            .iter()
+            .any(|&p| self.assignment[p.index()] == b || self.copied[p.index()].contains(&b))
     }
 
     /// Original pins of `e` missing from block `b`'s closure.
@@ -83,9 +84,7 @@ impl ReplicationState<'_> {
             .pins(e)
             .iter()
             .copied()
-            .filter(|&p| {
-                self.assignment[p.index()] != b && !self.copied[p.index()].contains(&b)
-            })
+            .filter(|&p| self.assignment[p.index()] != b && !self.copied[p.index()].contains(&b))
             .collect()
     }
 
@@ -134,8 +133,7 @@ impl ReplicationState<'_> {
             // After the copy: e is present in b; closed iff its missing
             // pins were exactly {v} and it has no terminal.
             let missing = self.missing_pins(e, b);
-            let closed_after = !self.graph.net_has_terminal(e)
-                && missing.iter().all(|&p| p == v);
+            let closed_after = !self.graph.net_has_terminal(e) && missing.iter().all(|&p| p == v);
             let present_before = self.present(e, b);
             let exposed_after = !closed_after;
             match (present_before, was_exposed, exposed_after) {
@@ -219,11 +217,8 @@ pub fn replicate(
             // Candidate pairs: each pin of a multi-block net × each other
             // block the net touches.
             let blocks: Vec<u32> = {
-                let mut bs: Vec<u32> = graph
-                    .pins(e)
-                    .iter()
-                    .map(|&p| assignment[p.index()])
-                    .collect();
+                let mut bs: Vec<u32> =
+                    graph.pins(e).iter().map(|&p| assignment[p.index()]).collect();
                 bs.sort_unstable();
                 bs.dedup();
                 bs
@@ -252,12 +247,7 @@ pub fn replicate(
     }
 
     let terminals_after: Vec<usize> = (0..k as u32).map(|b| state.terminals(b)).collect();
-    ReplicationOutcome {
-        copies,
-        terminals_before,
-        terminals_after,
-        sizes_after: state.sizes,
-    }
+    ReplicationOutcome { copies, terminals_before, terminals_after, sizes_after: state.sizes }
 }
 
 #[cfg(test)]

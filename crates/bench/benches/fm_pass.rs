@@ -13,9 +13,7 @@ fn bench_improve(c: &mut Criterion) {
     let evaluator = CostEvaluator::new(constraints, &config, 8, graph.terminal_count());
 
     // Two-block: a 57-cell prefix block vs the rest as remainder.
-    let assignment: Vec<u32> = (0..graph.node_count())
-        .map(|i| u32::from(i >= 57))
-        .collect();
+    let assignment: Vec<u32> = (0..graph.node_count()).map(|i| u32::from(i >= 57)).collect();
     c.bench_function("improve_two_block_s9234", |b| {
         b.iter_batched(
             || PartitionState::from_assignment(&graph, assignment.clone(), 2),
@@ -46,8 +44,7 @@ fn bench_improve(c: &mut Criterion) {
         ),
     ] {
         let assignment = assignment.clone();
-        let evaluator =
-            CostEvaluator::new(constraints, &variant, 8, graph.terminal_count());
+        let evaluator = CostEvaluator::new(constraints, &variant, 8, graph.terminal_count());
         c.bench_function(&format!("improve_two_block_s9234_{label}"), |b| {
             b.iter_batched(
                 || PartitionState::from_assignment(&graph, assignment.clone(), 2),
@@ -67,9 +64,8 @@ fn bench_improve(c: &mut Criterion) {
     }
 
     // Multi-way: 8 stripes, all blocks active.
-    let stripes: Vec<u32> = (0..graph.node_count())
-        .map(|i| (i * 8 / graph.node_count()) as u32)
-        .collect();
+    let stripes: Vec<u32> =
+        (0..graph.node_count()).map(|i| (i * 8 / graph.node_count()) as u32).collect();
     c.bench_function("improve_all_blocks_s9234", |b| {
         b.iter_batched(
             || PartitionState::from_assignment(&graph, stripes.clone(), 8),

@@ -3,9 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use fpart_hypergraph::coarsen::coarsen_by_connectivity;
-use fpart_hypergraph::gen::{
-    find_profile, rent_circuit, synthesize_mcnc, RentConfig, Technology,
-};
+use fpart_hypergraph::gen::{find_profile, rent_circuit, synthesize_mcnc, RentConfig, Technology};
 
 fn bench_generators(c: &mut Criterion) {
     c.bench_function("rent_circuit_1000", |b| {

@@ -10,10 +10,7 @@ use fpart_hypergraph::Hypergraph;
 /// source/sink attached to the first and last node.
 fn star_network(graph: &Hypergraph) -> (FlowNetwork, usize, usize) {
     let nc = graph.node_count();
-    let nets: Vec<_> = graph
-        .net_ids()
-        .filter(|&e| graph.pins(e).len() >= 2)
-        .collect();
+    let nets: Vec<_> = graph.net_ids().filter(|&e| graph.pins(e).len() >= 2).collect();
     let source = nc + 2 * nets.len();
     let sink = source + 1;
     let mut network = FlowNetwork::new(sink + 1);

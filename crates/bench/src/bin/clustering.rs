@@ -43,6 +43,8 @@ fn main() {
             format!("{:.1}x", flat_t.as_secs_f64() / ml_t.as_secs_f64().max(1e-9)),
         ]);
     }
-    println!("Clustering study: flat FPART vs multilevel (coarsen → partition → refine) on XC3020\n");
+    println!(
+        "Clustering study: flat FPART vs multilevel (coarsen → partition → refine) on XC3020\n"
+    );
     print!("{}", render_table(&header, &rows, None));
 }

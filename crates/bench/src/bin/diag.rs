@@ -5,12 +5,14 @@ fn main() {
     for (dev, delta) in [(Device::XC3020, 0.9), (Device::XC3042, 0.9), (Device::XC3090, 0.9)] {
         let c = dev.constraints(delta);
         print!("{:8}", dev.name);
-        let mut tot = 0; let mut mtot = 0;
+        let mut tot = 0;
+        let mut mtot = 0;
         for p in mcnc_profiles() {
             let g = synthesize_mcnc(p, Technology::Xc3000);
             let o = partition(&g, c, &FpartConfig::default()).unwrap();
-            print!(" {}{}", o.device_count, if o.feasible {""} else {"!"});
-            tot += o.device_count; mtot += o.lower_bound;
+            print!(" {}{}", o.device_count, if o.feasible { "" } else { "!" });
+            tot += o.device_count;
+            mtot += o.lower_bound;
         }
         println!("  total={tot} M={mtot}");
     }

@@ -17,8 +17,7 @@ fn main() {
         let workload = Workload::new(profile, Device::XC3020);
 
         let start = std::time::Instant::now();
-        let recursive =
-            partition(&workload.graph, workload.constraints, &FpartConfig::default());
+        let recursive = partition(&workload.graph, workload.constraints, &FpartConfig::default());
         let rec_t = start.elapsed();
 
         let start = std::time::Instant::now();

@@ -17,13 +17,9 @@ use fpart_hypergraph::gen::find_profile;
 fn main() {
     let profile = find_profile("s5378").expect("known circuit");
     let workload = Workload::new(profile, Device::XC3020);
-    let outcome = partition_traced(
-        &workload.graph,
-        workload.constraints,
-        &FpartConfig::default(),
-        true,
-    )
-    .expect("s5378 partitions");
+    let outcome =
+        partition_traced(&workload.graph, workload.constraints, &FpartConfig::default(), true)
+            .expect("s5378 partitions");
 
     println!(
         "Figure 1: improvement-pass schedule for {} on XC3020 (M = {}, final k = {})\n",
@@ -37,9 +33,7 @@ fn main() {
                 );
             }
             TraceEvent::Bipartition { method, peeled_size, peeled_terminals, .. } => {
-                println!(
-                    "  Bipartition[{method:?}] peeled S={peeled_size} T={peeled_terminals}"
-                );
+                println!("  Bipartition[{method:?}] peeled S={peeled_size} T={peeled_terminals}");
             }
             TraceEvent::Improve {
                 kind,
@@ -69,8 +63,5 @@ fn main() {
             }
         }
     }
-    println!(
-        "\nfinal: {} devices, feasible = {}",
-        outcome.device_count, outcome.feasible
-    );
+    println!("\nfinal: {} devices, feasible = {}", outcome.device_count, outcome.feasible);
 }

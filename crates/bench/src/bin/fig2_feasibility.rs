@@ -16,13 +16,8 @@ fn main() {
     let profile = find_profile("s9234").expect("known circuit");
     let workload = Workload::new(profile, Device::XC3020);
     let constraints = workload.constraints;
-    let outcome = partition_traced(
-        &workload.graph,
-        constraints,
-        &FpartConfig::default(),
-        true,
-    )
-    .expect("s9234 partitions");
+    let outcome = partition_traced(&workload.graph, constraints, &FpartConfig::default(), true)
+        .expect("s9234 partitions");
 
     println!(
         "Figure 2: solution classification for {} on XC3020 (S_MAX={}, T_MAX={})\n",

@@ -14,10 +14,7 @@ use fpart_hypergraph::HypergraphBuilder;
 fn main() {
     let config = FpartConfig::default();
     let constraints = Device::XC3020.constraints(0.9);
-    println!(
-        "Figure 3: feasible move regions on XC3020 (S_MAX = {})\n",
-        constraints.s_max
-    );
+    println!("Figure 3: feasible move regions on XC3020 (S_MAX = {})\n", constraints.s_max);
     for (label, kind) in [
         ("two-block pass (ε²_min = 0.95, ε_max = 1.05)", PassKind::TwoBlock),
         ("multi-block pass (ε*_min = 0.3, ε_max = 1.05)", PassKind::MultiBlock),
@@ -30,10 +27,7 @@ fn main() {
         );
     }
     let after_m = MoveRegions::new(&config, constraints, PassKind::TwoBlock, usize::MAX, true);
-    println!(
-        "after k > M: upper bound tightens to S_MAX = {}\n",
-        after_m.upper_bound()
-    );
+    println!("after k > M: upper bound tightens to S_MAX = {}\n", after_m.upper_bound());
 
     // Acceptance map: can a unit cell leave/enter a block of size S?
     // Build a 3-block state: probe block (varying), peer block, remainder.

@@ -22,10 +22,7 @@ fn main() {
             "io-gain",
             FpartConfig { gain_objective: GainObjective::IoPins, ..FpartConfig::default() },
         ),
-        (
-            "early-stop(16)",
-            FpartConfig { early_stop_patience: Some(16), ..FpartConfig::default() },
-        ),
+        ("early-stop(16)", FpartConfig { early_stop_patience: Some(16), ..FpartConfig::default() }),
         (
             "both",
             FpartConfig {

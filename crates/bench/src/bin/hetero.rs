@@ -20,22 +20,23 @@ use fpart_hypergraph::gen::find_profile;
 fn main() {
     let circuits = ["c3540", "c5315", "s5378", "s9234", "s13207", "s15850"];
     let list = default_price_list();
-    let xc3090_price = list
-        .iter()
-        .find(|p| p.device == Device::XC3090)
-        .expect("catalog has the XC3090")
-        .price;
+    let xc3090_price =
+        list.iter().find(|p| p.device == Device::XC3090).expect("catalog has the XC3090").price;
 
     let header = [
-        "circuit", "homog. k", "homog. cost", "refit cost", "in-flow k", "in-flow cost",
+        "circuit",
+        "homog. k",
+        "homog. cost",
+        "refit cost",
+        "in-flow k",
+        "in-flow cost",
         "in-flow mix",
     ];
     let mut rows = Vec::new();
     for circuit in circuits {
         let profile = find_profile(circuit).expect("known circuit");
         let workload = Workload::new(profile, Device::XC3090);
-        let Ok(outcome) =
-            partition(&workload.graph, workload.constraints, &FpartConfig::default())
+        let Ok(outcome) = partition(&workload.graph, workload.constraints, &FpartConfig::default())
         else {
             continue;
         };
@@ -43,12 +44,10 @@ fn main() {
         let refit = fit_blocks(&usages, 0.9, &list);
         let homogeneous = xc3090_price * outcome.device_count as f64;
 
-        let inflow =
-            partition_hetero(&workload.graph, &list, 0.9, &FpartConfig::default());
+        let inflow = partition_hetero(&workload.graph, &list, 0.9, &FpartConfig::default());
         let (inflow_k, inflow_cost, inflow_mix) = match &inflow {
             Ok(h) => {
-                let mut mix: Vec<&str> =
-                    h.devices.iter().map(|d| d.device.name).collect();
+                let mut mix: Vec<&str> = h.devices.iter().map(|d| d.device.name).collect();
                 mix.sort_unstable();
                 mix.dedup();
                 (

@@ -15,29 +15,26 @@ use fpart_hypergraph::gen::find_profile;
 
 fn main() {
     let circuits = ["c3540", "c5315", "c7552", "s5378", "s9234", "s13207"];
-    let header = [
-        "circuit", "k", "copies", "IOBs saved", "infeasible before", "infeasible after",
-    ];
+    let header = ["circuit", "k", "copies", "IOBs saved", "infeasible before", "infeasible after"];
     let mut rows = Vec::new();
     for circuit in circuits {
         let profile = find_profile(circuit).expect("known circuit");
         let workload = Workload::new(profile, Device::XC3020);
         let Ok(base) = kway_partition(&workload.graph, workload.constraints) else {
-            rows.push(vec![circuit.to_owned(), "err".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            rows.push(vec![
+                circuit.to_owned(),
+                "err".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         };
-        let rep = replicate(
-            &workload.graph,
-            &base.assignment,
-            base.device_count,
-            workload.constraints,
-        );
+        let rep =
+            replicate(&workload.graph, &base.assignment, base.device_count, workload.constraints);
         let infeasible = |terminals: &[usize], sizes: &[u64]| {
-            terminals
-                .iter()
-                .zip(sizes)
-                .filter(|&(&t, &s)| !workload.constraints.fits(s, t))
-                .count()
+            terminals.iter().zip(sizes).filter(|&(&t, &s)| !workload.constraints.fits(s, t)).count()
         };
         // Sizes before replication equal sizes_after minus the copies'
         // contribution; recompute from the assignment for exactness.

@@ -1,0 +1,203 @@
+//! Smoke performance benchmark for the incremental-cost / zero-allocation
+//! / parallel-search work, emitting machine-readable `BENCH_pr1.json`.
+//!
+//! Three measurements:
+//!
+//! 1. **Pass throughput** — retained moves per second of `improve(...)`
+//!    on an MCNC-scale circuit (two-block and 8-way), exercising the
+//!    zero-allocation inner loop end to end.
+//! 2. **Per-move cost evaluation** — the incremental `KeyTracker` update
+//!    (O(1) per move) against the from-scratch O(k) scan the pass loop
+//!    performed before, over an identical move sequence. The reported
+//!    percentage is the single-thread pass-component gain attributable
+//!    to incremental key maintenance.
+//! 3. **Thread sweep** — wall time of multi-run `bipartition_fm` and of
+//!    driver-level `partition_restarts` at 1/2/4/8 threads. Results are
+//!    bit-identical across the sweep (asserted); only wall time varies.
+//!    `available_parallelism` is recorded because speedup is bounded by
+//!    the machine: a single-core container shows ~1.0×.
+//!
+//! Output path: first CLI argument, default `BENCH_pr1.json`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use fpart_core::cost::CostEvaluator;
+use fpart_core::fm::{bipartition_fm, FmConfig};
+use fpart_core::{
+    improve, partition_restarts, FpartConfig, ImproveContext, KeyTracker, PartitionState,
+};
+use fpart_device::{Device, DeviceConstraints};
+use fpart_hypergraph::gen::{find_profile, synthesize_mcnc, Technology};
+use fpart_hypergraph::NodeId;
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr1.json".to_owned());
+    let graph = synthesize_mcnc(find_profile("s9234").expect("profile"), Technology::Xc3000);
+    let constraints = Device::XC3020.constraints(0.9);
+    let config = FpartConfig::default();
+    let evaluator = CostEvaluator::new(constraints, &config, 8, graph.terminal_count());
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"circuit\": \"s9234\",");
+    let _ = writeln!(json, "  \"nodes\": {},", graph.node_count());
+    let _ = writeln!(json, "  \"available_parallelism\": {cores},");
+
+    // 1. Pass throughput: two-block and 8-way improve calls.
+    let two_block: Vec<u32> = (0..graph.node_count()).map(|i| u32::from(i >= 57)).collect();
+    let stripes: Vec<u32> =
+        (0..graph.node_count()).map(|i| (i * 8 / graph.node_count()) as u32).collect();
+    let mut throughput = Vec::new();
+    for (label, assignment, k, active) in [
+        ("two_block", &two_block, 2usize, vec![0usize, 1]),
+        ("eight_way", &stripes, 8usize, (0..8).collect()),
+    ] {
+        let mut moves = 0usize;
+        let mut passes = 0usize;
+        let reps = 8;
+        let start = Instant::now();
+        for _ in 0..reps {
+            let mut state = PartitionState::from_assignment(&graph, assignment.clone(), k);
+            let ctx = ImproveContext {
+                evaluator: &evaluator,
+                config: &config,
+                remainder: k - 1,
+                minimum_reached: false,
+            };
+            let stats = improve(&mut state, &active, &ctx);
+            moves += stats.moves;
+            passes += stats.passes;
+        }
+        let secs = start.elapsed().as_secs_f64();
+        #[allow(clippy::cast_precision_loss)]
+        let moves_per_sec = moves as f64 / secs;
+        println!(
+            "pass throughput [{label}]: {moves} moves, {passes} passes in {secs:.3}s \
+             => {moves_per_sec:.0} moves/s"
+        );
+        throughput.push(format!(
+            "    {{\"case\": \"{label}\", \"moves\": {moves}, \"passes\": {passes}, \
+             \"seconds\": {secs:.4}, \"moves_per_sec\": {moves_per_sec:.0}}}"
+        ));
+    }
+    let _ = writeln!(json, "  \"pass_throughput\": [\n{}\n  ],", throughput.join(",\n"));
+
+    // 2. Incremental key maintenance vs the from-scratch O(k) scan the
+    //    move loop used to perform after every applied move. Every timed
+    //    loop replays the identical move sequence; a move-only baseline
+    //    is subtracted so the reported numbers isolate the cost-evaluation
+    //    component that this change replaced.
+    let n = graph.node_count();
+    let mut key_eval = Vec::new();
+    for k in [8usize, 64] {
+        let striped: Vec<u32> = (0..n).map(|i| (i * k / n) as u32).collect();
+        let seq: Vec<(NodeId, usize)> =
+            (0..40_000).map(|i| (NodeId::from_index((i * 17) % n), ((i * 5) / 7) % k)).collect();
+        let evaluator = CostEvaluator::new(constraints, &config, k, graph.terminal_count());
+        let mut sink = 0usize;
+        // Take the minimum over several repetitions: each timed loop is
+        // only a few milliseconds, so a single sample is at the mercy of
+        // scheduler noise. The move sequence is valid from any state, so
+        // one state is reused across repetitions (construction untimed).
+        let reps = 7;
+
+        let mut state = PartitionState::from_assignment(&graph, striped.clone(), k);
+        let mut move_only = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            for &(node, to) in &seq {
+                state.move_node(node, to);
+                sink ^= state.block_of(node) as usize;
+            }
+            move_only = move_only.min(start.elapsed().as_secs_f64());
+        }
+
+        let mut state = PartitionState::from_assignment(&graph, striped.clone(), k);
+        let mut tracker = KeyTracker::new(&evaluator, &state);
+        let mut incremental = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            for &(node, to) in &seq {
+                let from = state.block_of(node);
+                state.move_node(node, to);
+                tracker.apply_move(&evaluator, &state, from, to);
+                sink ^= tracker.key(&evaluator, &state, None).cut;
+            }
+            incremental = incremental.min(start.elapsed().as_secs_f64());
+        }
+
+        let mut state = PartitionState::from_assignment(&graph, striped.clone(), k);
+        let mut scan = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            for &(node, to) in &seq {
+                state.move_node(node, to);
+                sink ^= evaluator.key(&state, None).cut;
+            }
+            scan = scan.min(start.elapsed().as_secs_f64());
+        }
+        std::hint::black_box(sink);
+
+        #[allow(clippy::cast_precision_loss)]
+        let per_move_ns = |secs: f64| secs * 1e9 / seq.len() as f64;
+        let inc_component = (incremental - move_only).max(1e-9);
+        let scan_component = (scan - move_only).max(1e-9);
+        let loop_gain_pct = (scan / incremental - 1.0) * 100.0;
+        let component_gain_pct = (scan_component / inc_component - 1.0) * 100.0;
+        println!(
+            "key evaluation per move (k={k}): incremental {:.0}ns, from-scratch {:.0}ns, \
+             move-only baseline {:.0}ns => loop {loop_gain_pct:.1}% faster, \
+             evaluation component {component_gain_pct:.0}% faster",
+            per_move_ns(incremental),
+            per_move_ns(scan),
+            per_move_ns(move_only)
+        );
+        key_eval.push(format!(
+            "    {{\"blocks\": {k}, \"moves\": {}, \"move_only_ns\": {:.1}, \
+             \"incremental_ns\": {:.1}, \"from_scratch_ns\": {:.1}, \
+             \"loop_gain_pct\": {loop_gain_pct:.1}, \
+             \"eval_component_gain_pct\": {component_gain_pct:.1}}}",
+            seq.len(),
+            per_move_ns(move_only),
+            per_move_ns(incremental),
+            per_move_ns(scan)
+        ));
+    }
+    let _ = writeln!(json, "  \"key_eval_per_move\": [\n{}\n  ],", key_eval.join(",\n"));
+
+    // 3. Thread sweep: multi-run bipartition and driver restarts.
+    let mut sweep = Vec::new();
+    let mut reference_cut = None;
+    for threads in [1usize, 2, 4, 8] {
+        let fm_config = FmConfig { runs: 8, threads, ..FmConfig::default() };
+        let start = Instant::now();
+        let bp = bipartition_fm(&graph, &fm_config);
+        let bp_secs = start.elapsed().as_secs_f64();
+        assert_eq!(*reference_cut.get_or_insert(bp.cut), bp.cut, "thread sweep diverged");
+
+        let start = Instant::now();
+        let outcome = partition_restarts(
+            &graph,
+            DeviceConstraints::new(constraints.s_max, constraints.t_max),
+            &config,
+            4,
+            threads,
+        );
+        let restart_secs = start.elapsed().as_secs_f64();
+        let devices = outcome.map_or(0, |o| o.device_count);
+        println!(
+            "threads={threads}: bipartition_fm(runs=8) {bp_secs:.3}s, \
+             partition_restarts(4) {restart_secs:.3}s ({devices} devices)"
+        );
+        sweep.push(format!(
+            "    {{\"threads\": {threads}, \"bipartition_runs8_seconds\": {bp_secs:.4}, \
+             \"restarts4_seconds\": {restart_secs:.4}}}"
+        ));
+    }
+    let _ = writeln!(json, "  \"thread_sweep\": [\n{}\n  ]", sweep.join(",\n"));
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+}

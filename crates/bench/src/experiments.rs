@@ -1,5 +1,6 @@
 //! Shared experiment drivers used by the per-table binaries.
 
+use fpart_core::parallel::run_indexed;
 use fpart_device::Device;
 use fpart_hypergraph::gen::find_profile;
 
@@ -7,8 +8,23 @@ use crate::published::PublishedRow;
 use crate::runner::{run_methods, MethodResult, Workload};
 use crate::table::{opt, render_table};
 
+/// Worker-thread count for table generation: `FPART_BENCH_THREADS` when
+/// set (0 or unparsable falls back), otherwise the machine's available
+/// parallelism. Thread count never changes table contents — each row is
+/// an independent deterministic computation and rows are aggregated in
+/// table order — only wall-clock time.
+#[must_use]
+pub fn bench_threads() -> usize {
+    std::env::var("FPART_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, std::num::NonZero::get))
+}
+
 /// Runs one results table (Tables 2–5): every circuit of `rows` on
-/// `device`, printing published columns next to measured ones.
+/// `device`, printing published columns next to measured ones. Rows are
+/// computed in parallel (see [`bench_threads`]).
 ///
 /// Returns the rendered table (also printed to stdout by the binaries).
 #[must_use]
@@ -21,15 +37,18 @@ pub fn run_results_table(title: &str, device: Device, rows: &[PublishedRow]) -> 
     let mut totals = [0usize; 5]; // fpart, kway, flow, naive, m
     let mut published_fpart = 0usize;
 
-    for row in rows {
+    let measure = |i: usize| {
+        let row = &rows[i];
         let profile = find_profile(row.circuit).expect("published row matches a profile");
         let workload = Workload::new(profile, device);
         let results = run_methods(&workload);
+        (workload, results)
+    };
+    let measured = run_indexed(rows.len(), bench_threads(), &measure);
+
+    for (row, (workload, results)) in rows.iter().zip(measured) {
         let get = |name: &str| -> &MethodResult {
-            results
-                .iter()
-                .find(|r| r.method == name)
-                .expect("method present")
+            results.iter().find(|r| r.method == name).expect("method present")
         };
         let fpart = get("FPART");
         let kway = get("kway");
@@ -42,13 +61,8 @@ pub fn run_results_table(title: &str, device: Device, rows: &[PublishedRow]) -> 
         totals[4] += workload.lower_bound;
         published_fpart += row.fpart.unwrap_or(0);
 
-        let mark = |r: &MethodResult| {
-            format!(
-                "{}{}",
-                r.device_count,
-                if r.feasible { "" } else { "!" }
-            )
-        };
+        let mark =
+            |r: &MethodResult| format!("{}{}", r.device_count, if r.feasible { "" } else { "!" });
         body.push(vec![
             row.circuit.to_owned(),
             opt(row.kway_x),

@@ -15,6 +15,6 @@ pub mod published;
 pub mod runner;
 pub mod table;
 
-pub use experiments::run_results_table;
+pub use experiments::{bench_threads, run_results_table};
 pub use runner::{run_methods, MethodResult, Workload};
 pub use table::render_table;

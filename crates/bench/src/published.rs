@@ -43,18 +43,7 @@ const fn row(
     fpart: Option<usize>,
     lower_bound: usize,
 ) -> PublishedRow {
-    PublishedRow {
-        circuit,
-        kway_x,
-        rp0,
-        prop_pop,
-        prop_prop,
-        sc,
-        wcdp,
-        fbb_mw,
-        fpart,
-        lower_bound,
-    }
+    PublishedRow { circuit, kway_x, rp0, prop_pop, prop_prop, sc, wcdp, fbb_mw, fpart, lower_bound }
 }
 
 /// Table 2: partitioning into XC3020 devices (δ = 0.9).
@@ -132,10 +121,9 @@ mod tests {
 
     #[test]
     fn table_totals_match_paper() {
-        let total =
-            |t: &[PublishedRow], f: fn(&PublishedRow) -> Option<usize>| -> usize {
-                t.iter().filter_map(f).sum()
-            };
+        let total = |t: &[PublishedRow], f: fn(&PublishedRow) -> Option<usize>| -> usize {
+            t.iter().filter_map(f).sum()
+        };
         // Totals printed in the paper's tables.
         assert_eq!(total(&TABLE2_XC3020, |r| r.kway_x), 210);
         assert_eq!(total(&TABLE2_XC3020, |r| r.rp0), 210);
@@ -168,10 +156,7 @@ mod tests {
 
     #[test]
     fn rows_align_with_mcnc_profiles() {
-        for (row, profile) in TABLE2_XC3020
-            .iter()
-            .zip(fpart_hypergraph::gen::mcnc_profiles())
-        {
+        for (row, profile) in TABLE2_XC3020.iter().zip(fpart_hypergraph::gen::mcnc_profiles()) {
             assert_eq!(row.circuit, profile.name);
         }
     }

@@ -27,11 +27,7 @@ impl Workload {
     /// filling ratio by device (0.9 for XC3000 parts, 1.0 for XC2064).
     #[must_use]
     pub fn new(profile: &McncProfile, device: Device) -> Self {
-        let tech = if device.is_xc2000_family() {
-            Technology::Xc2000
-        } else {
-            Technology::Xc3000
-        };
+        let tech = if device.is_xc2000_family() { Technology::Xc2000 } else { Technology::Xc3000 };
         let delta = if device.is_xc2000_family() { 1.0 } else { 0.9 };
         let constraints = device.constraints(delta);
         let graph = synthesize_mcnc(profile, tech);

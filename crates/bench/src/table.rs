@@ -17,11 +17,7 @@
 /// assert!(text.contains("Total"));
 /// ```
 #[must_use]
-pub fn render_table(
-    header: &[&str],
-    rows: &[Vec<String>],
-    totals: Option<Vec<String>>,
-) -> String {
+pub fn render_table(header: &[&str], rows: &[Vec<String>], totals: Option<Vec<String>>) -> String {
     let columns = header.len();
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
     let all_rows: Vec<&Vec<String>> = rows.iter().chain(totals.iter()).collect();

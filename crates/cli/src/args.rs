@@ -39,9 +39,8 @@ impl Args {
                 if spec.switches.contains(&name) {
                     args.switches.push(name.to_owned());
                 } else if spec.valued.contains(&name) {
-                    let value = iter
-                        .next()
-                        .ok_or_else(|| format!("option --{name} needs a value"))?;
+                    let value =
+                        iter.next().ok_or_else(|| format!("option --{name} needs a value"))?;
                     args.options.insert(name.to_owned(), value.clone());
                 } else {
                     return Err(format!("unknown option --{name}"));
@@ -70,16 +69,10 @@ impl Args {
     /// # Errors
     ///
     /// Returns a message naming the option on parse failure.
-    pub fn option_parsed<T: std::str::FromStr>(
-        &self,
-        name: &str,
-        default: T,
-    ) -> Result<T, String> {
+    pub fn option_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.option(name) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("option --{name}: cannot parse `{v}`")),
+            Some(v) => v.parse().map_err(|_| format!("option --{name}: cannot parse `{v}`")),
         }
     }
 
@@ -98,18 +91,13 @@ mod tests {
         args.iter().map(|s| (*s).to_owned()).collect()
     }
 
-    const SPEC: Spec<'_> = Spec {
-        valued: &["device", "delta", "seed"],
-        switches: &["trace"],
-    };
+    const SPEC: Spec<'_> = Spec { valued: &["device", "delta", "seed"], switches: &["trace"] };
 
     #[test]
     fn parses_mixed_arguments() {
-        let args = Args::parse(
-            &to_vec(&["input.fhg", "--device", "XC3020", "--trace", "out.txt"]),
-            SPEC,
-        )
-        .unwrap();
+        let args =
+            Args::parse(&to_vec(&["input.fhg", "--device", "XC3020", "--trace", "out.txt"]), SPEC)
+                .unwrap();
         assert_eq!(args.positional(0), Some("input.fhg"));
         assert_eq!(args.positional(1), Some("out.txt"));
         assert_eq!(args.positional(2), None);

@@ -18,7 +18,7 @@ use crate::netlist_file;
 /// `fpart partition <netlist> ...`
 pub fn partition(raw: &[String]) -> Result<(), String> {
     let spec = Spec {
-        valued: &["device", "delta", "method", "output", "s-max", "t-max"],
+        valued: &["device", "delta", "method", "output", "s-max", "t-max", "restarts", "threads"],
         switches: &["trace"],
     };
     let args = Args::parse(raw, spec)?;
@@ -27,6 +27,14 @@ pub fn partition(raw: &[String]) -> Result<(), String> {
 
     let constraints = resolve_constraints(&args)?;
     let method = args.option("method").unwrap_or("fpart");
+    let restarts: usize = args.option_parsed("restarts", 1)?;
+    let threads: usize = args.option_parsed("threads", 1)?;
+    if restarts == 0 || threads == 0 {
+        return Err("--restarts and --threads must be at least 1".to_owned());
+    }
+    if (restarts > 1 || threads > 1) && method != "fpart" {
+        return Err("--restarts/--threads only apply to --method fpart".to_owned());
+    }
     let m = lower_bound(&graph, constraints);
     eprintln!(
         "{}: {} cells, {} nets, {} terminals; device {constraints}; lower bound M = {m}",
@@ -39,9 +47,19 @@ pub fn partition(raw: &[String]) -> Result<(), String> {
     let started = std::time::Instant::now();
     let (assignment, device_count, feasible, cut) = match method {
         "fpart" => {
-            let outcome =
+            let outcome = if restarts > 1 {
+                fpart_core::partition_restarts(
+                    &graph,
+                    constraints,
+                    &FpartConfig::default(),
+                    restarts,
+                    threads,
+                )
+                .map_err(|e| e.to_string())?
+            } else {
                 partition_traced(&graph, constraints, &FpartConfig::default(), args.switch("trace"))
-                    .map_err(|e| e.to_string())?;
+                    .map_err(|e| e.to_string())?
+            };
             if args.switch("trace") {
                 print_trace(&outcome.trace);
             }
@@ -94,15 +112,12 @@ pub fn partition(raw: &[String]) -> Result<(), String> {
     );
     print_block_summary(&graph, &assignment, device_count, constraints);
     if device_count > 1 {
-        println!(
-            "{}",
-            fpart_core::InterconnectReport::new(&graph, &assignment, device_count)
-        );
+        println!("{}", fpart_core::InterconnectReport::new(&graph, &assignment, device_count));
     }
 
     if let Some(output) = args.option("output") {
-        let file = std::fs::File::create(output)
-            .map_err(|e| format!("cannot create {output}: {e}"))?;
+        let file =
+            std::fs::File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
         fpart_core::write_assignment(file, &graph, &assignment)
             .map_err(|e| format!("cannot write {output}: {e}"))?;
         eprintln!("assignment written to {output}");
@@ -138,11 +153,8 @@ fn print_block_summary(
     if device_count == 0 {
         return;
     }
-    let state = fpart_core::PartitionState::from_assignment(
-        graph,
-        assignment.to_vec(),
-        device_count,
-    );
+    let state =
+        fpart_core::PartitionState::from_assignment(graph, assignment.to_vec(), device_count);
     for b in 0..device_count {
         let fits = constraints.fits(state.block_size(b), state.block_terminals(b));
         println!(
@@ -201,8 +213,16 @@ pub fn stats(raw: &[String]) -> Result<(), String> {
 pub fn generate(raw: &[String]) -> Result<(), String> {
     let spec = Spec {
         valued: &[
-            "nodes", "terminals", "seed", "output", "circuit", "tech", "clusters",
-            "cluster-size", "levels", "width",
+            "nodes",
+            "terminals",
+            "seed",
+            "output",
+            "circuit",
+            "tech",
+            "clusters",
+            "cluster-size",
+            "levels",
+            "width",
         ],
         switches: &[],
     };
@@ -275,14 +295,11 @@ pub fn verify(raw: &[String]) -> Result<(), String> {
     // --output format).
     let file = std::fs::File::open(assignment_file)
         .map_err(|e| format!("cannot read {assignment_file}: {e}"))?;
-    let (assignment, k) = fpart_core::read_assignment(file, &graph)
-        .map_err(|e| format!("{assignment_file}: {e}"))?;
+    let (assignment, k) =
+        fpart_core::read_assignment(file, &graph).map_err(|e| format!("{assignment_file}: {e}"))?;
 
     let verification = fpart_core::verify_assignment(&graph, &assignment, k, constraints);
-    println!(
-        "{k} blocks, cut {} nets; device {constraints}",
-        verification.cut
-    );
+    println!("{k} blocks, cut {} nets; device {constraints}", verification.cut);
     if verification.is_feasible() {
         println!("VALID: every block meets the device constraints");
         Ok(())
@@ -298,13 +315,7 @@ pub fn verify(raw: &[String]) -> Result<(), String> {
 pub fn devices(_raw: &[String]) -> Result<(), String> {
     println!("{:>8} {:>6} {:>6}   S_MAX at δ=0.9", "device", "CLBs", "IOBs");
     for d in Device::catalog() {
-        println!(
-            "{:>8} {:>6} {:>6}   {}",
-            d.name,
-            d.s_ds,
-            d.t_max,
-            d.constraints(0.9).s_max
-        );
+        println!("{:>8} {:>6} {:>6}   {}", d.name, d.s_ds, d.t_max, d.constraints(0.9).s_max);
     }
     Ok(())
 }

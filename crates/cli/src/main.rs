@@ -34,6 +34,9 @@ PARTITION OPTIONS:
   --s-max N --t-max N custom device instead of --device
   --delta <F>         filling ratio (default 0.9)
   --method <M>        fpart (default) | kway | flow | naive | multilevel | direct
+  --restarts <N>      independent FPART runs with consecutive seeds; best wins (default 1)
+  --threads <N>       worker threads for --restarts; the result is identical
+                      for every thread count, only wall time changes (default 1)
   --output <FILE>     write `node block` assignment lines
   --trace             print the improvement schedule while running
 

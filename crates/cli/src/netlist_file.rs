@@ -15,8 +15,7 @@ pub fn read(path: &Path) -> Result<Hypergraph, String> {
     let file = File::open(path).map_err(|e| format!("cannot open {}: {e}", path.display()))?;
     let ext = |name: &str| path.extension().is_some_and(|e| e.eq_ignore_ascii_case(name));
     if ext("hgr") {
-        fpart_hypergraph::hmetis::read_hmetis(file)
-            .map_err(|e| format!("{}: {e}", path.display()))
+        fpart_hypergraph::hmetis::read_hmetis(file).map_err(|e| format!("{}: {e}", path.display()))
     } else if ext("blif") {
         fpart_hypergraph::blif::read_blif(file).map_err(|e| format!("{}: {e}", path.display()))
     } else {
@@ -30,8 +29,7 @@ pub fn read(path: &Path) -> Result<Hypergraph, String> {
 ///
 /// Returns a human-readable message on I/O failure.
 pub fn write(path: &Path, graph: &Hypergraph) -> Result<(), String> {
-    let file =
-        File::create(path).map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+    let file = File::create(path).map_err(|e| format!("cannot create {}: {e}", path.display()))?;
     let is_hgr = path.extension().is_some_and(|e| e.eq_ignore_ascii_case("hgr"));
     let result = if is_hgr {
         fpart_hypergraph::hmetis::write_hmetis(file, graph)

@@ -47,9 +47,7 @@ fn gen_stats_partition_convert_pipeline() {
 
     // gen
     let out = fpart()
-        .args([
-            "gen", "rent", "--nodes", "200", "--terminals", "24", "--seed", "7", "--output",
-        ])
+        .args(["gen", "rent", "--nodes", "200", "--terminals", "24", "--seed", "7", "--output"])
         .arg(&netlist)
         .output()
         .expect("runs");
@@ -102,18 +100,17 @@ fn partition_with_custom_device_and_methods() {
             .args(["--s-max", "20", "--t-max", "100", "--method", method])
             .output()
             .expect("runs");
-        assert!(
-            out.status.success(),
-            "{method}: {}",
-            String::from_utf8_lossy(&out.stderr)
-        );
+        assert!(out.status.success(), "{method}: {}", String::from_utf8_lossy(&out.stderr));
         assert!(String::from_utf8_lossy(&out.stdout).contains("devices"));
     }
 }
 
 #[test]
 fn partition_rejects_bad_inputs() {
-    let out = fpart().args(["partition", "/nonexistent.fhg", "--device", "XC3020"]).output().expect("runs");
+    let out = fpart()
+        .args(["partition", "/nonexistent.fhg", "--device", "XC3020"])
+        .output()
+        .expect("runs");
     assert!(!out.status.success());
 
     let dir = temp_dir("bad");
@@ -124,12 +121,8 @@ fn partition_rejects_bad_inputs() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--device"));
     // unknown device
-    let out = fpart()
-        .arg("partition")
-        .arg(&netlist)
-        .args(["--device", "XC9999"])
-        .output()
-        .expect("runs");
+    let out =
+        fpart().arg("partition").arg(&netlist).args(["--device", "XC9999"]).output().expect("runs");
     assert!(!out.status.success());
     // unknown method
     let out = fpart()
@@ -197,11 +190,8 @@ fn verify_accepts_partition_output_and_rejects_tampering() {
 fn blif_input_is_accepted() {
     let dir = temp_dir("blif");
     let blif = dir.join("adder.blif");
-    std::fs::write(
-        &blif,
-        ".model adder\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n",
-    )
-    .unwrap();
+    std::fs::write(&blif, ".model adder\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n")
+        .unwrap();
     let out = fpart().arg("stats").arg(&blif).output().expect("runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);

@@ -114,16 +114,13 @@ pub fn read_assignment<R: Read>(
             line: line_no,
             name: name.to_owned(),
         })?;
-        let block: u32 = block
-            .parse()
-            .map_err(|_| ReadAssignmentError::MalformedLine { line: line_no })?;
+        let block: u32 =
+            block.parse().map_err(|_| ReadAssignmentError::MalformedLine { line: line_no })?;
         assignment[node.index()] = block;
         k = k.max(block as usize + 1);
     }
     if let Some(missing) = graph.node_ids().find(|v| assignment[v.index()] == u32::MAX) {
-        return Err(ReadAssignmentError::MissingNode {
-            name: graph.node_name(missing).to_owned(),
-        });
+        return Err(ReadAssignmentError::MissingNode { name: graph.node_name(missing).to_owned() });
     }
     Ok((assignment, k))
 }

@@ -148,9 +148,7 @@ impl GainBucket {
         let offset = self.offset;
         let buckets = &self.buckets;
         top.into_iter().flat_map(move |t| {
-            (-offset..=t)
-                .rev()
-                .filter(move |g| !buckets[(g + offset) as usize].is_empty())
+            (-offset..=t).rev().filter(move |g| !buckets[(g + offset) as usize].is_empty())
         })
     }
 

@@ -201,10 +201,7 @@ impl FpartConfig {
             "stack depth must be positive when stacks are enabled"
         );
         assert!(self.max_passes > 0, "need at least one pass");
-        assert!(
-            (1..=4).contains(&self.gain_levels),
-            "gain levels must be between 1 and 4"
-        );
+        assert!((1..=4).contains(&self.gain_levels), "gain levels must be between 1 and 4");
         assert!(
             self.early_stop_patience != Some(0),
             "an early-stop patience of zero would end every pass at once"

@@ -17,7 +17,7 @@
 //! literally the two are inconsistent. We take the published *values* as
 //! direct multipliers — lower bound `ε_min·S_MAX`, upper bound
 //! `ε_max·S_MAX` — which is the only reading under which the stated intent
-//! "ε_min for two-block passes should be more strict, otherwise clusters
+//! "`ε_min` for two-block passes should be more strict, otherwise clusters
 //! have a tendency to move to the remainder" holds.)
 
 use fpart_device::DeviceConstraints;
@@ -68,11 +68,8 @@ impl MoveRegions {
             PassKind::TwoBlock => config.eps_min_two,
             PassKind::MultiBlock => config.eps_min_multi,
         };
-        let upper = if minimum_reached {
-            s_max
-        } else {
-            (s_max as f64 * config.eps_max).floor() as u64
-        };
+        let upper =
+            if minimum_reached { s_max } else { (s_max as f64 * config.eps_max).floor() as u64 };
         MoveRegions {
             lower: (s_max as f64 * eps_min).ceil() as u64,
             upper,
@@ -158,11 +155,8 @@ mod tests {
 
     fn graph_with_sizes(sizes: &[u32]) -> Hypergraph {
         let mut b = HypergraphBuilder::new();
-        let nodes: Vec<NodeId> = sizes
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| b.add_node(format!("n{i}"), s))
-            .collect();
+        let nodes: Vec<NodeId> =
+            sizes.iter().enumerate().map(|(i, &s)| b.add_node(format!("n{i}"), s)).collect();
         for w in nodes.windows(2) {
             b.add_net(format!("e{}", w[0]), [w[0], w[1]]).unwrap();
         }
@@ -195,8 +189,7 @@ mod tests {
     fn remainder_is_exempt_both_ways() {
         // block 0 (remainder) holds 60+40, block 1 holds 100.
         let g = graph_with_sizes(&[60, 40, 100]);
-        let state =
-            crate::state::PartitionState::from_assignment(&g, vec![0, 0, 1], 2);
+        let state = crate::state::PartitionState::from_assignment(&g, vec![0, 0, 1], 2);
         let r = regions(PassKind::TwoBlock, false);
         // Remainder may shrink below any lower bound (donating 5 of 100
         // leaves 95 on the remainder; irrelevant — it is exempt) as long
@@ -212,8 +205,7 @@ mod tests {
     #[test]
     fn non_remainder_upper_bound_enforced() {
         let g = graph_with_sizes(&[60, 40, 100]);
-        let state =
-            crate::state::PartitionState::from_assignment(&g, vec![0, 0, 1], 2);
+        let state = crate::state::PartitionState::from_assignment(&g, vec![0, 0, 1], 2);
         let r = regions(PassKind::TwoBlock, false);
         // moving size-60 cell into block 1 (100) → 160 > 105: illegal.
         assert!(!r.move_allowed(&state, 60, 0, 1));
@@ -230,8 +222,7 @@ mod tests {
     fn strict_two_block_lower_bound_blocks_donation() {
         // block 1 at exactly 96: donating 2 → 94 < 95 illegal; 1 → 95 legal.
         let g = graph_with_sizes(&[10, 94, 2]);
-        let state =
-            crate::state::PartitionState::from_assignment(&g, vec![0, 1, 1], 2);
+        let state = crate::state::PartitionState::from_assignment(&g, vec![0, 1, 1], 2);
         let r = regions(PassKind::TwoBlock, false);
         assert_eq!(state.block_size(1), 96);
         assert!(!r.move_allowed(&state, 2, 1, 0));
@@ -241,8 +232,7 @@ mod tests {
     #[test]
     fn multi_block_lower_bound_is_loose() {
         let g = graph_with_sizes(&[10, 94, 2]);
-        let state =
-            crate::state::PartitionState::from_assignment(&g, vec![0, 1, 1], 2);
+        let state = crate::state::PartitionState::from_assignment(&g, vec![0, 1, 1], 2);
         let r = regions(PassKind::MultiBlock, false);
         // down to 30 is fine in multi-block passes.
         assert!(r.move_allowed(&state, 2, 1, 0));
@@ -251,8 +241,7 @@ mod tests {
     #[test]
     fn block_level_gates() {
         let g = graph_with_sizes(&[10, 94, 2]);
-        let state =
-            crate::state::PartitionState::from_assignment(&g, vec![0, 1, 1], 2);
+        let state = crate::state::PartitionState::from_assignment(&g, vec![0, 1, 1], 2);
         let r = regions(PassKind::TwoBlock, false);
         assert!(r.can_donate(&state, 0)); // remainder always
         assert!(r.can_donate(&state, 1)); // 96 > 95
@@ -275,8 +264,7 @@ mod tests {
             false,
         );
         let g = graph_with_sizes(&[60, 40, 100]);
-        let state =
-            crate::state::PartitionState::from_assignment(&g, vec![0, 0, 1], 2);
+        let state = crate::state::PartitionState::from_assignment(&g, vec![0, 0, 1], 2);
         // no lower bound: block 1 may donate its whole content as long as
         // the receiver fits (100 + 5 = 105 ≤ 105)…
         assert_eq!(r.lower_bound(), 0);

@@ -82,7 +82,16 @@ impl SolutionKey {
 /// Evaluates [`SolutionKey`]s for a fixed device, lower bound `M`, and
 /// terminal total `|Y₀|`.
 ///
-/// Constructed once per partitioning run; evaluating a key is `O(k)`.
+/// Constructed once per partitioning run. A from-scratch evaluation
+/// ([`Self::key`]) is `O(k)`; the move loop instead maintains a
+/// [`KeyTracker`], which delta-updates the same aggregates in `O(1)` per
+/// move and produces bit-identical keys.
+///
+/// All per-block cost terms are aggregated as *integers* (size excess,
+/// terminal excess, external deficit numerators) and converted to the
+/// paper's `f64` distances by a single division at key-assembly time.
+/// Integer sums are order-independent, which is what makes the
+/// incremental and from-scratch paths agree exactly.
 #[derive(Debug, Clone)]
 pub struct CostEvaluator {
     constraints: DeviceConstraints,
@@ -91,10 +100,53 @@ pub struct CostEvaluator {
     lambda_r: f64,
     /// Lower bound `M` on the number of devices.
     m: usize,
-    /// `T^E_AVG = |Y₀| / M`.
-    t_avg_external: f64,
+    /// Circuit terminal total `|Y₀|` (the numerator of `T^E_AVG`).
+    y0: u64,
     use_infeasibility: bool,
     use_external_balance: bool,
+}
+
+/// Order-independent integer aggregates from which a [`SolutionKey`] is
+/// assembled in O(1).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct KeyAggregates {
+    /// Blocks meeting the device constraints.
+    feasible: usize,
+    /// `Σ_i max(0, S_i − S_MAX)`.
+    size_excess: u64,
+    /// `Σ_i max(0, T_i − T_MAX)`.
+    term_excess: u64,
+    /// `Σ_i max(0, |Y₀| − M·T_i^E)` — the external-balance deficit
+    /// numerator (`d_k^E = Σ (T^E_AVG − T_i^E)/T^E_AVG` with
+    /// `T^E_AVG = |Y₀|/M`, rewritten over a common denominator `|Y₀|`).
+    ext_deficit: u64,
+}
+
+/// One block's contribution to the [`KeyAggregates`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct BlockTerms {
+    fits: bool,
+    size_excess: u64,
+    term_excess: u64,
+    ext_deficit: u64,
+}
+
+impl KeyAggregates {
+    #[inline]
+    fn add(&mut self, t: BlockTerms) {
+        self.feasible += usize::from(t.fits);
+        self.size_excess += t.size_excess;
+        self.term_excess += t.term_excess;
+        self.ext_deficit += t.ext_deficit;
+    }
+
+    #[inline]
+    fn remove(&mut self, t: BlockTerms) {
+        self.feasible -= usize::from(t.fits);
+        self.size_excess -= t.size_excess;
+        self.term_excess -= t.term_excess;
+        self.ext_deficit -= t.ext_deficit;
+    }
 }
 
 impl CostEvaluator {
@@ -113,7 +165,7 @@ impl CostEvaluator {
             lambda_t: config.lambda_t,
             lambda_r: config.lambda_r,
             m: m.max(1),
-            t_avg_external: total_terminals as f64 / m.max(1) as f64,
+            y0: total_terminals as u64,
             use_infeasibility: config.use_infeasibility_cost,
             use_external_balance: config.use_external_balance,
         }
@@ -133,11 +185,7 @@ impl CostEvaluator {
     /// baseline rather than model it.
     #[must_use]
     pub fn with_full_cost(&self) -> CostEvaluator {
-        CostEvaluator {
-            use_infeasibility: true,
-            use_external_balance: true,
-            ..self.clone()
-        }
+        CostEvaluator { use_infeasibility: true, use_external_balance: true, ..self.clone() }
     }
 
     /// Returns the lower bound `M` used by the deviation penalties.
@@ -185,52 +233,85 @@ impl CostEvaluator {
 
     /// External I/O balance factor `d_k^E` (§3.4): total relative deficit
     /// of under-served blocks w.r.t. `T^E_AVG`.
+    ///
+    /// Computed over the common denominator `|Y₀|` — each block with
+    /// `M·T_i^E < |Y₀|` contributes `(|Y₀| − M·T_i^E)/|Y₀|`, which equals
+    /// the paper's `(T^E_AVG − T_i^E)/T^E_AVG` — so the value is a single
+    /// division of an integer sum and therefore order-independent.
     #[must_use]
     pub fn external_balance(&self, externals: impl IntoIterator<Item = usize>) -> f64 {
-        if !self.use_external_balance || self.t_avg_external <= 0.0 {
-            return 0.0;
-        }
-        externals
-            .into_iter()
-            .map(|t| {
-                let t = t as f64;
-                if t < self.t_avg_external {
-                    (self.t_avg_external - t) / self.t_avg_external
-                } else {
-                    0.0
-                }
-            })
-            .sum()
+        let deficit: u64 = externals.into_iter().map(|t| self.block_ext_deficit(t)).sum();
+        self.balance_from_deficit(deficit)
     }
 
-    /// Computes the full solution key for the current state.
-    ///
-    /// `remainder` is the block currently designated as the remainder
-    /// `R_k` (used by the `d_k^R` penalty); pass `None` once no remainder
-    /// is distinguished (final solutions).
-    #[must_use]
-    pub fn key(&self, state: &PartitionState<'_>, remainder: Option<usize>) -> SolutionKey {
+    /// One block's external-deficit numerator `max(0, |Y₀| − M·T_i^E)`.
+    #[inline]
+    fn block_ext_deficit(&self, externals: usize) -> u64 {
+        self.y0.saturating_sub((self.m as u64).saturating_mul(externals as u64))
+    }
+
+    /// Converts an external-deficit numerator to the `d_k^E` factor.
+    #[inline]
+    fn balance_from_deficit(&self, deficit: u64) -> f64 {
+        if !self.use_external_balance || self.y0 == 0 {
+            0.0
+        } else {
+            deficit as f64 / self.y0 as f64
+        }
+    }
+
+    /// One block's contribution to the key aggregates.
+    #[inline]
+    fn block_terms(&self, size: u64, terminals: usize, externals: usize) -> BlockTerms {
+        BlockTerms {
+            fits: self.constraints.fits(size, terminals),
+            size_excess: size.saturating_sub(self.constraints.s_max),
+            term_excess: (terminals as u64).saturating_sub(self.constraints.t_max as u64),
+            ext_deficit: self.block_ext_deficit(externals),
+        }
+    }
+
+    /// Converts excess sums to the infeasibility distance
+    /// `λ^S Σd_i^S + λ^T Σd_i^T` (no remainder term).
+    #[inline]
+    fn distance_from_excess(&self, size_excess: u64, term_excess: u64) -> f64 {
+        let mut d = 0.0f64;
+        if size_excess > 0 && self.constraints.s_max > 0 {
+            d += self.lambda_s * (size_excess as f64 / self.constraints.s_max as f64);
+        }
+        if term_excess > 0 && self.constraints.t_max > 0 {
+            d += self.lambda_t * (term_excess as f64 / self.constraints.t_max as f64);
+        }
+        d
+    }
+
+    /// O(k) scan producing the aggregates for the current state.
+    fn scan_aggregates(&self, state: &PartitionState<'_>) -> KeyAggregates {
+        let mut agg = KeyAggregates::default();
+        for b in 0..state.block_count() {
+            agg.add(self.block_terms(
+                state.block_size(b),
+                state.block_terminals(b),
+                state.block_externals(b),
+            ));
+        }
+        agg
+    }
+
+    /// O(1) assembly of the final key from aggregates. Shared by the
+    /// from-scratch path and [`KeyTracker`], so both produce the exact
+    /// same floating-point values.
+    fn assemble_key(
+        &self,
+        agg: KeyAggregates,
+        state: &PartitionState<'_>,
+        remainder: Option<usize>,
+    ) -> SolutionKey {
         let k = state.block_count();
-        let mut feasible = 0usize;
-        let mut distance = 0.0f64;
-        for b in 0..k {
-            let size = state.block_size(b);
-            let terms = state.block_terminals(b);
-            if self.constraints.fits(size, terms) {
-                feasible += 1;
-            }
-            distance += self.block_distance(size, terms);
-        }
-        if let Some(r) = remainder {
-            let peeled = k.saturating_sub(1);
-            distance += self.lambda_r * self.remainder_penalty(state.block_size(r), peeled);
-        }
-        let external_balance =
-            self.external_balance((0..k).map(|b| state.block_externals(b)));
         if !self.use_infeasibility {
             // Ablation: classical cut-only ranking (k-way.x cost function).
             return SolutionKey {
-                feasible_blocks: feasible,
+                feasible_blocks: agg.feasible,
                 total_blocks: k,
                 infeasibility: 0.0,
                 terminal_sum: 0,
@@ -238,14 +319,124 @@ impl CostEvaluator {
                 cut: state.cut_count(),
             };
         }
+        let mut distance = self.distance_from_excess(agg.size_excess, agg.term_excess);
+        if let Some(r) = remainder {
+            let peeled = k.saturating_sub(1);
+            distance += self.lambda_r * self.remainder_penalty(state.block_size(r), peeled);
+        }
         SolutionKey {
-            feasible_blocks: feasible,
+            feasible_blocks: agg.feasible,
             total_blocks: k,
             infeasibility: distance,
             terminal_sum: state.terminal_sum(),
-            external_balance,
+            external_balance: self.balance_from_deficit(agg.ext_deficit),
             cut: state.cut_count(),
         }
+    }
+
+    /// Computes the full solution key for the current state (O(k) scan).
+    ///
+    /// `remainder` is the block currently designated as the remainder
+    /// `R_k` (used by the `d_k^R` penalty); pass `None` once no remainder
+    /// is distinguished (final solutions).
+    #[must_use]
+    pub fn key(&self, state: &PartitionState<'_>, remainder: Option<usize>) -> SolutionKey {
+        self.assemble_key(self.scan_aggregates(state), state, remainder)
+    }
+}
+
+/// Incrementally maintained key aggregates: the move loop's O(1)
+/// replacement for the O(k) [`CostEvaluator::key`] rescan.
+///
+/// The tracker caches each block's [`BlockTerms`]; after a move only the
+/// two touched blocks are re-derived and the aggregate sums adjusted.
+/// Because all aggregates are integers and the final key is assembled by
+/// the same [`CostEvaluator::assemble_key`] as the from-scratch path,
+/// the produced keys are bit-identical regardless of move history —
+/// an invariant enforced by `tests/invariants_proptest.rs` and by
+/// debug assertions in the pass engine.
+#[derive(Debug, Clone)]
+pub struct KeyTracker {
+    blocks: Vec<BlockTerms>,
+    agg: KeyAggregates,
+}
+
+impl KeyTracker {
+    /// Builds a tracker for the current state (one O(k) scan).
+    #[must_use]
+    pub fn new(evaluator: &CostEvaluator, state: &PartitionState<'_>) -> Self {
+        let mut tracker = KeyTracker { blocks: Vec::new(), agg: KeyAggregates::default() };
+        tracker.rebuild(evaluator, state);
+        tracker
+    }
+
+    /// Re-derives every cached term from the state (O(k)); reuses the
+    /// existing allocation.
+    pub fn rebuild(&mut self, evaluator: &CostEvaluator, state: &PartitionState<'_>) {
+        self.blocks.clear();
+        self.agg = KeyAggregates::default();
+        self.ensure_blocks(evaluator, state);
+    }
+
+    /// Accounts for blocks appended by `PartitionState::add_block` since
+    /// the last sync.
+    pub fn ensure_blocks(&mut self, evaluator: &CostEvaluator, state: &PartitionState<'_>) {
+        while self.blocks.len() < state.block_count() {
+            let b = self.blocks.len();
+            let terms = evaluator.block_terms(
+                state.block_size(b),
+                state.block_terminals(b),
+                state.block_externals(b),
+            );
+            self.agg.add(terms);
+            self.blocks.push(terms);
+        }
+    }
+
+    /// Re-derives one block's cached terms from the state.
+    #[inline]
+    fn sync_block(&mut self, evaluator: &CostEvaluator, state: &PartitionState<'_>, block: usize) {
+        let terms = evaluator.block_terms(
+            state.block_size(block),
+            state.block_terminals(block),
+            state.block_externals(block),
+        );
+        self.agg.remove(self.blocks[block]);
+        self.agg.add(terms);
+        self.blocks[block] = terms;
+    }
+
+    /// Updates the tracker after `state.move_node(_, to)` moved a cell
+    /// from block `from` to block `to`. O(1): only the two touched
+    /// blocks are re-derived.
+    #[inline]
+    pub fn apply_move(
+        &mut self,
+        evaluator: &CostEvaluator,
+        state: &PartitionState<'_>,
+        from: usize,
+        to: usize,
+    ) {
+        self.sync_block(evaluator, state, from);
+        if to != from {
+            self.sync_block(evaluator, state, to);
+        }
+    }
+
+    /// Assembles the current key in O(1).
+    #[must_use]
+    pub fn key(
+        &self,
+        evaluator: &CostEvaluator,
+        state: &PartitionState<'_>,
+        remainder: Option<usize>,
+    ) -> SolutionKey {
+        debug_assert_eq!(
+            self.blocks.len(),
+            state.block_count(),
+            "tracker out of sync with block count; call ensure_blocks"
+        );
+        evaluator.assemble_key(self.agg, state, remainder)
     }
 }
 
@@ -255,12 +446,7 @@ mod tests {
     use fpart_hypergraph::HypergraphBuilder;
 
     fn evaluator(s_max: u64, t_max: usize, m: usize, y0: usize) -> CostEvaluator {
-        CostEvaluator::new(
-            DeviceConstraints::new(s_max, t_max),
-            &FpartConfig::default(),
-            m,
-            y0,
-        )
+        CostEvaluator::new(DeviceConstraints::new(s_max, t_max), &FpartConfig::default(), m, y0)
     }
 
     #[test]
@@ -327,12 +513,8 @@ mod tests {
         let smaller_cut = SolutionKey { cut: 39, ..base };
         assert!(smaller_cut.better_than(&base));
         // Feasibility dominates everything else.
-        let tempting = SolutionKey {
-            feasible_blocks: 2,
-            infeasibility: 0.0,
-            terminal_sum: 0,
-            ..base
-        };
+        let tempting =
+            SolutionKey { feasible_blocks: 2, infeasibility: 0.0, terminal_sum: 0, ..base };
         assert!(base.better_than(&tempting));
         assert!(!base.better_than(&base.clone()));
     }

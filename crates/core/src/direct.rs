@@ -124,8 +124,8 @@ pub fn partition_direct(
         }
         refine_pairs(&mut state, &evaluator, config, &direct.refine);
 
-        let feasible = (0..k)
-            .all(|b| constraints.fits(state.block_size(b), state.block_terminals(b)));
+        let feasible =
+            (0..k).all(|b| constraints.fits(state.block_size(b), state.block_terminals(b)));
         if feasible {
             return Ok(crate::driver::assemble_outcome(
                 graph,
@@ -162,9 +162,7 @@ fn seeded_clusters(graph: &Hypergraph, k: usize, seed_salt: u64) -> Vec<u32> {
             .map(|(v, _)| v)
             .filter(|v| !seeds.contains(v))
             .or_else(|| {
-                graph
-                    .node_ids()
-                    .find(|v| !seeds.contains(v) && distances.distance(*v).is_none())
+                graph.node_ids().find(|v| !seeds.contains(v) && distances.distance(*v).is_none())
             })
             .or_else(|| graph.node_ids().find(|v| !seeds.contains(v)));
         match next {
@@ -187,14 +185,12 @@ fn seeded_clusters(graph: &Hypergraph, k: usize, seed_salt: u64) -> Vec<u32> {
     }
     let mut remaining = n - seeds.len();
     while remaining > 0 {
-        let b = (0..k)
-            .min_by_key(|&b| sizes[b])
-            .expect("k >= 1");
+        let b = (0..k).min_by_key(|&b| sizes[b]).expect("k >= 1");
         // Claim a free frontier cell, or any free cell.
         let pick = loop {
             match frontier[b].pop() {
                 Some(v) if assignment[v.index()] == u32::MAX => break Some(v),
-                Some(_) => continue,
+                Some(_) => {}
                 None => {
                     break graph.node_ids().find(|v| assignment[v.index()] == u32::MAX);
                 }
@@ -209,12 +205,7 @@ fn seeded_clusters(graph: &Hypergraph, k: usize, seed_salt: u64) -> Vec<u32> {
     assignment
 }
 
-fn push_neighbors(
-    graph: &Hypergraph,
-    v: NodeId,
-    assignment: &[u32],
-    frontier: &mut Vec<NodeId>,
-) {
+fn push_neighbors(graph: &Hypergraph, v: NodeId, assignment: &[u32], frontier: &mut Vec<NodeId>) {
     for &net in graph.nets(v) {
         for &u in graph.pins(net) {
             if assignment[u.index()] == u32::MAX {

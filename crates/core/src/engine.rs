@@ -13,14 +13,19 @@ use fpart_hypergraph::NodeId;
 use crate::bucket::GainBucket;
 use crate::config::{FpartConfig, GainObjective};
 use crate::constraints::{MoveRegions, PassKind};
-use crate::cost::{CostEvaluator, SolutionKey};
-use crate::gain::{deltas_for_move, io_gain, level1_gain, level2_gain, level_gain};
+use crate::cost::{CostEvaluator, KeyTracker, SolutionKey};
+use crate::gain::{deltas_for_move, io_gain, io_gain_net, level1_gain, level2_gain, level_gain};
 use crate::stack::DualStacks;
 use crate::state::PartitionState;
 
 /// Maximum cells inspected per gain level when selecting a move; bounds
 /// the lazy second-level-gain tie-break work per selection.
 const SELECTION_SCAN_CAP: usize = 64;
+
+/// Highest tie-break gain level the engine supports
+/// (`FpartConfig::validate` caps `gain_levels` at 4, so levels 2..=4 fill
+/// at most three slots of the fixed tie array).
+const MAX_TIE_LEVELS: usize = 3;
 
 /// Sentinel for [`ImproveContext::remainder`] meaning "no remainder".
 pub const NO_REMAINDER: usize = usize::MAX;
@@ -62,6 +67,56 @@ pub struct ImproveStats {
     pub final_key: SolutionKey,
 }
 
+/// Reusable scratch buffers for the inner move loop.
+///
+/// All capacities are reserved when the pass engine is built, so the
+/// per-move hot path (`select_move` + `apply_move`) performs **no heap
+/// allocation**; debug builds assert the capacities never grow.
+struct PassScratch {
+    /// Pre-move `(pins_in(from), pins_in(to))` per net of the moved cell.
+    pre: Vec<(u32, u32)>,
+    /// Enabled directions with their optimistic max gains (`select_move`).
+    dir_max: Vec<(usize, usize, i32)>,
+    /// Epoch stamps per cell: `visited[v] == epoch` ⇔ `v` was already
+    /// seen while processing the current move (replaces the former
+    /// sort+dedup of a freshly allocated `touched` vector).
+    visited: Vec<u32>,
+    /// Unique unlocked neighbours of the current move (I/O objective).
+    touched: Vec<u32>,
+    /// Per-(neighbour, target-slot) accumulated I/O gain deltas; rows are
+    /// lazily zeroed when a neighbour is first stamped.
+    io_delta: Vec<i32>,
+    /// Current epoch for `visited` (0 means "never stamped").
+    epoch: u32,
+}
+
+impl PassScratch {
+    fn new(n: usize, max_degree: usize, slots: usize, io_pins: bool) -> Self {
+        PassScratch {
+            pre: Vec::with_capacity(max_degree),
+            dir_max: Vec::with_capacity(slots * slots),
+            // The I/O-pin buffers are only touched by `update_io_gains`;
+            // keep them empty under the cut-net objective.
+            visited: if io_pins { vec![0; n] } else { Vec::new() },
+            touched: if io_pins { Vec::with_capacity(n) } else { Vec::new() },
+            io_delta: if io_pins { vec![0; n * slots] } else { Vec::new() },
+            epoch: 0,
+        }
+    }
+
+    /// Starts a new move: advances the visited epoch (clearing the stamp
+    /// array only on the once-in-4-billion wraparound).
+    #[inline]
+    fn next_epoch(&mut self) -> u32 {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.visited.fill(0);
+            self.epoch = 1;
+        }
+        self.epoch
+    }
+}
+
 /// Internal per-pass bookkeeping shared by the selection and update steps.
 struct PassEngine<'s, 'g, 'c> {
     state: &'s mut PartitionState<'g>,
@@ -76,6 +131,8 @@ struct PassEngine<'s, 'g, 'c> {
     regions: MoveRegions,
     /// Gains live in `[-gain_bound, gain_bound]` (depends on objective).
     gain_bound: i32,
+    /// Zero-allocation scratch for the move loop.
+    scratch: PassScratch,
 }
 
 impl<'s, 'g, 'c> PassEngine<'s, 'g, 'c> {
@@ -84,11 +141,7 @@ impl<'s, 'g, 'c> PassEngine<'s, 'g, 'c> {
         active: &[usize],
         ctx: &'c ImproveContext<'c>,
     ) -> Self {
-        let kind = if active.len() == 2 {
-            PassKind::TwoBlock
-        } else {
-            PassKind::MultiBlock
-        };
+        let kind = if active.len() == 2 { PassKind::TwoBlock } else { PassKind::MultiBlock };
         let regions = MoveRegions::new(
             ctx.config,
             ctx.evaluator.constraints(),
@@ -109,6 +162,12 @@ impl<'s, 'g, 'c> PassEngine<'s, 'g, 'c> {
         };
         let dirs = active.len() * active.len();
         let buckets = (0..dirs).map(|_| GainBucket::new(n, p_max)).collect();
+        let scratch = PassScratch::new(
+            n,
+            state.graph().max_node_degree(),
+            active.len(),
+            ctx.config.gain_objective == GainObjective::IoPins,
+        );
         PassEngine {
             state,
             ctx,
@@ -118,6 +177,7 @@ impl<'s, 'g, 'c> PassEngine<'s, 'g, 'c> {
             locked: vec![false; n],
             regions,
             gain_bound: p_max as i32,
+            scratch,
         }
     }
 
@@ -157,8 +217,12 @@ impl<'s, 'g, 'c> PassEngine<'s, 'g, 'c> {
     /// `MAX(S_FROM − S_TO)`, then by cell id.
     fn select_move(&mut self) -> Option<(NodeId, usize, usize)> {
         let slots = self.active.len();
-        // Enabled directions with their optimistic max gains.
-        let mut dir_max: Vec<(usize, usize, i32)> = Vec::with_capacity(slots * slots);
+        // Enabled directions with their optimistic max gains, collected
+        // into a reused scratch vector (no allocation per selection).
+        let mut dir_max = std::mem::take(&mut self.scratch.dir_max);
+        dir_max.clear();
+        #[cfg(debug_assertions)]
+        let dir_max_cap = dir_max.capacity();
         let mut g_star = i32::MIN;
         for fs in 0..slots {
             if !self.regions.can_donate(self.state, self.active[fs]) {
@@ -175,16 +239,30 @@ impl<'s, 'g, 'c> PassEngine<'s, 'g, 'c> {
                 }
             }
         }
-        if dir_max.is_empty() {
-            return None;
-        }
+        #[cfg(debug_assertions)]
+        assert_eq!(dir_max.capacity(), dir_max_cap, "dir_max scratch reallocated");
+        let selected =
+            if dir_max.is_empty() { None } else { self.scan_directions(&dir_max, g_star) };
+        self.scratch.dir_max = dir_max;
+        selected
+    }
 
+    /// Scans the enabled directions from gain `g_star` downward for the
+    /// best legal move (the allocation-free body of [`Self::select_move`]).
+    fn scan_directions(
+        &mut self,
+        dir_max: &[(usize, usize, i32)],
+        g_star: i32,
+    ) -> Option<(NodeId, usize, usize)> {
         let levels = self.ctx.config.gain_levels;
         let mut g = g_star;
         while g >= -self.gain_bound {
-            let mut best: Option<(NodeId, usize, usize, Vec<i32>, i64)> = None;
+            // Fixed-size tie arrays (levels 2..=4): unused slots stay 0 on
+            // both sides of the comparison, so the ordering matches the
+            // former per-candidate `Vec<i32>` without allocating.
+            let mut best: Option<(NodeId, usize, usize, [i32; MAX_TIE_LEVELS], i64)> = None;
             let mut scanned = 0usize;
-            for &(fs, ts, dmax) in &dir_max {
+            for &(fs, ts, dmax) in dir_max {
                 if dmax < g {
                     continue;
                 }
@@ -202,17 +280,16 @@ impl<'s, 'g, 'c> PassEngine<'s, 'g, 'c> {
                     if !self.regions.move_allowed(self.state, size, from, to) {
                         continue;
                     }
-                    // Lazy higher-level gain vector (levels 2..=L) for
+                    // Lazy higher-level gains (levels 2..=L) for
                     // tie-breaking among equal first-level gains.
-                    let tie: Vec<i32> = (2..=levels)
-                        .map(|level| {
-                            if level == 2 {
-                                level2_gain(self.state, node, to, &self.locked)
-                            } else {
-                                level_gain(self.state, node, to, &self.locked, level)
-                            }
-                        })
-                        .collect();
+                    let mut tie = [0i32; MAX_TIE_LEVELS];
+                    for level in 2..=levels {
+                        tie[usize::from(level) - 2] = if level == 2 {
+                            level2_gain(self.state, node, to, &self.locked)
+                        } else {
+                            level_gain(self.state, node, to, &self.locked, level)
+                        };
+                    }
                     let balance =
                         self.state.block_size(from) as i64 - self.state.block_size(to) as i64;
                     let better = match &best {
@@ -236,14 +313,22 @@ impl<'s, 'g, 'c> PassEngine<'s, 'g, 'c> {
     }
 
     /// Applies a selected move: updates the state, locks the cell, fixes
-    /// neighbouring gains.
+    /// neighbouring gains. Allocation-free: the `pre` pin counts live in
+    /// a scratch buffer reserved to the maximum node degree.
     fn apply_move(&mut self, node: NodeId, from: usize, to: usize) {
         let graph = self.state.graph();
-        let pre: Vec<(u32, u32)> = graph
-            .nets(node)
-            .iter()
-            .map(|&e| (self.state.net_pins_in(e, from), self.state.net_pins_in(e, to)))
-            .collect();
+        let mut pre = std::mem::take(&mut self.scratch.pre);
+        pre.clear();
+        #[cfg(debug_assertions)]
+        let pre_cap = pre.capacity();
+        pre.extend(
+            graph
+                .nets(node)
+                .iter()
+                .map(|&e| (self.state.net_pins_in(e, from), self.state.net_pins_in(e, to))),
+        );
+        #[cfg(debug_assertions)]
+        assert_eq!(pre.capacity(), pre_cap, "pre scratch reallocated");
 
         // Remove the cell's own entries and lock it.
         let from_slot = self.block_to_slot[from];
@@ -260,8 +345,7 @@ impl<'s, 'g, 'c> PassEngine<'s, 'g, 'c> {
         match self.ctx.config.gain_objective {
             GainObjective::CutNets => {
                 // Correct the stored gains via exact delta updates.
-                let (state, buckets, locked) =
-                    (&*self.state, &mut self.buckets, &self.locked);
+                let (state, buckets, locked) = (&*self.state, &mut self.buckets, &self.locked);
                 let active = &self.active;
                 let block_to_slot = &self.block_to_slot;
                 let slots = active.len();
@@ -278,48 +362,103 @@ impl<'s, 'g, 'c> PassEngine<'s, 'g, 'c> {
                     }
                 });
             }
-            GainObjective::IoPins => {
-                // I/O gains have no compact delta form (they depend on
-                // exposure transitions of every incident net); recompute
-                // the affected neighbours instead.
-                self.recompute_neighbor_gains(node);
-            }
+            GainObjective::IoPins => self.update_io_gains(node, from, to, &pre),
         }
+        self.scratch.pre = pre;
     }
 
-    /// Recomputes all stored gains of unlocked cells sharing a net with
-    /// `moved` (used by the I/O-pin objective).
-    fn recompute_neighbor_gains(&mut self, moved: NodeId) {
+    /// Applies exact per-net I/O-gain deltas to every unlocked neighbour
+    /// of `moved` after it went from block `a` to block `b`.
+    ///
+    /// Only nets of `moved` can change a neighbour's stored gain, and for
+    /// a given net only the directions touching `a` or `b` — or any
+    /// direction when the net's block span changed (exposure flips affect
+    /// every direction). Fresh directions are skipped entirely instead of
+    /// recomputing a full [`io_gain`] per neighbour per direction.
+    ///
+    /// Deltas are accumulated per (neighbour, target slot) in an
+    /// epoch-stamped scratch table (no allocation, no sort+dedup) and
+    /// applied to the buckets once per pair.
+    fn update_io_gains(&mut self, moved: NodeId, a: usize, b: usize, pre: &[(u32, u32)]) {
         let graph = self.state.graph();
-        let mut touched: Vec<NodeId> = Vec::new();
-        for &net in graph.nets(moved) {
+        let slots = self.active.len();
+        let epoch = self.scratch.next_epoch();
+        let mut touched = std::mem::take(&mut self.scratch.touched);
+        touched.clear();
+        #[cfg(debug_assertions)]
+        let touched_cap = touched.capacity();
+
+        for (i, &net) in graph.nets(moved).iter().enumerate() {
+            let (da0, db0) = pre[i];
+            let span1 = self.state.net_span(net);
+            // `span0` reconstructed from the post-move span and the
+            // pre-move counts (`a` emptied ⇒ span shrank; `b` newly
+            // occupied ⇒ span grew).
+            let span0 = span1 + u32::from(da0 == 1) - u32::from(db0 == 0);
+            let span_changed = span0 != span1;
+            let has_term = graph.net_has_terminal(net);
             for &u in graph.pins(net) {
-                if u != moved && !self.locked[u.index()] {
-                    touched.push(u);
-                }
-            }
-        }
-        touched.sort_unstable();
-        touched.dedup();
-        for u in touched {
-            let c = self.state.block_of(u);
-            let from_slot = self.block_to_slot[c];
-            if from_slot == usize::MAX {
-                continue;
-            }
-            for to_slot in 0..self.active.len() {
-                if to_slot == from_slot {
+                if u == moved || self.locked[u.index()] {
                     continue;
                 }
-                let d = self.dir(from_slot, to_slot);
-                let cell = u.index() as u32;
-                if self.buckets[d].contains(cell) {
-                    let fresh = self.move_gain(u, self.active[to_slot]);
-                    let stored = self.buckets[d].gain_of(cell);
-                    self.buckets[d].adjust(cell, fresh - stored);
+                let c = self.state.block_of(u);
+                if self.block_to_slot[c] == usize::MAX {
+                    continue;
+                }
+                let row = u.index() * slots;
+                if self.scratch.visited[u.index()] != epoch {
+                    self.scratch.visited[u.index()] = epoch;
+                    touched.push(u.index() as u32);
+                    self.scratch.io_delta[row..row + slots].fill(0);
+                }
+                // Post- and pre-move pin counts of `u`'s own block.
+                let dc1 = self.state.net_pins_in(net, c);
+                let dc0 = dc1 + u32::from(c == a) - u32::from(c == b);
+                for ts in 0..slots {
+                    let t = self.active[ts];
+                    if t == c {
+                        continue;
+                    }
+                    // Fresh direction: neither endpoint's pin count nor
+                    // the net's exposure changed ⇒ contribution intact.
+                    if !span_changed && c != a && c != b && t != a && t != b {
+                        continue;
+                    }
+                    let dt1 = self.state.net_pins_in(net, t);
+                    let dt0 = dt1 + u32::from(t == a) - u32::from(t == b);
+                    self.scratch.io_delta[row + ts] += io_gain_net(dc1, dt1, span1, has_term)
+                        - io_gain_net(dc0, dt0, span0, has_term);
                 }
             }
         }
+        #[cfg(debug_assertions)]
+        assert_eq!(touched.capacity(), touched_cap, "touched scratch reallocated");
+
+        for &cell in &touched {
+            let u = NodeId::from_index(cell as usize);
+            let fs = self.block_to_slot[self.state.block_of(u)];
+            let row = cell as usize * slots;
+            for ts in 0..slots {
+                if ts == fs {
+                    continue;
+                }
+                let delta = self.scratch.io_delta[row + ts];
+                let d = self.dir(fs, ts);
+                if delta != 0 && self.buckets[d].contains(cell) {
+                    self.buckets[d].adjust(cell, delta);
+                }
+                // The maintained gain must equal a fresh recomputation.
+                #[cfg(debug_assertions)]
+                if self.buckets[d].contains(cell) {
+                    assert_eq!(
+                        self.buckets[d].gain_of(cell),
+                        self.move_gain(u, self.active[ts]),
+                        "stale I/O gain for cell {cell} direction {fs}->{ts}"
+                    );
+                }
+            }
+        }
+        self.scratch.touched = touched;
     }
 }
 
@@ -338,16 +477,33 @@ fn run_pass(
     let mut engine = PassEngine::new(state, active, ctx);
     engine.build_buckets(cells);
 
-    let mut move_log: Vec<(NodeId, usize, usize)> = Vec::new();
+    // Incremental key maintenance: one O(k) scan here, then O(1) updates
+    // per applied move (bit-identical to the from-scratch evaluation —
+    // asserted per move in debug builds).
+    let mut tracker = KeyTracker::new(ctx.evaluator, engine.state);
+    let mut move_log: Vec<(NodeId, usize, usize)> = Vec::with_capacity(cells.len());
     let mut best_key = initial_key;
     let mut best_len = 0usize;
-    let mut stacks = stacks;
+    // Copy-on-accept stacking: during the move loop only the move-log
+    // *prefix length* is stacked; the retained snapshots (at most
+    // 2·D_stack of them) are materialized once, after the loop. The
+    // retained set equals what per-move materialization would have kept:
+    // a bounded best-first stack holds the top-D distinct keys of its
+    // offers regardless of offer order.
+    let mut prefix_stacks: Option<DualStacks<usize>> =
+        stacks.is_some().then(|| DualStacks::new(ctx.config.stack_depth));
     let patience = ctx.config.early_stop_patience;
 
     while let Some((node, from, to)) = engine.select_move() {
         engine.apply_move(node, from, to);
+        tracker.apply_move(ctx.evaluator, engine.state, from, to);
         move_log.push((node, from, to));
-        let key = engine.ctx.evaluator.key(engine.state, remainder_opt(engine.ctx, engine.state));
+        let key = tracker.key(ctx.evaluator, engine.state, remainder_opt(ctx, engine.state));
+        debug_assert_eq!(
+            key,
+            ctx.evaluator.key(engine.state, remainder_opt(ctx, engine.state)),
+            "incremental key diverged from the from-scratch evaluation"
+        );
         if key.better_than(&best_key) {
             best_key = key;
             best_len = move_log.len();
@@ -358,23 +514,70 @@ fn run_pass(
                 break;
             }
         }
-        if let Some(stacks) = stacks.as_deref_mut() {
-            let snapshot_state = &*engine.state;
-            stacks.offer(key, || {
-                cells
-                    .iter()
-                    .map(|&v| snapshot_state.block_of(v) as u32)
-                    .collect()
-            });
+        if let Some(prefix_stacks) = prefix_stacks.as_mut() {
+            let len = move_log.len();
+            prefix_stacks.offer(key, || len);
         }
     }
 
-    // Roll back to the best prefix.
-    while move_log.len() > best_len {
-        let (node, from, _) = move_log.pop().expect("length checked");
-        engine.state.move_node(node, from);
+    match (prefix_stacks, stacks) {
+        (Some(prefix_stacks), Some(stacks)) => {
+            materialize_snapshots(&mut engine, &prefix_stacks, stacks, cells, &move_log, best_len);
+        }
+        _ => {
+            // Roll back to the best prefix.
+            walk_to(engine.state, &move_log, move_log.len(), best_len);
+        }
     }
     (best_key.better_than(&initial_key), best_len, best_key)
+}
+
+/// Replays the move log to take the state from prefix length `from_len`
+/// to `to_len` (backward or forward).
+fn walk_to(
+    state: &mut PartitionState<'_>,
+    move_log: &[(NodeId, usize, usize)],
+    from_len: usize,
+    to_len: usize,
+) -> usize {
+    let mut cur = from_len;
+    while cur > to_len {
+        let (node, from, _) = move_log[cur - 1];
+        state.move_node(node, from);
+        cur -= 1;
+    }
+    while cur < to_len {
+        let (node, _, to) = move_log[cur];
+        state.move_node(node, to);
+        cur += 1;
+    }
+    cur
+}
+
+/// Materializes the retained prefix-length snapshots into the caller's
+/// assignment stacks, then leaves the state at the best prefix.
+///
+/// Prefixes are visited in descending length order so the state walks
+/// monotonically backward through the move log before settling on
+/// `best_len`.
+fn materialize_snapshots(
+    engine: &mut PassEngine<'_, '_, '_>,
+    prefix_stacks: &DualStacks<usize>,
+    stacks: &mut DualStacks,
+    cells: &[NodeId],
+    move_log: &[(NodeId, usize, usize)],
+    best_len: usize,
+) {
+    let mut retained: Vec<(SolutionKey, usize)> =
+        prefix_stacks.iter().map(|(k, &len)| (*k, len)).collect();
+    retained.sort_unstable_by_key(|r| std::cmp::Reverse(r.1));
+    let mut cursor = move_log.len();
+    for (key, len) in retained {
+        cursor = walk_to(engine.state, move_log, cursor, len);
+        let snapshot_state = &*engine.state;
+        stacks.offer(key, || cells.iter().map(|&v| snapshot_state.block_of(v) as u32).collect());
+    }
+    walk_to(engine.state, move_log, cursor, best_len);
 }
 
 /// Runs FM passes until a pass fails to improve or `max_passes` is hit.
@@ -388,8 +591,7 @@ fn run_series(
     let mut passes = 0usize;
     let mut moves = 0usize;
     loop {
-        let (improved, pass_moves, _) =
-            run_pass(state, cells, ctx, active, stacks.as_deref_mut());
+        let (improved, pass_moves, _) = run_pass(state, cells, ctx, active, stacks.as_deref_mut());
         passes += 1;
         moves += pass_moves;
         if !improved || passes >= ctx.config.max_passes {
@@ -414,10 +616,7 @@ pub fn improve(
     ctx: &ImproveContext<'_>,
 ) -> ImproveStats {
     assert!(active.len() >= 2, "improvement needs at least two blocks");
-    assert!(
-        active.iter().all(|&b| b < state.block_count()),
-        "active block out of range"
-    );
+    assert!(active.iter().all(|&b| b < state.block_count()), "active block out of range");
     let initial_key = ctx.evaluator.key(state, remainder_opt(ctx, state));
 
     // Cells eligible to move: everything currently in an active block.
@@ -425,11 +624,8 @@ pub fn improve(
     for &b in active {
         in_active[b] = true;
     }
-    let cells: Vec<NodeId> = state
-        .graph()
-        .node_ids()
-        .filter(|&v| in_active[state.block_of(v)])
-        .collect();
+    let cells: Vec<NodeId> =
+        state.graph().node_ids().filter(|&v| in_active[state.block_of(v)]).collect();
     if cells.is_empty() {
         return ImproveStats {
             passes: 0,
@@ -440,10 +636,8 @@ pub fn improve(
         };
     }
 
-    let mut stacks = ctx
-        .config
-        .use_solution_stacks
-        .then(|| DualStacks::new(ctx.config.stack_depth));
+    let mut stacks =
+        ctx.config.use_solution_stacks.then(|| DualStacks::new(ctx.config.stack_depth));
 
     // First execution (records the stacks).
     let (mut passes, mut moves) = run_series(state, &cells, ctx, active, stacks.as_mut());
@@ -453,7 +647,7 @@ pub fn improve(
     let mut restarts = 0usize;
 
     if let Some(stacks) = stacks {
-        let candidates: Vec<Vec<u32>> = stacks.iter().map(|(_, s)| s.to_vec()).collect();
+        let candidates: Vec<Vec<u32>> = stacks.iter().map(|(_, s)| s.clone()).collect();
         for snapshot in candidates {
             restore(state, &cells, &snapshot);
             let (p, m) = run_series(state, &cells, ctx, active, None);
@@ -470,13 +664,7 @@ pub fn improve(
 
     restore(state, &cells, &best_snapshot);
     debug_assert!(!initial_key.better_than(&best_key), "improve made things worse");
-    ImproveStats {
-        passes,
-        moves,
-        restarts,
-        initial_key,
-        final_key: best_key,
-    }
+    ImproveStats { passes, moves, restarts, initial_key, final_key: best_key }
 }
 
 /// Restores a snapshot of block assignments over the active cells.
@@ -524,13 +712,11 @@ mod tests {
     fn improve_pulls_stray_cell_out_of_remainder() {
         let g = two_cliques();
         // Remainder (block 0) holds clique A plus stray cell 4 of clique B.
-        let mut state =
-            PartitionState::from_assignment(&g, vec![0, 0, 0, 0, 0, 1, 1, 1], 2);
+        let mut state = PartitionState::from_assignment(&g, vec![0, 0, 0, 0, 0, 1, 1, 1], 2);
         // Cut: nets (4,5),(4,6),(4,7) → 3 (the bridge {3,4} is inside 0).
         assert_eq!(state.cut_count(), 3);
         let config = FpartConfig::default();
-        let evaluator =
-            CostEvaluator::new(DeviceConstraints::new(8, 64), &config, 2, 0);
+        let evaluator = CostEvaluator::new(DeviceConstraints::new(8, 64), &config, 2, 0);
         let stats = improve(&mut state, &[0, 1], &ctx(&evaluator, &config, 0));
         state.assert_consistent();
         assert!(stats.final_key.cut <= stats.initial_key.cut);
@@ -566,11 +752,9 @@ mod tests {
         // Remainder (block 0) huge, block 1 exactly full at S_MAX = 4:
         // no cell may enter block 1 beyond ε_max·S_MAX = 4 (4·1.05 ⌊⌋ = 4).
         let g = two_cliques();
-        let mut state =
-            PartitionState::from_assignment(&g, vec![0, 0, 0, 0, 1, 1, 1, 1], 2);
+        let mut state = PartitionState::from_assignment(&g, vec![0, 0, 0, 0, 1, 1, 1, 1], 2);
         let config = FpartConfig::default();
-        let evaluator =
-            CostEvaluator::new(DeviceConstraints::new(4, 64), &config, 2, 0);
+        let evaluator = CostEvaluator::new(DeviceConstraints::new(4, 64), &config, 2, 0);
         let stats = improve(&mut state, &[0, 1], &ctx(&evaluator, &config, 0));
         // Both blocks sit exactly at S_MAX = 4 with zero slack: the move
         // regions freeze every direction, so the pass must terminate with

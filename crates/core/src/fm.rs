@@ -28,6 +28,12 @@ pub struct FmConfig {
     pub gain_levels: u8,
     /// Independent runs from different seed splits; the best result wins.
     pub runs: usize,
+    /// Worker threads for the independent runs (clamped to `runs`).
+    /// Results are **bit-identical** for every thread count: each run is
+    /// fully determined by its index, and the winner is reduced over the
+    /// completed runs in index order, exactly as the sequential loop
+    /// would.
+    pub threads: usize,
     /// Seed for the initial splits.
     pub seed: u64,
 }
@@ -39,6 +45,7 @@ impl Default for FmConfig {
             max_passes: 8,
             gain_levels: 2,
             runs: 2,
+            threads: 1,
             seed: 0xF11,
         }
     }
@@ -128,8 +135,9 @@ pub fn bipartition_fm(graph: &Hypergraph, config: &FmConfig) -> Bipartition {
     };
     let evaluator = CostEvaluator::new(constraints, &engine_config, 2, graph.terminal_count());
 
-    let mut best: Option<Bipartition> = None;
-    for run in 0..config.runs.max(1) {
+    // One fully deterministic run per index: nothing here depends on
+    // execution order, so the runs parallelize without changing results.
+    let run_one = |run: usize| -> Bipartition {
         let assignment = initial_split(graph, config.seed.wrapping_add(run as u64), cap);
         let mut state = PartitionState::from_assignment(graph, assignment, 2);
         let ctx = ImproveContext {
@@ -139,12 +147,20 @@ pub fn bipartition_fm(graph: &Hypergraph, config: &FmConfig) -> Bipartition {
             minimum_reached: false,
         };
         improve(&mut state, &[0, 1], &ctx);
-        let candidate = Bipartition {
+        Bipartition {
             side: state.assignment().to_vec(),
             cut: state.cut_count(),
             size0: state.block_size(0),
             size1: state.block_size(1),
-        };
+        }
+    };
+    let candidates = crate::parallel::run_indexed(config.runs.max(1), config.threads, &run_one);
+
+    // Sequential reduction in run order — the same strict-improvement
+    // fold the single-threaded loop performs, so ties keep favouring the
+    // earliest run regardless of thread count.
+    let mut best: Option<Bipartition> = None;
+    for candidate in candidates {
         let in_balance = candidate.size0.max(candidate.size1) <= cap;
         let better = match &best {
             None => true,
@@ -264,6 +280,20 @@ mod tests {
         let one = bipartition_fm(&g, &FmConfig { runs: 1, ..FmConfig::default() });
         let four = bipartition_fm(&g, &FmConfig { runs: 4, ..FmConfig::default() });
         assert!(four.cut <= one.cut);
+    }
+
+    /// The parallel multi-run search must be bit-identical to the
+    /// sequential one for every thread count, including thread counts
+    /// exceeding the run count.
+    #[test]
+    fn parallel_runs_match_sequential() {
+        let g = window_circuit(&WindowConfig::new("w", 220, 12), 8);
+        let base = FmConfig { runs: 8, ..FmConfig::default() };
+        let sequential = bipartition_fm(&g, &base);
+        for threads in [2, 3, 4, 8, 16] {
+            let parallel = bipartition_fm(&g, &FmConfig { threads, ..base.clone() });
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
     }
 
     #[test]

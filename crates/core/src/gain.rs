@@ -62,31 +62,47 @@ pub fn io_gain(state: &PartitionState<'_>, node: NodeId, to: usize) -> i32 {
     let from = state.block_of(node);
     debug_assert_ne!(from, to, "gain is undefined for a no-op move");
     let graph = state.graph();
-    let mut delta = 0i32; // change in T_from + T_to (negated at the end)
+    let mut gain = 0i32;
     for &net in graph.nets(node) {
-        let da0 = state.net_pins_in(net, from);
-        let db0 = state.net_pins_in(net, to);
-        let span0 = state.net_span(net);
-        let mut span1 = span0;
-        if da0 == 1 {
-            span1 -= 1;
-        }
-        if db0 == 0 {
-            span1 += 1;
-        }
-        let has_term = graph.net_has_terminal(net);
-        let exposed0 = span0 >= 2 || has_term;
-        let exposed1 = span1 >= 2 || has_term;
-
-        let from_before = exposed0; // `from` always touches before
-        let from_after = da0 > 1 && exposed1;
-        delta += i32::from(from_after) - i32::from(from_before);
-
-        let to_before = db0 > 0 && exposed0;
-        let to_after = exposed1; // `to` always touches after
-        delta += i32::from(to_after) - i32::from(to_before);
+        gain += io_gain_net(
+            state.net_pins_in(net, from),
+            state.net_pins_in(net, to),
+            state.net_span(net),
+            graph.net_has_terminal(net),
+        );
     }
-    -delta
+    gain
+}
+
+/// One net's contribution to the I/O-pin gain of moving a cell out of a
+/// block holding `da` of the net's pins (the cell included) into a block
+/// holding `db`, with the net currently spanning `span` blocks.
+///
+/// This is the per-net term [`io_gain`] sums; exposing it lets the pass
+/// engine apply exact *deltas* to stored neighbour gains — only nets the
+/// moved cell touches can change a neighbour's gain, and only for
+/// directions involving a block whose pin count (or the net's span)
+/// changed.
+#[inline]
+#[must_use]
+pub fn io_gain_net(da: u32, db: u32, span: u32, has_terminal: bool) -> i32 {
+    debug_assert!(da >= 1, "the moving cell occupies its own block");
+    let mut span1 = span;
+    if da == 1 {
+        span1 -= 1;
+    }
+    if db == 0 {
+        span1 += 1;
+    }
+    let exposed0 = span >= 2 || has_terminal;
+    let exposed1 = span1 >= 2 || has_terminal;
+
+    let from_before = exposed0; // `from` always touches before
+    let from_after = da > 1 && exposed1;
+    let to_before = db > 0 && exposed0;
+    let to_after = exposed1; // `to` always touches after
+
+    -(i32::from(from_after) - i32::from(from_before) + i32::from(to_after) - i32::from(to_before))
 }
 
 /// Second-level gain of moving `node` from its block to `to`, given the
@@ -101,12 +117,7 @@ pub fn io_gain(state: &PartitionState<'_>, node: NodeId, to: usize) -> i32 {
 ///   and that outside pin is unlocked — moving `v` away destroys an
 ///   almost-internal net.
 #[must_use]
-pub fn level2_gain(
-    state: &PartitionState<'_>,
-    node: NodeId,
-    to: usize,
-    locked: &[bool],
-) -> i32 {
+pub fn level2_gain(state: &PartitionState<'_>, node: NodeId, to: usize, locked: &[bool]) -> i32 {
     let from = state.block_of(node);
     debug_assert_ne!(from, to, "gain is undefined for a no-op move");
     let graph = state.graph();
@@ -117,10 +128,7 @@ pub fn level2_gain(
         let outside_to = n - state.net_pins_in(net, to);
         // +1: v plus exactly one other pin outside `to`, that pin unlocked.
         if outside_to == 2 {
-            if let Some(w) = pins
-                .iter()
-                .find(|&&w| w != node && state.block_of(w) != to)
-            {
+            if let Some(w) = pins.iter().find(|&&w| w != node && state.block_of(w) != to) {
                 if !locked[w.index()] {
                     gain += 1;
                 }
@@ -314,8 +322,7 @@ mod tests {
         for assignment in [vec![0, 0, 1, 1], vec![0, 1, 0, 1], vec![1, 0, 0, 1]] {
             for node in 0..4u32 {
                 let node = NodeId::from_index(node as usize);
-                let mut state =
-                    PartitionState::from_assignment(&g, assignment.clone(), 2);
+                let mut state = PartitionState::from_assignment(&g, assignment.clone(), 2);
                 let from = state.block_of(node);
                 let to = 1 - from;
                 let predicted = level1_gain(&state, node, to);
@@ -333,16 +340,13 @@ mod tests {
         for assignment in [vec![0, 0, 1, 1], vec![0, 1, 0, 1], vec![1, 0, 0, 1]] {
             for node in 0..4u32 {
                 let node = NodeId::from_index(node as usize);
-                let mut state =
-                    PartitionState::from_assignment(&g, assignment.clone(), 2);
+                let mut state = PartitionState::from_assignment(&g, assignment.clone(), 2);
                 let from = state.block_of(node);
                 let to = 1 - from;
                 let predicted = io_gain(&state, node, to);
-                let before =
-                    (state.block_terminals(from) + state.block_terminals(to)) as i32;
+                let before = (state.block_terminals(from) + state.block_terminals(to)) as i32;
                 state.move_node(node, to);
-                let after =
-                    (state.block_terminals(from) + state.block_terminals(to)) as i32;
+                let after = (state.block_terminals(from) + state.block_terminals(to)) as i32;
                 assert_eq!(predicted, before - after, "node {node:?} {assignment:?}");
             }
         }
@@ -443,7 +447,7 @@ mod tests {
         let state = PartitionState::from_assignment(&g, vec![0, 1, 1, 1], 2);
         let mut locked = vec![false; 4];
         locked[0] = true; // node 0 locked
-        // the −1 for node 3 → 0 disappears: the outside pin is locked.
+                          // the −1 for node 3 → 0 disappears: the outside pin is locked.
         assert_eq!(level2_gain(&state, NodeId::from_index(3), 0, &locked), 0);
     }
 

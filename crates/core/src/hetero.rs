@@ -95,9 +95,7 @@ pub fn partition_hetero(
     // Sort by price so ties in cost efficiency favour cheaper parts.
     let mut catalog: Vec<PricedDevice> = catalog.to_vec();
     catalog.sort_by(|a, b| {
-        a.price
-            .total_cmp(&b.price)
-            .then_with(|| a.device.s_ds.cmp(&b.device.s_ds))
+        a.price.total_cmp(&b.price).then_with(|| a.device.s_ds.cmp(&b.device.s_ds))
     });
     let biggest = catalog
         .iter()
@@ -120,6 +118,7 @@ pub fn partition_hetero(
     let m_biggest = fpart_device::lower_bound(graph, biggest);
     let cap = m_biggest * config.max_iterations_factor * 2 + 32;
     let mut iterations = 0usize;
+    let mut remainder_cells = Vec::new();
 
     while graph.node_count() > 0
         && fits_some(&catalog, delta, state.block_usage(remainder)).is_none()
@@ -130,25 +129,18 @@ pub fn partition_hetero(
         }
 
         // Audition each device type on a snapshot of the remainder.
-        let remainder_cells = state.nodes_in_block(remainder);
-        let snapshot: Vec<(fpart_hypergraph::NodeId, usize)> = remainder_cells
-            .iter()
-            .map(|&v| (v, state.block_of(v)))
-            .collect();
+        state.nodes_in_block_into(remainder, &mut remainder_cells);
+        let snapshot: Vec<(fpart_hypergraph::NodeId, usize)> =
+            remainder_cells.iter().map(|&v| (v, state.block_of(v))).collect();
         let p = state.add_block();
 
         let mut best: Option<(f64, usize)> = None; // (price per cell, catalog idx)
         for (idx, priced) in catalog.iter().enumerate() {
             let constraints = priced.device.constraints(delta);
             let m = fpart_device::lower_bound(graph, constraints).max(1);
-            let evaluator =
-                CostEvaluator::new(constraints, config, m, graph.terminal_count());
-            let ctx = ImproveContext {
-                evaluator: &evaluator,
-                config,
-                remainder,
-                minimum_reached: false,
-            };
+            let evaluator = CostEvaluator::new(constraints, config, m, graph.terminal_count());
+            let ctx =
+                ImproveContext { evaluator: &evaluator, config, remainder, minimum_reached: false };
             bipartition_remainder(&mut state, remainder, p, &ctx);
             let usage = state.block_usage(p);
             // Undo the audition peel.
@@ -207,36 +199,19 @@ pub fn partition_hetero(
         devices.push(device);
         usages.push(state.block_usage(b));
     }
-    let assignment: Vec<u32> = graph
-        .node_ids()
-        .map(|v| dense[state.block_of(v)])
-        .collect();
+    let assignment: Vec<u32> = graph.node_ids().map(|v| dense[state.block_of(v)]).collect();
 
     let total_price: f64 = devices.iter().map(|d| d.price).sum();
     let feasible = devices
         .iter()
         .zip(&usages)
         .all(|(d, &u)| d.device.constraints(delta).fits(u.size, u.terminals));
-    Ok(HeteroOutcome {
-        assignment,
-        devices,
-        usages,
-        total_price,
-        feasible,
-        cut: state.cut_count(),
-    })
+    Ok(HeteroOutcome { assignment, devices, usages, total_price, feasible, cut: state.cut_count() })
 }
 
 /// The cheapest catalog device fitting `usage`, if any.
-fn fits_some(
-    catalog: &[PricedDevice],
-    delta: f64,
-    usage: BlockUsage,
-) -> Option<PricedDevice> {
-    catalog
-        .iter()
-        .find(|p| p.device.constraints(delta).fits(usage.size, usage.terminals))
-        .copied()
+fn fits_some(catalog: &[PricedDevice], delta: f64, usage: BlockUsage) -> Option<PricedDevice> {
+    catalog.iter().find(|p| p.device.constraints(delta).fits(usage.size, usage.terminals)).copied()
 }
 
 #[cfg(test)]
@@ -271,14 +246,11 @@ mod tests {
         let p = find_profile("s9234").expect("known circuit");
         let g = synthesize_mcnc(p, Technology::Xc3000);
         let catalog = default_price_list();
-        let out =
-            partition_hetero(&g, &catalog, 0.9, &FpartConfig::default()).expect("runs");
+        let out = partition_hetero(&g, &catalog, 0.9, &FpartConfig::default()).expect("runs");
         assert!(out.feasible);
         // Homogeneous XC3090 alternative.
-        let xc3090 = catalog
-            .iter()
-            .find(|d| d.device == fpart_device::Device::XC3090)
-            .expect("catalog");
+        let xc3090 =
+            catalog.iter().find(|d| d.device == fpart_device::Device::XC3090).expect("catalog");
         let homogeneous = crate::partition(
             &g,
             fpart_device::Device::XC3090.constraints(0.9),
@@ -313,8 +285,8 @@ mod tests {
         let y = b.add_node("y", 1);
         b.add_net("e", [x, y]).unwrap();
         let g = b.finish().unwrap();
-        let err = partition_hetero(&g, &default_price_list(), 0.9, &FpartConfig::default())
-            .unwrap_err();
+        let err =
+            partition_hetero(&g, &default_price_list(), 0.9, &FpartConfig::default()).unwrap_err();
         assert!(matches!(err, PartitionError::OversizedNode { .. }));
     }
 

@@ -99,18 +99,15 @@ pub fn bipartition_remainder(
         }
     }
 
-    match best {
-        Some((method, _, peel)) => {
-            for &v in &peel {
-                state.move_node(v, new_block);
-            }
-            method
+    if let Some((method, _, peel)) = best {
+        for &v in &peel {
+            state.move_node(v, new_block);
         }
-        None => {
-            // Degenerate: peel the biggest cell alone.
-            state.move_node(seed1, new_block);
-            InitialMethod::Fallback
-        }
+        method
+    } else {
+        // Degenerate: peel the biggest cell alone.
+        state.move_node(seed1, new_block);
+        InitialMethod::Fallback
     }
 }
 
@@ -124,13 +121,11 @@ fn random_peel(
     cells: &[NodeId],
     ctx: &ImproveContext<'_>,
 ) -> InitialMethod {
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
     let mut order: Vec<NodeId> = cells.to_vec();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(
+    let mut rng = fpart_hypergraph::rng::StdRng::seed_from_u64(
         ctx.config.seed ^ (state.block_count() as u64) << 17,
     );
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
     let s_max = ctx.evaluator.constraints().s_max;
     let graph = state.graph();
     let mut size = 0u64;
@@ -437,8 +432,7 @@ fn sweep_from(
     let mut cov_a = vec![0u32; graph.net_count()];
     let mut pins_in_set = vec![0u32; graph.net_count()];
     for e in graph.net_ids() {
-        pins_in_set[e.index()] =
-            graph.pins(e).iter().filter(|p| in_set[p.index()]).count() as u32;
+        pins_in_set[e.index()] = graph.pins(e).iter().filter(|p| in_set[p.index()]).count() as u32;
     }
 
     let mut in_a = vec![false; graph.node_count()];
@@ -452,14 +446,14 @@ fn sweep_from(
     let mut t_rest: i64 = rest_terminals(state, cells);
 
     let absorb = |v: NodeId,
-                      in_a: &mut Vec<bool>,
-                      cov_a: &mut Vec<u32>,
-                      conn: &mut Vec<u32>,
-                      heap: &mut BinaryHeap<(u32, u32, Reverse<usize>)>,
-                      s_a: &mut u64,
-                      cut: &mut i64,
-                      t_a: &mut i64,
-                      t_rest: &mut i64| {
+                  in_a: &mut Vec<bool>,
+                  cov_a: &mut Vec<u32>,
+                  conn: &mut Vec<u32>,
+                  heap: &mut BinaryHeap<(u32, u32, Reverse<usize>)>,
+                  s_a: &mut u64,
+                  cut: &mut i64,
+                  t_a: &mut i64,
+                  t_rest: &mut i64| {
         in_a[v.index()] = true;
         *s_a += u64::from(graph.node_size(v));
         for &net in graph.nets(v) {
@@ -500,7 +494,14 @@ fn sweep_from(
     };
 
     absorb(
-        seed, &mut in_a, &mut cov_a, &mut conn, &mut heap, &mut s_a, &mut cut, &mut t_a,
+        seed,
+        &mut in_a,
+        &mut cov_a,
+        &mut conn,
+        &mut heap,
+        &mut s_a,
+        &mut cut,
+        &mut t_a,
         &mut t_rest,
     );
     order.push(seed);
@@ -521,15 +522,17 @@ fn sweep_from(
             }
         };
         // Disconnected: take any unabsorbed cell.
-        let next = next.or_else(|| {
-            cells
-                .iter()
-                .copied()
-                .find(|&u| !in_a[u.index()])
-        });
+        let next = next.or_else(|| cells.iter().copied().find(|&u| !in_a[u.index()]));
         let Some(v) = next else { break };
         absorb(
-            v, &mut in_a, &mut cov_a, &mut conn, &mut heap, &mut s_a, &mut cut, &mut t_a,
+            v,
+            &mut in_a,
+            &mut cov_a,
+            &mut conn,
+            &mut heap,
+            &mut s_a,
+            &mut cut,
+            &mut t_a,
             &mut t_rest,
         );
         order.push(v);
@@ -575,11 +578,7 @@ fn sweep_from(
         for &c in &a_cells {
             mask[c.index()] = true;
         }
-        let rest: Vec<NodeId> = cells
-            .iter()
-            .copied()
-            .filter(|c| !mask[c.index()])
-            .collect();
+        let rest: Vec<NodeId> = cells.iter().copied().filter(|c| !mask[c.index()]).collect();
         let rest_size = total_size - a_size;
         if constraints.fits(rest_size, t_rest_final) {
             Some((ratio, rest))
@@ -616,8 +615,8 @@ fn rest_terminals(state: &PartitionState<'_>, cells: &[NodeId]) -> i64 {
                 continue;
             }
             seen[net.index()] = true;
-            let outside = graph.pins(net).iter().any(|p| !mask[p.index()])
-                || graph.net_has_terminal(net);
+            let outside =
+                graph.pins(net).iter().any(|p| !mask[p.index()]) || graph.net_has_terminal(net);
             if outside {
                 t += 1;
             }
@@ -690,12 +689,8 @@ mod tests {
         let mut state = PartitionState::single_block(&g);
         let p = state.add_block();
         let config = FpartConfig::default();
-        let evaluator = CostEvaluator::new(
-            DeviceConstraints::new(22, 100),
-            &config,
-            2,
-            g.terminal_count(),
-        );
+        let evaluator =
+            CostEvaluator::new(DeviceConstraints::new(22, 100), &config, 2, g.terminal_count());
         let ctx = make_ctx(&evaluator, &config, 0);
         let method = bipartition_remainder(&mut state, 0, p, &ctx);
         state.assert_consistent();
@@ -716,12 +711,8 @@ mod tests {
         let mut state = PartitionState::single_block(&g);
         let p = state.add_block();
         let config = FpartConfig::default();
-        let evaluator = CostEvaluator::new(
-            DeviceConstraints::new(32, 100),
-            &config,
-            2,
-            g.terminal_count(),
-        );
+        let evaluator =
+            CostEvaluator::new(DeviceConstraints::new(32, 100), &config, 2, g.terminal_count());
         let ctx = make_ctx(&evaluator, &config, 0);
         bipartition_remainder(&mut state, 0, p, &ctx);
         // A constructive method should land near the planted split: each

@@ -53,12 +53,8 @@ impl InterconnectReport {
     #[must_use]
     pub fn new(graph: &Hypergraph, assignment: &[u32], k: usize) -> Self {
         assert_eq!(assignment.len(), graph.node_count(), "assignment must cover the graph");
-        assert!(
-            assignment.iter().all(|&b| (b as usize) < k),
-            "assignment references a block >= k"
-        );
-        let mut pair_nets: Vec<Vec<usize>> =
-            (0..k).map(|i| vec![0usize; k - i - 1]).collect();
+        assert!(assignment.iter().all(|&b| (b as usize) < k), "assignment references a block >= k");
+        let mut pair_nets: Vec<Vec<usize>> = (0..k).map(|i| vec![0usize; k - i - 1]).collect();
         let mut two_point = 0usize;
         let mut multi_point = 0usize;
         let mut max_span = 0usize;

@@ -41,6 +41,23 @@
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+#![warn(clippy::pedantic)]
+// Pedantic opt-outs: the algorithm code is index-heavy (block ids, cell
+// ids, gain offsets) and intentionally casts between the narrow on-disk
+// integer types and usize; flagging every site would bury real findings.
+#![allow(clippy::cast_possible_truncation)]
+#![allow(clippy::cast_possible_wrap)]
+#![allow(clippy::cast_precision_loss)]
+#![allow(clippy::cast_sign_loss)]
+#![allow(clippy::module_name_repetitions)]
+#![allow(clippy::missing_panics_doc)]
+#![allow(clippy::must_use_candidate)]
+#![allow(clippy::similar_names)]
+#![allow(clippy::struct_excessive_bools)]
+#![allow(clippy::too_many_lines)]
+// Tests assert bit-identical determinism, so exact float comparison is
+// the point, not an accident.
+#![cfg_attr(test, allow(clippy::float_cmp, clippy::many_single_char_names))]
 
 pub mod assignment;
 pub mod bucket;
@@ -56,6 +73,7 @@ pub mod hetero;
 pub mod initial;
 pub mod interconnect;
 pub mod multilevel;
+pub mod parallel;
 pub mod refine;
 pub mod report;
 pub mod stack;
@@ -65,9 +83,11 @@ pub mod verify;
 
 pub use assignment::{read_assignment, write_assignment, ReadAssignmentError};
 pub use config::FpartConfig;
-pub use cost::{classify, CostEvaluator, FeasibilityClass, SolutionKey};
+pub use cost::{classify, CostEvaluator, FeasibilityClass, KeyTracker, SolutionKey};
 pub use direct::{partition_direct, DirectConfig};
-pub use driver::{partition, partition_traced, BlockReport, PartitionError, PartitionOutcome};
+pub use driver::{
+    partition, partition_restarts, partition_traced, BlockReport, PartitionError, PartitionOutcome,
+};
 pub use engine::{improve, ImproveContext, ImproveStats, NO_REMAINDER};
 pub use hetero::{partition_hetero, HeteroOutcome};
 pub use initial::{bipartition_remainder, InitialMethod};

@@ -199,9 +199,8 @@ mod tests {
         let g = window_circuit(&WindowConfig::new("w", 150, 16), 7);
         let constraints = Device::XC3020.constraints(0.9);
         let ml_config = MultilevelConfig { levels: 0, ..MultilevelConfig::default() };
-        let out =
-            partition_multilevel(&g, constraints, &FpartConfig::default(), &ml_config)
-                .expect("runs");
+        let out = partition_multilevel(&g, constraints, &FpartConfig::default(), &ml_config)
+            .expect("runs");
         let flat = partition(&g, constraints, &FpartConfig::default()).expect("flat");
         assert_eq!(out.device_count, flat.device_count);
     }

@@ -1,0 +1,72 @@
+//! Deterministic fan-out of independent jobs over scoped threads.
+//!
+//! The multi-run searches (`bipartition_fm` runs, driver restarts, bench
+//! table rows) all share the same shape: `count` independent jobs whose
+//! results are reduced *sequentially in job-index order*, so the outcome
+//! is bit-identical at every thread count. This module provides the
+//! fan-out half of that contract using only `std::thread::scope` — no
+//! external dependencies, no shared mutable state beyond disjoint result
+//! slots.
+
+/// Runs `count` independent jobs, optionally across scoped worker
+/// threads, returning the results in job-index order.
+///
+/// Each worker owns a contiguous chunk of the result vector, so no
+/// synchronization beyond the scope join is needed and the output is
+/// independent of scheduling. `threads` is clamped to `1..=count`; with
+/// one thread (or one job) everything runs inline on the caller's
+/// thread.
+///
+/// # Example
+///
+/// ```
+/// use fpart_core::parallel::run_indexed;
+///
+/// let squares = run_indexed(5, 2, &|i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+#[must_use]
+pub fn run_indexed<T: Send>(
+    count: usize,
+    threads: usize,
+    job: &(dyn Fn(usize) -> T + Sync),
+) -> Vec<T> {
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(count, || None);
+    let threads = threads.max(1).min(count);
+    if threads <= 1 {
+        for (i, slot) in slots.iter_mut().enumerate() {
+            *slot = Some(job(i));
+        }
+    } else {
+        let chunk = count.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (w, worker_slots) in slots.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || {
+                    for (i, slot) in worker_slots.iter_mut().enumerate() {
+                        *slot = Some(job(w * chunk + i));
+                    }
+                });
+            }
+        });
+    }
+    slots.into_iter().map(|s| s.expect("every job index is executed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_job_order() {
+        let squares = run_indexed(17, 4, &|i| i * i);
+        assert_eq!(squares, (0..17).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(run_indexed(3, 8, &|i| i), vec![0, 1, 2]);
+        assert!(run_indexed(0, 2, &|i: usize| i).is_empty());
+    }
+
+    #[test]
+    fn zero_threads_runs_inline() {
+        assert_eq!(run_indexed(4, 0, &|i| i + 1), vec![1, 2, 3, 4]);
+    }
+}

@@ -84,8 +84,7 @@ pub fn top_crossing_pairs(state: &PartitionState<'_>, limit: usize) -> Vec<(usiz
         if state.net_span(net) < 2 {
             continue;
         }
-        let blocks: Vec<usize> =
-            (0..k).filter(|&b| state.net_pins_in(net, b) > 0).collect();
+        let blocks: Vec<usize> = (0..k).filter(|&b| state.net_pins_in(net, b) > 0).collect();
         for i in 0..blocks.len() {
             for j in (i + 1)..blocks.len() {
                 *crossings.entry((blocks[i], blocks[j])).or_default() += 1;
@@ -141,18 +140,9 @@ mod tests {
         let mut state = PartitionState::from_assignment(&g, assignment, 3);
         let before = state.cut_count();
         let config = FpartConfig::default();
-        let evaluator = CostEvaluator::new(
-            DeviceConstraints::new(25, 100),
-            &config,
-            3,
-            g.terminal_count(),
-        );
-        let improved = refine_pairs(
-            &mut state,
-            &evaluator,
-            &config,
-            &RefineConfig::default(),
-        );
+        let evaluator =
+            CostEvaluator::new(DeviceConstraints::new(25, 100), &config, 3, g.terminal_count());
+        let improved = refine_pairs(&mut state, &evaluator, &config, &RefineConfig::default());
         state.assert_consistent();
         assert!(improved > 0);
         assert!(state.cut_count() < before);
@@ -163,11 +153,7 @@ mod tests {
         let (g, _) = clustered_circuit(&ClusteredConfig::new("cl", 2, 8), 1);
         let mut state = PartitionState::single_block(&g);
         let config = FpartConfig::default();
-        let evaluator =
-            CostEvaluator::new(DeviceConstraints::new(100, 100), &config, 1, 0);
-        assert_eq!(
-            refine_pairs(&mut state, &evaluator, &config, &RefineConfig::default()),
-            0
-        );
+        let evaluator = CostEvaluator::new(DeviceConstraints::new(100, 100), &config, 1, 0);
+        assert_eq!(refine_pairs(&mut state, &evaluator, &config, &RefineConfig::default()), 0);
     }
 }

@@ -132,7 +132,7 @@ impl fmt::Display for QualityReport {
         write!(f, "fill histogram (deciles): ")?;
         for (d, count) in self.fill_histogram.iter().enumerate() {
             if *count > 0 {
-                write!(f, "{}0s:{count} ", d)?;
+                write!(f, "{d}0s:{count} ")?;
             }
         }
         Ok(())

@@ -11,16 +11,19 @@ use crate::cost::{FeasibilityClass, SolutionKey};
 
 /// A bounded, best-first-ordered stack of candidate restart solutions.
 ///
-/// Snapshots are per-cell block assignments of the improvement call's
-/// active cells (cheap: the active set is usually a small fraction of the
-/// circuit).
+/// The stack is generic over the snapshot payload `S`. Restart callers
+/// use the default `Vec<u32>` (per-cell block assignments of the
+/// improvement call's active cells); the pass engine's inner loop instead
+/// stacks bare move-log *prefix lengths* (`S = usize`) and materializes
+/// the few retained assignments once, after the move loop — so a rejected
+/// or later-evicted offer never costs an allocation.
 #[derive(Debug, Clone)]
-pub struct SolutionStack {
-    entries: Vec<(SolutionKey, Vec<u32>)>,
+pub struct SolutionStack<S = Vec<u32>> {
+    entries: Vec<(SolutionKey, S)>,
     depth: usize,
 }
 
-impl SolutionStack {
+impl<S> SolutionStack<S> {
     /// Creates a stack retaining at most `depth` solutions
     /// (`D_stack = 4` in the paper).
     #[must_use]
@@ -46,16 +49,15 @@ impl SolutionStack {
     ///
     /// The snapshot is only materialized (via `snapshot`) when the
     /// solution is actually retained.
-    pub fn offer(&mut self, key: SolutionKey, snapshot: impl FnOnce() -> Vec<u32>) -> bool {
+    pub fn offer(&mut self, key: SolutionKey, snapshot: impl FnOnce() -> S) -> bool {
         if self.depth == 0 {
             return false;
         }
         if self.entries.iter().any(|(k, _)| k.cmp_key(&key) == std::cmp::Ordering::Equal) {
             return false;
         }
-        let pos = self
-            .entries
-            .partition_point(|(k, _)| k.better_than(&key) || k.cmp_key(&key).is_eq());
+        let pos =
+            self.entries.partition_point(|(k, _)| k.better_than(&key) || k.cmp_key(&key).is_eq());
         if pos >= self.depth {
             return false;
         }
@@ -65,8 +67,8 @@ impl SolutionStack {
     }
 
     /// Iterates retained solutions best-first.
-    pub fn iter(&self) -> impl Iterator<Item = (&SolutionKey, &[u32])> {
-        self.entries.iter().map(|(k, s)| (k, s.as_slice()))
+    pub fn iter(&self) -> impl Iterator<Item = (&SolutionKey, &S)> {
+        self.entries.iter().map(|(k, s)| (k, s))
     }
 
     /// The best retained key, if any.
@@ -79,14 +81,14 @@ impl SolutionStack {
 /// The pair of stacks of §3.6: one for semi-feasible (or feasible)
 /// solutions, one for infeasible ones.
 #[derive(Debug, Clone)]
-pub struct DualStacks {
+pub struct DualStacks<S = Vec<u32>> {
     /// Solutions with at most one constraint-violating block.
-    pub semi_feasible: SolutionStack,
+    pub semi_feasible: SolutionStack<S>,
     /// Solutions with two or more violating blocks.
-    pub infeasible: SolutionStack,
+    pub infeasible: SolutionStack<S>,
 }
 
-impl DualStacks {
+impl<S> DualStacks<S> {
     /// Creates both stacks with the same depth.
     #[must_use]
     pub fn new(depth: usize) -> Self {
@@ -97,7 +99,7 @@ impl DualStacks {
     }
 
     /// Routes a solution to the stack matching its feasibility class.
-    pub fn offer(&mut self, key: SolutionKey, snapshot: impl FnOnce() -> Vec<u32>) -> bool {
+    pub fn offer(&mut self, key: SolutionKey, snapshot: impl FnOnce() -> S) -> bool {
         match key.class() {
             FeasibilityClass::Feasible | FeasibilityClass::SemiFeasible => {
                 self.semi_feasible.offer(key, snapshot)
@@ -108,7 +110,7 @@ impl DualStacks {
 
     /// Iterates all retained solutions: semi-feasible stack first (as in
     /// the paper's restart order), each best-first.
-    pub fn iter(&self) -> impl Iterator<Item = (&SolutionKey, &[u32])> {
+    pub fn iter(&self) -> impl Iterator<Item = (&SolutionKey, &S)> {
         self.semi_feasible.iter().chain(self.infeasible.iter())
     }
 
@@ -163,7 +165,7 @@ mod tests {
 
     #[test]
     fn zero_depth_never_retains() {
-        let mut s = SolutionStack::new(0);
+        let mut s: SolutionStack<Vec<u32>> = SolutionStack::new(0);
         assert!(!s.offer(key(4, 4, 0.0), std::vec::Vec::new));
         assert!(s.is_empty());
     }
@@ -177,9 +179,45 @@ mod tests {
         assert!(!rejected);
     }
 
+    /// The retained set of a bounded best-first stack must be the top-D
+    /// distinct keys of everything offered, regardless of offer order —
+    /// this is what lets the pass engine batch its offers as prefix
+    /// lengths and merge the materialized snapshots after the move loop.
+    #[test]
+    fn accept_reject_ordering_is_order_independent() {
+        let keys = [2.0f64, 0.5, 3.0, 1.0, 2.5, 0.25];
+        let mut forward: SolutionStack<Vec<u32>> = SolutionStack::new(3);
+        for &d in &keys {
+            forward.offer(key(3, 4, d), std::vec::Vec::new);
+        }
+        let mut reverse: SolutionStack<Vec<u32>> = SolutionStack::new(3);
+        for &d in keys.iter().rev() {
+            reverse.offer(key(3, 4, d), std::vec::Vec::new);
+        }
+        let fwd: Vec<f64> = forward.iter().map(|(k, _)| k.infeasibility).collect();
+        let rev: Vec<f64> = reverse.iter().map(|(k, _)| k.infeasibility).collect();
+        assert_eq!(fwd, vec![0.25, 0.5, 1.0]);
+        assert_eq!(fwd, rev);
+    }
+
+    /// Offers after the stack is full: a worse key is rejected without
+    /// touching the snapshot closure, a better key evicts the worst.
+    #[test]
+    fn full_stack_accepts_only_improvements() {
+        let mut s: SolutionStack<usize> = SolutionStack::new(2);
+        assert!(s.offer(key(3, 4, 1.0), || 10));
+        assert!(s.offer(key(3, 4, 2.0), || 20));
+        // Worse than the worst retained entry → rejected, lazily.
+        assert!(!s.offer(key(3, 4, 5.0), || panic!("materialized a rejected snapshot")));
+        // Better than the worst → accepted, worst evicted.
+        assert!(s.offer(key(3, 4, 1.5), || 15));
+        let kept: Vec<usize> = s.iter().map(|(_, &p)| p).collect();
+        assert_eq!(kept, vec![10, 15]);
+    }
+
     #[test]
     fn best_key_is_first() {
-        let mut s = SolutionStack::new(3);
+        let mut s: SolutionStack<Vec<u32>> = SolutionStack::new(3);
         s.offer(key(2, 4, 1.0), std::vec::Vec::new);
         s.offer(key(3, 4, 5.0), std::vec::Vec::new);
         assert_eq!(s.best_key().unwrap().feasible_blocks, 3);
@@ -187,7 +225,7 @@ mod tests {
 
     #[test]
     fn dual_routing_by_class() {
-        let mut d = DualStacks::new(2);
+        let mut d: DualStacks = DualStacks::new(2);
         assert!(d.offer(key(3, 4, 1.0), std::vec::Vec::new)); // semi-feasible
         assert!(d.offer(key(1, 4, 0.5), std::vec::Vec::new)); // infeasible
         assert!(d.offer(key(4, 4, 0.0), std::vec::Vec::new)); // feasible → semi stack

@@ -32,6 +32,9 @@ pub struct PartitionState<'a> {
     stride: usize,
     span: Vec<u32>,
     cut_nets: usize,
+    /// Running `Σ T_i`, kept in lockstep with `block_terminals` so
+    /// [`Self::terminal_sum`] is O(1) in the move loop.
+    terminal_total: usize,
     k: usize,
 }
 
@@ -50,19 +53,9 @@ impl<'a> PartitionState<'a> {
     /// the graph is non-empty, or any entry is `≥ k`.
     #[must_use]
     pub fn from_assignment(graph: &'a Hypergraph, assignment: Vec<u32>, k: usize) -> Self {
-        assert_eq!(
-            assignment.len(),
-            graph.node_count(),
-            "assignment must cover every node"
-        );
-        assert!(
-            graph.node_count() == 0 || k > 0,
-            "non-empty graph needs at least one block"
-        );
-        assert!(
-            assignment.iter().all(|&b| (b as usize) < k),
-            "assignment references a block >= k"
-        );
+        assert_eq!(assignment.len(), graph.node_count(), "assignment must cover every node");
+        assert!(graph.node_count() == 0 || k > 0, "non-empty graph needs at least one block");
+        assert!(assignment.iter().all(|&b| (b as usize) < k), "assignment references a block >= k");
         let stride = k.max(1).next_power_of_two();
         let mut state = PartitionState {
             graph,
@@ -74,6 +67,7 @@ impl<'a> PartitionState<'a> {
             stride,
             span: vec![0; graph.net_count()],
             cut_nets: 0,
+            terminal_total: 0,
             k,
         };
         state.recount();
@@ -133,10 +127,11 @@ impl<'a> PartitionState<'a> {
         self.cut_nets
     }
 
-    /// Returns the total terminal count `T^SUM = Σ T_i`.
+    /// Returns the total terminal count `T^SUM = Σ T_i` (O(1); maintained
+    /// incrementally by [`Self::move_node`]).
     #[must_use]
     pub fn terminal_sum(&self) -> usize {
-        self.block_terminals.iter().sum()
+        self.terminal_total
     }
 
     /// Returns how many pins of `net` lie in `block`.
@@ -162,10 +157,16 @@ impl<'a> PartitionState<'a> {
     /// Collects the nodes of one block (O(n) scan).
     #[must_use]
     pub fn nodes_in_block(&self, block: usize) -> Vec<NodeId> {
-        self.graph
-            .node_ids()
-            .filter(|&v| self.block_of(v) == block)
-            .collect()
+        let mut out = Vec::new();
+        self.nodes_in_block_into(block, &mut out);
+        out
+    }
+
+    /// Collects the nodes of one block into a caller-owned buffer
+    /// (cleared first), so hot paths can reuse one allocation.
+    pub fn nodes_in_block_into(&self, block: usize, out: &mut Vec<NodeId>) {
+        out.clear();
+        out.extend(self.graph.node_ids().filter(|&v| self.block_of(v) == block));
     }
 
     /// Appends a new empty block and returns its index.
@@ -241,16 +242,28 @@ impl<'a> PartitionState<'a> {
             let from_counts_before = exposed0;
             let from_counts_after = da0 > 1 && exposed1;
             match (from_counts_before, from_counts_after) {
-                (true, false) => self.block_terminals[from] -= 1,
-                (false, true) => self.block_terminals[from] += 1,
+                (true, false) => {
+                    self.block_terminals[from] -= 1;
+                    self.terminal_total -= 1;
+                }
+                (false, true) => {
+                    self.block_terminals[from] += 1;
+                    self.terminal_total += 1;
+                }
                 _ => {}
             }
             // `to` always touches the net after the move.
             let to_counts_before = db0 > 0 && exposed0;
             let to_counts_after = exposed1;
             match (to_counts_before, to_counts_after) {
-                (true, false) => self.block_terminals[to] -= 1,
-                (false, true) => self.block_terminals[to] += 1,
+                (true, false) => {
+                    self.block_terminals[to] -= 1;
+                    self.terminal_total -= 1;
+                }
+                (false, true) => {
+                    self.block_terminals[to] += 1;
+                    self.terminal_total += 1;
+                }
                 _ => {}
             }
 
@@ -309,6 +322,7 @@ impl<'a> PartitionState<'a> {
                 }
             }
         }
+        self.terminal_total = self.block_terminals.iter().sum();
     }
 
     /// Verifies the incremental counters against a fresh recount.
@@ -321,16 +335,11 @@ impl<'a> PartitionState<'a> {
         let mut fresh = self.clone();
         fresh.recount();
         assert_eq!(self.block_sizes, fresh.block_sizes, "block sizes diverged");
-        assert_eq!(
-            self.block_terminals, fresh.block_terminals,
-            "terminal counts diverged"
-        );
-        assert_eq!(
-            self.block_externals, fresh.block_externals,
-            "external counts diverged"
-        );
+        assert_eq!(self.block_terminals, fresh.block_terminals, "terminal counts diverged");
+        assert_eq!(self.block_externals, fresh.block_externals, "external counts diverged");
         assert_eq!(self.span, fresh.span, "net spans diverged");
         assert_eq!(self.cut_nets, fresh.cut_nets, "cut count diverged");
+        assert_eq!(self.terminal_total, fresh.terminal_total, "terminal sum diverged");
         assert_eq!(self.dist, fresh.dist, "pin distribution diverged");
     }
 }
@@ -401,21 +410,11 @@ mod tests {
     fn move_back_restores_counters() {
         let g = sample();
         let mut s = PartitionState::from_assignment(&g, vec![0, 0, 1, 1], 2);
-        let before = (
-            s.block_size(0),
-            s.block_terminals(0),
-            s.block_externals(1),
-            s.cut_count(),
-        );
+        let before = (s.block_size(0), s.block_terminals(0), s.block_externals(1), s.cut_count());
         s.move_node(NodeId::from_index(2), 0);
         s.move_node(NodeId::from_index(2), 1);
         s.assert_consistent();
-        let after = (
-            s.block_size(0),
-            s.block_terminals(0),
-            s.block_externals(1),
-            s.cut_count(),
-        );
+        let after = (s.block_size(0), s.block_terminals(0), s.block_externals(1), s.cut_count());
         assert_eq!(before, after);
     }
 
@@ -474,8 +473,7 @@ mod tests {
     fn apply_restores_assignment_list() {
         let g = sample();
         let mut s = PartitionState::from_assignment(&g, vec![0, 0, 1, 1], 2);
-        let snapshot: Vec<(NodeId, usize)> =
-            g.node_ids().map(|v| (v, s.block_of(v))).collect();
+        let snapshot: Vec<(NodeId, usize)> = g.node_ids().map(|v| (v, s.block_of(v))).collect();
         s.move_node(NodeId::from_index(0), 1);
         s.move_node(NodeId::from_index(3), 0);
         s.apply(snapshot);

@@ -121,9 +121,7 @@ impl Trace {
 
     /// Iterates only the `Improve` events.
     pub fn improve_events(&self) -> impl Iterator<Item = &TraceEvent> {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Improve { .. }))
+        self.events.iter().filter(|e| matches!(e, TraceEvent::Improve { .. }))
     }
 }
 

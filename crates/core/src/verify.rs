@@ -131,8 +131,7 @@ pub fn verify_assignment(
     let mut terminals = vec![0usize; k];
     let mut cut = 0usize;
     for net in graph.net_ids() {
-        let blocks: HashSet<u32> =
-            graph.pins(net).iter().map(|p| assignment[p.index()]).collect();
+        let blocks: HashSet<u32> = graph.pins(net).iter().map(|p| assignment[p.index()]).collect();
         if blocks.len() > 1 {
             cut += 1;
         }

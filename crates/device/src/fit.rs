@@ -59,33 +59,19 @@ pub fn default_price_list() -> Vec<PricedDevice> {
 /// The cheapest device of `list` whose constraints (at filling ratio
 /// `delta`) accommodate `usage`; ties broken toward the smaller part.
 #[must_use]
-pub fn cheapest_fit(
-    usage: BlockUsage,
-    delta: f64,
-    list: &[PricedDevice],
-) -> Option<PricedDevice> {
+pub fn cheapest_fit(usage: BlockUsage, delta: f64, list: &[PricedDevice]) -> Option<PricedDevice> {
     list.iter()
         .filter(|p| p.device.constraints(delta).fits(usage.size, usage.terminals))
-        .min_by(|a, b| {
-            a.price
-                .total_cmp(&b.price)
-                .then_with(|| a.device.s_ds.cmp(&b.device.s_ds))
-        })
+        .min_by(|a, b| a.price.total_cmp(&b.price).then_with(|| a.device.s_ds.cmp(&b.device.s_ds)))
         .copied()
 }
 
 /// Fits every block of a partition to its cheapest device. Returns
 /// `None` when some block fits no catalog device.
 #[must_use]
-pub fn fit_blocks(
-    usages: &[BlockUsage],
-    delta: f64,
-    list: &[PricedDevice],
-) -> Option<FitReport> {
-    let per_block: Option<Vec<PricedDevice>> = usages
-        .iter()
-        .map(|&usage| cheapest_fit(usage, delta, list))
-        .collect();
+pub fn fit_blocks(usages: &[BlockUsage], delta: f64, list: &[PricedDevice]) -> Option<FitReport> {
+    let per_block: Option<Vec<PricedDevice>> =
+        usages.iter().map(|&usage| cheapest_fit(usage, delta, list)).collect();
     let per_block = per_block?;
     let total_price = per_block.iter().map(|p| p.price).sum();
     Some(FitReport { per_block, total_price })
@@ -132,9 +118,9 @@ mod tests {
     fn fit_blocks_totals_and_distinct_count() {
         let list = default_price_list();
         let usages = [
-            BlockUsage::new(10, 10),   // XC2064 (1.0)
-            BlockUsage::new(120, 70),  // needs ≥120 CLB, ≥70 IOB → XC3042 (3.0)
-            BlockUsage::new(10, 10),   // XC2064 (1.0)
+            BlockUsage::new(10, 10),  // XC2064 (1.0)
+            BlockUsage::new(120, 70), // needs ≥120 CLB, ≥70 IOB → XC3042 (3.0)
+            BlockUsage::new(10, 10),  // XC2064 (1.0)
         ];
         let report = fit_blocks(&usages, 1.0, &list).unwrap();
         assert_eq!(report.per_block[0].device, Device::XC2064);

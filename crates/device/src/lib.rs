@@ -41,7 +41,6 @@ use fpart_hypergraph::Hypergraph;
 
 /// Data-sheet description of an FPGA device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Device {
     /// Part name, e.g. `"XC3020"`.
     pub name: &'static str,
@@ -103,10 +102,7 @@ impl Device {
     /// would claim more CLBs than the part has.
     #[must_use]
     pub fn constraints(&self, delta: f64) -> DeviceConstraints {
-        assert!(
-            delta > 0.0 && delta <= 1.0,
-            "filling ratio must be in (0, 1], got {delta}"
-        );
+        assert!(delta > 0.0 && delta <= 1.0, "filling ratio must be in (0, 1], got {delta}");
         let permille = (delta * 1000.0).round() as u64;
         DeviceConstraints {
             s_max: self.s_ds * permille / 1000,
@@ -137,7 +133,6 @@ impl fmt::Display for Device {
 /// `⌈915 / 57.6⌉ = 16`, not `⌈915 / 57⌉ = 17`), so the exact capacity is
 /// carried alongside in permille and used by [`lower_bound`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct DeviceConstraints {
     /// Maximum block size in technology cells (`⌊S_ds · δ⌋`).
     pub s_max: u64,
@@ -214,7 +209,6 @@ impl fmt::Display for DeviceConstraints {
 /// A block's occupancy: its position in the paper's (T, S) feasibility
 /// plane (Figure 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockUsage {
     /// Occupied size in technology cells.
     pub size: u64,
@@ -246,25 +240,15 @@ pub fn lower_bound(graph: &Hypergraph, constraints: DeviceConstraints) -> usize 
     if size == 0 && terms == 0 {
         return 0;
     }
-    assert!(
-        constraints.s_max > 0 || size == 0,
-        "device has zero logic capacity"
-    );
-    assert!(
-        constraints.t_max > 0 || terms == 0,
-        "device has zero terminal capacity"
-    );
+    assert!(constraints.s_max > 0 || size == 0, "device has zero logic capacity");
+    assert!(constraints.t_max > 0 || terms == 0, "device has zero terminal capacity");
     let m_size = if size == 0 {
         0
     } else {
         // ⌈S₀ / (S_ds·δ)⌉ with the capacity expressed exactly in permille.
         (size * 1000).div_ceil(constraints.s_max_permille) as usize
     };
-    let m_io = if terms == 0 {
-        0
-    } else {
-        terms.div_ceil(constraints.t_max)
-    };
+    let m_io = if terms == 0 { 0 } else { terms.div_ceil(constraints.t_max) };
     m_size.max(m_io).max(1)
 }
 

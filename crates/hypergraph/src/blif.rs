@@ -257,7 +257,7 @@ mod tests {
         let g = parse_blif(FULL_ADDER).unwrap();
         assert_eq!(g.name(), "adder");
         assert_eq!(g.node_count(), 2); // two .names
-        // nets: a, b, cin (no driver, consumers only), sum, cout
+                                       // nets: a, b, cin (no driver, consumers only), sum, cout
         assert_eq!(g.net_count(), 5);
         // terminals: 3 inputs + 2 outputs
         assert_eq!(g.terminal_count(), 5);

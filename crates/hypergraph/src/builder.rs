@@ -50,10 +50,7 @@ impl HypergraphBuilder {
     /// Creates an empty builder for a circuit with the given name.
     #[must_use]
     pub fn named(name: impl Into<String>) -> Self {
-        Self {
-            name: name.into(),
-            ..Self::default()
-        }
+        Self { name: name.into(), ..Self::default() }
     }
 
     /// Sets or replaces the circuit name.
@@ -129,16 +126,10 @@ impl HypergraphBuilder {
         let mut seen = HashSet::with_capacity(pins.len());
         for &p in &pins {
             if p.index() >= self.node_names.len() {
-                return Err(BuildError::UnknownNode {
-                    node: p.index(),
-                    net: name,
-                });
+                return Err(BuildError::UnknownNode { node: p.index(), net: name });
             }
             if !seen.insert(p) {
-                return Err(BuildError::DuplicatePin {
-                    net: name,
-                    node: p.index(),
-                });
+                return Err(BuildError::DuplicatePin { net: name, node: p.index() });
             }
         }
         let id = NetId::from_index(self.net_names.len());
@@ -159,10 +150,7 @@ impl HypergraphBuilder {
     ) -> Result<TerminalId, BuildError> {
         let name = name.into();
         if net.index() >= self.net_names.len() {
-            return Err(BuildError::UnknownNet {
-                net: net.index(),
-                terminal: name,
-            });
+            return Err(BuildError::UnknownNet { net: net.index(), terminal: name });
         }
         let id = TerminalId::from_index(self.terminal_names.len());
         self.terminal_names.push(name);
@@ -179,9 +167,7 @@ impl HypergraphBuilder {
     /// and any two entities of the same kind share a name.
     pub fn finish(self) -> Result<Hypergraph, BuildError> {
         if let Some(i) = self.node_sizes.iter().position(|&s| s == 0) {
-            return Err(BuildError::ZeroSizeNode {
-                node: self.node_names[i].clone(),
-            });
+            return Err(BuildError::ZeroSizeNode { node: self.node_names[i].clone() });
         }
         if self.check_duplicate_names {
             for names in [&self.node_names, &self.net_names, &self.terminal_names] {
@@ -321,10 +307,7 @@ mod tests {
         let _ = b.add_node("a", 1);
         assert!(b.clone().finish().is_ok());
         let strict = b.check_duplicate_names(true);
-        assert!(matches!(
-            strict.finish().unwrap_err(),
-            BuildError::DuplicateName { .. }
-        ));
+        assert!(matches!(strict.finish().unwrap_err(), BuildError::DuplicateName { .. }));
     }
 
     #[test]

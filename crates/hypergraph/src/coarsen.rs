@@ -11,13 +11,10 @@
 //! unmatched neighbour (connectivity = Σ 1/(|e|−1) over shared nets),
 //! subject to a cluster size cap.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
 use crate::builder::HypergraphBuilder;
 use crate::graph::Hypergraph;
 use crate::ids::NodeId;
+use crate::rng::StdRng;
 
 /// A coarsened hypergraph together with the fine → coarse mapping.
 #[derive(Debug, Clone)]
@@ -45,10 +42,7 @@ impl Coarsening {
             self.coarse.node_count(),
             "assignment must cover the coarse graph"
         );
-        self.map
-            .iter()
-            .map(|c| coarse_assignment[c.index()])
-            .collect()
+        self.map.iter().map(|c| coarse_assignment[c.index()]).collect()
     }
 
     /// Coarsening ratio `fine nodes / coarse nodes`.
@@ -72,16 +66,12 @@ impl Coarsening {
 ///
 /// Panics if `max_cluster_size == 0`.
 #[must_use]
-pub fn coarsen_by_connectivity(
-    graph: &Hypergraph,
-    max_cluster_size: u64,
-    seed: u64,
-) -> Coarsening {
+pub fn coarsen_by_connectivity(graph: &Hypergraph, max_cluster_size: u64, seed: u64) -> Coarsening {
     assert!(max_cluster_size > 0, "cluster size cap must be positive");
     let n = graph.node_count();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut order: Vec<usize> = (0..n).collect();
-    order.shuffle(&mut rng);
+    rng.shuffle(&mut order);
 
     // match_of[v] = cluster partner (possibly v itself for singletons).
     let mut matched = vec![false; n];
@@ -117,14 +107,9 @@ pub fn coarsen_by_connectivity(
             .iter()
             .copied()
             .filter(|&u| {
-                v_size + u64::from(graph.node_size(NodeId::from_index(u)))
-                    <= max_cluster_size
+                v_size + u64::from(graph.node_size(NodeId::from_index(u))) <= max_cluster_size
             })
-            .max_by(|&a, &b| {
-                connectivity[a]
-                    .total_cmp(&connectivity[b])
-                    .then_with(|| b.cmp(&a))
-            });
+            .max_by(|&a, &b| connectivity[a].total_cmp(&connectivity[b]).then_with(|| b.cmp(&a)));
         for &u in &touched {
             connectivity[u] = 0.0;
         }
@@ -143,10 +128,7 @@ pub fn coarsen_by_connectivity(
     for v_idx in 0..n {
         let v = NodeId::from_index(v_idx);
         if let Some(u) = partner[v_idx] {
-            let id = builder.add_node(
-                format!("c{next}"),
-                graph.node_size(v) + graph.node_size(u),
-            );
+            let id = builder.add_node(format!("c{next}"), graph.node_size(v) + graph.node_size(u));
             map[v_idx] = id;
             map[u.index()] = id;
             next += 1;
@@ -171,9 +153,7 @@ pub fn coarsen_by_connectivity(
             .add_net(graph.net_name(net), pins)
             .expect("projected pins are valid coarse nodes");
         for &t in graph.net_terminals(net) {
-            builder
-                .add_terminal(graph.terminal_name(t), id)
-                .expect("net id from this builder");
+            builder.add_terminal(graph.terminal_name(t), id).expect("net id from this builder");
         }
     }
 
@@ -220,11 +200,7 @@ mod tests {
             // A singleton larger than the cap may exist (it was never
             // merged); merged clusters respect the cap.
             let size = u64::from(c.coarse.node_size(v));
-            let max_fine = g
-                .node_ids()
-                .map(|f| u64::from(g.node_size(f)))
-                .max()
-                .unwrap_or(1);
+            let max_fine = g.node_ids().map(|f| u64::from(g.node_size(f))).max().unwrap_or(1);
             assert!(size <= cap.max(max_fine), "cluster {v:?} has size {size}");
         }
     }

@@ -139,10 +139,7 @@ mod tests {
     fn display_messages_are_lowercase_and_concise() {
         let e = BuildError::EmptyNet { net: "n7".into() };
         assert_eq!(e.to_string(), "net `n7` has no pins");
-        let p = ParseNetlistError::UnknownName {
-            line: 3,
-            name: "zz".into(),
-        };
+        let p = ParseNetlistError::UnknownName { line: 3, name: "zz".into() };
         assert!(p.to_string().starts_with("line 3:"));
     }
 

@@ -6,12 +6,10 @@
 //! for partitioners: a competent algorithm should recover cuts close to
 //! the planted inter-cluster net count.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::builder::HypergraphBuilder;
 use crate::graph::Hypergraph;
 use crate::ids::NodeId;
+use crate::rng::StdRng;
 
 /// Parameters of the clustered generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -77,19 +75,16 @@ pub fn clustered_circuit(config: &ClusteredConfig, seed: u64) -> (Hypergraph, Ve
     // connected), then random 2–4 pin nets.
     for (c, nodes) in cluster_nodes.iter().enumerate() {
         for (i, w) in nodes.windows(2).enumerate() {
-            let id = builder
-                .add_net(format!("c{c}chain{i}"), [w[0], w[1]])
-                .expect("chain pins valid");
+            let id =
+                builder.add_net(format!("c{c}chain{i}"), [w[0], w[1]]).expect("chain pins valid");
             net_ids.push(id);
         }
         let extra = config.intra_nets.saturating_sub(nodes.len().saturating_sub(1));
         for e in 0..extra {
             let deg = rng.gen_range(2..=4usize.min(nodes.len()));
-            let picks = rand::seq::index::sample(&mut rng, nodes.len(), deg);
+            let picks = rng.sample_indices(nodes.len(), deg);
             let pins: Vec<NodeId> = picks.into_iter().map(|k| nodes[k]).collect();
-            let id = builder
-                .add_net(format!("c{c}intra{e}"), pins)
-                .expect("intra pins valid");
+            let id = builder.add_net(format!("c{c}intra{e}"), pins).expect("intra pins valid");
             net_ids.push(id);
         }
     }
@@ -100,14 +95,12 @@ pub fn clustered_circuit(config: &ClusteredConfig, seed: u64) -> (Hypergraph, Ve
             break;
         }
         let k = rng.gen_range(2..=3usize.min(config.clusters));
-        let picks = rand::seq::index::sample(&mut rng, config.clusters, k);
+        let picks = rng.sample_indices(config.clusters, k);
         let pins: Vec<NodeId> = picks
             .into_iter()
             .map(|c| cluster_nodes[c][rng.gen_range(0..config.cluster_size)])
             .collect();
-        let id = builder
-            .add_net(format!("inter{e}"), pins)
-            .expect("inter pins valid");
+        let id = builder.add_net(format!("inter{e}"), pins).expect("inter pins valid");
         net_ids.push(id);
     }
 

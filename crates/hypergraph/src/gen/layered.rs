@@ -10,12 +10,10 @@
 //! driver/sink structure and is used by tests that need DAG-shaped
 //! circuits (e.g. the c6288-multiplier-like stress cases).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::builder::HypergraphBuilder;
 use crate::graph::Hypergraph;
 use crate::ids::NodeId;
+use crate::rng::StdRng;
 
 /// Parameters of the layered DAG generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -114,24 +112,16 @@ pub fn layered_circuit(config: &LayeredConfig, seed: u64) -> Hypergraph {
     // couple of level-0 cells).
     for i in 0..config.primary_inputs {
         let fanout = rng.gen_range(1..=2.min(config.width));
-        let picks = rand::seq::index::sample(&mut rng, config.width, fanout);
+        let picks = rng.sample_indices(config.width, fanout);
         let pins: Vec<NodeId> = picks.into_iter().map(|k| level_nodes[0][k]).collect();
-        let net = builder
-            .add_net(format!("pi_net{i}"), pins)
-            .expect("level-0 picks are valid");
-        builder
-            .add_terminal(format!("pi{i}"), net)
-            .expect("net id is valid");
+        let net = builder.add_net(format!("pi_net{i}"), pins).expect("level-0 picks are valid");
+        builder.add_terminal(format!("pi{i}"), net).expect("net id is valid");
     }
 
     // Primary outputs: every unconsumed cell gets a terminal net.
     for (i, driver) in output_candidates.into_iter().enumerate() {
-        let net = builder
-            .add_net(format!("po_net{i}"), [driver])
-            .expect("driver is a valid node");
-        builder
-            .add_terminal(format!("po{i}"), net)
-            .expect("net id is valid");
+        let net = builder.add_net(format!("po_net{i}"), [driver]).expect("driver is a valid node");
+        builder.add_terminal(format!("po{i}"), net).expect("net id is valid");
     }
 
     builder.finish().expect("generated netlist is structurally valid")
@@ -177,10 +167,7 @@ mod tests {
         }
         // Cells above level 0 requested fanin ≥ 2, so they appear in nets.
         for idx in cfg.width..g.node_count() {
-            assert!(
-                !g.nets(NodeId::from_index(idx)).is_empty(),
-                "cell {idx} is disconnected"
-            );
+            assert!(!g.nets(NodeId::from_index(idx)).is_empty(), "cell {idx} is disconnected");
         }
     }
 

@@ -103,16 +103,9 @@ pub fn synthesize_mcnc(profile: &McncProfile, tech: Technology) -> Hypergraph {
 /// other salts drive the stability study (how sensitive results are to
 /// the particular synthetic sample).
 #[must_use]
-pub fn synthesize_mcnc_with_salt(
-    profile: &McncProfile,
-    tech: Technology,
-    salt: u64,
-) -> Hypergraph {
-    let mut config = RentConfig::new(
-        format!("{}-{}", profile.name, tech),
-        profile.clbs(tech),
-        profile.iobs,
-    );
+pub fn synthesize_mcnc_with_salt(profile: &McncProfile, tech: Technology, salt: u64) -> Hypergraph {
+    let mut config =
+        RentConfig::new(format!("{}-{}", profile.name, tech), profile.clbs(tech), profile.iobs);
     let (p, t_xc3000) = rent_parameters(profile.name);
     config.rent_exponent = p;
     // The internal Rent coefficient is calibrated per circuit on the
@@ -220,14 +213,8 @@ mod tests {
 
     #[test]
     fn technologies_get_different_seeds() {
-        assert_ne!(
-            seed_for("c3540", Technology::Xc2000),
-            seed_for("c3540", Technology::Xc3000)
-        );
-        assert_ne!(
-            seed_for("c3540", Technology::Xc3000),
-            seed_for("c5315", Technology::Xc3000)
-        );
+        assert_ne!(seed_for("c3540", Technology::Xc2000), seed_for("c3540", Technology::Xc3000));
+        assert_ne!(seed_for("c3540", Technology::Xc3000), seed_for("c5315", Technology::Xc3000));
     }
 
     #[test]

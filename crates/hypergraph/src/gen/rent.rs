@@ -14,12 +14,10 @@
 //! makes the cut of an aligned block `≈ t·g^p`). Leaves resolve stubs to
 //! concrete pins and add local two/three-pin nets for internal structure.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::builder::HypergraphBuilder;
 use crate::graph::Hypergraph;
 use crate::ids::NodeId;
+use crate::rng::StdRng;
 
 /// Parameters of the Rent-hierarchy generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -138,7 +136,7 @@ impl Generator<'_> {
         for stub in stubs {
             // 1–2 pins per stub inside this leaf.
             let pins = 1 + usize::from(self.rng.gen_bool(0.3) && g > 1);
-            let picks = rand::seq::index::sample(&mut self.rng, g, pins.min(g));
+            let picks = self.rng.sample_indices(g, pins.min(g));
             for k in picks {
                 let node = NodeId::from_index(lo + k);
                 if !self.nets[stub].pins.contains(&node) {
@@ -154,11 +152,10 @@ impl Generator<'_> {
                 self.nets[net].pins.push(NodeId::from_index(i));
                 self.nets[net].pins.push(NodeId::from_index(i + 1));
             }
-            let extra = ((g as f64 * self.config.local_net_ratio) as usize)
-                .saturating_sub(g - 1);
+            let extra = ((g as f64 * self.config.local_net_ratio) as usize).saturating_sub(g - 1);
             for _ in 0..extra {
                 let deg = 2 + usize::from(self.rng.gen_bool(0.4) && g > 2);
-                let picks = rand::seq::index::sample(&mut self.rng, g, deg);
+                let picks = self.rng.sample_indices(g, deg);
                 let net = self.fresh_net();
                 for k in picks {
                     self.nets[net].pins.push(NodeId::from_index(lo + k));
@@ -198,9 +195,7 @@ pub fn rent_circuit(config: &RentConfig, seed: u64) -> Hypergraph {
     };
 
     // Root stubs: exactly one net per primary terminal.
-    let root_stubs: Vec<usize> = (0..config.terminals)
-        .map(|_| generator.fresh_net())
-        .collect();
+    let root_stubs: Vec<usize> = (0..config.terminals).map(|_| generator.fresh_net()).collect();
     generator.build(0, config.nodes, root_stubs.clone());
 
     let mut builder = HypergraphBuilder::named(config.name.clone());
@@ -218,11 +213,7 @@ pub fn rent_circuit(config: &RentConfig, seed: u64) -> Hypergraph {
         v
     };
     for (i, draft) in generator.nets.iter().enumerate() {
-        let keep = if is_root[i] {
-            !draft.pins.is_empty()
-        } else {
-            draft.pins.len() >= 2
-        };
+        let keep = if is_root[i] { !draft.pins.is_empty() } else { draft.pins.len() >= 2 };
         if keep {
             let id = builder
                 .add_net(format!("e{i}"), draft.pins.iter().copied())
@@ -232,9 +223,7 @@ pub fn rent_circuit(config: &RentConfig, seed: u64) -> Hypergraph {
     }
     for (k, &stub) in root_stubs.iter().enumerate() {
         if let Some(net) = final_ids[stub] {
-            builder
-                .add_terminal(format!("io{k}"), net)
-                .expect("net id from this builder");
+            builder.add_terminal(format!("io{k}"), net).expect("net id from this builder");
         }
     }
     builder.finish().expect("generated netlist is structurally valid")
@@ -280,16 +269,12 @@ mod tests {
             .net_ids()
             .filter(|&e| {
                 let inside = g.pins(e).iter().any(|p| p.index() < block);
-                let outside =
-                    g.pins(e).iter().any(|p| p.index() >= block) || g.net_has_terminal(e);
+                let outside = g.pins(e).iter().any(|p| p.index() >= block) || g.net_has_terminal(e);
                 inside && outside
             })
             .count();
         let ratio = exposed as f64 / target;
-        assert!(
-            (0.5..2.5).contains(&ratio),
-            "exposed {exposed} vs rent target {target:.1}"
-        );
+        assert!((0.5..2.5).contains(&ratio), "exposed {exposed} vs rent target {target:.1}");
     }
 
     #[test]

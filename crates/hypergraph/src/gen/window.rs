@@ -8,12 +8,10 @@
 //! reproduces the `T ∝ g^p` boundary-pin scaling of real netlists, which is
 //! what makes min-cut partitioning behave realistically.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::builder::HypergraphBuilder;
 use crate::graph::Hypergraph;
 use crate::ids::NodeId;
+use crate::rng::StdRng;
 
 /// Parameters of the window generator.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,9 +89,8 @@ pub fn window_circuit(config: &WindowConfig, seed: u64) -> Hypergraph {
         let span = sample_span(&mut rng, config.rent_exponent, degree, n);
         let start = if n > span { rng.gen_range(0..=n - span) } else { 0 };
         let pins = pick_pins_in_window(&mut rng, start, span, degree);
-        let id = builder
-            .add_net(format!("e{e}"), pins)
-            .expect("window pins are valid distinct nodes");
+        let id =
+            builder.add_net(format!("e{e}"), pins).expect("window pins are valid distinct nodes");
         net_ids.push(id);
     }
 
@@ -101,7 +98,7 @@ pub fn window_circuit(config: &WindowConfig, seed: u64) -> Hypergraph {
     // external I/Os are not concentrated in one region (real pads connect
     // all over the floorplan).
     let t = config.terminals.min(net_ids.len());
-    let mut chosen = rand::seq::index::sample(&mut rng, net_ids.len(), t).into_vec();
+    let mut chosen = rng.sample_indices(net_ids.len(), t);
     chosen.sort_unstable();
     for (i, net_idx) in chosen.into_iter().enumerate() {
         builder
@@ -142,18 +139,10 @@ fn sample_span(rng: &mut StdRng, p: f64, degree: usize, n: usize) -> usize {
 }
 
 /// Picks `degree` distinct node indices in `[start, start + span)`.
-fn pick_pins_in_window(
-    rng: &mut StdRng,
-    start: usize,
-    span: usize,
-    degree: usize,
-) -> Vec<NodeId> {
+fn pick_pins_in_window(rng: &mut StdRng, start: usize, span: usize, degree: usize) -> Vec<NodeId> {
     let window = span.max(degree);
-    let picks = rand::seq::index::sample(rng, window, degree);
-    picks
-        .into_iter()
-        .map(|offset| NodeId::from_index(start + offset))
-        .collect()
+    let picks = rng.sample_indices(window, degree);
+    picks.into_iter().map(|offset| NodeId::from_index(start + offset)).collect()
 }
 
 #[cfg(test)]
@@ -180,10 +169,7 @@ mod tests {
         let cfg = WindowConfig::new("t", 200, 16);
         let a = window_circuit(&cfg, 1);
         let b = window_circuit(&cfg, 2);
-        let differs = a
-            .net_ids()
-            .zip(b.net_ids())
-            .any(|(na, nb)| a.pins(na) != b.pins(nb));
+        let differs = a.net_ids().zip(b.net_ids()).any(|(na, nb)| a.pins(na) != b.pins(nb));
         assert!(differs);
     }
 
@@ -221,10 +207,7 @@ mod tests {
         let cfg = WindowConfig::new("t", 2000, 64);
         let g = window_circuit(&cfg, 5);
         let p = rent_exponent(&g).expect("graph large enough");
-        assert!(
-            (0.35..0.95).contains(&p),
-            "estimated rent exponent {p} out of realistic band"
-        );
+        assert!((0.35..0.95).contains(&p), "estimated rent exponent {p} out of realistic band");
     }
 
     #[test]

@@ -36,7 +36,6 @@ use crate::ids::{NetId, NodeId, TerminalId};
 /// # }
 /// ```
 #[derive(Clone)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Hypergraph {
     pub(crate) node_names: Vec<String>,
     pub(crate) node_sizes: Vec<u32>,
@@ -250,19 +249,13 @@ impl Hypergraph {
     /// the names yourself if you need repeated lookups.
     #[must_use]
     pub fn find_node(&self, name: &str) -> Option<NodeId> {
-        self.node_names
-            .iter()
-            .position(|n| n == name)
-            .map(NodeId::from_index)
+        self.node_names.iter().position(|n| n == name).map(NodeId::from_index)
     }
 
     /// Looks up a net by name (linear scan; see [`Self::find_node`]).
     #[must_use]
     pub fn find_net(&self, name: &str) -> Option<NetId> {
-        self.net_names
-            .iter()
-            .position(|n| n == name)
-            .map(NetId::from_index)
+        self.net_names.iter().position(|n| n == name).map(NetId::from_index)
     }
 
     /// Builds a name → node index for repeated lookups.

@@ -33,10 +33,7 @@ use crate::ids::NodeId;
 /// Returns [`ParseNetlistError`] on malformed headers, vertex indices out
 /// of range, or structural validation failure.
 pub fn read_hmetis<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> {
-    let mut lines = BufReader::new(reader)
-        .lines()
-        .enumerate()
-        .map(|(i, l)| (i + 1, l));
+    let mut lines = BufReader::new(reader).lines().enumerate().map(|(i, l)| (i + 1, l));
 
     // Header: first non-comment line.
     let (header_line_no, header) = loop {
@@ -63,17 +60,13 @@ pub fn read_hmetis<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> 
         }
     };
     let mut fields = header.split_whitespace();
-    let edges: usize = fields
-        .next()
-        .and_then(|f| f.parse().ok())
-        .ok_or(ParseNetlistError::MalformedRecord {
+    let edges: usize =
+        fields.next().and_then(|f| f.parse().ok()).ok_or(ParseNetlistError::MalformedRecord {
             line: header_line_no,
             expected: "hyperedge count",
         })?;
-    let vertices: usize = fields
-        .next()
-        .and_then(|f| f.parse().ok())
-        .ok_or(ParseNetlistError::MalformedRecord {
+    let vertices: usize =
+        fields.next().and_then(|f| f.parse().ok()).ok_or(ParseNetlistError::MalformedRecord {
             line: header_line_no,
             expected: "vertex count",
         })?;
@@ -94,9 +87,7 @@ pub fn read_hmetis<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> 
     let vertex_weights = fmt == 10 || fmt == 11;
 
     let mut builder = HypergraphBuilder::new();
-    let nodes: Vec<NodeId> = (1..=vertices)
-        .map(|i| builder.add_node(format!("v{i}"), 1))
-        .collect();
+    let nodes: Vec<NodeId> = (1..=vertices).map(|i| builder.add_node(format!("v{i}"), 1)).collect();
 
     let mut data_lines = lines.filter_map(|(no, l)| match l {
         Ok(line) => {
@@ -120,11 +111,10 @@ pub fn read_hmetis<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> 
         }
         let mut pins = Vec::new();
         for f in fields {
-            let idx: usize =
-                f.parse().map_err(|_| ParseNetlistError::MalformedRecord {
-                    line: no,
-                    expected: "1-based vertex index",
-                })?;
+            let idx: usize = f.parse().map_err(|_| ParseNetlistError::MalformedRecord {
+                line: no,
+                expected: "1-based vertex index",
+            })?;
             if idx == 0 || idx > vertices {
                 return Err(ParseNetlistError::UnknownName { line: no, name: f.to_owned() });
             }
@@ -142,11 +132,9 @@ pub fn read_hmetis<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> 
                 line: header_line_no,
                 expected: "one weight line per vertex",
             })?;
-            let weight: u32 =
-                line.trim().parse().map_err(|_| ParseNetlistError::MalformedRecord {
-                    line: no,
-                    expected: "vertex weight",
-                })?;
+            let weight: u32 = line.trim().parse().map_err(|_| {
+                ParseNetlistError::MalformedRecord { line: no, expected: "vertex weight" }
+            })?;
             let _ = i;
             builder.set_node_size(node, weight);
         }
@@ -191,11 +179,8 @@ pub fn write_hmetis<W: Write>(mut writer: W, graph: &Hypergraph) -> std::io::Res
         if weighted { " 10" } else { "" }
     )?;
     for net in graph.net_ids() {
-        let pins: Vec<String> = graph
-            .pins(net)
-            .iter()
-            .map(|p| (p.index() + 1).to_string())
-            .collect();
+        let pins: Vec<String> =
+            graph.pins(net).iter().map(|p| (p.index() + 1).to_string()).collect();
         writeln!(writer, "{}", pins.join(" "))?;
     }
     if weighted {

@@ -6,8 +6,6 @@ macro_rules! id_type {
     ($(#[$meta:meta])* $name:ident, $tag:literal) => {
         $(#[$meta])*
         #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-        #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
-        #[cfg_attr(feature = "serde", serde(transparent))]
         pub struct $name(pub(crate) u32);
 
         impl $name {

@@ -51,6 +51,7 @@ pub mod coarsen;
 pub mod gen;
 pub mod hmetis;
 pub mod io;
+pub mod rng;
 pub mod stats;
 pub mod subgraph;
 pub mod traverse;

@@ -1,0 +1,297 @@
+//! Small, dependency-free deterministic PRNG: SplitMix64 seeding feeding
+//! a xoshiro256** generator.
+//!
+//! The workspace deliberately carries no external crates, so the
+//! generators, the partitioner's randomized tie-breaks, and the benches
+//! all draw from this module. Streams are fully determined by the seed:
+//! the same seed always produces the same sequence, on every platform
+//! (the golden-workload fingerprints in `tests/golden_workloads.rs` pin
+//! this).
+//!
+//! The API mirrors the subset of `rand` the workspace used to consume:
+//! [`StdRng::seed_from_u64`], [`StdRng::gen_range`], [`StdRng::gen_bool`],
+//! [`StdRng::shuffle`], and [`StdRng::sample_indices`].
+
+/// SplitMix64 step: expands a 64-bit seed into well-mixed words; used to
+/// initialize the xoshiro state (the construction recommended by the
+/// xoshiro authors).
+#[inline]
+#[must_use]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministic xoshiro256** generator.
+///
+/// Named `StdRng` so call sites read the same as they did under the
+/// `rand` crate; the algorithm is fixed forever (changing it would
+/// invalidate every pinned workload fingerprint).
+#[derive(Debug, Clone)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for w in &mut s {
+            *w = splitmix64(&mut sm);
+        }
+        // An all-zero state would be a fixed point; splitmix64 cannot
+        // produce four zero words from any seed, but keep the guard
+        // explicit.
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { s }
+    }
+
+    /// Next raw 64-bit output (xoshiro256**).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32-bit output (upper half of the 64-bit stream).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Uniform value in a half-open or inclusive range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<R: UniformRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Uniform `u64` in `[0, bound)` via Lemire's unbiased multiply-shift
+    /// rejection.
+    #[inline]
+    pub fn bounded_u64(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0, "empty range");
+        if bound == 0 {
+            return 0;
+        }
+        loop {
+            let x = self.next_u64();
+            let hi = ((u128::from(x) * u128::from(bound)) >> 64) as u64;
+            let lo = x.wrapping_mul(bound);
+            // Accept unless `lo` falls in the biased low zone.
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return hi;
+            }
+        }
+    }
+
+    /// Fisher–Yates shuffle of a slice, in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded_u64((i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// `amount` distinct indices drawn uniformly from `0..len`, in random
+    /// order (partial Fisher–Yates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amount > len`.
+    #[must_use]
+    pub fn sample_indices(&mut self, len: usize, amount: usize) -> Vec<usize> {
+        assert!(amount <= len, "cannot sample {amount} of {len}");
+        // Partial shuffle over a dense index vector: O(len) setup, exact
+        // uniformity. The generators sample small `amount`s from small
+        // windows, so the dense vector stays cheap.
+        let mut indices: Vec<usize> = (0..len).collect();
+        for i in 0..amount {
+            let j = i + self.bounded_u64((len - i) as u64) as usize;
+            indices.swap(i, j);
+        }
+        indices.truncate(amount);
+        indices
+    }
+}
+
+/// Ranges accepted by [`StdRng::gen_range`].
+pub trait UniformRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform value from the range.
+    fn sample(self, rng: &mut StdRng) -> Self::Output;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformRange for std::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + rng.bounded_u64(span) as $t
+            }
+        }
+        impl UniformRange for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range of a 64-bit type.
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.bounded_u64(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(usize, u64, u32);
+
+impl UniformRange for std::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.gen_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn known_answer_is_pinned() {
+        // Guards against accidental algorithm changes: these values were
+        // produced by this implementation and must never change (the
+        // golden workload fingerprints depend on the stream).
+        let mut r = StdRng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                11_091_344_671_253_066_420,
+                13_793_997_310_169_335_082,
+                1_900_383_378_846_508_768,
+                7_684_712_102_626_143_532,
+            ]
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..2000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(2usize..=4);
+            assert!((2..=4).contains(&w));
+            let f = r.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut r = StdRng::seed_from_u64(11);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(3);
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut v: Vec<usize> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should move");
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_and_in_range() {
+        let mut r = StdRng::seed_from_u64(13);
+        for _ in 0..100 {
+            let picks = r.sample_indices(20, 6);
+            assert_eq!(picks.len(), 6);
+            let mut sorted = picks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 6, "duplicates in {picks:?}");
+            assert!(picks.iter().all(|&i| i < 20));
+        }
+        assert!(r.sample_indices(5, 0).is_empty());
+        assert_eq!(r.sample_indices(1, 1), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn oversampling_panics() {
+        let mut r = StdRng::seed_from_u64(1);
+        let _ = r.sample_indices(3, 4);
+    }
+}

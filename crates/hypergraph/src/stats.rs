@@ -42,10 +42,7 @@ impl CircuitStats {
         let nets = graph.net_count();
         let nodes = graph.node_count();
         let pins = graph.pin_count();
-        let terminal_nets = graph
-            .net_ids()
-            .filter(|&e| graph.net_has_terminal(e))
-            .count();
+        let terminal_nets = graph.net_ids().filter(|&e| graph.net_has_terminal(e)).count();
         CircuitStats {
             nodes,
             nets,
@@ -56,11 +53,7 @@ impl CircuitStats {
             max_net_degree: graph.max_net_degree(),
             mean_node_degree: if nodes == 0 { 0.0 } else { pins as f64 / nodes as f64 },
             max_node_degree: graph.max_node_degree(),
-            terminal_net_fraction: if nets == 0 {
-                0.0
-            } else {
-                terminal_nets as f64 / nets as f64
-            },
+            terminal_net_fraction: if nets == 0 { 0.0 } else { terminal_nets as f64 / nets as f64 },
         }
     }
 }
@@ -90,11 +83,8 @@ pub fn rent_exponent(graph: &Hypergraph) -> Option<f64> {
     }
     let mut samples: Vec<(f64, f64)> = Vec::new();
     let seed_stride = (n / 8).max(1);
-    let targets: Vec<usize> = [8usize, 16, 32, 64, 128, 256, 512]
-        .iter()
-        .copied()
-        .filter(|&t| t <= n / 2)
-        .collect();
+    let targets: Vec<usize> =
+        [8usize, 16, 32, 64, 128, 256, 512].iter().copied().filter(|&t| t <= n / 2).collect();
     if targets.len() < 2 {
         return None;
     }
@@ -149,8 +139,8 @@ fn boundary_nets(graph: &Hypergraph, cluster: &[NodeId]) -> usize {
                 continue;
             }
             seen[net.index()] = true;
-            let crosses = graph.pins(net).iter().any(|&u| !inside[u.index()])
-                || graph.net_has_terminal(net);
+            let crosses =
+                graph.pins(net).iter().any(|&u| !inside[u.index()]) || graph.net_has_terminal(net);
             if crosses {
                 count += 1;
             }

@@ -64,11 +64,7 @@ pub struct Subgraph {
 /// # }
 /// ```
 #[must_use]
-pub fn subgraph(
-    graph: &Hypergraph,
-    nodes: &[NodeId],
-    boundary: BoundaryHandling,
-) -> Subgraph {
+pub fn subgraph(graph: &Hypergraph, nodes: &[NodeId], boundary: BoundaryHandling) -> Subgraph {
     let mut map = vec![u32::MAX; graph.node_count()];
     let mut builder = HypergraphBuilder::named(format!("{}_sub", graph.name()));
     for (i, &v) in nodes.iter().enumerate() {
@@ -94,9 +90,7 @@ pub fn subgraph(
             .add_net(graph.net_name(net), pins)
             .expect("mapped pins are valid distinct sub-nodes");
         for &t in graph.net_terminals(net) {
-            builder
-                .add_terminal(graph.terminal_name(t), id)
-                .expect("net id from this builder");
+            builder.add_terminal(graph.terminal_name(t), id).expect("net id from this builder");
         }
         if is_cut && boundary == BoundaryHandling::MarkTerminals {
             builder
@@ -130,11 +124,8 @@ mod tests {
     #[test]
     fn extracts_induced_structure() {
         let g = sample();
-        let sub = subgraph(
-            &g,
-            &[NodeId::from_index(0), NodeId::from_index(1)],
-            BoundaryHandling::Plain,
-        );
+        let sub =
+            subgraph(&g, &[NodeId::from_index(0), NodeId::from_index(1)], BoundaryHandling::Plain);
         assert_eq!(sub.graph.node_count(), 2);
         // nets: inner (both pins), cut (restricted to n1), term (n0)
         assert_eq!(sub.graph.net_count(), 3);
@@ -185,11 +176,7 @@ mod tests {
         // Terminal-net count of the subgraph = block IOB count. A net may
         // carry several original pads but still consumes one IOB, so
         // compare *nets with terminals*, not terminal count.
-        let terminal_nets = sub
-            .graph
-            .net_ids()
-            .filter(|&e| sub.graph.net_has_terminal(e))
-            .count();
+        let terminal_nets = sub.graph.net_ids().filter(|&e| sub.graph.net_has_terminal(e)).count();
         assert_eq!(terminal_nets, verification);
     }
 

@@ -169,10 +169,7 @@ mod tests {
     #[test]
     fn farthest_picks_path_end() {
         let g = path_graph();
-        assert_eq!(
-            farthest_from(&g, NodeId::from_index(0)),
-            NodeId::from_index(3)
-        );
+        assert_eq!(farthest_from(&g, NodeId::from_index(0)), NodeId::from_index(3));
     }
 
     #[test]

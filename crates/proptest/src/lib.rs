@@ -1,0 +1,131 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The workspace builds with no crates.io access, so this crate
+//! implements — API-compatibly — exactly the subset of proptest the
+//! tests use: the [`proptest!`] macro, `prop_assert*` macros,
+//! [`prelude::any`], range/tuple/collection/sample strategies,
+//! [`strategy::Strategy::prop_map`], and a deterministic runner.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * no shrinking — a failing case reports its assertion message but
+//!   does not get minimized;
+//! * generation is seeded from the test name, so every run of a given
+//!   test sees the same deterministic case sequence;
+//! * string strategies ignore the regex pattern's character classes and
+//!   produce arbitrary unicode text whose length honours a trailing
+//!   `{lo,hi}` repetition bound if present.
+
+pub mod collection;
+pub mod prelude;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests.
+///
+/// Mirrors proptest's surface: an optional
+/// `#![proptest_config(expr)]` header, then `fn name(pat in strategy,
+/// ...) { body }` items. Each becomes a `#[test]` (the attribute comes
+/// from the re-emitted metas, exactly as in real proptest) running
+/// `config.cases` deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@items $config; $($rest)*);
+    };
+    (@items $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($parm:pat in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(config, stringify!($name));
+                while runner.more_cases() {
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> = {
+                        $(let $parm = $crate::strategy::Strategy::generate(
+                            &($strategy),
+                            runner.rng(),
+                        );)+
+                        (|| { $body ::std::result::Result::Ok(()) })()
+                    };
+                    runner.record(outcome);
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@items $crate::test_runner::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Fails the current case (returns `Err(TestCaseError::Fail)`) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the two values are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}` ({} != {})",
+            left,
+            right,
+            stringify!($left),
+            stringify!($right),
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Fails the current case when the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}` ({} == {})",
+            left,
+            right,
+            stringify!($left),
+            stringify!($right),
+        );
+    }};
+}
+
+/// Rejects (skips) the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}

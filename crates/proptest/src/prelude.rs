@@ -1,0 +1,5 @@
+//! Glob-import surface matching `proptest::prelude::*`.
+
+pub use crate::strategy::{any, Arbitrary, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};

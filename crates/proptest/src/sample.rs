@@ -1,0 +1,48 @@
+//! Sampling strategies (`proptest::sample::select`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Strategy choosing uniformly among the given values.
+///
+/// # Panics
+///
+/// Panics (at generation time) if `options` is empty.
+#[must_use]
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "select over no options");
+        self.options[rng.bounded_u64(self.options.len() as u64) as usize].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_options() {
+        let mut rng = TestRng::seed_from_u64(1);
+        let s = select(vec!["a", "b", "c"]);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            match s.generate(&mut rng) {
+                "a" => seen[0] = true,
+                "b" => seen[1] = true,
+                _ => seen[2] = true,
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+}

@@ -1,0 +1,118 @@
+//! Deterministic case runner and error types.
+
+use crate::rng::TestRng;
+
+/// How a single generated case can fail.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case was skipped (a `prop_assume!` did not hold); the runner
+    /// draws a replacement case.
+    Reject(String),
+    /// An assertion failed; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing-case error with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected-case (skip) error with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "case failed: {r}"),
+        }
+    }
+}
+
+/// Runner configuration; mirrors the proptest struct of the same name.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on rejected cases before the test errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, max_global_rejects: cases.saturating_mul(64).max(1024) }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig::with_cases(64)
+    }
+}
+
+/// Drives one property test: counts successful cases, tolerates a
+/// bounded number of rejects, and panics on the first failure (no
+/// shrinking).
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+    rng: TestRng,
+    passed: u32,
+    rejected: u32,
+}
+
+impl TestRunner {
+    /// Creates a runner for the named test, deterministically seeded
+    /// from the name.
+    #[must_use]
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        let rng = TestRng::from_name(name);
+        TestRunner { config, name, rng, passed: 0, rejected: 0 }
+    }
+
+    /// Whether another case should run.
+    #[must_use]
+    pub fn more_cases(&self) -> bool {
+        self.passed < self.config.cases
+    }
+
+    /// The generation source for the next case.
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+
+    /// Records a case outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `Fail` (test failure) and when the reject budget is
+    /// exhausted.
+    pub fn record(&mut self, outcome: Result<(), TestCaseError>) {
+        match outcome {
+            Ok(()) => self.passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                self.rejected += 1;
+                assert!(
+                    self.rejected <= self.config.max_global_rejects,
+                    "{}: too many rejected cases ({} rejects for {} passes)",
+                    self.name,
+                    self.rejected,
+                    self.passed,
+                );
+            }
+            Err(TestCaseError::Fail(reason)) => {
+                panic!(
+                    "{}: property failed after {} passing case(s): {}",
+                    self.name, self.passed, reason
+                );
+            }
+        }
+    }
+}

@@ -7,9 +7,7 @@
 //! ```
 
 use fpart_baselines::replicate;
-use fpart_core::{
-    partition, partition_multilevel, FpartConfig, MultilevelConfig, QualityReport,
-};
+use fpart_core::{partition, partition_multilevel, FpartConfig, MultilevelConfig, QualityReport};
 use fpart_device::fit::{default_price_list, fit_blocks};
 use fpart_device::Device;
 use fpart_hypergraph::gen::{find_profile, synthesize_mcnc, Technology};
@@ -48,9 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Heterogeneous fitting: each block buys the cheapest part it fits.
     let list = default_price_list();
     if let Some(fit) = fit_blocks(&flat.usages(), 0.9, &list) {
-        let homogeneous =
-            list.iter().find(|p| p.device == Device::XC3020).expect("catalog").price
-                * flat.device_count as f64;
+        let homogeneous = list.iter().find(|p| p.device == Device::XC3020).expect("catalog").price
+            * flat.device_count as f64;
         println!(
             "device fitting: {:.1} cost units heterogeneous vs {homogeneous:.1} homogeneous ({} device types)",
             fit.total_price,

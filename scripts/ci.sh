@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, release build, tests, smoke bench.
+#
+# Usage: scripts/ci.sh [--skip-bench]
+#
+# The workspace is fully offline (no crates.io dependencies), so this
+# runs anywhere the Rust toolchain is installed.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+skip_bench=0
+for arg in "$@"; do
+    case "$arg" in
+        --skip-bench) skip_bench=1 ;;
+        *) echo "unknown argument: $arg" >&2; exit 2 ;;
+    esac
+done
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "cargo fmt --check"
+cargo fmt --all --check
+
+step "cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+step "cargo build --release"
+cargo build --release --workspace
+
+step "cargo test"
+cargo test --workspace -q
+
+if [ "$skip_bench" -eq 0 ]; then
+    step "smoke bench -> BENCH_pr1.json"
+    ./target/release/smoke BENCH_pr1.json
+    # The file must be valid JSON.
+    python3 -c "import json; json.load(open('BENCH_pr1.json'))"
+    echo "BENCH_pr1.json is valid JSON"
+fi
+
+step "CI OK"

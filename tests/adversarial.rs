@@ -49,8 +49,7 @@ fn star_topology() {
 fn disconnected_components() {
     let mut b = HypergraphBuilder::new();
     for c in 0..12 {
-        let nodes: Vec<NodeId> =
-            (0..5).map(|i| b.add_node(format!("c{c}n{i}"), 1)).collect();
+        let nodes: Vec<NodeId> = (0..5).map(|i| b.add_node(format!("c{c}n{i}"), 1)).collect();
         for w in nodes.windows(2) {
             b.add_net(format!("c{c}e{}", w[0]), [w[0], w[1]]).unwrap();
         }

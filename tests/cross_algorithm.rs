@@ -34,8 +34,7 @@ fn everyone_beats_naive() {
         let graph = synthesize_mcnc(find_profile(name).expect("known"), Technology::Xc3000);
         let naive = first_fit_partition(&graph, constraints);
         let fpart = partition(&graph, constraints, &FpartConfig::default()).expect("fpart");
-        let flow =
-            fbb_mw_partition(&graph, constraints, &FlowConfig::default()).expect("flow");
+        let flow = fbb_mw_partition(&graph, constraints, &FlowConfig::default()).expect("flow");
         assert!(fpart.device_count < naive.device_count, "{name} fpart vs naive");
         assert!(flow.device_count < naive.device_count, "{name} flow vs naive");
     }

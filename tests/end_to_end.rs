@@ -18,11 +18,8 @@ fn check_contract(
     let total: u64 = outcome.blocks.iter().map(|b| b.size).sum();
     assert_eq!(total, graph.total_size());
     // Reported block stats must match a recount from the assignment.
-    let state = PartitionState::from_assignment(
-        graph,
-        outcome.assignment.clone(),
-        outcome.device_count,
-    );
+    let state =
+        PartitionState::from_assignment(graph, outcome.assignment.clone(), outcome.device_count);
     for (b, report) in outcome.blocks.iter().enumerate() {
         assert_eq!(state.block_size(b), report.size, "block {b} size");
         assert_eq!(state.block_terminals(b), report.terminals, "block {b} terminals");
@@ -66,14 +63,8 @@ fn all_mcnc_circuits_partition_feasibly_on_xc3020() {
 fn xc3090_small_circuits_match_published_exactly() {
     // Paper Table 4, small group: every method agrees, so the synthetic
     // reproduction must too.
-    let expected = [
-        ("c3540", 1),
-        ("c5315", 3),
-        ("c6288", 3),
-        ("c7552", 3),
-        ("s5378", 2),
-        ("s9234", 2),
-    ];
+    let expected =
+        [("c3540", 1), ("c5315", 3), ("c6288", 3), ("c7552", 3), ("s5378", 2), ("s9234", 2)];
     let constraints = Device::XC3090.constraints(0.9);
     for (name, k) in expected {
         let profile = find_profile(name).expect("known circuit");
@@ -131,9 +122,8 @@ fn trace_matches_untraced_result() {
     let graph = synthesize_mcnc(profile, Technology::Xc3000);
     let constraints = Device::XC3042.constraints(0.9);
     let plain = partition(&graph, constraints, &FpartConfig::default()).expect("runs");
-    let traced =
-        fpart_core::partition_traced(&graph, constraints, &FpartConfig::default(), true)
-            .expect("runs");
+    let traced = fpart_core::partition_traced(&graph, constraints, &FpartConfig::default(), true)
+        .expect("runs");
     assert_eq!(plain.assignment, traced.assignment);
     assert!(traced.trace.events().len() > plain.trace.events().len());
 }

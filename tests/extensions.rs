@@ -5,9 +5,7 @@
 use fpart_baselines::replicate;
 use fpart_core::config::GainObjective;
 use fpart_core::fm::{bipartition_fm, FmConfig};
-use fpart_core::{
-    partition, partition_multilevel, FpartConfig, MultilevelConfig, QualityReport,
-};
+use fpart_core::{partition, partition_multilevel, FpartConfig, MultilevelConfig, QualityReport};
 use fpart_device::fit::{default_price_list, fit_blocks};
 use fpart_device::Device;
 use fpart_hypergraph::coarsen::coarsen_by_connectivity;
@@ -42,10 +40,7 @@ fn coarsening_then_fm_recovers_structure() {
     let coarse_split = bipartition_fm(&c.coarse, &FmConfig::default());
     let fine = c.project(&coarse_split.side);
     let state = fpart_core::PartitionState::from_assignment(&g, fine, 2);
-    assert_eq!(
-        state.block_size(0) + state.block_size(1),
-        g.total_size()
-    );
+    assert_eq!(state.block_size(0) + state.block_size(1), g.total_size());
     assert!(state.cut_count() > 0); // the circuit is connected
 }
 
@@ -57,10 +52,7 @@ fn replication_after_fpart_only_improves_io() {
     let out = partition(&g, constraints, &FpartConfig::default()).expect("runs");
     let rep = replicate(&g, &out.assignment, out.device_count, constraints);
     for b in 0..out.device_count {
-        assert!(
-            rep.terminals_after[b] <= rep.terminals_before[b],
-            "block {b} got worse"
-        );
+        assert!(rep.terminals_after[b] <= rep.terminals_before[b], "block {b} got worse");
         assert!(rep.sizes_after[b] <= constraints.s_max, "block {b} over capacity");
     }
     // The reported pre-replication terminals agree with the outcome.
@@ -77,11 +69,7 @@ fn hetero_fitting_never_costs_more_than_homogeneous() {
     let out = partition(&g, constraints, &FpartConfig::default()).expect("runs");
     let list = default_price_list();
     let report = fit_blocks(&out.usages(), 0.9, &list).expect("all blocks fit something");
-    let xc3090_price = list
-        .iter()
-        .find(|d| d.device == Device::XC3090)
-        .expect("catalog")
-        .price;
+    let xc3090_price = list.iter().find(|d| d.device == Device::XC3090).expect("catalog").price;
     assert!(report.total_price <= xc3090_price * out.device_count as f64 + 1e-9);
     assert_eq!(report.per_block.len(), out.device_count);
 }
@@ -91,15 +79,15 @@ fn in_flow_hetero_is_cheapest_of_the_three_strategies() {
     let p = find_profile("s13207").expect("known circuit");
     let g = synthesize_mcnc(p, Technology::Xc3000);
     let list = default_price_list();
-    let hetero = fpart_core::partition_hetero(&g, &list, 0.9, &FpartConfig::default())
-        .expect("runs");
+    let hetero =
+        fpart_core::partition_hetero(&g, &list, 0.9, &FpartConfig::default()).expect("runs");
     assert!(hetero.feasible);
     // Sizes conserve across the heterogeneous assignment.
     let total: u64 = hetero.usages.iter().map(|u| u.size).sum();
     assert_eq!(total, g.total_size());
     // In-flow never costs more than homogeneous-XC3090 + refit.
-    let homogeneous = partition(&g, Device::XC3090.constraints(0.9), &FpartConfig::default())
-        .expect("runs");
+    let homogeneous =
+        partition(&g, Device::XC3090.constraints(0.9), &FpartConfig::default()).expect("runs");
     let refit = fit_blocks(&homogeneous.usages(), 0.9, &list).expect("fits");
     assert!(
         hetero.total_price <= refit.total_price + 1e-9,
@@ -147,10 +135,5 @@ fn fm_facade_bipartitions_mcnc_circuit() {
     assert!(result.balance() > 0.38, "balance {}", result.balance());
     // The cut should be far below the net count on a Rent-structured
     // circuit (a random split would cut a large fraction).
-    assert!(
-        result.cut * 4 < g.net_count(),
-        "cut {} of {} nets",
-        result.cut,
-        g.net_count()
-    );
+    assert!(result.cut * 4 < g.net_count(), "cut {} of {} nets", result.cut, g.net_count());
 }

@@ -56,26 +56,27 @@ fn xc3000_workload_fingerprints_are_pinned() {
         })
         .collect();
     // To re-pin after an intentional change, print `measured` and paste.
-    let pinned: Vec<(String, u64)> = PINNED_XC3000
-        .iter()
-        .map(|(n, f)| ((*n).to_owned(), *f))
-        .collect();
+    let pinned: Vec<(String, u64)> =
+        PINNED_XC3000.iter().map(|(n, f)| ((*n).to_owned(), *f)).collect();
     assert_eq!(
         measured, pinned,
         "workload fingerprints changed — recalibrate and re-pin (see test docs)"
     );
 }
 
-/// Pinned on the calibration used by EXPERIMENTS.md.
+/// Pinned on the calibration used by EXPERIMENTS.md. Re-pinned when the
+/// generators moved from the external `rand` crate to the in-tree
+/// xoshiro256** module (`fpart_hypergraph::rng`), which changed the
+/// underlying streams once.
 const PINNED_XC3000: [(&str, u64); 10] = [
-    ("c3540", 0xc53db55fca2e099c),
-    ("c5315", 0xb5f6c97ad7f2b67e),
-    ("c6288", 0x0d90a10bcc7fbe8b),
-    ("c7552", 0xccf115b8e1ddf144),
-    ("s5378", 0x3a906c17503c9d99),
-    ("s9234", 0x64d26f9b548740b4),
-    ("s13207", 0x8881e89309f618ab),
-    ("s15850", 0x0153fdf7b183ff39),
-    ("s38417", 0x87b0501d86b5e021),
-    ("s38584", 0xbe287c0a2941f555),
+    ("c3540", 0x0e1c812101ff9f7b),
+    ("c5315", 0x12a656699116c0ec),
+    ("c6288", 0xcf1155a2344641a2),
+    ("c7552", 0x461b232e43435e74),
+    ("s5378", 0x95ad7c572e567ef3),
+    ("s9234", 0xfb79119a0bc85e20),
+    ("s13207", 0x5991dda05f884d10),
+    ("s15850", 0x78646ce7a3efb2fa),
+    ("s38417", 0x7194927b51eac60c),
+    ("s38584", 0x67b5f986566263a0),
 ];

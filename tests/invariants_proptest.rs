@@ -2,7 +2,10 @@
 //! random circuits, random move sequences, random device constraints.
 
 use fpart_core::bucket::GainBucket;
-use fpart_core::{partition, FpartConfig, PartitionState, SolutionKey};
+use fpart_core::cost::CostEvaluator;
+use fpart_core::{
+    partition, partition_restarts, FpartConfig, KeyTracker, PartitionState, SolutionKey,
+};
 use fpart_device::DeviceConstraints;
 use fpart_hypergraph::gen::{window_circuit, WindowConfig};
 use fpart_hypergraph::{Hypergraph, NodeId};
@@ -66,6 +69,99 @@ proptest! {
             .collect();
         prop_assert_eq!(before, after);
         prop_assert_eq!(cut, state.cut_count());
+    }
+
+    /// The incremental `KeyTracker` key equals the from-scratch O(k)
+    /// evaluation after arbitrary move / rollback sequences — the
+    /// correctness contract behind the engine's O(1)-per-move cost
+    /// updates. Rollbacks are modeled exactly as the pass engine performs
+    /// them: replaying logged moves in reverse, tracker updated per step.
+    #[test]
+    fn incremental_key_matches_from_scratch(
+        graph in arb_graph(),
+        moves in proptest::collection::vec((any::<u32>(), 0usize..4), 1..50),
+        k in 2usize..5,
+        s_max in 8u64..48,
+        t_max in 8usize..48,
+        rollback_frac in 0.0f64..1.0,
+    ) {
+        let n = graph.node_count();
+        let constraints = DeviceConstraints::new(s_max, t_max);
+        let evaluator =
+            CostEvaluator::new(constraints, &FpartConfig::default(), k, graph.terminal_count());
+        let assignment: Vec<u32> = (0..n as u32).map(|i| i % k as u32).collect();
+        let mut state = PartitionState::from_assignment(&graph, assignment, k);
+        let mut tracker = KeyTracker::new(&evaluator, &state);
+
+        // Forward phase: random moves, tracker updated incrementally.
+        let mut log: Vec<(NodeId, u32)> = Vec::new();
+        for (pick, block) in moves {
+            let node = NodeId::from_index(pick as usize % n);
+            let from = state.block_of(node);
+            let to = (block % k) as u32;
+            state.move_node(node, to as usize);
+            tracker.apply_move(&evaluator, &state, from, to as usize);
+            log.push((node, from as u32));
+            prop_assert_eq!(
+                tracker.key(&evaluator, &state, None),
+                evaluator.key(&state, None),
+                "incremental key diverged after a forward move"
+            );
+        }
+
+        // Rollback phase: undo a suffix of the log in reverse order.
+        #[allow(clippy::cast_sign_loss, clippy::cast_possible_truncation)]
+        let keep = ((log.len() as f64) * rollback_frac) as usize;
+        while log.len() > keep {
+            let (node, home) = log.pop().unwrap();
+            let from = state.block_of(node);
+            state.move_node(node, home as usize);
+            tracker.apply_move(&evaluator, &state, from, home as usize);
+            prop_assert_eq!(
+                tracker.key(&evaluator, &state, None),
+                evaluator.key(&state, None),
+                "incremental key diverged after a rollback step"
+            );
+        }
+
+        // A remainder designation changes the assembled key but must not
+        // break the equality either.
+        prop_assert_eq!(
+            tracker.key(&evaluator, &state, Some(0)),
+            evaluator.key(&state, Some(0)),
+            "incremental key diverged under a remainder designation"
+        );
+    }
+
+    /// Parallel multi-run search is bit-identical to sequential for any
+    /// thread count on random circuits.
+    #[test]
+    fn restarts_thread_invariant_on_random_circuits(
+        graph in arb_graph(),
+        s_max in 16u64..48,
+        t_max in 16usize..48,
+        threads in 2usize..9,
+    ) {
+        let constraints = DeviceConstraints::new(s_max, t_max);
+        let max_node = graph.node_ids().map(|v| u64::from(graph.node_size(v))).max().unwrap_or(0);
+        prop_assume!(max_node <= s_max);
+        let config = FpartConfig::default();
+        let sequential = partition_restarts(&graph, constraints, &config, 3, 1);
+        let parallel = partition_restarts(&graph, constraints, &config, 3, threads);
+        match (sequential, parallel) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.assignment, b.assignment);
+                prop_assert_eq!(a.device_count, b.device_count);
+                prop_assert_eq!(a.cut, b.cut);
+                prop_assert_eq!(a.feasible, b.feasible);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "sequential and parallel disagree on success: {a:?} vs {b:?}"
+                )));
+            }
+        }
     }
 
     /// FPART on random circuits: always terminates, and when it reports

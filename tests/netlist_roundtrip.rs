@@ -24,10 +24,7 @@ fn assert_same_structure(a: &Hypergraph, b: &Hypergraph) {
     }
     for (ta, tb) in a.terminal_ids().zip(b.terminal_ids()) {
         assert_eq!(a.terminal_name(ta), b.terminal_name(tb));
-        assert_eq!(
-            a.net_name(a.terminal_net(ta)),
-            b.net_name(b.terminal_net(tb))
-        );
+        assert_eq!(a.net_name(a.terminal_net(ta)), b.net_name(b.terminal_net(tb)));
     }
 }
 

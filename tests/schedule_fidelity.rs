@@ -53,18 +53,12 @@ fn small_m_schedule_follows_algorithm_1() {
 
     // 3. The selected-block passes of §3.1 appear.
     for expected in [ImproveKind::MinSize, ImproveKind::MinIo, ImproveKind::MaxFree] {
-        assert!(
-            kinds.iter().any(|&(_, k)| k == expected),
-            "{expected:?} pass missing"
-        );
+        assert!(kinds.iter().any(|&(_, k)| k == expected), "{expected:?} pass missing");
     }
 
     // 4. The final pairwise sweep fires at iteration M only.
-    let sweep_iterations: std::collections::HashSet<usize> = kinds
-        .iter()
-        .filter(|&&(_, k)| k == ImproveKind::FinalSweep)
-        .map(|&(i, _)| i)
-        .collect();
+    let sweep_iterations: std::collections::HashSet<usize> =
+        kinds.iter().filter(|&&(_, k)| k == ImproveKind::FinalSweep).map(|&(i, _)| i).collect();
     assert_eq!(
         sweep_iterations,
         std::collections::HashSet::from([m]),
