@@ -1,7 +1,8 @@
 //! Smoke performance benchmark for the incremental-cost / zero-allocation
-//! / parallel-search work, emitting machine-readable `BENCH_pr1.json`.
+//! / parallel-search work, emitting machine-readable `BENCH_pr2.json`
+//! (schema-versioned; see `fpart_core::obs::SCHEMA_VERSION`).
 //!
-//! Three measurements:
+//! Four measurements:
 //!
 //! 1. **Pass throughput** — retained moves per second of `improve(...)`
 //!    on an MCNC-scale circuit (two-block and 8-way), exercising the
@@ -16,8 +17,13 @@
 //!    bit-identical across the sweep (asserted); only wall time varies.
 //!    `available_parallelism` is recorded because speedup is bounded by
 //!    the machine: a single-core container shows ~1.0×.
+//! 4. **Engine counters** — the internal `Metrics` registry of one
+//!    observed `partition_restarts` search (passes, applied/reverted
+//!    moves, gain-bucket pops, key evaluations, per-`ImproveKind` wall
+//!    time), plus the metered-vs-unmetered wall-time ratio, so the
+//!    "zero overhead when disabled" claim stays measurable over time.
 //!
-//! Output path: first CLI argument, default `BENCH_pr1.json`.
+//! Output path: first CLI argument, default `BENCH_pr2.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -25,14 +31,15 @@ use std::time::Instant;
 use fpart_core::cost::CostEvaluator;
 use fpart_core::fm::{bipartition_fm, FmConfig};
 use fpart_core::{
-    improve, partition_restarts, FpartConfig, ImproveContext, KeyTracker, PartitionState,
+    improve, partition_restarts, partition_restarts_observed, Counter, FpartConfig, ImproveContext,
+    KeyTracker, PartitionState,
 };
 use fpart_device::{Device, DeviceConstraints};
 use fpart_hypergraph::gen::{find_profile, synthesize_mcnc, Technology};
 use fpart_hypergraph::NodeId;
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr1.json".to_owned());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr2.json".to_owned());
     let graph = synthesize_mcnc(find_profile("s9234").expect("profile"), Technology::Xc3000);
     let constraints = Device::XC3020.constraints(0.9);
     let config = FpartConfig::default();
@@ -40,6 +47,7 @@ fn main() {
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
 
     let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema_version\": {},", fpart_core::SCHEMA_VERSION);
     let _ = writeln!(json, "  \"circuit\": \"s9234\",");
     let _ = writeln!(json, "  \"nodes\": {},", graph.node_count());
     let _ = writeln!(json, "  \"available_parallelism\": {cores},");
@@ -195,7 +203,33 @@ fn main() {
              \"restarts4_seconds\": {restart_secs:.4}}}"
         ));
     }
-    let _ = writeln!(json, "  \"thread_sweep\": [\n{}\n  ]", sweep.join(",\n"));
+    let _ = writeln!(json, "  \"thread_sweep\": [\n{}\n  ],", sweep.join(",\n"));
+
+    // 4. Engine counters of one observed restart search, and the wall
+    //    time of the identical unobserved search on the same workload —
+    //    the ratio bounds what full metering costs end to end.
+    let start = Instant::now();
+    let unmetered = partition_restarts(&graph, constraints, &config, 2, 1).expect("partitions");
+    let unmetered_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let report =
+        partition_restarts_observed(&graph, constraints, &config, 2, 1).expect("partitions");
+    let metered_secs = start.elapsed().as_secs_f64();
+    assert_eq!(unmetered.assignment, report.outcome.assignment, "metering changed the result");
+    let overhead_pct = (metered_secs / unmetered_secs - 1.0) * 100.0;
+    println!(
+        "engine counters: passes={}, moves applied={}, gain-bucket pops={}; \
+         metering wall-time delta {overhead_pct:+.1}%",
+        report.totals.get(Counter::Passes),
+        report.totals.get(Counter::MovesApplied),
+        report.totals.get(Counter::GainBucketPops)
+    );
+    let _ = writeln!(json, "  \"engine_counters\": {},", report.totals.to_json());
+    let _ = writeln!(
+        json,
+        "  \"metering\": {{\"unmetered_seconds\": {unmetered_secs:.4}, \
+         \"metered_seconds\": {metered_secs:.4}, \"overhead_pct\": {overhead_pct:.1}}}"
+    );
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("write bench json");

@@ -2,8 +2,13 @@
 
 use std::path::Path;
 
+use std::io::Write as _;
+
 use fpart_baselines::{fbb_mw_partition, first_fit_partition, kway_partition, FlowConfig};
-use fpart_core::{partition_traced, FpartConfig, TraceEvent};
+use fpart_core::{
+    partition_observed, Counter, EventSink, FanoutSink, FpartConfig, JsonlSink, Metrics, Observer,
+    QualityReport, Trace, TraceEvent,
+};
 use fpart_device::{lower_bound, Device, DeviceConstraints};
 use fpart_hypergraph::gen::{
     clustered_circuit, layered_circuit, rent_circuit, synthesize_mcnc, window_circuit,
@@ -18,7 +23,18 @@ use crate::netlist_file;
 /// `fpart partition <netlist> ...`
 pub fn partition(raw: &[String]) -> Result<(), String> {
     let spec = Spec {
-        valued: &["device", "delta", "method", "output", "s-max", "t-max", "restarts", "threads"],
+        valued: &[
+            "device",
+            "delta",
+            "method",
+            "output",
+            "s-max",
+            "t-max",
+            "restarts",
+            "threads",
+            "metrics",
+            "trace-json",
+        ],
         switches: &["trace"],
     };
     let args = Args::parse(raw, spec)?;
@@ -35,6 +51,11 @@ pub fn partition(raw: &[String]) -> Result<(), String> {
     if (restarts > 1 || threads > 1) && method != "fpart" {
         return Err("--restarts/--threads only apply to --method fpart".to_owned());
     }
+    if (args.option("metrics").is_some() || args.option("trace-json").is_some())
+        && method != "fpart"
+    {
+        return Err("--metrics/--trace-json only apply to --method fpart".to_owned());
+    }
     let m = lower_bound(&graph, constraints);
     eprintln!(
         "{}: {} cells, {} nets, {} terminals; device {constraints}; lower bound M = {m}",
@@ -47,23 +68,11 @@ pub fn partition(raw: &[String]) -> Result<(), String> {
     let started = std::time::Instant::now();
     let (assignment, device_count, feasible, cut) = match method {
         "fpart" => {
-            let outcome = if restarts > 1 {
-                fpart_core::partition_restarts(
-                    &graph,
-                    constraints,
-                    &FpartConfig::default(),
-                    restarts,
-                    threads,
-                )
-                .map_err(|e| e.to_string())?
-            } else {
-                partition_traced(&graph, constraints, &FpartConfig::default(), args.switch("trace"))
-                    .map_err(|e| e.to_string())?
-            };
+            let outcome = run_fpart(&graph, constraints, &args, restarts, threads)?;
             if args.switch("trace") {
                 print_trace(&outcome.trace);
             }
-            println!("{}", fpart_core::QualityReport::new(&outcome, constraints));
+            println!("{}", QualityReport::new(&outcome, constraints));
             (outcome.assignment, outcome.device_count, outcome.feasible, outcome.cut)
         }
         "kway" => {
@@ -125,6 +134,118 @@ pub fn partition(raw: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Runs `--method fpart` with whatever observability the flags request:
+/// `--trace` (in-memory trace, printed afterwards), `--trace-json FILE`
+/// (streamed JSON Lines), `--metrics FILE` (aggregated counter/timing
+/// registry). All combinations share the same engine entry points, so
+/// the partition itself is bit-identical whichever flags are given.
+fn run_fpart(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+    args: &Args,
+    restarts: usize,
+    threads: usize,
+) -> Result<fpart_core::PartitionOutcome, String> {
+    let config = FpartConfig::default();
+    let metrics_path = args.option("metrics");
+    let trace_json_path = args.option("trace-json");
+    let want_events = args.switch("trace") || trace_json_path.is_some();
+    if want_events && restarts > 1 {
+        return Err("--trace/--trace-json need --restarts 1 (traces are per-run)".to_owned());
+    }
+
+    // The aggregate written to --metrics: totals plus per-restart parts.
+    let mut aggregate: Option<(Metrics, Vec<Metrics>)> = None;
+
+    let outcome = if want_events {
+        // Single observed run with the requested event sinks fanned out.
+        let mut trace = Trace::enabled();
+        let mut jsonl = match trace_json_path {
+            Some(path) => {
+                let file = std::fs::File::create(path)
+                    .map_err(|e| format!("cannot create {path}: {e}"))?;
+                Some(JsonlSink::new(std::io::BufWriter::new(file)))
+            }
+            None => None,
+        };
+        let result = {
+            let mut sinks: Vec<&mut dyn EventSink> = vec![&mut trace];
+            if let Some(sink) = jsonl.as_mut() {
+                sinks.push(sink);
+            }
+            let mut fanout = FanoutSink::new(sinks);
+            let metrics =
+                if metrics_path.is_some() { Metrics::enabled() } else { Metrics::disabled() };
+            let mut obs = Observer::new(metrics, Some(&mut fanout));
+            let result = partition_observed(graph, constraints, &config, &mut obs);
+            result.map(|outcome| (outcome, obs.metrics.clone()))
+        };
+        let (mut outcome, mut metrics) = result.map_err(|e| e.to_string())?;
+        if let Some(sink) = jsonl {
+            let path = trace_json_path.expect("jsonl implies a path");
+            let lines = sink.lines();
+            sink.into_inner().flush().map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("trace: {lines} events written to {path}");
+        }
+        if metrics_path.is_some() {
+            // Mirror partition_restarts_observed's per-restart shape for
+            // a single run, Runs count included.
+            metrics.bump(Counter::Runs);
+            aggregate = Some((metrics.clone(), vec![metrics]));
+        }
+        outcome.trace = trace;
+        outcome
+    } else if metrics_path.is_some() {
+        let report =
+            fpart_core::partition_restarts_observed(graph, constraints, &config, restarts, threads)
+                .map_err(|e| e.to_string())?;
+        aggregate = Some((report.totals, report.per_restart));
+        report.outcome
+    } else if restarts > 1 {
+        fpart_core::partition_restarts(graph, constraints, &config, restarts, threads)
+            .map_err(|e| e.to_string())?
+    } else {
+        fpart_core::partition(graph, constraints, &config).map_err(|e| e.to_string())?
+    };
+
+    if let Some(path) = metrics_path {
+        let (totals, per_restart) = aggregate.expect("metrics aggregate recorded above");
+        let quality = QualityReport::new(&outcome, constraints);
+        write_metrics_file(path, restarts, threads, &totals, &per_restart, &quality)?;
+        eprintln!("metrics written to {path}");
+    }
+    Ok(outcome)
+}
+
+/// Writes the `--metrics` document: a single JSON object with
+/// `schema_version`, the run shape (`restarts`, `threads`), the merged
+/// `totals` registry, each restart's registry under `per_restart`
+/// (counter totals equal the per-restart sums), and the winning
+/// partition's `quality` report.
+fn write_metrics_file(
+    path: &str,
+    restarts: usize,
+    threads: usize,
+    totals: &Metrics,
+    per_restart: &[Metrics],
+    quality: &QualityReport,
+) -> Result<(), String> {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schema_version\": {}, \"restarts\": {restarts}, \"threads\": {threads}, ",
+        fpart_core::SCHEMA_VERSION
+    ));
+    out.push_str(&format!("\"totals\": {}, \"per_restart\": [", totals.to_json()));
+    for (i, m) in per_restart.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&m.to_json());
+    }
+    out.push_str(&format!("], \"quality\": {}}}\n", quality.to_json()));
+    std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
 fn resolve_constraints(args: &Args) -> Result<DeviceConstraints, String> {
     let delta: f64 = args.option_parsed("delta", 0.9)?;
     if !(0.0..=1.0).contains(&delta) || delta == 0.0 {
@@ -168,7 +289,23 @@ fn print_block_summary(
     }
 }
 
-fn print_trace(trace: &fpart_core::Trace) {
+/// Renders a recorded trace, one line per event, in a **stable,
+/// documented column order** so `--trace` output is diffable:
+///
+/// ```text
+/// iteration <k>: remainder S=<size> T=<terminals>
+///   bipartition <method>: peeled S=<size> T=<terminals>
+///   improve <kind> blocks=<n>: <initial_key> -> <final_key> passes=<p> moves=<m> restarts=<r>
+///   solution <class>: <total> blocks
+/// ```
+///
+/// `<kind>` is the stable snake_case slot name
+/// ([`fpart_core::ImproveKind::as_str`]); solution keys render via
+/// [`fpart_core::SolutionKey`]'s `Display`
+/// (`f=<feasible>/<total> d=<infeasibility> tsum=<terminal_sum>
+/// ext=<external_balance> cut=<cut>`, floats to three decimals). Any
+/// change here is a compatibility break for trace-diffing tests.
+fn print_trace(trace: &Trace) {
     for event in trace.events() {
         match event {
             TraceEvent::IterationStart { iteration, remainder_size, remainder_terminals } => {
@@ -176,13 +313,29 @@ fn print_trace(trace: &fpart_core::Trace) {
                     "iteration {iteration}: remainder S={remainder_size} T={remainder_terminals}"
                 );
             }
-            TraceEvent::Improve { kind, final_key, .. } => {
+            TraceEvent::Bipartition { method, peeled_size, peeled_terminals, .. } => {
+                eprintln!("  bipartition {method:?}: peeled S={peeled_size} T={peeled_terminals}");
+            }
+            TraceEvent::Improve {
+                kind,
+                blocks,
+                initial_key,
+                final_key,
+                passes,
+                moves,
+                restarts,
+                ..
+            } => {
                 eprintln!(
-                    "  improve {kind:?}: d_k={:.3} cut={}",
-                    final_key.infeasibility, final_key.cut
+                    "  improve {} blocks={}: {initial_key} -> {final_key} \
+                     passes={passes} moves={moves} restarts={restarts}",
+                    kind.as_str(),
+                    blocks.len()
                 );
             }
-            _ => {}
+            TraceEvent::Solution { class, blocks, .. } => {
+                eprintln!("  solution {class:?}: {} blocks", blocks.len());
+            }
         }
     }
 }
@@ -312,7 +465,11 @@ pub fn verify(raw: &[String]) -> Result<(), String> {
 }
 
 /// `fpart devices`
-pub fn devices(_raw: &[String]) -> Result<(), String> {
+pub fn devices(raw: &[String]) -> Result<(), String> {
+    let args = Args::parse(raw, Spec { valued: &[], switches: &[] })?;
+    if let Some(unexpected) = args.positional(0) {
+        return Err(format!("devices takes no arguments (got `{unexpected}`)"));
+    }
     println!("{:>8} {:>6} {:>6}   S_MAX at δ=0.9", "device", "CLBs", "IOBs");
     for d in Device::catalog() {
         println!("{:>8} {:>6} {:>6}   {}", d.name, d.s_ds, d.t_max, d.constraints(0.9).s_max);

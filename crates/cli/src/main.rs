@@ -39,6 +39,9 @@ PARTITION OPTIONS:
                       for every thread count, only wall time changes (default 1)
   --output <FILE>     write `node block` assignment lines
   --trace             print the improvement schedule while running
+  --trace-json <FILE> stream driver events as JSON Lines (needs --restarts 1)
+  --metrics <FILE>    write engine counters/timings as JSON (totals +
+                      per-restart registries, schema-versioned)
 
 GEN KINDS AND OPTIONS:
   rent | window | layered | clustered | mcnc

@@ -39,6 +39,19 @@ fn devices_lists_catalog() {
 }
 
 #[test]
+fn devices_rejects_arguments() {
+    let out = fpart().args(["devices", "XC3020"]).output().expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("takes no arguments"), "{err}");
+    assert!(err.contains("XC3020"), "{err}");
+
+    let out = fpart().args(["devices", "--bogus"]).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--bogus"));
+}
+
+#[test]
 fn gen_stats_partition_convert_pipeline() {
     let dir = temp_dir("pipeline");
     let netlist = dir.join("circuit.fhg");
@@ -103,6 +116,140 @@ fn partition_with_custom_device_and_methods() {
         assert!(out.status.success(), "{method}: {}", String::from_utf8_lossy(&out.stderr));
         assert!(String::from_utf8_lossy(&out.stdout).contains("devices"));
     }
+}
+
+/// `--trace` output must follow the documented, diffable column order
+/// (stable snake_case improve-kind names, `SolutionKey` Display fields)
+/// and be byte-identical across runs.
+#[test]
+fn trace_output_is_stable_and_diffable() {
+    let dir = temp_dir("trace");
+    let netlist = dir.join("c.fhg");
+    let out = fpart()
+        .args(["gen", "rent", "--nodes", "200", "--terminals", "24", "--seed", "3", "--output"])
+        .arg(&netlist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+
+    let run = || {
+        let out = fpart()
+            .arg("partition")
+            .arg(&netlist)
+            .args(["--device", "XC3020", "--trace"])
+            .output()
+            .expect("runs");
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8_lossy(&out.stderr).into_owned()
+    };
+    let first = run();
+    assert_eq!(first, run(), "--trace output must be reproducible");
+
+    assert!(first.contains("iteration 1: remainder S="), "{first}");
+    assert!(first.contains("  bipartition "), "{first}");
+    assert!(first.contains("  solution "), "{first}");
+    // The documented improve column order: snake_case kind, block count,
+    // initial -> final key, then passes/moves/restarts.
+    let improve = first
+        .lines()
+        .find(|l| l.trim_start().starts_with("improve "))
+        .unwrap_or_else(|| panic!("no improve line in:\n{first}"));
+    assert!(improve.contains("improve last_pair blocks=2: f="), "{improve}");
+    assert!(improve.contains(" -> f="), "{improve}");
+    for column in [" d=", " tsum=", " ext=", " cut=", " passes=", " moves=", " restarts="] {
+        assert!(improve.contains(column), "missing `{column}` in {improve}");
+    }
+}
+
+/// Extracts every integer value of `"<key>": <n>` in a JSON text, in
+/// order of appearance.
+fn scrape_counter(json: &str, key: &str) -> Vec<u64> {
+    let needle = format!("\"{key}\": ");
+    json.match_indices(&needle)
+        .map(|(at, _)| {
+            let digits: String =
+                json[at + needle.len()..].chars().take_while(char::is_ascii_digit).collect();
+            digits.parse().expect("integer counter value")
+        })
+        .collect()
+}
+
+/// `--metrics` totals must equal the per-restart sums, and `--trace-json`
+/// must emit one parseable JSON object per line.
+#[test]
+fn metrics_and_trace_json_outputs() {
+    let dir = temp_dir("metrics");
+    let netlist = dir.join("c.fhg");
+    let out = fpart()
+        .args(["gen", "rent", "--nodes", "220", "--terminals", "24", "--seed", "9", "--output"])
+        .arg(&netlist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+
+    // Multi-restart metrics: totals aggregate the per-restart registries.
+    let metrics_file = dir.join("metrics.json");
+    let out = fpart()
+        .arg("partition")
+        .arg(&netlist)
+        .args(["--device", "XC3020", "--restarts", "3", "--threads", "2", "--metrics"])
+        .arg(&metrics_file)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(&metrics_file).expect("metrics file");
+    assert!(json.contains("\"schema_version\": 2"), "{json}");
+    assert!(json.contains("\"restarts\": 3"), "{json}");
+    assert!(json.contains("\"per_restart\": ["), "{json}");
+    assert!(json.contains("\"quality\": {"), "{json}");
+    for key in ["passes", "moves_applied", "key_evaluations", "improve_calls", "runs"] {
+        let values = scrape_counter(&json, key);
+        assert_eq!(values.len(), 4, "totals + 3 restarts for {key}: {json}");
+        assert_eq!(
+            values[0],
+            values[1..].iter().sum::<u64>(),
+            "totals must equal per-restart sums for {key}"
+        );
+    }
+    assert_eq!(scrape_counter(&json, "runs")[0], 3);
+    assert!(scrape_counter(&json, "passes")[0] > 0, "a real run executes passes");
+
+    // Single-run metrics + JSONL trace together.
+    let jsonl_file = dir.join("trace.jsonl");
+    let single_metrics = dir.join("metrics_single.json");
+    let out = fpart()
+        .arg("partition")
+        .arg(&netlist)
+        .args(["--device", "XC3020", "--metrics"])
+        .arg(&single_metrics)
+        .arg("--trace-json")
+        .arg(&jsonl_file)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let jsonl = std::fs::read_to_string(&jsonl_file).expect("trace file");
+    assert!(jsonl.lines().count() > 3, "{jsonl}");
+    for line in jsonl.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "not a JSON object: {line}");
+        assert!(line.contains("\"event\": \""), "{line}");
+    }
+    assert!(jsonl.contains("\"event\": \"iteration_start\""));
+    assert!(jsonl.contains("\"event\": \"improve\""));
+    assert!(jsonl.contains("\"initial_key\": {\"feasible_blocks\": "));
+    let json = std::fs::read_to_string(&single_metrics).expect("metrics file");
+    assert_eq!(scrape_counter(&json, "runs"), vec![1, 1], "totals + one restart");
+
+    // Traces are per-run: combining them with multiple restarts is an
+    // explicit error, not a silent no-op.
+    let out = fpart()
+        .arg("partition")
+        .arg(&netlist)
+        .args(["--device", "XC3020", "--restarts", "2", "--trace-json"])
+        .arg(dir.join("never.jsonl"))
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--restarts 1"));
 }
 
 #[test]

@@ -2,6 +2,7 @@
 //! comparison (paper §3.3–§3.4).
 
 use std::cmp::Ordering;
+use std::fmt;
 
 use fpart_device::DeviceConstraints;
 
@@ -76,6 +77,26 @@ impl SolutionKey {
             .then_with(|| self.terminal_sum.cmp(&other.terminal_sum))
             .then_with(|| self.external_balance.total_cmp(&other.external_balance))
             .then_with(|| self.cut.cmp(&other.cut))
+    }
+}
+
+/// Compact, stable, single-line rendering in the key's lexicographic
+/// field order — `f=<feasible>/<total> d=<infeasibility> tsum=<terminal
+/// sum> ext=<external balance> cut=<cut>` — used by the CLI's `--trace`
+/// output, so it is diffable: the column set, order, and float precision
+/// (three decimals) are a compatibility surface.
+impl fmt::Display for SolutionKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "f={}/{} d={:.3} tsum={} ext={:.3} cut={}",
+            self.feasible_blocks,
+            self.total_blocks,
+            self.infeasibility,
+            self.terminal_sum,
+            self.external_balance,
+            self.cut
+        )
     }
 }
 

@@ -103,6 +103,7 @@ pub fn partition_direct(
             0,
             started.elapsed(),
             Trace::disabled(),
+            crate::obs::Metrics::disabled(),
         ));
     }
     let evaluator = CostEvaluator::new(constraints, config, m, graph.terminal_count());
@@ -137,6 +138,7 @@ pub fn partition_direct(
                 0,
                 started.elapsed(),
                 Trace::disabled(),
+                crate::obs::Metrics::disabled(),
             ));
         }
     }

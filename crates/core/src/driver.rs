@@ -24,8 +24,9 @@ use fpart_hypergraph::{Hypergraph, NodeId};
 
 use crate::config::FpartConfig;
 use crate::cost::{classify, CostEvaluator};
-use crate::engine::{improve, ImproveContext, ImproveStats};
+use crate::engine::{improve_metered, ImproveContext, ImproveStats};
 use crate::initial::bipartition_remainder;
+use crate::obs::{Counter, Metrics, Observer};
 use crate::state::PartitionState;
 use crate::trace::{ImproveKind, Trace, TraceEvent};
 
@@ -103,6 +104,9 @@ pub struct PartitionOutcome {
     pub elapsed: Duration,
     /// Recorded trace (empty unless requested).
     pub trace: Trace,
+    /// Engine metrics of the run (all zero unless recording was enabled
+    /// via [`partition_observed`] or [`partition_restarts_observed`]).
+    pub metrics: Metrics,
 }
 
 impl PartitionOutcome {
@@ -175,7 +179,16 @@ pub fn partition_restarts(
         partition(graph, constraints, &cfg)
     };
     let results = crate::parallel::run_indexed(restarts, threads, &job);
+    reduce_outcomes(results)
+}
 
+/// Picks the best outcome from completed restarts, in restart order:
+/// feasible over infeasible, then fewest devices, then smallest cut,
+/// ties broken by the lowest restart index. Errors only surface when
+/// *every* restart failed (the first restart's error wins).
+fn reduce_outcomes(
+    results: Vec<Result<PartitionOutcome, PartitionError>>,
+) -> Result<PartitionOutcome, PartitionError> {
     let mut best: Option<PartitionOutcome> = None;
     let mut first_error: Option<PartitionError> = None;
     for result in results {
@@ -203,6 +216,64 @@ pub fn partition_restarts(
     }
 }
 
+/// Per-restart observability report of a [`partition_restarts_observed`]
+/// search.
+#[derive(Debug, Clone)]
+pub struct RestartsReport {
+    /// The winning outcome (same reduction as [`partition_restarts`];
+    /// its own [`PartitionOutcome::metrics`] belong to the winning
+    /// restart alone).
+    pub outcome: PartitionOutcome,
+    /// All restarts' metrics merged in restart-index order — identical
+    /// for every thread count.
+    pub totals: Metrics,
+    /// Each restart's metrics, indexed by restart. Failed restarts keep
+    /// the counts they accumulated before erroring out.
+    pub per_restart: Vec<Metrics>,
+}
+
+/// [`partition_restarts`] with per-restart metrics recording and a
+/// deterministic aggregate.
+///
+/// Every restart runs with an enabled [`Metrics`] registry; the children
+/// are merged into [`RestartsReport::totals`] in restart-index order, so
+/// both the winning outcome **and** the aggregated metrics are
+/// bit-identical at every thread count. Counter totals equal the field-
+/// wise sum over [`RestartsReport::per_restart`].
+///
+/// # Errors
+///
+/// Same contract as [`partition_restarts`]: the first restart's error is
+/// returned only when every restart fails.
+pub fn partition_restarts_observed(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+    config: &FpartConfig,
+    restarts: usize,
+    threads: usize,
+) -> Result<RestartsReport, PartitionError> {
+    let restarts = restarts.max(1);
+    let job = |i: usize| {
+        let cfg = FpartConfig { seed: config.seed.wrapping_add(i as u64), ..config.clone() };
+        let mut obs = Observer::new(Metrics::enabled(), None);
+        let result = partition_observed(graph, constraints, &cfg, &mut obs);
+        let mut metrics = obs.metrics;
+        metrics.bump(Counter::Runs);
+        (result, metrics)
+    };
+    let results = crate::parallel::run_indexed(restarts, threads, &job);
+
+    let mut totals = Metrics::enabled();
+    let mut per_restart = Vec::with_capacity(results.len());
+    let mut outcomes = Vec::with_capacity(results.len());
+    for (result, metrics) in results {
+        totals.merge(&metrics);
+        per_restart.push(metrics);
+        outcomes.push(result);
+    }
+    reduce_outcomes(outcomes).map(|outcome| RestartsReport { outcome, totals, per_restart })
+}
+
 /// Like [`partition`], optionally recording a full execution trace.
 ///
 /// # Errors
@@ -214,9 +285,39 @@ pub fn partition_traced(
     config: &FpartConfig,
     trace: bool,
 ) -> Result<PartitionOutcome, PartitionError> {
+    let mut trace = if trace { Trace::enabled() } else { Trace::disabled() };
+    let result = {
+        let mut obs = Observer::new(Metrics::disabled(), Some(&mut trace));
+        partition_observed(graph, constraints, config, &mut obs)
+    };
+    result.map(|mut outcome| {
+        outcome.trace = trace;
+        outcome
+    })
+}
+
+/// Like [`partition`], recording metrics and driver events into the
+/// given [`Observer`] — the most general entry point; [`partition`] and
+/// [`partition_traced`] are thin wrappers over it.
+///
+/// The observer never influences the search: for any observer
+/// configuration the returned partition is bit-identical to
+/// [`partition`]'s (the `observability` integration suite proves this by
+/// property test). On success the outcome carries a copy of the
+/// observer's final metrics.
+///
+/// # Errors
+///
+/// See [`partition`]. On error the observer keeps whatever metrics and
+/// events accumulated before the failure.
+pub fn partition_observed(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+    config: &FpartConfig,
+    obs: &mut Observer<'_>,
+) -> Result<PartitionOutcome, PartitionError> {
     config.validate();
     let start = Instant::now();
-    let mut trace = if trace { Trace::enabled() } else { Trace::disabled() };
 
     if graph.node_count() == 0 {
         return Ok(PartitionOutcome {
@@ -230,7 +331,8 @@ pub fn partition_traced(
             improve_calls: 0,
             total_moves: 0,
             elapsed: start.elapsed(),
-            trace,
+            trace: Trace::disabled(),
+            metrics: obs.metrics.clone(),
         });
     }
     for v in graph.node_ids() {
@@ -261,7 +363,8 @@ pub fn partition_traced(
         if iterations > iteration_cap {
             return Err(PartitionError::IterationLimit { iterations });
         }
-        trace.record(|| TraceEvent::IterationStart {
+        obs.metrics.bump(Counter::Iterations);
+        obs.emit(|| TraceEvent::IterationStart {
             iteration: iterations,
             remainder_size: state.block_size(remainder),
             remainder_terminals: state.block_terminals(remainder),
@@ -276,7 +379,8 @@ pub fn partition_traced(
 
         let p = state.add_block();
         let method = bipartition_remainder(&mut state, remainder, p, &ctx);
-        trace.record(|| TraceEvent::Bipartition {
+        obs.metrics.bump(Counter::Bipartitions);
+        obs.emit(|| TraceEvent::Bipartition {
             iteration: iterations,
             method,
             peeled_size: state.block_size(p),
@@ -286,14 +390,16 @@ pub fn partition_traced(
         let mut run = |state: &mut PartitionState<'_>,
                        kind: ImproveKind,
                        blocks: Vec<usize>,
-                       trace: &mut Trace| {
+                       obs: &mut Observer<'_>| {
             if blocks.len() < 2 {
                 return;
             }
-            let stats: ImproveStats = improve(state, &blocks, &ctx);
+            let started = obs.metrics.start();
+            let stats: ImproveStats = improve_metered(state, &blocks, &ctx, &mut obs.metrics);
+            obs.metrics.stop_improve(kind, started);
             improve_calls += 1;
             total_moves += stats.moves;
-            trace.record(|| TraceEvent::Improve {
+            obs.emit(|| TraceEvent::Improve {
                 iteration: iterations,
                 kind,
                 blocks,
@@ -306,13 +412,13 @@ pub fn partition_traced(
         };
 
         // 1. Two lately partitioned blocks.
-        run(&mut state, ImproveKind::LastPair, vec![remainder, p], &mut trace);
+        run(&mut state, ImproveKind::LastPair, vec![remainder, p], obs);
 
         if config.use_improvement_schedule {
             // 2. All blocks together (small-M group only).
             if m <= config.n_small && state.block_count() >= 3 {
                 let all: Vec<usize> = (0..state.block_count()).collect();
-                run(&mut state, ImproveKind::AllBlocks, all, &mut trace);
+                run(&mut state, ImproveKind::AllBlocks, all, obs);
             }
 
             // 3. Remainder vs the smallest / fewest-I/O / most-free block.
@@ -328,7 +434,7 @@ pub fn partition_traced(
                 if recent == Some(block) {
                     continue;
                 }
-                run(&mut state, kind, vec![block, remainder], &mut trace);
+                run(&mut state, kind, vec![block, remainder], obs);
                 recent = Some(block);
             }
 
@@ -336,13 +442,13 @@ pub fn partition_traced(
             if iterations == m && m <= config.n_small {
                 for b in 0..state.block_count() {
                     if b != remainder {
-                        run(&mut state, ImproveKind::FinalSweep, vec![b, remainder], &mut trace);
+                        run(&mut state, ImproveKind::FinalSweep, vec![b, remainder], obs);
                     }
                 }
             }
         }
 
-        trace.record(|| {
+        obs.emit(|| {
             let k = state.block_count();
             let feasible = (0..k)
                 .filter(|&b| constraints.fits(state.block_size(b), state.block_terminals(b)))
@@ -364,7 +470,8 @@ pub fn partition_traced(
         improve_calls,
         total_moves,
         start.elapsed(),
-        trace,
+        Trace::disabled(),
+        obs.metrics.clone(),
     ))
 }
 
@@ -437,6 +544,7 @@ pub(crate) fn assemble_outcome(
     total_moves: usize,
     elapsed: Duration,
     trace: Trace,
+    metrics: Metrics,
 ) -> PartitionOutcome {
     let k = state.block_count();
     let mut dense = vec![u32::MAX; k];
@@ -468,6 +576,7 @@ pub(crate) fn assemble_outcome(
         total_moves,
         elapsed,
         trace,
+        metrics,
     }
 }
 

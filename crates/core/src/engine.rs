@@ -15,6 +15,7 @@ use crate::config::{FpartConfig, GainObjective};
 use crate::constraints::{MoveRegions, PassKind};
 use crate::cost::{CostEvaluator, KeyTracker, SolutionKey};
 use crate::gain::{deltas_for_move, io_gain, io_gain_net, level1_gain, level2_gain, level_gain};
+use crate::obs::{Counter, Metrics};
 use crate::stack::DualStacks;
 use crate::state::PartitionState;
 
@@ -215,7 +216,7 @@ impl<'s, 'g, 'c> PassEngine<'s, 'g, 'c> {
     /// Selects the best legal move: maximum level-1 gain, ties broken by
     /// level-2 gain (when configured), then by size balance
     /// `MAX(S_FROM − S_TO)`, then by cell id.
-    fn select_move(&mut self) -> Option<(NodeId, usize, usize)> {
+    fn select_move(&mut self, metrics: &mut Metrics) -> Option<(NodeId, usize, usize)> {
         let slots = self.active.len();
         // Enabled directions with their optimistic max gains, collected
         // into a reused scratch vector (no allocation per selection).
@@ -242,7 +243,7 @@ impl<'s, 'g, 'c> PassEngine<'s, 'g, 'c> {
         #[cfg(debug_assertions)]
         assert_eq!(dir_max.capacity(), dir_max_cap, "dir_max scratch reallocated");
         let selected =
-            if dir_max.is_empty() { None } else { self.scan_directions(&dir_max, g_star) };
+            if dir_max.is_empty() { None } else { self.scan_directions(&dir_max, g_star, metrics) };
         self.scratch.dir_max = dir_max;
         selected
     }
@@ -253,8 +254,12 @@ impl<'s, 'g, 'c> PassEngine<'s, 'g, 'c> {
         &mut self,
         dir_max: &[(usize, usize, i32)],
         g_star: i32,
+        metrics: &mut Metrics,
     ) -> Option<(NodeId, usize, usize)> {
         let levels = self.ctx.config.gain_levels;
+        // Bucket cells inspected over the whole selection, flushed to the
+        // metrics registry once per call (not once per cell).
+        let mut popped = 0u64;
         let mut g = g_star;
         while g >= -self.gain_bound {
             // Fixed-size tie arrays (levels 2..=4): unused slots stay 0 on
@@ -275,6 +280,7 @@ impl<'s, 'g, 'c> PassEngine<'s, 'g, 'c> {
                         break;
                     }
                     scanned += 1;
+                    popped += 1;
                     let node = NodeId::from_index(cell as usize);
                     let size = u64::from(self.state.graph().node_size(node));
                     if !self.regions.move_allowed(self.state, size, from, to) {
@@ -305,10 +311,12 @@ impl<'s, 'g, 'c> PassEngine<'s, 'g, 'c> {
                 }
             }
             if let Some((node, from, to, _, _)) = best {
+                metrics.add(Counter::GainBucketPops, popped);
                 return Some((node, from, to));
             }
             g -= 1;
         }
+        metrics.add(Counter::GainBucketPops, popped);
         None
     }
 
@@ -472,8 +480,11 @@ fn run_pass(
     ctx: &ImproveContext<'_>,
     active: &[usize],
     stacks: Option<&mut DualStacks>,
+    metrics: &mut Metrics,
 ) -> (bool, usize, SolutionKey) {
+    metrics.bump(Counter::Passes);
     let initial_key = ctx.evaluator.key(state, remainder_opt(ctx, state));
+    metrics.bump(Counter::KeyEvaluations);
     let mut engine = PassEngine::new(state, active, ctx);
     engine.build_buckets(cells);
 
@@ -494,11 +505,13 @@ fn run_pass(
         stacks.is_some().then(|| DualStacks::new(ctx.config.stack_depth));
     let patience = ctx.config.early_stop_patience;
 
-    while let Some((node, from, to)) = engine.select_move() {
+    while let Some((node, from, to)) = engine.select_move(metrics) {
         engine.apply_move(node, from, to);
+        metrics.bump(Counter::MovesApplied);
         tracker.apply_move(ctx.evaluator, engine.state, from, to);
         move_log.push((node, from, to));
         let key = tracker.key(ctx.evaluator, engine.state, remainder_opt(ctx, engine.state));
+        metrics.bump(Counter::KeyEvaluations);
         debug_assert_eq!(
             key,
             ctx.evaluator.key(engine.state, remainder_opt(ctx, engine.state)),
@@ -520,9 +533,18 @@ fn run_pass(
         }
     }
 
+    metrics.add(Counter::MovesReverted, (move_log.len() - best_len) as u64);
     match (prefix_stacks, stacks) {
         (Some(prefix_stacks), Some(stacks)) => {
-            materialize_snapshots(&mut engine, &prefix_stacks, stacks, cells, &move_log, best_len);
+            let materialized = materialize_snapshots(
+                &mut engine,
+                &prefix_stacks,
+                stacks,
+                cells,
+                &move_log,
+                best_len,
+            );
+            metrics.add(Counter::SnapshotsMaterialized, materialized as u64);
         }
         _ => {
             // Roll back to the best prefix.
@@ -567,10 +589,11 @@ fn materialize_snapshots(
     cells: &[NodeId],
     move_log: &[(NodeId, usize, usize)],
     best_len: usize,
-) {
+) -> usize {
     let mut retained: Vec<(SolutionKey, usize)> =
         prefix_stacks.iter().map(|(k, &len)| (*k, len)).collect();
     retained.sort_unstable_by_key(|r| std::cmp::Reverse(r.1));
+    let materialized = retained.len();
     let mut cursor = move_log.len();
     for (key, len) in retained {
         cursor = walk_to(engine.state, move_log, cursor, len);
@@ -578,6 +601,7 @@ fn materialize_snapshots(
         stacks.offer(key, || cells.iter().map(|&v| snapshot_state.block_of(v) as u32).collect());
     }
     walk_to(engine.state, move_log, cursor, best_len);
+    materialized
 }
 
 /// Runs FM passes until a pass fails to improve or `max_passes` is hit.
@@ -587,11 +611,13 @@ fn run_series(
     ctx: &ImproveContext<'_>,
     active: &[usize],
     mut stacks: Option<&mut DualStacks>,
+    metrics: &mut Metrics,
 ) -> (usize, usize) {
     let mut passes = 0usize;
     let mut moves = 0usize;
     loop {
-        let (improved, pass_moves, _) = run_pass(state, cells, ctx, active, stacks.as_deref_mut());
+        let (improved, pass_moves, _) =
+            run_pass(state, cells, ctx, active, stacks.as_deref_mut(), metrics);
         passes += 1;
         moves += pass_moves;
         if !improved || passes >= ctx.config.max_passes {
@@ -615,9 +641,26 @@ pub fn improve(
     active: &[usize],
     ctx: &ImproveContext<'_>,
 ) -> ImproveStats {
+    improve_metered(state, active, ctx, &mut Metrics::disabled())
+}
+
+/// [`improve`] with engine metrics recorded into `metrics`.
+///
+/// The registry never influences control flow: a metered run and an
+/// unmetered run produce bit-identical partitions and [`ImproveStats`]
+/// (proven by the `observability` property tests). A disabled registry
+/// costs one predictable branch per recorded event.
+pub fn improve_metered(
+    state: &mut PartitionState<'_>,
+    active: &[usize],
+    ctx: &ImproveContext<'_>,
+    metrics: &mut Metrics,
+) -> ImproveStats {
     assert!(active.len() >= 2, "improvement needs at least two blocks");
     assert!(active.iter().all(|&b| b < state.block_count()), "active block out of range");
+    metrics.bump(Counter::ImproveCalls);
     let initial_key = ctx.evaluator.key(state, remainder_opt(ctx, state));
+    metrics.bump(Counter::KeyEvaluations);
 
     // Cells eligible to move: everything currently in an active block.
     let mut in_active = vec![false; state.block_count()];
@@ -640,9 +683,10 @@ pub fn improve(
         ctx.config.use_solution_stacks.then(|| DualStacks::new(ctx.config.stack_depth));
 
     // First execution (records the stacks).
-    let (mut passes, mut moves) = run_series(state, &cells, ctx, active, stacks.as_mut());
+    let (mut passes, mut moves) = run_series(state, &cells, ctx, active, stacks.as_mut(), metrics);
 
     let mut best_key = ctx.evaluator.key(state, remainder_opt(ctx, state));
+    metrics.bump(Counter::KeyEvaluations);
     let mut best_snapshot: Vec<u32> = cells.iter().map(|&v| state.block_of(v) as u32).collect();
     let mut restarts = 0usize;
 
@@ -650,11 +694,13 @@ pub fn improve(
         let candidates: Vec<Vec<u32>> = stacks.iter().map(|(_, s)| s.clone()).collect();
         for snapshot in candidates {
             restore(state, &cells, &snapshot);
-            let (p, m) = run_series(state, &cells, ctx, active, None);
+            let (p, m) = run_series(state, &cells, ctx, active, None, metrics);
             passes += p;
             moves += m;
             restarts += 1;
+            metrics.bump(Counter::StackRestarts);
             let key = ctx.evaluator.key(state, remainder_opt(ctx, state));
+            metrics.bump(Counter::KeyEvaluations);
             if key.better_than(&best_key) {
                 best_key = key;
                 best_snapshot = cells.iter().map(|&v| state.block_of(v) as u32).collect();

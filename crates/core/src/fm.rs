@@ -11,7 +11,8 @@ use fpart_hypergraph::{Hypergraph, NodeId};
 
 use crate::config::FpartConfig;
 use crate::cost::CostEvaluator;
-use crate::engine::{improve, ImproveContext, NO_REMAINDER};
+use crate::engine::{improve_metered, ImproveContext, NO_REMAINDER};
+use crate::obs::{Counter, Metrics};
 use crate::state::PartitionState;
 
 /// Options of the classical bipartitioner.
@@ -101,6 +102,26 @@ impl Bipartition {
 /// ```
 #[must_use]
 pub fn bipartition_fm(graph: &Hypergraph, config: &FmConfig) -> Bipartition {
+    bipartition_fm_metered(graph, config, &mut Metrics::disabled())
+}
+
+/// [`bipartition_fm`] with engine metrics recorded into `metrics`.
+///
+/// Each independent run records into its own forked child registry
+/// ([`crate::parallel::run_indexed_metered`]); the children merge back
+/// in run-index order, so the aggregate — like the winning bipartition —
+/// is bit-identical at every thread count. [`Counter::Runs`] counts the
+/// independent runs.
+///
+/// # Panics
+///
+/// See [`bipartition_fm`].
+#[must_use]
+pub fn bipartition_fm_metered(
+    graph: &Hypergraph,
+    config: &FmConfig,
+    metrics: &mut Metrics,
+) -> Bipartition {
     assert!(
         (0.0..0.5).contains(&config.balance_tolerance),
         "balance tolerance must be in [0, 0.5)"
@@ -137,7 +158,8 @@ pub fn bipartition_fm(graph: &Hypergraph, config: &FmConfig) -> Bipartition {
 
     // One fully deterministic run per index: nothing here depends on
     // execution order, so the runs parallelize without changing results.
-    let run_one = |run: usize| -> Bipartition {
+    let run_one = |run: usize, metrics: &mut Metrics| -> Bipartition {
+        metrics.bump(Counter::Runs);
         let assignment = initial_split(graph, config.seed.wrapping_add(run as u64), cap);
         let mut state = PartitionState::from_assignment(graph, assignment, 2);
         let ctx = ImproveContext {
@@ -146,7 +168,7 @@ pub fn bipartition_fm(graph: &Hypergraph, config: &FmConfig) -> Bipartition {
             remainder: NO_REMAINDER,
             minimum_reached: false,
         };
-        improve(&mut state, &[0, 1], &ctx);
+        improve_metered(&mut state, &[0, 1], &ctx, metrics);
         Bipartition {
             side: state.assignment().to_vec(),
             cut: state.cut_count(),
@@ -154,7 +176,8 @@ pub fn bipartition_fm(graph: &Hypergraph, config: &FmConfig) -> Bipartition {
             size1: state.block_size(1),
         }
     };
-    let candidates = crate::parallel::run_indexed(config.runs.max(1), config.threads, &run_one);
+    let candidates =
+        crate::parallel::run_indexed_metered(config.runs.max(1), config.threads, metrics, &run_one);
 
     // Sequential reduction in run order — the same strict-improvement
     // fold the single-threaded loop performs, so ties keep favouring the

@@ -73,6 +73,7 @@ pub mod hetero;
 pub mod initial;
 pub mod interconnect;
 pub mod multilevel;
+pub mod obs;
 pub mod parallel;
 pub mod refine;
 pub mod report;
@@ -86,13 +87,18 @@ pub use config::FpartConfig;
 pub use cost::{classify, CostEvaluator, FeasibilityClass, KeyTracker, SolutionKey};
 pub use direct::{partition_direct, DirectConfig};
 pub use driver::{
-    partition, partition_restarts, partition_traced, BlockReport, PartitionError, PartitionOutcome,
+    partition, partition_observed, partition_restarts, partition_restarts_observed,
+    partition_traced, BlockReport, PartitionError, PartitionOutcome, RestartsReport,
 };
-pub use engine::{improve, ImproveContext, ImproveStats, NO_REMAINDER};
+pub use engine::{improve, improve_metered, ImproveContext, ImproveStats, NO_REMAINDER};
 pub use hetero::{partition_hetero, HeteroOutcome};
 pub use initial::{bipartition_remainder, InitialMethod};
 pub use interconnect::InterconnectReport;
 pub use multilevel::{partition_multilevel, MultilevelConfig};
+pub use obs::{
+    event_to_json, Counter, EventSink, FanoutSink, JsonlSink, Metrics, Observer, TimeStat,
+    SCHEMA_VERSION,
+};
 pub use report::QualityReport;
 pub use state::PartitionState;
 pub use trace::{ImproveKind, Trace, TraceEvent};

@@ -141,6 +141,7 @@ pub fn partition_multilevel(
         coarse_outcome.total_moves,
         started.elapsed(),
         Trace::disabled(),
+        crate::obs::Metrics::disabled(),
     );
     Ok(outcome)
 }

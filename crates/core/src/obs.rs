@@ -1,0 +1,766 @@
+//! Zero-overhead observability: engine metrics and structured event sinks.
+//!
+//! The paper's whole evaluation is schedule behaviour — which
+//! `Improve(...)` slots fire, how many passes/moves/restarts each
+//! consumes, how feasibility classes evolve (Figs. 1–2). This module
+//! makes that behaviour measurable without perturbing it:
+//!
+//! * [`Metrics`] — a registry of named [`Counter`]s plus per-
+//!   [`ImproveKind`] monotonic wall-time histograms ([`TimeStat`]).
+//!   A disabled registry records nothing and costs **one predictable
+//!   branch per event, no heap allocation, no clock reads** — the same
+//!   discipline as [`Trace`]'s lazy recording.
+//! * [`EventSink`] — the generalization of [`Trace`]: anything that can
+//!   consume driver [`TraceEvent`]s. `Trace` itself is one sink;
+//!   [`JsonlSink`] streams events as JSON Lines; [`FanoutSink`]
+//!   broadcasts to several sinks.
+//! * [`Observer`] — the bundle the driver threads through a run: an
+//!   owned `Metrics` plus an optional `&mut dyn EventSink`.
+//!
+//! Instrumented and uninstrumented runs produce **bit-identical
+//! partitions** (metrics never influence control flow); the
+//! `observability` integration suite proves it by property test at 1
+//! and 4 threads.
+//!
+//! All serialization here is dependency-free, hand-rolled JSON — the
+//! workspace stays offline (no `serde`, no `tracing`).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use crate::cost::SolutionKey;
+use crate::trace::{ImproveKind, TraceEvent};
+
+/// Schema version of every machine-readable document this module emits
+/// (the CLI `--metrics` file, the JSONL trace, `BENCH_*.json`). Bump it
+/// whenever a field is renamed, removed, or changes meaning.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// The named engine counters. Every counter is a monotonically
+/// increasing `u64`; [`Counter::name`] is the stable `snake_case` key used
+/// in serialized form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Counter {
+    /// FM passes executed (`engine::run_pass` entries).
+    Passes = 0,
+    /// Cell moves applied inside pass loops (before any rollback).
+    MovesApplied,
+    /// Applied moves undone by best-prefix rollback.
+    MovesReverted,
+    /// Cells inspected (popped) from gain buckets during move selection.
+    GainBucketPops,
+    /// Restart series launched from stacked solutions.
+    StackRestarts,
+    /// Solution-key evaluations (incremental and from-scratch).
+    KeyEvaluations,
+    /// Stack snapshots materialized from move-log prefixes.
+    SnapshotsMaterialized,
+    /// `Improve(...)` calls issued by a driver schedule.
+    ImproveCalls,
+    /// Peeling iterations of Algorithm 1.
+    Iterations,
+    /// Constructive remainder bipartitions.
+    Bipartitions,
+    /// Independent runs/restarts aggregated into this registry.
+    Runs,
+}
+
+impl Counter {
+    /// Every counter, in serialization order.
+    pub const ALL: [Counter; 11] = [
+        Counter::Passes,
+        Counter::MovesApplied,
+        Counter::MovesReverted,
+        Counter::GainBucketPops,
+        Counter::StackRestarts,
+        Counter::KeyEvaluations,
+        Counter::SnapshotsMaterialized,
+        Counter::ImproveCalls,
+        Counter::Iterations,
+        Counter::Bipartitions,
+        Counter::Runs,
+    ];
+
+    /// Stable `snake_case` key of this counter in serialized metrics.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::Passes => "passes",
+            Counter::MovesApplied => "moves_applied",
+            Counter::MovesReverted => "moves_reverted",
+            Counter::GainBucketPops => "gain_bucket_pops",
+            Counter::StackRestarts => "stack_restarts",
+            Counter::KeyEvaluations => "key_evaluations",
+            Counter::SnapshotsMaterialized => "snapshots_materialized",
+            Counter::ImproveCalls => "improve_calls",
+            Counter::Iterations => "iterations",
+            Counter::Bipartitions => "bipartitions",
+            Counter::Runs => "runs",
+        }
+    }
+}
+
+/// Number of log₂ nanosecond buckets in a [`TimeStat`] histogram.
+/// Bucket `b` counts durations in `[2^(b−1), 2^b)` ns (bucket 0 is
+/// `< 1` ns); the last bucket absorbs everything from `2^38` ns
+/// (≈ 4.6 min) up.
+pub const TIME_BUCKETS: usize = 40;
+
+/// A monotonic wall-time statistic: count, total, min/max, and a
+/// log₂-bucketed histogram of observed durations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeStat {
+    /// Durations recorded.
+    pub count: u64,
+    /// Sum of recorded durations in nanoseconds.
+    pub total_ns: u64,
+    /// Shortest recorded duration (`u64::MAX` while empty).
+    pub min_ns: u64,
+    /// Longest recorded duration.
+    pub max_ns: u64,
+    /// `log2_hist[b]` counts durations with `⌈log₂ ns⌉ = b` (see
+    /// [`TIME_BUCKETS`]).
+    pub log2_hist: [u64; TIME_BUCKETS],
+}
+
+impl Default for TimeStat {
+    fn default() -> Self {
+        TimeStat {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            log2_hist: [0; TIME_BUCKETS],
+        }
+    }
+}
+
+impl TimeStat {
+    /// Records one duration.
+    pub fn record(&mut self, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        let bucket = (64 - u64::leading_zeros(ns)) as usize;
+        self.log2_hist[bucket.min(TIME_BUCKETS - 1)] += 1;
+    }
+
+    /// Merges another statistic into this one (commutative on the
+    /// aggregates; callers merge in a fixed order anyway for
+    /// determinism).
+    pub fn merge(&mut self, other: &TimeStat) {
+        self.count += other.count;
+        self.total_ns = self.total_ns.saturating_add(other.total_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (a, b) in self.log2_hist.iter_mut().zip(&other.log2_hist) {
+            *a += b;
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"log2_hist\": [",
+            self.count,
+            self.total_ns,
+            if self.count == 0 { 0 } else { self.min_ns },
+            self.max_ns
+        );
+        for (i, c) in self.log2_hist.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{c}");
+        }
+        out.push_str("]}");
+    }
+}
+
+/// The metrics registry: named counters plus a wall-time statistic per
+/// improvement-schedule slot.
+///
+/// A disabled registry ([`Metrics::disabled`]) never touches its
+/// storage, never reads the clock ([`Metrics::start`] returns `None`),
+/// and never allocates — every recording method is one predictable
+/// branch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metrics {
+    enabled: bool,
+    counters: [u64; Counter::ALL.len()],
+    improve_time: [TimeStat; ImproveKind::ALL.len()],
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            enabled: false,
+            counters: [0; Counter::ALL.len()],
+            improve_time: [TimeStat::default(); ImproveKind::ALL.len()],
+        }
+    }
+}
+
+impl Metrics {
+    /// Creates an enabled (recording) registry.
+    #[must_use]
+    pub fn enabled() -> Self {
+        Metrics { enabled: true, ..Metrics::default() }
+    }
+
+    /// Creates a disabled (no-op) registry.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Metrics::default()
+    }
+
+    /// Creates a registry with the same enabled-ness as `self` but no
+    /// recorded data — the seed for a per-restart / per-thread child
+    /// registry whose results are later [`Metrics::merge`]d back.
+    #[must_use]
+    pub fn fork(&self) -> Self {
+        if self.enabled {
+            Metrics::enabled()
+        } else {
+            Metrics::disabled()
+        }
+    }
+
+    /// Returns whether events are being recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds `n` to a counter (no-op when disabled).
+    #[inline]
+    pub fn add(&mut self, counter: Counter, n: u64) {
+        if self.enabled {
+            self.counters[counter as usize] += n;
+        }
+    }
+
+    /// Increments a counter by one (no-op when disabled).
+    #[inline]
+    pub fn bump(&mut self, counter: Counter) {
+        self.add(counter, 1);
+    }
+
+    /// Current value of a counter.
+    #[must_use]
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+
+    /// Reads the monotonic clock iff enabled — pair with
+    /// [`Metrics::stop_improve`]. Disabled registries never pay for
+    /// `Instant::now()`.
+    #[inline]
+    #[must_use]
+    pub fn start(&self) -> Option<Instant> {
+        self.enabled.then(Instant::now)
+    }
+
+    /// Records the wall time of one `Improve(...)` call of the given
+    /// schedule slot (no-op when `started` is `None`).
+    #[inline]
+    pub fn stop_improve(&mut self, kind: ImproveKind, started: Option<Instant>) {
+        if let Some(started) = started {
+            self.improve_time[kind.index()].record(started.elapsed());
+        }
+    }
+
+    /// The wall-time statistic of one improvement-schedule slot.
+    #[must_use]
+    pub fn improve_time(&self, kind: ImproveKind) -> &TimeStat {
+        &self.improve_time[kind.index()]
+    }
+
+    /// Merges another registry into this one: counters add, time
+    /// statistics combine. Callers merge children in restart-index
+    /// order, so the aggregate is deterministic at every thread count.
+    pub fn merge(&mut self, other: &Metrics) {
+        self.enabled |= other.enabled;
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a += b;
+        }
+        for (a, b) in self.improve_time.iter_mut().zip(&other.improve_time) {
+            a.merge(b);
+        }
+    }
+
+    /// Serializes the registry as a JSON object:
+    /// `{"counters": {<name>: <u64>, …}, "improve_time": {<kind>: <TimeStat>, …}}`.
+    /// Counters appear in [`Counter::ALL`] order; only schedule slots
+    /// with a nonzero count appear under `improve_time`.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\": {");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{}\": {}", c.name(), self.get(*c));
+        }
+        out.push_str("}, \"improve_time\": {");
+        let mut first = true;
+        for kind in ImproveKind::ALL {
+            let stat = self.improve_time(kind);
+            if stat.count == 0 {
+                continue;
+            }
+            if !first {
+                out.push_str(", ");
+            }
+            first = false;
+            let _ = write!(out, "\"{}\": ", kind.as_str());
+            stat.write_json(&mut out);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// A consumer of driver events — the generalization of [`Trace`]
+/// (which records events in memory) to arbitrary destinations
+/// (streaming JSONL, fan-out, test probes).
+///
+/// [`Trace`]: crate::trace::Trace
+pub trait EventSink {
+    /// Whether the sink currently wants events. Producers check this
+    /// *before* constructing an event, so a disabled sink costs one
+    /// branch and zero allocation per event.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Consumes one event.
+    fn record_event(&mut self, event: &TraceEvent);
+}
+
+/// Streams events as JSON Lines (one event object per line) into any
+/// [`std::io::Write`]. The line format is documented at
+/// [`event_to_json`].
+#[derive(Debug)]
+pub struct JsonlSink<W: std::io::Write> {
+    out: W,
+    lines: u64,
+}
+
+impl<W: std::io::Write> JsonlSink<W> {
+    /// Wraps a writer. Wrap files in a `BufWriter`: one line is written
+    /// per event.
+    pub fn new(out: W) -> Self {
+        JsonlSink { out, lines: 0 }
+    }
+
+    /// Lines written so far.
+    #[must_use]
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: std::io::Write> EventSink for JsonlSink<W> {
+    fn record_event(&mut self, event: &TraceEvent) {
+        let mut line = event_to_json(event);
+        line.push('\n');
+        // An unwritable sink must not abort a partitioning run; the
+        // caller can detect short output via `lines()`.
+        if self.out.write_all(line.as_bytes()).is_ok() {
+            self.lines += 1;
+        }
+    }
+}
+
+/// Broadcasts every event to several sinks (e.g. an in-memory [`Trace`]
+/// plus a [`JsonlSink`]). Enabled iff any child is.
+///
+/// [`Trace`]: crate::trace::Trace
+pub struct FanoutSink<'a> {
+    sinks: Vec<&'a mut dyn EventSink>,
+}
+
+impl<'a> FanoutSink<'a> {
+    /// Bundles the given sinks.
+    #[must_use]
+    pub fn new(sinks: Vec<&'a mut dyn EventSink>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl EventSink for FanoutSink<'_> {
+    fn is_enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.is_enabled())
+    }
+
+    fn record_event(&mut self, event: &TraceEvent) {
+        for sink in &mut self.sinks {
+            if sink.is_enabled() {
+                sink.record_event(event);
+            }
+        }
+    }
+}
+
+/// The observability bundle one partitioning run threads through the
+/// driver and engine: an owned metrics registry plus an optional event
+/// sink. Use one observer per run; [`Observer::none`] is the
+/// fully-disabled default whose per-event cost is one branch.
+pub struct Observer<'s> {
+    /// The metrics registry of this run.
+    pub metrics: Metrics,
+    sink: Option<&'s mut dyn EventSink>,
+}
+
+impl<'s> Observer<'s> {
+    /// A fully disabled observer (no metrics, no sink).
+    #[must_use]
+    pub fn none() -> Self {
+        Observer { metrics: Metrics::disabled(), sink: None }
+    }
+
+    /// An observer with the given registry and sink.
+    #[must_use]
+    pub fn new(metrics: Metrics, sink: Option<&'s mut dyn EventSink>) -> Self {
+        Observer { metrics, sink }
+    }
+
+    /// Emits an event to the sink, constructing it lazily — nothing is
+    /// built when no enabled sink is attached.
+    #[inline]
+    pub fn emit(&mut self, event: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.sink.as_deref_mut() {
+            if sink.is_enabled() {
+                sink.record_event(&event());
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Observer<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Observer")
+            .field("metrics", &self.metrics)
+            .field("sink", &self.sink.as_ref().map(|s| s.is_enabled()))
+            .finish()
+    }
+}
+
+/// Writes a JSON string literal (with escaping) into `out`.
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes an `f64` as a JSON number (`null` for non-finite values).
+pub(crate) fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v:?}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_key_json(out: &mut String, key: &SolutionKey) {
+    let _ = write!(
+        out,
+        "{{\"feasible_blocks\": {}, \"total_blocks\": {}, \"infeasibility\": ",
+        key.feasible_blocks, key.total_blocks
+    );
+    push_json_f64(out, key.infeasibility);
+    let _ = write!(out, ", \"terminal_sum\": {}, \"external_balance\": ", key.terminal_sum);
+    push_json_f64(out, key.external_balance);
+    let _ = write!(out, ", \"cut\": {}}}", key.cut);
+}
+
+/// Serializes one [`TraceEvent`] as a single-line JSON object.
+///
+/// Every object carries `"event"` (one of `"iteration_start"`,
+/// `"bipartition"`, `"improve"`, `"solution"`) and `"iteration"`,
+/// followed by the variant's fields in declaration order. Solution keys
+/// serialize with their full lexicographic field order
+/// (`feasible_blocks`, `total_blocks`, `infeasibility`, `terminal_sum`,
+/// `external_balance`, `cut`); enum values use their stable `snake_case`
+/// names ([`ImproveKind::as_str`]).
+#[must_use]
+pub fn event_to_json(event: &TraceEvent) -> String {
+    let mut out = String::new();
+    match event {
+        TraceEvent::IterationStart { iteration, remainder_size, remainder_terminals } => {
+            let _ = write!(
+                out,
+                "{{\"event\": \"iteration_start\", \"iteration\": {iteration}, \
+                 \"remainder_size\": {remainder_size}, \
+                 \"remainder_terminals\": {remainder_terminals}}}"
+            );
+        }
+        TraceEvent::Bipartition { iteration, method, peeled_size, peeled_terminals } => {
+            let _ = write!(
+                out,
+                "{{\"event\": \"bipartition\", \"iteration\": {iteration}, \"method\": "
+            );
+            push_json_str(&mut out, &format!("{method:?}"));
+            let _ = write!(
+                out,
+                ", \"peeled_size\": {peeled_size}, \"peeled_terminals\": {peeled_terminals}}}"
+            );
+        }
+        TraceEvent::Improve {
+            iteration,
+            kind,
+            blocks,
+            initial_key,
+            final_key,
+            passes,
+            moves,
+            restarts,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"event\": \"improve\", \"iteration\": {iteration}, \"kind\": \"{}\", \
+                 \"blocks\": [",
+                kind.as_str()
+            );
+            for (i, b) in blocks.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{b}");
+            }
+            out.push_str("], \"initial_key\": ");
+            push_key_json(&mut out, initial_key);
+            out.push_str(", \"final_key\": ");
+            push_key_json(&mut out, final_key);
+            let _ = write!(
+                out,
+                ", \"passes\": {passes}, \"moves\": {moves}, \"restarts\": {restarts}}}"
+            );
+        }
+        TraceEvent::Solution { iteration, class, blocks } => {
+            let _ =
+                write!(out, "{{\"event\": \"solution\", \"iteration\": {iteration}, \"class\": ");
+            push_json_str(&mut out, &format!("{class:?}"));
+            out.push_str(", \"blocks\": [");
+            for (i, b) in blocks.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{{\"size\": {}, \"terminals\": {}}}", b.size, b.terminals);
+            }
+            out.push_str("]}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    fn dummy_key() -> SolutionKey {
+        SolutionKey {
+            feasible_blocks: 1,
+            total_blocks: 2,
+            infeasibility: 0.25,
+            terminal_sum: 7,
+            external_balance: 0.5,
+            cut: 3,
+        }
+    }
+
+    fn improve_event() -> TraceEvent {
+        TraceEvent::Improve {
+            iteration: 2,
+            kind: ImproveKind::MinIo,
+            blocks: vec![0, 3],
+            initial_key: dummy_key(),
+            final_key: dummy_key(),
+            passes: 4,
+            moves: 9,
+            restarts: 1,
+        }
+    }
+
+    #[test]
+    fn disabled_metrics_record_nothing_and_never_read_the_clock() {
+        let mut m = Metrics::disabled();
+        m.bump(Counter::Passes);
+        m.add(Counter::MovesApplied, 100);
+        assert!(m.start().is_none());
+        m.stop_improve(ImproveKind::LastPair, None);
+        assert_eq!(m.get(Counter::Passes), 0);
+        assert_eq!(m.get(Counter::MovesApplied), 0);
+        assert_eq!(m.improve_time(ImproveKind::LastPair).count, 0);
+    }
+
+    #[test]
+    fn enabled_metrics_count_and_time() {
+        let mut m = Metrics::enabled();
+        m.bump(Counter::Passes);
+        m.add(Counter::GainBucketPops, 41);
+        m.bump(Counter::GainBucketPops);
+        let started = m.start();
+        assert!(started.is_some());
+        m.stop_improve(ImproveKind::FinalSweep, started);
+        assert_eq!(m.get(Counter::Passes), 1);
+        assert_eq!(m.get(Counter::GainBucketPops), 42);
+        let stat = m.improve_time(ImproveKind::FinalSweep);
+        assert_eq!(stat.count, 1);
+        assert!(stat.min_ns <= stat.max_ns);
+        assert_eq!(stat.log2_hist.iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_combines_time() {
+        let mut a = Metrics::enabled();
+        a.add(Counter::Passes, 3);
+        a.improve_time[ImproveKind::LastPair.index()].record(Duration::from_nanos(100));
+        let mut b = Metrics::enabled();
+        b.add(Counter::Passes, 4);
+        b.improve_time[ImproveKind::LastPair.index()].record(Duration::from_nanos(7));
+        a.merge(&b);
+        assert_eq!(a.get(Counter::Passes), 7);
+        let stat = a.improve_time(ImproveKind::LastPair);
+        assert_eq!(stat.count, 2);
+        assert_eq!(stat.total_ns, 107);
+        assert_eq!(stat.min_ns, 7);
+        assert_eq!(stat.max_ns, 100);
+    }
+
+    #[test]
+    fn merge_order_is_deterministic() {
+        // Counters and totals are commutative; merging the same set of
+        // children in the same order must be reproducible.
+        let children: Vec<Metrics> = (0..4)
+            .map(|i| {
+                let mut m = Metrics::enabled();
+                m.add(Counter::MovesApplied, i * 10 + 1);
+                m
+            })
+            .collect();
+        let mut a = Metrics::enabled();
+        let mut b = Metrics::enabled();
+        for c in &children {
+            a.merge(c);
+            b.merge(c);
+        }
+        assert_eq!(a, b);
+        assert_eq!(a.get(Counter::MovesApplied), 1 + 11 + 21 + 31);
+    }
+
+    #[test]
+    fn fork_copies_enabledness_only() {
+        let mut m = Metrics::enabled();
+        m.add(Counter::Passes, 5);
+        let f = m.fork();
+        assert!(f.is_enabled());
+        assert_eq!(f.get(Counter::Passes), 0);
+        assert!(!Metrics::disabled().fork().is_enabled());
+    }
+
+    #[test]
+    fn time_stat_buckets_are_log2() {
+        let mut s = TimeStat::default();
+        s.record(Duration::from_nanos(1)); // bucket 1: [1, 2)
+        s.record(Duration::from_nanos(1023)); // bucket 10: [512, 1024)
+        s.record(Duration::from_nanos(1024)); // bucket 11: [1024, 2048)
+        assert_eq!(s.log2_hist[1], 1);
+        assert_eq!(s.log2_hist[10], 1);
+        assert_eq!(s.log2_hist[11], 1);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min_ns, 1);
+        assert_eq!(s.max_ns, 1024);
+    }
+
+    #[test]
+    fn metrics_json_has_every_counter() {
+        let mut m = Metrics::enabled();
+        m.bump(Counter::Passes);
+        let json = m.to_json();
+        for c in Counter::ALL {
+            assert!(json.contains(&format!("\"{}\":", c.name())), "missing {}", c.name());
+        }
+        assert!(json.contains("\"passes\": 1"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn jsonl_sink_streams_one_line_per_event() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.record_event(&improve_event());
+        sink.record_event(&TraceEvent::IterationStart {
+            iteration: 1,
+            remainder_size: 10,
+            remainder_terminals: 2,
+        });
+        assert_eq!(sink.lines(), 2);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(text.contains("\"event\": \"improve\""));
+        assert!(text.contains("\"kind\": \"min_io\""));
+    }
+
+    #[test]
+    fn fanout_reaches_every_enabled_sink() {
+        let mut trace = Trace::enabled();
+        let mut off = Trace::disabled();
+        let mut jsonl = JsonlSink::new(Vec::new());
+        {
+            let mut fanout = FanoutSink::new(vec![&mut trace, &mut off, &mut jsonl]);
+            assert!(fanout.is_enabled());
+            fanout.record_event(&improve_event());
+        }
+        assert_eq!(trace.events().len(), 1);
+        assert!(off.events().is_empty());
+        assert_eq!(jsonl.lines(), 1);
+    }
+
+    #[test]
+    fn observer_emit_is_lazy_without_sink() {
+        let mut obs = Observer::none();
+        obs.emit(|| panic!("event constructed without a sink"));
+        let mut disabled = Trace::disabled();
+        let mut obs = Observer::new(Metrics::disabled(), Some(&mut disabled));
+        obs.emit(|| panic!("event constructed for a disabled sink"));
+    }
+
+    #[test]
+    fn json_escaping_is_safe() {
+        let mut out = String::new();
+        push_json_str(&mut out, "a\"b\\c\nd");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\"");
+        let mut out = String::new();
+        push_json_f64(&mut out, f64::NAN);
+        assert_eq!(out, "null");
+        let mut out = String::new();
+        push_json_f64(&mut out, 0.25);
+        assert_eq!(out, "0.25");
+    }
+}

@@ -53,9 +53,54 @@ pub fn run_indexed<T: Send>(
     slots.into_iter().map(|s| s.expect("every job index is executed")).collect()
 }
 
+/// [`run_indexed`] with per-job metrics: each job records into its own
+/// forked child registry (so workers never share mutable state), and the
+/// children are merged back into `metrics` **in job-index order** after
+/// the join — the aggregate is bit-identical at every thread count.
+///
+/// When `metrics` is disabled every child is disabled too, so the jobs
+/// keep the one-branch-per-event cost.
+///
+/// # Example
+///
+/// ```
+/// use fpart_core::obs::{Counter, Metrics};
+/// use fpart_core::parallel::run_indexed_metered;
+///
+/// let mut metrics = Metrics::enabled();
+/// let sums = run_indexed_metered(4, 2, &mut metrics, &|i, m| {
+///     m.add(Counter::Runs, 1);
+///     i * 2
+/// });
+/// assert_eq!(sums, vec![0, 2, 4, 6]);
+/// assert_eq!(metrics.get(Counter::Runs), 4);
+/// ```
+#[must_use]
+pub fn run_indexed_metered<T: Send>(
+    count: usize,
+    threads: usize,
+    metrics: &mut crate::obs::Metrics,
+    job: &(dyn Fn(usize, &mut crate::obs::Metrics) -> T + Sync),
+) -> Vec<T> {
+    let seed = metrics.fork();
+    let wrapped = |i: usize| {
+        let mut child = seed.fork();
+        let out = job(i, &mut child);
+        (out, child)
+    };
+    let results = run_indexed(count, threads, &wrapped);
+    let mut out = Vec::with_capacity(results.len());
+    for (value, child) in results {
+        metrics.merge(&child);
+        out.push(value);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::obs::{Counter, Metrics};
 
     #[test]
     fn preserves_job_order() {
@@ -68,5 +113,38 @@ mod tests {
     #[test]
     fn zero_threads_runs_inline() {
         assert_eq!(run_indexed(4, 0, &|i| i + 1), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn metered_aggregate_is_thread_count_invariant() {
+        let run = |threads: usize| {
+            let mut metrics = Metrics::enabled();
+            let out = run_indexed_metered(9, threads, &mut metrics, &|i, m| {
+                m.add(Counter::MovesApplied, (i as u64 + 1) * 3);
+                m.bump(Counter::Runs);
+                i
+            });
+            (out, metrics)
+        };
+        let (seq_out, seq_metrics) = run(1);
+        for threads in [2, 4, 8] {
+            let (out, metrics) = run(threads);
+            assert_eq!(out, seq_out, "threads={threads}");
+            assert_eq!(metrics, seq_metrics, "threads={threads}");
+        }
+        assert_eq!(seq_metrics.get(Counter::Runs), 9);
+        assert_eq!(seq_metrics.get(Counter::MovesApplied), (1..=9).map(|i| i * 3).sum::<u64>());
+    }
+
+    #[test]
+    fn metered_disabled_parent_disables_children() {
+        let mut metrics = Metrics::disabled();
+        let out = run_indexed_metered(3, 2, &mut metrics, &|i, m| {
+            assert!(!m.is_enabled());
+            m.bump(Counter::Runs);
+            i
+        });
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(metrics.get(Counter::Runs), 0);
     }
 }

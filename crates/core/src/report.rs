@@ -108,6 +108,45 @@ impl QualityReport {
         }
         self.lower_bound as f64 / self.device_count as f64
     }
+
+    /// Serializes the report as a single JSON object (dependency-free,
+    /// hand-rolled like the rest of [`crate::obs`]). Field names match
+    /// the struct fields plus a derived `"efficiency"`; the format is
+    /// covered by [`crate::obs::SCHEMA_VERSION`].
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+
+        use crate::obs::push_json_f64;
+
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"device_count\": {}, \"lower_bound\": {}, \"feasible\": {}, \"cut\": {}, ",
+            self.device_count, self.lower_bound, self.feasible, self.cut
+        );
+        out.push_str("\"efficiency\": ");
+        push_json_f64(&mut out, self.efficiency());
+        out.push_str(", \"mean_fill\": ");
+        push_json_f64(&mut out, self.mean_fill);
+        out.push_str(", \"min_fill\": ");
+        push_json_f64(&mut out, self.min_fill);
+        out.push_str(", \"mean_io\": ");
+        push_json_f64(&mut out, self.mean_io);
+        let _ = write!(
+            out,
+            ", \"io_starved_blocks\": {}, \"fill_histogram\": [",
+            self.io_starved_blocks
+        );
+        for (d, count) in self.fill_histogram.iter().enumerate() {
+            if d > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{count}");
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 impl fmt::Display for QualityReport {
@@ -174,6 +213,90 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("devices:"));
         assert!(text.contains("fill histogram"));
+    }
+
+    /// Hand-builds an outcome whose blocks have exactly the given
+    /// (size, terminals) usages, for boundary-value tests.
+    fn outcome_with_blocks(
+        blocks: &[(u64, usize)],
+        constraints: DeviceConstraints,
+    ) -> PartitionOutcome {
+        let blocks: Vec<crate::BlockReport> = blocks
+            .iter()
+            .map(|&(size, terminals)| crate::BlockReport {
+                size,
+                terminals,
+                externals: 0,
+                feasible: constraints.fits(size, terminals),
+            })
+            .collect();
+        PartitionOutcome {
+            assignment: Vec::new(),
+            device_count: blocks.len(),
+            feasible: blocks.iter().all(|b| b.feasible),
+            blocks,
+            lower_bound: 1,
+            cut: 0,
+            iterations: 0,
+            improve_calls: 0,
+            total_moves: 0,
+            elapsed: std::time::Duration::ZERO,
+            trace: crate::Trace::disabled(),
+            metrics: crate::obs::Metrics::disabled(),
+        }
+    }
+
+    #[test]
+    fn fill_histogram_boundaries() {
+        let constraints = DeviceConstraints::new(100, 100);
+        // 0 % fill lands in the first decile; exactly 100 % lands in the
+        // last (not an out-of-range 11th bucket); decile edges like 10 %
+        // belong to the upper bucket (d·10 % ≤ fill < (d+1)·10 %).
+        let outcome =
+            outcome_with_blocks(&[(0, 1), (100, 1), (10, 1), (9, 1), (99, 1)], constraints);
+        let r = QualityReport::new(&outcome, constraints);
+        assert_eq!(r.fill_histogram[0], 2, "0% and 9% are decile 0");
+        assert_eq!(r.fill_histogram[1], 1, "exactly 10% is decile 1");
+        assert_eq!(r.fill_histogram[9], 2, "99% and exactly 100% are decile 9");
+        assert_eq!(r.fill_histogram.iter().sum::<usize>(), 5);
+        assert_eq!(r.min_fill, 0.0);
+    }
+
+    #[test]
+    fn io_starved_threshold_edges() {
+        let constraints = DeviceConstraints::new(100, 100);
+        let starved = |size, terminals| {
+            let outcome = outcome_with_blocks(&[(size, terminals)], constraints);
+            QualityReport::new(&outcome, constraints).io_starved_blocks
+        };
+        // Starved means IOB use ≥ 95 % while logic fill ≤ 70 %: both
+        // thresholds are inclusive.
+        assert_eq!(starved(70, 95), 1, "exactly on both thresholds counts");
+        assert_eq!(starved(70, 94), 0, "IOB use just below 95% does not");
+        assert_eq!(starved(71, 95), 0, "fill just above 70% does not");
+        assert_eq!(starved(0, 100), 1, "empty logic with saturated IOBs counts");
+        assert_eq!(starved(70, 100), 1);
+    }
+
+    #[test]
+    fn json_report_is_complete() {
+        let r = sample_report();
+        let json = r.to_json();
+        for field in [
+            "device_count",
+            "lower_bound",
+            "feasible",
+            "cut",
+            "efficiency",
+            "mean_fill",
+            "min_fill",
+            "mean_io",
+            "io_starved_blocks",
+            "fill_histogram",
+        ] {
+            assert!(json.contains(&format!("\"{field}\":")), "missing {field} in {json}");
+        }
+        assert!(json.starts_with('{') && json.ends_with('}'));
     }
 
     #[test]

@@ -24,6 +24,40 @@ pub enum ImproveKind {
     FinalSweep,
 }
 
+impl ImproveKind {
+    /// Every schedule slot, in schedule order.
+    pub const ALL: [ImproveKind; 6] = [
+        ImproveKind::LastPair,
+        ImproveKind::AllBlocks,
+        ImproveKind::MinSize,
+        ImproveKind::MinIo,
+        ImproveKind::MaxFree,
+        ImproveKind::FinalSweep,
+    ];
+
+    /// Stable `snake_case` name, used by serialized metrics/traces and the
+    /// CLI's `--trace` rendering. These strings are a compatibility
+    /// surface — do not change them without bumping
+    /// [`crate::obs::SCHEMA_VERSION`].
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ImproveKind::LastPair => "last_pair",
+            ImproveKind::AllBlocks => "all_blocks",
+            ImproveKind::MinSize => "min_size",
+            ImproveKind::MinIo => "min_io",
+            ImproveKind::MaxFree => "max_free",
+            ImproveKind::FinalSweep => "final_sweep",
+        }
+    }
+
+    /// Dense index of this slot in [`ImproveKind::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
 /// One recorded driver event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
@@ -122,6 +156,21 @@ impl Trace {
     /// Iterates only the `Improve` events.
     pub fn improve_events(&self) -> impl Iterator<Item = &TraceEvent> {
         self.events.iter().filter(|e| matches!(e, TraceEvent::Improve { .. }))
+    }
+}
+
+/// A `Trace` is the in-memory [`EventSink`](crate::obs::EventSink):
+/// producers check [`Trace::is_enabled`] first, so a disabled trace
+/// never sees (or clones) an event.
+impl crate::obs::EventSink for Trace {
+    fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    fn record_event(&mut self, event: &TraceEvent) {
+        if self.enabled {
+            self.events.push(event.clone());
+        }
     }
 }
 

@@ -32,11 +32,58 @@ step "cargo test"
 cargo test --workspace -q
 
 if [ "$skip_bench" -eq 0 ]; then
-    step "smoke bench -> BENCH_pr1.json"
-    ./target/release/smoke BENCH_pr1.json
-    # The file must be valid JSON.
-    python3 -c "import json; json.load(open('BENCH_pr1.json'))"
-    echo "BENCH_pr1.json is valid JSON"
+    step "smoke bench -> BENCH_pr2.json"
+    ./target/release/smoke BENCH_pr2.json
+    # The file must be valid JSON *and* match the documented schema
+    # (required keys with the right types), so a malformed bench emitter
+    # fails CI rather than silently shipping an unusable artifact.
+    python3 - <<'EOF'
+import json
+
+with open("BENCH_pr2.json") as f:
+    doc = json.load(f)
+
+def require(obj, key, types, ctx="BENCH_pr2.json"):
+    assert key in obj, f"{ctx}: missing key {key!r}"
+    assert isinstance(obj[key], types), \
+        f"{ctx}: {key!r} is {type(obj[key]).__name__}, expected {types}"
+    return obj[key]
+
+assert require(doc, "schema_version", int) == 2, "unexpected schema_version"
+require(doc, "circuit", str)
+require(doc, "nodes", int)
+require(doc, "available_parallelism", int)
+
+for row in require(doc, "pass_throughput", list):
+    for key, types in [("case", str), ("moves", int), ("passes", int),
+                       ("seconds", (int, float)), ("moves_per_sec", (int, float))]:
+        require(row, key, types, "pass_throughput row")
+
+for row in require(doc, "key_eval_per_move", list):
+    for key, types in [("blocks", int), ("moves", int), ("move_only_ns", (int, float)),
+                       ("incremental_ns", (int, float)), ("from_scratch_ns", (int, float)),
+                       ("loop_gain_pct", (int, float)), ("eval_component_gain_pct", (int, float))]:
+        require(row, key, types, "key_eval_per_move row")
+
+for row in require(doc, "thread_sweep", list):
+    for key, types in [("threads", int), ("bipartition_runs8_seconds", (int, float)),
+                       ("restarts4_seconds", (int, float))]:
+        require(row, key, types, "thread_sweep row")
+
+counters = require(require(doc, "engine_counters", dict), "counters", dict, "engine_counters")
+for name in ["passes", "moves_applied", "moves_reverted", "gain_bucket_pops",
+             "stack_restarts", "key_evaluations", "snapshots_materialized",
+             "improve_calls", "iterations", "bipartitions", "runs"]:
+    require(counters, name, int, "engine_counters.counters")
+assert counters["passes"] > 0, "a real bench run executes passes"
+require(doc["engine_counters"], "improve_time", dict, "engine_counters")
+
+metering = require(doc, "metering", dict)
+for key in ["unmetered_seconds", "metered_seconds", "overhead_pct"]:
+    require(metering, key, (int, float), "metering")
+
+print("BENCH_pr2.json matches the schema")
+EOF
 fi
 
 step "CI OK"
