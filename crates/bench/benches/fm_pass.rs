@@ -23,6 +23,7 @@ fn bench_improve(c: &mut Criterion) {
                     config: &config,
                     remainder: 1,
                     minimum_reached: false,
+                    budget: None,
                 };
                 improve(&mut state, &[0, 1], &ctx);
                 state.cut_count()
@@ -54,6 +55,7 @@ fn bench_improve(c: &mut Criterion) {
                         config: &variant,
                         remainder: 1,
                         minimum_reached: false,
+                        budget: None,
                     };
                     improve(&mut state, &[0, 1], &ctx);
                     state.cut_count()
@@ -75,6 +77,7 @@ fn bench_improve(c: &mut Criterion) {
                     config: &config,
                     remainder: 7,
                     minimum_reached: false,
+                    budget: None,
                 };
                 let all: Vec<usize> = (0..8).collect();
                 improve(&mut state, &all, &ctx);

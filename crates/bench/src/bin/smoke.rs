@@ -1,8 +1,8 @@
 //! Smoke performance benchmark for the incremental-cost / zero-allocation
-//! / parallel-search work, emitting machine-readable `BENCH_pr2.json`
+//! / parallel-search work, emitting machine-readable `BENCH_pr3.json`
 //! (schema-versioned; see `fpart_core::obs::SCHEMA_VERSION`).
 //!
-//! Four measurements:
+//! Five measurements:
 //!
 //! 1. **Pass throughput** — retained moves per second of `improve(...)`
 //!    on an MCNC-scale circuit (two-block and 8-way), exercising the
@@ -22,8 +22,13 @@
 //!    moves, gain-bucket pops, key evaluations, per-`ImproveKind` wall
 //!    time), plus the metered-vs-unmetered wall-time ratio, so the
 //!    "zero overhead when disabled" claim stays measurable over time.
+//! 5. **Execution control** — completion status and budget counters of a
+//!    deadline-bounded search and of a panic-injected restart search, so
+//!    graceful degradation and panic isolation stay measurable, plus the
+//!    budget-check wall-time ratio (unlimited budget vs no budget) to
+//!    keep the "one branch when unlimited" claim honest.
 //!
-//! Output path: first CLI argument, default `BENCH_pr2.json`.
+//! Output path: first CLI argument, default `BENCH_pr3.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -31,15 +36,15 @@ use std::time::Instant;
 use fpart_core::cost::CostEvaluator;
 use fpart_core::fm::{bipartition_fm, FmConfig};
 use fpart_core::{
-    improve, partition_restarts, partition_restarts_observed, Counter, FpartConfig, ImproveContext,
-    KeyTracker, PartitionState,
+    improve, partition_restarts, partition_restarts_observed, Counter, FaultPlan, FpartConfig,
+    ImproveContext, KeyTracker, PartitionState, RunBudget,
 };
 use fpart_device::{Device, DeviceConstraints};
 use fpart_hypergraph::gen::{find_profile, synthesize_mcnc, Technology};
 use fpart_hypergraph::NodeId;
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr2.json".to_owned());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr3.json".to_owned());
     let graph = synthesize_mcnc(find_profile("s9234").expect("profile"), Technology::Xc3000);
     let constraints = Device::XC3020.constraints(0.9);
     let config = FpartConfig::default();
@@ -72,6 +77,7 @@ fn main() {
                 config: &config,
                 remainder: k - 1,
                 minimum_reached: false,
+                budget: None,
             };
             let stats = improve(&mut state, &active, &ctx);
             moves += stats.moves;
@@ -228,7 +234,61 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"metering\": {{\"unmetered_seconds\": {unmetered_secs:.4}, \
-         \"metered_seconds\": {metered_secs:.4}, \"overhead_pct\": {overhead_pct:.1}}}"
+         \"metered_seconds\": {metered_secs:.4}, \"overhead_pct\": {overhead_pct:.1}}},"
+    );
+
+    // 5. Execution control: a tight deadline degrades gracefully, a
+    //    panic-injected restart is contained, and an unlimited budget
+    //    costs (near) nothing over no budget at all.
+    let start = Instant::now();
+    let unlimited_budget = FpartConfig {
+        budget: RunBudget { max_passes: Some(u64::MAX), ..RunBudget::default() },
+        ..FpartConfig::default()
+    };
+    let budgeted =
+        partition_restarts(&graph, constraints, &unlimited_budget, 2, 1).expect("partitions");
+    let budgeted_secs = start.elapsed().as_secs_f64();
+    assert_eq!(budgeted.assignment, unmetered.assignment, "budget checks changed the result");
+    let budget_overhead_pct = (budgeted_secs / unmetered_secs - 1.0) * 100.0;
+
+    let deadline_config = FpartConfig {
+        budget: RunBudget {
+            deadline: Some(std::time::Duration::from_millis(1)),
+            ..RunBudget::default()
+        },
+        ..FpartConfig::default()
+    };
+    let start = Instant::now();
+    let deadline_report = partition_restarts_observed(&graph, constraints, &deadline_config, 2, 1)
+        .expect("degrades instead of failing");
+    let deadline_secs = start.elapsed().as_secs_f64();
+
+    std::panic::set_hook(Box::new(|_| {})); // injected panic below is expected
+    let fault_config = FpartConfig {
+        fault_plan: Some(FaultPlan::panic_at(1, "smoke fault").for_only_restart(0)),
+        ..FpartConfig::default()
+    };
+    let fault_report = partition_restarts_observed(&graph, constraints, &fault_config, 2, 1)
+        .expect("survivor wins");
+    let _ = std::panic::take_hook();
+
+    println!(
+        "execution control: unlimited-budget wall-time delta {budget_overhead_pct:+.1}%, \
+         1ms deadline => {} in {deadline_secs:.3}s, injected panic => {} ({} failed restart)",
+        deadline_report.completion,
+        fault_report.completion,
+        fault_report.failed.len()
+    );
+    let _ = writeln!(
+        json,
+        "  \"execution_control\": {{\"budget_overhead_pct\": {budget_overhead_pct:.1}, \
+         \"deadline_completion\": \"{}\", \"deadline_seconds\": {deadline_secs:.4}, \
+         \"deadline_budget_stops\": {}, \"fault_completion\": \"{}\", \
+         \"fault_failed_restarts\": {}}}",
+        deadline_report.completion,
+        deadline_report.totals.get(Counter::BudgetStops),
+        fault_report.completion,
+        fault_report.totals.get(Counter::FailedRestarts)
     );
     json.push_str("}\n");
 

@@ -6,8 +6,8 @@ use std::io::Write as _;
 
 use fpart_baselines::{fbb_mw_partition, first_fit_partition, kway_partition, FlowConfig};
 use fpart_core::{
-    partition_observed, Counter, EventSink, FanoutSink, FpartConfig, JsonlSink, Metrics, Observer,
-    QualityReport, Trace, TraceEvent,
+    partition_observed, CancelToken, Completion, Counter, EventSink, FailedRestart, FanoutSink,
+    FpartConfig, JsonlSink, Metrics, Observer, QualityReport, RunBudget, Trace, TraceEvent,
 };
 use fpart_device::{lower_bound, Device, DeviceConstraints};
 use fpart_hypergraph::gen::{
@@ -18,10 +18,11 @@ use fpart_hypergraph::stats::{rent_exponent, CircuitStats};
 use fpart_hypergraph::Hypergraph;
 
 use crate::args::{Args, Spec};
+use crate::error::CliError;
 use crate::netlist_file;
 
 /// `fpart partition <netlist> ...`
-pub fn partition(raw: &[String]) -> Result<(), String> {
+pub fn partition(raw: &[String]) -> Result<(), CliError> {
     let spec = Spec {
         valued: &[
             "device",
@@ -32,29 +33,48 @@ pub fn partition(raw: &[String]) -> Result<(), String> {
             "t-max",
             "restarts",
             "threads",
+            "deadline-ms",
+            "max-passes",
             "metrics",
             "trace-json",
         ],
         switches: &["trace"],
     };
-    let args = Args::parse(raw, spec)?;
-    let input = args.positional(0).ok_or("partition needs a netlist file")?;
-    let graph = netlist_file::read(Path::new(input))?;
+    let args = Args::parse(raw, spec).map_err(CliError::Usage)?;
+    let input = args
+        .positional(0)
+        .ok_or_else(|| CliError::Usage("partition needs a netlist file".into()))?;
+    let graph = netlist_file::read(Path::new(input)).map_err(CliError::Input)?;
 
-    let constraints = resolve_constraints(&args)?;
+    let constraints = resolve_constraints(&args).map_err(CliError::Usage)?;
     let method = args.option("method").unwrap_or("fpart");
-    let restarts: usize = args.option_parsed("restarts", 1)?;
-    let threads: usize = args.option_parsed("threads", 1)?;
+    let restarts: usize = args.option_parsed("restarts", 1).map_err(CliError::Usage)?;
+    let threads: usize = args.option_parsed("threads", 1).map_err(CliError::Usage)?;
+    let deadline_ms: Option<u64> = args
+        .option("deadline-ms")
+        .map(|v| v.parse().map_err(|_| format!("option --deadline-ms: cannot parse `{v}`")))
+        .transpose()
+        .map_err(CliError::Usage)?;
+    let max_passes: Option<u64> = args
+        .option("max-passes")
+        .map(|v| v.parse().map_err(|_| format!("option --max-passes: cannot parse `{v}`")))
+        .transpose()
+        .map_err(CliError::Usage)?;
     if restarts == 0 || threads == 0 {
-        return Err("--restarts and --threads must be at least 1".to_owned());
+        return Err(CliError::Usage("--restarts and --threads must be at least 1".into()));
     }
     if (restarts > 1 || threads > 1) && method != "fpart" {
-        return Err("--restarts/--threads only apply to --method fpart".to_owned());
+        return Err(CliError::Usage("--restarts/--threads only apply to --method fpart".into()));
+    }
+    if (deadline_ms.is_some() || max_passes.is_some()) && method != "fpart" {
+        return Err(CliError::Usage(
+            "--deadline-ms/--max-passes only apply to --method fpart".into(),
+        ));
     }
     if (args.option("metrics").is_some() || args.option("trace-json").is_some())
         && method != "fpart"
     {
-        return Err("--metrics/--trace-json only apply to --method fpart".to_owned());
+        return Err(CliError::Usage("--metrics/--trace-json only apply to --method fpart".into()));
     }
     let m = lower_bound(&graph, constraints);
     eprintln!(
@@ -65,23 +85,37 @@ pub fn partition(raw: &[String]) -> Result<(), String> {
         graph.terminal_count()
     );
 
+    // Budget: SIGINT always cancels cooperatively; deadline and pass
+    // caps only when requested. The handler lets the run stop at the
+    // next pass/peel boundary and still print its best result.
+    crate::install_sigint_handler();
+    let budget = RunBudget {
+        deadline: deadline_ms.map(std::time::Duration::from_millis),
+        max_passes,
+        max_moves: None,
+        cancel: Some(CancelToken::from_static(&crate::INTERRUPTED)),
+    };
+
     let started = std::time::Instant::now();
+    let mut completion = Completion::Complete;
     let (assignment, device_count, feasible, cut) = match method {
         "fpart" => {
-            let outcome = run_fpart(&graph, constraints, &args, restarts, threads)?;
+            let outcome = run_fpart(&graph, constraints, &args, restarts, threads, budget)?;
             if args.switch("trace") {
                 print_trace(&outcome.trace);
             }
+            completion = outcome.completion;
             println!("{}", QualityReport::new(&outcome, constraints));
             (outcome.assignment, outcome.device_count, outcome.feasible, outcome.cut)
         }
         "kway" => {
-            let o = kway_partition(&graph, constraints).map_err(|e| e.to_string())?;
+            let o = kway_partition(&graph, constraints)
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
             (o.assignment, o.device_count, o.feasible, o.cut)
         }
         "flow" => {
             let o = fbb_mw_partition(&graph, constraints, &FlowConfig::default())
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
             (o.assignment, o.device_count, o.feasible, o.cut)
         }
         "naive" => {
@@ -95,7 +129,7 @@ pub fn partition(raw: &[String]) -> Result<(), String> {
                 &FpartConfig::default(),
                 &fpart_core::MultilevelConfig::default(),
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
             (o.assignment, o.device_count, o.feasible, o.cut)
         }
         "direct" => {
@@ -105,18 +139,19 @@ pub fn partition(raw: &[String]) -> Result<(), String> {
                 &FpartConfig::default(),
                 &fpart_core::DirectConfig::default(),
             )
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| CliError::Runtime(e.to_string()))?;
             (o.assignment, o.device_count, o.feasible, o.cut)
         }
         other => {
-            return Err(format!(
+            return Err(CliError::Usage(format!(
                 "unknown method `{other}` (fpart|kway|flow|naive|multilevel|direct)"
-            ))
+            )))
         }
     };
 
     println!(
-        "{method}: {device_count} devices (lower bound {m}), feasible: {feasible}, cut nets: {cut}, {:.2?}",
+        "{method}: {device_count} devices (lower bound {m}), feasible: {feasible}, cut nets: {cut}, \
+         completion: {completion}, {:.2?}",
         started.elapsed()
     );
     print_block_summary(&graph, &assignment, device_count, constraints);
@@ -125,11 +160,16 @@ pub fn partition(raw: &[String]) -> Result<(), String> {
     }
 
     if let Some(output) = args.option("output") {
-        let file =
-            std::fs::File::create(output).map_err(|e| format!("cannot create {output}: {e}"))?;
+        let file = std::fs::File::create(output)
+            .map_err(|e| CliError::Runtime(format!("cannot create {output}: {e}")))?;
         fpart_core::write_assignment(file, &graph, &assignment)
-            .map_err(|e| format!("cannot write {output}: {e}"))?;
+            .map_err(|e| CliError::Runtime(format!("cannot write {output}: {e}")))?;
         eprintln!("assignment written to {output}");
+    }
+    if completion == Completion::Cancelled {
+        // Results (and any --output/--metrics files) are complete; the
+        // distinct exit code tells scripts the run was cut short.
+        return Err(CliError::Interrupted);
     }
     Ok(())
 }
@@ -145,17 +185,21 @@ fn run_fpart(
     args: &Args,
     restarts: usize,
     threads: usize,
-) -> Result<fpart_core::PartitionOutcome, String> {
-    let config = FpartConfig::default();
+    budget: RunBudget,
+) -> Result<fpart_core::PartitionOutcome, CliError> {
+    let config = FpartConfig { budget, ..FpartConfig::default() };
     let metrics_path = args.option("metrics");
     let trace_json_path = args.option("trace-json");
     let want_events = args.switch("trace") || trace_json_path.is_some();
     if want_events && restarts > 1 {
-        return Err("--trace/--trace-json need --restarts 1 (traces are per-run)".to_owned());
+        return Err(CliError::Usage(
+            "--trace/--trace-json need --restarts 1 (traces are per-run)".into(),
+        ));
     }
 
-    // The aggregate written to --metrics: totals plus per-restart parts.
-    let mut aggregate: Option<(Metrics, Vec<Metrics>)> = None;
+    // The aggregate written to --metrics: totals plus per-restart parts,
+    // the search's completion status, and restarts lost to panics.
+    let mut aggregate: Option<(Metrics, Vec<Metrics>, Completion, Vec<FailedRestart>)> = None;
 
     let outcome = if want_events {
         // Single observed run with the requested event sinks fanned out.
@@ -163,7 +207,7 @@ fn run_fpart(
         let mut jsonl = match trace_json_path {
             Some(path) => {
                 let file = std::fs::File::create(path)
-                    .map_err(|e| format!("cannot create {path}: {e}"))?;
+                    .map_err(|e| CliError::Runtime(format!("cannot create {path}: {e}")))?;
                 Some(JsonlSink::new(std::io::BufWriter::new(file)))
             }
             None => None,
@@ -180,54 +224,72 @@ fn run_fpart(
             let result = partition_observed(graph, constraints, &config, &mut obs);
             result.map(|outcome| (outcome, obs.metrics.clone()))
         };
-        let (mut outcome, mut metrics) = result.map_err(|e| e.to_string())?;
+        let (mut outcome, mut metrics) = result.map_err(|e| CliError::Runtime(e.to_string()))?;
         if let Some(sink) = jsonl {
             let path = trace_json_path.expect("jsonl implies a path");
             let lines = sink.lines();
-            sink.into_inner().flush().map_err(|e| format!("cannot write {path}: {e}"))?;
+            sink.into_inner()
+                .flush()
+                .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
             eprintln!("trace: {lines} events written to {path}");
         }
         if metrics_path.is_some() {
             // Mirror partition_restarts_observed's per-restart shape for
             // a single run, Runs count included.
             metrics.bump(Counter::Runs);
-            aggregate = Some((metrics.clone(), vec![metrics]));
+            aggregate = Some((metrics.clone(), vec![metrics], outcome.completion, Vec::new()));
         }
         outcome.trace = trace;
         outcome
     } else if metrics_path.is_some() {
         let report =
             fpart_core::partition_restarts_observed(graph, constraints, &config, restarts, threads)
-                .map_err(|e| e.to_string())?;
-        aggregate = Some((report.totals, report.per_restart));
+                .map_err(|e| CliError::Runtime(e.to_string()))?;
+        aggregate = Some((report.totals, report.per_restart, report.completion, report.failed));
         report.outcome
     } else if restarts > 1 {
         fpart_core::partition_restarts(graph, constraints, &config, restarts, threads)
-            .map_err(|e| e.to_string())?
+            .map_err(|e| CliError::Runtime(e.to_string()))?
     } else {
-        fpart_core::partition(graph, constraints, &config).map_err(|e| e.to_string())?
+        fpart_core::partition(graph, constraints, &config)
+            .map_err(|e| CliError::Runtime(e.to_string()))?
     };
 
     if let Some(path) = metrics_path {
-        let (totals, per_restart) = aggregate.expect("metrics aggregate recorded above");
+        let (totals, per_restart, completion, failed) =
+            aggregate.expect("metrics aggregate recorded above");
         let quality = QualityReport::new(&outcome, constraints);
-        write_metrics_file(path, restarts, threads, &totals, &per_restart, &quality)?;
+        write_metrics_file(
+            path,
+            restarts,
+            threads,
+            &totals,
+            &per_restart,
+            completion,
+            &failed,
+            &quality,
+        )
+        .map_err(CliError::Runtime)?;
         eprintln!("metrics written to {path}");
     }
     Ok(outcome)
 }
 
 /// Writes the `--metrics` document: a single JSON object with
-/// `schema_version`, the run shape (`restarts`, `threads`), the merged
-/// `totals` registry, each restart's registry under `per_restart`
-/// (counter totals equal the per-restart sums), and the winning
-/// partition's `quality` report.
+/// `schema_version`, the run shape (`restarts`, `threads`), the search's
+/// `completion` status, restarts lost to panics under `failed_restarts`,
+/// the merged `totals` registry, each restart's registry under
+/// `per_restart` (counter totals equal the per-restart sums), and the
+/// winning partition's `quality` report.
+#[allow(clippy::too_many_arguments)]
 fn write_metrics_file(
     path: &str,
     restarts: usize,
     threads: usize,
     totals: &Metrics,
     per_restart: &[Metrics],
+    completion: Completion,
+    failed: &[FailedRestart],
     quality: &QualityReport,
 ) -> Result<(), String> {
     let mut out = String::new();
@@ -235,7 +297,18 @@ fn write_metrics_file(
         "{{\"schema_version\": {}, \"restarts\": {restarts}, \"threads\": {threads}, ",
         fpart_core::SCHEMA_VERSION
     ));
-    out.push_str(&format!("\"totals\": {}, \"per_restart\": [", totals.to_json()));
+    out.push_str(&format!("\"completion\": \"{}\", \"failed_restarts\": [", completion.as_str()));
+    for (i, f) in failed.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!(
+            "{{\"restart\": {}, \"message\": {}}}",
+            f.restart,
+            json_string(&f.message)
+        ));
+    }
+    out.push_str(&format!("], \"totals\": {}, \"per_restart\": [", totals.to_json()));
     for (i, m) in per_restart.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
@@ -244,6 +317,26 @@ fn write_metrics_file(
     }
     out.push_str(&format!("], \"quality\": {}}}\n", quality.to_json()));
     std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+/// Renders a string as a quoted JSON literal (panic payloads can carry
+/// quotes and control characters).
+fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn resolve_constraints(args: &Args) -> Result<DeviceConstraints, String> {
@@ -341,10 +434,11 @@ fn print_trace(trace: &Trace) {
 }
 
 /// `fpart stats <netlist>`
-pub fn stats(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, Spec { valued: &[], switches: &[] })?;
-    let input = args.positional(0).ok_or("stats needs a netlist file")?;
-    let graph = netlist_file::read(Path::new(input))?;
+pub fn stats(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw, Spec { valued: &[], switches: &[] }).map_err(CliError::Usage)?;
+    let input =
+        args.positional(0).ok_or_else(|| CliError::Usage("stats needs a netlist file".into()))?;
+    let graph = netlist_file::read(Path::new(input)).map_err(CliError::Input)?;
     let s = CircuitStats::of(&graph);
     println!("{input}: `{}`", graph.name());
     println!("  nodes:      {:8}  (total size {})", s.nodes, s.total_size);
@@ -363,7 +457,7 @@ pub fn stats(raw: &[String]) -> Result<(), String> {
 }
 
 /// `fpart gen <kind> ...`
-pub fn generate(raw: &[String]) -> Result<(), String> {
+pub fn generate(raw: &[String]) -> Result<(), CliError> {
     let spec = Spec {
         valued: &[
             "nodes",
@@ -379,41 +473,49 @@ pub fn generate(raw: &[String]) -> Result<(), String> {
         ],
         switches: &[],
     };
-    let args = Args::parse(raw, spec)?;
-    let kind = args.positional(0).ok_or("gen needs a kind (rent|window|layered|clustered|mcnc)")?;
-    let output = args.option("output").ok_or("gen needs --output FILE")?;
-    let seed: u64 = args.option_parsed("seed", 1)?;
-    let nodes: usize = args.option_parsed("nodes", 500)?;
-    let terminals: usize = args.option_parsed("terminals", 40)?;
+    let args = Args::parse(raw, spec).map_err(CliError::Usage)?;
+    let kind = args.positional(0).ok_or_else(|| {
+        CliError::Usage("gen needs a kind (rent|window|layered|clustered|mcnc)".into())
+    })?;
+    let output =
+        args.option("output").ok_or_else(|| CliError::Usage("gen needs --output FILE".into()))?;
+    let seed: u64 = args.option_parsed("seed", 1).map_err(CliError::Usage)?;
+    let nodes: usize = args.option_parsed("nodes", 500).map_err(CliError::Usage)?;
+    let terminals: usize = args.option_parsed("terminals", 40).map_err(CliError::Usage)?;
 
     let graph = match kind {
         "rent" => rent_circuit(&RentConfig::new("generated", nodes, terminals), seed),
         "window" => window_circuit(&WindowConfig::new("generated", nodes, terminals), seed),
         "layered" => {
-            let levels: usize = args.option_parsed("levels", 8)?;
-            let width: usize = args.option_parsed("width", 16)?;
+            let levels: usize = args.option_parsed("levels", 8).map_err(CliError::Usage)?;
+            let width: usize = args.option_parsed("width", 16).map_err(CliError::Usage)?;
             layered_circuit(&LayeredConfig::new("generated", levels, width), seed)
         }
         "clustered" => {
-            let clusters: usize = args.option_parsed("clusters", 4)?;
-            let cluster_size: usize = args.option_parsed("cluster-size", 25)?;
+            let clusters: usize = args.option_parsed("clusters", 4).map_err(CliError::Usage)?;
+            let cluster_size: usize =
+                args.option_parsed("cluster-size", 25).map_err(CliError::Usage)?;
             clustered_circuit(&ClusteredConfig::new("generated", clusters, cluster_size), seed).0
         }
         "mcnc" => {
-            let circuit = args.option("circuit").ok_or("mcnc needs --circuit NAME")?;
+            let circuit = args
+                .option("circuit")
+                .ok_or_else(|| CliError::Usage("mcnc needs --circuit NAME".into()))?;
             let profile = fpart_hypergraph::gen::find_profile(circuit)
-                .ok_or_else(|| format!("unknown MCNC circuit `{circuit}`"))?;
+                .ok_or_else(|| CliError::Usage(format!("unknown MCNC circuit `{circuit}`")))?;
             let tech = match args.option("tech").unwrap_or("xc3000") {
                 "xc2000" => Technology::Xc2000,
                 "xc3000" => Technology::Xc3000,
-                other => return Err(format!("unknown tech `{other}` (xc2000|xc3000)")),
+                other => {
+                    return Err(CliError::Usage(format!("unknown tech `{other}` (xc2000|xc3000)")))
+                }
             };
             synthesize_mcnc(profile, tech)
         }
-        other => return Err(format!("unknown generator `{other}`")),
+        other => return Err(CliError::Usage(format!("unknown generator `{other}`"))),
     };
 
-    netlist_file::write(Path::new(output), &graph)?;
+    netlist_file::write(Path::new(output), &graph).map_err(CliError::Runtime)?;
     println!(
         "wrote {}: {} nodes, {} nets, {} terminals",
         output,
@@ -425,31 +527,36 @@ pub fn generate(raw: &[String]) -> Result<(), String> {
 }
 
 /// `fpart convert <in> <out>`
-pub fn convert(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, Spec { valued: &[], switches: &[] })?;
-    let input = args.positional(0).ok_or("convert needs an input file")?;
-    let output = args.positional(1).ok_or("convert needs an output file")?;
-    let graph = netlist_file::read(Path::new(input))?;
-    netlist_file::write(Path::new(output), &graph)?;
+pub fn convert(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw, Spec { valued: &[], switches: &[] }).map_err(CliError::Usage)?;
+    let input =
+        args.positional(0).ok_or_else(|| CliError::Usage("convert needs an input file".into()))?;
+    let output =
+        args.positional(1).ok_or_else(|| CliError::Usage("convert needs an output file".into()))?;
+    let graph = netlist_file::read(Path::new(input)).map_err(CliError::Input)?;
+    netlist_file::write(Path::new(output), &graph).map_err(CliError::Runtime)?;
     println!("converted {input} -> {output}");
     Ok(())
 }
 
 /// `fpart verify <netlist> <assignment> ...`
-pub fn verify(raw: &[String]) -> Result<(), String> {
+pub fn verify(raw: &[String]) -> Result<(), CliError> {
     let spec = Spec { valued: &["device", "delta", "s-max", "t-max"], switches: &[] };
-    let args = Args::parse(raw, spec)?;
-    let netlist = args.positional(0).ok_or("verify needs a netlist file")?;
-    let assignment_file = args.positional(1).ok_or("verify needs an assignment file")?;
-    let graph = netlist_file::read(Path::new(netlist))?;
-    let constraints = resolve_constraints(&args)?;
+    let args = Args::parse(raw, spec).map_err(CliError::Usage)?;
+    let netlist =
+        args.positional(0).ok_or_else(|| CliError::Usage("verify needs a netlist file".into()))?;
+    let assignment_file = args
+        .positional(1)
+        .ok_or_else(|| CliError::Usage("verify needs an assignment file".into()))?;
+    let graph = netlist_file::read(Path::new(netlist)).map_err(CliError::Input)?;
+    let constraints = resolve_constraints(&args).map_err(CliError::Usage)?;
 
     // Assignment file: `node_name block` lines (the partition command's
     // --output format).
     let file = std::fs::File::open(assignment_file)
-        .map_err(|e| format!("cannot read {assignment_file}: {e}"))?;
-    let (assignment, k) =
-        fpart_core::read_assignment(file, &graph).map_err(|e| format!("{assignment_file}: {e}"))?;
+        .map_err(|e| CliError::Input(format!("cannot read {assignment_file}: {e}")))?;
+    let (assignment, k) = fpart_core::read_assignment(file, &graph)
+        .map_err(|e| CliError::Input(format!("{assignment_file}: {e}")))?;
 
     let verification = fpart_core::verify_assignment(&graph, &assignment, k, constraints);
     println!("{k} blocks, cut {} nets; device {constraints}", verification.cut);
@@ -460,15 +567,15 @@ pub fn verify(raw: &[String]) -> Result<(), String> {
         for violation in &verification.violations {
             println!("violation: {violation}");
         }
-        Err(format!("{} violations found", verification.violations.len()))
+        Err(CliError::Runtime(format!("{} violations found", verification.violations.len())))
     }
 }
 
 /// `fpart devices`
-pub fn devices(raw: &[String]) -> Result<(), String> {
-    let args = Args::parse(raw, Spec { valued: &[], switches: &[] })?;
+pub fn devices(raw: &[String]) -> Result<(), CliError> {
+    let args = Args::parse(raw, Spec { valued: &[], switches: &[] }).map_err(CliError::Usage)?;
     if let Some(unexpected) = args.positional(0) {
-        return Err(format!("devices takes no arguments (got `{unexpected}`)"));
+        return Err(CliError::Usage(format!("devices takes no arguments (got `{unexpected}`)")));
     }
     println!("{:>8} {:>6} {:>6}   S_MAX at δ=0.9", "device", "CLBs", "IOBs");
     for d in Device::catalog() {

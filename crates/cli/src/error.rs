@@ -1,0 +1,45 @@
+//! CLI error classification: every failure maps to a documented exit
+//! code, and input errors print their parser message (with line/column
+//! context) instead of a Rust backtrace.
+
+use std::process::ExitCode;
+
+/// A failed CLI invocation, classified by exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// Bad flags, bad option values, unknown commands — exit 2.
+    Usage(String),
+    /// Unreadable or malformed input files (netlists, assignments);
+    /// the message carries the parser's line/column context — exit 2.
+    Input(String),
+    /// The run itself failed (no feasible partition, I/O errors while
+    /// writing results, failed verification) — exit 1.
+    Runtime(String),
+    /// SIGINT arrived and the best-so-far result was printed — exit 130
+    /// (the conventional `128 + SIGINT` code).
+    Interrupted,
+}
+
+impl CliError {
+    /// Prints the error to stderr and returns the matching exit code.
+    pub fn report(self) -> ExitCode {
+        match self {
+            CliError::Usage(message) => {
+                eprintln!("error: {message}");
+                ExitCode::from(2)
+            }
+            CliError::Input(message) => {
+                eprintln!("error: {message}");
+                ExitCode::from(2)
+            }
+            CliError::Runtime(message) => {
+                eprintln!("error: {message}");
+                ExitCode::FAILURE
+            }
+            CliError::Interrupted => {
+                eprintln!("interrupted: printed the best result found so far");
+                ExitCode::from(130)
+            }
+        }
+    }
+}

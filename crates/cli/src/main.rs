@@ -14,9 +14,39 @@
 
 mod args;
 mod commands;
+mod error;
 mod netlist_file;
 
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use error::CliError;
+
+/// Process-wide interrupt flag, set by the SIGINT handler and polled by
+/// long-running commands through a `fpart_core::CancelToken`.
+pub(crate) static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+/// Installs a SIGINT handler that only sets [`INTERRUPTED`]: the
+/// partitioner then stops at the next pass/peel boundary and the CLI
+/// prints the best-so-far result and exits 130 instead of dying
+/// mid-write. Uses the raw C `signal` API to stay dependency-free.
+#[cfg(unix)]
+pub(crate) fn install_sigint_handler() {
+    extern "C" fn on_sigint(_signum: i32) {
+        INTERRUPTED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    unsafe {
+        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+    }
+}
+
+/// Non-Unix platforms: no handler; `--deadline-ms` still works.
+#[cfg(not(unix))]
+pub(crate) fn install_sigint_handler() {}
 
 const USAGE: &str = "\
 fpart — multi-way FPGA netlist partitioning (FPART, DATE 1999)
@@ -37,6 +67,10 @@ PARTITION OPTIONS:
   --restarts <N>      independent FPART runs with consecutive seeds; best wins (default 1)
   --threads <N>       worker threads for --restarts; the result is identical
                       for every thread count, only wall time changes (default 1)
+  --deadline-ms <N>   wall-clock budget; on expiry the best solution found
+                      so far is returned with completion `deadline_expired`
+  --max-passes <N>    FM pass budget per run; on exhaustion completion is
+                      `degraded` (the partition is still verified output)
   --output <FILE>     write `node block` assignment lines
   --trace             print the improvement schedule while running
   --trace-json <FILE> stream driver events as JSON Lines (needs --restarts 1)
@@ -48,13 +82,19 @@ GEN KINDS AND OPTIONS:
   --nodes N --terminals N --seed S        (rent, window, clustered, layered)
   --circuit NAME --tech xc2000|xc3000     (mcnc)
   --output <FILE>                         output netlist (.fhg or .hgr)
+
+EXIT CODES:
+  0    success
+  1    runtime failure (no feasible partition, verification failed, ...)
+  2    usage or input errors (bad flags, malformed netlists)
+  130  interrupted by SIGINT after printing the best-so-far result
 ";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = raw.first().map(String::as_str) else {
         eprint!("{USAGE}");
-        return ExitCode::FAILURE;
+        return ExitCode::from(2);
     };
     let rest = &raw[1..];
     let result = match command {
@@ -68,13 +108,10 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             Ok(())
         }
-        other => Err(format!("unknown command `{other}`\n\n{USAGE}")),
+        other => Err(CliError::Usage(format!("unknown command `{other}`\n\n{USAGE}"))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::FAILURE
-        }
+        Err(error) => error.report(),
     }
 }

@@ -198,8 +198,10 @@ fn metrics_and_trace_json_outputs() {
         .expect("runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let json = std::fs::read_to_string(&metrics_file).expect("metrics file");
-    assert!(json.contains("\"schema_version\": 2"), "{json}");
+    assert!(json.contains("\"schema_version\": 3"), "{json}");
     assert!(json.contains("\"restarts\": 3"), "{json}");
+    assert!(json.contains("\"completion\": \"complete\""), "{json}");
+    assert!(json.contains("\"failed_restarts\": []"), "{json}");
     assert!(json.contains("\"per_restart\": ["), "{json}");
     assert!(json.contains("\"quality\": {"), "{json}");
     for key in ["passes", "moves_applied", "key_evaluations", "improve_calls", "runs"] {

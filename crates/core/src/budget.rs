@@ -1,0 +1,517 @@
+//! Cooperative execution control: deadlines, pass/move budgets, cancel
+//! tokens, and deterministic fault injection.
+//!
+//! The driver's outer loop (peel-one-block recursion with scheduled
+//! improvement passes) has unbounded worst-case runtime: pass counts
+//! depend on netlist structure and the dual solution stacks can restart
+//! improvement repeatedly. A [`RunBudget`] bounds that work
+//! cooperatively — it is *checked* at pass and peel boundaries rather
+//! than preempting anything, so a stop always lands at a consistent
+//! state and the driver can return the best solution seen so far.
+//!
+//! Design mirrors the zero-overhead observability layer ([`crate::obs`]):
+//! an unlimited budget compiles down to a single predictable branch per
+//! boundary — no clock reads, no atomics. Only a budget that actually
+//! limits something (or carries a [`FaultPlan`]) pays for its checks.
+//!
+//! [`FaultPlan`] is the deterministic fault-injection hook used by the
+//! robustness test-suite: it can panic, sleep, or force budget expiry at
+//! chosen pass boundaries, optionally targeting a single restart index,
+//! so degradation paths are exercised without wall-clock flakiness.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How a partitioning run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Completion {
+    /// The search ran to its natural end; no budget limit intervened.
+    #[default]
+    Complete,
+    /// The wall-clock deadline expired; the result is the best solution
+    /// found before the nearest pass or peel boundary after expiry.
+    DeadlineExpired,
+    /// A [`CancelToken`] was triggered (e.g. SIGINT in the CLI).
+    Cancelled,
+    /// The run was cut short by a discrete budget (max passes / max
+    /// moves) or lost some restarts to panics but still produced a
+    /// usable merged result.
+    Degraded,
+}
+
+impl Completion {
+    /// Stable `snake_case` name used in metrics JSON and CLI output.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Completion::Complete => "complete",
+            Completion::DeadlineExpired => "deadline_expired",
+            Completion::Cancelled => "cancelled",
+            Completion::Degraded => "degraded",
+        }
+    }
+
+    /// Severity rank used when merging statuses across restarts:
+    /// `Cancelled > DeadlineExpired > Degraded > Complete`.
+    #[must_use]
+    fn severity(self) -> u8 {
+        match self {
+            Completion::Complete => 0,
+            Completion::Degraded => 1,
+            Completion::DeadlineExpired => 2,
+            Completion::Cancelled => 3,
+        }
+    }
+
+    /// The more severe of two statuses (used to fold restart outcomes
+    /// into a report-level status).
+    #[must_use]
+    pub fn worst(self, other: Completion) -> Completion {
+        if other.severity() > self.severity() {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for Completion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Shared cancellation flag checked at pass and peel boundaries.
+///
+/// Cloning shares the flag; equality is pointer identity (two tokens
+/// are equal iff cancelling one cancels the other).
+#[derive(Debug, Clone)]
+pub struct CancelToken {
+    inner: TokenInner,
+}
+
+#[derive(Debug, Clone)]
+enum TokenInner {
+    Shared(Arc<AtomicBool>),
+    Static(&'static AtomicBool),
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> CancelToken {
+        CancelToken { inner: TokenInner::Shared(Arc::new(AtomicBool::new(false))) }
+    }
+
+    /// Wraps a `'static` flag (e.g. one set by a signal handler).
+    #[must_use]
+    pub fn from_static(flag: &'static AtomicBool) -> CancelToken {
+        CancelToken { inner: TokenInner::Static(flag) }
+    }
+
+    /// Requests cancellation; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag().store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag().load(Ordering::SeqCst)
+    }
+
+    fn flag(&self) -> &AtomicBool {
+        match &self.inner {
+            TokenInner::Shared(arc) => arc,
+            TokenInner::Static(flag) => flag,
+        }
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> CancelToken {
+        CancelToken::new()
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &CancelToken) -> bool {
+        match (&self.inner, &other.inner) {
+            (TokenInner::Shared(a), TokenInner::Shared(b)) => Arc::ptr_eq(a, b),
+            (TokenInner::Static(a), TokenInner::Static(b)) => std::ptr::eq(*a, *b),
+            _ => false,
+        }
+    }
+}
+
+/// Declarative execution budget for a partitioning run.
+///
+/// The default is unlimited: every field `None` costs exactly one branch
+/// per pass/peel boundary and never reads the clock.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunBudget {
+    /// Wall-clock deadline measured from the start of the run.
+    pub deadline: Option<Duration>,
+    /// Maximum number of FM passes across the whole run.
+    pub max_passes: Option<u64>,
+    /// Maximum number of applied moves across the whole run (enforced
+    /// at the next pass boundary, so a pass in flight completes).
+    pub max_moves: Option<u64>,
+    /// Cooperative cancellation flag shared with the caller.
+    pub cancel: Option<CancelToken>,
+}
+
+impl RunBudget {
+    /// Whether no limit of any kind is configured.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_passes.is_none()
+            && self.max_moves.is_none()
+            && self.cancel.is_none()
+    }
+}
+
+/// A single injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Panic with the given message (exercises panic isolation).
+    Panic(String),
+    /// Sleep for the given duration (exercises deadline handling).
+    Delay(Duration),
+    /// Force the budget to report expiry (deterministic stand-in for a
+    /// wall-clock deadline).
+    ExpireBudget,
+}
+
+/// Deterministic fault-injection schedule, keyed by pass boundary.
+///
+/// Installed through [`crate::FpartConfig`] / [`crate::fm::FmConfig`];
+/// when absent the budget tracker's fast path never looks at it, so
+/// production runs pay nothing (mirroring the zero-overhead obs design).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// When set, the plan only applies to this restart index; other
+    /// restarts run fault-free. `None` applies to every restart (a
+    /// direct, non-restart run counts as restart 0).
+    pub only_restart: Option<usize>,
+    /// `(pass boundary, action)` pairs; boundaries are 1-based counts
+    /// of pass starts within a run. Multiple entries may share a
+    /// boundary and fire in order.
+    pub at_pass: Vec<(u64, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// A plan that panics with `message` at the given pass boundary.
+    #[must_use]
+    pub fn panic_at(pass: u64, message: &str) -> FaultPlan {
+        FaultPlan { only_restart: None, at_pass: vec![(pass, FaultAction::Panic(message.into()))] }
+    }
+
+    /// A plan that sleeps for `delay` at the given pass boundary.
+    #[must_use]
+    pub fn delay_at(pass: u64, delay: Duration) -> FaultPlan {
+        FaultPlan { only_restart: None, at_pass: vec![(pass, FaultAction::Delay(delay))] }
+    }
+
+    /// A plan that forces budget expiry at the given pass boundary.
+    #[must_use]
+    pub fn expire_at(pass: u64) -> FaultPlan {
+        FaultPlan { only_restart: None, at_pass: vec![(pass, FaultAction::ExpireBudget)] }
+    }
+
+    /// Restricts the plan to a single restart index (builder style).
+    #[must_use]
+    pub fn for_only_restart(mut self, restart: usize) -> FaultPlan {
+        self.only_restart = Some(restart);
+        self
+    }
+
+    /// The plan as seen by restart `restart`: `None` when the plan
+    /// targets a different restart, otherwise the schedule itself.
+    #[must_use]
+    pub fn for_restart(&self, restart: usize) -> Option<FaultPlan> {
+        match self.only_restart {
+            Some(only) if only != restart => None,
+            _ => Some(FaultPlan { only_restart: None, at_pass: self.at_pass.clone() }),
+        }
+    }
+}
+
+/// Which limit stopped a run first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StopKind {
+    Cancelled,
+    Deadline,
+    PassBudget,
+    MoveBudget,
+}
+
+/// Per-run budget enforcement state, shared immutably through
+/// [`crate::engine::ImproveContext`] (interior mutability keeps the
+/// engine's borrow structure unchanged).
+///
+/// Each restart builds its own tracker, so parallel restarts never share
+/// mutable state and deterministic merging is preserved.
+#[derive(Debug)]
+pub struct BudgetTracker {
+    /// Fast-path guard: `false` means every check is a single branch.
+    limited: bool,
+    deadline: Option<Instant>,
+    max_passes: Option<u64>,
+    max_moves: Option<u64>,
+    cancel: Option<CancelToken>,
+    faults: Vec<(u64, FaultAction)>,
+    passes: Cell<u64>,
+    moves: Cell<u64>,
+    faults_injected: Cell<u64>,
+    forced_expiry: Cell<bool>,
+    stop: Cell<Option<StopKind>>,
+}
+
+impl BudgetTracker {
+    /// Builds a tracker for one run. The deadline clock starts now; an
+    /// unlimited budget with no faults never reads the clock at all.
+    #[must_use]
+    pub fn new(budget: &RunBudget, faults: Option<FaultPlan>) -> BudgetTracker {
+        let faults = faults.map(|p| p.at_pass).unwrap_or_default();
+        let limited = !budget.is_unlimited() || !faults.is_empty();
+        BudgetTracker {
+            limited,
+            deadline: budget.deadline.map(|d| Instant::now() + d),
+            max_passes: budget.max_passes,
+            max_moves: budget.max_moves,
+            cancel: budget.cancel.clone(),
+            faults,
+            passes: Cell::new(0),
+            moves: Cell::new(0),
+            faults_injected: Cell::new(0),
+            forced_expiry: Cell::new(false),
+            stop: Cell::new(None),
+        }
+    }
+
+    /// A tracker that never stops anything (the default for callers
+    /// that do not thread a budget).
+    #[must_use]
+    pub fn unlimited() -> BudgetTracker {
+        BudgetTracker::new(&RunBudget::default(), None)
+    }
+
+    /// Pass-boundary hook: counts the pass about to start, injects any
+    /// scheduled faults, then evaluates the stop condition. Returns
+    /// `true` when the pass must **not** run.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fault plan schedules [`FaultAction::Panic`] at
+    /// this boundary (that is the point of the hook).
+    pub fn before_pass(&self) -> bool {
+        if !self.limited {
+            return false;
+        }
+        let pass = self.passes.get() + 1;
+        self.passes.set(pass);
+        for (at, action) in &self.faults {
+            if *at != pass {
+                continue;
+            }
+            self.faults_injected.set(self.faults_injected.get() + 1);
+            match action {
+                FaultAction::Panic(message) => panic!("injected fault: {message}"),
+                FaultAction::Delay(delay) => std::thread::sleep(*delay),
+                FaultAction::ExpireBudget => self.forced_expiry.set(true),
+            }
+        }
+        self.evaluate()
+    }
+
+    /// Records `n` applied moves (enforced at the next boundary check).
+    pub fn add_moves(&self, n: u64) {
+        if self.limited {
+            self.moves.set(self.moves.get() + n);
+        }
+    }
+
+    /// Peel-boundary / restart-boundary hook: evaluates the stop
+    /// condition without counting a pass. Returns `true` once stopped.
+    pub fn check(&self) -> bool {
+        if !self.limited {
+            return false;
+        }
+        self.evaluate()
+    }
+
+    /// Whether a stop has already been latched (never un-latches).
+    #[must_use]
+    pub fn stopped(&self) -> bool {
+        self.stop.get().is_some()
+    }
+
+    /// Completion status implied by the latched stop reason.
+    #[must_use]
+    pub fn completion(&self) -> Completion {
+        match self.stop.get() {
+            None => Completion::Complete,
+            Some(StopKind::Cancelled) => Completion::Cancelled,
+            Some(StopKind::Deadline) => Completion::DeadlineExpired,
+            Some(StopKind::PassBudget | StopKind::MoveBudget) => Completion::Degraded,
+        }
+    }
+
+    /// Number of faults injected so far (for the metrics layer).
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.get()
+    }
+
+    /// Pass boundaries crossed so far.
+    #[must_use]
+    pub fn passes(&self) -> u64 {
+        self.passes.get()
+    }
+
+    /// Latches the first limit violated, in severity order (cancel
+    /// before deadline before discrete budgets), and reports whether
+    /// the run must stop.
+    fn evaluate(&self) -> bool {
+        if self.stop.get().is_some() {
+            return true;
+        }
+        let kind = if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            Some(StopKind::Cancelled)
+        } else if self.forced_expiry.get() || self.deadline.is_some_and(|at| Instant::now() >= at) {
+            Some(StopKind::Deadline)
+        } else if self.max_passes.is_some_and(|cap| self.passes.get() > cap) {
+            Some(StopKind::PassBudget)
+        } else if self.max_moves.is_some_and(|cap| self.moves.get() >= cap) {
+            Some(StopKind::MoveBudget)
+        } else {
+            None
+        };
+        self.stop.set(kind);
+        kind.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_tracker_never_stops() {
+        let tracker = BudgetTracker::unlimited();
+        for _ in 0..1000 {
+            assert!(!tracker.before_pass());
+        }
+        assert!(!tracker.check());
+        assert!(!tracker.stopped());
+        assert_eq!(tracker.completion(), Completion::Complete);
+        // The fast path does not even count passes.
+        assert_eq!(tracker.passes(), 0);
+    }
+
+    #[test]
+    fn pass_budget_stops_after_cap() {
+        let budget = RunBudget { max_passes: Some(3), ..RunBudget::default() };
+        let tracker = BudgetTracker::new(&budget, None);
+        assert!(!tracker.before_pass());
+        assert!(!tracker.before_pass());
+        assert!(!tracker.before_pass());
+        assert!(tracker.before_pass(), "fourth pass exceeds the cap");
+        assert_eq!(tracker.completion(), Completion::Degraded);
+        // The stop latches: later checks still report stopped.
+        assert!(tracker.check());
+    }
+
+    #[test]
+    fn move_budget_enforced_at_next_boundary() {
+        let budget = RunBudget { max_moves: Some(10), ..RunBudget::default() };
+        let tracker = BudgetTracker::new(&budget, None);
+        assert!(!tracker.before_pass());
+        tracker.add_moves(10);
+        assert!(tracker.before_pass());
+        assert_eq!(tracker.completion(), Completion::Degraded);
+    }
+
+    #[test]
+    fn cancel_token_is_shared_and_latched() {
+        let token = CancelToken::new();
+        let budget = RunBudget { cancel: Some(token.clone()), ..RunBudget::default() };
+        let tracker = BudgetTracker::new(&budget, None);
+        assert!(!tracker.check());
+        token.cancel();
+        assert!(tracker.check());
+        assert_eq!(tracker.completion(), Completion::Cancelled);
+    }
+
+    #[test]
+    fn cancel_token_equality_is_pointer_identity() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        let c = CancelToken::new();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn forced_expiry_reports_deadline() {
+        let tracker = BudgetTracker::new(&RunBudget::default(), Some(FaultPlan::expire_at(2)));
+        assert!(!tracker.before_pass());
+        assert!(tracker.before_pass());
+        assert_eq!(tracker.completion(), Completion::DeadlineExpired);
+        assert_eq!(tracker.faults_injected(), 1);
+    }
+
+    #[test]
+    fn injected_panic_fires_at_chosen_boundary() {
+        let tracker =
+            BudgetTracker::new(&RunBudget::default(), Some(FaultPlan::panic_at(2, "boom")));
+        assert!(!tracker.before_pass());
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| tracker.before_pass()))
+            .expect_err("must panic");
+        let message = err.downcast_ref::<String>().expect("string payload");
+        assert!(message.contains("boom"), "{message}");
+    }
+
+    #[test]
+    fn cancel_outranks_deadline() {
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = RunBudget {
+            deadline: Some(Duration::ZERO),
+            cancel: Some(token),
+            ..RunBudget::default()
+        };
+        let tracker = BudgetTracker::new(&budget, None);
+        assert!(tracker.check());
+        assert_eq!(tracker.completion(), Completion::Cancelled);
+    }
+
+    #[test]
+    fn fault_plan_restart_filtering() {
+        let plan = FaultPlan::panic_at(1, "x").for_only_restart(2);
+        assert!(plan.for_restart(0).is_none());
+        assert!(plan.for_restart(1).is_none());
+        let own = plan.for_restart(2).expect("applies to restart 2");
+        assert_eq!(own.only_restart, None);
+        assert_eq!(own.at_pass.len(), 1);
+
+        let broadcast = FaultPlan::expire_at(3);
+        assert!(broadcast.for_restart(0).is_some());
+        assert!(broadcast.for_restart(7).is_some());
+    }
+
+    #[test]
+    fn completion_merge_severity() {
+        use Completion::{Cancelled, Complete, DeadlineExpired, Degraded};
+        assert_eq!(Complete.worst(Degraded), Degraded);
+        assert_eq!(Degraded.worst(Complete), Degraded);
+        assert_eq!(DeadlineExpired.worst(Degraded), DeadlineExpired);
+        assert_eq!(Cancelled.worst(DeadlineExpired), Cancelled);
+        assert_eq!(Complete.worst(Complete), Complete);
+    }
+}

@@ -122,6 +122,13 @@ pub struct FpartConfig {
     pub max_iterations_factor: usize,
     /// Seed for the (rare) randomized tie-breaks in initial partitioning.
     pub seed: u64,
+    /// Execution budget (deadline, pass/move caps, cancel token) checked
+    /// cooperatively at pass and peel boundaries. The default is
+    /// unlimited and costs one branch per boundary.
+    pub budget: crate::budget::RunBudget,
+    /// Deterministic fault-injection schedule for robustness testing.
+    /// `None` (the default) compiles down to a no-op branch.
+    pub fault_plan: Option<crate::budget::FaultPlan>,
 }
 
 impl Default for FpartConfig {
@@ -150,6 +157,8 @@ impl Default for FpartConfig {
             repair_violators: true,
             max_iterations_factor: 4,
             seed: 0xF9A7,
+            budget: crate::budget::RunBudget::default(),
+            fault_plan: None,
         }
     }
 }

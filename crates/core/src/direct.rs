@@ -104,6 +104,7 @@ pub fn partition_direct(
             started.elapsed(),
             Trace::disabled(),
             crate::obs::Metrics::disabled(),
+            crate::budget::Completion::Complete,
         ));
     }
     let evaluator = CostEvaluator::new(constraints, config, m, graph.terminal_count());
@@ -120,6 +121,7 @@ pub fn partition_direct(
                 config,
                 remainder: NO_REMAINDER,
                 minimum_reached: true,
+                budget: None,
             };
             improve(&mut state, &all, &ctx);
         }
@@ -139,6 +141,7 @@ pub fn partition_direct(
                 started.elapsed(),
                 Trace::disabled(),
                 crate::obs::Metrics::disabled(),
+                crate::budget::Completion::Complete,
             ));
         }
     }

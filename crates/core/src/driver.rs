@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 use fpart_device::{lower_bound, BlockUsage, DeviceConstraints};
 use fpart_hypergraph::{Hypergraph, NodeId};
 
+use crate::budget::{BudgetTracker, Completion};
 use crate::config::FpartConfig;
 use crate::cost::{classify, CostEvaluator};
 use crate::engine::{improve_metered, ImproveContext, ImproveStats};
@@ -49,6 +50,20 @@ pub enum PartitionError {
         /// Iterations executed before giving up.
         iterations: usize,
     },
+    /// A search parameter is invalid (e.g. zero restarts or threads),
+    /// detected up front instead of relying on downstream clamping.
+    InvalidConfig {
+        /// What is wrong, in plain words.
+        what: &'static str,
+    },
+    /// Every restart of a multi-run search panicked; the first panic is
+    /// reported (single restart survivors always win over panics).
+    RestartPanicked {
+        /// Restart index of the first panic.
+        restart: usize,
+        /// Recovered panic message.
+        message: String,
+    },
 }
 
 impl fmt::Display for PartitionError {
@@ -59,6 +74,12 @@ impl fmt::Display for PartitionError {
             }
             PartitionError::IterationLimit { iterations } => {
                 write!(f, "no feasible partition found within {iterations} peeling iterations")
+            }
+            PartitionError::InvalidConfig { what } => {
+                write!(f, "invalid configuration: {what}")
+            }
+            PartitionError::RestartPanicked { restart, message } => {
+                write!(f, "every restart failed; restart {restart} panicked: {message}")
             }
         }
     }
@@ -107,6 +128,10 @@ pub struct PartitionOutcome {
     /// Engine metrics of the run (all zero unless recording was enabled
     /// via [`partition_observed`] or [`partition_restarts_observed`]).
     pub metrics: Metrics,
+    /// How the run ended: [`Completion::Complete`] for a natural finish,
+    /// otherwise the budget limit or degradation that cut it short (the
+    /// outcome is then the best solution seen before the stop).
+    pub completion: Completion,
 }
 
 impl PartitionOutcome {
@@ -162,10 +187,18 @@ pub fn partition(
 /// deterministic default configuration all restarts coincide and the
 /// first one wins.
 ///
+/// Restarts are panic-isolated: a restart that panics (a bug, or an
+/// injected fault) is dropped and the survivors still reduce in restart
+/// order; the search only errors when *every* restart fails. A search
+/// that lost restarts reports [`Completion::Degraded`] (or worse) on the
+/// winning outcome.
+///
 /// # Errors
 ///
-/// Returns the first restart's error when *every* restart fails; any
-/// successful restart wins over any error.
+/// Returns [`PartitionError::InvalidConfig`] when `restarts` or
+/// `threads` is zero, the first restart's typed error when every restart
+/// fails, and [`PartitionError::RestartPanicked`] when every restart
+/// panicked.
 pub fn partition_restarts(
     graph: &Hypergraph,
     constraints: DeviceConstraints,
@@ -173,13 +206,55 @@ pub fn partition_restarts(
     restarts: usize,
     threads: usize,
 ) -> Result<PartitionOutcome, PartitionError> {
-    let restarts = restarts.max(1);
+    validate_search(restarts, threads)?;
     let job = |i: usize| {
-        let cfg = FpartConfig { seed: config.seed.wrapping_add(i as u64), ..config.clone() };
+        let cfg = restart_config(config, i);
         partition(graph, constraints, &cfg)
     };
-    let results = crate::parallel::run_indexed(restarts, threads, &job);
-    reduce_outcomes(results)
+    let results = crate::parallel::run_indexed_caught(restarts, threads, &job);
+    let mut outcomes = Vec::with_capacity(results.len());
+    let mut panics = Vec::new();
+    for result in results {
+        match result {
+            Ok(outcome) => outcomes.push(outcome),
+            Err(panic) => panics.push(panic),
+        }
+    }
+    if outcomes.is_empty() {
+        let first = panics.into_iter().next().expect("at least one restart executes");
+        return Err(PartitionError::RestartPanicked {
+            restart: first.index,
+            message: first.message,
+        });
+    }
+    let lost_restarts = !panics.is_empty();
+    reduce_outcomes(outcomes).map(|mut outcome| {
+        if lost_restarts {
+            outcome.completion = outcome.completion.worst(Completion::Degraded);
+        }
+        outcome
+    })
+}
+
+/// Rejects zero restart/thread counts up front with a typed error.
+fn validate_search(restarts: usize, threads: usize) -> Result<(), PartitionError> {
+    if restarts == 0 {
+        return Err(PartitionError::InvalidConfig { what: "restarts must be at least 1" });
+    }
+    if threads == 0 {
+        return Err(PartitionError::InvalidConfig { what: "threads must be at least 1" });
+    }
+    Ok(())
+}
+
+/// The configuration restart `i` runs under: a diversified seed, and the
+/// fault plan only if it targets this restart.
+fn restart_config(config: &FpartConfig, i: usize) -> FpartConfig {
+    FpartConfig {
+        seed: config.seed.wrapping_add(i as u64),
+        fault_plan: config.fault_plan.as_ref().and_then(|p| p.for_restart(i)),
+        ..config.clone()
+    }
 }
 
 /// Picks the best outcome from completed restarts, in restart order:
@@ -227,9 +302,26 @@ pub struct RestartsReport {
     /// All restarts' metrics merged in restart-index order — identical
     /// for every thread count.
     pub totals: Metrics,
-    /// Each restart's metrics, indexed by restart. Failed restarts keep
-    /// the counts they accumulated before erroring out.
+    /// Each restart's metrics, indexed by restart. A restart that
+    /// returned a typed error keeps the counts it accumulated before
+    /// erroring out; a restart lost to a panic is represented by a
+    /// synthesized registry with one `failed_restarts` count (so the
+    /// totals stay the field-wise per-restart sums).
     pub per_restart: Vec<Metrics>,
+    /// How the search ended: the winning restart's own completion,
+    /// degraded further when any restart was lost to a panic.
+    pub completion: Completion,
+    /// Restarts lost to isolated panics, in restart-index order.
+    pub failed: Vec<FailedRestart>,
+}
+
+/// A restart that panicked and was dropped from the reduction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailedRestart {
+    /// Restart index of the lost run.
+    pub restart: usize,
+    /// Recovered panic payload (message).
+    pub message: String,
 }
 
 /// [`partition_restarts`] with per-restart metrics recording and a
@@ -243,8 +335,9 @@ pub struct RestartsReport {
 ///
 /// # Errors
 ///
-/// Same contract as [`partition_restarts`]: the first restart's error is
-/// returned only when every restart fails.
+/// Same contract as [`partition_restarts`]: a typed config error for
+/// zero restart/thread counts, otherwise an error only when every
+/// restart fails.
 pub fn partition_restarts_observed(
     graph: &Hypergraph,
     constraints: DeviceConstraints,
@@ -252,26 +345,53 @@ pub fn partition_restarts_observed(
     restarts: usize,
     threads: usize,
 ) -> Result<RestartsReport, PartitionError> {
-    let restarts = restarts.max(1);
+    validate_search(restarts, threads)?;
     let job = |i: usize| {
-        let cfg = FpartConfig { seed: config.seed.wrapping_add(i as u64), ..config.clone() };
+        let cfg = restart_config(config, i);
         let mut obs = Observer::new(Metrics::enabled(), None);
         let result = partition_observed(graph, constraints, &cfg, &mut obs);
         let mut metrics = obs.metrics;
         metrics.bump(Counter::Runs);
         (result, metrics)
     };
-    let results = crate::parallel::run_indexed(restarts, threads, &job);
+    let results = crate::parallel::run_indexed_caught(restarts, threads, &job);
 
     let mut totals = Metrics::enabled();
     let mut per_restart = Vec::with_capacity(results.len());
     let mut outcomes = Vec::with_capacity(results.len());
-    for (result, metrics) in results {
-        totals.merge(&metrics);
-        per_restart.push(metrics);
-        outcomes.push(result);
+    let mut failed = Vec::new();
+    for result in results {
+        match result {
+            Ok((result, metrics)) => {
+                totals.merge(&metrics);
+                per_restart.push(metrics);
+                outcomes.push(result);
+            }
+            Err(panic) => {
+                // Synthesize the lost restart's registry so the totals
+                // keep equalling the field-wise per-restart sums.
+                let mut metrics = Metrics::enabled();
+                metrics.bump(Counter::FailedRestarts);
+                totals.merge(&metrics);
+                per_restart.push(metrics);
+                failed.push(FailedRestart { restart: panic.index, message: panic.message });
+            }
+        }
     }
-    reduce_outcomes(outcomes).map(|outcome| RestartsReport { outcome, totals, per_restart })
+    if outcomes.is_empty() {
+        let first = failed.into_iter().next().expect("at least one restart executes");
+        return Err(PartitionError::RestartPanicked {
+            restart: first.restart,
+            message: first.message,
+        });
+    }
+    reduce_outcomes(outcomes).map(|outcome| {
+        let mut completion = outcome.completion;
+        if !failed.is_empty() {
+            completion = completion.worst(Completion::Degraded);
+        }
+        RestartsReport { outcome, totals, per_restart, completion, failed }
+    })
 }
 
 /// Like [`partition`], optionally recording a full execution trace.
@@ -333,6 +453,7 @@ pub fn partition_observed(
             elapsed: start.elapsed(),
             trace: Trace::disabled(),
             metrics: obs.metrics.clone(),
+            completion: Completion::Complete,
         });
     }
     for v in graph.node_ids() {
@@ -350,6 +471,14 @@ pub fn partition_observed(
     let mut total_moves = 0usize;
     let iteration_cap = m * config.max_iterations_factor + 32;
 
+    // Execution budget for this run: a direct call counts as restart 0
+    // for fault-plan targeting. Unlimited budgets cost one branch per
+    // pass/peel boundary and never read the clock.
+    let tracker = BudgetTracker::new(
+        &config.budget,
+        config.fault_plan.as_ref().and_then(|plan| plan.for_restart(0)),
+    );
+
     // The loop runs until the whole partition is feasible. Normally the
     // remainder is the only violator and becomes feasible last; but an
     // improvement pass may empty the remainder into a block that then
@@ -358,6 +487,12 @@ pub fn partition_observed(
     // gets re-designated and split further (the greedy baseline instead
     // stops when the original remainder fits).
     while let Some(violator) = next_remainder(&state, &evaluator, config) {
+        // Peel boundary: a stopped budget ends the loop cleanly; the
+        // state already holds the best solution of every improve call,
+        // so whatever has been peeled so far is returned as-is.
+        if tracker.check() {
+            break;
+        }
         let remainder = violator;
         iterations += 1;
         if iterations > iteration_cap {
@@ -375,6 +510,7 @@ pub fn partition_observed(
             config,
             remainder,
             minimum_reached: iterations > m,
+            budget: Some(&tracker),
         };
 
         let p = state.add_block();
@@ -461,6 +597,10 @@ pub fn partition_observed(
         });
     }
 
+    if tracker.stopped() {
+        obs.metrics.bump(Counter::BudgetStops);
+    }
+    obs.metrics.add(Counter::FaultsInjected, tracker.faults_injected());
     Ok(assemble_outcome(
         graph,
         &state,
@@ -472,6 +612,7 @@ pub fn partition_observed(
         start.elapsed(),
         Trace::disabled(),
         obs.metrics.clone(),
+        tracker.completion(),
     ))
 }
 
@@ -545,6 +686,7 @@ pub(crate) fn assemble_outcome(
     elapsed: Duration,
     trace: Trace,
     metrics: Metrics,
+    completion: Completion,
 ) -> PartitionOutcome {
     let k = state.block_count();
     let mut dense = vec![u32::MAX; k];
@@ -577,6 +719,7 @@ pub(crate) fn assemble_outcome(
         elapsed,
         trace,
         metrics,
+        completion,
     }
 }
 

@@ -51,6 +51,10 @@ pub struct ImproveContext<'c> {
     /// `true` once the iteration count has exceeded the lower bound `M`
     /// (disables size-violating moves, §3.5).
     pub minimum_reached: bool,
+    /// Execution budget for this run, checked at every pass boundary
+    /// (including before the first pass) and before each stack-restart
+    /// series. `None` means unlimited and costs one branch per boundary.
+    pub budget: Option<&'c crate::budget::BudgetTracker>,
 }
 
 /// Statistics of one improvement call.
@@ -616,10 +620,19 @@ fn run_series(
     let mut passes = 0usize;
     let mut moves = 0usize;
     loop {
+        // Budget boundary: checked before *every* pass (including the
+        // first), so a stopped run performs no further passes and a
+        // deadline overruns by at most the pass already in flight.
+        if ctx.budget.is_some_and(super::budget::BudgetTracker::before_pass) {
+            return (passes, moves);
+        }
         let (improved, pass_moves, _) =
             run_pass(state, cells, ctx, active, stacks.as_deref_mut(), metrics);
         passes += 1;
         moves += pass_moves;
+        if let Some(budget) = ctx.budget {
+            budget.add_moves(pass_moves as u64);
+        }
         if !improved || passes >= ctx.config.max_passes {
             return (passes, moves);
         }
@@ -693,6 +706,11 @@ pub fn improve_metered(
     if let Some(stacks) = stacks {
         let candidates: Vec<Vec<u32>> = stacks.iter().map(|(_, s)| s.clone()).collect();
         for snapshot in candidates {
+            // Budget boundary: a stopped run restarts no further stack
+            // candidates (the best solution so far is kept below).
+            if ctx.budget.is_some_and(crate::budget::BudgetTracker::check) {
+                break;
+            }
             restore(state, &cells, &snapshot);
             let (p, m) = run_series(state, &cells, ctx, active, None, metrics);
             passes += p;
@@ -733,7 +751,7 @@ mod tests {
         config: &'c FpartConfig,
         remainder: usize,
     ) -> ImproveContext<'c> {
-        ImproveContext { evaluator, config, remainder, minimum_reached: false }
+        ImproveContext { evaluator, config, remainder, minimum_reached: false, budget: None }
     }
 
     /// Two dense 4-cliques joined by one net; a bad split should be fixed.

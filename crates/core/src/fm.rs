@@ -37,6 +37,11 @@ pub struct FmConfig {
     pub threads: usize,
     /// Seed for the initial splits.
     pub seed: u64,
+    /// Execution budget shared by all runs (each run enforces it with
+    /// its own tracker). Unlimited by default.
+    pub budget: crate::budget::RunBudget,
+    /// Deterministic fault-injection schedule; `None` is a no-op branch.
+    pub fault_plan: Option<crate::budget::FaultPlan>,
 }
 
 impl Default for FmConfig {
@@ -48,6 +53,8 @@ impl Default for FmConfig {
             runs: 2,
             threads: 1,
             seed: 0xF11,
+            budget: crate::budget::RunBudget::default(),
+            fault_plan: None,
         }
     }
 }
@@ -158,8 +165,15 @@ pub fn bipartition_fm_metered(
 
     // One fully deterministic run per index: nothing here depends on
     // execution order, so the runs parallelize without changing results.
+    // Each run enforces the shared budget with its own tracker (checked
+    // at the engine's pass boundaries) and is panic-isolated: a run lost
+    // to a panic is dropped from the reduction below.
     let run_one = |run: usize, metrics: &mut Metrics| -> Bipartition {
         metrics.bump(Counter::Runs);
+        let budget = crate::budget::BudgetTracker::new(
+            &config.budget,
+            config.fault_plan.as_ref().and_then(|plan| plan.for_restart(run)),
+        );
         let assignment = initial_split(graph, config.seed.wrapping_add(run as u64), cap);
         let mut state = PartitionState::from_assignment(graph, assignment, 2);
         let ctx = ImproveContext {
@@ -167,8 +181,13 @@ pub fn bipartition_fm_metered(
             config: &engine_config,
             remainder: NO_REMAINDER,
             minimum_reached: false,
+            budget: Some(&budget),
         };
         improve_metered(&mut state, &[0, 1], &ctx, metrics);
+        if budget.stopped() {
+            metrics.bump(Counter::BudgetStops);
+        }
+        metrics.add(Counter::FaultsInjected, budget.faults_injected());
         Bipartition {
             side: state.assignment().to_vec(),
             cut: state.cut_count(),
@@ -176,14 +195,28 @@ pub fn bipartition_fm_metered(
             size1: state.block_size(1),
         }
     };
-    let candidates =
-        crate::parallel::run_indexed_metered(config.runs.max(1), config.threads, metrics, &run_one);
+    let candidates = crate::parallel::run_indexed_caught_metered(
+        config.runs.max(1),
+        config.threads,
+        metrics,
+        &run_one,
+    );
 
     // Sequential reduction in run order — the same strict-improvement
     // fold the single-threaded loop performs, so ties keep favouring the
-    // earliest run regardless of thread count.
+    // earliest run regardless of thread count. Panicked runs are skipped
+    // (the fold errors only when every run was lost).
     let mut best: Option<Bipartition> = None;
+    let mut first_panic: Option<crate::parallel::JobPanic> = None;
     for candidate in candidates {
+        let candidate = match candidate {
+            Ok(candidate) => candidate,
+            Err(panic) => {
+                metrics.bump(Counter::FailedRestarts);
+                first_panic.get_or_insert(panic);
+                continue;
+            }
+        };
         let in_balance = candidate.size0.max(candidate.size1) <= cap;
         let better = match &best {
             None => true,
@@ -197,7 +230,13 @@ pub fn bipartition_fm_metered(
             best = Some(candidate);
         }
     }
-    best.expect("at least one run executes")
+    match (best, first_panic) {
+        (Some(best), _) => best,
+        (None, Some(panic)) => {
+            panic!("every bipartition run panicked; run {} first: {}", panic.index, panic.message)
+        }
+        (None, None) => unreachable!("at least one run executes"),
+    }
 }
 
 /// BFS-based initial split: grow side 0 from a seed until half the total

@@ -139,8 +139,13 @@ pub fn partition_hetero(
             let constraints = priced.device.constraints(delta);
             let m = fpart_device::lower_bound(graph, constraints).max(1);
             let evaluator = CostEvaluator::new(constraints, config, m, graph.terminal_count());
-            let ctx =
-                ImproveContext { evaluator: &evaluator, config, remainder, minimum_reached: false };
+            let ctx = ImproveContext {
+                evaluator: &evaluator,
+                config,
+                remainder,
+                minimum_reached: false,
+                budget: None,
+            };
             bipartition_remainder(&mut state, remainder, p, &ctx);
             let usage = state.block_usage(p);
             // Undo the audition peel.
@@ -167,6 +172,7 @@ pub fn partition_hetero(
             config,
             remainder,
             minimum_reached: iterations > m,
+            budget: None,
         };
         bipartition_remainder(&mut state, remainder, p, &ctx);
         improve(&mut state, &[remainder, p], &ctx);

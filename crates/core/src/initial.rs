@@ -680,7 +680,7 @@ mod tests {
         config: &'c FpartConfig,
         remainder: usize,
     ) -> ImproveContext<'c> {
-        ImproveContext { evaluator, config, remainder, minimum_reached: false }
+        ImproveContext { evaluator, config, remainder, minimum_reached: false, budget: None }
     }
 
     #[test]

@@ -61,6 +61,7 @@
 
 pub mod assignment;
 pub mod bucket;
+pub mod budget;
 pub mod config;
 pub mod constraints;
 pub mod cost;
@@ -83,12 +84,13 @@ pub mod trace;
 pub mod verify;
 
 pub use assignment::{read_assignment, write_assignment, ReadAssignmentError};
+pub use budget::{BudgetTracker, CancelToken, Completion, FaultAction, FaultPlan, RunBudget};
 pub use config::FpartConfig;
 pub use cost::{classify, CostEvaluator, FeasibilityClass, KeyTracker, SolutionKey};
 pub use direct::{partition_direct, DirectConfig};
 pub use driver::{
     partition, partition_observed, partition_restarts, partition_restarts_observed,
-    partition_traced, BlockReport, PartitionError, PartitionOutcome, RestartsReport,
+    partition_traced, BlockReport, FailedRestart, PartitionError, PartitionOutcome, RestartsReport,
 };
 pub use engine::{improve, improve_metered, ImproveContext, ImproveStats, NO_REMAINDER};
 pub use hetero::{partition_hetero, HeteroOutcome};

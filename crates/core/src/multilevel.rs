@@ -142,6 +142,7 @@ pub fn partition_multilevel(
         started.elapsed(),
         Trace::disabled(),
         crate::obs::Metrics::disabled(),
+        coarse_outcome.completion,
     );
     Ok(outcome)
 }

@@ -34,7 +34,7 @@ use crate::trace::{ImproveKind, TraceEvent};
 /// Schema version of every machine-readable document this module emits
 /// (the CLI `--metrics` file, the JSONL trace, `BENCH_*.json`). Bump it
 /// whenever a field is renamed, removed, or changes meaning.
-pub const SCHEMA_VERSION: u32 = 2;
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// The named engine counters. Every counter is a monotonically
 /// increasing `u64`; [`Counter::name`] is the stable `snake_case` key used
@@ -64,11 +64,18 @@ pub enum Counter {
     Bipartitions,
     /// Independent runs/restarts aggregated into this registry.
     Runs,
+    /// Runs stopped early by a budget (deadline, cancel, pass/move cap).
+    BudgetStops,
+    /// Faults injected by an installed [`crate::FaultPlan`] (panicking
+    /// faults are counted on the surviving side as failed restarts).
+    FaultsInjected,
+    /// Restarts lost to an isolated panic.
+    FailedRestarts,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 11] = [
+    pub const ALL: [Counter; 14] = [
         Counter::Passes,
         Counter::MovesApplied,
         Counter::MovesReverted,
@@ -80,6 +87,9 @@ impl Counter {
         Counter::Iterations,
         Counter::Bipartitions,
         Counter::Runs,
+        Counter::BudgetStops,
+        Counter::FaultsInjected,
+        Counter::FailedRestarts,
     ];
 
     /// Stable `snake_case` key of this counter in serialized metrics.
@@ -97,6 +107,9 @@ impl Counter {
             Counter::Iterations => "iterations",
             Counter::Bipartitions => "bipartitions",
             Counter::Runs => "runs",
+            Counter::BudgetStops => "budget_stops",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::FailedRestarts => "failed_restarts",
         }
     }
 }

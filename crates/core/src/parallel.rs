@@ -97,6 +97,81 @@ pub fn run_indexed_metered<T: Send>(
     out
 }
 
+/// A job that panicked inside a caught fan-out.
+///
+/// The payload message is recovered when the panic carried a `String` or
+/// `&str` (the common `panic!("...")` cases); anything else is reported
+/// as an opaque payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// Index of the job that panicked.
+    pub index: usize,
+    /// Recovered panic message.
+    pub message: String,
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// [`run_indexed`] with per-job panic isolation: a panicking job yields
+/// `Err(JobPanic)` in its slot instead of poisoning the whole fan-out,
+/// and the surviving results still come back in job-index order, so any
+/// reduction over them stays bit-identical at every thread count.
+///
+/// The panic is caught *inside* the worker closure (a panic escaping a
+/// scoped thread would otherwise resurface at the scope join); the
+/// default panic hook still prints the payload, so callers that want
+/// quiet output should announce the isolation in their logs.
+#[must_use]
+pub fn run_indexed_caught<T: Send>(
+    count: usize,
+    threads: usize,
+    job: &(dyn Fn(usize) -> T + Sync),
+) -> Vec<Result<T, JobPanic>> {
+    run_indexed(count, threads, &|i| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(i)))
+            .map_err(|payload| JobPanic { index: i, message: panic_message(payload.as_ref()) })
+    })
+}
+
+/// [`run_indexed_metered`] with per-job panic isolation.
+///
+/// Surviving jobs merge their forked metrics children back into
+/// `metrics` in job-index order exactly like [`run_indexed_metered`]; a
+/// panicked job contributes nothing here (the caller decides how to
+/// account for it, e.g. by synthesizing a placeholder registry).
+#[must_use]
+pub fn run_indexed_caught_metered<T: Send>(
+    count: usize,
+    threads: usize,
+    metrics: &mut crate::obs::Metrics,
+    job: &(dyn Fn(usize, &mut crate::obs::Metrics) -> T + Sync),
+) -> Vec<Result<T, JobPanic>> {
+    let seed = metrics.fork();
+    let wrapped = |i: usize| {
+        let mut child = seed.fork();
+        let out = job(i, &mut child);
+        (out, child)
+    };
+    run_indexed_caught(count, threads, &wrapped)
+        .into_iter()
+        .map(|result| match result {
+            Ok((value, child)) => {
+                metrics.merge(&child);
+                Ok(value)
+            }
+            Err(panic) => Err(panic),
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +209,63 @@ mod tests {
         }
         assert_eq!(seq_metrics.get(Counter::Runs), 9);
         assert_eq!(seq_metrics.get(Counter::MovesApplied), (1..=9).map(|i| i * 3).sum::<u64>());
+    }
+
+    /// Silences the default panic hook for the duration of a closure so
+    /// intentional panics do not spam the test output. Serialized by a
+    /// mutex: the hook is process-global.
+    fn with_quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+        static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = HOOK_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let out = f();
+        std::panic::set_hook(hook);
+        out
+    }
+
+    #[test]
+    fn caught_jobs_survive_panics_in_order() {
+        with_quiet_panics(|| {
+            for threads in [1usize, 2, 4] {
+                let results = run_indexed_caught(6, threads, &|i| {
+                    assert!(i != 2 && i != 4, "job {i} exploded");
+                    i * 10
+                });
+                assert_eq!(results.len(), 6, "threads={threads}");
+                for (i, result) in results.iter().enumerate() {
+                    if i == 2 || i == 4 {
+                        let panic = result.as_ref().expect_err("job panicked");
+                        assert_eq!(panic.index, i);
+                        assert!(panic.message.contains("exploded"), "{}", panic.message);
+                    } else {
+                        assert_eq!(result.as_ref().unwrap(), &(i * 10));
+                    }
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn caught_metered_merges_only_survivors() {
+        with_quiet_panics(|| {
+            let run = |threads: usize| {
+                let mut metrics = Metrics::enabled();
+                let results = run_indexed_caught_metered(5, threads, &mut metrics, &|i, m| {
+                    m.bump(Counter::Runs);
+                    assert!(i != 3, "boom");
+                    i
+                });
+                (results, metrics)
+            };
+            let (seq_results, seq_metrics) = run(1);
+            assert_eq!(seq_metrics.get(Counter::Runs), 4, "panicked job must not merge");
+            for threads in [2, 4] {
+                let (results, metrics) = run(threads);
+                assert_eq!(results, seq_results, "threads={threads}");
+                assert_eq!(metrics, seq_metrics, "threads={threads}");
+            }
+        });
     }
 
     #[test]

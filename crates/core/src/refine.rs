@@ -58,6 +58,7 @@ pub fn refine_pairs(
                 config,
                 remainder: NO_REMAINDER,
                 minimum_reached: true, // strict S_MAX cap during refinement
+                budget: None,
             };
             let stats = improve(state, &[a, b], &ctx);
             if stats.final_key.better_than(&stats.initial_key) {

@@ -243,6 +243,7 @@ mod tests {
             elapsed: std::time::Duration::ZERO,
             trace: crate::Trace::disabled(),
             metrics: crate::obs::Metrics::disabled(),
+            completion: crate::budget::Completion::Complete,
         }
     }
 

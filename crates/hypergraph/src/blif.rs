@@ -36,10 +36,7 @@ pub fn read_blif<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> {
     let mut pending: Option<(usize, String)> = None;
     for (idx, line) in BufReader::new(reader).lines().enumerate() {
         let line_no = idx + 1;
-        let line = line.map_err(|_| ParseNetlistError::MalformedRecord {
-            line: line_no,
-            expected: "valid UTF-8 text",
-        })?;
+        let line = line.map_err(|_| ParseNetlistError::NotUtf8 { line: line_no })?;
         let without_comment = match line.find('#') {
             Some(pos) => &line[..pos],
             None => &line[..],
@@ -164,7 +161,9 @@ pub fn read_blif<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> {
     }
 
     // Build: one node per element; one net per signal with consumers.
-    let mut builder = HypergraphBuilder::named(model_name);
+    // Strict duplicate-name checking: a signal listed twice in
+    // `.inputs`/`.outputs` is an input error, not two identical pads.
+    let mut builder = HypergraphBuilder::named(model_name).check_duplicate_names(true);
     let mut driver_of: HashMap<&str, NodeId> = HashMap::new();
     let mut nodes = Vec::with_capacity(elements.len());
     for (idx, element) in elements.iter().enumerate() {

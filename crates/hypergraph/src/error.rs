@@ -95,6 +95,30 @@ pub enum ParseNetlistError {
         /// The unresolved name.
         name: String,
     },
+    /// A field was present but could not be parsed as what the format
+    /// requires at that position.
+    InvalidToken {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column (in characters) where the token starts.
+        column: usize,
+        /// Description of what was expected.
+        expected: &'static str,
+        /// The offending token text.
+        found: String,
+    },
+    /// The file ended while more records were still required.
+    UnexpectedEnd {
+        /// 1-based line number of the end of the file.
+        line: usize,
+        /// Description of what was still expected.
+        expected: &'static str,
+    },
+    /// A line contained bytes that are not valid UTF-8.
+    NotUtf8 {
+        /// 1-based line number.
+        line: usize,
+    },
     /// The parsed netlist failed structural validation.
     Build(BuildError),
 }
@@ -110,6 +134,15 @@ impl fmt::Display for ParseNetlistError {
             }
             ParseNetlistError::UnknownName { line, name } => {
                 write!(f, "line {line}: reference to undeclared name `{name}`")
+            }
+            ParseNetlistError::InvalidToken { line, column, expected, found } => {
+                write!(f, "line {line}, column {column}: expected {expected}, found `{found}`")
+            }
+            ParseNetlistError::UnexpectedEnd { line, expected } => {
+                write!(f, "line {line}: file ended but {expected} was still expected")
+            }
+            ParseNetlistError::NotUtf8 { line } => {
+                write!(f, "line {line}: not valid UTF-8")
             }
             ParseNetlistError::Build(e) => write!(f, "netlist validation failed: {e}"),
         }
@@ -141,6 +174,21 @@ mod tests {
         assert_eq!(e.to_string(), "net `n7` has no pins");
         let p = ParseNetlistError::UnknownName { line: 3, name: "zz".into() };
         assert!(p.to_string().starts_with("line 3:"));
+    }
+
+    #[test]
+    fn location_carrying_variants_name_line_and_column() {
+        let e = ParseNetlistError::InvalidToken {
+            line: 4,
+            column: 7,
+            expected: "vertex count",
+            found: "x9".into(),
+        };
+        assert_eq!(e.to_string(), "line 4, column 7: expected vertex count, found `x9`");
+        let e = ParseNetlistError::UnexpectedEnd { line: 2, expected: "one line per hyperedge" };
+        assert!(e.to_string().contains("file ended"));
+        let e = ParseNetlistError::NotUtf8 { line: 9 };
+        assert_eq!(e.to_string(), "line 9: not valid UTF-8");
     }
 
     #[test]

@@ -26,61 +26,112 @@ use crate::error::ParseNetlistError;
 use crate::graph::Hypergraph;
 use crate::ids::NodeId;
 
+/// Whitespace-separated fields of `line`, each with the 1-based column
+/// (counted in characters, matching what an editor displays) where the
+/// field starts.
+fn fields_with_columns(line: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut column = 0usize;
+    let mut start: Option<(usize, usize)> = None; // (column, byte offset)
+    for (byte, ch) in line.char_indices() {
+        column += 1;
+        if ch.is_whitespace() {
+            if let Some((col, at)) = start.take() {
+                out.push((col, &line[at..byte]));
+            }
+        } else if start.is_none() {
+            start = Some((column, byte));
+        }
+    }
+    if let Some((col, at)) = start {
+        out.push((col, &line[at..]));
+    }
+    out
+}
+
+/// Parses the field at `(column, text)` as a number, reporting the exact
+/// location on failure.
+fn parse_field<T: std::str::FromStr>(
+    line: usize,
+    field: (usize, &str),
+    expected: &'static str,
+) -> Result<T, ParseNetlistError> {
+    let (column, text) = field;
+    text.parse().map_err(|_| ParseNetlistError::InvalidToken {
+        line,
+        column,
+        expected,
+        found: text.to_owned(),
+    })
+}
+
 /// Parses an hMETIS `.hgr` hypergraph from any reader.
+///
+/// Every rejection names the exact source location: bad tokens carry
+/// line *and* column, truncated files point past the last line read
+/// (not back at the header), and non-UTF-8 bytes are a typed error
+/// instead of silently dropped lines.
 ///
 /// # Errors
 ///
 /// Returns [`ParseNetlistError`] on malformed headers, vertex indices out
-/// of range, or structural validation failure.
+/// of range, truncated or trailing content, non-UTF-8 bytes, or
+/// structural validation failure.
 pub fn read_hmetis<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> {
-    let mut lines = BufReader::new(reader).lines().enumerate().map(|(i, l)| (i + 1, l));
+    // Collect the trimmed, non-comment data lines up front, remembering
+    // each one's source line and where the file ends, so later errors
+    // can always point at a real location.
+    let mut data: Vec<(usize, String)> = Vec::new();
+    let mut end_line = 1usize;
+    for (idx, line) in BufReader::new(reader).lines().enumerate() {
+        let no = idx + 1;
+        end_line = no;
+        let line = line.map_err(|_| ParseNetlistError::NotUtf8 { line: no })?;
+        let trimmed = line.trim();
+        if !trimmed.is_empty() && !trimmed.starts_with('%') {
+            // Keep the untrimmed text: columns in errors must match the
+            // original file, leading whitespace included.
+            data.push((no, line));
+        }
+    }
+    let mut records = data.iter().map(|(no, line)| (*no, line.as_str()));
 
-    // Header: first non-comment line.
-    let (header_line_no, header) = loop {
-        match lines.next() {
-            Some((no, Ok(line))) => {
-                let trimmed = line.trim().to_owned();
-                if trimmed.is_empty() || trimmed.starts_with('%') {
-                    continue;
-                }
-                break (no, trimmed);
-            }
-            Some((no, Err(_))) => {
-                return Err(ParseNetlistError::MalformedRecord {
-                    line: no,
-                    expected: "valid UTF-8 text",
+    let (header_line_no, header) = records.next().ok_or(ParseNetlistError::UnexpectedEnd {
+        line: end_line,
+        expected: "hMETIS header `<edges> <vertices> [fmt]`",
+    })?;
+    let header_fields = fields_with_columns(header);
+    let count_field = |at: usize, expected: &'static str| {
+        header_fields
+            .get(at)
+            .copied()
+            .ok_or(ParseNetlistError::MalformedRecord { line: header_line_no, expected })
+    };
+    let edges: usize =
+        parse_field(header_line_no, count_field(0, "hyperedge count")?, "hyperedge count")?;
+    let vertices: usize =
+        parse_field(header_line_no, count_field(1, "vertex count")?, "vertex count")?;
+    let fmt: u32 = match header_fields.get(2).copied() {
+        None => 0,
+        Some(field) => {
+            let fmt = parse_field(header_line_no, field, "fmt of 0, 1, 10, or 11")?;
+            if ![0, 1, 10, 11].contains(&fmt) {
+                return Err(ParseNetlistError::InvalidToken {
+                    line: header_line_no,
+                    column: field.0,
+                    expected: "fmt of 0, 1, 10, or 11",
+                    found: field.1.to_owned(),
                 });
             }
-            None => {
-                return Err(ParseNetlistError::MalformedRecord {
-                    line: 1,
-                    expected: "hMETIS header `<edges> <vertices> [fmt]`",
-                });
-            }
+            fmt
         }
     };
-    let mut fields = header.split_whitespace();
-    let edges: usize =
-        fields.next().and_then(|f| f.parse().ok()).ok_or(ParseNetlistError::MalformedRecord {
+    if let Some(&(column, extra)) = header_fields.get(3) {
+        return Err(ParseNetlistError::InvalidToken {
             line: header_line_no,
-            expected: "hyperedge count",
-        })?;
-    let vertices: usize =
-        fields.next().and_then(|f| f.parse().ok()).ok_or(ParseNetlistError::MalformedRecord {
-            line: header_line_no,
-            expected: "vertex count",
-        })?;
-    let fmt: u32 = match fields.next() {
-        None => 0,
-        Some(f) => f.parse().map_err(|_| ParseNetlistError::MalformedRecord {
-            line: header_line_no,
-            expected: "fmt of 0, 1, 10, or 11",
-        })?,
-    };
-    if ![0, 1, 10, 11].contains(&fmt) {
-        return Err(ParseNetlistError::MalformedRecord {
-            line: header_line_no,
-            expected: "fmt of 0, 1, 10, or 11",
+            column,
+            expected: "end of header after `<edges> <vertices> [fmt]`",
+            found: extra.to_owned(),
         });
     }
     let edge_weights = fmt == 1 || fmt == 11;
@@ -89,34 +140,28 @@ pub fn read_hmetis<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> 
     let mut builder = HypergraphBuilder::new();
     let nodes: Vec<NodeId> = (1..=vertices).map(|i| builder.add_node(format!("v{i}"), 1)).collect();
 
-    let mut data_lines = lines.filter_map(|(no, l)| match l {
-        Ok(line) => {
-            let t = line.trim().to_owned();
-            (!t.is_empty() && !t.starts_with('%')).then_some((no, t))
-        }
-        Err(_) => None,
-    });
-
     for e in 0..edges {
-        let (no, line) = data_lines.next().ok_or(ParseNetlistError::MalformedRecord {
-            line: header_line_no,
+        let (no, line) = records.next().ok_or(ParseNetlistError::UnexpectedEnd {
+            line: end_line,
             expected: "one line per hyperedge",
         })?;
-        let mut fields = line.split_whitespace();
-        if edge_weights {
+        let fields = fields_with_columns(line);
+        let pin_fields = if edge_weights {
             // Weight parsed and discarded (unweighted partitioning model).
-            let _ = fields.next().and_then(|f| f.parse::<u64>().ok()).ok_or(
-                ParseNetlistError::MalformedRecord { line: no, expected: "hyperedge weight" },
-            )?;
-        }
-        let mut pins = Vec::new();
-        for f in fields {
-            let idx: usize = f.parse().map_err(|_| ParseNetlistError::MalformedRecord {
+            let weight = fields.first().copied().ok_or(ParseNetlistError::MalformedRecord {
                 line: no,
-                expected: "1-based vertex index",
+                expected: "hyperedge weight",
             })?;
+            let _: u64 = parse_field(no, weight, "hyperedge weight")?;
+            &fields[1..]
+        } else {
+            &fields[..]
+        };
+        let mut pins = Vec::new();
+        for &field in pin_fields {
+            let idx: usize = parse_field(no, field, "1-based vertex index")?;
             if idx == 0 || idx > vertices {
-                return Err(ParseNetlistError::UnknownName { line: no, name: f.to_owned() });
+                return Err(ParseNetlistError::UnknownName { line: no, name: field.1.to_owned() });
             }
             let node = nodes[idx - 1];
             if !pins.contains(&node) {
@@ -127,17 +172,34 @@ pub fn read_hmetis<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> 
     }
 
     if vertex_weights {
-        for (i, &node) in nodes.iter().enumerate() {
-            let (no, line) = data_lines.next().ok_or(ParseNetlistError::MalformedRecord {
-                line: header_line_no,
+        for &node in &nodes {
+            let (no, line) = records.next().ok_or(ParseNetlistError::UnexpectedEnd {
+                line: end_line,
                 expected: "one weight line per vertex",
             })?;
-            let weight: u32 = line.trim().parse().map_err(|_| {
-                ParseNetlistError::MalformedRecord { line: no, expected: "vertex weight" }
+            let fields = fields_with_columns(line);
+            let field = fields.first().copied().ok_or(ParseNetlistError::MalformedRecord {
+                line: no,
+                expected: "vertex weight",
             })?;
-            let _ = i;
+            let weight: u32 = parse_field(no, field, "vertex weight")?;
+            if let Some(&(column, extra)) = fields.get(1) {
+                return Err(ParseNetlistError::InvalidToken {
+                    line: no,
+                    column,
+                    expected: "a single vertex weight per line",
+                    found: extra.to_owned(),
+                });
+            }
             builder.set_node_size(node, weight);
         }
+    }
+
+    if let Some((no, _)) = records.next() {
+        return Err(ParseNetlistError::MalformedRecord {
+            line: no,
+            expected: "end of file after the last record",
+        });
     }
 
     Ok(builder.finish()?)
@@ -255,19 +317,86 @@ mod tests {
     #[test]
     fn rejects_bad_fmt() {
         let err = parse_hmetis("1 2 7\n1 2\n").unwrap_err();
-        assert!(matches!(err, ParseNetlistError::MalformedRecord { .. }));
+        assert_eq!(
+            err,
+            ParseNetlistError::InvalidToken {
+                line: 1,
+                column: 5,
+                expected: "fmt of 0, 1, 10, or 11",
+                found: "7".into(),
+            }
+        );
     }
 
     #[test]
     fn rejects_out_of_range_vertex() {
         let err = parse_hmetis("1 2\n1 5\n").unwrap_err();
-        assert!(matches!(err, ParseNetlistError::UnknownName { .. }));
+        assert_eq!(err, ParseNetlistError::UnknownName { line: 2, name: "5".into() });
     }
 
     #[test]
-    fn rejects_missing_edge_lines() {
+    fn rejects_missing_edge_lines_at_end_of_file() {
+        // A truncated file is reported where it ends, not back at the
+        // header.
         let err = parse_hmetis("3 4\n1 2\n").unwrap_err();
-        assert!(matches!(err, ParseNetlistError::MalformedRecord { .. }));
+        assert_eq!(
+            err,
+            ParseNetlistError::UnexpectedEnd { line: 2, expected: "one line per hyperedge" }
+        );
+    }
+
+    #[test]
+    fn rejects_non_numeric_vertex_with_column() {
+        let err = parse_hmetis("1 4\n1 2 x4\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseNetlistError::InvalidToken {
+                line: 2,
+                column: 5,
+                expected: "1-based vertex index",
+                found: "x4".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn column_accounts_for_leading_and_repeated_whitespace() {
+        // Columns are counted on the original line, tabs and runs of
+        // spaces included.
+        let err = parse_hmetis("1 2\n  1\t \tbad\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseNetlistError::InvalidToken {
+                line: 2,
+                column: 7,
+                expected: "1-based vertex index",
+                found: "bad".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_trailing_data_lines() {
+        let err = parse_hmetis("1 2\n1 2\n1 2\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseNetlistError::MalformedRecord {
+                line: 3,
+                expected: "end of file after the last record",
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_non_utf8_bytes() {
+        let err = read_hmetis(&b"1 2\n1 \xff2\n"[..]).unwrap_err();
+        assert_eq!(err, ParseNetlistError::NotUtf8 { line: 2 });
+    }
+
+    #[test]
+    fn rejects_empty_input_at_line_one() {
+        let err = parse_hmetis("").unwrap_err();
+        assert!(matches!(err, ParseNetlistError::UnexpectedEnd { line: 1, .. }));
     }
 
     #[test]

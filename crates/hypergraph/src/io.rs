@@ -31,16 +31,16 @@ use crate::ids::{NetId, NodeId};
 /// Returns [`ParseNetlistError`] on malformed records, undeclared names, or
 /// structural validation failure.
 pub fn read_netlist<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> {
-    let mut builder = HypergraphBuilder::new();
+    // Files carry user-written names: a duplicate `node` record would
+    // silently shadow the first in the name lookup below, so the strict
+    // builder check is always on here (generators keep it off).
+    let mut builder = HypergraphBuilder::new().check_duplicate_names(true);
     let mut nodes: HashMap<String, NodeId> = HashMap::new();
     let mut nets: HashMap<String, NetId> = HashMap::new();
 
     for (idx, line) in BufReader::new(reader).lines().enumerate() {
         let line_no = idx + 1;
-        let line = line.map_err(|_| ParseNetlistError::MalformedRecord {
-            line: line_no,
-            expected: "valid UTF-8 text",
-        })?;
+        let line = line.map_err(|_| ParseNetlistError::NotUtf8 { line: line_no })?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;

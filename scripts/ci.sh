@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, release build, tests, smoke bench.
+# Local CI gate: formatting, lints, release build, tests, degradation
+# smoke, smoke bench.
 #
 # Usage: scripts/ci.sh [--skip-bench]
 #
@@ -31,25 +32,58 @@ cargo build --release --workspace
 step "cargo test"
 cargo test --workspace -q
 
+step "degradation smoke (50 ms deadline on a large netlist)"
+# A wall-clock budget must yield a *successful* run that says it was cut
+# short: exit 0, a verifiable assignment, and `deadline_expired` in the
+# metrics JSON. The hard timeout guards against the deadline never being
+# checked (the exact failure mode this gate exists to catch).
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/fpart gen rent --nodes 20000 --terminals 600 --seed 42 \
+    --output "$smoke_dir/large.fhg"
+timeout 60 ./target/release/fpart partition "$smoke_dir/large.fhg" \
+    --s-max 400 --t-max 120 --deadline-ms 50 \
+    --output "$smoke_dir/assignment.txt" --metrics "$smoke_dir/metrics.json"
+grep -q '"completion": "deadline_expired"' "$smoke_dir/metrics.json" \
+    || { echo "metrics JSON does not report deadline_expired" >&2; exit 1; }
+# The best-so-far assignment may be infeasible (that is the point of
+# degradation) but must still be structurally verifiable output.
+timeout 60 ./target/release/fpart verify "$smoke_dir/large.fhg" \
+    "$smoke_dir/assignment.txt" --s-max 1000000000 --t-max 1000000000
+# Malformed input exits 2 with a line-numbered message, no backtrace.
+printf '3 4\n1 2\n' > "$smoke_dir/truncated.hgr"
+set +e
+err=$(./target/release/fpart stats "$smoke_dir/truncated.hgr" 2>&1)
+code=$?
+set -e
+[ "$code" -eq 2 ] || { echo "malformed input should exit 2, got $code" >&2; exit 1; }
+case "$err" in
+    *"line "*) ;;
+    *) echo "parse error lacks line context: $err" >&2; exit 1 ;;
+esac
+case "$err" in
+    *RUST_BACKTRACE*) echo "parse error printed a backtrace: $err" >&2; exit 1 ;;
+esac
+
 if [ "$skip_bench" -eq 0 ]; then
-    step "smoke bench -> BENCH_pr2.json"
-    ./target/release/smoke BENCH_pr2.json
+    step "smoke bench -> BENCH_pr3.json"
+    timeout 900 ./target/release/smoke BENCH_pr3.json
     # The file must be valid JSON *and* match the documented schema
     # (required keys with the right types), so a malformed bench emitter
     # fails CI rather than silently shipping an unusable artifact.
     python3 - <<'EOF'
 import json
 
-with open("BENCH_pr2.json") as f:
+with open("BENCH_pr3.json") as f:
     doc = json.load(f)
 
-def require(obj, key, types, ctx="BENCH_pr2.json"):
+def require(obj, key, types, ctx="BENCH_pr3.json"):
     assert key in obj, f"{ctx}: missing key {key!r}"
     assert isinstance(obj[key], types), \
         f"{ctx}: {key!r} is {type(obj[key]).__name__}, expected {types}"
     return obj[key]
 
-assert require(doc, "schema_version", int) == 2, "unexpected schema_version"
+assert require(doc, "schema_version", int) == 3, "unexpected schema_version"
 require(doc, "circuit", str)
 require(doc, "nodes", int)
 require(doc, "available_parallelism", int)
@@ -73,7 +107,8 @@ for row in require(doc, "thread_sweep", list):
 counters = require(require(doc, "engine_counters", dict), "counters", dict, "engine_counters")
 for name in ["passes", "moves_applied", "moves_reverted", "gain_bucket_pops",
              "stack_restarts", "key_evaluations", "snapshots_materialized",
-             "improve_calls", "iterations", "bipartitions", "runs"]:
+             "improve_calls", "iterations", "bipartitions", "runs",
+             "budget_stops", "faults_injected", "failed_restarts"]:
     require(counters, name, int, "engine_counters.counters")
 assert counters["passes"] > 0, "a real bench run executes passes"
 require(doc["engine_counters"], "improve_time", dict, "engine_counters")
@@ -82,7 +117,17 @@ metering = require(doc, "metering", dict)
 for key in ["unmetered_seconds", "metered_seconds", "overhead_pct"]:
     require(metering, key, (int, float), "metering")
 
-print("BENCH_pr2.json matches the schema")
+control = require(doc, "execution_control", dict)
+for key, types in [("budget_overhead_pct", (int, float)),
+                   ("deadline_completion", str), ("deadline_seconds", (int, float)),
+                   ("deadline_budget_stops", int), ("fault_completion", str),
+                   ("fault_failed_restarts", int)]:
+    require(control, key, types, "execution_control")
+assert control["deadline_completion"] == "deadline_expired", \
+    "deadline run must report deadline_expired"
+assert control["fault_failed_restarts"] == 1, "injected panic must be reported"
+
+print("BENCH_pr3.json matches the schema")
 EOF
 fi
 
