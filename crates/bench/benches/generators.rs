@@ -2,7 +2,7 @@
 //! workload-preparation substrate every experiment pays for.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use fpart_hypergraph::coarsen::coarsen_by_connectivity;
+use fpart_hypergraph::coarsen::{coarsen_by_connectivity, coarsen_to_floor};
 use fpart_hypergraph::gen::{find_profile, rent_circuit, synthesize_mcnc, RentConfig, Technology};
 
 fn bench_generators(c: &mut Criterion) {
@@ -19,6 +19,12 @@ fn bench_generators(c: &mut Criterion) {
     let graph = synthesize_mcnc(find_profile("s13207").expect("profile"), Technology::Xc3000);
     c.bench_function("coarsen_s13207", |b| {
         b.iter(|| coarsen_by_connectivity(&graph, 6, 3).coarse.node_count());
+    });
+
+    // The full n-level hierarchy (coarsen until the floor), the setup
+    // cost every multilevel V-cycle pays before its coarse partition.
+    c.bench_function("coarsen_to_floor_s13207", |b| {
+        b.iter(|| coarsen_to_floor(&graph, 6, 64, 64, 3).level_count());
     });
 }
 

@@ -1,0 +1,107 @@
+//! Quality-regression gate data: partitions three pinned, seeded
+//! circuits (Rent-style, layered, clustered) with the flat FPART driver
+//! and the n-level multilevel flow, and emits each result's
+//! lexicographic quality key `(f, devices, d_k, T_SUM, d_k^E, cut)` as
+//! JSON.
+//!
+//! `scripts/check_quality.py` compares this output against the
+//! checked-in golden (`goldens/quality_gate.json`) and fails CI when a
+//! key regresses beyond the documented tolerance. Every run here is
+//! single-threaded and fully seeded, so the output is reproducible
+//! bit-for-bit; the tolerance only exists as headroom for intentional
+//! algorithm changes (which must update the golden in the same commit).
+//!
+//! Output path: first CLI argument, default `QUALITY.json`.
+
+use std::fmt::Write as _;
+
+use fpart_core::cost::CostEvaluator;
+use fpart_core::{
+    partition, partition_multilevel, FpartConfig, MultilevelConfig, PartitionOutcome,
+    PartitionState,
+};
+use fpart_device::{lower_bound, DeviceConstraints};
+use fpart_hypergraph::gen::{
+    clustered_circuit, layered_circuit, rent_circuit, ClusteredConfig, LayeredConfig, RentConfig,
+};
+use fpart_hypergraph::Hypergraph;
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "QUALITY.json".to_owned());
+    let config = FpartConfig::default();
+    let ml = MultilevelConfig::default();
+
+    // The three pinned workloads: distinct topology families so a
+    // regression in any of the engine's regimes (locality, depth,
+    // pre-clustered structure) shows up in at least one row.
+    let circuits: Vec<(Hypergraph, DeviceConstraints)> = vec![
+        (rent_circuit(&RentConfig::new("rent", 4000, 200), 11), DeviceConstraints::new(400, 120)),
+        (
+            layered_circuit(&LayeredConfig::new("layered", 40, 80), 7),
+            DeviceConstraints::new(500, 150),
+        ),
+        (
+            clustered_circuit(&ClusteredConfig::new("clustered", 12, 260), 3).0,
+            DeviceConstraints::new(450, 130),
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    for (graph, constraints) in &circuits {
+        let flat = partition(graph, *constraints, &config).expect("flat partitions");
+        rows.push(row(graph, *constraints, &config, "flat", &flat));
+        let nlevel =
+            partition_multilevel(graph, *constraints, &config, &ml).expect("multilevel partitions");
+        rows.push(row(graph, *constraints, &config, "multilevel", &nlevel));
+        println!(
+            "{}: flat {} devices cut {}, multilevel {} devices cut {}",
+            graph.name(),
+            flat.device_count,
+            flat.cut,
+            nlevel.device_count,
+            nlevel.cut
+        );
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema_version\": {},", fpart_core::SCHEMA_VERSION);
+    let _ = writeln!(json, "  \"circuits\": [\n{}\n  ]", rows.join(",\n"));
+    json.push_str("}\n");
+    std::fs::write(&out_path, &json).expect("write quality json");
+    println!("wrote {out_path}");
+}
+
+/// One gate row: the solution's lexicographic quality key components.
+fn row(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+    config: &FpartConfig,
+    method: &str,
+    outcome: &PartitionOutcome,
+) -> String {
+    let evaluator = CostEvaluator::new(
+        constraints,
+        config,
+        lower_bound(graph, constraints),
+        graph.terminal_count(),
+    );
+    let state = PartitionState::from_assignment(
+        graph,
+        outcome.assignment.clone(),
+        outcome.device_count.max(1),
+    );
+    let key = evaluator.key(&state, None);
+    format!(
+        "    {{\"name\": \"{}\", \"method\": \"{method}\", \"nodes\": {}, \
+         \"feasible\": {}, \"devices\": {}, \"infeasibility\": {:.4}, \
+         \"terminal_sum\": {}, \"external_balance\": {:.4}, \"cut\": {}}}",
+        graph.name(),
+        graph.node_count(),
+        outcome.feasible,
+        outcome.device_count,
+        key.infeasibility,
+        key.terminal_sum,
+        key.external_balance,
+        key.cut
+    )
+}

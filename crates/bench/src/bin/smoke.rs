@@ -27,8 +27,13 @@
 //!    graceful degradation and panic isolation stay measurable, plus the
 //!    budget-check wall-time ratio (unlimited budget vs no budget) to
 //!    keep the "one branch when unlimited" claim honest.
+//! 6. **Multilevel** — flat FPART vs the n-level V-cycle on a 20k-node
+//!    Rent-style circuit: wall time of each, the speedup, the coarsening
+//!    depth, and both solutions' lexicographic quality keys
+//!    `(f, d_k, T_SUM, d_k^E, cut)`. `quality_not_worse` asserts the
+//!    n-level result does not lose quality for its speed.
 //!
-//! Output path: first CLI argument, default `BENCH_pr3.json`.
+//! Output path: first CLI argument, default `BENCH_pr4.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -36,15 +41,16 @@ use std::time::Instant;
 use fpart_core::cost::CostEvaluator;
 use fpart_core::fm::{bipartition_fm, FmConfig};
 use fpart_core::{
-    improve, partition_restarts, partition_restarts_observed, Counter, FaultPlan, FpartConfig,
-    ImproveContext, KeyTracker, PartitionState, RunBudget,
+    improve, partition_multilevel_observed, partition_restarts, partition_restarts_observed,
+    Counter, FaultPlan, FpartConfig, ImproveContext, KeyTracker, Metrics, MultilevelConfig,
+    Observer, PartitionState, RunBudget,
 };
 use fpart_device::{Device, DeviceConstraints};
-use fpart_hypergraph::gen::{find_profile, synthesize_mcnc, Technology};
+use fpart_hypergraph::gen::{find_profile, rent_circuit, synthesize_mcnc, RentConfig, Technology};
 use fpart_hypergraph::NodeId;
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr3.json".to_owned());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr4.json".to_owned());
     let graph = synthesize_mcnc(find_profile("s9234").expect("profile"), Technology::Xc3000);
     let constraints = Device::XC3020.constraints(0.9);
     let config = FpartConfig::default();
@@ -284,14 +290,106 @@ fn main() {
         "  \"execution_control\": {{\"budget_overhead_pct\": {budget_overhead_pct:.1}, \
          \"deadline_completion\": \"{}\", \"deadline_seconds\": {deadline_secs:.4}, \
          \"deadline_budget_stops\": {}, \"fault_completion\": \"{}\", \
-         \"fault_failed_restarts\": {}}}",
+         \"fault_failed_restarts\": {}}},",
         deadline_report.completion,
         deadline_report.totals.get(Counter::BudgetStops),
         fault_report.completion,
         fault_report.totals.get(Counter::FailedRestarts)
     );
+    // 6. Multilevel: flat FPART vs the n-level V-cycle on a 20k-node
+    //    Rent-style circuit — wall time, coarsening depth, and the
+    //    lexicographic quality key of both results.
+    let rent = rent_circuit(&RentConfig::new("rent20k", 20_000, 600), 42);
+    let rent_constraints = DeviceConstraints::new(400, 120);
+
+    let start = Instant::now();
+    let flat = fpart_core::partition(&rent, rent_constraints, &config).expect("flat partitions");
+    let flat_secs = start.elapsed().as_secs_f64();
+
+    let ml_config = MultilevelConfig::default();
+    let mut obs = Observer::new(Metrics::enabled(), None);
+    let start = Instant::now();
+    let nlevel =
+        partition_multilevel_observed(&rent, rent_constraints, &config, &ml_config, &mut obs)
+            .expect("multilevel partitions");
+    let ml_secs = start.elapsed().as_secs_f64();
+
+    let speedup = flat_secs / ml_secs.max(1e-9);
+    let flat_key = quality_key(&rent, rent_constraints, &config, &flat);
+    let ml_key = quality_key(&rent, rent_constraints, &config, &nlevel);
+    let quality_not_worse = not_worse(&ml_key, &flat_key);
+    let coarsen_levels = obs.metrics.get(Counter::CoarsenLevels);
+    println!(
+        "multilevel: flat {flat_secs:.3}s ({} devices, cut {}), n-level {ml_secs:.3}s \
+         ({} devices, cut {}, {coarsen_levels} levels) => {speedup:.1}x, \
+         quality_not_worse={quality_not_worse}",
+        flat.device_count, flat.cut, nlevel.device_count, nlevel.cut
+    );
+    let _ = writeln!(
+        json,
+        "  \"multilevel\": {{\"circuit\": \"rent20k\", \"nodes\": {}, \
+         \"flat_seconds\": {flat_secs:.4}, \"multilevel_seconds\": {ml_secs:.4}, \
+         \"speedup\": {speedup:.2}, \"coarsen_levels\": {coarsen_levels}, \
+         \"flat\": {}, \"nlevel\": {}, \"quality_not_worse\": {quality_not_worse}}}",
+        rent.node_count(),
+        key_json(&flat_key),
+        key_json(&ml_key)
+    );
     json.push_str("}\n");
 
     std::fs::write(&out_path, &json).expect("write bench json");
     println!("wrote {out_path}");
+}
+
+/// The cross-run lexicographic quality key of a finished outcome:
+/// `(feasible, devices, d_k, T_SUM, d_k^E, cut)`. Unlike
+/// `SolutionKey::cmp_key` (which ranks *more* feasible blocks better
+/// mid-search), cross-run comparison wants all-feasible first and then
+/// *fewer* devices.
+fn quality_key(
+    graph: &fpart_hypergraph::Hypergraph,
+    constraints: DeviceConstraints,
+    config: &FpartConfig,
+    outcome: &fpart_core::PartitionOutcome,
+) -> (bool, usize, f64, usize, f64, usize) {
+    let evaluator = CostEvaluator::new(
+        constraints,
+        config,
+        fpart_device::lower_bound(graph, constraints),
+        graph.terminal_count(),
+    );
+    let state = PartitionState::from_assignment(
+        graph,
+        outcome.assignment.to_vec(),
+        outcome.device_count.max(1),
+    );
+    let key = evaluator.key(&state, None);
+    (
+        outcome.feasible,
+        outcome.device_count,
+        key.infeasibility,
+        key.terminal_sum,
+        key.external_balance,
+        key.cut,
+    )
+}
+
+/// Lexicographic "candidate is at least as good as baseline" over the
+/// cross-run quality key (feasible desc, then each component asc).
+fn not_worse(
+    candidate: &(bool, usize, f64, usize, f64, usize),
+    baseline: &(bool, usize, f64, usize, f64, usize),
+) -> bool {
+    let rank =
+        |k: &(bool, usize, f64, usize, f64, usize)| (u8::from(!k.0), k.1, k.2, k.3, k.4, k.5);
+    let (c, b) = (rank(candidate), rank(baseline));
+    c.partial_cmp(&b).is_none_or(|o| o != std::cmp::Ordering::Greater)
+}
+
+fn key_json(k: &(bool, usize, f64, usize, f64, usize)) -> String {
+    format!(
+        "{{\"feasible\": {}, \"devices\": {}, \"infeasibility\": {:.3}, \
+         \"terminal_sum\": {}, \"external_balance\": {:.3}, \"cut\": {}}}",
+        k.0, k.1, k.2, k.3, k.4, k.5
+    )
 }

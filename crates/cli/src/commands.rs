@@ -37,8 +37,9 @@ pub fn partition(raw: &[String]) -> Result<(), CliError> {
             "max-passes",
             "metrics",
             "trace-json",
+            "coarsen-floor",
         ],
-        switches: &["trace"],
+        switches: &["trace", "multilevel"],
     };
     let args = Args::parse(raw, spec).map_err(CliError::Usage)?;
     let input = args
@@ -63,18 +64,31 @@ pub fn partition(raw: &[String]) -> Result<(), CliError> {
     if restarts == 0 || threads == 0 {
         return Err(CliError::Usage("--restarts and --threads must be at least 1".into()));
     }
-    if (restarts > 1 || threads > 1) && method != "fpart" {
-        return Err(CliError::Usage("--restarts/--threads only apply to --method fpart".into()));
+    // `--multilevel` selects the n-level V-cycle; it shares the FPART
+    // engine, so restarts/threads/budget/metrics all apply to it too.
+    let multilevel = args.switch("multilevel") || method == "multilevel";
+    if args.switch("multilevel") && !(method == "fpart" || method == "multilevel") {
+        return Err(CliError::Usage(format!("--multilevel conflicts with --method {method}")));
     }
-    if (deadline_ms.is_some() || max_passes.is_some()) && method != "fpart" {
+    let engine_method = method == "fpart" || multilevel;
+    if (restarts > 1 || threads > 1) && !engine_method {
         return Err(CliError::Usage(
-            "--deadline-ms/--max-passes only apply to --method fpart".into(),
+            "--restarts/--threads only apply to --method fpart/multilevel".into(),
         ));
     }
-    if (args.option("metrics").is_some() || args.option("trace-json").is_some())
-        && method != "fpart"
-    {
-        return Err(CliError::Usage("--metrics/--trace-json only apply to --method fpart".into()));
+    if (deadline_ms.is_some() || max_passes.is_some()) && !engine_method {
+        return Err(CliError::Usage(
+            "--deadline-ms/--max-passes only apply to --method fpart/multilevel".into(),
+        ));
+    }
+    if args.option("metrics").is_some() && !engine_method {
+        return Err(CliError::Usage("--metrics only applies to --method fpart/multilevel".into()));
+    }
+    if args.option("trace-json").is_some() && (method != "fpart" || multilevel) {
+        return Err(CliError::Usage("--trace-json only applies to --method fpart".into()));
+    }
+    if args.option("coarsen-floor").is_some() && !multilevel {
+        return Err(CliError::Usage("--coarsen-floor needs --multilevel".into()));
     }
     let m = lower_bound(&graph, constraints);
     eprintln!(
@@ -98,6 +112,7 @@ pub fn partition(raw: &[String]) -> Result<(), CliError> {
 
     let started = std::time::Instant::now();
     let mut completion = Completion::Complete;
+    let method = if multilevel { "multilevel" } else { method };
     let (assignment, device_count, feasible, cut) = match method {
         "fpart" => {
             let outcome = run_fpart(&graph, constraints, &args, restarts, threads, budget)?;
@@ -123,14 +138,10 @@ pub fn partition(raw: &[String]) -> Result<(), CliError> {
             (o.assignment, o.device_count, o.feasible, o.cut)
         }
         "multilevel" => {
-            let o = fpart_core::partition_multilevel(
-                &graph,
-                constraints,
-                &FpartConfig::default(),
-                &fpart_core::MultilevelConfig::default(),
-            )
-            .map_err(|e| CliError::Runtime(e.to_string()))?;
-            (o.assignment, o.device_count, o.feasible, o.cut)
+            let outcome = run_multilevel(&graph, constraints, &args, restarts, threads, budget)?;
+            completion = outcome.completion;
+            println!("{}", QualityReport::new(&outcome, constraints));
+            (outcome.assignment, outcome.device_count, outcome.feasible, outcome.cut)
         }
         "direct" => {
             let o = fpart_core::partition_direct(
@@ -272,6 +283,74 @@ fn run_fpart(
         .map_err(CliError::Runtime)?;
         eprintln!("metrics written to {path}");
     }
+    Ok(outcome)
+}
+
+/// Runs the n-level multilevel mode (`--multilevel` /
+/// `--method multilevel`): coarsen to `--coarsen-floor`, FPART on the
+/// coarsest hypergraph, boundary-only FM at every uncoarsening level.
+/// Shares the flat engine's restarts/threads/budget/metrics plumbing;
+/// event traces are per-pass and not supported here.
+fn run_multilevel(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+    args: &Args,
+    restarts: usize,
+    threads: usize,
+    budget: RunBudget,
+) -> Result<fpart_core::PartitionOutcome, CliError> {
+    if args.switch("trace") || args.option("trace-json").is_some() {
+        return Err(CliError::Usage(
+            "--trace/--trace-json are not available with --multilevel".into(),
+        ));
+    }
+    let coarsen_floor: usize = args.option_parsed("coarsen-floor", 256).map_err(CliError::Usage)?;
+    if coarsen_floor < 2 {
+        return Err(CliError::Usage("--coarsen-floor must be at least 2".into()));
+    }
+    let config = FpartConfig { budget, ..FpartConfig::default() };
+    let ml =
+        fpart_core::MultilevelConfig { coarsen_floor, ..fpart_core::MultilevelConfig::default() };
+    let metrics_path = args.option("metrics");
+
+    let outcome = if let Some(path) = metrics_path {
+        let report = fpart_core::partition_multilevel_restarts_observed(
+            graph,
+            constraints,
+            &config,
+            &ml,
+            restarts,
+            threads,
+        )
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+        let quality = QualityReport::new(&report.outcome, constraints);
+        write_metrics_file(
+            path,
+            restarts,
+            threads,
+            &report.totals,
+            &report.per_restart,
+            report.completion,
+            &report.failed,
+            &quality,
+        )
+        .map_err(CliError::Runtime)?;
+        eprintln!("metrics written to {path}");
+        report.outcome
+    } else if restarts > 1 {
+        fpart_core::partition_multilevel_restarts(
+            graph,
+            constraints,
+            &config,
+            &ml,
+            restarts,
+            threads,
+        )
+        .map_err(|e| CliError::Runtime(e.to_string()))?
+    } else {
+        fpart_core::partition_multilevel(graph, constraints, &config, &ml)
+            .map_err(|e| CliError::Runtime(e.to_string()))?
+    };
     Ok(outcome)
 }
 

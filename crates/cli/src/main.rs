@@ -64,6 +64,10 @@ PARTITION OPTIONS:
   --s-max N --t-max N custom device instead of --device
   --delta <F>         filling ratio (default 0.9)
   --method <M>        fpart (default) | kway | flow | naive | multilevel | direct
+  --multilevel        n-level multilevel mode: coarsen by heavy-edge matching to
+                      a size floor, FPART the coarsest graph, boundary-only FM
+                      at every uncoarsening level (same as --method multilevel)
+  --coarsen-floor <N> stop coarsening at this node count (default 256)
   --restarts <N>      independent FPART runs with consecutive seeds; best wins (default 1)
   --threads <N>       worker threads for --restarts; the result is identical
                       for every thread count, only wall time changes (default 1)

@@ -198,7 +198,7 @@ fn metrics_and_trace_json_outputs() {
         .expect("runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let json = std::fs::read_to_string(&metrics_file).expect("metrics file");
-    assert!(json.contains("\"schema_version\": 3"), "{json}");
+    assert!(json.contains("\"schema_version\": 4"), "{json}");
     assert!(json.contains("\"restarts\": 3"), "{json}");
     assert!(json.contains("\"completion\": \"complete\""), "{json}");
     assert!(json.contains("\"failed_restarts\": []"), "{json}");
@@ -360,4 +360,96 @@ fn gen_mcnc_circuit() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("283 nodes"), "{text}");
     assert!(text.contains("72 terminals"), "{text}");
+}
+
+#[test]
+fn multilevel_flag_with_restarts_metrics_and_floor() {
+    let dir = temp_dir("multilevel");
+    let netlist = dir.join("c.fhg");
+    let metrics = dir.join("metrics.json");
+    let out = fpart()
+        .args(["gen", "rent", "--nodes", "600", "--terminals", "48", "--seed", "5", "--output"])
+        .arg(&netlist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+
+    let out = fpart()
+        .arg("partition")
+        .arg(&netlist)
+        .args(["--device", "XC3020", "--multilevel", "--coarsen-floor", "64"])
+        .args(["--restarts", "2", "--threads", "2", "--metrics"])
+        .arg(&metrics)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("multilevel:"), "{text}");
+
+    let json = std::fs::read_to_string(&metrics).expect("metrics file");
+    assert!(json.contains("\"coarsen_levels\""), "{json}");
+    assert!(json.contains("\"boundary_refinements\""), "{json}");
+    assert!(json.contains("\"restarts\": 2"), "{json}");
+}
+
+#[test]
+fn multilevel_flag_conflicts_are_usage_errors() {
+    let dir = temp_dir("multilevel_err");
+    let netlist = dir.join("c.fhg");
+    let out = fpart()
+        .args(["gen", "window", "--nodes", "80", "--terminals", "12", "--output"])
+        .arg(&netlist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+
+    // --coarsen-floor without --multilevel
+    let out = fpart()
+        .arg("partition")
+        .arg(&netlist)
+        .args(["--device", "XC3020", "--coarsen-floor", "64"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--coarsen-floor"));
+
+    // --multilevel with a non-engine method
+    let out = fpart()
+        .arg("partition")
+        .arg(&netlist)
+        .args(["--device", "XC3020", "--multilevel", "--method", "kway"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+
+    // --trace is per-pass and not available in the V-cycle
+    let out = fpart()
+        .arg("partition")
+        .arg(&netlist)
+        .args(["--device", "XC3020", "--multilevel", "--trace"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn multilevel_deadline_reports_completion() {
+    let dir = temp_dir("multilevel_deadline");
+    let netlist = dir.join("c.fhg");
+    let out = fpart()
+        .args(["gen", "rent", "--nodes", "900", "--terminals", "64", "--seed", "7", "--output"])
+        .arg(&netlist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+
+    let out = fpart()
+        .arg("partition")
+        .arg(&netlist)
+        .args(["--device", "XC3020", "--multilevel", "--deadline-ms", "0"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("completion: deadline_expired"), "{text}");
 }

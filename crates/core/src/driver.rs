@@ -206,12 +206,23 @@ pub fn partition_restarts(
     restarts: usize,
     threads: usize,
 ) -> Result<PartitionOutcome, PartitionError> {
-    validate_search(restarts, threads)?;
-    let job = |i: usize| {
+    search_restarts(restarts, threads, &|i| {
         let cfg = restart_config(config, i);
         partition(graph, constraints, &cfg)
-    };
-    let results = crate::parallel::run_indexed_caught(restarts, threads, &job);
+    })
+}
+
+/// The panic-isolated multi-run search shared by [`partition_restarts`]
+/// and the multilevel variant: run `restarts` jobs across `threads`,
+/// drop panicked runs, reduce the survivors in restart order, degrade
+/// the completion when any restart was lost.
+pub(crate) fn search_restarts(
+    restarts: usize,
+    threads: usize,
+    job: &(dyn Fn(usize) -> Result<PartitionOutcome, PartitionError> + Sync),
+) -> Result<PartitionOutcome, PartitionError> {
+    validate_search(restarts, threads)?;
+    let results = crate::parallel::run_indexed_caught(restarts, threads, job);
     let mut outcomes = Vec::with_capacity(results.len());
     let mut panics = Vec::new();
     for result in results {
@@ -236,8 +247,9 @@ pub fn partition_restarts(
     })
 }
 
-/// Rejects zero restart/thread counts up front with a typed error.
-fn validate_search(restarts: usize, threads: usize) -> Result<(), PartitionError> {
+/// Rejects zero restart/thread counts up front with a typed error
+/// (shared with the multilevel search).
+pub(crate) fn validate_search(restarts: usize, threads: usize) -> Result<(), PartitionError> {
     if restarts == 0 {
         return Err(PartitionError::InvalidConfig { what: "restarts must be at least 1" });
     }
@@ -249,7 +261,7 @@ fn validate_search(restarts: usize, threads: usize) -> Result<(), PartitionError
 
 /// The configuration restart `i` runs under: a diversified seed, and the
 /// fault plan only if it targets this restart.
-fn restart_config(config: &FpartConfig, i: usize) -> FpartConfig {
+pub(crate) fn restart_config(config: &FpartConfig, i: usize) -> FpartConfig {
     FpartConfig {
         seed: config.seed.wrapping_add(i as u64),
         fault_plan: config.fault_plan.as_ref().and_then(|p| p.for_restart(i)),
@@ -261,7 +273,7 @@ fn restart_config(config: &FpartConfig, i: usize) -> FpartConfig {
 /// feasible over infeasible, then fewest devices, then smallest cut,
 /// ties broken by the lowest restart index. Errors only surface when
 /// *every* restart failed (the first restart's error wins).
-fn reduce_outcomes(
+pub(crate) fn reduce_outcomes(
     results: Vec<Result<PartitionOutcome, PartitionError>>,
 ) -> Result<PartitionOutcome, PartitionError> {
     let mut best: Option<PartitionOutcome> = None;
@@ -345,16 +357,26 @@ pub fn partition_restarts_observed(
     restarts: usize,
     threads: usize,
 ) -> Result<RestartsReport, PartitionError> {
-    validate_search(restarts, threads)?;
-    let job = |i: usize| {
+    search_restarts_observed(restarts, threads, &|i| {
         let cfg = restart_config(config, i);
         let mut obs = Observer::new(Metrics::enabled(), None);
         let result = partition_observed(graph, constraints, &cfg, &mut obs);
         let mut metrics = obs.metrics;
         metrics.bump(Counter::Runs);
         (result, metrics)
-    };
-    let results = crate::parallel::run_indexed_caught(restarts, threads, &job);
+    })
+}
+
+/// The observed counterpart of [`search_restarts`]: each job returns its
+/// own metrics registry; totals merge in restart-index order so the
+/// aggregate is bit-identical at every thread count.
+pub(crate) fn search_restarts_observed(
+    restarts: usize,
+    threads: usize,
+    job: &(dyn Fn(usize) -> (Result<PartitionOutcome, PartitionError>, Metrics) + Sync),
+) -> Result<RestartsReport, PartitionError> {
+    validate_search(restarts, threads)?;
+    let results = crate::parallel::run_indexed_caught(restarts, threads, job);
 
     let mut totals = Metrics::enabled();
     let mut per_restart = Vec::with_capacity(results.len());
@@ -437,6 +459,26 @@ pub fn partition_observed(
     obs: &mut Observer<'_>,
 ) -> Result<PartitionOutcome, PartitionError> {
     config.validate();
+    // Execution budget for this run: a direct call counts as restart 0
+    // for fault-plan targeting. Unlimited budgets cost one branch per
+    // pass/peel boundary and never read the clock.
+    let tracker = BudgetTracker::new(
+        &config.budget,
+        config.fault_plan.as_ref().and_then(|plan| plan.for_restart(0)),
+    );
+    partition_with_tracker(graph, constraints, config, obs, &tracker)
+}
+
+/// [`partition_observed`] driven by a caller-owned [`BudgetTracker`], so
+/// an enclosing flow (the multilevel V-cycle) can account the peeling
+/// driver's passes against its own overall budget.
+pub(crate) fn partition_with_tracker(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+    config: &FpartConfig,
+    obs: &mut Observer<'_>,
+    tracker: &BudgetTracker,
+) -> Result<PartitionOutcome, PartitionError> {
     let start = Instant::now();
 
     if graph.node_count() == 0 {
@@ -471,14 +513,6 @@ pub fn partition_observed(
     let mut total_moves = 0usize;
     let iteration_cap = m * config.max_iterations_factor + 32;
 
-    // Execution budget for this run: a direct call counts as restart 0
-    // for fault-plan targeting. Unlimited budgets cost one branch per
-    // pass/peel boundary and never read the clock.
-    let tracker = BudgetTracker::new(
-        &config.budget,
-        config.fault_plan.as_ref().and_then(|plan| plan.for_restart(0)),
-    );
-
     // The loop runs until the whole partition is feasible. Normally the
     // remainder is the only violator and becomes feasible last; but an
     // improvement pass may empty the remainder into a block that then
@@ -510,7 +544,7 @@ pub fn partition_observed(
             config,
             remainder,
             minimum_reached: iterations > m,
-            budget: Some(&tracker),
+            budget: Some(tracker),
         };
 
         let p = state.add_block();

@@ -669,12 +669,6 @@ pub fn improve_metered(
     ctx: &ImproveContext<'_>,
     metrics: &mut Metrics,
 ) -> ImproveStats {
-    assert!(active.len() >= 2, "improvement needs at least two blocks");
-    assert!(active.iter().all(|&b| b < state.block_count()), "active block out of range");
-    metrics.bump(Counter::ImproveCalls);
-    let initial_key = ctx.evaluator.key(state, remainder_opt(ctx, state));
-    metrics.bump(Counter::KeyEvaluations);
-
     // Cells eligible to move: everything currently in an active block.
     let mut in_active = vec![false; state.block_count()];
     for &b in active {
@@ -682,6 +676,48 @@ pub fn improve_metered(
     }
     let cells: Vec<NodeId> =
         state.graph().node_ids().filter(|&v| in_active[state.block_of(v)]).collect();
+    improve_cells_metered(state, active, &cells, ctx, metrics)
+}
+
+/// [`improve_metered`] over an explicit cell set instead of every cell of
+/// the active blocks.
+///
+/// This is the boundary-refinement entry point of the n-level multilevel
+/// flow: the caller passes only the cells incident to nets crossing the
+/// active blocks, so each per-level FM pass builds gain buckets for the
+/// boundary rather than the whole level. Cells not listed keep their
+/// blocks (they are never inserted into a bucket and never moved); block
+/// sizes, move regions, and the solution key still account for them.
+///
+/// # Panics
+///
+/// Panics if `active` lists fewer than two blocks, contains an index
+/// `≥ state.block_count()`, or (debug builds) `cells` contains a cell
+/// outside the active blocks or a duplicate.
+pub fn improve_cells_metered(
+    state: &mut PartitionState<'_>,
+    active: &[usize],
+    cells: &[NodeId],
+    ctx: &ImproveContext<'_>,
+    metrics: &mut Metrics,
+) -> ImproveStats {
+    assert!(active.len() >= 2, "improvement needs at least two blocks");
+    assert!(active.iter().all(|&b| b < state.block_count()), "active block out of range");
+    debug_assert!(
+        {
+            let mut seen = vec![false; state.graph().node_count()];
+            cells.iter().all(|&v| {
+                let fresh = !seen[v.index()];
+                seen[v.index()] = true;
+                fresh && active.contains(&state.block_of(v))
+            })
+        },
+        "cells must be unique and live in active blocks"
+    );
+    metrics.bump(Counter::ImproveCalls);
+    let initial_key = ctx.evaluator.key(state, remainder_opt(ctx, state));
+    metrics.bump(Counter::KeyEvaluations);
+
     if cells.is_empty() {
         return ImproveStats {
             passes: 0,
@@ -696,7 +732,7 @@ pub fn improve_metered(
         ctx.config.use_solution_stacks.then(|| DualStacks::new(ctx.config.stack_depth));
 
     // First execution (records the stacks).
-    let (mut passes, mut moves) = run_series(state, &cells, ctx, active, stacks.as_mut(), metrics);
+    let (mut passes, mut moves) = run_series(state, cells, ctx, active, stacks.as_mut(), metrics);
 
     let mut best_key = ctx.evaluator.key(state, remainder_opt(ctx, state));
     metrics.bump(Counter::KeyEvaluations);
@@ -711,8 +747,8 @@ pub fn improve_metered(
             if ctx.budget.is_some_and(crate::budget::BudgetTracker::check) {
                 break;
             }
-            restore(state, &cells, &snapshot);
-            let (p, m) = run_series(state, &cells, ctx, active, None, metrics);
+            restore(state, cells, &snapshot);
+            let (p, m) = run_series(state, cells, ctx, active, None, metrics);
             passes += p;
             moves += m;
             restarts += 1;
@@ -726,7 +762,7 @@ pub fn improve_metered(
         }
     }
 
-    restore(state, &cells, &best_snapshot);
+    restore(state, cells, &best_snapshot);
     debug_assert!(!initial_key.better_than(&best_key), "improve made things worse");
     ImproveStats { passes, moves, restarts, initial_key, final_key: best_key }
 }

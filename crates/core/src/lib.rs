@@ -92,11 +92,16 @@ pub use driver::{
     partition, partition_observed, partition_restarts, partition_restarts_observed,
     partition_traced, BlockReport, FailedRestart, PartitionError, PartitionOutcome, RestartsReport,
 };
-pub use engine::{improve, improve_metered, ImproveContext, ImproveStats, NO_REMAINDER};
+pub use engine::{
+    improve, improve_cells_metered, improve_metered, ImproveContext, ImproveStats, NO_REMAINDER,
+};
 pub use hetero::{partition_hetero, HeteroOutcome};
 pub use initial::{bipartition_remainder, InitialMethod};
 pub use interconnect::InterconnectReport;
-pub use multilevel::{partition_multilevel, MultilevelConfig};
+pub use multilevel::{
+    partition_multilevel, partition_multilevel_observed, partition_multilevel_restarts,
+    partition_multilevel_restarts_observed, MultilevelConfig,
+};
 pub use obs::{
     event_to_json, Counter, EventSink, FanoutSink, JsonlSink, Metrics, Observer, TimeStat,
     SCHEMA_VERSION,

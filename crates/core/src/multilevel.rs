@@ -1,34 +1,62 @@
-//! Multilevel (clustered) partitioning: coarsen → partition → project →
-//! refine.
+//! N-level multilevel partitioning: coarsen to a size floor, partition
+//! the coarsest hypergraph with the FPART driver, then uncoarsen level
+//! by level with boundary-only FM refinement.
 //!
 //! Clustering is one of the classical FM quality/runtime levers the
-//! paper's introduction surveys. This module composes the substrates:
-//! [`fpart_hypergraph::coarsen`] shrinks the circuit by heavy-edge
-//! matching, the FPART driver partitions the coarse circuit, the
-//! solution is projected back, and pairwise improvement passes refine it
-//! on the original netlist.
+//! paper's introduction surveys; the n-level organisation (many
+//! fine-grained levels, real FM at every one of them) is what makes it
+//! competitive at scale. The V-cycle here composes the substrates:
+//!
+//! * [`fpart_hypergraph::coarsen::coarsen_to_floor`] builds the full
+//!   heavy-edge matching hierarchy until the node count reaches
+//!   [`MultilevelConfig::coarsen_floor`] (or matching saturates) — not a
+//!   fixed level count;
+//! * the FPART driver partitions the coarsest hypergraph under the
+//!   run's own execution budget;
+//! * on the way back up, each level projects the solution (into reused
+//!   buffers) and runs [`crate::refine::refine_boundary_metered`] — the
+//!   real engine machinery (gain buckets, infeasibility-distance key,
+//!   feasible-move regions) over boundary cells only.
+//!
+//! Budgets, metrics, and panic-isolated restarts from the flat driver
+//! all work inside the V-cycle: a deadline expiring mid-uncoarsening
+//! still projects down to the finest level (projection is cheap and
+//! always completes), so the outcome stays a verifiable partition and
+//! reports [`Completion::DeadlineExpired`].
 
-use fpart_device::DeviceConstraints;
-use fpart_hypergraph::coarsen::coarsen_by_connectivity;
+use std::time::Instant;
+
+use fpart_device::{lower_bound, DeviceConstraints};
+use fpart_hypergraph::coarsen::coarsen_to_floor;
 use fpart_hypergraph::Hypergraph;
 
+use crate::budget::{BudgetTracker, Completion};
 use crate::config::FpartConfig;
 use crate::cost::CostEvaluator;
-use crate::driver::{partition, PartitionError, PartitionOutcome};
-use crate::refine::{refine_pairs, RefineConfig};
+use crate::driver::{
+    partition_with_tracker, restart_config, search_restarts, search_restarts_observed,
+    PartitionError, PartitionOutcome, RestartsReport,
+};
+use crate::obs::{Counter, Metrics, Observer};
+use crate::refine::{refine_boundary_metered, RefineConfig};
 use crate::state::PartitionState;
 use crate::trace::Trace;
 
-/// Options of the multilevel mode.
+/// Options of the n-level multilevel mode.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MultilevelConfig {
-    /// Coarsening levels (each level roughly halves the node count).
-    pub levels: usize,
+    /// Coarsening stops once the node count drops to this floor (or
+    /// heavy-edge matching saturates). The hierarchy depth follows from
+    /// the circuit, not from a preset level count.
+    pub coarsen_floor: usize,
+    /// Safety valve on the hierarchy depth (matching halves the node
+    /// count at best, so 64 levels cover any practical circuit).
+    pub max_levels: usize,
     /// Cluster size cap as a fraction of `S_MAX` (clusters larger than
     /// the device could never be placed; smaller caps keep refinement
     /// room). Clamped to at least 2 cells.
     pub cluster_cap_fraction: f64,
-    /// Maximum pairwise refinement rounds per level.
+    /// Maximum boundary-refinement rounds per uncoarsening level.
     pub refine_rounds: usize,
     /// Block pairs refined per round (the most cut-connected ones).
     pub pairs_per_round: usize,
@@ -39,19 +67,35 @@ pub struct MultilevelConfig {
 impl Default for MultilevelConfig {
     fn default() -> Self {
         MultilevelConfig {
-            levels: 2,
+            coarsen_floor: 256,
+            max_levels: 64,
             cluster_cap_fraction: 0.1,
-            refine_rounds: 4,
-            pairs_per_round: 8,
+            refine_rounds: 2,
+            pairs_per_round: 16,
             seed: 0x5EED,
         }
     }
 }
 
-/// Partitions `graph` through a multilevel flow: coarsen
-/// `ml.levels` times, run FPART on the coarsest hypergraph, project the
-/// solution back level by level, and refine with pairwise improvement
-/// passes at every level.
+impl MultilevelConfig {
+    /// Panics on nonsensical parameters, mirroring
+    /// [`FpartConfig::validate`]'s contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cluster_cap_fraction` is not positive and finite.
+    pub fn validate(&self) {
+        assert!(
+            self.cluster_cap_fraction.is_finite() && self.cluster_cap_fraction > 0.0,
+            "cluster_cap_fraction must be positive and finite"
+        );
+    }
+}
+
+/// Partitions `graph` through the n-level multilevel flow: coarsen to
+/// the configured floor, run FPART on the coarsest hypergraph, then
+/// project the solution back one level at a time with boundary-only FM
+/// refinement at every level.
 ///
 /// # Errors
 ///
@@ -84,75 +128,206 @@ pub fn partition_multilevel(
     config: &FpartConfig,
     ml: &MultilevelConfig,
 ) -> Result<PartitionOutcome, PartitionError> {
+    let mut obs = Observer::none();
+    partition_multilevel_observed(graph, constraints, config, ml, &mut obs)
+}
+
+/// [`partition_multilevel`] with metrics and driver events recorded into
+/// the given [`Observer`] — coarsening depth, per-level boundary
+/// refinement timing ([`crate::ImproveKind::Boundary`]), and everything
+/// the coarse-level driver records.
+///
+/// The whole V-cycle runs under **one** [`BudgetTracker`] built from
+/// `config.budget`: the coarse partition's passes, every level's
+/// refinement passes, and the level boundaries all check the same
+/// deadline/caps. When the budget stops the run mid-uncoarsening, the
+/// remaining levels only project (no refinement), so the returned
+/// assignment always covers the input graph and verifies.
+///
+/// # Errors
+///
+/// See [`partition_multilevel`].
+pub fn partition_multilevel_observed(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+    config: &FpartConfig,
+    ml: &MultilevelConfig,
+    obs: &mut Observer<'_>,
+) -> Result<PartitionOutcome, PartitionError> {
     config.validate();
+    ml.validate();
+    let start = Instant::now();
+
+    if graph.node_count() == 0 {
+        return Ok(PartitionOutcome {
+            assignment: Vec::new(),
+            blocks: Vec::new(),
+            device_count: 0,
+            lower_bound: 0,
+            feasible: true,
+            cut: 0,
+            iterations: 0,
+            improve_calls: 0,
+            total_moves: 0,
+            elapsed: start.elapsed(),
+            trace: Trace::disabled(),
+            metrics: obs.metrics.clone(),
+            completion: Completion::Complete,
+        });
+    }
     for v in graph.node_ids() {
         let size = graph.node_size(v);
         if u64::from(size) > constraints.s_max {
             return Err(PartitionError::OversizedNode { node: v, size, s_max: constraints.s_max });
         }
     }
-    let started = std::time::Instant::now();
+
+    // One budget tracker for the whole V-cycle (a direct call counts as
+    // restart 0 for fault-plan targeting, like the flat driver).
+    let tracker = BudgetTracker::new(
+        &config.budget,
+        config.fault_plan.as_ref().and_then(|plan| plan.for_restart(0)),
+    );
+
+    // Coarsen until the floor (or saturation) — the n-level hierarchy.
     let cap = ((constraints.s_max as f64 * ml.cluster_cap_fraction) as u64).max(2);
+    let hierarchy = coarsen_to_floor(graph, cap, ml.coarsen_floor, ml.max_levels, ml.seed);
+    obs.metrics.add(Counter::CoarsenLevels, hierarchy.level_count() as u64);
 
-    // Coarsen.
-    let mut levels = Vec::new();
-    let mut current = graph.clone();
-    for level in 0..ml.levels {
-        if current.node_count() < 32 {
-            break;
-        }
-        let coarsening = coarsen_by_connectivity(&current, cap, ml.seed ^ level as u64);
-        if coarsening.ratio() < 1.05 {
-            break; // matching saturated; further levels are pointless
-        }
-        let next = coarsening.coarse.clone();
-        levels.push(coarsening);
-        current = next;
-    }
+    // Partition the coarsest level under the shared tracker.
+    let coarsest = hierarchy.coarsest().unwrap_or(graph);
+    let coarse_outcome = partition_with_tracker(coarsest, constraints, config, obs, &tracker)?;
+    let coarse_stopped = tracker.stopped();
+    let faults_after_coarse = tracker.faults_injected();
 
-    // Partition the coarsest level.
-    let coarse_outcome = partition(&current, constraints, config)?;
-    let mut assignment = coarse_outcome.assignment;
-    let mut k = coarse_outcome.device_count;
-
-    // Project back and refine at every level. The fine side of level i
-    // is the coarse side of level i−1 (level 0's fine side is the input).
-    let m = fpart_device::lower_bound(graph, constraints);
+    let m = lower_bound(graph, constraints);
     let evaluator = CostEvaluator::new(constraints, config, m, graph.terminal_count());
-    for i in (0..levels.len()).rev() {
-        assignment = levels[i].project(&assignment);
-        let fine: &Hypergraph = if i == 0 { graph } else { &levels[i - 1].coarse };
-        let mut state = PartitionState::from_assignment(fine, assignment, k.max(1));
-        let refine = RefineConfig { rounds: ml.refine_rounds, pairs_per_round: ml.pairs_per_round };
-        refine_pairs(&mut state, &evaluator, config, &refine);
-        assignment = state.assignment().to_vec();
+    let refine = RefineConfig { rounds: ml.refine_rounds, pairs_per_round: ml.pairs_per_round };
+
+    let mut iterations = coarse_outcome.iterations;
+    let mut improve_calls = coarse_outcome.improve_calls;
+    let mut total_moves = coarse_outcome.total_moves;
+    let mut assignment = coarse_outcome.assignment;
+    let mut k = coarse_outcome.device_count.max(1);
+
+    // Uncoarsen: project one level at a time (into a reused buffer) and
+    // refine the boundary. The fine side of level i is the coarse side
+    // of level i−1 (level 0's fine side is the input graph). Projection
+    // always completes — a budget stop only skips refinement — so the
+    // final assignment covers the input graph even on a mid-V-cycle
+    // deadline.
+    let mut next: Vec<u32> = Vec::with_capacity(graph.node_count());
+    for i in (0..hierarchy.level_count()).rev() {
+        hierarchy.levels[i].project_into(&assignment, &mut next);
+        std::mem::swap(&mut assignment, &mut next);
+        if tracker.check() {
+            continue;
+        }
+        let fine: &Hypergraph = if i == 0 { graph } else { &hierarchy.levels[i - 1].coarse };
+        let mut state = PartitionState::from_assignment(fine, std::mem::take(&mut assignment), k);
+        let stats = refine_boundary_metered(
+            &mut state,
+            &evaluator,
+            config,
+            &refine,
+            Some(&tracker),
+            &mut obs.metrics,
+        );
+        improve_calls += stats.calls;
+        total_moves += stats.moves;
+        iterations += usize::from(stats.calls > 0);
         k = state.block_count();
+        assignment = state.into_assignment();
     }
 
-    // Assemble the final outcome on the original graph.
-    let state = PartitionState::from_assignment(graph, assignment, k.max(1));
-    let outcome = crate::driver::assemble_outcome(
+    // The coarse run already accounted its own budget stop and faults;
+    // record only what refinement added.
+    if tracker.stopped() && !coarse_stopped {
+        obs.metrics.bump(Counter::BudgetStops);
+    }
+    obs.metrics.add(Counter::FaultsInjected, tracker.faults_injected() - faults_after_coarse);
+
+    let state = PartitionState::from_assignment(graph, assignment, k);
+    Ok(crate::driver::assemble_outcome(
         graph,
         &state,
         constraints,
         m,
-        coarse_outcome.iterations,
-        coarse_outcome.improve_calls,
-        coarse_outcome.total_moves,
-        started.elapsed(),
+        iterations,
+        improve_calls,
+        total_moves,
+        start.elapsed(),
         Trace::disabled(),
-        crate::obs::Metrics::disabled(),
-        coarse_outcome.completion,
-    );
-    Ok(outcome)
+        obs.metrics.clone(),
+        tracker.completion().worst(coarse_outcome.completion),
+    ))
+}
+
+/// Runs [`partition_multilevel`] `restarts` times with consecutive seed
+/// offsets (both the driver seed and the matching seed diversify),
+/// optionally across `threads` scoped worker threads, and returns the
+/// best outcome under the same reduction as
+/// [`crate::partition_restarts`] — reduced in restart order, so the
+/// result is **bit-identical for every thread count**. Restarts are
+/// panic-isolated exactly like the flat search.
+///
+/// # Errors
+///
+/// Returns [`PartitionError::InvalidConfig`] when `restarts` or
+/// `threads` is zero, the first restart's typed error when every restart
+/// fails, and [`PartitionError::RestartPanicked`] when every restart
+/// panicked.
+pub fn partition_multilevel_restarts(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+    config: &FpartConfig,
+    ml: &MultilevelConfig,
+    restarts: usize,
+    threads: usize,
+) -> Result<PartitionOutcome, PartitionError> {
+    search_restarts(restarts, threads, &|i| {
+        let cfg = restart_config(config, i);
+        let mlc = MultilevelConfig { seed: ml.seed.wrapping_add(i as u64), ..ml.clone() };
+        partition_multilevel(graph, constraints, &cfg, &mlc)
+    })
+}
+
+/// [`partition_multilevel_restarts`] with per-restart metrics recording
+/// and a deterministic aggregate, mirroring
+/// [`crate::partition_restarts_observed`].
+///
+/// # Errors
+///
+/// Same contract as [`partition_multilevel_restarts`].
+pub fn partition_multilevel_restarts_observed(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+    config: &FpartConfig,
+    ml: &MultilevelConfig,
+    restarts: usize,
+    threads: usize,
+) -> Result<RestartsReport, PartitionError> {
+    search_restarts_observed(restarts, threads, &|i| {
+        let cfg = restart_config(config, i);
+        let mlc = MultilevelConfig { seed: ml.seed.wrapping_add(i as u64), ..ml.clone() };
+        let mut obs = Observer::new(Metrics::enabled(), None);
+        let result = partition_multilevel_observed(graph, constraints, &cfg, &mlc, &mut obs);
+        let mut metrics = obs.metrics;
+        metrics.bump(Counter::Runs);
+        (result, metrics)
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::budget::RunBudget;
+    use crate::driver::partition;
+    use crate::verify::verify_assignment;
     use fpart_device::Device;
     use fpart_hypergraph::gen::{find_profile, synthesize_mcnc, Technology};
     use fpart_hypergraph::gen::{window_circuit, WindowConfig};
+    use std::time::Duration;
 
     #[test]
     fn multilevel_produces_valid_feasible_partition() {
@@ -170,6 +345,7 @@ mod tests {
         assert_eq!(total, g.total_size());
         assert!(out.feasible, "blocks: {:?}", out.blocks);
         assert!(out.device_count >= out.lower_bound);
+        assert!(verify_assignment(&g, &out.assignment, out.device_count, constraints).is_feasible());
     }
 
     #[test]
@@ -197,14 +373,40 @@ mod tests {
     }
 
     #[test]
-    fn zero_levels_degenerates_to_flat() {
+    fn floor_above_node_count_degenerates_to_flat() {
         let g = window_circuit(&WindowConfig::new("w", 150, 16), 7);
         let constraints = Device::XC3020.constraints(0.9);
-        let ml_config = MultilevelConfig { levels: 0, ..MultilevelConfig::default() };
+        let ml_config =
+            MultilevelConfig { coarsen_floor: g.node_count(), ..MultilevelConfig::default() };
         let out = partition_multilevel(&g, constraints, &FpartConfig::default(), &ml_config)
             .expect("runs");
         let flat = partition(&g, constraints, &FpartConfig::default()).expect("flat");
         assert_eq!(out.device_count, flat.device_count);
+        assert_eq!(out.assignment, flat.assignment);
+        assert_eq!(out.cut, flat.cut);
+    }
+
+    #[test]
+    fn multilevel_builds_a_deep_hierarchy_on_large_circuits() {
+        let g = window_circuit(&WindowConfig::new("w", 2000, 40), 5);
+        let constraints = Device::XC3020.constraints(0.9);
+        let mut obs = Observer::new(Metrics::enabled(), None);
+        let out = partition_multilevel_observed(
+            &g,
+            constraints,
+            &FpartConfig::default(),
+            &MultilevelConfig { coarsen_floor: 128, ..MultilevelConfig::default() },
+            &mut obs,
+        )
+        .expect("runs");
+        assert!(out.feasible);
+        let levels = out.metrics.get(Counter::CoarsenLevels);
+        assert!(levels >= 3, "2000 nodes → floor 128 needs several levels, got {levels}");
+        assert!(out.metrics.get(Counter::BoundaryRefinements) > 0);
+        assert!(
+            out.metrics.improve_time(crate::ImproveKind::Boundary).count
+                == out.metrics.get(Counter::BoundaryRefinements)
+        );
     }
 
     #[test]
@@ -222,5 +424,101 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, PartitionError::OversizedNode { .. }));
+    }
+
+    #[test]
+    fn empty_graph_is_trivially_feasible() {
+        let g = fpart_hypergraph::HypergraphBuilder::new().finish().unwrap();
+        let out = partition_multilevel(
+            &g,
+            DeviceConstraints::new(10, 10),
+            &FpartConfig::default(),
+            &MultilevelConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.device_count, 0);
+        assert!(out.feasible);
+        assert_eq!(out.completion, Completion::Complete);
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_verifiable_output() {
+        let g = window_circuit(&WindowConfig::new("w", 1200, 40), 9);
+        let constraints = Device::XC3020.constraints(0.9);
+        let config = FpartConfig {
+            budget: RunBudget { deadline: Some(Duration::ZERO), ..RunBudget::default() },
+            ..FpartConfig::default()
+        };
+        let out = partition_multilevel(&g, constraints, &config, &MultilevelConfig::default())
+            .expect("degrades, does not error");
+        assert_eq!(out.completion, Completion::DeadlineExpired);
+        // The assignment still covers the whole input graph and is
+        // structurally valid (only capacity violations are tolerable
+        // on an expired budget), even though refinement never ran.
+        assert_eq!(out.assignment.len(), g.node_count());
+        let v = verify_assignment(&g, &out.assignment, out.device_count, constraints);
+        assert!(
+            v.violations.iter().all(|x| matches!(
+                x,
+                crate::verify::Violation::OverSize { .. }
+                    | crate::verify::Violation::OverTerminals { .. }
+            )),
+            "violations: {:?}",
+            v.violations
+        );
+    }
+
+    #[test]
+    fn multilevel_restarts_are_thread_count_invariant() {
+        let g = window_circuit(&WindowConfig::new("w", 500, 24), 5);
+        let constraints = Device::XC3020.constraints(0.9);
+        let config = FpartConfig::default();
+        let ml = MultilevelConfig { coarsen_floor: 64, ..MultilevelConfig::default() };
+        let sequential =
+            partition_multilevel_restarts(&g, constraints, &config, &ml, 3, 1).unwrap();
+        for threads in [2, 4] {
+            let parallel =
+                partition_multilevel_restarts(&g, constraints, &config, &ml, 3, threads).unwrap();
+            assert_eq!(sequential.assignment, parallel.assignment, "threads={threads}");
+            assert_eq!(sequential.device_count, parallel.device_count);
+            assert_eq!(sequential.cut, parallel.cut);
+        }
+    }
+
+    #[test]
+    fn multilevel_restarts_validate_search_parameters() {
+        let g = window_circuit(&WindowConfig::new("w", 60, 8), 1);
+        let constraints = Device::XC3020.constraints(0.9);
+        let err = partition_multilevel_restarts(
+            &g,
+            constraints,
+            &FpartConfig::default(),
+            &MultilevelConfig::default(),
+            0,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, PartitionError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn observed_restarts_totals_are_per_restart_sums() {
+        let g = window_circuit(&WindowConfig::new("w", 300, 16), 3);
+        let constraints = Device::XC3020.constraints(0.9);
+        let report = partition_multilevel_restarts_observed(
+            &g,
+            constraints,
+            &FpartConfig::default(),
+            &MultilevelConfig { coarsen_floor: 64, ..MultilevelConfig::default() },
+            3,
+            2,
+        )
+        .unwrap();
+        assert_eq!(report.per_restart.len(), 3);
+        for c in Counter::ALL {
+            let sum: u64 = report.per_restart.iter().map(|m| m.get(c)).sum();
+            assert_eq!(report.totals.get(c), sum, "counter {}", c.name());
+        }
+        assert!(report.totals.get(Counter::CoarsenLevels) >= 3);
     }
 }

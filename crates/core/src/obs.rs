@@ -34,7 +34,7 @@ use crate::trace::{ImproveKind, TraceEvent};
 /// Schema version of every machine-readable document this module emits
 /// (the CLI `--metrics` file, the JSONL trace, `BENCH_*.json`). Bump it
 /// whenever a field is renamed, removed, or changes meaning.
-pub const SCHEMA_VERSION: u32 = 3;
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// The named engine counters. Every counter is a monotonically
 /// increasing `u64`; [`Counter::name`] is the stable `snake_case` key used
@@ -71,11 +71,15 @@ pub enum Counter {
     FaultsInjected,
     /// Restarts lost to an isolated panic.
     FailedRestarts,
+    /// Coarsening levels built by the n-level multilevel flow.
+    CoarsenLevels,
+    /// Boundary-refinement improve calls run during uncoarsening.
+    BoundaryRefinements,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 16] = [
         Counter::Passes,
         Counter::MovesApplied,
         Counter::MovesReverted,
@@ -90,6 +94,8 @@ impl Counter {
         Counter::BudgetStops,
         Counter::FaultsInjected,
         Counter::FailedRestarts,
+        Counter::CoarsenLevels,
+        Counter::BoundaryRefinements,
     ];
 
     /// Stable `snake_case` key of this counter in serialized metrics.
@@ -110,6 +116,8 @@ impl Counter {
             Counter::BudgetStops => "budget_stops",
             Counter::FaultsInjected => "faults_injected",
             Counter::FailedRestarts => "failed_restarts",
+            Counter::CoarsenLevels => "coarsen_levels",
+            Counter::BoundaryRefinements => "boundary_refinements",
         }
     }
 }

@@ -5,12 +5,15 @@
 //! pairs. Unlike the driver's schedule there is no remainder — every
 //! block obeys the same move window.
 
-use fpart_hypergraph::NetId;
+use fpart_hypergraph::{NetId, NodeId};
 
+use crate::budget::BudgetTracker;
 use crate::config::FpartConfig;
 use crate::cost::CostEvaluator;
-use crate::engine::{improve, ImproveContext, NO_REMAINDER};
+use crate::engine::{improve, improve_cells_metered, ImproveContext, NO_REMAINDER};
+use crate::obs::{Counter, Metrics};
 use crate::state::PartitionState;
+use crate::trace::ImproveKind;
 
 /// Options of the pairwise refiner.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +74,111 @@ pub fn refine_pairs(
         }
     }
     improved_total
+}
+
+/// Boundary-only refinement of one uncoarsening level of the n-level
+/// multilevel flow.
+///
+/// Like [`refine_pairs`], but each pair pass runs the full FM machinery
+/// (gain buckets, infeasibility-distance key, feasible-move regions)
+/// over **boundary cells only** — the cells of the pair incident to a
+/// net crossing the pair — so the per-level cost scales with the cut,
+/// not the level's node count. The boundary buffer is reused across
+/// pairs and rounds; the move loop inside each pass stays
+/// zero-allocation (engine scratch).
+///
+/// `budget` is checked at every round boundary and threaded into each
+/// improve call (pass boundaries), so a deadline expiring mid-level
+/// stops refinement promptly while the state stays a valid partition.
+/// Each pair pass is timed under [`ImproveKind::Boundary`] and counted
+/// as [`Counter::BoundaryRefinements`] in `metrics`.
+///
+/// Returns the aggregated [`BoundaryRefineStats`] of the level.
+pub fn refine_boundary_metered(
+    state: &mut PartitionState<'_>,
+    evaluator: &CostEvaluator,
+    config: &FpartConfig,
+    refine: &RefineConfig,
+    budget: Option<&BudgetTracker>,
+    metrics: &mut Metrics,
+) -> BoundaryRefineStats {
+    let k = state.block_count();
+    let mut stats_total = BoundaryRefineStats::default();
+    if k < 2 {
+        return stats_total;
+    }
+    // Same loosening as `refine_pairs`: no remainder to protect, so the
+    // strict two-block ε²_min gives way to the multi-block coefficient.
+    let config = FpartConfig { eps_min_two: config.eps_min_multi, ..config.clone() };
+    let config = &config;
+    let mut boundary: Vec<NodeId> = Vec::new();
+    for _ in 0..refine.rounds {
+        if budget.is_some_and(BudgetTracker::check) {
+            break;
+        }
+        let pairs = top_crossing_pairs(state, refine.pairs_per_round);
+        if pairs.is_empty() {
+            break;
+        }
+        let mut improved = false;
+        for (a, b) in pairs {
+            boundary_cells(state, a, b, &mut boundary);
+            if boundary.is_empty() {
+                continue;
+            }
+            let ctx = ImproveContext {
+                evaluator,
+                config,
+                remainder: NO_REMAINDER,
+                minimum_reached: true, // strict S_MAX cap during refinement
+                budget,
+            };
+            let started = metrics.start();
+            let stats = improve_cells_metered(state, &[a, b], &boundary, &ctx, metrics);
+            metrics.stop_improve(ImproveKind::Boundary, started);
+            metrics.bump(Counter::BoundaryRefinements);
+            stats_total.calls += 1;
+            stats_total.moves += stats.moves;
+            if stats.final_key.better_than(&stats.initial_key) {
+                improved = true;
+                stats_total.improved += 1;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    stats_total
+}
+
+/// Aggregated result of one [`refine_boundary_metered`] level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BoundaryRefineStats {
+    /// Boundary improve calls executed.
+    pub calls: usize,
+    /// Cell moves retained across all calls.
+    pub moves: usize,
+    /// Calls that improved the solution key.
+    pub improved: usize,
+}
+
+/// Collects into `out` the cells of blocks `a` and `b` incident to at
+/// least one net with pins in both — the cells whose moves can change
+/// the pair's cut. The buffer is cleared and reused; cells appear once,
+/// in node-id order.
+fn boundary_cells(state: &PartitionState<'_>, a: usize, b: usize, out: &mut Vec<NodeId>) {
+    out.clear();
+    let graph = state.graph();
+    for v in graph.node_ids() {
+        let c = state.block_of(v);
+        if c != a && c != b {
+            continue;
+        }
+        let other = if c == a { b } else { a };
+        if graph.nets(v).iter().any(|&net| state.net_pins_in(net, other) > 0) {
+            out.push(v);
+        }
+    }
 }
 
 /// The block pairs with the most crossing nets, each block used at most
@@ -147,6 +255,89 @@ mod tests {
         state.assert_consistent();
         assert!(improved > 0);
         assert!(state.cut_count() < before);
+    }
+
+    #[test]
+    fn boundary_refine_improves_a_scrambled_partition() {
+        let cfg = ClusteredConfig::new("cl", 3, 20);
+        let (g, planted) = clustered_circuit(&cfg, 7);
+        let mut assignment = planted.clone();
+        for i in (0..assignment.len()).step_by(4) {
+            assignment[i] = (assignment[i] + 1) % 3;
+        }
+        let mut state = PartitionState::from_assignment(&g, assignment, 3);
+        let before = state.cut_count();
+        let config = FpartConfig::default();
+        let evaluator =
+            CostEvaluator::new(DeviceConstraints::new(25, 100), &config, 3, g.terminal_count());
+        let mut metrics = Metrics::enabled();
+        let improved = refine_boundary_metered(
+            &mut state,
+            &evaluator,
+            &config,
+            &RefineConfig::default(),
+            None,
+            &mut metrics,
+        );
+        state.assert_consistent();
+        assert!(improved.improved > 0);
+        assert!(improved.calls >= improved.improved);
+        assert!(improved.moves > 0);
+        assert!(state.cut_count() < before);
+        assert_eq!(metrics.get(Counter::BoundaryRefinements), improved.calls as u64);
+        assert_eq!(metrics.improve_time(ImproveKind::Boundary).count, improved.calls as u64);
+    }
+
+    #[test]
+    fn boundary_cells_touch_crossing_nets_only() {
+        let (g, planted) = clustered_circuit(&ClusteredConfig::new("cl", 3, 10), 3);
+        let state = PartitionState::from_assignment(&g, planted, 3);
+        let mut cells = Vec::new();
+        boundary_cells(&state, 0, 1, &mut cells);
+        for &v in &cells {
+            let c = state.block_of(v);
+            assert!(c == 0 || c == 1);
+            let other = usize::from(c == 0);
+            assert!(g.nets(v).iter().any(|&e| state.net_pins_in(e, other) > 0));
+        }
+        // Completeness: every pair cell with a crossing net is listed.
+        let listed: std::collections::HashSet<_> = cells.iter().copied().collect();
+        for v in g.node_ids() {
+            let c = state.block_of(v);
+            if c != 0 && c != 1 {
+                continue;
+            }
+            let other = usize::from(c == 0);
+            if g.nets(v).iter().any(|&e| state.net_pins_in(e, other) > 0) {
+                assert!(listed.contains(&v), "missing boundary cell {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_refine_with_expired_budget_is_a_noop() {
+        let (g, planted) = clustered_circuit(&ClusteredConfig::new("cl", 3, 12), 5);
+        let mut assignment = planted;
+        for i in (0..assignment.len()).step_by(3) {
+            assignment[i] = (assignment[i] + 1) % 3;
+        }
+        let mut state = PartitionState::from_assignment(&g, assignment.clone(), 3);
+        let config = FpartConfig::default();
+        let evaluator =
+            CostEvaluator::new(DeviceConstraints::new(25, 100), &config, 3, g.terminal_count());
+        let budget = crate::budget::RunBudget { max_passes: Some(0), ..Default::default() };
+        let tracker = BudgetTracker::new(&budget, None);
+        assert!(tracker.before_pass());
+        let improved = refine_boundary_metered(
+            &mut state,
+            &evaluator,
+            &config,
+            &RefineConfig::default(),
+            Some(&tracker),
+            &mut Metrics::disabled(),
+        );
+        assert_eq!(improved, BoundaryRefineStats::default());
+        assert_eq!(state.assignment(), &assignment[..], "stopped refinement moved cells");
     }
 
     #[test]

@@ -154,6 +154,14 @@ impl<'a> PartitionState<'a> {
         &self.assignment
     }
 
+    /// Consumes the state and returns the assignment vector without
+    /// copying, for flows (multilevel uncoarsening) that rebuild a
+    /// fresh state per level from the same buffer.
+    #[must_use]
+    pub fn into_assignment(self) -> Vec<u32> {
+        self.assignment
+    }
+
     /// Collects the nodes of one block (O(n) scan).
     #[must_use]
     pub fn nodes_in_block(&self, block: usize) -> Vec<NodeId> {

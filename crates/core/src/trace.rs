@@ -22,17 +22,21 @@ pub enum ImproveKind {
     MaxFree,
     /// The final `Improve(P_i, R_k)` sweep at `k = M`.
     FinalSweep,
+    /// Boundary-only refinement of one uncoarsening level in the
+    /// n-level multilevel flow (not part of the §3.1 schedule).
+    Boundary,
 }
 
 impl ImproveKind {
     /// Every schedule slot, in schedule order.
-    pub const ALL: [ImproveKind; 6] = [
+    pub const ALL: [ImproveKind; 7] = [
         ImproveKind::LastPair,
         ImproveKind::AllBlocks,
         ImproveKind::MinSize,
         ImproveKind::MinIo,
         ImproveKind::MaxFree,
         ImproveKind::FinalSweep,
+        ImproveKind::Boundary,
     ];
 
     /// Stable `snake_case` name, used by serialized metrics/traces and the
@@ -48,6 +52,7 @@ impl ImproveKind {
             ImproveKind::MinIo => "min_io",
             ImproveKind::MaxFree => "max_free",
             ImproveKind::FinalSweep => "final_sweep",
+            ImproveKind::Boundary => "boundary",
         }
     }
 

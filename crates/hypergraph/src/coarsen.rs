@@ -37,12 +37,26 @@ impl Coarsening {
     /// Panics if `coarse_assignment` does not cover the coarse graph.
     #[must_use]
     pub fn project(&self, coarse_assignment: &[u32]) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.project_into(coarse_assignment, &mut out);
+        out
+    }
+
+    /// [`Coarsening::project`] into a caller-owned buffer, so an n-level
+    /// uncoarsening sweep reuses two assignment buffers instead of
+    /// allocating one per level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coarse_assignment` does not cover the coarse graph.
+    pub fn project_into(&self, coarse_assignment: &[u32], out: &mut Vec<u32>) {
         assert_eq!(
             coarse_assignment.len(),
             self.coarse.node_count(),
             "assignment must cover the coarse graph"
         );
-        self.map.iter().map(|c| coarse_assignment[c.index()]).collect()
+        out.clear();
+        out.extend(self.map.iter().map(|c| coarse_assignment[c.index()]));
     }
 
     /// Coarsening ratio `fine nodes / coarse nodes`.
@@ -161,6 +175,86 @@ pub fn coarsen_by_connectivity(graph: &Hypergraph, max_cluster_size: u64, seed: 
     Coarsening { coarse, map }
 }
 
+/// A full n-level coarsening hierarchy: `levels[0]` clusters the input
+/// hypergraph, `levels[i]` clusters `levels[i-1].coarse`. Produced by
+/// [`coarsen_to_floor`], consumed finest-to-coarsest on the way down and
+/// coarsest-to-finest during uncoarsening.
+#[derive(Debug, Clone, Default)]
+pub struct Hierarchy {
+    /// The coarsening levels, finest first. Empty when the input was
+    /// already at or below the floor (partition the input directly).
+    pub levels: Vec<Coarsening>,
+}
+
+impl Hierarchy {
+    /// Number of coarsening levels.
+    #[must_use]
+    pub fn level_count(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The coarsest hypergraph, or `None` when no coarsening happened.
+    #[must_use]
+    pub fn coarsest(&self) -> Option<&Hypergraph> {
+        self.levels.last().map(|c| &c.coarse)
+    }
+
+    /// Projects an assignment of the coarsest hypergraph all the way
+    /// down to the input hypergraph (no per-level refinement; used to
+    /// finish a budget-stopped uncoarsening cheaply).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coarse_assignment` does not cover the coarsest graph.
+    #[must_use]
+    pub fn project_to_finest(&self, coarse_assignment: &[u32]) -> Vec<u32> {
+        let mut cur = coarse_assignment.to_vec();
+        let mut next = Vec::new();
+        for level in self.levels.iter().rev() {
+            level.project_into(&cur, &mut next);
+            std::mem::swap(&mut cur, &mut next);
+        }
+        cur
+    }
+}
+
+/// Coarsening saturates when a level shrinks the node count by less than
+/// this ratio: further matching rounds would only add projection cost.
+const SATURATION_RATIO: f64 = 1.05;
+
+/// Builds an n-level coarsening [`Hierarchy`] by repeated heavy-edge
+/// matching until the node count drops to `floor`, matching saturates
+/// (a level shrinks by less than 5%), or `max_levels` is reached.
+///
+/// Each level derives its matching order from `seed ^ level`, so the
+/// hierarchy is deterministic for a given `(graph, cap, floor, seed)`.
+///
+/// # Panics
+///
+/// Panics if `max_cluster_size == 0`.
+#[must_use]
+pub fn coarsen_to_floor(
+    graph: &Hypergraph,
+    max_cluster_size: u64,
+    floor: usize,
+    max_levels: usize,
+    seed: u64,
+) -> Hierarchy {
+    let mut hierarchy = Hierarchy::default();
+    for level in 0..max_levels {
+        let current = hierarchy.coarsest().unwrap_or(graph);
+        if current.node_count() <= floor {
+            break;
+        }
+        let coarsening = coarsen_by_connectivity(current, max_cluster_size, seed ^ level as u64);
+        if coarsening.ratio() < SATURATION_RATIO {
+            break;
+        }
+        hierarchy.levels.push(coarsening);
+    }
+    hierarchy
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -251,6 +345,69 @@ mod tests {
         let b = coarsen_by_connectivity(&g, 4, 9);
         assert_eq!(a.map, b.map);
         assert_eq!(a.coarse.node_count(), b.coarse.node_count());
+    }
+
+    #[test]
+    fn hierarchy_reaches_floor_or_saturates() {
+        let g = window_circuit(&WindowConfig::new("w", 600, 24), 17);
+        let h = coarsen_to_floor(&g, 8, 50, 32, 5);
+        assert!(h.level_count() >= 2, "600 nodes should coarsen more than once");
+        let coarsest = h.coarsest().expect("levels exist");
+        // Either the floor was reached or the next level would saturate.
+        if coarsest.node_count() > 50 {
+            let next = coarsen_by_connectivity(coarsest, 8, 5 ^ h.level_count() as u64);
+            assert!(next.ratio() < 1.05, "stopped early without saturation");
+        }
+        // Node counts strictly decrease through the hierarchy.
+        let mut prev = g.node_count();
+        for level in &h.levels {
+            assert!(level.coarse.node_count() < prev);
+            assert_eq!(level.map.len(), prev);
+            prev = level.coarse.node_count();
+        }
+        // Sizes are conserved end to end.
+        assert_eq!(coarsest.total_size(), g.total_size());
+    }
+
+    #[test]
+    fn hierarchy_is_empty_at_or_below_floor() {
+        let g = window_circuit(&WindowConfig::new("w", 40, 6), 1);
+        let h = coarsen_to_floor(&g, 8, 40, 32, 3);
+        assert_eq!(h.level_count(), 0);
+        assert!(h.coarsest().is_none());
+        // Projection through an empty hierarchy is the identity.
+        let assignment: Vec<u32> = (0..g.node_count() as u32).map(|i| i % 4).collect();
+        assert_eq!(h.project_to_finest(&assignment), assignment);
+    }
+
+    #[test]
+    fn hierarchy_projection_matches_per_level_projection() {
+        let g = window_circuit(&WindowConfig::new("w", 300, 12), 23);
+        let h = coarsen_to_floor(&g, 6, 30, 32, 9);
+        assert!(h.level_count() >= 1);
+        let coarsest = h.coarsest().unwrap();
+        let coarse_assignment: Vec<u32> =
+            (0..coarsest.node_count() as u32).map(|i| i % 5).collect();
+        let direct = h.project_to_finest(&coarse_assignment);
+        let mut expected = coarse_assignment.clone();
+        for level in h.levels.iter().rev() {
+            expected = level.project(&expected);
+        }
+        assert_eq!(direct, expected);
+        assert_eq!(direct.len(), g.node_count());
+    }
+
+    #[test]
+    fn project_into_reuses_buffer() {
+        let g = window_circuit(&WindowConfig::new("w", 100, 8), 11);
+        let c = coarsen_by_connectivity(&g, 4, 5);
+        let coarse_assignment: Vec<u32> =
+            (0..c.coarse.node_count() as u32).map(|i| i % 3).collect();
+        let mut out = Vec::with_capacity(g.node_count());
+        let cap = out.capacity();
+        c.project_into(&coarse_assignment, &mut out);
+        assert_eq!(out, c.project(&coarse_assignment));
+        assert_eq!(out.capacity(), cap, "projection buffer reallocated");
     }
 
     #[test]

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validate a smoke-bench artifact against its documented schema.
+
+Usage: check_bench.py <bench.json> [--schema-version N]
+
+The artifact must be valid JSON and carry every documented section with
+the right key types, so a malformed bench emitter fails CI rather than
+silently shipping an unusable artifact. When the `multilevel` section is
+present it is also checked for the PR's performance claims: the n-level
+V-cycle must be at least 2x faster than the flat driver on the 20k-node
+Rent circuit without losing quality (`quality_not_worse`).
+"""
+
+import argparse
+import json
+import sys
+
+
+def require(obj, key, types, ctx):
+    assert key in obj, f"{ctx}: missing key {key!r}"
+    assert isinstance(obj[key], types), \
+        f"{ctx}: {key!r} is {type(obj[key]).__name__}, expected {types}"
+    return obj[key]
+
+
+def check(path, schema_version):
+    with open(path) as f:
+        doc = json.load(f)
+    ctx = path
+
+    got = require(doc, "schema_version", int, ctx)
+    assert got == schema_version, \
+        f"{ctx}: schema_version {got}, expected {schema_version}"
+    require(doc, "circuit", str, ctx)
+    require(doc, "nodes", int, ctx)
+    require(doc, "available_parallelism", int, ctx)
+
+    for row in require(doc, "pass_throughput", list, ctx):
+        for key, types in [("case", str), ("moves", int), ("passes", int),
+                           ("seconds", (int, float)),
+                           ("moves_per_sec", (int, float))]:
+            require(row, key, types, "pass_throughput row")
+
+    for row in require(doc, "key_eval_per_move", list, ctx):
+        for key, types in [("blocks", int), ("moves", int),
+                           ("move_only_ns", (int, float)),
+                           ("incremental_ns", (int, float)),
+                           ("from_scratch_ns", (int, float)),
+                           ("loop_gain_pct", (int, float)),
+                           ("eval_component_gain_pct", (int, float))]:
+            require(row, key, types, "key_eval_per_move row")
+
+    for row in require(doc, "thread_sweep", list, ctx):
+        for key, types in [("threads", int),
+                           ("bipartition_runs8_seconds", (int, float)),
+                           ("restarts4_seconds", (int, float))]:
+            require(row, key, types, "thread_sweep row")
+
+    counters = require(require(doc, "engine_counters", dict, ctx),
+                       "counters", dict, "engine_counters")
+    for name in ["passes", "moves_applied", "moves_reverted",
+                 "gain_bucket_pops", "stack_restarts", "key_evaluations",
+                 "snapshots_materialized", "improve_calls", "iterations",
+                 "bipartitions", "runs", "budget_stops", "faults_injected",
+                 "failed_restarts", "coarsen_levels",
+                 "boundary_refinements"]:
+        require(counters, name, int, "engine_counters.counters")
+    assert counters["passes"] > 0, "a real bench run executes passes"
+    require(doc["engine_counters"], "improve_time", dict, "engine_counters")
+
+    metering = require(doc, "metering", dict, ctx)
+    for key in ["unmetered_seconds", "metered_seconds", "overhead_pct"]:
+        require(metering, key, (int, float), "metering")
+
+    control = require(doc, "execution_control", dict, ctx)
+    for key, types in [("budget_overhead_pct", (int, float)),
+                       ("deadline_completion", str),
+                       ("deadline_seconds", (int, float)),
+                       ("deadline_budget_stops", int),
+                       ("fault_completion", str),
+                       ("fault_failed_restarts", int)]:
+        require(control, key, types, "execution_control")
+    assert control["deadline_completion"] == "deadline_expired", \
+        "deadline run must report deadline_expired"
+    assert control["fault_failed_restarts"] == 1, \
+        "injected panic must be reported"
+
+    if "multilevel" in doc:
+        ml = require(doc, "multilevel", dict, ctx)
+        for key, types in [("circuit", str), ("nodes", int),
+                           ("flat_seconds", (int, float)),
+                           ("multilevel_seconds", (int, float)),
+                           ("speedup", (int, float)),
+                           ("coarsen_levels", int),
+                           ("flat", dict), ("nlevel", dict),
+                           ("quality_not_worse", bool)]:
+            require(ml, key, types, "multilevel")
+        for side in ["flat", "nlevel"]:
+            for key, types in [("feasible", bool), ("devices", int),
+                               ("infeasibility", (int, float)),
+                               ("terminal_sum", int),
+                               ("external_balance", (int, float)),
+                               ("cut", int)]:
+                require(ml[side], key, types, f"multilevel.{side}")
+        assert ml["nodes"] >= 20000, \
+            "multilevel comparison must run on a 20k+-node circuit"
+        assert ml["coarsen_levels"] >= 3, \
+            f"n-level means a real hierarchy, got {ml['coarsen_levels']} levels"
+        assert ml["speedup"] >= 2.0, \
+            f"n-level must be >= 2x faster than flat, got {ml['speedup']}x"
+        assert ml["quality_not_worse"], \
+            "n-level must not lose quality for its speed"
+
+    print(f"{path} matches the schema")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("file", help="bench JSON artifact to validate")
+    parser.add_argument("--schema-version", type=int, default=4,
+                        help="expected schema_version (default 4)")
+    args = parser.parse_args()
+    try:
+        check(args.file, args.schema_version)
+    except AssertionError as err:
+        print(f"FAIL: {err}", file=sys.stderr)
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, release build, tests, degradation
-# smoke, smoke bench.
+# smoke, quality-regression gate, smoke bench.
 #
 # Usage: scripts/ci.sh [--skip-bench]
 #
@@ -65,70 +65,25 @@ case "$err" in
     *RUST_BACKTRACE*) echo "parse error printed a backtrace: $err" >&2; exit 1 ;;
 esac
 
+step "quality-regression gate (pinned circuits vs goldens/quality_gate.json)"
+# Three pinned, seeded circuits are partitioned with the flat driver and
+# the n-level multilevel flow; the lexicographic quality key of every
+# result must stay within scripts/check_quality.py's tolerance of the
+# checked-in golden. The runs are deterministic, so a regression here is
+# an algorithm change, not noise — intentional changes must refresh the
+# golden in the same commit.
+timeout 300 ./target/release/quality "$smoke_dir/quality.json"
+python3 scripts/check_quality.py "$smoke_dir/quality.json" goldens/quality_gate.json
+
 if [ "$skip_bench" -eq 0 ]; then
-    step "smoke bench -> BENCH_pr3.json"
-    timeout 900 ./target/release/smoke BENCH_pr3.json
-    # The file must be valid JSON *and* match the documented schema
-    # (required keys with the right types), so a malformed bench emitter
-    # fails CI rather than silently shipping an unusable artifact.
-    python3 - <<'EOF'
-import json
-
-with open("BENCH_pr3.json") as f:
-    doc = json.load(f)
-
-def require(obj, key, types, ctx="BENCH_pr3.json"):
-    assert key in obj, f"{ctx}: missing key {key!r}"
-    assert isinstance(obj[key], types), \
-        f"{ctx}: {key!r} is {type(obj[key]).__name__}, expected {types}"
-    return obj[key]
-
-assert require(doc, "schema_version", int) == 3, "unexpected schema_version"
-require(doc, "circuit", str)
-require(doc, "nodes", int)
-require(doc, "available_parallelism", int)
-
-for row in require(doc, "pass_throughput", list):
-    for key, types in [("case", str), ("moves", int), ("passes", int),
-                       ("seconds", (int, float)), ("moves_per_sec", (int, float))]:
-        require(row, key, types, "pass_throughput row")
-
-for row in require(doc, "key_eval_per_move", list):
-    for key, types in [("blocks", int), ("moves", int), ("move_only_ns", (int, float)),
-                       ("incremental_ns", (int, float)), ("from_scratch_ns", (int, float)),
-                       ("loop_gain_pct", (int, float)), ("eval_component_gain_pct", (int, float))]:
-        require(row, key, types, "key_eval_per_move row")
-
-for row in require(doc, "thread_sweep", list):
-    for key, types in [("threads", int), ("bipartition_runs8_seconds", (int, float)),
-                       ("restarts4_seconds", (int, float))]:
-        require(row, key, types, "thread_sweep row")
-
-counters = require(require(doc, "engine_counters", dict), "counters", dict, "engine_counters")
-for name in ["passes", "moves_applied", "moves_reverted", "gain_bucket_pops",
-             "stack_restarts", "key_evaluations", "snapshots_materialized",
-             "improve_calls", "iterations", "bipartitions", "runs",
-             "budget_stops", "faults_injected", "failed_restarts"]:
-    require(counters, name, int, "engine_counters.counters")
-assert counters["passes"] > 0, "a real bench run executes passes"
-require(doc["engine_counters"], "improve_time", dict, "engine_counters")
-
-metering = require(doc, "metering", dict)
-for key in ["unmetered_seconds", "metered_seconds", "overhead_pct"]:
-    require(metering, key, (int, float), "metering")
-
-control = require(doc, "execution_control", dict)
-for key, types in [("budget_overhead_pct", (int, float)),
-                   ("deadline_completion", str), ("deadline_seconds", (int, float)),
-                   ("deadline_budget_stops", int), ("fault_completion", str),
-                   ("fault_failed_restarts", int)]:
-    require(control, key, types, "execution_control")
-assert control["deadline_completion"] == "deadline_expired", \
-    "deadline run must report deadline_expired"
-assert control["fault_failed_restarts"] == 1, "injected panic must be reported"
-
-print("BENCH_pr3.json matches the schema")
-EOF
+    step "smoke bench -> BENCH_pr4.json"
+    timeout 900 ./target/release/smoke BENCH_pr4.json
+    # The artifact must be valid JSON *and* match the documented schema
+    # (required keys with the right types), and its multilevel section
+    # must hold the n-level performance claims (>= 2x over flat at equal
+    # or better quality), so a malformed or regressed bench fails CI
+    # rather than silently shipping.
+    python3 scripts/check_bench.py BENCH_pr4.json --schema-version 4
 fi
 
 step "CI OK"

@@ -5,7 +5,7 @@
 use fpart_baselines::replicate;
 use fpart_core::config::GainObjective;
 use fpart_core::fm::{bipartition_fm, FmConfig};
-use fpart_core::{partition, partition_multilevel, FpartConfig, MultilevelConfig, QualityReport};
+use fpart_core::{partition, FpartConfig, MultilevelConfig, QualityReport};
 use fpart_device::fit::{default_price_list, fit_blocks};
 use fpart_device::Device;
 use fpart_hypergraph::coarsen::coarsen_by_connectivity;
@@ -16,17 +16,23 @@ fn multilevel_flow_is_feasible_on_mcnc() {
     let p = find_profile("s13207").expect("known circuit");
     let g = synthesize_mcnc(p, Technology::Xc3000);
     let constraints = Device::XC3020.constraints(0.9);
-    let out = partition_multilevel(
+    let mut obs = fpart_core::Observer::new(fpart_core::Metrics::enabled(), None);
+    let out = fpart_core::partition_multilevel_observed(
         &g,
         constraints,
         &FpartConfig::default(),
         &MultilevelConfig::default(),
+        &mut obs,
     )
     .expect("runs");
     assert!(out.feasible);
     assert!(out.device_count >= out.lower_bound);
     let total: u64 = out.blocks.iter().map(|b| b.size).sum();
     assert_eq!(total, g.total_size());
+    // A real n-level run: the hierarchy has depth and every level's
+    // boundary refinement is accounted in the metrics registry.
+    assert!(out.metrics.get(fpart_core::Counter::CoarsenLevels) >= 2);
+    assert!(out.metrics.get(fpart_core::Counter::BoundaryRefinements) > 0);
 }
 
 #[test]

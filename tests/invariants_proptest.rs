@@ -4,9 +4,11 @@
 use fpart_core::bucket::GainBucket;
 use fpart_core::cost::CostEvaluator;
 use fpart_core::{
-    partition, partition_restarts, FpartConfig, KeyTracker, PartitionState, SolutionKey,
+    partition, partition_multilevel, partition_multilevel_restarts, partition_restarts, Completion,
+    FpartConfig, KeyTracker, MultilevelConfig, PartitionState, RunBudget, SolutionKey,
 };
 use fpart_device::DeviceConstraints;
+use fpart_hypergraph::coarsen::coarsen_to_floor;
 use fpart_hypergraph::gen::{window_circuit, WindowConfig};
 use fpart_hypergraph::{Hypergraph, NodeId};
 use proptest::prelude::*;
@@ -271,6 +273,112 @@ proptest! {
         }
         prop_assert!(hit.iter().all(|&h| h), "every coarse node has members");
         prop_assert_eq!(c.coarse.terminal_count(), graph.terminal_count());
+    }
+
+    /// An n-level hierarchy's projection to the finest graph is always
+    /// verifiable: any assignment of the coarsest nodes projects to a
+    /// full-coverage, in-range assignment of the input graph that
+    /// conserves every block's size.
+    #[test]
+    fn nlevel_projection_is_always_verifiable(
+        graph in arb_graph(),
+        cap in 2u64..10,
+        floor in 2usize..12,
+        k in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let hierarchy = coarsen_to_floor(&graph, cap, floor, 64, seed);
+        let coarsest_n = hierarchy.coarsest().map_or(graph.node_count(), |c| c.node_count());
+        prop_assert!(coarsest_n <= graph.node_count());
+        let coarse: Vec<u32> =
+            (0..coarsest_n as u32).map(|i| (i.wrapping_mul(7)) % k as u32).collect();
+        let fine = hierarchy.project_to_finest(&coarse);
+        prop_assert_eq!(fine.len(), graph.node_count());
+        for &b in &fine {
+            prop_assert!((b as usize) < k);
+        }
+        // Block sizes conserve through every projection level.
+        let fine_state = PartitionState::from_assignment(&graph, fine, k);
+        if let Some(coarsest) = hierarchy.coarsest() {
+            let coarse_state = PartitionState::from_assignment(coarsest, coarse, k);
+            for b in 0..k {
+                prop_assert_eq!(fine_state.block_size(b), coarse_state.block_size(b));
+            }
+        }
+    }
+
+    /// The multilevel restart search is bit-identical across thread
+    /// counts, exactly like the flat search.
+    #[test]
+    fn multilevel_restarts_thread_invariant_on_random_circuits(
+        graph in arb_graph(),
+        s_max in 16u64..48,
+        t_max in 16usize..48,
+        threads in 2usize..5,
+    ) {
+        let constraints = DeviceConstraints::new(s_max, t_max);
+        let max_node = graph.node_ids().map(|v| u64::from(graph.node_size(v))).max().unwrap_or(0);
+        prop_assume!(max_node <= s_max);
+        let config = FpartConfig::default();
+        let ml = MultilevelConfig { coarsen_floor: 8, ..MultilevelConfig::default() };
+        let sequential = partition_multilevel_restarts(&graph, constraints, &config, &ml, 3, 1);
+        let parallel =
+            partition_multilevel_restarts(&graph, constraints, &config, &ml, 3, threads);
+        match (sequential, parallel) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.assignment, b.assignment);
+                prop_assert_eq!(a.device_count, b.device_count);
+                prop_assert_eq!(a.cut, b.cut);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => {
+                return Err(TestCaseError::fail(format!(
+                    "sequential and parallel disagree on success: {a:?} vs {b:?}"
+                )));
+            }
+        }
+    }
+
+    /// An already-expired deadline anywhere in the V-cycle still yields
+    /// full-coverage, in-range output flagged `deadline_expired` — the
+    /// graceful-degradation contract holds mid-uncoarsening.
+    #[test]
+    fn multilevel_deadline_always_yields_verifiable_output(
+        graph in arb_graph(),
+        s_max in 16u64..48,
+        t_max in 16usize..48,
+    ) {
+        let constraints = DeviceConstraints::new(s_max, t_max);
+        let max_node = graph.node_ids().map(|v| u64::from(graph.node_size(v))).max().unwrap_or(0);
+        prop_assume!(max_node <= s_max);
+        let config = FpartConfig {
+            budget: RunBudget {
+                deadline: Some(std::time::Duration::ZERO),
+                ..RunBudget::default()
+            },
+            ..FpartConfig::default()
+        };
+        let ml = MultilevelConfig { coarsen_floor: 4, ..MultilevelConfig::default() };
+        let out = partition_multilevel(&graph, constraints, &config, &ml);
+        match out {
+            Ok(out) => {
+                // A circuit that fits one device can finish before any
+                // pass runs (legitimately `Complete`); any multi-block
+                // solve must have hit the expired deadline.
+                if out.device_count > 1 {
+                    prop_assert_eq!(out.completion, Completion::DeadlineExpired);
+                }
+                prop_assert_eq!(out.assignment.len(), graph.node_count());
+                for &b in &out.assignment {
+                    prop_assert!((b as usize) < out.device_count);
+                }
+                let total: u64 = out.blocks.iter().map(|b| b.size).sum();
+                prop_assert_eq!(total, graph.total_size());
+            }
+            Err(e) => {
+                return Err(TestCaseError::fail(format!("deadline must degrade, not fail: {e}")));
+            }
+        }
     }
 
     /// The independent verifier agrees with the incremental state on
