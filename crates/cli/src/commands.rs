@@ -38,6 +38,7 @@ pub fn partition(raw: &[String]) -> Result<(), CliError> {
             "metrics",
             "trace-json",
             "coarsen-floor",
+            "write-assignment",
         ],
         switches: &["trace", "multilevel"],
     };
@@ -176,6 +177,9 @@ pub fn partition(raw: &[String]) -> Result<(), CliError> {
         fpart_core::write_assignment(file, &graph, &assignment)
             .map_err(|e| CliError::Runtime(format!("cannot write {output}: {e}")))?;
         eprintln!("assignment written to {output}");
+    }
+    if let Some(path) = args.option("write-assignment") {
+        write_versioned_assignment(path, &graph, &assignment, device_count)?;
     }
     if completion == Completion::Cancelled {
         // Results (and any --output/--metrics files) are complete; the
@@ -510,6 +514,212 @@ fn print_trace(trace: &Trace) {
             }
         }
     }
+}
+
+/// Writes the versioned `#%fpart-assignment` format (the `fpart eco`
+/// input format) to `path`.
+fn write_versioned_assignment(
+    path: &str,
+    graph: &Hypergraph,
+    assignment: &[u32],
+    blocks: usize,
+) -> Result<(), CliError> {
+    let file = std::fs::File::create(path)
+        .map_err(|e| CliError::Runtime(format!("cannot create {path}: {e}")))?;
+    fpart_core::write_assignment_versioned(file, graph, assignment, blocks)
+        .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+    eprintln!("versioned assignment written to {path}");
+    Ok(())
+}
+
+/// `fpart eco <netlist> --assignment FILE --edits FILE ...`
+///
+/// Applies a JSON-Lines edit script to the netlist and repairs the
+/// given assignment onto the edited design: surviving cells keep their
+/// block, new/orphaned cells are placed constructively, and only the
+/// dirty blocks are refined. Large edits (past `--churn-threshold`)
+/// fall back to a full multilevel repartition automatically.
+#[allow(clippy::too_many_lines)]
+pub fn eco(raw: &[String]) -> Result<(), CliError> {
+    let spec = Spec {
+        valued: &[
+            "device",
+            "delta",
+            "s-max",
+            "t-max",
+            "assignment",
+            "edits",
+            "restarts",
+            "threads",
+            "deadline-ms",
+            "max-passes",
+            "metrics",
+            "churn-threshold",
+            "output",
+            "write-assignment",
+        ],
+        switches: &[],
+    };
+    let args = Args::parse(raw, spec).map_err(CliError::Usage)?;
+    let input =
+        args.positional(0).ok_or_else(|| CliError::Usage("eco needs a netlist file".into()))?;
+    let graph = netlist_file::read(Path::new(input)).map_err(CliError::Input)?;
+    let constraints = resolve_constraints(&args).map_err(CliError::Usage)?;
+    let assignment_file = args
+        .option("assignment")
+        .ok_or_else(|| CliError::Usage("eco needs --assignment FILE".into()))?;
+    let edits_file =
+        args.option("edits").ok_or_else(|| CliError::Usage("eco needs --edits FILE".into()))?;
+    let restarts: usize = args.option_parsed("restarts", 1).map_err(CliError::Usage)?;
+    let threads: usize = args.option_parsed("threads", 1).map_err(CliError::Usage)?;
+    if restarts == 0 || threads == 0 {
+        return Err(CliError::Usage("--restarts and --threads must be at least 1".into()));
+    }
+    let deadline_ms: Option<u64> = args
+        .option("deadline-ms")
+        .map(|v| v.parse().map_err(|_| format!("option --deadline-ms: cannot parse `{v}`")))
+        .transpose()
+        .map_err(CliError::Usage)?;
+    let max_passes: Option<u64> = args
+        .option("max-passes")
+        .map(|v| v.parse().map_err(|_| format!("option --max-passes: cannot parse `{v}`")))
+        .transpose()
+        .map_err(CliError::Usage)?;
+    let churn_threshold: f64 =
+        args.option_parsed("churn-threshold", 0.15).map_err(CliError::Usage)?;
+    if !(0.0..=1.0).contains(&churn_threshold) {
+        return Err(CliError::Usage("--churn-threshold must be in [0, 1]".into()));
+    }
+
+    // Previous assignment (plain or versioned) resolved against the
+    // *pre-edit* netlist; the node map carries it onto the edited one.
+    let file = std::fs::File::open(assignment_file)
+        .map_err(|e| CliError::Input(format!("cannot read {assignment_file}: {e}")))?;
+    let (previous, prev_k) = fpart_core::read_assignment(file, &graph)
+        .map_err(|e| CliError::Input(format!("{assignment_file}: {e}")))?;
+    let edits = std::fs::File::open(edits_file)
+        .map_err(|e| CliError::Input(format!("cannot read {edits_file}: {e}")))?;
+    let script = fpart_hypergraph::EditScript::read(edits)
+        .map_err(|e| CliError::Input(format!("{edits_file}: {e}")))?;
+    let applied = fpart_hypergraph::apply_script(&graph, &script)
+        .map_err(|e| CliError::Input(format!("{edits_file}: {e}")))?;
+    eprintln!(
+        "{input}: {} cells in {prev_k} blocks; {} edits -> {} cells (+{} -{}); device {constraints}",
+        graph.node_count(),
+        script.len(),
+        applied.graph.node_count(),
+        applied.added_nodes,
+        applied.removed_nodes
+    );
+
+    crate::install_sigint_handler();
+    let budget = RunBudget {
+        deadline: deadline_ms.map(std::time::Duration::from_millis),
+        max_passes,
+        max_moves: None,
+        cancel: Some(CancelToken::from_static(&crate::INTERRUPTED)),
+    };
+    let config = FpartConfig { budget, ..FpartConfig::default() };
+    let eco_config = fpart_core::EcoConfig { churn_threshold, ..fpart_core::EcoConfig::default() };
+
+    let started = std::time::Instant::now();
+    let outcome = if let Some(path) = args.option("metrics") {
+        let mut report = fpart_core::repartition_eco_restarts_observed(
+            &applied.graph,
+            constraints,
+            &config,
+            &eco_config,
+            &previous,
+            &applied.node_map,
+            restarts,
+            threads,
+        )
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+        // The script was applied once, before the restart fan-out; book
+        // the edits on restart 0 so totals stay the per-restart sum.
+        report.totals.add(Counter::EcoEditsApplied, script.len() as u64);
+        if let Some(first) = report.per_restart.first_mut() {
+            first.add(Counter::EcoEditsApplied, script.len() as u64);
+        }
+        let quality = QualityReport::new(&report.outcome, constraints);
+        write_metrics_file(
+            path,
+            restarts,
+            threads,
+            &report.totals,
+            &report.per_restart,
+            report.completion,
+            &report.failed,
+            &quality,
+        )
+        .map_err(CliError::Runtime)?;
+        eprintln!("metrics written to {path}");
+        report.outcome
+    } else if restarts > 1 {
+        fpart_core::repartition_eco_restarts(
+            &applied.graph,
+            constraints,
+            &config,
+            &eco_config,
+            &previous,
+            &applied.node_map,
+            restarts,
+            threads,
+        )
+        .map_err(|e| CliError::Runtime(e.to_string()))?
+    } else {
+        let report = fpart_core::repartition_eco(
+            &applied.graph,
+            constraints,
+            &config,
+            &eco_config,
+            &previous,
+            &applied.node_map,
+        )
+        .map_err(|e| CliError::Runtime(e.to_string()))?;
+        eprintln!(
+            "eco: {} (churn {:.4}, carried {}, placed {}, removed {}, dirty blocks {})",
+            if report.repaired { "repaired in place" } else { "fell back to full repartition" },
+            report.churn,
+            report.carried,
+            report.placed,
+            report.removed,
+            report.dirty_blocks
+        );
+        report.outcome
+    };
+
+    println!("{}", QualityReport::new(&outcome, constraints));
+    println!(
+        "eco: {} devices (lower bound {}), feasible: {}, cut nets: {}, completion: {}, {:.2?}",
+        outcome.device_count,
+        outcome.lower_bound,
+        outcome.feasible,
+        outcome.cut,
+        outcome.completion,
+        started.elapsed()
+    );
+    print_block_summary(&applied.graph, &outcome.assignment, outcome.device_count, constraints);
+
+    if let Some(output) = args.option("output") {
+        let file = std::fs::File::create(output)
+            .map_err(|e| CliError::Runtime(format!("cannot create {output}: {e}")))?;
+        fpart_core::write_assignment(file, &applied.graph, &outcome.assignment)
+            .map_err(|e| CliError::Runtime(format!("cannot write {output}: {e}")))?;
+        eprintln!("assignment written to {output}");
+    }
+    if let Some(path) = args.option("write-assignment") {
+        write_versioned_assignment(
+            path,
+            &applied.graph,
+            &outcome.assignment,
+            outcome.device_count,
+        )?;
+    }
+    if outcome.completion == Completion::Cancelled {
+        return Err(CliError::Interrupted);
+    }
+    Ok(())
 }
 
 /// `fpart stats <netlist>`

@@ -57,6 +57,8 @@ USAGE:
   fpart gen <kind> [options]                            generate a synthetic netlist
   fpart convert <input> <output>                        convert between .fhg/.hgr/.blif
   fpart verify <netlist> <assignment> --device <NAME>   check an assignment file
+  fpart eco <netlist> --assignment <FILE> --edits <FILE> --device <NAME>
+                                                        repair a partition after edits
   fpart devices                                         list the device catalog
 
 PARTITION OPTIONS:
@@ -80,6 +82,22 @@ PARTITION OPTIONS:
   --trace-json <FILE> stream driver events as JSON Lines (needs --restarts 1)
   --metrics <FILE>    write engine counters/timings as JSON (totals +
                       per-restart registries, schema-versioned)
+  --write-assignment <FILE>
+                      write the versioned assignment format
+                      (`#%fpart-assignment v1 blocks <k>` header; the
+                      format `fpart eco --assignment` expects)
+
+ECO OPTIONS:
+  --assignment <FILE> previous assignment of the *pre-edit* netlist
+                      (plain or versioned format)
+  --edits <FILE>      JSON-Lines edit script (add_node, remove_node,
+                      resize_node, add_net, remove_net, connect_pin,
+                      disconnect_pin)
+  --churn-threshold <F>
+                      fall back to full repartitioning when the edit
+                      touches more than this fraction of cells (default 0.15)
+  plus --device/--s-max/--t-max/--delta, --restarts, --threads,
+  --deadline-ms, --max-passes, --metrics, --output, --write-assignment
 
 GEN KINDS AND OPTIONS:
   rent | window | layered | clustered | mcnc
@@ -107,6 +125,7 @@ fn main() -> ExitCode {
         "gen" => commands::generate(rest),
         "convert" => commands::convert(rest),
         "verify" => commands::verify(rest),
+        "eco" => commands::eco(rest),
         "devices" => commands::devices(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

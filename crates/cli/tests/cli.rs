@@ -198,7 +198,7 @@ fn metrics_and_trace_json_outputs() {
         .expect("runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let json = std::fs::read_to_string(&metrics_file).expect("metrics file");
-    assert!(json.contains("\"schema_version\": 4"), "{json}");
+    assert!(json.contains("\"schema_version\": 5"), "{json}");
     assert!(json.contains("\"restarts\": 3"), "{json}");
     assert!(json.contains("\"completion\": \"complete\""), "{json}");
     assert!(json.contains("\"failed_restarts\": []"), "{json}");
@@ -452,4 +452,157 @@ fn multilevel_deadline_reports_completion() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("completion: deadline_expired"), "{text}");
+}
+
+#[test]
+fn write_assignment_round_trips_through_verify() {
+    let dir = temp_dir("versioned_assignment");
+    let netlist = dir.join("c.fhg");
+    let assignment = dir.join("p.json");
+    let out = fpart()
+        .args(["gen", "window", "--nodes", "200", "--terminals", "20", "--seed", "3", "--output"])
+        .arg(&netlist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+
+    // partition --write-assignment emits the versioned header...
+    let out = fpart()
+        .arg("partition")
+        .arg(&netlist)
+        .args(["--device", "XC3020", "--write-assignment"])
+        .arg(&assignment)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = std::fs::read_to_string(&assignment).expect("assignment written");
+    let header = text.lines().next().expect("has a header");
+    assert!(header.starts_with("#%fpart-assignment v1 blocks "), "header: {header}");
+
+    // ...and verify reads it back and accepts the partition.
+    let out = fpart()
+        .arg("verify")
+        .arg(&netlist)
+        .arg(&assignment)
+        .args(["--device", "XC3020"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("VALID"));
+
+    // The multilevel mode writes the same format.
+    let out = fpart()
+        .arg("partition")
+        .arg(&netlist)
+        .args(["--device", "XC3020", "--multilevel", "--write-assignment"])
+        .arg(&assignment)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = fpart()
+        .arg("verify")
+        .arg(&netlist)
+        .arg(&assignment)
+        .args(["--device", "XC3020"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // A corrupted header is an input error (exit 2).
+    std::fs::write(&assignment, "#%fpart-assignment v99 blocks 1\n").expect("write");
+    let out = fpart()
+        .arg("verify")
+        .arg(&netlist)
+        .arg(&assignment)
+        .args(["--device", "XC3020"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unsupported assignment format"));
+}
+
+#[test]
+fn eco_repairs_an_edited_netlist() {
+    let dir = temp_dir("eco");
+    let netlist = dir.join("c.fhg");
+    let assignment = dir.join("p.json");
+    let edits = dir.join("edits.jsonl");
+    let repaired = dir.join("repaired.json");
+    let metrics = dir.join("metrics.json");
+    let out = fpart()
+        .args(["gen", "window", "--nodes", "300", "--terminals", "24", "--seed", "9", "--output"])
+        .arg(&netlist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let out = fpart()
+        .arg("partition")
+        .arg(&netlist)
+        .args(["--device", "XC3020", "--write-assignment"])
+        .arg(&assignment)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // A tiny edit: drop one cell, add a connected replacement. Node
+    // names of the window generator are x<i>.
+    std::fs::write(
+        &edits,
+        "{\"op\": \"remove_node\", \"name\": \"x7\"}\n\
+         {\"op\": \"add_node\", \"name\": \"spin_a\", \"size\": 1}\n\
+         {\"op\": \"add_net\", \"name\": \"spin_n\", \"pins\": [\"spin_a\", \"x8\"]}\n",
+    )
+    .expect("edits written");
+
+    let out = fpart()
+        .arg("eco")
+        .arg(&netlist)
+        .arg("--assignment")
+        .arg(&assignment)
+        .arg("--edits")
+        .arg(&edits)
+        .args(["--device", "XC3020", "--write-assignment"])
+        .arg(&repaired)
+        .arg("--metrics")
+        .arg(&metrics)
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("eco:"), "{text}");
+    let metrics_text = std::fs::read_to_string(&metrics).expect("metrics written");
+    assert!(metrics_text.contains("\"eco_edits_applied\": 3"), "{metrics_text}");
+    assert!(metrics_text.contains("\"schema_version\": 5"), "{metrics_text}");
+
+    // The repaired assignment verifies against the *edited* netlist —
+    // which the original netlist file no longer is, so verify must
+    // reject it there (the repaired file names a node the old netlist
+    // does not have).
+    let out = fpart()
+        .arg("verify")
+        .arg(&netlist)
+        .arg(&repaired)
+        .args(["--device", "XC3020"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+
+    // A dangling edit is an input error with the script line.
+    std::fs::write(&edits, "{\"op\": \"remove_node\", \"name\": \"nope\"}\n").expect("write");
+    let out = fpart()
+        .arg("eco")
+        .arg(&netlist)
+        .arg("--assignment")
+        .arg(&assignment)
+        .arg("--edits")
+        .arg(&edits)
+        .args(["--device", "XC3020"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("line 1: reference to unknown node"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }

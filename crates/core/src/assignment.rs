@@ -7,6 +7,21 @@
 //! u17 0
 //! u18 2
 //! ```
+//!
+//! [`write_assignment_versioned`] prepends a versioned header so
+//! downstream flows (the ECO repair loop in particular) can check what
+//! they are loading:
+//!
+//! ```text
+//! #%fpart-assignment v1 blocks 3
+//! u17 0
+//! u18 2
+//! ```
+//!
+//! The header rides on a `#` comment line, so the versioned form stays
+//! readable by any legacy `node block` consumer; [`read_assignment`]
+//! detects it, validates the version, and cross-checks the declared
+//! block count against the body.
 
 use std::error::Error;
 use std::fmt;
@@ -40,6 +55,25 @@ pub enum ReadAssignmentError {
         /// 1-based line number where reading failed.
         line: usize,
     },
+    /// The versioned header declares a format version this build does
+    /// not understand.
+    UnsupportedVersion {
+        /// The declared version.
+        version: u32,
+    },
+    /// The versioned header's declared block count disagrees with the
+    /// body (1 + the largest block index seen).
+    BlockCountMismatch {
+        /// Block count the header declares.
+        declared: usize,
+        /// Block count the body implies.
+        found: usize,
+    },
+    /// The `#%fpart-assignment` header line is present but malformed.
+    MalformedHeader {
+        /// 1-based line number of the header (always 1).
+        line: usize,
+    },
 }
 
 impl fmt::Display for ReadAssignmentError {
@@ -55,11 +89,76 @@ impl fmt::Display for ReadAssignmentError {
                 write!(f, "node `{name}` has no assignment")
             }
             ReadAssignmentError::Io { line } => write!(f, "line {line}: read failed"),
+            ReadAssignmentError::UnsupportedVersion { version } => {
+                write!(f, "unsupported assignment format version {version} (this build reads v{ASSIGNMENT_FORMAT_VERSION})")
+            }
+            ReadAssignmentError::BlockCountMismatch { declared, found } => {
+                write!(f, "header declares {declared} blocks but the body implies {found}")
+            }
+            ReadAssignmentError::MalformedHeader { line } => {
+                write!(f, "line {line}: malformed `#%fpart-assignment` header")
+            }
         }
     }
 }
 
 impl Error for ReadAssignmentError {}
+
+/// Current version of the versioned assignment header.
+pub const ASSIGNMENT_FORMAT_VERSION: u32 = 1;
+
+/// Magic prefix of the versioned assignment header line.
+const ASSIGNMENT_MAGIC: &str = "#%fpart-assignment";
+
+/// Writes an assignment with the versioned header
+/// (`#%fpart-assignment v1 blocks <k>` followed by `node block` lines).
+/// The header is a comment to legacy readers, so the output is still a
+/// valid plain assignment file.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+///
+/// # Panics
+///
+/// Panics if `assignment.len() != graph.node_count()` or a block index
+/// is not below `blocks`.
+pub fn write_assignment_versioned<W: Write>(
+    mut writer: W,
+    graph: &Hypergraph,
+    assignment: &[u32],
+    blocks: usize,
+) -> std::io::Result<()> {
+    assert!(
+        assignment.iter().all(|&b| (b as usize) < blocks.max(1)),
+        "every block index must be below the declared block count"
+    );
+    writeln!(writer, "{ASSIGNMENT_MAGIC} v{ASSIGNMENT_FORMAT_VERSION} blocks {blocks}")?;
+    write_assignment(writer, graph, assignment)
+}
+
+/// Parses the `#%fpart-assignment v<N> blocks <k>` header; `None` when
+/// the line is not a header at all.
+fn parse_header(line: &str) -> Option<Result<(u32, usize), ReadAssignmentError>> {
+    let rest = line.strip_prefix(ASSIGNMENT_MAGIC)?;
+    let malformed = Err(ReadAssignmentError::MalformedHeader { line: 1 });
+    let mut fields = rest.split_whitespace();
+    let (Some(version), Some(kw), Some(blocks), None) =
+        (fields.next(), fields.next(), fields.next(), fields.next())
+    else {
+        return Some(malformed);
+    };
+    if kw != "blocks" {
+        return Some(malformed);
+    }
+    let Some(version) = version.strip_prefix('v').and_then(|v| v.parse::<u32>().ok()) else {
+        return Some(malformed);
+    };
+    let Ok(blocks) = blocks.parse::<usize>() else {
+        return Some(malformed);
+    };
+    Some(Ok((version, blocks)))
+}
 
 /// Writes an assignment as `node_name block` lines (pass `&mut writer`
 /// to keep the writer).
@@ -83,15 +182,17 @@ pub fn write_assignment<W: Write>(
     Ok(())
 }
 
-/// Reads an assignment, resolving node names against `graph`.
+/// Reads an assignment, resolving node names against `graph`. Both the
+/// plain format and the versioned-header format are accepted; a header
+/// is validated (version, declared block count vs the body).
 ///
 /// Returns the per-node block vector and the block count (1 + the
 /// largest block index seen).
 ///
 /// # Errors
 ///
-/// Returns [`ReadAssignmentError`] on malformed lines, unknown names, or
-/// nodes left unassigned.
+/// Returns [`ReadAssignmentError`] on malformed lines, unknown names,
+/// nodes left unassigned, or a bad/mismatching versioned header.
 pub fn read_assignment<R: Read>(
     reader: R,
     graph: &Hypergraph,
@@ -99,10 +200,21 @@ pub fn read_assignment<R: Read>(
     let index = graph.node_index_by_name();
     let mut assignment = vec![u32::MAX; graph.node_count()];
     let mut k = 0usize;
+    let mut declared: Option<usize> = None;
     for (idx, line) in BufReader::new(reader).lines().enumerate() {
         let line_no = idx + 1;
         let line = line.map_err(|_| ReadAssignmentError::Io { line: line_no })?;
         let line = line.trim();
+        if line_no == 1 {
+            if let Some(header) = parse_header(line) {
+                let (version, blocks) = header?;
+                if version != ASSIGNMENT_FORMAT_VERSION {
+                    return Err(ReadAssignmentError::UnsupportedVersion { version });
+                }
+                declared = Some(blocks);
+                continue;
+            }
+        }
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
@@ -121,6 +233,11 @@ pub fn read_assignment<R: Read>(
     }
     if let Some(missing) = graph.node_ids().find(|v| assignment[v.index()] == u32::MAX) {
         return Err(ReadAssignmentError::MissingNode { name: graph.node_name(missing).to_owned() });
+    }
+    if let Some(declared) = declared {
+        if declared != k {
+            return Err(ReadAssignmentError::BlockCountMismatch { declared, found: k });
+        }
     }
     Ok((assignment, k))
 }
@@ -169,6 +286,57 @@ mod tests {
         let g = sample();
         let err = read_assignment("x 0\n".as_bytes(), &g).unwrap_err();
         assert!(matches!(err, ReadAssignmentError::MissingNode { .. }));
+    }
+
+    #[test]
+    fn versioned_roundtrip() {
+        let g = sample();
+        let mut text = Vec::new();
+        write_assignment_versioned(&mut text, &g, &[1, 0], 2).unwrap();
+        let first = std::str::from_utf8(&text).unwrap().lines().next().unwrap().to_owned();
+        assert_eq!(first, "#%fpart-assignment v1 blocks 2");
+        let (assignment, k) = read_assignment(text.as_slice(), &g).unwrap();
+        assert_eq!(assignment, vec![1, 0]);
+        assert_eq!(k, 2);
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let g = sample();
+        let err = read_assignment("#%fpart-assignment v99 blocks 1\nx 0\ny 0\n".as_bytes(), &g)
+            .unwrap_err();
+        assert_eq!(err, ReadAssignmentError::UnsupportedVersion { version: 99 });
+    }
+
+    #[test]
+    fn block_count_mismatch_rejected() {
+        let g = sample();
+        let err = read_assignment("#%fpart-assignment v1 blocks 3\nx 0\ny 1\n".as_bytes(), &g)
+            .unwrap_err();
+        assert_eq!(err, ReadAssignmentError::BlockCountMismatch { declared: 3, found: 2 });
+    }
+
+    #[test]
+    fn malformed_header_rejected() {
+        let g = sample();
+        for bad in [
+            "#%fpart-assignment\nx 0\ny 0\n",
+            "#%fpart-assignment v1 blocks\nx 0\ny 0\n",
+            "#%fpart-assignment one blocks 2\nx 0\ny 0\n",
+            "#%fpart-assignment v1 cells 2\nx 0\ny 0\n",
+        ] {
+            let err = read_assignment(bad.as_bytes(), &g).unwrap_err();
+            assert_eq!(err, ReadAssignmentError::MalformedHeader { line: 1 }, "input: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn header_after_line_one_is_a_plain_comment() {
+        let g = sample();
+        let text = "# preamble\n#%fpart-assignment v99 blocks 7\nx 0\ny 0\n";
+        let (assignment, k) = read_assignment(text.as_bytes(), &g).unwrap();
+        assert_eq!(assignment, vec![0, 0]);
+        assert_eq!(k, 1);
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub mod constraints;
 pub mod cost;
 pub mod direct;
 pub mod driver;
+pub mod eco;
 pub mod engine;
 pub mod fm;
 pub mod gain;
@@ -83,7 +84,10 @@ pub mod state;
 pub mod trace;
 pub mod verify;
 
-pub use assignment::{read_assignment, write_assignment, ReadAssignmentError};
+pub use assignment::{
+    read_assignment, write_assignment, write_assignment_versioned, ReadAssignmentError,
+    ASSIGNMENT_FORMAT_VERSION,
+};
 pub use budget::{BudgetTracker, CancelToken, Completion, FaultAction, FaultPlan, RunBudget};
 pub use config::FpartConfig;
 pub use cost::{classify, CostEvaluator, FeasibilityClass, KeyTracker, SolutionKey};
@@ -91,6 +95,11 @@ pub use direct::{partition_direct, DirectConfig};
 pub use driver::{
     partition, partition_observed, partition_restarts, partition_restarts_observed,
     partition_traced, BlockReport, FailedRestart, PartitionError, PartitionOutcome, RestartsReport,
+};
+pub use eco::{
+    repartition_eco, repartition_eco_observed, repartition_eco_restarts,
+    repartition_eco_restarts_observed, repartition_edited, repartition_edited_observed, EcoConfig,
+    EcoError, EcoReport, EcoRun,
 };
 pub use engine::{
     improve, improve_cells_metered, improve_metered, ImproveContext, ImproveStats, NO_REMAINDER,

@@ -34,7 +34,7 @@ use crate::trace::{ImproveKind, TraceEvent};
 /// Schema version of every machine-readable document this module emits
 /// (the CLI `--metrics` file, the JSONL trace, `BENCH_*.json`). Bump it
 /// whenever a field is renamed, removed, or changes meaning.
-pub const SCHEMA_VERSION: u32 = 4;
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// The named engine counters. Every counter is a monotonically
 /// increasing `u64`; [`Counter::name`] is the stable `snake_case` key used
@@ -75,11 +75,17 @@ pub enum Counter {
     CoarsenLevels,
     /// Boundary-refinement improve calls run during uncoarsening.
     BoundaryRefinements,
+    /// Netlist edit operations applied by the ECO flow.
+    EcoEditsApplied,
+    /// Blocks marked dirty (and therefore repaired) by the ECO flow.
+    EcoDirtyBlocks,
+    /// ECO repairs that fell back to full repartitioning.
+    EcoFallbacks,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 16] = [
+    pub const ALL: [Counter; 19] = [
         Counter::Passes,
         Counter::MovesApplied,
         Counter::MovesReverted,
@@ -96,6 +102,9 @@ impl Counter {
         Counter::FailedRestarts,
         Counter::CoarsenLevels,
         Counter::BoundaryRefinements,
+        Counter::EcoEditsApplied,
+        Counter::EcoDirtyBlocks,
+        Counter::EcoFallbacks,
     ];
 
     /// Stable `snake_case` key of this counter in serialized metrics.
@@ -118,6 +127,9 @@ impl Counter {
             Counter::FailedRestarts => "failed_restarts",
             Counter::CoarsenLevels => "coarsen_levels",
             Counter::BoundaryRefinements => "boundary_refinements",
+            Counter::EcoEditsApplied => "eco_edits_applied",
+            Counter::EcoDirtyBlocks => "eco_dirty_blocks",
+            Counter::EcoFallbacks => "eco_fallbacks",
         }
     }
 }

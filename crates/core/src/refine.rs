@@ -102,6 +102,42 @@ pub fn refine_boundary_metered(
     budget: Option<&BudgetTracker>,
     metrics: &mut Metrics,
 ) -> BoundaryRefineStats {
+    refine_boundary_inner(state, evaluator, config, refine, budget, metrics, None)
+}
+
+/// [`refine_boundary_metered`] restricted to *dirty* blocks: only block
+/// pairs where at least one side is marked dirty in `dirty` are
+/// refined. This is the repair step of the ECO flow — blocks untouched
+/// by a netlist edit keep their cells in place, so the cost of a repair
+/// scales with the edit, not the design.
+///
+/// `dirty` must have one entry per block. A pair's pass may move cells
+/// of its clean side (the boundary spans both blocks); that is
+/// intentional — a repair that could not rebalance against a clean
+/// neighbour would be unable to restore feasibility.
+pub fn refine_boundary_dirty_metered(
+    state: &mut PartitionState<'_>,
+    evaluator: &CostEvaluator,
+    config: &FpartConfig,
+    refine: &RefineConfig,
+    budget: Option<&BudgetTracker>,
+    metrics: &mut Metrics,
+    dirty: &[bool],
+) -> BoundaryRefineStats {
+    assert_eq!(dirty.len(), state.block_count(), "one dirty flag per block");
+    refine_boundary_inner(state, evaluator, config, refine, budget, metrics, Some(dirty))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn refine_boundary_inner(
+    state: &mut PartitionState<'_>,
+    evaluator: &CostEvaluator,
+    config: &FpartConfig,
+    refine: &RefineConfig,
+    budget: Option<&BudgetTracker>,
+    metrics: &mut Metrics,
+    dirty: Option<&[bool]>,
+) -> BoundaryRefineStats {
     let k = state.block_count();
     let mut stats_total = BoundaryRefineStats::default();
     if k < 2 {
@@ -116,7 +152,10 @@ pub fn refine_boundary_metered(
         if budget.is_some_and(BudgetTracker::check) {
             break;
         }
-        let pairs = top_crossing_pairs(state, refine.pairs_per_round);
+        let mut pairs = top_crossing_pairs(state, refine.pairs_per_round);
+        if let Some(dirty) = dirty {
+            pairs.retain(|&(a, b)| dirty[a] || dirty[b]);
+        }
         if pairs.is_empty() {
             break;
         }

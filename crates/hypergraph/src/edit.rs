@@ -1,0 +1,1260 @@
+//! Netlist edit scripts: typed edit operations, a JSON-Lines
+//! serialization, and [`apply_script`] — the substrate of incremental
+//! (ECO) repartitioning.
+//!
+//! Real FPGA flows repartition near-identical designs on every design
+//! spin; shipping the *difference* as a script of [`EditOp`]s lets the
+//! partitioner repair an existing solution instead of rebuilding it.
+//! A script is a sequence of operations applied in order:
+//!
+//! ```text
+//! {"op": "add_node", "name": "u901", "size": 2}
+//! {"op": "add_net", "name": "n_eco", "pins": ["u901", "u17"]}
+//! {"op": "remove_node", "name": "u44"}
+//! {"op": "resize_node", "name": "u12", "size": 3}
+//! {"op": "connect_pin", "net": "n3", "node": "u901"}
+//! {"op": "disconnect_pin", "net": "n3", "name_does_not_matter": ...}
+//! ```
+//!
+//! One JSON object per line, parsed by a dependency-free scanner that
+//! reports **typed errors with exact line and column** — the same
+//! contract as the `.fhg`/`.hgr`/BLIF parsers ([`ParseNetlistError`]):
+//! the CLI prints these verbatim, so locations are part of the format.
+//!
+//! [`apply_script`] produces the edited [`Hypergraph`] plus the
+//! old→new [`NodeId`] mapping an ECO driver needs to carry surviving
+//! block assignments over. Semantics worth knowing:
+//!
+//! * removing a node disconnects it everywhere; a net left with **no
+//!   pins** is removed too (with its terminals) — an empty net has no
+//!   meaning to any algorithm;
+//! * surviving nodes keep their relative order (new nodes append), so
+//!   the mapping is monotonic on survivors;
+//! * every reference is validated against the *current* state of the
+//!   edited netlist, and a dangling or duplicate reference is a typed
+//!   [`ApplyEditError`] carrying the script line of the offending op.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::io::{Read, Write};
+
+use crate::builder::HypergraphBuilder;
+use crate::error::BuildError;
+use crate::graph::Hypergraph;
+use crate::ids::NodeId;
+
+/// One netlist edit operation. All references are by name, the stable
+/// identity across netlist revisions (ids are dense and shift on every
+/// edit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditOp {
+    /// Adds an interior node. The size must be positive.
+    AddNode {
+        /// Name of the new node (must not clash with a live node).
+        name: String,
+        /// Its size in logic cells.
+        size: u32,
+    },
+    /// Removes a node and disconnects it from every net; nets left
+    /// without pins are removed too (with their terminals).
+    RemoveNode {
+        /// Name of the node to remove.
+        name: String,
+    },
+    /// Changes a node's size. The new size must be positive.
+    ResizeNode {
+        /// Name of the node to resize.
+        name: String,
+        /// The new size.
+        size: u32,
+    },
+    /// Adds a net over the named pins (at least one, no duplicates).
+    AddNet {
+        /// Name of the new net (must not clash with a live net).
+        name: String,
+        /// Names of the interior nodes it connects.
+        pins: Vec<String>,
+    },
+    /// Removes a net and its terminals.
+    RemoveNet {
+        /// Name of the net to remove.
+        name: String,
+    },
+    /// Adds an existing node as a pin of an existing net.
+    ConnectPin {
+        /// Name of the net.
+        net: String,
+        /// Name of the node to connect.
+        node: String,
+    },
+    /// Removes a pin from a net; a net left without pins is removed
+    /// (with its terminals).
+    DisconnectPin {
+        /// Name of the net.
+        net: String,
+        /// Name of the node to disconnect.
+        node: String,
+    },
+}
+
+impl EditOp {
+    /// The stable `snake_case` name of this operation in the JSON-Lines
+    /// form.
+    #[must_use]
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            EditOp::AddNode { .. } => "add_node",
+            EditOp::RemoveNode { .. } => "remove_node",
+            EditOp::ResizeNode { .. } => "resize_node",
+            EditOp::AddNet { .. } => "add_net",
+            EditOp::RemoveNet { .. } => "remove_net",
+            EditOp::ConnectPin { .. } => "connect_pin",
+            EditOp::DisconnectPin { .. } => "disconnect_pin",
+        }
+    }
+}
+
+/// One parsed operation with the script line it came from, so
+/// application errors can point back at the source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptedOp {
+    /// 1-based line number in the script file.
+    pub line: usize,
+    /// The operation.
+    pub op: EditOp,
+}
+
+/// An ordered netlist edit script — the unit [`apply_script`] consumes
+/// and the JSON-Lines reader/writer round-trips.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EditScript {
+    /// The operations, in application order.
+    pub ops: Vec<ScriptedOp>,
+}
+
+/// An error while parsing the JSON-Lines edit-script format. Every
+/// variant carries the 1-based line; token-level variants also carry
+/// the 1-based column (in characters) where the offending token starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseEditError {
+    /// A token was present but not what the grammar requires there.
+    InvalidToken {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column (in characters) where the token starts.
+        column: usize,
+        /// Description of what was expected.
+        expected: &'static str,
+        /// The offending token text.
+        found: String,
+    },
+    /// The line ended while the object was still open (truncated).
+    UnexpectedEnd {
+        /// 1-based line number.
+        line: usize,
+        /// Description of what was still expected.
+        expected: &'static str,
+    },
+    /// The `op` field named no known operation.
+    UnknownOp {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column of the op value.
+        column: usize,
+        /// The unrecognized operation name.
+        op: String,
+    },
+    /// A field does not belong to the line's operation (or appeared
+    /// twice).
+    UnknownField {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column of the field name.
+        column: usize,
+        /// The offending field name.
+        field: String,
+    },
+    /// A required field of the operation is absent.
+    MissingField {
+        /// 1-based line number.
+        line: usize,
+        /// The operation missing it.
+        op: String,
+        /// The absent field.
+        field: &'static str,
+    },
+    /// A line contained bytes that are not valid UTF-8.
+    NotUtf8 {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The reader failed before the line could be inspected.
+    Io {
+        /// 1-based line number where reading failed.
+        line: usize,
+    },
+}
+
+impl fmt::Display for ParseEditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseEditError::InvalidToken { line, column, expected, found } => {
+                write!(f, "line {line}, column {column}: expected {expected}, found `{found}`")
+            }
+            ParseEditError::UnexpectedEnd { line, expected } => {
+                write!(f, "line {line}: line ended but {expected} was still expected")
+            }
+            ParseEditError::UnknownOp { line, column, op } => {
+                write!(f, "line {line}, column {column}: unknown edit operation `{op}`")
+            }
+            ParseEditError::UnknownField { line, column, field } => {
+                write!(f, "line {line}, column {column}: unexpected field `{field}`")
+            }
+            ParseEditError::MissingField { line, op, field } => {
+                write!(f, "line {line}: operation `{op}` is missing field `{field}`")
+            }
+            ParseEditError::NotUtf8 { line } => write!(f, "line {line}: not valid UTF-8"),
+            ParseEditError::Io { line } => write!(f, "line {line}: read failed"),
+        }
+    }
+}
+
+impl Error for ParseEditError {}
+
+/// An error while applying an [`EditScript`] to a [`Hypergraph`].
+/// Every reference is validated against the current state of the
+/// edited netlist; the `line` is the script line of the offending op.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ApplyEditError {
+    /// An op referenced a node that does not exist (never did, or was
+    /// removed earlier in the script).
+    UnknownNode {
+        /// Script line of the offending op.
+        line: usize,
+        /// The dangling node name.
+        name: String,
+    },
+    /// An op referenced a net that does not exist.
+    UnknownNet {
+        /// Script line of the offending op.
+        line: usize,
+        /// The dangling net name.
+        name: String,
+    },
+    /// `add_node` would duplicate a live node name.
+    DuplicateNode {
+        /// Script line of the offending op.
+        line: usize,
+        /// The clashing name.
+        name: String,
+    },
+    /// `add_net` would duplicate a live net name.
+    DuplicateNet {
+        /// Script line of the offending op.
+        line: usize,
+        /// The clashing name.
+        name: String,
+    },
+    /// `connect_pin` (or an `add_net` pin list) names a node that is
+    /// already a pin of the net.
+    DuplicatePin {
+        /// Script line of the offending op.
+        line: usize,
+        /// The net.
+        net: String,
+        /// The node listed twice.
+        node: String,
+    },
+    /// `disconnect_pin` names a node that is not a pin of the net.
+    MissingPin {
+        /// Script line of the offending op.
+        line: usize,
+        /// The net.
+        net: String,
+        /// The node that is not connected.
+        node: String,
+    },
+    /// `add_net` listed no pins.
+    EmptyNet {
+        /// Script line of the offending op.
+        line: usize,
+        /// Name of the net.
+        net: String,
+    },
+    /// `add_node`/`resize_node` gave a zero size.
+    ZeroSize {
+        /// Script line of the offending op.
+        line: usize,
+        /// Name of the node.
+        name: String,
+    },
+    /// The edited netlist failed final structural validation.
+    Build(BuildError),
+}
+
+impl fmt::Display for ApplyEditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyEditError::UnknownNode { line, name } => {
+                write!(f, "line {line}: reference to unknown node `{name}`")
+            }
+            ApplyEditError::UnknownNet { line, name } => {
+                write!(f, "line {line}: reference to unknown net `{name}`")
+            }
+            ApplyEditError::DuplicateNode { line, name } => {
+                write!(f, "line {line}: node `{name}` already exists")
+            }
+            ApplyEditError::DuplicateNet { line, name } => {
+                write!(f, "line {line}: net `{name}` already exists")
+            }
+            ApplyEditError::DuplicatePin { line, net, node } => {
+                write!(f, "line {line}: net `{net}` already has pin `{node}`")
+            }
+            ApplyEditError::MissingPin { line, net, node } => {
+                write!(f, "line {line}: net `{net}` has no pin `{node}`")
+            }
+            ApplyEditError::EmptyNet { line, net } => {
+                write!(f, "line {line}: net `{net}` has no pins")
+            }
+            ApplyEditError::ZeroSize { line, name } => {
+                write!(f, "line {line}: node `{name}` would have size zero")
+            }
+            ApplyEditError::Build(e) => write!(f, "edited netlist validation failed: {e}"),
+        }
+    }
+}
+
+impl Error for ApplyEditError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ApplyEditError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<BuildError> for ApplyEditError {
+    fn from(e: BuildError) -> Self {
+        ApplyEditError::Build(e)
+    }
+}
+
+/// Result of [`apply_script`]: the edited graph plus the old→new node
+/// mapping.
+#[derive(Debug, Clone)]
+pub struct EditApplied {
+    /// The edited hypergraph.
+    pub graph: Hypergraph,
+    /// `node_map[old.index()]` is the node's id in the edited graph, or
+    /// `None` when the script removed it. Monotonic on survivors (the
+    /// relative order of surviving nodes is preserved; new nodes get
+    /// the ids after the last survivor).
+    pub node_map: Vec<Option<NodeId>>,
+    /// Nodes the script added.
+    pub added_nodes: usize,
+    /// Nodes the script removed.
+    pub removed_nodes: usize,
+}
+
+impl EditScript {
+    /// Wraps plain operations, numbering them as lines `1..` (the shape
+    /// a programmatically built script has after a JSONL round-trip).
+    #[must_use]
+    pub fn new(ops: Vec<EditOp>) -> Self {
+        EditScript {
+            ops: ops
+                .into_iter()
+                .enumerate()
+                .map(|(i, op)| ScriptedOp { line: i + 1, op })
+                .collect(),
+        }
+    }
+
+    /// Number of operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the script has no operations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Parses the JSON-Lines form. Blank lines and lines starting with
+    /// `#` are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseEditError`] with exact line/column context.
+    pub fn parse(text: &str) -> Result<Self, ParseEditError> {
+        let mut ops = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            if let Some(op) = parse_line(raw, line_no)? {
+                ops.push(ScriptedOp { line: line_no, op });
+            }
+        }
+        Ok(EditScript { ops })
+    }
+
+    /// Reads the JSON-Lines form from any reader, reporting non-UTF-8
+    /// bytes as a typed error with the line they occur on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseEditError`]; I/O failures map to
+    /// [`ParseEditError::Io`] with the line where reading stopped.
+    pub fn read<R: Read>(mut reader: R) -> Result<Self, ParseEditError> {
+        let mut bytes = Vec::new();
+        let mut read_so_far = 0usize;
+        if reader.read_to_end(&mut bytes).is_err() {
+            // Count the lines that did arrive so the location is honest.
+            read_so_far = bytes.iter().filter(|&&b| b == b'\n').count();
+            return Err(ParseEditError::Io { line: read_so_far + 1 });
+        }
+        let _ = read_so_far;
+        let mut ops = Vec::new();
+        for (idx, raw) in bytes.split(|&b| b == b'\n').enumerate() {
+            let line_no = idx + 1;
+            let raw = raw.strip_suffix(b"\r").unwrap_or(raw);
+            let text =
+                std::str::from_utf8(raw).map_err(|_| ParseEditError::NotUtf8 { line: line_no })?;
+            if let Some(op) = parse_line(text, line_no)? {
+                ops.push(ScriptedOp { line: line_no, op });
+            }
+        }
+        Ok(EditScript { ops })
+    }
+
+    /// Serializes as JSON Lines, one op per line (the exact form
+    /// [`EditScript::parse`] reads back).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for scripted in &self.ops {
+            write_op(&mut out, &scripted.op);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the JSON-Lines form (pass `&mut writer` to keep the
+    /// writer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write<W: Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writer.write_all(self.to_jsonl().as_bytes())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON-Lines writer
+
+fn write_json_str(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_op(out: &mut String, op: &EditOp) {
+    use std::fmt::Write as _;
+    let _ = write!(out, "{{\"op\": \"{}\"", op.op_name());
+    match op {
+        EditOp::AddNode { name, size } | EditOp::ResizeNode { name, size } => {
+            out.push_str(", \"name\": ");
+            write_json_str(out, name);
+            let _ = write!(out, ", \"size\": {size}");
+        }
+        EditOp::RemoveNode { name } | EditOp::RemoveNet { name } => {
+            out.push_str(", \"name\": ");
+            write_json_str(out, name);
+        }
+        EditOp::AddNet { name, pins } => {
+            out.push_str(", \"name\": ");
+            write_json_str(out, name);
+            out.push_str(", \"pins\": [");
+            for (i, pin) in pins.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_json_str(out, pin);
+            }
+            out.push(']');
+        }
+        EditOp::ConnectPin { net, node } | EditOp::DisconnectPin { net, node } => {
+            out.push_str(", \"net\": ");
+            write_json_str(out, net);
+            out.push_str(", \"node\": ");
+            write_json_str(out, node);
+        }
+    }
+    out.push('}');
+}
+
+// ---------------------------------------------------------------------------
+// JSON-Lines parser
+
+/// One collected field of a line object: its starting column and value.
+enum FieldValue {
+    Str(String),
+    Num(u32),
+    Arr(Vec<String>),
+}
+
+struct Scanner {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+}
+
+impl Scanner {
+    fn new(text: &str, line: usize) -> Self {
+        Scanner { chars: text.chars().collect(), pos: 0, line }
+    }
+
+    /// 1-based column of the next character.
+    fn column(&self) -> usize {
+        self.pos + 1
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t')) {
+            self.pos += 1;
+        }
+    }
+
+    /// The run of characters a human would read as "the token here" —
+    /// for error messages only.
+    fn token_text(&self) -> String {
+        let stop = |c: char| c.is_whitespace() || matches!(c, ',' | ':' | '}' | ']' | '{' | '[');
+        self.chars[self.pos..].iter().take_while(|&&c| !stop(c)).take(32).collect()
+    }
+
+    fn expect_char(&mut self, want: char, expected: &'static str) -> Result<(), ParseEditError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(c) if c == want => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(c) => Err(ParseEditError::InvalidToken {
+                line: self.line,
+                column: self.column(),
+                expected,
+                found: if self.token_text().is_empty() { c.to_string() } else { self.token_text() },
+            }),
+            None => Err(ParseEditError::UnexpectedEnd { line: self.line, expected }),
+        }
+    }
+
+    /// Parses a JSON string literal; returns (value, start column).
+    fn parse_string(&mut self, expected: &'static str) -> Result<(String, usize), ParseEditError> {
+        self.skip_ws();
+        let start = self.column();
+        match self.peek() {
+            Some('"') => {}
+            Some(_) => {
+                return Err(ParseEditError::InvalidToken {
+                    line: self.line,
+                    column: start,
+                    expected,
+                    found: self.token_text(),
+                })
+            }
+            None => return Err(ParseEditError::UnexpectedEnd { line: self.line, expected }),
+        }
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => {
+                    return Err(ParseEditError::UnexpectedEnd {
+                        line: self.line,
+                        expected: "closing `\"`",
+                    })
+                }
+                Some('"') => return Ok((out, start)),
+                Some('\\') => {
+                    let esc_col = self.column() - 1;
+                    match self.bump() {
+                        Some('"') => out.push('"'),
+                        Some('\\') => out.push('\\'),
+                        Some('/') => out.push('/'),
+                        Some('n') => out.push('\n'),
+                        Some('r') => out.push('\r'),
+                        Some('t') => out.push('\t'),
+                        Some('u') => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let Some(d) = self.bump().and_then(|c| c.to_digit(16)) else {
+                                    return Err(ParseEditError::InvalidToken {
+                                        line: self.line,
+                                        column: esc_col,
+                                        expected: "four hex digits after \\u",
+                                        found: "\\u".into(),
+                                    });
+                                };
+                                code = code * 16 + d;
+                            }
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        Some(c) => {
+                            return Err(ParseEditError::InvalidToken {
+                                line: self.line,
+                                column: esc_col,
+                                expected: "string escape",
+                                found: format!("\\{c}"),
+                            })
+                        }
+                        None => {
+                            return Err(ParseEditError::UnexpectedEnd {
+                                line: self.line,
+                                expected: "string escape",
+                            })
+                        }
+                    }
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    /// Parses an unsigned integer token.
+    fn parse_u32(&mut self, expected: &'static str) -> Result<u32, ParseEditError> {
+        self.skip_ws();
+        let start = self.column();
+        if self.peek().is_none() {
+            return Err(ParseEditError::UnexpectedEnd { line: self.line, expected });
+        }
+        let token = self.token_text();
+        if token.is_empty() || !token.chars().all(|c| c.is_ascii_digit()) {
+            return Err(ParseEditError::InvalidToken {
+                line: self.line,
+                column: start,
+                expected,
+                found: if token.is_empty() {
+                    self.peek().map(|c| c.to_string()).unwrap_or_default()
+                } else {
+                    token
+                },
+            });
+        }
+        let value: u32 = token.parse().map_err(|_| ParseEditError::InvalidToken {
+            line: self.line,
+            column: start,
+            expected,
+            found: token.clone(),
+        })?;
+        self.pos += token.chars().count();
+        Ok(value)
+    }
+
+    fn parse_string_array(&mut self) -> Result<Vec<String>, ParseEditError> {
+        self.expect_char('[', "`[` opening the pin list")?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(']') {
+            self.pos += 1;
+            return Ok(out);
+        }
+        loop {
+            let (s, _) = self.parse_string("a quoted pin name")?;
+            out.push(s);
+            self.skip_ws();
+            match self.bump() {
+                Some(',') => {}
+                Some(']') => return Ok(out),
+                Some(_) => {
+                    return Err(ParseEditError::InvalidToken {
+                        line: self.line,
+                        column: self.column() - 1,
+                        expected: "`,` or `]` in the pin list",
+                        found: self.chars[self.pos - 1].to_string(),
+                    })
+                }
+                None => {
+                    return Err(ParseEditError::UnexpectedEnd {
+                        line: self.line,
+                        expected: "`]` closing the pin list",
+                    })
+                }
+            }
+        }
+    }
+}
+
+/// Parses one script line into an op; `Ok(None)` for blank and `#`
+/// comment lines.
+fn parse_line(raw: &str, line: usize) -> Result<Option<EditOp>, ParseEditError> {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Ok(None);
+    }
+    let mut s = Scanner::new(raw, line);
+    s.expect_char('{', "`{` opening the operation object")?;
+
+    let mut fields: Vec<(String, usize, FieldValue)> = Vec::new();
+    loop {
+        let (key, key_col) = s.parse_string("a quoted field name")?;
+        s.expect_char(':', "`:` after the field name")?;
+        let value = match key.as_str() {
+            "op" | "name" | "net" | "node" => {
+                let (v, col) = s.parse_string("a quoted string value")?;
+                let _ = col;
+                FieldValue::Str(v)
+            }
+            "size" => FieldValue::Num(s.parse_u32("an unsigned size")?),
+            "pins" => FieldValue::Arr(s.parse_string_array()?),
+            _ => {
+                return Err(ParseEditError::UnknownField { line, column: key_col, field: key });
+            }
+        };
+        if fields.iter().any(|(k, _, _)| *k == key) {
+            return Err(ParseEditError::UnknownField { line, column: key_col, field: key });
+        }
+        fields.push((key, key_col, value));
+        s.skip_ws();
+        match s.bump() {
+            Some(',') => {}
+            Some('}') => break,
+            Some(c) => {
+                return Err(ParseEditError::InvalidToken {
+                    line,
+                    column: s.column() - 1,
+                    expected: "`,` or `}` in the operation object",
+                    found: c.to_string(),
+                })
+            }
+            None => {
+                return Err(ParseEditError::UnexpectedEnd {
+                    line,
+                    expected: "`}` closing the operation object",
+                })
+            }
+        }
+    }
+    s.skip_ws();
+    if let Some(c) = s.peek() {
+        return Err(ParseEditError::InvalidToken {
+            line,
+            column: s.column(),
+            expected: "end of line after the operation object",
+            found: c.to_string(),
+        });
+    }
+
+    assemble_op(line, fields)
+}
+
+/// Validates the collected fields against the named op's shape.
+#[allow(clippy::too_many_lines)]
+fn assemble_op(
+    line: usize,
+    fields: Vec<(String, usize, FieldValue)>,
+) -> Result<Option<EditOp>, ParseEditError> {
+    let mut op: Option<(String, usize)> = None;
+    let mut name: Option<String> = None;
+    let mut size: Option<u32> = None;
+    let mut pins: Option<Vec<String>> = None;
+    let mut net: Option<String> = None;
+    let mut node: Option<String> = None;
+    let mut columns: HashMap<&'static str, usize> = HashMap::new();
+    for (key, col, value) in fields {
+        match (key.as_str(), value) {
+            ("op", FieldValue::Str(v)) => {
+                // parse_string returned the key's column; the value sits
+                // after `": "`, but the key column is the stable anchor
+                // users see, so record the value's approximate start.
+                op = Some((v, col));
+            }
+            ("name", FieldValue::Str(v)) => {
+                columns.insert("name", col);
+                name = Some(v);
+            }
+            ("size", FieldValue::Num(v)) => {
+                columns.insert("size", col);
+                size = Some(v);
+            }
+            ("pins", FieldValue::Arr(v)) => {
+                columns.insert("pins", col);
+                pins = Some(v);
+            }
+            ("net", FieldValue::Str(v)) => {
+                columns.insert("net", col);
+                net = Some(v);
+            }
+            ("node", FieldValue::Str(v)) => {
+                columns.insert("node", col);
+                node = Some(v);
+            }
+            _ => unreachable!("field values are typed at parse time"),
+        }
+    }
+    let Some((op_name, op_col)) = op else {
+        return Err(ParseEditError::MissingField { line, op: "?".into(), field: "op" });
+    };
+
+    // Which fields each op allows; anything else present is an error.
+    let allowed: &[&str] = match op_name.as_str() {
+        "add_node" | "resize_node" => &["name", "size"],
+        "remove_node" | "remove_net" => &["name"],
+        "add_net" => &["name", "pins"],
+        "connect_pin" | "disconnect_pin" => &["net", "node"],
+        _ => return Err(ParseEditError::UnknownOp { line, column: op_col, op: op_name }),
+    };
+    for (field, col) in [
+        ("name", columns.get("name")),
+        ("size", columns.get("size")),
+        ("pins", columns.get("pins")),
+        ("net", columns.get("net")),
+        ("node", columns.get("node")),
+    ] {
+        if let Some(&col) = col {
+            if !allowed.contains(&field) {
+                return Err(ParseEditError::UnknownField {
+                    line,
+                    column: col,
+                    field: field.to_owned(),
+                });
+            }
+        }
+    }
+    let require_name = |name: Option<String>| {
+        name.ok_or(ParseEditError::MissingField { line, op: op_name.clone(), field: "name" })
+    };
+    let result = match op_name.as_str() {
+        "add_node" => EditOp::AddNode {
+            name: require_name(name)?,
+            size: size.ok_or(ParseEditError::MissingField {
+                line,
+                op: op_name.clone(),
+                field: "size",
+            })?,
+        },
+        "remove_node" => EditOp::RemoveNode { name: require_name(name)? },
+        "resize_node" => EditOp::ResizeNode {
+            name: require_name(name)?,
+            size: size.ok_or(ParseEditError::MissingField {
+                line,
+                op: op_name.clone(),
+                field: "size",
+            })?,
+        },
+        "add_net" => EditOp::AddNet {
+            name: require_name(name)?,
+            pins: pins.ok_or(ParseEditError::MissingField {
+                line,
+                op: op_name.clone(),
+                field: "pins",
+            })?,
+        },
+        "remove_net" => EditOp::RemoveNet { name: require_name(name)? },
+        "connect_pin" | "disconnect_pin" => {
+            let net = net.ok_or(ParseEditError::MissingField {
+                line,
+                op: op_name.clone(),
+                field: "net",
+            })?;
+            let node = node.ok_or(ParseEditError::MissingField {
+                line,
+                op: op_name.clone(),
+                field: "node",
+            })?;
+            if op_name == "connect_pin" {
+                EditOp::ConnectPin { net, node }
+            } else {
+                EditOp::DisconnectPin { net, node }
+            }
+        }
+        _ => unreachable!("unknown ops rejected above"),
+    };
+    Ok(Some(result))
+}
+
+// ---------------------------------------------------------------------------
+// Application
+
+struct NodeSlot {
+    name: String,
+    size: u32,
+    alive: bool,
+    /// Live net slots this node pins (kept in sync by every op).
+    nets: Vec<usize>,
+}
+
+struct NetSlot {
+    name: String,
+    pins: Vec<usize>,
+    terminals: Vec<String>,
+    alive: bool,
+}
+
+/// Applies a script to a graph, producing the edited graph and the
+/// old→new node mapping.
+///
+/// Removing a node disconnects it from every net; nets left with no
+/// pins are removed too, together with their terminals (an empty net
+/// has no meaning to any algorithm). Surviving nodes keep their
+/// relative order and new nodes append after them, so the mapping is
+/// monotonic on survivors.
+///
+/// # Errors
+///
+/// Returns [`ApplyEditError`] with the script line of the first
+/// offending op; the input graph is never modified (it is immutable).
+#[allow(clippy::too_many_lines)]
+pub fn apply_script(
+    graph: &Hypergraph,
+    script: &EditScript,
+) -> Result<EditApplied, ApplyEditError> {
+    let mut nodes: Vec<NodeSlot> = graph
+        .node_ids()
+        .map(|v| NodeSlot {
+            name: graph.node_name(v).to_owned(),
+            size: graph.node_size(v),
+            alive: true,
+            nets: graph.nets(v).iter().map(|e| e.index()).collect(),
+        })
+        .collect();
+    let mut nets: Vec<NetSlot> = graph
+        .net_ids()
+        .map(|e| NetSlot {
+            name: graph.net_name(e).to_owned(),
+            pins: graph.pins(e).iter().map(|v| v.index()).collect(),
+            terminals: graph
+                .net_terminals(e)
+                .iter()
+                .map(|&t| graph.terminal_name(t).to_owned())
+                .collect(),
+            alive: true,
+        })
+        .collect();
+    let mut node_index: HashMap<String, usize> =
+        nodes.iter().enumerate().map(|(i, n)| (n.name.clone(), i)).collect();
+    let mut net_index: HashMap<String, usize> =
+        nets.iter().enumerate().map(|(i, n)| (n.name.clone(), i)).collect();
+    let original_nodes = nodes.len();
+    let mut added_nodes = 0usize;
+    let mut removed_nodes = 0usize;
+
+    // Removes a pin from a net, cascading net removal when the net is
+    // left pinless.
+    fn drop_pin(
+        nets: &mut [NetSlot],
+        nodes: &mut [NodeSlot],
+        net_index: &mut HashMap<String, usize>,
+        e: usize,
+        v: usize,
+    ) {
+        nets[e].pins.retain(|&p| p != v);
+        nodes[v].nets.retain(|&x| x != e);
+        if nets[e].pins.is_empty() {
+            nets[e].alive = false;
+            nets[e].terminals.clear();
+            net_index.remove(&nets[e].name);
+        }
+    }
+
+    for scripted in &script.ops {
+        let line = scripted.line;
+        match &scripted.op {
+            EditOp::AddNode { name, size } => {
+                if node_index.contains_key(name) {
+                    return Err(ApplyEditError::DuplicateNode { line, name: name.clone() });
+                }
+                if *size == 0 {
+                    return Err(ApplyEditError::ZeroSize { line, name: name.clone() });
+                }
+                node_index.insert(name.clone(), nodes.len());
+                nodes.push(NodeSlot { name: name.clone(), size: *size, alive: true, nets: vec![] });
+                added_nodes += 1;
+            }
+            EditOp::RemoveNode { name } => {
+                let &v = node_index
+                    .get(name)
+                    .ok_or_else(|| ApplyEditError::UnknownNode { line, name: name.clone() })?;
+                for e in nodes[v].nets.clone() {
+                    drop_pin(&mut nets, &mut nodes, &mut net_index, e, v);
+                }
+                nodes[v].alive = false;
+                node_index.remove(name);
+                if v < original_nodes {
+                    removed_nodes += 1;
+                } else {
+                    added_nodes -= 1;
+                }
+            }
+            EditOp::ResizeNode { name, size } => {
+                let &v = node_index
+                    .get(name)
+                    .ok_or_else(|| ApplyEditError::UnknownNode { line, name: name.clone() })?;
+                if *size == 0 {
+                    return Err(ApplyEditError::ZeroSize { line, name: name.clone() });
+                }
+                nodes[v].size = *size;
+            }
+            EditOp::AddNet { name, pins } => {
+                if net_index.contains_key(name) {
+                    return Err(ApplyEditError::DuplicateNet { line, name: name.clone() });
+                }
+                if pins.is_empty() {
+                    return Err(ApplyEditError::EmptyNet { line, net: name.clone() });
+                }
+                let mut resolved = Vec::with_capacity(pins.len());
+                for pin in pins {
+                    let &v = node_index
+                        .get(pin)
+                        .ok_or_else(|| ApplyEditError::UnknownNode { line, name: pin.clone() })?;
+                    if resolved.contains(&v) {
+                        return Err(ApplyEditError::DuplicatePin {
+                            line,
+                            net: name.clone(),
+                            node: pin.clone(),
+                        });
+                    }
+                    resolved.push(v);
+                }
+                let e = nets.len();
+                for &v in &resolved {
+                    nodes[v].nets.push(e);
+                }
+                net_index.insert(name.clone(), e);
+                nets.push(NetSlot {
+                    name: name.clone(),
+                    pins: resolved,
+                    terminals: vec![],
+                    alive: true,
+                });
+            }
+            EditOp::RemoveNet { name } => {
+                let &e = net_index
+                    .get(name)
+                    .ok_or_else(|| ApplyEditError::UnknownNet { line, name: name.clone() })?;
+                for v in nets[e].pins.clone() {
+                    nodes[v].nets.retain(|&x| x != e);
+                }
+                nets[e].alive = false;
+                nets[e].pins.clear();
+                nets[e].terminals.clear();
+                net_index.remove(name);
+            }
+            EditOp::ConnectPin { net, node } => {
+                let &e = net_index
+                    .get(net)
+                    .ok_or_else(|| ApplyEditError::UnknownNet { line, name: net.clone() })?;
+                let &v = node_index
+                    .get(node)
+                    .ok_or_else(|| ApplyEditError::UnknownNode { line, name: node.clone() })?;
+                if nets[e].pins.contains(&v) {
+                    return Err(ApplyEditError::DuplicatePin {
+                        line,
+                        net: net.clone(),
+                        node: node.clone(),
+                    });
+                }
+                nets[e].pins.push(v);
+                nodes[v].nets.push(e);
+            }
+            EditOp::DisconnectPin { net, node } => {
+                let &e = net_index
+                    .get(net)
+                    .ok_or_else(|| ApplyEditError::UnknownNet { line, name: net.clone() })?;
+                let &v = node_index
+                    .get(node)
+                    .ok_or_else(|| ApplyEditError::UnknownNode { line, name: node.clone() })?;
+                if !nets[e].pins.contains(&v) {
+                    return Err(ApplyEditError::MissingPin {
+                        line,
+                        net: net.clone(),
+                        node: node.clone(),
+                    });
+                }
+                drop_pin(&mut nets, &mut nodes, &mut net_index, e, v);
+            }
+        }
+    }
+
+    // Rebuild: survivors in original order, additions after them.
+    let mut builder = HypergraphBuilder::named(graph.name());
+    let mut new_ids: Vec<Option<NodeId>> = vec![None; nodes.len()];
+    for (i, slot) in nodes.iter().enumerate() {
+        if slot.alive {
+            new_ids[i] = Some(builder.add_node(slot.name.clone(), slot.size));
+        }
+    }
+    for net in &nets {
+        if !net.alive {
+            continue;
+        }
+        let pins = net.pins.iter().map(|&v| new_ids[v].expect("live net pins live nodes"));
+        let id = builder.add_net(net.name.clone(), pins)?;
+        for t in &net.terminals {
+            builder.add_terminal(t.clone(), id)?;
+        }
+    }
+    let edited = builder.finish()?;
+    let node_map = new_ids[..original_nodes].to_vec();
+    Ok(EditApplied { graph: edited, node_map, added_nodes, removed_nodes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::NetId;
+
+    fn sample() -> Hypergraph {
+        let mut b = HypergraphBuilder::named("s");
+        let a = b.add_node("a", 1);
+        let c = b.add_node("c", 2);
+        let d = b.add_node("d", 1);
+        let n0 = b.add_net("n0", [a, c]).unwrap();
+        let _n1 = b.add_net("n1", [c, d]).unwrap();
+        b.add_terminal("t0", n0).unwrap();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_every_op() {
+        let script = EditScript::new(vec![
+            EditOp::AddNode { name: "x".into(), size: 3 },
+            EditOp::RemoveNode { name: "a".into() },
+            EditOp::ResizeNode { name: "c".into(), size: 5 },
+            EditOp::AddNet { name: "nx".into(), pins: vec!["x".into(), "c".into()] },
+            EditOp::RemoveNet { name: "n1".into() },
+            EditOp::ConnectPin { net: "n0".into(), node: "d".into() },
+            EditOp::DisconnectPin { net: "n0".into(), node: "c".into() },
+        ]);
+        let text = script.to_jsonl();
+        let parsed = EditScript::parse(&text).unwrap();
+        assert_eq!(parsed, script);
+        // Reader sees the same thing byte-wise.
+        let read = EditScript::read(text.as_bytes()).unwrap();
+        assert_eq!(read, script);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let text = "# a comment\n\n{\"op\": \"remove_node\", \"name\": \"a\"}\n";
+        let script = EditScript::parse(text).unwrap();
+        assert_eq!(script.len(), 1);
+        assert_eq!(script.ops[0].line, 3);
+    }
+
+    #[test]
+    fn apply_add_and_remove_produce_a_monotonic_map() {
+        let g = sample();
+        let script = EditScript::new(vec![
+            EditOp::RemoveNode { name: "c".into() },
+            EditOp::AddNode { name: "x".into(), size: 4 },
+            EditOp::AddNet { name: "nx".into(), pins: vec!["x".into(), "d".into()] },
+        ]);
+        let applied = apply_script(&g, &script).unwrap();
+        assert_eq!(applied.added_nodes, 1);
+        assert_eq!(applied.removed_nodes, 1);
+        // a and d survive; c is gone; x appends.
+        assert_eq!(applied.node_map.len(), 3);
+        assert_eq!(applied.node_map[0], Some(NodeId::from_index(0)));
+        assert_eq!(applied.node_map[1], None);
+        assert_eq!(applied.node_map[2], Some(NodeId::from_index(1)));
+        assert_eq!(applied.graph.node_count(), 3);
+        assert_eq!(applied.graph.node_name(NodeId::from_index(2)), "x");
+        // n0 lost c but keeps a (and its terminal); n1 lost c and d
+        // remains, so it survives as a one-pin net... no: n1 = {c, d},
+        // removing c leaves {d}, which is non-empty, so n1 survives.
+        assert_eq!(applied.graph.net_count(), 3);
+        assert_eq!(applied.graph.terminal_count(), 1);
+    }
+
+    #[test]
+    fn removing_the_last_pin_removes_the_net_and_terminals() {
+        let g = sample();
+        let script = EditScript::new(vec![
+            EditOp::RemoveNode { name: "a".into() },
+            EditOp::RemoveNode { name: "c".into() },
+        ]);
+        let applied = apply_script(&g, &script).unwrap();
+        // n0 = {a, c} loses both pins -> removed with terminal t0;
+        // n1 = {c, d} keeps d.
+        assert_eq!(applied.graph.net_count(), 1);
+        assert_eq!(applied.graph.terminal_count(), 0);
+        assert_eq!(applied.graph.net_name(NetId::from_index(0)), "n1");
+    }
+
+    #[test]
+    fn empty_script_rebuilds_an_identical_graph() {
+        let g = sample();
+        let applied = apply_script(&g, &EditScript::default()).unwrap();
+        assert_eq!(applied.graph.node_count(), g.node_count());
+        assert_eq!(applied.graph.net_count(), g.net_count());
+        assert_eq!(applied.graph.terminal_count(), g.terminal_count());
+        for v in g.node_ids() {
+            assert_eq!(applied.node_map[v.index()], Some(v));
+            assert_eq!(applied.graph.node_name(v), g.node_name(v));
+            assert_eq!(applied.graph.node_size(v), g.node_size(v));
+        }
+        for e in g.net_ids() {
+            assert_eq!(applied.graph.pins(e), g.pins(e));
+        }
+    }
+
+    #[test]
+    fn dangling_references_carry_the_script_line() {
+        let g = sample();
+        let script = EditScript::parse(
+            "{\"op\": \"remove_node\", \"name\": \"a\"}\n{\"op\": \"remove_node\", \"name\": \"zz\"}\n",
+        )
+        .unwrap();
+        let err = apply_script(&g, &script).unwrap_err();
+        assert_eq!(err, ApplyEditError::UnknownNode { line: 2, name: "zz".into() });
+    }
+
+    #[test]
+    fn connect_disconnect_round_trip() {
+        let g = sample();
+        let script = EditScript::new(vec![
+            EditOp::ConnectPin { net: "n1".into(), node: "a".into() },
+            EditOp::DisconnectPin { net: "n1".into(), node: "a".into() },
+        ]);
+        let applied = apply_script(&g, &script).unwrap();
+        assert_eq!(applied.graph.pins(NetId::from_index(1)), g.pins(NetId::from_index(1)));
+    }
+
+    #[test]
+    fn escapes_survive_the_round_trip() {
+        let script = EditScript::new(vec![EditOp::AddNode { name: "a\"b\\c\nd".into(), size: 1 }]);
+        let parsed = EditScript::parse(&script.to_jsonl()).unwrap();
+        assert_eq!(parsed.ops[0].op, script.ops[0].op);
+    }
+}

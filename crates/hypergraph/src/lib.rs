@@ -8,6 +8,8 @@
 //!   flat index-based adjacency for cache-friendly gain updates;
 //! * [`HypergraphBuilder`] — the only way to construct a [`Hypergraph`],
 //!   validating pin references and net arity;
+//! * [`edit`] — netlist edit scripts (JSON Lines) and [`apply_script`],
+//!   the substrate of incremental (ECO) repartitioning;
 //! * [`io`] — a small line-oriented text format (`.fhg`) reader/writer so
 //!   netlists can be stored and replayed;
 //! * [`hmetis`] — reader/writer for the hMETIS `.hgr` format, the
@@ -48,6 +50,7 @@ mod ids;
 
 pub mod blif;
 pub mod coarsen;
+pub mod edit;
 pub mod gen;
 pub mod hmetis;
 pub mod io;
@@ -57,6 +60,7 @@ pub mod subgraph;
 pub mod traverse;
 
 pub use builder::HypergraphBuilder;
+pub use edit::{apply_script, ApplyEditError, EditApplied, EditOp, EditScript, ParseEditError};
 pub use error::{BuildError, ParseNetlistError};
 pub use graph::Hypergraph;
 pub use ids::{NetId, NodeId, TerminalId};

@@ -8,7 +8,11 @@ the right key types, so a malformed bench emitter fails CI rather than
 silently shipping an unusable artifact. When the `multilevel` section is
 present it is also checked for the PR's performance claims: the n-level
 V-cycle must be at least 2x faster than the flat driver on the 20k-node
-Rent circuit without losing quality (`quality_not_worse`).
+Rent circuit without losing quality (`quality_not_worse`). When the
+`eco` section is present, the incremental repair must be at least 2x
+faster than a from-scratch multilevel run on the edited 20k-node
+circuit, feasible, and quality-comparable (devices strict, scalars
+within 5%).
 """
 
 import argparse
@@ -63,7 +67,8 @@ def check(path, schema_version):
                  "snapshots_materialized", "improve_calls", "iterations",
                  "bipartitions", "runs", "budget_stops", "faults_injected",
                  "failed_restarts", "coarsen_levels",
-                 "boundary_refinements"]:
+                 "boundary_refinements", "eco_edits_applied",
+                 "eco_dirty_blocks", "eco_fallbacks"]:
         require(counters, name, int, "engine_counters.counters")
     assert counters["passes"] > 0, "a real bench run executes passes"
     require(doc["engine_counters"], "improve_time", dict, "engine_counters")
@@ -111,14 +116,43 @@ def check(path, schema_version):
         assert ml["quality_not_worse"], \
             "n-level must not lose quality for its speed"
 
+    if "eco" in doc:
+        eco = require(doc, "eco", dict, ctx)
+        for key, types in [("circuit", str), ("nodes", int),
+                           ("edits", int), ("churn", (int, float)),
+                           ("repaired", bool), ("dirty_blocks", int),
+                           ("repair_seconds", (int, float)),
+                           ("scratch_seconds", (int, float)),
+                           ("speedup", (int, float)),
+                           ("eco_feasible", bool),
+                           ("quality_comparable", bool),
+                           ("repair", dict), ("scratch", dict)]:
+            require(eco, key, types, "eco")
+        for side in ["repair", "scratch"]:
+            for key, types in [("feasible", bool), ("devices", int),
+                               ("infeasibility", (int, float)),
+                               ("terminal_sum", int),
+                               ("external_balance", (int, float)),
+                               ("cut", int)]:
+                require(eco[side], key, types, f"eco.{side}")
+        assert eco["nodes"] >= 20000, \
+            "ECO comparison must run on a 20k+-node circuit"
+        assert eco["repaired"], \
+            "the benchmark edit is capacity-balanced; repair must stay local"
+        assert eco["speedup"] >= 2.0, \
+            f"ECO repair must be >= 2x faster than from-scratch, got {eco['speedup']}x"
+        assert eco["eco_feasible"], "the ECO repair must be feasible"
+        assert eco["quality_comparable"], \
+            "ECO repair must stay quality-comparable to from-scratch"
+
     print(f"{path} matches the schema")
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("file", help="bench JSON artifact to validate")
-    parser.add_argument("--schema-version", type=int, default=4,
-                        help="expected schema_version (default 4)")
+    parser.add_argument("--schema-version", type=int, default=5,
+                        help="expected schema_version (default 5)")
     args = parser.parse_args()
     try:
         check(args.file, args.schema_version)

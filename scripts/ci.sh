@@ -76,14 +76,16 @@ timeout 300 ./target/release/quality "$smoke_dir/quality.json"
 python3 scripts/check_quality.py "$smoke_dir/quality.json" goldens/quality_gate.json
 
 if [ "$skip_bench" -eq 0 ]; then
-    step "smoke bench -> BENCH_pr4.json"
-    timeout 900 ./target/release/smoke BENCH_pr4.json
+    step "smoke bench -> BENCH_pr5.json"
+    timeout 900 ./target/release/smoke BENCH_pr5.json
     # The artifact must be valid JSON *and* match the documented schema
-    # (required keys with the right types), and its multilevel section
-    # must hold the n-level performance claims (>= 2x over flat at equal
-    # or better quality), so a malformed or regressed bench fails CI
-    # rather than silently shipping.
-    python3 scripts/check_bench.py BENCH_pr4.json --schema-version 4
+    # (required keys with the right types), its multilevel section must
+    # hold the n-level performance claims (>= 2x over flat at equal or
+    # better quality), and its eco section must hold the incremental
+    # repair claims (>= 2x over from-scratch at comparable quality), so
+    # a malformed or regressed bench fails CI rather than silently
+    # shipping.
+    python3 scripts/check_bench.py BENCH_pr5.json --schema-version 5
 fi
 
 step "CI OK"
