@@ -1,8 +1,8 @@
 //! Smoke performance benchmark for the incremental-cost / zero-allocation
-//! / parallel-search work, emitting machine-readable `BENCH_pr3.json`
+//! / parallel-search work, emitting machine-readable `BENCH_pr6.json`
 //! (schema-versioned; see `fpart_core::obs::SCHEMA_VERSION`).
 //!
-//! Five measurements:
+//! Nine measurements:
 //!
 //! 1. **Pass throughput** — retained moves per second of `improve(...)`
 //!    on an MCNC-scale circuit (two-block and 8-way), exercising the
@@ -39,8 +39,17 @@
 //!    multilevel run on the edited graph, plus both quality keys.
 //!    `quality_comparable` holds devices strict and every scalar
 //!    component within 5%.
+//! 8. **Intra-run thread scaling** — one multilevel run (no restarts)
+//!    on the 20k-node Rent circuit at 1/2/4 workers. The parallel
+//!    matching, net-projection, and boundary-pair stages are
+//!    deterministic by construction, so every worker count must produce
+//!    a bit-identical assignment (asserted); only wall time varies, and
+//!    the speedup is bounded by `available_parallelism`.
+//! 9. **Large budgeted run** — a seeded 200k-node Rent circuit under a
+//!    wall-clock cap, so end-to-end scalability stays measurable while
+//!    the deadline guarantees the bench finishes on any machine.
 //!
-//! Output path: first CLI argument, default `BENCH_pr5.json`.
+//! Output path: first CLI argument, default `BENCH_pr6.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -57,7 +66,7 @@ use fpart_hypergraph::gen::{find_profile, rent_circuit, synthesize_mcnc, RentCon
 use fpart_hypergraph::NodeId;
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr5.json".to_owned());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr6.json".to_owned());
     let graph = synthesize_mcnc(find_profile("s9234").expect("profile"), Technology::Xc3000);
     let constraints = Device::XC3020.constraints(0.9);
     let config = FpartConfig::default();
@@ -429,13 +438,102 @@ fn main() {
          \"churn\": {:.4}, \"repaired\": {}, \"dirty_blocks\": {}, \
          \"repair_seconds\": {eco_secs:.4}, \"scratch_seconds\": {scratch_secs:.4}, \
          \"speedup\": {eco_speedup:.2}, \"eco_feasible\": {}, \
-         \"quality_comparable\": {eco_comparable}, \"repair\": {}, \"scratch\": {}}}",
+         \"quality_comparable\": {eco_comparable}, \"repair\": {}, \"scratch\": {}}},",
         eco_run.churn,
         eco_run.repaired,
         eco_run.dirty_blocks,
         eco_run.outcome.feasible,
         key_json(&eco_key),
         key_json(&scratch_key)
+    );
+
+    // 8. Intra-run thread scaling: one multilevel run (restarts play no
+    //    part) on the 20k-node Rent circuit at 1/2/4 workers. The
+    //    assignment must be bit-identical at every worker count — the
+    //    parallel stages only change wall time — so the sweep both
+    //    measures the speedup and enforces the determinism contract on
+    //    a real workload. Each timing takes the minimum of several
+    //    repetitions: a single 20k-node run is a few hundred
+    //    milliseconds and scheduler noise would otherwise dominate.
+    let mut intra_rows = Vec::new();
+    let mut intra_reference: Option<Vec<u32>> = None;
+    let mut intra_seconds = [0.0f64; 3];
+    for (slot, workers) in [1usize, 2, 4].into_iter().enumerate() {
+        let ml = MultilevelConfig { threads: workers, ..MultilevelConfig::default() };
+        let reps = 3;
+        let mut secs = f64::INFINITY;
+        let mut run = None;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let outcome = fpart_core::partition_multilevel(&rent, rent_constraints, &config, &ml)
+                .expect("parallel multilevel partitions");
+            secs = secs.min(start.elapsed().as_secs_f64());
+            run = Some(outcome);
+        }
+        let run = run.expect("at least one repetition");
+        assert_eq!(
+            *intra_reference.get_or_insert_with(|| run.assignment.clone()),
+            run.assignment,
+            "intra-run parallelism diverged at {workers} workers"
+        );
+        intra_seconds[slot] = secs;
+        println!(
+            "intra-run workers={workers}: {secs:.3}s ({} devices, cut {})",
+            run.device_count, run.cut
+        );
+        intra_rows.push(format!("    {{\"workers\": {workers}, \"seconds\": {secs:.4}}}"));
+    }
+    let intra_speedup = intra_seconds[0] / intra_seconds[2].max(1e-9);
+    println!(
+        "intra-run scaling: 1 -> 4 workers {intra_speedup:.2}x \
+         (bit-identical, {cores} cores available)"
+    );
+    let _ = writeln!(
+        json,
+        "  \"intra_run\": {{\"circuit\": \"rent20k\", \"nodes\": {}, \
+         \"bit_identical\": true, \"speedup_4_workers\": {intra_speedup:.2}, \
+         \"runs\": [\n{}\n  ]}},",
+        rent.node_count(),
+        intra_rows.join(",\n")
+    );
+
+    // 9. Large budgeted run: a 200k-node Rent circuit through the full
+    //    multilevel flow under a wall-clock cap. The deadline bounds
+    //    the bench on any machine — on expiry the engine returns its
+    //    best verified solution with completion `deadline_expired`
+    //    instead of running away.
+    let big = rent_circuit(&RentConfig::new("rent200k", 200_000, 3_000), 42);
+    let capped = FpartConfig {
+        budget: RunBudget {
+            deadline: Some(std::time::Duration::from_secs(300)),
+            ..RunBudget::default()
+        },
+        ..FpartConfig::default()
+    };
+    let big_ml = MultilevelConfig { threads: cores.min(4), ..MultilevelConfig::default() };
+    let start = Instant::now();
+    let big_run = fpart_core::partition_multilevel(&big, rent_constraints, &capped, &big_ml)
+        .expect("large budgeted run produces a solution");
+    let big_secs = start.elapsed().as_secs_f64();
+    println!(
+        "large run: rent200k ({} nodes) in {big_secs:.3}s => {} devices, cut {}, \
+         feasible={}, completion={}",
+        big.node_count(),
+        big_run.device_count,
+        big_run.cut,
+        big_run.feasible,
+        big_run.completion
+    );
+    let _ = writeln!(
+        json,
+        "  \"large_run\": {{\"circuit\": \"rent200k\", \"nodes\": {}, \
+         \"deadline_seconds\": 300, \"seconds\": {big_secs:.4}, \"devices\": {}, \
+         \"cut\": {}, \"feasible\": {}, \"completion\": \"{}\"}}",
+        big.node_count(),
+        big_run.device_count,
+        big_run.cut,
+        big_run.feasible,
+        big_run.completion
     );
     json.push_str("}\n");
 

@@ -51,7 +51,12 @@ pub fn partition(raw: &[String]) -> Result<(), CliError> {
     let constraints = resolve_constraints(&args).map_err(CliError::Usage)?;
     let method = args.option("method").unwrap_or("fpart");
     let restarts: usize = args.option_parsed("restarts", 1).map_err(CliError::Usage)?;
-    let threads: usize = args.option_parsed("threads", 1).map_err(CliError::Usage)?;
+    // Default from `FPART_THREADS` when set: results are bit-identical
+    // at every thread count, so the environment can only change wall
+    // time (CI runs its thread matrix through this).
+    let threads: usize = args
+        .option_parsed("threads", fpart_core::parallel::default_threads())
+        .map_err(CliError::Usage)?;
     let deadline_ms: Option<u64> = args
         .option("deadline-ms")
         .map(|v| v.parse().map_err(|_| format!("option --deadline-ms: cannot parse `{v}`")))
@@ -72,7 +77,11 @@ pub fn partition(raw: &[String]) -> Result<(), CliError> {
         return Err(CliError::Usage(format!("--multilevel conflicts with --method {method}")));
     }
     let engine_method = method == "fpart" || multilevel;
-    if (restarts > 1 || threads > 1) && !engine_method {
+    // Only *explicit* flags conflict with non-engine methods: the
+    // FPART_THREADS default is a machine-wide hint, not a request, and
+    // the baselines simply have no parallel stages for it to size.
+    let explicit_search = args.option("restarts").is_some() || args.option("threads").is_some();
+    if (restarts > 1 || threads > 1) && explicit_search && !engine_method {
         return Err(CliError::Usage(
             "--restarts/--threads only apply to --method fpart/multilevel".into(),
         ));
@@ -313,8 +322,15 @@ fn run_multilevel(
         return Err(CliError::Usage("--coarsen-floor must be at least 2".into()));
     }
     let config = FpartConfig { budget, ..FpartConfig::default() };
-    let ml =
-        fpart_core::MultilevelConfig { coarsen_floor, ..fpart_core::MultilevelConfig::default() };
+    // `--threads` is the total worker budget. The restart wrappers split
+    // it themselves; the single-run path below hands the whole budget to
+    // the V-cycle's intra-run stages (the field is overridden by the
+    // wrappers, so setting it here is only visible to that path).
+    let ml = fpart_core::MultilevelConfig {
+        coarsen_floor,
+        threads,
+        ..fpart_core::MultilevelConfig::default()
+    };
     let metrics_path = args.option("metrics");
 
     let outcome = if let Some(path) = metrics_path {
@@ -571,7 +587,12 @@ pub fn eco(raw: &[String]) -> Result<(), CliError> {
     let edits_file =
         args.option("edits").ok_or_else(|| CliError::Usage("eco needs --edits FILE".into()))?;
     let restarts: usize = args.option_parsed("restarts", 1).map_err(CliError::Usage)?;
-    let threads: usize = args.option_parsed("threads", 1).map_err(CliError::Usage)?;
+    // Default from `FPART_THREADS` when set: results are bit-identical
+    // at every thread count, so the environment can only change wall
+    // time (CI runs its thread matrix through this).
+    let threads: usize = args
+        .option_parsed("threads", fpart_core::parallel::default_threads())
+        .map_err(CliError::Usage)?;
     if restarts == 0 || threads == 0 {
         return Err(CliError::Usage("--restarts and --threads must be at least 1".into()));
     }

@@ -71,8 +71,11 @@ PARTITION OPTIONS:
                       at every uncoarsening level (same as --method multilevel)
   --coarsen-floor <N> stop coarsening at this node count (default 256)
   --restarts <N>      independent FPART runs with consecutive seeds; best wins (default 1)
-  --threads <N>       worker threads for --restarts; the result is identical
-                      for every thread count, only wall time changes (default 1)
+  --threads <N>       total worker budget, shared by parallel restarts and the
+                      intra-run stages of each run (multilevel matching, net
+                      projection, boundary pair refinement); the result is
+                      identical for every thread count, only wall time
+                      changes (default: $FPART_THREADS if set, else 1)
   --deadline-ms <N>   wall-clock budget; on expiry the best solution found
                       so far is returned with completion `deadline_expired`
   --max-passes <N>    FM pass budget per run; on exhaustion completion is

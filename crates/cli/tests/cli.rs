@@ -198,7 +198,7 @@ fn metrics_and_trace_json_outputs() {
         .expect("runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let json = std::fs::read_to_string(&metrics_file).expect("metrics file");
-    assert!(json.contains("\"schema_version\": 5"), "{json}");
+    assert!(json.contains("\"schema_version\": 6"), "{json}");
     assert!(json.contains("\"restarts\": 3"), "{json}");
     assert!(json.contains("\"completion\": \"complete\""), "{json}");
     assert!(json.contains("\"failed_restarts\": []"), "{json}");
@@ -572,7 +572,7 @@ fn eco_repairs_an_edited_netlist() {
     assert!(text.contains("eco:"), "{text}");
     let metrics_text = std::fs::read_to_string(&metrics).expect("metrics written");
     assert!(metrics_text.contains("\"eco_edits_applied\": 3"), "{metrics_text}");
-    assert!(metrics_text.contains("\"schema_version\": 5"), "{metrics_text}");
+    assert!(metrics_text.contains("\"schema_version\": 6"), "{metrics_text}");
 
     // The repaired assignment verifies against the *edited* netlist —
     // which the original netlist file no longer is, so verify must

@@ -19,9 +19,8 @@
 //! chosen pass boundaries, optionally targeting a single restart index,
 //! so degradation paths are exercised without wall-clock flakiness.
 
-use std::cell::Cell;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -198,6 +197,13 @@ pub struct FaultPlan {
     /// restarts run fault-free. `None` applies to every restart (a
     /// direct, non-restart run counts as restart 0).
     pub only_restart: Option<usize>,
+    /// When set, the plan fires only inside the intra-run worker job
+    /// with this index (a boundary-refinement pair job spawned by
+    /// [`BudgetTracker::fork_worker`]); the run-level schedule stays
+    /// fault-free. Worker jobs count their own pass boundaries from
+    /// zero, so `at_pass` is relative to the job, which keeps the
+    /// injection point deterministic at any thread count.
+    pub only_pair_job: Option<usize>,
     /// `(pass boundary, action)` pairs; boundaries are 1-based counts
     /// of pass starts within a run. Multiple entries may share a
     /// boundary and fire in order.
@@ -208,19 +214,31 @@ impl FaultPlan {
     /// A plan that panics with `message` at the given pass boundary.
     #[must_use]
     pub fn panic_at(pass: u64, message: &str) -> FaultPlan {
-        FaultPlan { only_restart: None, at_pass: vec![(pass, FaultAction::Panic(message.into()))] }
+        FaultPlan {
+            only_restart: None,
+            only_pair_job: None,
+            at_pass: vec![(pass, FaultAction::Panic(message.into()))],
+        }
     }
 
     /// A plan that sleeps for `delay` at the given pass boundary.
     #[must_use]
     pub fn delay_at(pass: u64, delay: Duration) -> FaultPlan {
-        FaultPlan { only_restart: None, at_pass: vec![(pass, FaultAction::Delay(delay))] }
+        FaultPlan {
+            only_restart: None,
+            only_pair_job: None,
+            at_pass: vec![(pass, FaultAction::Delay(delay))],
+        }
     }
 
     /// A plan that forces budget expiry at the given pass boundary.
     #[must_use]
     pub fn expire_at(pass: u64) -> FaultPlan {
-        FaultPlan { only_restart: None, at_pass: vec![(pass, FaultAction::ExpireBudget)] }
+        FaultPlan {
+            only_restart: None,
+            only_pair_job: None,
+            at_pass: vec![(pass, FaultAction::ExpireBudget)],
+        }
     }
 
     /// Restricts the plan to a single restart index (builder style).
@@ -230,13 +248,26 @@ impl FaultPlan {
         self
     }
 
+    /// Restricts the plan to a single intra-run worker job index
+    /// (builder style). The schedule then fires only inside that
+    /// boundary-refinement pair job, never at the run level.
+    #[must_use]
+    pub fn for_only_pair_job(mut self, job: usize) -> FaultPlan {
+        self.only_pair_job = Some(job);
+        self
+    }
+
     /// The plan as seen by restart `restart`: `None` when the plan
     /// targets a different restart, otherwise the schedule itself.
     #[must_use]
     pub fn for_restart(&self, restart: usize) -> Option<FaultPlan> {
         match self.only_restart {
             Some(only) if only != restart => None,
-            _ => Some(FaultPlan { only_restart: None, at_pass: self.at_pass.clone() }),
+            _ => Some(FaultPlan {
+                only_restart: None,
+                only_pair_job: self.only_pair_job,
+                at_pass: self.at_pass.clone(),
+            }),
         }
     }
 }
@@ -250,9 +281,37 @@ enum StopKind {
     MoveBudget,
 }
 
+impl StopKind {
+    /// Encodes the latched stop for the tracker's `AtomicU8` cell
+    /// (`0` = no stop). [`StopKind::decode`] is the inverse.
+    fn encode(kind: Option<StopKind>) -> u8 {
+        match kind {
+            None => 0,
+            Some(StopKind::Cancelled) => 1,
+            Some(StopKind::Deadline) => 2,
+            Some(StopKind::PassBudget) => 3,
+            Some(StopKind::MoveBudget) => 4,
+        }
+    }
+
+    fn decode(raw: u8) -> Option<StopKind> {
+        match raw {
+            1 => Some(StopKind::Cancelled),
+            2 => Some(StopKind::Deadline),
+            3 => Some(StopKind::PassBudget),
+            4 => Some(StopKind::MoveBudget),
+            _ => None,
+        }
+    }
+}
+
 /// Per-run budget enforcement state, shared immutably through
 /// [`crate::engine::ImproveContext`] (interior mutability keeps the
-/// engine's borrow structure unchanged).
+/// engine's borrow structure unchanged). The counters are relaxed
+/// atomics so a tracker is `Sync`: intra-run worker forks (see
+/// [`BudgetTracker::fork_worker`]) can be handed to scoped threads,
+/// while single-thread use compiles to the same uncontended loads and
+/// stores the old `Cell` fields did.
 ///
 /// Each restart builds its own tracker, so parallel restarts never share
 /// mutable state and deterministic merging is preserved.
@@ -265,11 +324,15 @@ pub struct BudgetTracker {
     max_moves: Option<u64>,
     cancel: Option<CancelToken>,
     faults: Vec<(u64, FaultAction)>,
-    passes: Cell<u64>,
-    moves: Cell<u64>,
-    faults_injected: Cell<u64>,
-    forced_expiry: Cell<bool>,
-    stop: Cell<Option<StopKind>>,
+    /// Worker-targeted schedule: fires only inside the intra-run pair
+    /// job with the stored index (routed there by `fork_worker`), never
+    /// at the run level.
+    pair_faults: Option<(usize, Vec<(u64, FaultAction)>)>,
+    passes: AtomicU64,
+    moves: AtomicU64,
+    faults_injected: AtomicU64,
+    forced_expiry: AtomicBool,
+    stop: AtomicU8,
 }
 
 impl BudgetTracker {
@@ -277,7 +340,13 @@ impl BudgetTracker {
     /// unlimited budget with no faults never reads the clock at all.
     #[must_use]
     pub fn new(budget: &RunBudget, faults: Option<FaultPlan>) -> BudgetTracker {
-        let faults = faults.map(|p| p.at_pass).unwrap_or_default();
+        let (faults, pair_faults) = match faults {
+            Some(plan) => match plan.only_pair_job {
+                Some(job) => (Vec::new(), Some((job, plan.at_pass))),
+                None => (plan.at_pass, None),
+            },
+            None => (Vec::new(), None),
+        };
         let limited = !budget.is_unlimited() || !faults.is_empty();
         BudgetTracker {
             limited,
@@ -286,11 +355,66 @@ impl BudgetTracker {
             max_moves: budget.max_moves,
             cancel: budget.cancel.clone(),
             faults,
-            passes: Cell::new(0),
-            moves: Cell::new(0),
-            faults_injected: Cell::new(0),
-            forced_expiry: Cell::new(false),
-            stop: Cell::new(None),
+            pair_faults,
+            passes: AtomicU64::new(0),
+            moves: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            forced_expiry: AtomicBool::new(false),
+            stop: AtomicU8::new(0),
+        }
+    }
+
+    /// Forks a worker-local tracker for intra-run pair job `pair_job`.
+    ///
+    /// The fork snapshots the *remaining* discrete budgets (so a round
+    /// of pair jobs forked before fan-out all see the same caps — the
+    /// snapshot, and therefore the partition result, is independent of
+    /// thread count), shares the absolute deadline and cancel token,
+    /// and receives the worker-targeted fault schedule iff its index
+    /// matches. Consumption is folded back with [`BudgetTracker::absorb`]
+    /// in a fixed job order.
+    #[must_use]
+    pub fn fork_worker(&self, pair_job: usize) -> BudgetTracker {
+        let faults = match &self.pair_faults {
+            Some((only, plan)) if *only == pair_job => plan.clone(),
+            _ => Vec::new(),
+        };
+        let limited = self.limited || !faults.is_empty();
+        BudgetTracker {
+            limited,
+            deadline: self.deadline,
+            max_passes: self.max_passes.map(|cap| cap.saturating_sub(self.passes())),
+            max_moves: self
+                .max_moves
+                .map(|cap| cap.saturating_sub(self.moves.load(Ordering::Relaxed))),
+            cancel: self.cancel.clone(),
+            faults,
+            pair_faults: None,
+            passes: AtomicU64::new(0),
+            moves: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            forced_expiry: AtomicBool::new(false),
+            stop: AtomicU8::new(0),
+        }
+    }
+
+    /// Folds a worker fork's consumption back into this tracker. Called
+    /// once per job, in job-index order, after the fan-out joins —
+    /// counts accumulate deterministically and a worker's forced expiry
+    /// propagates, then the merged state is re-evaluated so discrete
+    /// budgets latch at the same boundary regardless of thread count.
+    pub fn absorb(&self, worker: &BudgetTracker) {
+        self.passes.fetch_add(worker.passes.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.moves.fetch_add(worker.moves.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.faults_injected
+            .fetch_add(worker.faults_injected.load(Ordering::Relaxed), Ordering::Relaxed);
+        if worker.forced_expiry.load(Ordering::Relaxed) {
+            self.forced_expiry.store(true, Ordering::Relaxed);
+        }
+        // Re-evaluate even for an unlimited parent when a worker forced
+        // expiry, so the fault-injected stop is visible in `completion`.
+        if self.limited || self.forced_expiry.load(Ordering::Relaxed) {
+            self.evaluate();
         }
     }
 
@@ -313,17 +437,17 @@ impl BudgetTracker {
         if !self.limited {
             return false;
         }
-        let pass = self.passes.get() + 1;
-        self.passes.set(pass);
+        let pass = self.passes.load(Ordering::Relaxed) + 1;
+        self.passes.store(pass, Ordering::Relaxed);
         for (at, action) in &self.faults {
             if *at != pass {
                 continue;
             }
-            self.faults_injected.set(self.faults_injected.get() + 1);
+            self.faults_injected.fetch_add(1, Ordering::Relaxed);
             match action {
                 FaultAction::Panic(message) => panic!("injected fault: {message}"),
                 FaultAction::Delay(delay) => std::thread::sleep(*delay),
-                FaultAction::ExpireBudget => self.forced_expiry.set(true),
+                FaultAction::ExpireBudget => self.forced_expiry.store(true, Ordering::Relaxed),
             }
         }
         self.evaluate()
@@ -332,7 +456,7 @@ impl BudgetTracker {
     /// Records `n` applied moves (enforced at the next boundary check).
     pub fn add_moves(&self, n: u64) {
         if self.limited {
-            self.moves.set(self.moves.get() + n);
+            self.moves.fetch_add(n, Ordering::Relaxed);
         }
     }
 
@@ -348,13 +472,13 @@ impl BudgetTracker {
     /// Whether a stop has already been latched (never un-latches).
     #[must_use]
     pub fn stopped(&self) -> bool {
-        self.stop.get().is_some()
+        StopKind::decode(self.stop.load(Ordering::Relaxed)).is_some()
     }
 
     /// Completion status implied by the latched stop reason.
     #[must_use]
     pub fn completion(&self) -> Completion {
-        match self.stop.get() {
+        match StopKind::decode(self.stop.load(Ordering::Relaxed)) {
             None => Completion::Complete,
             Some(StopKind::Cancelled) => Completion::Cancelled,
             Some(StopKind::Deadline) => Completion::DeadlineExpired,
@@ -365,34 +489,36 @@ impl BudgetTracker {
     /// Number of faults injected so far (for the metrics layer).
     #[must_use]
     pub fn faults_injected(&self) -> u64 {
-        self.faults_injected.get()
+        self.faults_injected.load(Ordering::Relaxed)
     }
 
     /// Pass boundaries crossed so far.
     #[must_use]
     pub fn passes(&self) -> u64 {
-        self.passes.get()
+        self.passes.load(Ordering::Relaxed)
     }
 
     /// Latches the first limit violated, in severity order (cancel
     /// before deadline before discrete budgets), and reports whether
     /// the run must stop.
     fn evaluate(&self) -> bool {
-        if self.stop.get().is_some() {
+        if self.stopped() {
             return true;
         }
         let kind = if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
             Some(StopKind::Cancelled)
-        } else if self.forced_expiry.get() || self.deadline.is_some_and(|at| Instant::now() >= at) {
+        } else if self.forced_expiry.load(Ordering::Relaxed)
+            || self.deadline.is_some_and(|at| Instant::now() >= at)
+        {
             Some(StopKind::Deadline)
-        } else if self.max_passes.is_some_and(|cap| self.passes.get() > cap) {
+        } else if self.max_passes.is_some_and(|cap| self.passes.load(Ordering::Relaxed) > cap) {
             Some(StopKind::PassBudget)
-        } else if self.max_moves.is_some_and(|cap| self.moves.get() >= cap) {
+        } else if self.max_moves.is_some_and(|cap| self.moves.load(Ordering::Relaxed) >= cap) {
             Some(StopKind::MoveBudget)
         } else {
             None
         };
-        self.stop.set(kind);
+        self.stop.store(StopKind::encode(kind), Ordering::Relaxed);
         kind.is_some()
     }
 }
@@ -503,6 +629,74 @@ mod tests {
         let broadcast = FaultPlan::expire_at(3);
         assert!(broadcast.for_restart(0).is_some());
         assert!(broadcast.for_restart(7).is_some());
+    }
+
+    #[test]
+    fn tracker_is_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<BudgetTracker>();
+    }
+
+    #[test]
+    fn fork_snapshots_remaining_budget_and_absorb_folds_back() {
+        let budget =
+            RunBudget { max_passes: Some(10), max_moves: Some(100), ..RunBudget::default() };
+        let tracker = BudgetTracker::new(&budget, None);
+        assert!(!tracker.before_pass());
+        tracker.add_moves(40);
+
+        let worker = tracker.fork_worker(0);
+        // The fork sees what is left: 9 passes, 60 moves.
+        for _ in 0..9 {
+            assert!(!worker.before_pass());
+        }
+        assert!(worker.before_pass(), "tenth worker pass exceeds the forked cap");
+        worker.add_moves(5);
+
+        tracker.absorb(&worker);
+        assert_eq!(tracker.passes(), 11);
+        assert!(tracker.check(), "absorbed passes push the parent over its cap");
+        assert_eq!(tracker.completion(), Completion::Degraded);
+    }
+
+    #[test]
+    fn pair_job_faults_fire_only_in_matching_fork() {
+        let plan = FaultPlan::expire_at(1).for_only_pair_job(2);
+        let tracker = BudgetTracker::new(&RunBudget::default(), Some(plan));
+        // The run-level tracker never fires the worker-targeted fault.
+        assert!(!tracker.before_pass());
+        assert_eq!(tracker.faults_injected(), 0);
+
+        let other = tracker.fork_worker(1);
+        assert!(!other.before_pass());
+        assert_eq!(other.faults_injected(), 0);
+
+        let target = tracker.fork_worker(2);
+        assert!(target.before_pass(), "fault forces expiry on its first pass");
+        assert_eq!(target.faults_injected(), 1);
+        assert_eq!(target.completion(), Completion::DeadlineExpired);
+
+        // Absorbing the faulted worker propagates the stop to the run.
+        tracker.absorb(&other);
+        assert_eq!(tracker.completion(), Completion::Complete);
+        tracker.absorb(&target);
+        assert_eq!(tracker.faults_injected(), 1);
+        assert_eq!(tracker.completion(), Completion::DeadlineExpired);
+    }
+
+    #[test]
+    fn pair_panic_fires_inside_fork() {
+        let plan = FaultPlan::panic_at(1, "pair boom").for_only_pair_job(0);
+        let tracker = BudgetTracker::new(&RunBudget::default(), Some(plan));
+        assert!(!tracker.before_pass());
+        let worker = tracker.fork_worker(0);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker.before_pass()))
+            .expect_err("must panic");
+        let message = err.downcast_ref::<String>().expect("string payload");
+        assert!(message.contains("pair boom"), "{message}");
+        // The worker tracker survives the unwind with its count intact.
+        tracker.absorb(&worker);
+        assert_eq!(tracker.faults_injected(), 1);
     }
 
     #[test]

@@ -42,7 +42,7 @@ impl Default for DirectConfig {
         DirectConfig {
             extra_attempts: 8,
             all_block_limit: 12,
-            refine: RefineConfig { rounds: 6, pairs_per_round: 12 },
+            refine: RefineConfig { rounds: 6, pairs_per_round: 12, workers: 1 },
         }
     }
 }

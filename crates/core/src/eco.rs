@@ -54,7 +54,9 @@ pub struct EcoConfig {
     /// Block pairs repaired per round, before the dirty filter.
     pub pairs_per_round: usize,
     /// The full-repartition engine used when the churn threshold trips
-    /// or a repair does not verify.
+    /// or a repair does not verify. Its `threads` field also sizes the
+    /// dirty-block repair's boundary pair-job workers, so one knob
+    /// covers both paths of the ECO flow.
     pub multilevel: MultilevelConfig,
 }
 
@@ -367,7 +369,14 @@ pub fn repartition_eco_observed(
 
     let m = lower_bound(graph, constraints);
     let evaluator = CostEvaluator::new(constraints, config, m, graph.terminal_count());
-    let refine = RefineConfig { rounds: eco.refine_rounds, pairs_per_round: eco.pairs_per_round };
+    // The repair shares the multilevel worker knob: dirty-block pair
+    // jobs fan out exactly like an uncoarsening level's (and the full
+    // fallback engine below inherits the same count).
+    let refine = RefineConfig {
+        rounds: eco.refine_rounds,
+        pairs_per_round: eco.pairs_per_round,
+        workers: eco.multilevel.threads.max(1),
+    };
 
     let mut improve_calls = 0usize;
     let mut total_moves = 0usize;
@@ -496,11 +505,13 @@ pub fn repartition_eco_restarts(
     restarts: usize,
     threads: usize,
 ) -> Result<PartitionOutcome, PartitionError> {
-    search_restarts(restarts, threads, &|i| {
+    let (outer, inner) = crate::multilevel::split_thread_budget(threads, restarts);
+    search_restarts(restarts, if threads == 0 { 0 } else { outer }, &|i| {
         let cfg = restart_config(config, i);
         let ecoc = EcoConfig {
             multilevel: MultilevelConfig {
                 seed: eco.multilevel.seed.wrapping_add(i as u64),
+                threads: inner,
                 ..eco.multilevel.clone()
             },
             ..eco.clone()
@@ -528,11 +539,13 @@ pub fn repartition_eco_restarts_observed(
     restarts: usize,
     threads: usize,
 ) -> Result<crate::driver::RestartsReport, PartitionError> {
-    crate::driver::search_restarts_observed(restarts, threads, &|i| {
+    let (outer, inner) = crate::multilevel::split_thread_budget(threads, restarts);
+    crate::driver::search_restarts_observed(restarts, if threads == 0 { 0 } else { outer }, &|i| {
         let cfg = restart_config(config, i);
         let ecoc = EcoConfig {
             multilevel: MultilevelConfig {
                 seed: eco.multilevel.seed.wrapping_add(i as u64),
+                threads: inner,
                 ..eco.multilevel.clone()
             },
             ..eco.clone()

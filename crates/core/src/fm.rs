@@ -33,7 +33,9 @@ pub struct FmConfig {
     /// Results are **bit-identical** for every thread count: each run is
     /// fully determined by its index, and the winner is reduced over the
     /// completed runs in index order, exactly as the sequential loop
-    /// would.
+    /// would. Callers with a single total worker budget (the CLI's
+    /// `--threads`, [`crate::split_thread_budget`]) share it between
+    /// this fan-out and the intra-run stages of the multilevel flow.
     pub threads: usize,
     /// Seed for the initial splits.
     pub seed: u64,

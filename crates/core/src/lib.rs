@@ -109,7 +109,7 @@ pub use initial::{bipartition_remainder, InitialMethod};
 pub use interconnect::InterconnectReport;
 pub use multilevel::{
     partition_multilevel, partition_multilevel_observed, partition_multilevel_restarts,
-    partition_multilevel_restarts_observed, MultilevelConfig,
+    partition_multilevel_restarts_observed, split_thread_budget, MultilevelConfig,
 };
 pub use obs::{
     event_to_json, Counter, EventSink, FanoutSink, JsonlSink, Metrics, Observer, TimeStat,

@@ -27,7 +27,7 @@
 use std::time::Instant;
 
 use fpart_device::{lower_bound, DeviceConstraints};
-use fpart_hypergraph::coarsen::coarsen_to_floor;
+use fpart_hypergraph::coarsen::coarsen_to_floor_threaded;
 use fpart_hypergraph::Hypergraph;
 
 use crate::budget::{BudgetTracker, Completion};
@@ -62,6 +62,12 @@ pub struct MultilevelConfig {
     pub pairs_per_round: usize,
     /// Seed for the matching order.
     pub seed: u64,
+    /// Intra-run worker threads for the parallel stages of one V-cycle
+    /// (heavy-edge matching proposals, net projection, boundary pair
+    /// jobs). The partition is bit-identical for every value; restart
+    /// wrappers derive it from their total thread budget. Clamped to at
+    /// least 1.
+    pub threads: usize,
 }
 
 impl Default for MultilevelConfig {
@@ -73,6 +79,7 @@ impl Default for MultilevelConfig {
             refine_rounds: 2,
             pairs_per_round: 16,
             seed: 0x5EED,
+            threads: crate::parallel::default_threads(),
         }
     }
 }
@@ -190,8 +197,17 @@ pub fn partition_multilevel_observed(
     );
 
     // Coarsen until the floor (or saturation) — the n-level hierarchy.
+    // The worker count never changes the hierarchy (sharded proposals
+    // commit serially), so intra-run parallelism keeps determinism.
     let cap = ((constraints.s_max as f64 * ml.cluster_cap_fraction) as u64).max(2);
-    let hierarchy = coarsen_to_floor(graph, cap, ml.coarsen_floor, ml.max_levels, ml.seed);
+    let hierarchy = coarsen_to_floor_threaded(
+        graph,
+        cap,
+        ml.coarsen_floor,
+        ml.max_levels,
+        ml.seed,
+        ml.threads.max(1),
+    );
     obs.metrics.add(Counter::CoarsenLevels, hierarchy.level_count() as u64);
 
     // Partition the coarsest level under the shared tracker.
@@ -202,7 +218,11 @@ pub fn partition_multilevel_observed(
 
     let m = lower_bound(graph, constraints);
     let evaluator = CostEvaluator::new(constraints, config, m, graph.terminal_count());
-    let refine = RefineConfig { rounds: ml.refine_rounds, pairs_per_round: ml.pairs_per_round };
+    let refine = RefineConfig {
+        rounds: ml.refine_rounds,
+        pairs_per_round: ml.pairs_per_round,
+        workers: ml.threads.max(1),
+    };
 
     let mut iterations = coarse_outcome.iterations;
     let mut improve_calls = coarse_outcome.improve_calls;
@@ -263,13 +283,32 @@ pub fn partition_multilevel_observed(
     ))
 }
 
+/// Splits a total worker budget between the restart fan-out and the
+/// intra-run stages of each restart: restarts claim workers first (they
+/// parallelize with no cloning overhead), and any surplus becomes
+/// intra-run workers shared evenly. Neither number changes any result —
+/// restarts reduce in index order and the intra-run stages are
+/// thread-count invariant — so the split is purely a throughput choice.
+#[must_use]
+pub fn split_thread_budget(threads: usize, restarts: usize) -> (usize, usize) {
+    let threads = threads.max(1);
+    let outer = threads.min(restarts.max(1));
+    let inner = (threads / outer).max(1);
+    (outer, inner)
+}
+
 /// Runs [`partition_multilevel`] `restarts` times with consecutive seed
 /// offsets (both the driver seed and the matching seed diversify),
-/// optionally across `threads` scoped worker threads, and returns the
-/// best outcome under the same reduction as
-/// [`crate::partition_restarts`] — reduced in restart order, so the
-/// result is **bit-identical for every thread count**. Restarts are
-/// panic-isolated exactly like the flat search.
+/// optionally across scoped worker threads, and returns the best
+/// outcome under the same reduction as [`crate::partition_restarts`] —
+/// reduced in restart order, so the result is **bit-identical for every
+/// thread count**. Restarts are panic-isolated exactly like the flat
+/// search.
+///
+/// `threads` is the *total* worker budget: it is split by
+/// [`split_thread_budget`] between concurrent restarts and each
+/// restart's intra-run stages (parallel matching proposals, net
+/// projection, boundary pair jobs), overriding `ml.threads`.
 ///
 /// # Errors
 ///
@@ -285,9 +324,11 @@ pub fn partition_multilevel_restarts(
     restarts: usize,
     threads: usize,
 ) -> Result<PartitionOutcome, PartitionError> {
-    search_restarts(restarts, threads, &|i| {
+    let (outer, inner) = split_thread_budget(threads, restarts);
+    search_restarts(restarts, if threads == 0 { 0 } else { outer }, &|i| {
         let cfg = restart_config(config, i);
-        let mlc = MultilevelConfig { seed: ml.seed.wrapping_add(i as u64), ..ml.clone() };
+        let mlc =
+            MultilevelConfig { seed: ml.seed.wrapping_add(i as u64), threads: inner, ..ml.clone() };
         partition_multilevel(graph, constraints, &cfg, &mlc)
     })
 }
@@ -307,9 +348,11 @@ pub fn partition_multilevel_restarts_observed(
     restarts: usize,
     threads: usize,
 ) -> Result<RestartsReport, PartitionError> {
-    search_restarts_observed(restarts, threads, &|i| {
+    let (outer, inner) = split_thread_budget(threads, restarts);
+    search_restarts_observed(restarts, if threads == 0 { 0 } else { outer }, &|i| {
         let cfg = restart_config(config, i);
-        let mlc = MultilevelConfig { seed: ml.seed.wrapping_add(i as u64), ..ml.clone() };
+        let mlc =
+            MultilevelConfig { seed: ml.seed.wrapping_add(i as u64), threads: inner, ..ml.clone() };
         let mut obs = Observer::new(Metrics::enabled(), None);
         let result = partition_multilevel_observed(graph, constraints, &cfg, &mlc, &mut obs);
         let mut metrics = obs.metrics;

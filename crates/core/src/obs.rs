@@ -34,7 +34,7 @@ use crate::trace::{ImproveKind, TraceEvent};
 /// Schema version of every machine-readable document this module emits
 /// (the CLI `--metrics` file, the JSONL trace, `BENCH_*.json`). Bump it
 /// whenever a field is renamed, removed, or changes meaning.
-pub const SCHEMA_VERSION: u32 = 5;
+pub const SCHEMA_VERSION: u32 = 6;
 
 /// The named engine counters. Every counter is a monotonically
 /// increasing `u64`; [`Counter::name`] is the stable `snake_case` key used
@@ -81,11 +81,16 @@ pub enum Counter {
     EcoDirtyBlocks,
     /// ECO repairs that fell back to full repartitioning.
     EcoFallbacks,
+    /// Boundary-refinement pair jobs scheduled onto intra-run workers.
+    PairJobs,
+    /// Pair jobs lost to an isolated worker panic (their moves are
+    /// dropped deterministically; the round's other pairs commit).
+    PairPanics,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 19] = [
+    pub const ALL: [Counter; 21] = [
         Counter::Passes,
         Counter::MovesApplied,
         Counter::MovesReverted,
@@ -105,6 +110,8 @@ impl Counter {
         Counter::EcoEditsApplied,
         Counter::EcoDirtyBlocks,
         Counter::EcoFallbacks,
+        Counter::PairJobs,
+        Counter::PairPanics,
     ];
 
     /// Stable `snake_case` key of this counter in serialized metrics.
@@ -130,6 +137,8 @@ impl Counter {
             Counter::EcoEditsApplied => "eco_edits_applied",
             Counter::EcoDirtyBlocks => "eco_dirty_blocks",
             Counter::EcoFallbacks => "eco_fallbacks",
+            Counter::PairJobs => "pair_jobs",
+            Counter::PairPanics => "pair_panics",
         }
     }
 }

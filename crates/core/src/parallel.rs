@@ -8,6 +8,20 @@
 //! external dependencies, no shared mutable state beyond disjoint result
 //! slots.
 
+/// The default worker count for configs that carry one: the
+/// `FPART_THREADS` environment variable when set to a positive integer,
+/// otherwise 1.
+///
+/// Every parallel stage in the workspace is bit-identical at every
+/// thread count, so overriding the default through the environment can
+/// never change a result — it only changes wall time. CI exploits this
+/// to run the whole test suite under a thread matrix (`FPART_THREADS=1`
+/// and `FPART_THREADS=4`) without touching a single test.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::env::var("FPART_THREADS").ok().and_then(|v| v.parse().ok()).filter(|&t| t > 0).unwrap_or(1)
+}
+
 /// Runs `count` independent jobs, optionally across scoped worker
 /// threads, returning the results in job-index order.
 ///

@@ -4,6 +4,15 @@
 //! run two-block improvement passes on the most cut-connected block
 //! pairs. Unlike the driver's schedule there is no remainder — every
 //! block obeys the same move window.
+//!
+//! Boundary refinement rounds run their pair passes as independent
+//! *jobs*: [`top_crossing_pairs`] returns block-disjoint pairs, every
+//! job refines a private clone of the round-start snapshot, and the
+//! surviving moves are committed to the master state in pair-index
+//! order. Because each job's input is the snapshot (never a sibling's
+//! output) and the commit order is fixed, the result is bit-identical
+//! whether the jobs run on one worker or many
+//! ([`RefineConfig::workers`]).
 
 use fpart_hypergraph::{NetId, NodeId};
 
@@ -12,6 +21,7 @@ use crate::config::FpartConfig;
 use crate::cost::CostEvaluator;
 use crate::engine::{improve, improve_cells_metered, ImproveContext, NO_REMAINDER};
 use crate::obs::{Counter, Metrics};
+use crate::parallel::run_indexed_caught_metered;
 use crate::state::PartitionState;
 use crate::trace::ImproveKind;
 
@@ -22,11 +32,16 @@ pub struct RefineConfig {
     pub rounds: usize,
     /// Block pairs refined per round (each block at most once a round).
     pub pairs_per_round: usize,
+    /// Worker threads for the boundary pair jobs of one round. The
+    /// result is bit-identical for every value (jobs read the
+    /// round-start snapshot and commit in pair order); values are
+    /// clamped to at least 1.
+    pub workers: usize,
 }
 
 impl Default for RefineConfig {
     fn default() -> Self {
-        RefineConfig { rounds: 4, pairs_per_round: 8 }
+        RefineConfig { rounds: 4, pairs_per_round: 8, workers: crate::parallel::default_threads() }
     }
 }
 
@@ -128,6 +143,15 @@ pub fn refine_boundary_dirty_metered(
     refine_boundary_inner(state, evaluator, config, refine, budget, metrics, Some(dirty))
 }
 
+/// One pair job's contribution to a boundary round: the moves to commit
+/// (boundary cells whose block changed in the job's private snapshot),
+/// plus its stats delta.
+struct PairOutcome {
+    moved: Vec<(NodeId, usize)>,
+    stats: BoundaryRefineStats,
+    improved: bool,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn refine_boundary_inner(
     state: &mut PartitionState<'_>,
@@ -147,7 +171,10 @@ fn refine_boundary_inner(
     // strict two-block ε²_min gives way to the multi-block coefficient.
     let config = FpartConfig { eps_min_two: config.eps_min_multi, ..config.clone() };
     let config = &config;
-    let mut boundary: Vec<NodeId> = Vec::new();
+    let workers = refine.workers.max(1);
+    // Global pair-job counter across rounds: the index a worker-targeted
+    // [`crate::FaultPlan`] matches on, and the budget fork identity.
+    let mut next_job = 0usize;
     for _ in 0..refine.rounds {
         if budget.is_some_and(BudgetTracker::check) {
             break;
@@ -159,28 +186,76 @@ fn refine_boundary_inner(
         if pairs.is_empty() {
             break;
         }
-        let mut improved = false;
-        for (a, b) in pairs {
-            boundary_cells(state, a, b, &mut boundary);
+        // Fork every job's budget before the fan-out, in pair order, so
+        // all jobs of a round see the same remaining-budget snapshot no
+        // matter how many workers execute them.
+        let forks: Option<Vec<BudgetTracker>> =
+            budget.map(|t| (0..pairs.len()).map(|i| t.fork_worker(next_job + i)).collect());
+        let forks_ref = forks.as_deref();
+        let pairs_ref = &pairs[..];
+        let snapshot: &PartitionState<'_> = state;
+        let results = run_indexed_caught_metered(pairs.len(), workers, metrics, &|i, child| {
+            let (a, b) = pairs_ref[i];
+            child.bump(Counter::PairJobs);
+            let mut local = snapshot.clone();
+            let mut boundary: Vec<NodeId> = Vec::new();
+            boundary_cells(&local, a, b, &mut boundary);
             if boundary.is_empty() {
-                continue;
+                return PairOutcome {
+                    moved: Vec::new(),
+                    stats: BoundaryRefineStats::default(),
+                    improved: false,
+                };
             }
             let ctx = ImproveContext {
                 evaluator,
                 config,
                 remainder: NO_REMAINDER,
                 minimum_reached: true, // strict S_MAX cap during refinement
-                budget,
+                budget: forks_ref.map(|f| &f[i]),
             };
-            let started = metrics.start();
-            let stats = improve_cells_metered(state, &[a, b], &boundary, &ctx, metrics);
-            metrics.stop_improve(ImproveKind::Boundary, started);
-            metrics.bump(Counter::BoundaryRefinements);
-            stats_total.calls += 1;
-            stats_total.moves += stats.moves;
-            if stats.final_key.better_than(&stats.initial_key) {
-                improved = true;
-                stats_total.improved += 1;
+            let started = child.start();
+            let stats = improve_cells_metered(&mut local, &[a, b], &boundary, &ctx, child);
+            child.stop_improve(ImproveKind::Boundary, started);
+            child.bump(Counter::BoundaryRefinements);
+            let moved: Vec<(NodeId, usize)> = boundary
+                .iter()
+                .copied()
+                .filter_map(|v| {
+                    let to = local.block_of(v);
+                    (to != snapshot.block_of(v)).then_some((v, to))
+                })
+                .collect();
+            PairOutcome {
+                moved,
+                stats: BoundaryRefineStats {
+                    calls: 1,
+                    moves: stats.moves,
+                    improved: usize::from(stats.final_key.better_than(&stats.initial_key)),
+                },
+                improved: stats.final_key.better_than(&stats.initial_key),
+            }
+        });
+        next_job += pairs.len();
+        // Commit in pair-index order: absorb every job's budget
+        // consumption (even a panicked job's — its fault counts), apply
+        // surviving moves, drop a panicked pair's moves deterministically.
+        let mut improved = false;
+        for (i, result) in results.into_iter().enumerate() {
+            if let (Some(t), Some(forks)) = (budget, &forks) {
+                t.absorb(&forks[i]);
+            }
+            match result {
+                Ok(outcome) => {
+                    stats_total.calls += outcome.stats.calls;
+                    stats_total.moves += outcome.stats.moves;
+                    stats_total.improved += outcome.stats.improved;
+                    state.apply(outcome.moved);
+                    improved |= outcome.improved;
+                }
+                Err(_panic) => {
+                    metrics.bump(Counter::PairPanics);
+                }
             }
         }
         if !improved {

@@ -6,14 +6,30 @@
 //! partitioner runs on the coarse hypergraph, and the solution is
 //! projected back for refinement on the original circuit.
 //!
-//! The matcher is heavy-edge style: cells are visited in a
-//! deterministic shuffled order and merged with their most-connected
-//! unmatched neighbour (connectivity = Σ 1/(|e|−1) over shared nets),
-//! subject to a cluster size cap.
+//! The matcher is heavy-edge style: cells are merged with their
+//! most-connected neighbour (connectivity = Σ 1/(|e|−1) over shared
+//! nets), subject to a cluster size cap, in three deterministic phases:
+//!
+//! 1. **Propose** — every cell independently scores all neighbours
+//!    against the round-start snapshot (nobody matched yet) and records
+//!    its best size-feasible candidate. Proposals are independent per
+//!    cell, so this phase shards over contiguous node ranges and runs on
+//!    worker threads; the output slots are disjoint, which makes the
+//!    result bit-identical at any thread count.
+//! 2. **Commit** — proposals are committed serially in a seeded shuffled
+//!    order: a pair merges iff both endpoints are still unmatched.
+//! 3. **Leftover** — cells whose proposal was taken are rescored against
+//!    the remaining unmatched cells, serially, in the same shuffled
+//!    order (the classic sequential matcher restricted to leftovers).
+//!
+//! Net projection onto the coarse graph is likewise split: the per-net
+//! pin mapping (map + sort + dedup, the expensive part) is sharded over
+//! worker threads into disjoint slots, and only the builder insertion
+//! walks nets serially in index order.
 
 use crate::builder::HypergraphBuilder;
 use crate::graph::Hypergraph;
-use crate::ids::NodeId;
+use crate::ids::{NetId, NodeId};
 use crate::rng::StdRng;
 
 /// A coarsened hypergraph together with the fine → coarse mapping.
@@ -70,7 +86,8 @@ impl Coarsening {
 }
 
 /// Clusters `graph` by heavy-edge matching with the given cluster size
-/// cap, deterministically from `seed`.
+/// cap, deterministically from `seed`. Equivalent to
+/// [`coarsen_by_connectivity_threaded`] with one worker.
 ///
 /// Pass `max_cluster_size ≥` twice the max node size to allow any pair
 /// to merge; the device size is a natural cap (a cluster larger than the
@@ -81,25 +98,133 @@ impl Coarsening {
 /// Panics if `max_cluster_size == 0`.
 #[must_use]
 pub fn coarsen_by_connectivity(graph: &Hypergraph, max_cluster_size: u64, seed: u64) -> Coarsening {
+    coarsen_by_connectivity_threaded(graph, max_cluster_size, seed, 1)
+}
+
+/// Splits `slots` into at most `threads` contiguous chunks and runs
+/// `work(start_index, chunk)` on each, on scoped worker threads when
+/// more than one chunk exists. Chunks are disjoint and the split depends
+/// only on the slot count, so results never depend on thread count —
+/// this is the hypergraph crate's local analogue of the core crate's
+/// deterministic `run_indexed` fan-out (the dependency points the other
+/// way, so it cannot be reused here).
+fn sharded<T: Send>(slots: &mut [T], threads: usize, work: &(dyn Fn(usize, &mut [T]) + Sync)) {
+    let threads = threads.max(1).min(slots.len().max(1));
+    if threads == 1 {
+        work(0, slots);
+        return;
+    }
+    let chunk = slots.len().div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (i, shard) in slots.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || work(i * chunk, shard));
+        }
+    });
+}
+
+/// Phase 1 worker: for each node in `out`'s range, score every
+/// neighbour (round-start snapshot: nobody is matched) and record the
+/// best size-feasible candidate. Ties break toward the smaller node
+/// index, a total order, so the result is independent of scan order and
+/// of how the range was sharded.
+fn propose_range(
+    graph: &Hypergraph,
+    max_cluster_size: u64,
+    start: usize,
+    out: &mut [Option<NodeId>],
+) {
+    let n = graph.node_count();
+    let mut connectivity = vec![0.0f64; n];
+    let mut touched: Vec<usize> = Vec::new();
+    for (offset, slot) in out.iter_mut().enumerate() {
+        let v = NodeId::from_index(start + offset);
+        touched.clear();
+        for &net in graph.nets(v) {
+            let pins = graph.pins(net);
+            if pins.len() < 2 {
+                continue;
+            }
+            let w = 1.0 / (pins.len() as f64 - 1.0);
+            for &u in pins {
+                if u != v {
+                    if connectivity[u.index()] == 0.0 {
+                        touched.push(u.index());
+                    }
+                    connectivity[u.index()] += w;
+                }
+            }
+        }
+        let v_size = u64::from(graph.node_size(v));
+        *slot = touched
+            .iter()
+            .copied()
+            .filter(|&u| {
+                v_size + u64::from(graph.node_size(NodeId::from_index(u))) <= max_cluster_size
+            })
+            .max_by(|&a, &b| connectivity[a].total_cmp(&connectivity[b]).then_with(|| b.cmp(&a)))
+            .map(NodeId::from_index);
+        for &u in &touched {
+            connectivity[u] = 0.0;
+        }
+    }
+}
+
+/// [`coarsen_by_connectivity`] with an explicit worker count for the
+/// propose and net-projection phases. The result is bit-identical for
+/// every `threads` value (the parallel phases write disjoint slots whose
+/// contents do not depend on the sharding; all commits are serial), so
+/// callers may size the pool freely without changing partitions.
+///
+/// # Panics
+///
+/// Panics if `max_cluster_size == 0`.
+#[must_use]
+pub fn coarsen_by_connectivity_threaded(
+    graph: &Hypergraph,
+    max_cluster_size: u64,
+    seed: u64,
+    threads: usize,
+) -> Coarsening {
     assert!(max_cluster_size > 0, "cluster size cap must be positive");
     let n = graph.node_count();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut order: Vec<usize> = (0..n).collect();
     rng.shuffle(&mut order);
 
-    // match_of[v] = cluster partner (possibly v itself for singletons).
+    // Phase 1: parallel proposals against the all-unmatched snapshot.
+    let mut proposal: Vec<Option<NodeId>> = vec![None; n];
+    sharded(&mut proposal, threads, &|start, shard| {
+        propose_range(graph, max_cluster_size, start, shard);
+    });
+
+    // Phase 2: serial commit in shuffled order. A proposal lands iff
+    // both endpoints are still unmatched when its proposer is visited.
     let mut matched = vec![false; n];
     let mut absorbed = vec![false; n];
     let mut partner: Vec<Option<NodeId>> = vec![None; n];
+    for &v_idx in &order {
+        if matched[v_idx] {
+            continue;
+        }
+        if let Some(u) = proposal[v_idx] {
+            if !matched[u.index()] {
+                matched[v_idx] = true;
+                matched[u.index()] = true;
+                absorbed[u.index()] = true;
+                partner[v_idx] = Some(u);
+            }
+        }
+    }
+
+    // Phase 3: serial leftover matching. Cells whose candidate was taken
+    // rescore against the remaining unmatched cells in the same order.
     let mut connectivity = vec![0.0f64; n];
     let mut touched: Vec<usize> = Vec::new();
-
     for &v_idx in &order {
         if matched[v_idx] {
             continue;
         }
         let v = NodeId::from_index(v_idx);
-        // Score unmatched neighbours.
         touched.clear();
         for &net in graph.nets(v) {
             let pins = graph.pins(net);
@@ -154,15 +279,24 @@ pub fn coarsen_by_connectivity(graph: &Hypergraph, max_cluster_size: u64, seed: 
         }
     }
 
-    // Project nets.
-    for net in graph.net_ids() {
-        let mut pins: Vec<NodeId> = graph.pins(net).iter().map(|p| map[p.index()]).collect();
-        pins.sort_unstable();
-        pins.dedup();
-        let has_terminal = graph.net_has_terminal(net);
-        if pins.len() < 2 && !has_terminal {
-            continue; // absorbed inside one cluster
+    // Project nets: the per-net pin mapping (map + sort + dedup) shards
+    // over workers into disjoint slots; coarse node ids are already
+    // final, so projection is independent per net. `None` marks a net
+    // absorbed inside one cluster with no terminal.
+    let mut projected: Vec<Option<Vec<NodeId>>> = vec![None; graph.net_count()];
+    sharded(&mut projected, threads, &|start, shard| {
+        for (offset, slot) in shard.iter_mut().enumerate() {
+            let net = NetId::from_index(start + offset);
+            let mut pins: Vec<NodeId> = graph.pins(net).iter().map(|p| map[p.index()]).collect();
+            pins.sort_unstable();
+            pins.dedup();
+            if pins.len() >= 2 || graph.net_has_terminal(net) {
+                *slot = Some(pins);
+            }
         }
+    });
+    for (net, pins) in graph.net_ids().zip(projected) {
+        let Some(pins) = pins else { continue };
         let id = builder
             .add_net(graph.net_name(net), pins)
             .expect("projected pins are valid coarse nodes");
@@ -240,13 +374,37 @@ pub fn coarsen_to_floor(
     max_levels: usize,
     seed: u64,
 ) -> Hierarchy {
+    coarsen_to_floor_threaded(graph, max_cluster_size, floor, max_levels, seed, 1)
+}
+
+/// [`coarsen_to_floor`] with an explicit worker count per level. The
+/// hierarchy is bit-identical for every `threads` value (see
+/// [`coarsen_by_connectivity_threaded`]).
+///
+/// # Panics
+///
+/// Panics if `max_cluster_size == 0`.
+#[must_use]
+pub fn coarsen_to_floor_threaded(
+    graph: &Hypergraph,
+    max_cluster_size: u64,
+    floor: usize,
+    max_levels: usize,
+    seed: u64,
+    threads: usize,
+) -> Hierarchy {
     let mut hierarchy = Hierarchy::default();
     for level in 0..max_levels {
         let current = hierarchy.coarsest().unwrap_or(graph);
         if current.node_count() <= floor {
             break;
         }
-        let coarsening = coarsen_by_connectivity(current, max_cluster_size, seed ^ level as u64);
+        let coarsening = coarsen_by_connectivity_threaded(
+            current,
+            max_cluster_size,
+            seed ^ level as u64,
+            threads,
+        );
         if coarsening.ratio() < SATURATION_RATIO {
             break;
         }
@@ -345,6 +503,35 @@ mod tests {
         let b = coarsen_by_connectivity(&g, 4, 9);
         assert_eq!(a.map, b.map);
         assert_eq!(a.coarse.node_count(), b.coarse.node_count());
+    }
+
+    #[test]
+    fn bit_identical_at_any_thread_count() {
+        let g = window_circuit(&WindowConfig::new("w", 300, 16), 6);
+        let serial = coarsen_by_connectivity(&g, 6, 31);
+        for threads in 2..=5 {
+            let par = coarsen_by_connectivity_threaded(&g, 6, 31, threads);
+            assert_eq!(par.map, serial.map, "{threads} threads changed the matching");
+            assert_eq!(par.coarse.node_count(), serial.coarse.node_count());
+            assert_eq!(par.coarse.net_count(), serial.coarse.net_count());
+            for net in serial.coarse.net_ids() {
+                assert_eq!(par.coarse.pins(net), serial.coarse.pins(net));
+            }
+        }
+    }
+
+    #[test]
+    fn hierarchy_bit_identical_at_any_thread_count() {
+        let g = window_circuit(&WindowConfig::new("w", 500, 20), 6);
+        let serial = coarsen_to_floor(&g, 8, 40, 32, 11);
+        for threads in [2, 4] {
+            let par = coarsen_to_floor_threaded(&g, 8, 40, 32, 11, threads);
+            assert_eq!(par.level_count(), serial.level_count());
+            for (a, b) in par.levels.iter().zip(&serial.levels) {
+                assert_eq!(a.map, b.map);
+                assert_eq!(a.coarse.node_count(), b.coarse.node_count());
+            }
+        }
     }
 
     #[test]

@@ -29,8 +29,17 @@ cargo clippy --workspace --all-targets -- -D warnings
 step "cargo build --release"
 cargo build --release --workspace
 
-step "cargo test"
-cargo test --workspace -q
+step "cargo test (thread matrix: FPART_THREADS=1 and 4)"
+# Every parallel stage (restart fan-out, multilevel matching, net
+# projection, boundary pair refinement) is bit-identical at every
+# thread count, and the worker-count defaults honour FPART_THREADS.
+# Running the identical suite at 1 and 4 workers therefore proves the
+# determinism contract on every test, not just the dedicated
+# invariance proptests — a scheduling-dependent result fails one leg.
+for fpart_threads in 1 4; do
+    echo "--- FPART_THREADS=$fpart_threads"
+    FPART_THREADS=$fpart_threads cargo test --workspace -q
+done
 
 step "degradation smoke (50 ms deadline on a large netlist)"
 # A wall-clock budget must yield a *successful* run that says it was cut
@@ -76,16 +85,17 @@ timeout 300 ./target/release/quality "$smoke_dir/quality.json"
 python3 scripts/check_quality.py "$smoke_dir/quality.json" goldens/quality_gate.json
 
 if [ "$skip_bench" -eq 0 ]; then
-    step "smoke bench -> BENCH_pr5.json"
-    timeout 900 ./target/release/smoke BENCH_pr5.json
+    step "smoke bench -> BENCH_pr6.json"
+    timeout 900 ./target/release/smoke BENCH_pr6.json
     # The artifact must be valid JSON *and* match the documented schema
     # (required keys with the right types), its multilevel section must
     # hold the n-level performance claims (>= 2x over flat at equal or
-    # better quality), and its eco section must hold the incremental
-    # repair claims (>= 2x over from-scratch at comparable quality), so
-    # a malformed or regressed bench fails CI rather than silently
-    # shipping.
-    python3 scripts/check_bench.py BENCH_pr5.json --schema-version 5
+    # better quality), its eco section must hold the incremental repair
+    # claims (>= 2x over from-scratch at comparable quality), and its
+    # intra_run section must show a bit-identical thread sweep (plus a
+    # >= 1.5x 4-worker speedup on 4+-core machines), so a malformed or
+    # regressed bench fails CI rather than silently shipping.
+    python3 scripts/check_bench.py BENCH_pr6.json --schema-version 6
 fi
 
 step "CI OK"
