@@ -61,6 +61,9 @@ fn main() {
             TraceEvent::Solution { class, .. } => {
                 println!("  end of iteration: {class:?}");
             }
+            // Heartbeats are throttled live-progress events; the figure
+            // reproduces the pass schedule, so they carry no new rows.
+            TraceEvent::Progress { .. } => {}
         }
     }
     println!("\nfinal: {} devices, feasible = {}", outcome.device_count, outcome.feasible);

@@ -37,10 +37,11 @@ pub fn partition(raw: &[String]) -> Result<(), CliError> {
             "max-passes",
             "metrics",
             "trace-json",
+            "trace-chrome",
             "coarsen-floor",
             "write-assignment",
         ],
-        switches: &["trace", "multilevel"],
+        switches: &["trace", "multilevel", "progress"],
     };
     let args = Args::parse(raw, spec).map_err(CliError::Usage)?;
     let input = args
@@ -96,6 +97,29 @@ pub fn partition(raw: &[String]) -> Result<(), CliError> {
     }
     if args.option("trace-json").is_some() && (method != "fpart" || multilevel) {
         return Err(CliError::Usage("--trace-json only applies to --method fpart".into()));
+    }
+    if (args.option("trace-chrome").is_some() || args.switch("progress")) && !engine_method {
+        return Err(CliError::Usage(
+            "--trace-chrome/--progress only apply to --method fpart/multilevel".into(),
+        ));
+    }
+    if args.switch("progress") && restarts > 1 {
+        return Err(CliError::Usage(
+            "--progress needs --restarts 1 (heartbeats are per-run)".into(),
+        ));
+    }
+    // Each of these flags accepts `-` for stdout, but they emit
+    // different documents (a JSONL stream, a metrics object, a Chrome
+    // trace array); interleaving two of them on one stream would be
+    // unparseable.
+    let stdout_streams = ["metrics", "trace-json", "trace-chrome"]
+        .into_iter()
+        .filter(|flag| args.option(flag) == Some("-"))
+        .count();
+    if stdout_streams > 1 {
+        return Err(CliError::Usage(
+            "only one of --metrics/--trace-json/--trace-chrome may write to stdout (`-`)".into(),
+        ));
     }
     if args.option("coarsen-floor").is_some() && !multilevel {
         return Err(CliError::Usage("--coarsen-floor needs --multilevel".into()));
@@ -201,8 +225,11 @@ pub fn partition(raw: &[String]) -> Result<(), CliError> {
 /// Runs `--method fpart` with whatever observability the flags request:
 /// `--trace` (in-memory trace, printed afterwards), `--trace-json FILE`
 /// (streamed JSON Lines), `--metrics FILE` (aggregated counter/timing
-/// registry). All combinations share the same engine entry points, so
-/// the partition itself is bit-identical whichever flags are given.
+/// registry), `--trace-chrome FILE` (span profile as a Chrome trace
+/// array), `--progress` (throttled heartbeat lines on stderr). All
+/// combinations share the same engine entry points, so the partition
+/// itself is bit-identical whichever flags are given.
+#[allow(clippy::too_many_lines)]
 fn run_fpart(
     graph: &Hypergraph,
     constraints: DeviceConstraints,
@@ -214,12 +241,18 @@ fn run_fpart(
     let config = FpartConfig { budget, ..FpartConfig::default() };
     let metrics_path = args.option("metrics");
     let trace_json_path = args.option("trace-json");
-    let want_events = args.switch("trace") || trace_json_path.is_some();
+    let chrome_path = args.option("trace-chrome");
+    let progress = args.switch("progress");
+    let want_events = args.switch("trace") || trace_json_path.is_some() || progress;
     if want_events && restarts > 1 {
         return Err(CliError::Usage(
-            "--trace/--trace-json need --restarts 1 (traces are per-run)".into(),
+            "--trace/--trace-json/--progress need --restarts 1 (traces are per-run)".into(),
         ));
     }
+    // Spans ride in the metrics registry, so a chrome trace needs
+    // metered runs even when no --metrics file was asked for.
+    let want_metrics = metrics_path.is_some() || chrome_path.is_some();
+    let started = std::time::Instant::now();
 
     // The aggregate written to --metrics: totals plus per-restart parts,
     // the search's completion status, and restarts lost to panics.
@@ -229,22 +262,27 @@ fn run_fpart(
         // Single observed run with the requested event sinks fanned out.
         let mut trace = Trace::enabled();
         let mut jsonl = match trace_json_path {
-            Some(path) => {
-                let file = std::fs::File::create(path)
-                    .map_err(|e| CliError::Runtime(format!("cannot create {path}: {e}")))?;
-                Some(JsonlSink::new(std::io::BufWriter::new(file)))
-            }
+            Some(path) => Some(JsonlSink::new(event_writer(path)?)),
             None => None,
         };
+        let mut progress_sink = progress.then_some(ProgressPrinter);
         let result = {
             let mut sinks: Vec<&mut dyn EventSink> = vec![&mut trace];
             if let Some(sink) = jsonl.as_mut() {
                 sinks.push(sink);
             }
+            if let Some(sink) = progress_sink.as_mut() {
+                sinks.push(sink);
+            }
             let mut fanout = FanoutSink::new(sinks);
+            // Heartbeats report the pass counter, so --progress needs a
+            // live registry even when no metrics output was requested.
             let metrics =
-                if metrics_path.is_some() { Metrics::enabled() } else { Metrics::disabled() };
+                if want_metrics || progress { Metrics::enabled() } else { Metrics::disabled() };
             let mut obs = Observer::new(metrics, Some(&mut fanout));
+            if progress {
+                obs.heartbeat = fpart_core::Heartbeat::every(PROGRESS_INTERVAL);
+            }
             let result = partition_observed(graph, constraints, &config, &mut obs);
             result.map(|outcome| (outcome, obs.metrics.clone()))
         };
@@ -255,9 +293,9 @@ fn run_fpart(
             sink.into_inner()
                 .flush()
                 .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
-            eprintln!("trace: {lines} events written to {path}");
+            eprintln!("trace: {lines} events written to {}", dest_name(path));
         }
-        if metrics_path.is_some() {
+        if want_metrics {
             // Mirror partition_restarts_observed's per-restart shape for
             // a single run, Runs count included.
             metrics.bump(Counter::Runs);
@@ -265,7 +303,7 @@ fn run_fpart(
         }
         outcome.trace = trace;
         outcome
-    } else if metrics_path.is_some() {
+    } else if want_metrics {
         let report =
             fpart_core::partition_restarts_observed(graph, constraints, &config, restarts, threads)
                 .map_err(|e| CliError::Runtime(e.to_string()))?;
@@ -279,24 +317,106 @@ fn run_fpart(
             .map_err(|e| CliError::Runtime(e.to_string()))?
     };
 
-    if let Some(path) = metrics_path {
+    if want_metrics {
         let (totals, per_restart, completion, failed) =
             aggregate.expect("metrics aggregate recorded above");
-        let quality = QualityReport::new(&outcome, constraints);
-        write_metrics_file(
-            path,
-            restarts,
-            threads,
-            &totals,
-            &per_restart,
-            completion,
-            &failed,
-            &quality,
-        )
-        .map_err(CliError::Runtime)?;
-        eprintln!("metrics written to {path}");
+        if let Some(path) = metrics_path {
+            let quality = QualityReport::new(&outcome, constraints);
+            write_metrics_file(
+                path,
+                restarts,
+                threads,
+                started.elapsed(),
+                &totals,
+                &per_restart,
+                completion,
+                &failed,
+                &quality,
+            )
+            .map_err(CliError::Runtime)?;
+            eprintln!("metrics written to {}", dest_name(path));
+        }
+        if let Some(path) = chrome_path {
+            write_chrome_trace(path, &totals)?;
+        }
     }
     Ok(outcome)
+}
+
+/// Heartbeat throttle for `--progress`: at most one line per interval.
+const PROGRESS_INTERVAL: std::time::Duration = std::time::Duration::from_millis(200);
+
+/// Display name for an output path, mapping the `-` stdout convention.
+fn dest_name(path: &str) -> &str {
+    if path == "-" {
+        "stdout"
+    } else {
+        path
+    }
+}
+
+/// Opens the writer behind an event-stream path: stdout for `-`, a
+/// buffered file otherwise.
+fn event_writer(path: &str) -> Result<Box<dyn std::io::Write>, CliError> {
+    if path == "-" {
+        return Ok(Box::new(std::io::stdout()));
+    }
+    let file = std::fs::File::create(path)
+        .map_err(|e| CliError::Runtime(format!("cannot create {path}: {e}")))?;
+    Ok(Box::new(std::io::BufWriter::new(file)))
+}
+
+/// Writes the merged span profile as a Chrome trace-event array
+/// (load in Perfetto / `chrome://tracing`). `-` writes to stdout.
+fn write_chrome_trace(path: &str, totals: &Metrics) -> Result<(), CliError> {
+    let json = totals.spans().to_chrome_json();
+    let events = totals.spans().events().len();
+    if path == "-" {
+        std::io::stdout()
+            .write_all(json.as_bytes())
+            .map_err(|e| CliError::Runtime(format!("cannot write stdout: {e}")))?;
+    } else {
+        std::fs::write(path, json)
+            .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+    }
+    eprintln!("chrome trace: {events} span events written to {}", dest_name(path));
+    Ok(())
+}
+
+/// Event sink for `--progress`: renders the engine's throttled heartbeat
+/// events as human-readable lines on stderr and ignores every other
+/// event class (those belong to `--trace`/`--trace-json`).
+struct ProgressPrinter;
+
+impl EventSink for ProgressPrinter {
+    fn record_event(&mut self, event: &TraceEvent) {
+        let TraceEvent::Progress {
+            phase,
+            level,
+            passes,
+            moves,
+            cut,
+            elapsed_ms,
+            deadline_remaining_ms,
+            passes_remaining,
+        } = event
+        else {
+            return;
+        };
+        let mut line =
+            format!("progress {} level {level}: passes={passes} moves={moves}", phase.as_str());
+        if let Some(cut) = cut {
+            line.push_str(&format!(" cut={cut}"));
+        }
+        line.push_str(&format!(" elapsed={elapsed_ms}ms"));
+        if let Some(ms) = deadline_remaining_ms {
+            line.push_str(&format!(" deadline_remaining={ms}ms"));
+        }
+        if let Some(p) = passes_remaining {
+            line.push_str(&format!(" passes_remaining={p}"));
+        }
+        eprintln!("{line}");
+    }
 }
 
 /// Runs the n-level multilevel mode (`--multilevel` /
@@ -332,8 +452,33 @@ fn run_multilevel(
         ..fpart_core::MultilevelConfig::default()
     };
     let metrics_path = args.option("metrics");
+    let chrome_path = args.option("trace-chrome");
+    let progress = args.switch("progress");
+    let want_metrics = metrics_path.is_some() || chrome_path.is_some();
+    let started = std::time::Instant::now();
 
-    let outcome = if let Some(path) = metrics_path {
+    // The aggregate shared by --metrics and --trace-chrome (spans ride
+    // in the metrics registry).
+    let mut aggregate: Option<(Metrics, Vec<Metrics>, Completion, Vec<FailedRestart>)> = None;
+
+    let outcome = if progress {
+        // Single observed run so heartbeat events have a live sink.
+        let mut sink = ProgressPrinter;
+        // Heartbeats report the pass counter, so --progress needs a
+        // live registry even when no metrics output was requested.
+        let metrics = Metrics::enabled();
+        let mut obs = Observer::new(metrics, Some(&mut sink));
+        obs.heartbeat = fpart_core::Heartbeat::every(PROGRESS_INTERVAL);
+        let result =
+            fpart_core::partition_multilevel_observed(graph, constraints, &config, &ml, &mut obs);
+        let mut metrics = obs.metrics;
+        let outcome = result.map_err(|e| CliError::Runtime(e.to_string()))?;
+        if want_metrics {
+            metrics.bump(Counter::Runs);
+            aggregate = Some((metrics.clone(), vec![metrics], outcome.completion, Vec::new()));
+        }
+        outcome
+    } else if want_metrics {
         let report = fpart_core::partition_multilevel_restarts_observed(
             graph,
             constraints,
@@ -343,19 +488,7 @@ fn run_multilevel(
             threads,
         )
         .map_err(|e| CliError::Runtime(e.to_string()))?;
-        let quality = QualityReport::new(&report.outcome, constraints);
-        write_metrics_file(
-            path,
-            restarts,
-            threads,
-            &report.totals,
-            &report.per_restart,
-            report.completion,
-            &report.failed,
-            &quality,
-        )
-        .map_err(CliError::Runtime)?;
-        eprintln!("metrics written to {path}");
+        aggregate = Some((report.totals, report.per_restart, report.completion, report.failed));
         report.outcome
     } else if restarts > 1 {
         fpart_core::partition_multilevel_restarts(
@@ -371,20 +504,47 @@ fn run_multilevel(
         fpart_core::partition_multilevel(graph, constraints, &config, &ml)
             .map_err(|e| CliError::Runtime(e.to_string()))?
     };
+
+    if want_metrics {
+        let (totals, per_restart, completion, failed) =
+            aggregate.expect("metrics aggregate recorded above");
+        if let Some(path) = metrics_path {
+            let quality = QualityReport::new(&outcome, constraints);
+            write_metrics_file(
+                path,
+                restarts,
+                threads,
+                started.elapsed(),
+                &totals,
+                &per_restart,
+                completion,
+                &failed,
+                &quality,
+            )
+            .map_err(CliError::Runtime)?;
+            eprintln!("metrics written to {}", dest_name(path));
+        }
+        if let Some(path) = chrome_path {
+            write_chrome_trace(path, &totals)?;
+        }
+    }
     Ok(outcome)
 }
 
 /// Writes the `--metrics` document: a single JSON object with
-/// `schema_version`, the run shape (`restarts`, `threads`), the search's
-/// `completion` status, restarts lost to panics under `failed_restarts`,
-/// the merged `totals` registry, each restart's registry under
-/// `per_restart` (counter totals equal the per-restart sums), and the
-/// winning partition's `quality` report.
+/// `schema_version`, the run shape (`restarts`, `threads`), the CLI's
+/// wall time in `elapsed_ms` (the denominator `fpart report` uses for
+/// phase percentages), the search's `completion` status, restarts lost
+/// to panics under `failed_restarts`, the merged `totals` registry,
+/// each restart's registry under `per_restart` (counter totals equal
+/// the per-restart sums), and the winning partition's `quality` report.
+/// `path` `-` writes to stdout.
 #[allow(clippy::too_many_arguments)]
 fn write_metrics_file(
     path: &str,
     restarts: usize,
     threads: usize,
+    elapsed: std::time::Duration,
     totals: &Metrics,
     per_restart: &[Metrics],
     completion: Completion,
@@ -393,8 +553,10 @@ fn write_metrics_file(
 ) -> Result<(), String> {
     let mut out = String::new();
     out.push_str(&format!(
-        "{{\"schema_version\": {}, \"restarts\": {restarts}, \"threads\": {threads}, ",
-        fpart_core::SCHEMA_VERSION
+        "{{\"schema_version\": {}, \"restarts\": {restarts}, \"threads\": {threads}, \
+         \"elapsed_ms\": {}, ",
+        fpart_core::SCHEMA_VERSION,
+        elapsed.as_millis()
     ));
     out.push_str(&format!("\"completion\": \"{}\", \"failed_restarts\": [", completion.as_str()));
     for (i, f) in failed.iter().enumerate() {
@@ -415,7 +577,11 @@ fn write_metrics_file(
         out.push_str(&m.to_json());
     }
     out.push_str(&format!("], \"quality\": {}}}\n", quality.to_json()));
-    std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))
+    if path == "-" {
+        std::io::stdout().write_all(out.as_bytes()).map_err(|e| format!("cannot write stdout: {e}"))
+    } else {
+        std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))
+    }
 }
 
 /// Renders a string as a quoted JSON literal (panic payloads can carry
@@ -523,6 +689,14 @@ fn print_trace(trace: &Trace) {
                      passes={passes} moves={moves} restarts={restarts}",
                     kind.as_str(),
                     blocks.len()
+                );
+            }
+            TraceEvent::Progress { phase, level, passes, moves, cut, elapsed_ms, .. } => {
+                eprintln!(
+                    "  progress {} level {level}: passes={passes} moves={moves} cut={} \
+                     elapsed={elapsed_ms}ms",
+                    phase.as_str(),
+                    cut.map_or_else(|| "-".to_owned(), |c| c.to_string())
                 );
             }
             TraceEvent::Solution { class, blocks, .. } => {
@@ -667,6 +841,7 @@ pub fn eco(raw: &[String]) -> Result<(), CliError> {
             path,
             restarts,
             threads,
+            started.elapsed(),
             &report.totals,
             &report.per_restart,
             report.completion,
@@ -674,7 +849,7 @@ pub fn eco(raw: &[String]) -> Result<(), CliError> {
             &quality,
         )
         .map_err(CliError::Runtime)?;
-        eprintln!("metrics written to {path}");
+        eprintln!("metrics written to {}", dest_name(path));
         report.outcome
     } else if restarts > 1 {
         fpart_core::repartition_eco_restarts(

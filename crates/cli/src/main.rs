@@ -15,7 +15,9 @@
 mod args;
 mod commands;
 mod error;
+mod json;
 mod netlist_file;
+mod report;
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -59,6 +61,8 @@ USAGE:
   fpart verify <netlist> <assignment> --device <NAME>   check an assignment file
   fpart eco <netlist> --assignment <FILE> --edits <FILE> --device <NAME>
                                                         repair a partition after edits
+  fpart report --metrics <FILE|->                       render a metrics file as a
+                                                        phase-time report
   fpart devices                                         list the device catalog
 
 PARTITION OPTIONS:
@@ -82,9 +86,18 @@ PARTITION OPTIONS:
                       `degraded` (the partition is still verified output)
   --output <FILE>     write `node block` assignment lines
   --trace             print the improvement schedule while running
-  --trace-json <FILE> stream driver events as JSON Lines (needs --restarts 1)
-  --metrics <FILE>    write engine counters/timings as JSON (totals +
-                      per-restart registries, schema-versioned)
+  --trace-json <FILE> stream driver events as JSON Lines (needs --restarts 1;
+                      `-` writes to stdout)
+  --trace-chrome <FILE>
+                      write the span profile as a Chrome trace-event array
+                      (open in Perfetto or chrome://tracing; one synthetic
+                      tid per restart/worker lane; `-` writes to stdout)
+  --progress          print throttled heartbeat lines (phase, passes, moves,
+                      cut, budget remaining) on stderr while running
+                      (needs --restarts 1)
+  --metrics <FILE>    write engine counters/timings/span profile as JSON
+                      (totals + per-restart registries, schema-versioned;
+                      `-` writes to stdout)
   --write-assignment <FILE>
                       write the versioned assignment format
                       (`#%fpart-assignment v1 blocks <k>` header; the
@@ -101,6 +114,12 @@ ECO OPTIONS:
                       touches more than this fraction of cells (default 0.15)
   plus --device/--s-max/--t-max/--delta, --restarts, --threads,
   --deadline-ms, --max-passes, --metrics, --output, --write-assignment
+
+REPORT OPTIONS:
+  --metrics <FILE|->  metrics JSON written by --metrics (`-` reads stdin);
+                      also accepted as a positional argument
+  --trace-json <FILE> also summarize a JSON-Lines event stream
+  --top <N>           rows in the hot-phase table (default 5)
 
 GEN KINDS AND OPTIONS:
   rent | window | layered | clustered | mcnc
@@ -129,6 +148,7 @@ fn main() -> ExitCode {
         "convert" => commands::convert(rest),
         "verify" => commands::verify(rest),
         "eco" => commands::eco(rest),
+        "report" => report::report(rest),
         "devices" => commands::devices(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

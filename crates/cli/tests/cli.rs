@@ -162,13 +162,25 @@ fn trace_output_is_stable_and_diffable() {
 }
 
 /// Extracts every integer value of `"<key>": <n>` in a JSON text, in
-/// order of appearance.
+/// order of appearance. Span records carry their own per-span counter
+/// snapshots which would shadow the registry totals, so `"spans": [...]`
+/// arrays are skipped (span records nest no arrays, so the first `]`
+/// closes one).
 fn scrape_counter(json: &str, key: &str) -> Vec<u64> {
+    let mut stripped = String::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"spans\": [") {
+        stripped.push_str(&rest[..at]);
+        let close = rest[at..].find(']').expect("span array closes");
+        rest = &rest[at + close + 1..];
+    }
+    stripped.push_str(rest);
     let needle = format!("\"{key}\": ");
-    json.match_indices(&needle)
+    stripped
+        .match_indices(&needle)
         .map(|(at, _)| {
             let digits: String =
-                json[at + needle.len()..].chars().take_while(char::is_ascii_digit).collect();
+                stripped[at + needle.len()..].chars().take_while(char::is_ascii_digit).collect();
             digits.parse().expect("integer counter value")
         })
         .collect()
@@ -198,7 +210,7 @@ fn metrics_and_trace_json_outputs() {
         .expect("runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let json = std::fs::read_to_string(&metrics_file).expect("metrics file");
-    assert!(json.contains("\"schema_version\": 6"), "{json}");
+    assert!(json.contains("\"schema_version\": 7"), "{json}");
     assert!(json.contains("\"restarts\": 3"), "{json}");
     assert!(json.contains("\"completion\": \"complete\""), "{json}");
     assert!(json.contains("\"failed_restarts\": []"), "{json}");
@@ -572,7 +584,7 @@ fn eco_repairs_an_edited_netlist() {
     assert!(text.contains("eco:"), "{text}");
     let metrics_text = std::fs::read_to_string(&metrics).expect("metrics written");
     assert!(metrics_text.contains("\"eco_edits_applied\": 3"), "{metrics_text}");
-    assert!(metrics_text.contains("\"schema_version\": 6"), "{metrics_text}");
+    assert!(metrics_text.contains("\"schema_version\": 7"), "{metrics_text}");
 
     // The repaired assignment verifies against the *edited* netlist —
     // which the original netlist file no longer is, so verify must
@@ -602,6 +614,180 @@ fn eco_repairs_an_edited_netlist() {
     assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
     assert!(
         String::from_utf8_lossy(&out.stderr).contains("line 1: reference to unknown node"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// `--metrics -` and `--trace-json -` write their documents to stdout
+/// instead of a file.
+#[test]
+fn metrics_and_trace_json_accept_stdout() {
+    let dir = temp_dir("stdout_dash");
+    let netlist = dir.join("c.fhg");
+    let out = fpart()
+        .args(["gen", "window", "--nodes", "150", "--terminals", "16", "--seed", "3", "--output"])
+        .arg(&netlist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+
+    // --metrics -: the JSON document lands on stdout alongside the
+    // normal result summary.
+    let out = fpart()
+        .arg("partition")
+        .arg(&netlist)
+        .args(["--device", "XC3020", "--metrics", "-"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"schema_version\": 7"), "{stdout}");
+    assert!(stdout.contains("\"totals\": {"), "{stdout}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("metrics written to stdout"));
+
+    // --trace-json -: one JSON event object per line on stdout.
+    let out = fpart()
+        .arg("partition")
+        .arg(&netlist)
+        .args(["--device", "XC3020", "--trace-json", "-"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"event\": \"iteration_start\""), "{stdout}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("events written to stdout"));
+
+    // Each `-` flag emits a different document; two of them on one
+    // stdout stream would interleave into something unparseable, so the
+    // combination is a usage error.
+    for flags in [
+        ["--metrics", "-", "--trace-json", "-"],
+        ["--metrics", "-", "--trace-chrome", "-"],
+        ["--trace-json", "-", "--trace-chrome", "-"],
+    ] {
+        let out = fpart()
+            .arg("partition")
+            .arg(&netlist)
+            .args(["--device", "XC3020"])
+            .args(flags)
+            .output()
+            .expect("runs");
+        assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            String::from_utf8_lossy(&out.stderr).contains("may write to stdout"),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+/// `--progress` on its own still reports live pass counts: the
+/// heartbeat reads the engine's metrics registry, which must be enabled
+/// even when no `--metrics`/`--trace-chrome` output was requested.
+#[test]
+fn progress_alone_reports_real_pass_counts() {
+    let dir = temp_dir("progress_passes");
+    let netlist = dir.join("c.fhg");
+    let out = fpart()
+        .args(["gen", "window", "--nodes", "600", "--terminals", "24", "--seed", "11", "--output"])
+        .arg(&netlist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+
+    for extra in [&["--progress"][..], &["--multilevel", "--coarsen-floor", "64", "--progress"]] {
+        let out = fpart()
+            .arg("partition")
+            .arg(&netlist)
+            .args(["--device", "XC3020"])
+            .args(extra)
+            .output()
+            .expect("runs");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(out.status.success(), "{stderr}");
+        // Heartbeats fire at iteration/level boundaries, after at least
+        // one FM pass has run — a line claiming `passes=0` means the
+        // heartbeat read a disabled registry.
+        let progress: Vec<&str> = stderr.lines().filter(|l| l.starts_with("progress ")).collect();
+        assert!(!progress.is_empty(), "{stderr}");
+        for line in progress {
+            assert!(!line.contains(" passes=0 "), "{line}");
+        }
+    }
+}
+
+/// `--trace-chrome` writes a Chrome trace-event array, `--progress`
+/// streams heartbeat lines on stderr, and `fpart report` renders the
+/// metrics file as a phase tree.
+#[test]
+fn chrome_trace_progress_and_report_pipeline() {
+    let dir = temp_dir("profile");
+    let netlist = dir.join("c.fhg");
+    let metrics = dir.join("metrics.json");
+    let chrome = dir.join("trace.chrome.json");
+    let out = fpart()
+        .args(["gen", "window", "--nodes", "600", "--terminals", "24", "--seed", "11", "--output"])
+        .arg(&netlist)
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+
+    let out = fpart()
+        .arg("partition")
+        .arg(&netlist)
+        .args(["--device", "XC3020", "--multilevel", "--coarsen-floor", "64", "--progress"])
+        .arg("--metrics")
+        .arg(&metrics)
+        .arg("--trace-chrome")
+        .arg(&chrome)
+        .output()
+        .expect("runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "{stderr}");
+    assert!(stderr.contains("progress "), "{stderr}");
+
+    // The chrome trace is a JSON array of complete ("ph": "X") events.
+    let trace = std::fs::read_to_string(&chrome).expect("chrome trace written");
+    let trimmed = trace.trim();
+    assert!(trimmed.starts_with('[') && trimmed.ends_with(']'), "{trace}");
+    assert!(trace.contains("\"ph\": \"X\""), "{trace}");
+    assert!(trace.contains("\"cat\": \"fpart\""), "{trace}");
+    assert!(trace.contains("\"name\": \"coarsen_level\""), "{trace}");
+
+    // fpart report renders the phase tree from the metrics document.
+    let out = fpart().arg("report").arg("--metrics").arg(&metrics).output().expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("phase tree"), "{text}");
+    assert!(text.contains("self-time coverage"), "{text}");
+    assert!(text.contains("coarsen_level"), "{text}");
+    assert!(text.contains("refine_level"), "{text}");
+    assert!(text.contains("hot phases"), "{text}");
+
+    // report --metrics - reads the document from stdin.
+    use std::io::Write as _;
+    use std::process::Stdio;
+    let mut child = fpart()
+        .args(["report", "--metrics", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns");
+    let doc = std::fs::read(&metrics).expect("metrics file");
+    child.stdin.take().expect("piped stdin").write_all(&doc).expect("writes stdin");
+    let out = child.wait_with_output().expect("finishes");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("phase tree"));
+
+    // A wrong schema version is an input error naming both versions.
+    let stale = dir.join("stale.json");
+    std::fs::write(&stale, "{\"schema_version\": 6}\n").expect("write");
+    let out = fpart().arg("report").arg("--metrics").arg(&stale).output().expect("runs");
+    assert_eq!(out.status.code(), Some(2), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unsupported schema_version 6"),
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );

@@ -305,6 +305,19 @@ impl StopKind {
     }
 }
 
+/// A point-in-time view of how much budget a run has left, exposed to
+/// progress heartbeats (see [`BudgetTracker::remaining`]). `None`
+/// fields mean the corresponding limit is not set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BudgetSnapshot {
+    /// Wall-clock time until the deadline (zero once expired).
+    pub deadline_remaining: Option<Duration>,
+    /// FM passes left before the pass cap stops the run.
+    pub passes_remaining: Option<u64>,
+    /// Moves left before the move cap stops the run.
+    pub moves_remaining: Option<u64>,
+}
+
 /// Per-run budget enforcement state, shared immutably through
 /// [`crate::engine::ImproveContext`] (interior mutability keeps the
 /// engine's borrow structure unchanged). The counters are relaxed
@@ -496,6 +509,24 @@ impl BudgetTracker {
     #[must_use]
     pub fn passes(&self) -> u64 {
         self.passes.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the remaining budget headroom, for progress
+    /// heartbeats. Reads the clock only when a deadline is set —
+    /// callers invoke this at heartbeat cadence, never per move.
+    #[must_use]
+    pub fn remaining(&self) -> BudgetSnapshot {
+        BudgetSnapshot {
+            deadline_remaining: self
+                .deadline
+                .map(|at| at.saturating_duration_since(Instant::now())),
+            passes_remaining: self
+                .max_passes
+                .map(|cap| cap.saturating_sub(self.passes.load(Ordering::Relaxed))),
+            moves_remaining: self
+                .max_moves
+                .map(|cap| cap.saturating_sub(self.moves.load(Ordering::Relaxed))),
+        }
     }
 
     /// Latches the first limit violated, in severity order (cancel

@@ -360,9 +360,21 @@ pub fn partition_restarts_observed(
     search_restarts_observed(restarts, threads, &|i| {
         let cfg = restart_config(config, i);
         let mut obs = Observer::new(Metrics::enabled(), None);
+        obs.metrics.set_span_lane(i as u32);
+        obs.metrics.span_open(crate::obs::SpanKind::Restart, 0);
         let result = partition_observed(graph, constraints, &cfg, &mut obs);
         let mut metrics = obs.metrics;
         metrics.bump(Counter::Runs);
+        let span_stats = match &result {
+            Ok(outcome) => crate::obs::SpanStats {
+                nodes: graph.node_count() as u64,
+                nets: graph.net_count() as u64,
+                moves: outcome.total_moves as u64,
+                ..crate::obs::SpanStats::default()
+            },
+            Err(_) => crate::obs::SpanStats::default(),
+        };
+        metrics.span_close(span_stats);
         (result, metrics)
     })
 }
@@ -548,8 +560,13 @@ pub(crate) fn partition_with_tracker(
         };
 
         let p = state.add_block();
+        obs.metrics.span_open(crate::obs::SpanKind::Bipartition, 0);
         let method = bipartition_remainder(&mut state, remainder, p, &ctx);
         obs.metrics.bump(Counter::Bipartitions);
+        obs.metrics.span_close(crate::obs::SpanStats {
+            nodes: state.block_size(p),
+            ..crate::obs::SpanStats::default()
+        });
         obs.emit(|| TraceEvent::Bipartition {
             iteration: iterations,
             method,
@@ -629,6 +646,24 @@ pub(crate) fn partition_with_tracker(
                 blocks: (0..k).map(|b| state.block_usage(b)).collect(),
             }
         });
+
+        // Progress heartbeat (throttled; a disabled heartbeat is one
+        // branch, no clock read). `level` is the peeling iteration.
+        if let Some(elapsed) = obs.heartbeat.due() {
+            let snapshot = tracker.remaining();
+            let passes = obs.metrics.get(Counter::Passes);
+            let cut = state.cut_count();
+            obs.emit(|| TraceEvent::Progress {
+                phase: crate::obs::SpanKind::Initial,
+                level: iterations,
+                passes,
+                moves: total_moves as u64,
+                cut: Some(cut),
+                elapsed_ms: elapsed.as_millis() as u64,
+                deadline_remaining_ms: snapshot.deadline_remaining.map(|d| d.as_millis() as u64),
+                passes_remaining: snapshot.passes_remaining,
+            });
+        }
     }
 
     if tracker.stopped() {

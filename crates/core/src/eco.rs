@@ -285,6 +285,7 @@ pub fn repartition_eco_observed(
 
     // Blocks of the previous partition stay addressable even when the
     // edit emptied them; new blocks open past them if placement needs to.
+    let place_started = obs.metrics.start();
     let mut k = previous
         .iter()
         .enumerate()
@@ -366,6 +367,19 @@ pub fn repartition_eco_observed(
     }
     let dirty_blocks = dirty.iter().filter(|&&d| d).count();
     obs.metrics.add(Counter::EcoDirtyBlocks, dirty_blocks as u64);
+    if let Some(started) = place_started {
+        obs.metrics.record_span(
+            crate::obs::SpanKind::EcoPlace,
+            0,
+            started.elapsed(),
+            crate::obs::SpanStats {
+                nodes: n as u64,
+                moves: placed as u64,
+                boundary: dirty_blocks as u64,
+                ..crate::obs::SpanStats::default()
+            },
+        );
+    }
 
     let m = lower_bound(graph, constraints);
     let evaluator = CostEvaluator::new(constraints, config, m, graph.terminal_count());
@@ -381,6 +395,7 @@ pub fn repartition_eco_observed(
     let mut improve_calls = 0usize;
     let mut total_moves = 0usize;
     if !tracker.check() && dirty_blocks > 0 && k >= 2 {
+        obs.metrics.span_open(crate::obs::SpanKind::EcoRepair, 0);
         let stats = refine_boundary_dirty_metered(
             &mut state,
             &evaluator,
@@ -392,6 +407,27 @@ pub fn repartition_eco_observed(
         );
         improve_calls = stats.calls;
         total_moves = stats.moves;
+        obs.metrics.span_close(crate::obs::SpanStats {
+            nodes: n as u64,
+            boundary: stats.boundary as u64,
+            moves: stats.moves as u64,
+            ..crate::obs::SpanStats::default()
+        });
+        if let Some(elapsed) = obs.heartbeat.due() {
+            let snapshot = tracker.remaining();
+            let passes = obs.metrics.get(Counter::Passes);
+            let cut = state.cut_count();
+            obs.emit(|| crate::trace::TraceEvent::Progress {
+                phase: crate::obs::SpanKind::EcoRepair,
+                level: 0,
+                passes,
+                moves: total_moves as u64,
+                cut: Some(cut),
+                elapsed_ms: elapsed.as_millis() as u64,
+                deadline_remaining_ms: snapshot.deadline_remaining.map(|d| d.as_millis() as u64),
+                passes_remaining: snapshot.passes_remaining,
+            });
+        }
     }
     if tracker.stopped() {
         obs.metrics.bump(Counter::BudgetStops);
@@ -469,8 +505,22 @@ pub fn repartition_edited_observed(
     previous: &[u32],
     obs: &mut Observer<'_>,
 ) -> Result<EcoRun, EcoError> {
+    let apply_started = obs.metrics.start();
     let edited = apply_script(graph, script)?;
     obs.metrics.add(Counter::EcoEditsApplied, script.len() as u64);
+    if let Some(started) = apply_started {
+        obs.metrics.record_span(
+            crate::obs::SpanKind::EcoApply,
+            0,
+            started.elapsed(),
+            crate::obs::SpanStats {
+                nodes: edited.graph.node_count() as u64,
+                nets: edited.graph.net_count() as u64,
+                moves: script.len() as u64,
+                ..crate::obs::SpanStats::default()
+            },
+        );
+    }
     let report = repartition_eco_observed(
         &edited.graph,
         constraints,
@@ -551,11 +601,23 @@ pub fn repartition_eco_restarts_observed(
             ..eco.clone()
         };
         let mut obs = Observer::new(Metrics::enabled(), None);
+        obs.metrics.set_span_lane(i as u32);
+        obs.metrics.span_open(crate::obs::SpanKind::Restart, 0);
         let result =
             repartition_eco_observed(graph, constraints, &cfg, &ecoc, previous, node_map, &mut obs)
                 .map(|report| report.outcome);
         let mut metrics = obs.metrics;
         metrics.bump(Counter::Runs);
+        let span_stats = match &result {
+            Ok(outcome) => crate::obs::SpanStats {
+                nodes: graph.node_count() as u64,
+                nets: graph.net_count() as u64,
+                moves: outcome.total_moves as u64,
+                ..crate::obs::SpanStats::default()
+            },
+            Err(_) => crate::obs::SpanStats::default(),
+        };
+        metrics.span_close(span_stats);
         (result, metrics)
     })
 }

@@ -715,10 +715,12 @@ pub fn improve_cells_metered(
         "cells must be unique and live in active blocks"
     );
     metrics.bump(Counter::ImproveCalls);
+    metrics.span_open(crate::obs::SpanKind::Improve, 0);
     let initial_key = ctx.evaluator.key(state, remainder_opt(ctx, state));
     metrics.bump(Counter::KeyEvaluations);
 
     if cells.is_empty() {
+        metrics.span_close(crate::obs::SpanStats::default());
         return ImproveStats {
             passes: 0,
             moves: 0,
@@ -764,6 +766,12 @@ pub fn improve_cells_metered(
 
     restore(state, cells, &best_snapshot);
     debug_assert!(!initial_key.better_than(&best_key), "improve made things worse");
+    metrics.span_close(crate::obs::SpanStats {
+        nodes: cells.len() as u64,
+        moves: moves as u64,
+        gain: initial_key.cut as i64 - best_key.cut as i64,
+        ..crate::obs::SpanStats::default()
+    });
     ImproveStats { passes, moves, restarts, initial_key, final_key: best_key }
 }
 

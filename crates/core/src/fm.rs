@@ -172,6 +172,8 @@ pub fn bipartition_fm_metered(
     // to a panic is dropped from the reduction below.
     let run_one = |run: usize, metrics: &mut Metrics| -> Bipartition {
         metrics.bump(Counter::Runs);
+        metrics.set_span_lane(run as u32);
+        metrics.span_open(crate::obs::SpanKind::Bipartition, 0);
         let budget = crate::budget::BudgetTracker::new(
             &config.budget,
             config.fault_plan.as_ref().and_then(|plan| plan.for_restart(run)),
@@ -185,11 +187,18 @@ pub fn bipartition_fm_metered(
             minimum_reached: false,
             budget: Some(&budget),
         };
-        improve_metered(&mut state, &[0, 1], &ctx, metrics);
+        let stats = improve_metered(&mut state, &[0, 1], &ctx, metrics);
         if budget.stopped() {
             metrics.bump(Counter::BudgetStops);
         }
         metrics.add(Counter::FaultsInjected, budget.faults_injected());
+        metrics.span_close(crate::obs::SpanStats {
+            nodes: graph.node_count() as u64,
+            nets: graph.net_count() as u64,
+            moves: stats.moves as u64,
+            gain: stats.initial_key.cut as i64 - stats.final_key.cut as i64,
+            ..crate::obs::SpanStats::default()
+        });
         Bipartition {
             side: state.assignment().to_vec(),
             cut: state.cut_count(),

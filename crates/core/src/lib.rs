@@ -88,7 +88,9 @@ pub use assignment::{
     read_assignment, write_assignment, write_assignment_versioned, ReadAssignmentError,
     ASSIGNMENT_FORMAT_VERSION,
 };
-pub use budget::{BudgetTracker, CancelToken, Completion, FaultAction, FaultPlan, RunBudget};
+pub use budget::{
+    BudgetSnapshot, BudgetTracker, CancelToken, Completion, FaultAction, FaultPlan, RunBudget,
+};
 pub use config::FpartConfig;
 pub use cost::{classify, CostEvaluator, FeasibilityClass, KeyTracker, SolutionKey};
 pub use direct::{partition_direct, DirectConfig};
@@ -112,8 +114,8 @@ pub use multilevel::{
     partition_multilevel_restarts_observed, split_thread_budget, MultilevelConfig,
 };
 pub use obs::{
-    event_to_json, Counter, EventSink, FanoutSink, JsonlSink, Metrics, Observer, TimeStat,
-    SCHEMA_VERSION,
+    event_to_json, Counter, EventSink, FanoutSink, Heartbeat, JsonlSink, Metrics, Observer,
+    SpanEvent, SpanKind, SpanRecord, SpanStack, SpanStats, TimeStat, SCHEMA_VERSION,
 };
 pub use report::QualityReport;
 pub use state::PartitionState;

@@ -27,7 +27,7 @@
 use std::time::Instant;
 
 use fpart_device::{lower_bound, DeviceConstraints};
-use fpart_hypergraph::coarsen::coarsen_to_floor_threaded;
+use fpart_hypergraph::coarsen::coarsen_to_floor_timed;
 use fpart_hypergraph::Hypergraph;
 
 use crate::budget::{BudgetTracker, Completion};
@@ -37,7 +37,7 @@ use crate::driver::{
     partition_with_tracker, restart_config, search_restarts, search_restarts_observed,
     PartitionError, PartitionOutcome, RestartsReport,
 };
-use crate::obs::{Counter, Metrics, Observer};
+use crate::obs::{Counter, Metrics, Observer, SpanKind, SpanStats};
 use crate::refine::{refine_boundary_metered, RefineConfig};
 use crate::state::PartitionState;
 use crate::trace::Trace;
@@ -200,19 +200,54 @@ pub fn partition_multilevel_observed(
     // The worker count never changes the hierarchy (sharded proposals
     // commit serially), so intra-run parallelism keeps determinism.
     let cap = ((constraints.s_max as f64 * ml.cluster_cap_fraction) as u64).max(2);
-    let hierarchy = coarsen_to_floor_threaded(
-        graph,
-        cap,
-        ml.coarsen_floor,
-        ml.max_levels,
-        ml.seed,
-        ml.threads.max(1),
-    );
+    let hierarchy = {
+        // Per-level coarsening spans: timing happens inside the
+        // coarsener (clock reads only when metrics are on) and lands
+        // here as externally-timed records.
+        let spans_on = obs.metrics.is_enabled();
+        let metrics = &mut obs.metrics;
+        let mut on_level = |level: usize,
+                            c: &fpart_hypergraph::coarsen::Coarsening,
+                            elapsed: std::time::Duration| {
+            metrics.record_span(
+                SpanKind::CoarsenLevel,
+                level as u32,
+                elapsed,
+                SpanStats {
+                    nodes: c.coarse.node_count() as u64,
+                    nets: c.coarse.net_count() as u64,
+                    ..SpanStats::default()
+                },
+            );
+        };
+        let on_level: Option<fpart_hypergraph::coarsen::OnLevel<'_>> =
+            if spans_on { Some(&mut on_level) } else { None };
+        coarsen_to_floor_timed(
+            graph,
+            cap,
+            ml.coarsen_floor,
+            ml.max_levels,
+            ml.seed,
+            ml.threads.max(1),
+            on_level,
+        )
+    };
     obs.metrics.add(Counter::CoarsenLevels, hierarchy.level_count() as u64);
 
     // Partition the coarsest level under the shared tracker.
     let coarsest = hierarchy.coarsest().unwrap_or(graph);
-    let coarse_outcome = partition_with_tracker(coarsest, constraints, config, obs, &tracker)?;
+    obs.metrics.span_open(SpanKind::Initial, 0);
+    let coarse_result = partition_with_tracker(coarsest, constraints, config, obs, &tracker);
+    obs.metrics.span_close(match &coarse_result {
+        Ok(outcome) => SpanStats {
+            nodes: coarsest.node_count() as u64,
+            nets: coarsest.net_count() as u64,
+            moves: outcome.total_moves as u64,
+            ..SpanStats::default()
+        },
+        Err(_) => SpanStats::default(),
+    });
+    let coarse_outcome = coarse_result?;
     let coarse_stopped = tracker.stopped();
     let faults_after_coarse = tracker.faults_injected();
 
@@ -244,6 +279,7 @@ pub fn partition_multilevel_observed(
             continue;
         }
         let fine: &Hypergraph = if i == 0 { graph } else { &hierarchy.levels[i - 1].coarse };
+        obs.metrics.span_open(SpanKind::RefineLevel, i as u32);
         let mut state = PartitionState::from_assignment(fine, std::mem::take(&mut assignment), k);
         let stats = refine_boundary_metered(
             &mut state,
@@ -257,6 +293,28 @@ pub fn partition_multilevel_observed(
         total_moves += stats.moves;
         iterations += usize::from(stats.calls > 0);
         k = state.block_count();
+        obs.metrics.span_close(SpanStats {
+            nodes: fine.node_count() as u64,
+            nets: fine.net_count() as u64,
+            boundary: stats.boundary as u64,
+            moves: stats.moves as u64,
+            ..SpanStats::default()
+        });
+        if let Some(elapsed) = obs.heartbeat.due() {
+            let snapshot = tracker.remaining();
+            let passes = obs.metrics.get(Counter::Passes);
+            let cut = state.cut_count();
+            obs.emit(|| crate::trace::TraceEvent::Progress {
+                phase: SpanKind::RefineLevel,
+                level: i,
+                passes,
+                moves: total_moves as u64,
+                cut: Some(cut),
+                elapsed_ms: elapsed.as_millis() as u64,
+                deadline_remaining_ms: snapshot.deadline_remaining.map(|d| d.as_millis() as u64),
+                passes_remaining: snapshot.passes_remaining,
+            });
+        }
         assignment = state.into_assignment();
     }
 
@@ -354,9 +412,21 @@ pub fn partition_multilevel_restarts_observed(
         let mlc =
             MultilevelConfig { seed: ml.seed.wrapping_add(i as u64), threads: inner, ..ml.clone() };
         let mut obs = Observer::new(Metrics::enabled(), None);
+        obs.metrics.set_span_lane(i as u32);
+        obs.metrics.span_open(SpanKind::Restart, 0);
         let result = partition_multilevel_observed(graph, constraints, &cfg, &mlc, &mut obs);
         let mut metrics = obs.metrics;
         metrics.bump(Counter::Runs);
+        let span_stats = match &result {
+            Ok(outcome) => SpanStats {
+                nodes: graph.node_count() as u64,
+                nets: graph.net_count() as u64,
+                moves: outcome.total_moves as u64,
+                ..SpanStats::default()
+            },
+            Err(_) => SpanStats::default(),
+        };
+        metrics.span_close(span_stats);
         (result, metrics)
     })
 }

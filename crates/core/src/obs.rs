@@ -14,8 +14,17 @@
 //!   consume driver [`TraceEvent`]s. `Trace` itself is one sink;
 //!   [`JsonlSink`] streams events as JSON Lines; [`FanoutSink`]
 //!   broadcasts to several sinks.
+//! * [`SpanStack`] — a hierarchical phase profiler: every pipeline
+//!   phase (parse, coarsen level, initial, refine level, pair job,
+//!   restart, ECO apply/place/repair) opens a [`SpanKind`] span whose
+//!   self/total wall time, counter deltas, and structural stats
+//!   ([`SpanStats`]) aggregate into [`SpanRecord`]s. Children fork and
+//!   merge in job-index order exactly like the counters, so the record
+//!   table is bit-identical at every thread count; only the wall-time
+//!   fields (excluded from equality) vary run to run.
 //! * [`Observer`] — the bundle the driver threads through a run: an
-//!   owned `Metrics` plus an optional `&mut dyn EventSink`.
+//!   owned `Metrics` plus an optional `&mut dyn EventSink` and a
+//!   [`Heartbeat`] throttle for progress events.
 //!
 //! Instrumented and uninstrumented runs produce **bit-identical
 //! partitions** (metrics never influence control flow); the
@@ -34,7 +43,7 @@ use crate::trace::{ImproveKind, TraceEvent};
 /// Schema version of every machine-readable document this module emits
 /// (the CLI `--metrics` file, the JSONL trace, `BENCH_*.json`). Bump it
 /// whenever a field is renamed, removed, or changes meaning.
-pub const SCHEMA_VERSION: u32 = 6;
+pub const SCHEMA_VERSION: u32 = 7;
 
 /// The named engine counters. Every counter is a monotonically
 /// increasing `u64`; [`Counter::name`] is the stable `snake_case` key used
@@ -222,18 +231,451 @@ impl TimeStat {
     }
 }
 
+/// One phase of the partitioning pipeline, as named by span records,
+/// Chrome trace events, and progress heartbeats. [`SpanKind::as_str`]
+/// is the stable `snake_case` key used in serialized form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum SpanKind {
+    /// Netlist parsing / graph construction (CLI-side).
+    Parse = 0,
+    /// One independent restart of a multi-run search.
+    Restart,
+    /// One heavy-edge coarsening level of the multilevel flow.
+    CoarsenLevel,
+    /// The initial partition: the FPART peeling driver — the coarsest-
+    /// level solve in the multilevel flow, the whole run in flat mode.
+    Initial,
+    /// One constructive remainder bipartition (peeling) or FM run.
+    Bipartition,
+    /// One `improve_cells_metered` call (FM pass loop over a cell set).
+    Improve,
+    /// Boundary refinement of one uncoarsening level.
+    RefineLevel,
+    /// One block-pair boundary-refinement job on an intra-run worker.
+    PairJob,
+    /// Applying a netlist edit script (ECO flow).
+    EcoApply,
+    /// Re-placing cells affected by an edit script (ECO flow).
+    EcoPlace,
+    /// Dirty-block boundary repair (ECO flow).
+    EcoRepair,
+}
+
+impl SpanKind {
+    /// Every span kind, in serialization order.
+    pub const ALL: [SpanKind; 11] = [
+        SpanKind::Parse,
+        SpanKind::Restart,
+        SpanKind::CoarsenLevel,
+        SpanKind::Initial,
+        SpanKind::Bipartition,
+        SpanKind::Improve,
+        SpanKind::RefineLevel,
+        SpanKind::PairJob,
+        SpanKind::EcoApply,
+        SpanKind::EcoPlace,
+        SpanKind::EcoRepair,
+    ];
+
+    /// Stable `snake_case` name of this phase in serialized form (the
+    /// `--metrics` `spans` section, Chrome trace events, progress
+    /// events). Part of the schema-versioned compat surface.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Parse => "parse",
+            SpanKind::Restart => "restart",
+            SpanKind::CoarsenLevel => "coarsen_level",
+            SpanKind::Initial => "initial",
+            SpanKind::Bipartition => "bipartition",
+            SpanKind::Improve => "improve",
+            SpanKind::RefineLevel => "refine_level",
+            SpanKind::PairJob => "pair_job",
+            SpanKind::EcoApply => "eco_apply",
+            SpanKind::EcoPlace => "eco_place",
+            SpanKind::EcoRepair => "eco_repair",
+        }
+    }
+}
+
+/// Structural statistics attached to a span when it closes: what the
+/// phase worked on and what it accomplished. All fields are sums over
+/// the span's executions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Nodes (cells or clusters) in scope of the phase.
+    pub nodes: u64,
+    /// Nets in scope of the phase.
+    pub nets: u64,
+    /// Boundary cells considered (refinement phases) or blocks touched
+    /// (ECO phases).
+    pub boundary: u64,
+    /// Moves accepted by the phase.
+    pub moves: u64,
+    /// Net cut improvement produced by the phase (initial − final cut;
+    /// negative when the phase regressed).
+    pub gain: i64,
+}
+
+impl SpanStats {
+    /// Adds another stats bundle field-wise.
+    pub fn accumulate(&mut self, other: &SpanStats) {
+        self.nodes += other.nodes;
+        self.nets += other.nets;
+        self.boundary += other.boundary;
+        self.moves += other.moves;
+        self.gain += other.gain;
+    }
+}
+
+/// The aggregated profile of one `(kind, level, parent)` phase slot:
+/// how often it ran, its total and self wall time, its structural
+/// stats, and the counter activity booked while it was the innermost
+/// open span.
+///
+/// Equality deliberately **ignores `total_ns` and `self_ns`**: two
+/// profiles are equal when they are structurally identical (same
+/// phases, same counts, same stats, same counter deltas) — wall time is
+/// the one nondeterministic axis, and the determinism proptests compare
+/// whole registries across thread counts.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// The phase this record profiles.
+    pub kind: SpanKind,
+    /// Hierarchy level of the phase (coarsen/refine level index;
+    /// peeling iteration for [`SpanKind::Initial`]; 0 elsewhere).
+    pub level: u32,
+    /// Kind of the innermost span that was open when this one started
+    /// (`None` for root spans).
+    pub parent: Option<SpanKind>,
+    /// Times the phase executed.
+    pub count: u64,
+    /// Total wall time, children included, in nanoseconds.
+    pub total_ns: u64,
+    /// Wall time excluding same-registry child spans, in nanoseconds.
+    pub self_ns: u64,
+    /// Summed structural stats of every execution.
+    pub stats: SpanStats,
+    counters: [u64; Counter::ALL.len()],
+}
+
+impl SpanRecord {
+    fn new(kind: SpanKind, level: u32, parent: Option<SpanKind>) -> Self {
+        SpanRecord {
+            kind,
+            level,
+            parent,
+            count: 0,
+            total_ns: 0,
+            self_ns: 0,
+            stats: SpanStats::default(),
+            counters: [0; Counter::ALL.len()],
+        }
+    }
+
+    /// The counter delta booked while spans of this slot were open
+    /// (closed spans only; deltas nest with the span hierarchy).
+    #[must_use]
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[counter as usize]
+    }
+}
+
+impl PartialEq for SpanRecord {
+    fn eq(&self, other: &Self) -> bool {
+        // total_ns / self_ns excluded: wall time is nondeterministic.
+        self.kind == other.kind
+            && self.level == other.level
+            && self.parent == other.parent
+            && self.count == other.count
+            && self.stats == other.stats
+            && self.counters == other.counters
+    }
+}
+
+impl Eq for SpanRecord {}
+
+/// One completed span occurrence, kept for Chrome trace export: when it
+/// started (relative to its registry's epoch), how long it ran, and
+/// which lane (worker/restart) it ran on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// The phase that ran.
+    pub kind: SpanKind,
+    /// Hierarchy level (see [`SpanRecord::level`]).
+    pub level: u32,
+    /// Start offset from the registry epoch, in nanoseconds. Restart
+    /// children created with a fresh registry carry their own epoch, so
+    /// their events start near zero in their own lane.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Synthetic lane id (Chrome `tid`): 0 for the main flow, one lane
+    /// per restart or intra-run worker.
+    pub lane: u32,
+}
+
+#[derive(Debug, Clone)]
+struct OpenSpan {
+    slot: usize,
+    started: Instant,
+    child_ns: u64,
+    counters_at_open: [u64; Counter::ALL.len()],
+}
+
+/// The hierarchical phase profiler: a stack of open spans over a table
+/// of [`SpanRecord`]s plus the completed-span event log.
+///
+/// Deterministic-merge rules (mirroring [`Metrics::merge`]):
+///
+/// * records aggregate by `(kind, level, parent)` slot in first-seen
+///   order; merging adds counts, times, stats, and counter deltas
+///   slot-wise, and children are merged in job-index order — so the
+///   record table is bit-identical at every thread count;
+/// * equality compares **records only** (and record equality ignores
+///   wall time), so instrumented-run comparisons across thread counts
+///   are exact;
+/// * the event log is append-only in completion order and only feeds
+///   the Chrome trace export — it is excluded from equality.
+#[derive(Debug, Clone, Default)]
+pub struct SpanStack {
+    records: Vec<SpanRecord>,
+    open: Vec<OpenSpan>,
+    events: Vec<SpanEvent>,
+    epoch: Option<Instant>,
+    ambient: Option<SpanKind>,
+    lane: u32,
+}
+
+impl PartialEq for SpanStack {
+    fn eq(&self, other: &Self) -> bool {
+        self.records == other.records
+    }
+}
+
+impl SpanStack {
+    /// An empty stack whose epoch (the zero point of event timestamps)
+    /// is now.
+    #[must_use]
+    pub fn started() -> Self {
+        SpanStack { epoch: Some(Instant::now()), ..SpanStack::default() }
+    }
+
+    /// An empty child stack for a worker: shares the parent's epoch and
+    /// lane, and inherits the parent's innermost open span as the
+    /// ambient parent of its own root spans.
+    #[must_use]
+    pub fn fork(&self) -> Self {
+        SpanStack {
+            epoch: self.epoch,
+            ambient: self.parent_kind(),
+            lane: self.lane,
+            ..SpanStack::default()
+        }
+    }
+
+    fn parent_kind(&self) -> Option<SpanKind> {
+        self.open.last().map(|o| self.records[o.slot].kind).or(self.ambient)
+    }
+
+    fn slot_for(&mut self, kind: SpanKind, level: u32, parent: Option<SpanKind>) -> usize {
+        if let Some(i) = self
+            .records
+            .iter()
+            .position(|r| r.kind == kind && r.level == level && r.parent == parent)
+        {
+            return i;
+        }
+        self.records.push(SpanRecord::new(kind, level, parent));
+        self.records.len() - 1
+    }
+
+    /// Sets the Chrome-trace lane of subsequently completed spans.
+    pub fn set_lane(&mut self, lane: u32) {
+        self.lane = lane;
+    }
+
+    fn open(&mut self, kind: SpanKind, level: u32, counters: &[u64; Counter::ALL.len()]) {
+        let parent = self.parent_kind();
+        let slot = self.slot_for(kind, level, parent);
+        self.open.push(OpenSpan {
+            slot,
+            started: Instant::now(),
+            child_ns: 0,
+            counters_at_open: *counters,
+        });
+    }
+
+    fn close(&mut self, stats: &SpanStats, counters: &[u64; Counter::ALL.len()]) {
+        let Some(top) = self.open.pop() else { return };
+        let ns = u64::try_from(top.started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let record = &mut self.records[top.slot];
+        record.count += 1;
+        record.total_ns = record.total_ns.saturating_add(ns);
+        record.self_ns = record.self_ns.saturating_add(ns.saturating_sub(top.child_ns));
+        record.stats.accumulate(stats);
+        for (slot, (now, at_open)) in
+            record.counters.iter_mut().zip(counters.iter().zip(&top.counters_at_open))
+        {
+            *slot += now.saturating_sub(*at_open);
+        }
+        let (kind, level) = (record.kind, record.level);
+        if let Some(parent) = self.open.last_mut() {
+            parent.child_ns = parent.child_ns.saturating_add(ns);
+        }
+        let start_ns = self.epoch.map_or(0, |epoch| {
+            u64::try_from(top.started.duration_since(epoch).as_nanos()).unwrap_or(u64::MAX)
+        });
+        self.events.push(SpanEvent { kind, level, start_ns, dur_ns: ns, lane: self.lane });
+    }
+
+    fn record(&mut self, kind: SpanKind, level: u32, elapsed: Duration, stats: &SpanStats) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let parent = self.parent_kind();
+        let slot = self.slot_for(kind, level, parent);
+        let record = &mut self.records[slot];
+        record.count += 1;
+        record.total_ns = record.total_ns.saturating_add(ns);
+        record.self_ns = record.self_ns.saturating_add(ns);
+        record.stats.accumulate(stats);
+        if let Some(top) = self.open.last_mut() {
+            top.child_ns = top.child_ns.saturating_add(ns);
+        }
+        let start_ns = self.epoch.map_or(0, |epoch| {
+            let now = u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            now.saturating_sub(ns)
+        });
+        self.events.push(SpanEvent { kind, level, start_ns, dur_ns: ns, lane: self.lane });
+    }
+
+    /// Merges a child stack: records aggregate by `(kind, level,
+    /// parent)` slot, events append in the child's completion order.
+    /// Callers merge children in job-index order for determinism.
+    pub fn merge(&mut self, other: &SpanStack) {
+        for r in &other.records {
+            let slot = self.slot_for(r.kind, r.level, r.parent);
+            let record = &mut self.records[slot];
+            record.count += r.count;
+            record.total_ns = record.total_ns.saturating_add(r.total_ns);
+            record.self_ns = record.self_ns.saturating_add(r.self_ns);
+            record.stats.accumulate(&r.stats);
+            for (a, b) in record.counters.iter_mut().zip(&r.counters) {
+                *a += b;
+            }
+        }
+        self.events.extend_from_slice(&other.events);
+        if self.epoch.is_none() {
+            self.epoch = other.epoch;
+        }
+    }
+
+    /// The aggregated span records, in first-seen order.
+    #[must_use]
+    pub fn records(&self) -> &[SpanRecord] {
+        &self.records
+    }
+
+    /// The completed-span event log, in completion order.
+    #[must_use]
+    pub fn events(&self) -> &[SpanEvent] {
+        &self.events
+    }
+
+    /// Serializes the event log as a Chrome trace-event JSON array
+    /// (complete `"ph": "X"` events, microsecond timestamps), loadable
+    /// in Perfetto / `chrome://tracing`. `pid` is always 1; `tid` is
+    /// the synthetic lane (0 = main flow, one lane per restart or
+    /// intra-run worker).
+    #[must_use]
+    pub fn to_chrome_json(&self) -> String {
+        let mut out = String::from("[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n ");
+            }
+            let _ = write!(
+                out,
+                "{{\"name\": \"{}\", \"cat\": \"fpart\", \"ph\": \"X\", \"ts\": {:.3}, \
+                 \"dur\": {:.3}, \"pid\": 1, \"tid\": {}, \"args\": {{\"level\": {}}}}}",
+                e.kind.as_str(),
+                e.start_ns as f64 / 1000.0,
+                e.dur_ns as f64 / 1000.0,
+                e.lane,
+                e.level
+            );
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+/// A throttle for progress/heartbeat events: [`Heartbeat::due`] returns
+/// the elapsed time since the first call whenever at least the
+/// configured interval has passed since the last emission. Disabled
+/// heartbeats never read the clock.
+#[derive(Debug, Clone)]
+pub struct Heartbeat {
+    enabled: bool,
+    min_interval: Duration,
+    started: Option<Instant>,
+    last: Option<Instant>,
+}
+
+impl Heartbeat {
+    /// A disabled heartbeat: [`Heartbeat::due`] is always `None` and
+    /// costs one branch, no clock read.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Heartbeat { enabled: false, min_interval: Duration::ZERO, started: None, last: None }
+    }
+
+    /// A heartbeat firing at most once per `interval`
+    /// (`Duration::ZERO` fires on every call — useful in tests).
+    #[must_use]
+    pub fn every(interval: Duration) -> Self {
+        Heartbeat { enabled: true, min_interval: interval, started: None, last: None }
+    }
+
+    /// Whether this heartbeat can ever fire.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Returns `Some(elapsed-since-first-call)` and marks an emission
+    /// when the throttle interval has passed; `None` otherwise. The
+    /// first call always fires.
+    pub fn due(&mut self) -> Option<Duration> {
+        if !self.enabled {
+            return None;
+        }
+        let now = Instant::now();
+        let started = *self.started.get_or_insert(now);
+        match self.last {
+            Some(last) if now.duration_since(last) < self.min_interval => None,
+            _ => {
+                self.last = Some(now);
+                Some(now.duration_since(started))
+            }
+        }
+    }
+}
+
 /// The metrics registry: named counters plus a wall-time statistic per
-/// improvement-schedule slot.
+/// improvement-schedule slot and a hierarchical phase profiler
+/// ([`SpanStack`]).
 ///
 /// A disabled registry ([`Metrics::disabled`]) never touches its
-/// storage, never reads the clock ([`Metrics::start`] returns `None`),
-/// and never allocates — every recording method is one predictable
-/// branch.
+/// storage, never reads the clock ([`Metrics::start`] returns `None`,
+/// the span methods return before any `Instant::now`), and never
+/// allocates — every recording method is one predictable branch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Metrics {
     enabled: bool,
     counters: [u64; Counter::ALL.len()],
     improve_time: [TimeStat; ImproveKind::ALL.len()],
+    spans: SpanStack,
 }
 
 impl Default for Metrics {
@@ -242,15 +684,17 @@ impl Default for Metrics {
             enabled: false,
             counters: [0; Counter::ALL.len()],
             improve_time: [TimeStat::default(); ImproveKind::ALL.len()],
+            spans: SpanStack::default(),
         }
     }
 }
 
 impl Metrics {
-    /// Creates an enabled (recording) registry.
+    /// Creates an enabled (recording) registry. The span epoch (zero
+    /// point of Chrome trace timestamps) is the creation instant.
     #[must_use]
     pub fn enabled() -> Self {
-        Metrics { enabled: true, ..Metrics::default() }
+        Metrics { enabled: true, spans: SpanStack::started(), ..Metrics::default() }
     }
 
     /// Creates a disabled (no-op) registry.
@@ -265,7 +709,7 @@ impl Metrics {
     #[must_use]
     pub fn fork(&self) -> Self {
         if self.enabled {
-            Metrics::enabled()
+            Metrics { enabled: true, spans: self.spans.fork(), ..Metrics::default() }
         } else {
             Metrics::disabled()
         }
@@ -321,6 +765,50 @@ impl Metrics {
         &self.improve_time[kind.index()]
     }
 
+    /// Opens a phase span nested under the innermost open span (no-op,
+    /// no clock read, when disabled). Pair with [`Metrics::span_close`];
+    /// open/close calls must nest.
+    #[inline]
+    pub fn span_open(&mut self, kind: SpanKind, level: u32) {
+        if self.enabled {
+            self.spans.open(kind, level, &self.counters);
+        }
+    }
+
+    /// Closes the innermost open span, attaching the given structural
+    /// stats (no-op when disabled or nothing is open).
+    #[inline]
+    pub fn span_close(&mut self, stats: SpanStats) {
+        if self.enabled {
+            self.spans.close(&stats, &self.counters);
+        }
+    }
+
+    /// Records an externally timed phase as a completed span (for
+    /// phases whose timing happens outside the registry, e.g. per-level
+    /// coarsening callbacks). No counter delta is booked.
+    #[inline]
+    pub fn record_span(&mut self, kind: SpanKind, level: u32, elapsed: Duration, stats: SpanStats) {
+        if self.enabled {
+            self.spans.record(kind, level, elapsed, &stats);
+        }
+    }
+
+    /// Sets the Chrome-trace lane of spans completed from now on (0 =
+    /// main flow; restart and worker jobs set their own lane).
+    #[inline]
+    pub fn set_span_lane(&mut self, lane: u32) {
+        if self.enabled {
+            self.spans.set_lane(lane);
+        }
+    }
+
+    /// The phase profiler of this registry.
+    #[must_use]
+    pub fn spans(&self) -> &SpanStack {
+        &self.spans
+    }
+
     /// Merges another registry into this one: counters add, time
     /// statistics combine. Callers merge children in restart-index
     /// order, so the aggregate is deterministic at every thread count.
@@ -332,12 +820,15 @@ impl Metrics {
         for (a, b) in self.improve_time.iter_mut().zip(&other.improve_time) {
             a.merge(b);
         }
+        self.spans.merge(&other.spans);
     }
 
     /// Serializes the registry as a JSON object:
-    /// `{"counters": {<name>: <u64>, …}, "improve_time": {<kind>: <TimeStat>, …}}`.
-    /// Counters appear in [`Counter::ALL`] order; only schedule slots
-    /// with a nonzero count appear under `improve_time`.
+    /// `{"counters": {<name>: <u64>, …}, "improve_time": {<kind>:
+    /// <TimeStat>, …}, "spans": [<SpanRecord>, …]}`. Counters appear in
+    /// [`Counter::ALL`] order; only schedule slots with a nonzero count
+    /// appear under `improve_time`; span records appear in first-seen
+    /// order, each with only its nonzero counter deltas.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\": {");
@@ -361,7 +852,51 @@ impl Metrics {
             let _ = write!(out, "\"{}\": ", kind.as_str());
             stat.write_json(&mut out);
         }
-        out.push_str("}}");
+        out.push_str("}, \"spans\": [");
+        for (i, r) in self.spans.records().iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"kind\": \"{}\", \"level\": {}, \"parent\": ",
+                r.kind.as_str(),
+                r.level
+            );
+            match r.parent {
+                Some(p) => {
+                    let _ = write!(out, "\"{}\"", p.as_str());
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(
+                out,
+                ", \"count\": {}, \"total_ns\": {}, \"self_ns\": {}, \"nodes\": {}, \
+                 \"nets\": {}, \"boundary\": {}, \"moves\": {}, \"gain\": {}, \"counters\": {{",
+                r.count,
+                r.total_ns,
+                r.self_ns,
+                r.stats.nodes,
+                r.stats.nets,
+                r.stats.boundary,
+                r.stats.moves,
+                r.stats.gain
+            );
+            let mut first = true;
+            for c in Counter::ALL {
+                let v = r.counter(c);
+                if v == 0 {
+                    continue;
+                }
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                let _ = write!(out, "\"{}\": {v}", c.name());
+            }
+            out.push_str("}}");
+        }
+        out.push_str("]}");
         out
     }
 }
@@ -460,20 +995,24 @@ impl EventSink for FanoutSink<'_> {
 pub struct Observer<'s> {
     /// The metrics registry of this run.
     pub metrics: Metrics,
+    /// Throttle for [`TraceEvent::Progress`] heartbeats (disabled by
+    /// default; the CLI arms it for `--progress`).
+    pub heartbeat: Heartbeat,
     sink: Option<&'s mut dyn EventSink>,
 }
 
 impl<'s> Observer<'s> {
-    /// A fully disabled observer (no metrics, no sink).
+    /// A fully disabled observer (no metrics, no sink, no heartbeat).
     #[must_use]
     pub fn none() -> Self {
-        Observer { metrics: Metrics::disabled(), sink: None }
+        Observer { metrics: Metrics::disabled(), heartbeat: Heartbeat::disabled(), sink: None }
     }
 
-    /// An observer with the given registry and sink.
+    /// An observer with the given registry and sink (heartbeat
+    /// disabled; assign [`Observer::heartbeat`] to arm it).
     #[must_use]
     pub fn new(metrics: Metrics, sink: Option<&'s mut dyn EventSink>) -> Self {
-        Observer { metrics, sink }
+        Observer { metrics, heartbeat: Heartbeat::disabled(), sink }
     }
 
     /// Emits an event to the sink, constructing it lazily — nothing is
@@ -492,6 +1031,7 @@ impl std::fmt::Debug for Observer<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Observer")
             .field("metrics", &self.metrics)
+            .field("heartbeat", &self.heartbeat)
             .field("sink", &self.sink.as_ref().map(|s| s.is_enabled()))
             .finish()
     }
@@ -540,8 +1080,9 @@ fn push_key_json(out: &mut String, key: &SolutionKey) {
 /// Serializes one [`TraceEvent`] as a single-line JSON object.
 ///
 /// Every object carries `"event"` (one of `"iteration_start"`,
-/// `"bipartition"`, `"improve"`, `"solution"`) and `"iteration"`,
-/// followed by the variant's fields in declaration order. Solution keys
+/// `"bipartition"`, `"improve"`, `"progress"`, `"solution"`) and — for
+/// all but `"progress"` — `"iteration"`, followed by the variant's
+/// fields in declaration order. Solution keys
 /// serialize with their full lexicographic field order
 /// (`feasible_blocks`, `total_blocks`, `infeasibility`, `terminal_sum`,
 /// `external_balance`, `cut`); enum values use their stable `snake_case`
@@ -599,6 +1140,44 @@ pub fn event_to_json(event: &TraceEvent) -> String {
                 out,
                 ", \"passes\": {passes}, \"moves\": {moves}, \"restarts\": {restarts}}}"
             );
+        }
+        TraceEvent::Progress {
+            phase,
+            level,
+            passes,
+            moves,
+            cut,
+            elapsed_ms,
+            deadline_remaining_ms,
+            passes_remaining,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"event\": \"progress\", \"phase\": \"{}\", \"level\": {level}, \
+                 \"passes\": {passes}, \"moves\": {moves}, \"cut\": ",
+                phase.as_str()
+            );
+            match cut {
+                Some(c) => {
+                    let _ = write!(out, "{c}");
+                }
+                None => out.push_str("null"),
+            }
+            let _ = write!(out, ", \"elapsed_ms\": {elapsed_ms}, \"deadline_remaining_ms\": ");
+            match deadline_remaining_ms {
+                Some(ms) => {
+                    let _ = write!(out, "{ms}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push_str(", \"passes_remaining\": ");
+            match passes_remaining {
+                Some(p) => {
+                    let _ = write!(out, "{p}");
+                }
+                None => out.push_str("null"),
+            }
+            out.push('}');
         }
         TraceEvent::Solution { iteration, class, blocks } => {
             let _ =
@@ -791,6 +1370,181 @@ mod tests {
         let mut disabled = Trace::disabled();
         let mut obs = Observer::new(Metrics::disabled(), Some(&mut disabled));
         obs.emit(|| panic!("event constructed for a disabled sink"));
+    }
+
+    #[test]
+    fn disabled_metrics_ignore_spans() {
+        let mut m = Metrics::disabled();
+        m.span_open(SpanKind::Initial, 0);
+        m.span_close(SpanStats { moves: 5, ..SpanStats::default() });
+        m.record_span(SpanKind::Parse, 0, Duration::from_millis(1), SpanStats::default());
+        assert!(m.spans().records().is_empty());
+        assert!(m.spans().events().is_empty());
+    }
+
+    #[test]
+    fn spans_nest_and_attribute_self_time() {
+        let mut m = Metrics::enabled();
+        m.span_open(SpanKind::Initial, 0);
+        m.bump(Counter::Iterations);
+        m.span_open(SpanKind::Improve, 0);
+        m.add(Counter::MovesApplied, 3);
+        std::thread::sleep(Duration::from_millis(2));
+        m.span_close(SpanStats { moves: 3, ..SpanStats::default() });
+        m.span_close(SpanStats::default());
+
+        let records = m.spans().records();
+        assert_eq!(records.len(), 2);
+        let outer = records.iter().find(|r| r.kind == SpanKind::Initial).unwrap();
+        let inner = records.iter().find(|r| r.kind == SpanKind::Improve).unwrap();
+        assert_eq!(outer.parent, None);
+        assert_eq!(inner.parent, Some(SpanKind::Initial));
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        // The outer span's self time excludes the inner span.
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(outer.self_ns <= outer.total_ns - inner.total_ns + 1);
+        assert_eq!(inner.stats.moves, 3);
+        // Counter deltas nest: both spans saw the MovesApplied bump,
+        // only the outer one saw the Iterations bump.
+        assert_eq!(inner.counter(Counter::MovesApplied), 3);
+        assert_eq!(outer.counter(Counter::MovesApplied), 3);
+        assert_eq!(inner.counter(Counter::Iterations), 0);
+        assert_eq!(outer.counter(Counter::Iterations), 1);
+        assert_eq!(m.spans().events().len(), 2);
+    }
+
+    #[test]
+    fn record_span_books_under_open_parent() {
+        let mut m = Metrics::enabled();
+        m.span_open(SpanKind::Restart, 0);
+        m.record_span(
+            SpanKind::CoarsenLevel,
+            2,
+            Duration::from_nanos(500),
+            SpanStats { nodes: 10, ..SpanStats::default() },
+        );
+        m.span_close(SpanStats::default());
+        let coarsen =
+            m.spans().records().iter().find(|r| r.kind == SpanKind::CoarsenLevel).unwrap();
+        assert_eq!(coarsen.parent, Some(SpanKind::Restart));
+        assert_eq!(coarsen.level, 2);
+        assert_eq!(coarsen.total_ns, 500);
+        assert_eq!(coarsen.self_ns, 500);
+        assert_eq!(coarsen.stats.nodes, 10);
+        // The recorded child's time is subtracted from the parent's self.
+        let restart = m.spans().records().iter().find(|r| r.kind == SpanKind::Restart).unwrap();
+        assert!(restart.self_ns <= restart.total_ns.saturating_sub(500) + 1);
+    }
+
+    #[test]
+    fn span_merge_aggregates_by_slot_and_ignores_wall_time_in_eq() {
+        let build = |moves: u64, sleep_ns: u64| {
+            let mut m = Metrics::enabled();
+            m.span_open(SpanKind::PairJob, 0);
+            std::thread::sleep(Duration::from_nanos(sleep_ns));
+            m.span_close(SpanStats { moves, ..SpanStats::default() });
+            m
+        };
+        let mut a = Metrics::enabled();
+        a.merge(&build(2, 10));
+        a.merge(&build(5, 200_000));
+        let mut b = Metrics::enabled();
+        b.merge(&build(2, 300_000));
+        b.merge(&build(5, 10));
+        // Same structure, different wall times: still equal.
+        assert_eq!(a, b);
+        let rec = a.spans().records().iter().find(|r| r.kind == SpanKind::PairJob).unwrap();
+        assert_eq!(rec.count, 2);
+        assert_eq!(rec.stats.moves, 7);
+        assert_eq!(a.spans().events().len(), 2);
+        // Different structure (stats differ): unequal.
+        let mut c = Metrics::enabled();
+        c.merge(&build(2, 10));
+        c.merge(&build(6, 10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn forked_children_inherit_ambient_parent_and_lane() {
+        let mut parent = Metrics::enabled();
+        parent.set_span_lane(0);
+        parent.span_open(SpanKind::RefineLevel, 1);
+        let mut child = parent.fork();
+        child.set_span_lane(3);
+        child.span_open(SpanKind::PairJob, 0);
+        child.span_close(SpanStats::default());
+        parent.merge(&child);
+        parent.span_close(SpanStats::default());
+        let pair = parent.spans().records().iter().find(|r| r.kind == SpanKind::PairJob).unwrap();
+        assert_eq!(pair.parent, Some(SpanKind::RefineLevel));
+        let pair_event =
+            parent.spans().events().iter().find(|e| e.kind == SpanKind::PairJob).unwrap();
+        assert_eq!(pair_event.lane, 3);
+    }
+
+    #[test]
+    fn chrome_json_is_an_event_array() {
+        let mut m = Metrics::enabled();
+        m.span_open(SpanKind::Initial, 0);
+        m.span_close(SpanStats::default());
+        let json = m.spans().to_chrome_json();
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"name\": \"initial\""));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"pid\": 1"));
+        assert!(json.contains("\"args\": {\"level\": 0}"));
+        assert!(Metrics::enabled().spans().to_chrome_json().starts_with("[]"));
+    }
+
+    #[test]
+    fn metrics_json_has_span_records() {
+        let mut m = Metrics::enabled();
+        m.span_open(SpanKind::EcoRepair, 0);
+        m.bump(Counter::BoundaryRefinements);
+        m.span_close(SpanStats { boundary: 4, ..SpanStats::default() });
+        let json = m.to_json();
+        assert!(json.contains("\"spans\": [{\"kind\": \"eco_repair\""));
+        assert!(json.contains("\"parent\": null"));
+        assert!(json.contains("\"boundary\": 4"));
+        assert!(json.contains("\"counters\": {\"boundary_refinements\": 1}"));
+    }
+
+    #[test]
+    fn heartbeat_throttles_and_never_ticks_disabled() {
+        let mut off = Heartbeat::disabled();
+        assert!(!off.is_enabled());
+        assert!(off.due().is_none());
+
+        let mut every = Heartbeat::every(Duration::ZERO);
+        assert!(every.is_enabled());
+        assert!(every.due().is_some());
+        assert!(every.due().is_some());
+
+        let mut slow = Heartbeat::every(Duration::from_secs(59));
+        assert!(slow.due().is_some(), "first call always fires");
+        assert!(slow.due().is_none(), "second call is throttled");
+    }
+
+    #[test]
+    fn progress_event_serializes() {
+        let json = event_to_json(&TraceEvent::Progress {
+            phase: SpanKind::RefineLevel,
+            level: 3,
+            passes: 10,
+            moves: 42,
+            cut: Some(7),
+            elapsed_ms: 1500,
+            deadline_remaining_ms: None,
+            passes_remaining: Some(90),
+        });
+        assert_eq!(
+            json,
+            "{\"event\": \"progress\", \"phase\": \"refine_level\", \"level\": 3, \
+             \"passes\": 10, \"moves\": 42, \"cut\": 7, \"elapsed_ms\": 1500, \
+             \"deadline_remaining_ms\": null, \"passes_remaining\": 90}"
+        );
     }
 
     #[test]

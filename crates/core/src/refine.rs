@@ -194,13 +194,20 @@ fn refine_boundary_inner(
         let forks_ref = forks.as_deref();
         let pairs_ref = &pairs[..];
         let snapshot: &PartitionState<'_> = state;
+        // Chrome-trace lane of each job: mirror `run_indexed`'s chunked
+        // worker layout (lane 0 stays the enclosing flow). Lanes are
+        // cosmetic — span *records* never depend on them.
+        let lane_chunk = pairs.len().div_ceil(workers.min(pairs.len()));
         let results = run_indexed_caught_metered(pairs.len(), workers, metrics, &|i, child| {
             let (a, b) = pairs_ref[i];
             child.bump(Counter::PairJobs);
+            child.set_span_lane(1 + (i / lane_chunk) as u32);
+            child.span_open(crate::obs::SpanKind::PairJob, 0);
             let mut local = snapshot.clone();
             let mut boundary: Vec<NodeId> = Vec::new();
             boundary_cells(&local, a, b, &mut boundary);
             if boundary.is_empty() {
+                child.span_close(crate::obs::SpanStats::default());
                 return PairOutcome {
                     moved: Vec::new(),
                     stats: BoundaryRefineStats::default(),
@@ -218,6 +225,12 @@ fn refine_boundary_inner(
             let stats = improve_cells_metered(&mut local, &[a, b], &boundary, &ctx, child);
             child.stop_improve(ImproveKind::Boundary, started);
             child.bump(Counter::BoundaryRefinements);
+            child.span_close(crate::obs::SpanStats {
+                boundary: boundary.len() as u64,
+                moves: stats.moves as u64,
+                gain: stats.initial_key.cut as i64 - stats.final_key.cut as i64,
+                ..crate::obs::SpanStats::default()
+            });
             let moved: Vec<(NodeId, usize)> = boundary
                 .iter()
                 .copied()
@@ -232,6 +245,7 @@ fn refine_boundary_inner(
                     calls: 1,
                     moves: stats.moves,
                     improved: usize::from(stats.final_key.better_than(&stats.initial_key)),
+                    boundary: boundary.len(),
                 },
                 improved: stats.final_key.better_than(&stats.initial_key),
             }
@@ -250,6 +264,7 @@ fn refine_boundary_inner(
                     stats_total.calls += outcome.stats.calls;
                     stats_total.moves += outcome.stats.moves;
                     stats_total.improved += outcome.stats.improved;
+                    stats_total.boundary += outcome.stats.boundary;
                     state.apply(outcome.moved);
                     improved |= outcome.improved;
                 }
@@ -274,6 +289,8 @@ pub struct BoundaryRefineStats {
     pub moves: usize,
     /// Calls that improved the solution key.
     pub improved: usize,
+    /// Boundary cells examined, summed over all calls.
+    pub boundary: usize,
 }
 
 /// Collects into `out` the cells of blocks `a` and `b` incident to at

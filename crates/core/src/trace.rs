@@ -105,6 +105,29 @@ pub enum TraceEvent {
         /// Stack restarts performed.
         restarts: usize,
     },
+    /// A periodic progress heartbeat, emitted by long-running phases
+    /// when the observer's [`Heartbeat`](crate::obs::Heartbeat) is
+    /// armed (the CLI's `--progress`). Throttled; off by default.
+    Progress {
+        /// Which phase is running.
+        phase: crate::obs::SpanKind,
+        /// Hierarchy level of the phase (uncoarsen level, peeling
+        /// iteration, …).
+        level: usize,
+        /// FM passes executed so far by this run.
+        passes: u64,
+        /// Moves retained so far by this run.
+        moves: u64,
+        /// Best cut known so far (`None` when no solution is built yet).
+        cut: Option<usize>,
+        /// Wall time since the first heartbeat, in milliseconds.
+        elapsed_ms: u64,
+        /// Remaining wall-clock budget, in milliseconds (`None` when
+        /// the run has no deadline).
+        deadline_remaining_ms: Option<u64>,
+        /// Remaining pass budget (`None` when unbounded).
+        passes_remaining: Option<u64>,
+    },
     /// End-of-iteration solution snapshot (Figure 2 data: one occupancy
     /// point per block).
     Solution {

@@ -393,12 +393,39 @@ pub fn coarsen_to_floor_threaded(
     seed: u64,
     threads: usize,
 ) -> Hierarchy {
+    coarsen_to_floor_timed(graph, max_cluster_size, floor, max_levels, seed, threads, None)
+}
+
+/// Per-level profiling callback for [`coarsen_to_floor_timed`]: level
+/// index, the level's coarsening, and its wall time.
+pub type OnLevel<'a> = &'a mut dyn FnMut(usize, &Coarsening, std::time::Duration);
+
+/// [`coarsen_to_floor_threaded`] with an optional per-level profiling
+/// callback, invoked once per **kept** level with the level index, the
+/// level's coarsening, and its wall time. The clock is read only when a
+/// callback is supplied, so the plain entry points stay free of timing
+/// overhead; the callback can never change the hierarchy.
+///
+/// # Panics
+///
+/// Panics if `max_cluster_size == 0`.
+#[must_use]
+pub fn coarsen_to_floor_timed(
+    graph: &Hypergraph,
+    max_cluster_size: u64,
+    floor: usize,
+    max_levels: usize,
+    seed: u64,
+    threads: usize,
+    mut on_level: Option<OnLevel<'_>>,
+) -> Hierarchy {
     let mut hierarchy = Hierarchy::default();
     for level in 0..max_levels {
         let current = hierarchy.coarsest().unwrap_or(graph);
         if current.node_count() <= floor {
             break;
         }
+        let started = on_level.is_some().then(std::time::Instant::now);
         let coarsening = coarsen_by_connectivity_threaded(
             current,
             max_cluster_size,
@@ -407,6 +434,9 @@ pub fn coarsen_to_floor_threaded(
         );
         if coarsening.ratio() < SATURATION_RATIO {
             break;
+        }
+        if let (Some(on_level), Some(started)) = (on_level.as_deref_mut(), started) {
+            on_level(level, &coarsening, started.elapsed());
         }
         hierarchy.levels.push(coarsening);
     }

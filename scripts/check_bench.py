@@ -16,6 +16,13 @@ within 5%). When the `intra_run` section is present, the single-run
 multilevel thread sweep must report a bit-identical assignment at every
 worker count, and — on machines with at least 4 cores, where the claim
 is physically testable — a >= 1.5x speedup at 4 workers over 1.
+
+Schema 7 adds the span profiler: `engine_counters` carries a `spans`
+record list, the `profile` section must attribute >= 95% of the observed
+20k-node multilevel run's wall time to phase self-time, the `memory`
+section reports peak RSS (null off Linux) and bytes/pin, and the
+metered-vs-unmetered overhead — now including span bookkeeping — must
+stay <= 2%.
 """
 
 import argparse
@@ -76,10 +83,18 @@ def check(path, schema_version):
         require(counters, name, int, "engine_counters.counters")
     assert counters["passes"] > 0, "a real bench run executes passes"
     require(doc["engine_counters"], "improve_time", dict, "engine_counters")
+    if schema_version >= 7:
+        require(doc["engine_counters"], "spans", list, "engine_counters")
 
     metering = require(doc, "metering", dict, ctx)
     for key in ["unmetered_seconds", "metered_seconds", "overhead_pct"]:
         require(metering, key, (int, float), "metering")
+    if schema_version >= 7:
+        # The span profiler rides on the metered path; the "zero overhead
+        # when disabled / cheap when enabled" claim stays enforced.
+        assert metering["overhead_pct"] <= 2.0, \
+            (f"metered-vs-unmetered overhead must stay <= 2%, got "
+             f"{metering['overhead_pct']}%")
 
     control = require(doc, "execution_control", dict, ctx)
     for key, types in [("budget_overhead_pct", (int, float)),
@@ -174,6 +189,45 @@ def check(path, schema_version):
                 (f"4-worker intra-run speedup must be >= 1.5x on a 4+-core "
                  f"machine, got {intra['speedup_4_workers']}x")
 
+    if schema_version >= 7:
+        profile = require(doc, "profile", dict, ctx)
+        for key, types in [("circuit", str),
+                           ("wall_seconds", (int, float)),
+                           ("attributed_self_seconds", (int, float)),
+                           ("self_coverage_pct", (int, float)),
+                           ("spans", list)]:
+            require(profile, key, types, "profile")
+        assert len(profile["spans"]) > 0, "profile must carry span records"
+        for row in profile["spans"]:
+            for key, types in [("kind", str), ("level", int),
+                               ("count", int), ("total_ns", int),
+                               ("self_ns", int)]:
+                require(row, key, types, "profile span row")
+            assert "parent" in row, "profile span row: missing key 'parent'"
+        kinds = {row["kind"] for row in profile["spans"]}
+        for kind in ["coarsen_level", "initial", "refine_level"]:
+            assert kind in kinds, \
+                f"profile of a multilevel run must record {kind!r} spans"
+        assert profile["self_coverage_pct"] >= 95.0, \
+            (f"phase self-times must attribute >= 95% of wall time, got "
+             f"{profile['self_coverage_pct']}%")
+
+        memory = require(doc, "memory", dict, ctx)
+        require(memory, "largest_circuit", str, "memory")
+        require(memory, "pins", int, "memory")
+        assert "peak_rss_bytes" in memory, "memory: missing key 'peak_rss_bytes'"
+        assert "bytes_per_pin" in memory, "memory: missing key 'bytes_per_pin'"
+        peak = memory["peak_rss_bytes"]
+        assert peak is None or isinstance(peak, int), \
+            "memory: peak_rss_bytes must be int or null (non-Linux)"
+        per_pin = memory["bytes_per_pin"]
+        assert per_pin is None or isinstance(per_pin, (int, float)), \
+            "memory: bytes_per_pin must be a number or null"
+        assert (peak is None) == (per_pin is None), \
+            "memory: bytes_per_pin must be present exactly when peak RSS is"
+        if peak is not None:
+            assert peak > 0, "memory: a real process has a nonzero peak RSS"
+
     if "large_run" in doc:
         large = require(doc, "large_run", dict, ctx)
         for key, types in [("circuit", str), ("nodes", int),
@@ -193,8 +247,8 @@ def check(path, schema_version):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("file", help="bench JSON artifact to validate")
-    parser.add_argument("--schema-version", type=int, default=6,
-                        help="expected schema_version (default 6)")
+    parser.add_argument("--schema-version", type=int, default=7,
+                        help="expected schema_version (default 7)")
     args = parser.parse_args()
     try:
         check(args.file, args.schema_version)

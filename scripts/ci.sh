@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, release build, tests, degradation
-# smoke, quality-regression gate, smoke bench.
+# smoke, quality-regression gate, observability smoke, smoke bench.
 #
 # Usage: scripts/ci.sh [--skip-bench]
 #
@@ -84,18 +84,42 @@ step "quality-regression gate (pinned circuits vs goldens/quality_gate.json)"
 timeout 300 ./target/release/quality "$smoke_dir/quality.json"
 python3 scripts/check_quality.py "$smoke_dir/quality.json" goldens/quality_gate.json
 
+step "observability smoke (span profile + fpart report)"
+# A profiled multilevel run must produce a loadable metrics document, a
+# Chrome trace array, and an `fpart report` rendering whose phase tree
+# names the multilevel phases — so the whole observability pipeline
+# (instrument -> export -> render) is exercised end to end, not just in
+# unit tests.
+timeout 120 ./target/release/fpart partition "$smoke_dir/large.fhg" \
+    --s-max 400 --t-max 120 --multilevel \
+    --metrics "$smoke_dir/profile.json" \
+    --trace-chrome "$smoke_dir/trace.chrome.json"
+report=$(timeout 60 ./target/release/fpart report \
+    --metrics "$smoke_dir/profile.json")
+for needle in "phase tree" "self-time coverage" "coarsen_level" \
+              "refine_level" "hot phases"; do
+    case "$report" in
+        *"$needle"*) ;;
+        *) echo "fpart report output lacks '$needle'" >&2; exit 1 ;;
+    esac
+done
+grep -q '"ph": "X"' "$smoke_dir/trace.chrome.json" \
+    || { echo "chrome trace has no complete events" >&2; exit 1; }
+
 if [ "$skip_bench" -eq 0 ]; then
-    step "smoke bench -> BENCH_pr6.json"
-    timeout 900 ./target/release/smoke BENCH_pr6.json
+    step "smoke bench -> BENCH_pr7.json"
+    timeout 900 ./target/release/smoke BENCH_pr7.json
     # The artifact must be valid JSON *and* match the documented schema
     # (required keys with the right types), its multilevel section must
     # hold the n-level performance claims (>= 2x over flat at equal or
     # better quality), its eco section must hold the incremental repair
-    # claims (>= 2x over from-scratch at comparable quality), and its
+    # claims (>= 2x over from-scratch at comparable quality), its
     # intra_run section must show a bit-identical thread sweep (plus a
-    # >= 1.5x 4-worker speedup on 4+-core machines), so a malformed or
+    # >= 1.5x 4-worker speedup on 4+-core machines), and its profile
+    # section must attribute >= 95% of the multilevel run's wall time to
+    # phase self-time with metering overhead <= 2%, so a malformed or
     # regressed bench fails CI rather than silently shipping.
-    python3 scripts/check_bench.py BENCH_pr6.json --schema-version 6
+    python3 scripts/check_bench.py BENCH_pr7.json --schema-version 7
 fi
 
 step "CI OK"

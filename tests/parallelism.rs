@@ -26,8 +26,8 @@ use fpart_core::refine::{refine_boundary_metered, RefineConfig};
 use fpart_core::verify::{verify_assignment, Violation};
 use fpart_core::{
     partition_multilevel, partition_multilevel_observed, repartition_eco, CancelToken, Completion,
-    Counter, EcoConfig, FaultPlan, FpartConfig, Metrics, MultilevelConfig, Observer,
-    PartitionState, RunBudget,
+    Counter, EcoConfig, EventSink, FaultPlan, FpartConfig, Heartbeat, Metrics, MultilevelConfig,
+    Observer, PartitionState, RunBudget, SpanKind, TraceEvent,
 };
 use fpart_device::DeviceConstraints;
 use fpart_hypergraph::gen::{clustered_circuit, window_circuit, ClusteredConfig, WindowConfig};
@@ -322,5 +322,97 @@ fn observation_does_not_change_parallel_results() {
         assert_eq!(plain.assignment, observed.assignment, "workers={workers}");
         assert_eq!(plain.cut, observed.cut);
         assert!(obs.metrics.get(Counter::PairJobs) > 0, "pair jobs must be metered");
+    }
+}
+
+/// The span profiler's deterministic-merge contract: a fully
+/// instrumented multilevel run produces the same span records (kinds,
+/// levels, parents, counts, stats, counter deltas — wall times are
+/// outside the contract and excluded from equality) at every worker
+/// count, and the whole registry compares equal via `Metrics`'
+/// span-aware `PartialEq`.
+#[test]
+fn span_profile_is_worker_count_invariant() {
+    let (graph, constraints) = busy_workload();
+    let config = FpartConfig::default();
+    let run = |workers: usize| {
+        let mut obs = Observer::new(Metrics::enabled(), None);
+        let outcome = partition_multilevel_observed(
+            &graph,
+            constraints,
+            &config,
+            &ml_config(workers),
+            &mut obs,
+        )
+        .expect("partitions");
+        (outcome.assignment, obs.metrics)
+    };
+    let (ref_assignment, ref_metrics) = run(1);
+    let kinds: Vec<SpanKind> = ref_metrics.spans().records().iter().map(|r| r.kind).collect();
+    for kind in
+        [SpanKind::CoarsenLevel, SpanKind::Initial, SpanKind::RefineLevel, SpanKind::PairJob]
+    {
+        assert!(kinds.contains(&kind), "expected a {} span, got {kinds:?}", kind.as_str());
+    }
+    for workers in [2usize, 4] {
+        let (assignment, metrics) = run(workers);
+        assert_eq!(assignment, ref_assignment, "workers={workers}");
+        // SpanStack equality covers kinds, levels, parents, counts,
+        // stats, and counter deltas; wall times are excluded (the
+        // improve-time histograms bucket wall clocks, so they are
+        // likewise compared counter-by-counter, not wholesale).
+        assert_eq!(
+            metrics.spans(),
+            ref_metrics.spans(),
+            "workers={workers}: span records must merge identically"
+        );
+        for counter in Counter::ALL {
+            assert_eq!(
+                metrics.get(counter),
+                ref_metrics.get(counter),
+                "workers={workers}: {}",
+                counter.name()
+            );
+        }
+    }
+}
+
+/// Counts heartbeat events without otherwise reacting to them.
+#[derive(Default)]
+struct ProgressCounter {
+    progress: usize,
+}
+
+impl EventSink for ProgressCounter {
+    fn record_event(&mut self, event: &TraceEvent) {
+        if matches!(event, TraceEvent::Progress { .. }) {
+            self.progress += 1;
+        }
+    }
+}
+
+/// Live progress streaming must not steer the search either: with an
+/// unthrottled heartbeat attached, the run emits progress events at 1
+/// and 4 workers and still returns the plain run's assignment.
+#[test]
+fn progress_streaming_does_not_change_parallel_results() {
+    let (graph, constraints) = busy_workload();
+    let config = FpartConfig::default();
+    for workers in [1usize, 4] {
+        let plain = partition_multilevel(&graph, constraints, &config, &ml_config(workers))
+            .expect("partitions");
+        let mut sink = ProgressCounter::default();
+        let mut obs = Observer::new(Metrics::enabled(), Some(&mut sink));
+        obs.heartbeat = Heartbeat::every(std::time::Duration::ZERO);
+        let observed = partition_multilevel_observed(
+            &graph,
+            constraints,
+            &config,
+            &ml_config(workers),
+            &mut obs,
+        )
+        .expect("partitions");
+        assert_eq!(plain.assignment, observed.assignment, "workers={workers}");
+        assert!(sink.progress > 0, "workers={workers}: an unthrottled heartbeat must tick");
     }
 }
