@@ -1,8 +1,8 @@
 //! Smoke performance benchmark for the incremental-cost / zero-allocation
-//! / parallel-search work, emitting machine-readable `BENCH_pr7.json`
+//! / parallel-search work, emitting machine-readable `BENCH_pr8.json`
 //! (schema-versioned; see `fpart_core::obs::SCHEMA_VERSION`).
 //!
-//! Eleven measurements:
+//! Twelve measurements:
 //!
 //! 1. **Pass throughput** — retained moves per second of `improve(...)`
 //!    on an MCNC-scale circuit (two-block and 8-way), exercising the
@@ -56,8 +56,16 @@
 //! 11. **Memory** — peak RSS of the whole bench process (`VmHWM` from
 //!     `/proc/self/status`; absent off Linux) and bytes per pin of the
 //!     largest circuit held, keeping footprint measurable over time.
+//! 12. **Durability** — the checkpointed multilevel restart search
+//!     against the identical search without a writer on the 20k-node
+//!     Rent circuit (interleaved reps, median of per-pair ratios — the
+//!     same estimator as measurement 4), so the "checkpointing costs
+//!     <= 2%" claim stays enforced. The final snapshot is then torn
+//!     down to a one-restart prefix — the on-disk shape a mid-run
+//!     SIGKILL leaves — and resumed; `resume_bit_identical` asserts
+//!     the merged result matches the uninterrupted baseline exactly.
 //!
-//! Output path: first CLI argument, default `BENCH_pr7.json`.
+//! Output path: first CLI argument, default `BENCH_pr8.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -74,7 +82,7 @@ use fpart_hypergraph::gen::{find_profile, rent_circuit, synthesize_mcnc, RentCon
 use fpart_hypergraph::NodeId;
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr7.json".to_owned());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr8.json".to_owned());
     let graph = synthesize_mcnc(find_profile("s9234").expect("profile"), Technology::Xc3000);
     let constraints = Device::XC3020.constraints(0.9);
     let config = FpartConfig::default();
@@ -609,6 +617,117 @@ fn main() {
         big_run.cut,
         big_run.feasible,
         big_run.completion
+    );
+
+    // 12. Durability: the checkpointed multilevel restart search vs the
+    //     identical search without a writer, on the 20k-node Rent
+    //     circuit. The writer runs on its own thread and serializes a
+    //     snapshot at most once per interval, so the search-loop cost is
+    //     a channel send per completed restart — the estimator is the
+    //     same interleaved median-of-pair-ratios as measurement 4. The
+    //     final snapshot is then torn to a one-restart prefix (the shape
+    //     a mid-run SIGKILL leaves behind) and resumed, asserting the
+    //     merged result is bit-identical to the uninterrupted baseline.
+    let ckpt_path =
+        std::env::temp_dir().join(format!("fpart-smoke-durability-{}.ckpt", std::process::id()));
+    let durable_restarts = 3;
+    let fp = fpart_core::fingerprint_run(
+        &rent,
+        rent_constraints,
+        &config,
+        Some(&ml_config),
+        durable_restarts,
+    );
+    let run_durable = |writer: Option<&fpart_core::CheckpointWriter>,
+                       resume: Option<&fpart_core::Checkpoint>| {
+        fpart_core::partition_restarts_durable(
+            &rent,
+            rent_constraints,
+            &config,
+            Some(&ml_config),
+            durable_restarts,
+            1,
+            fp,
+            resume,
+            writer,
+        )
+        .expect("durable search succeeds")
+    };
+    // The CLI's default throttle (1s): on a single-core machine every
+    // serialized write competes with the search for the one CPU, so the
+    // interval is part of the claim being measured.
+    let spawn_writer = || {
+        fpart_core::CheckpointWriter::spawn(
+            ckpt_path.clone(),
+            std::time::Duration::from_millis(1000),
+        )
+    };
+    // Warm both sides before timing anything.
+    let durable_baseline = run_durable(None, None);
+    let writer = spawn_writer();
+    let warm = run_durable(Some(&writer), None);
+    let mut checkpoint_writes = writer.finish().expect("writer flushes");
+    assert_eq!(
+        warm.outcome.assignment, durable_baseline.outcome.assignment,
+        "checkpointing changed the result"
+    );
+
+    let durability_reps = 7;
+    let mut durable_base_secs = f64::INFINITY;
+    let mut durable_ckpt_secs = f64::INFINITY;
+    let mut durable_ratios = Vec::with_capacity(durability_reps);
+    for _ in 0..durability_reps {
+        let start = Instant::now();
+        let run = run_durable(None, None);
+        let u = start.elapsed().as_secs_f64();
+        durable_base_secs = durable_base_secs.min(u);
+        assert_eq!(
+            run.outcome.assignment, durable_baseline.outcome.assignment,
+            "baseline rep diverged"
+        );
+
+        let writer = spawn_writer();
+        let start = Instant::now();
+        let run = run_durable(Some(&writer), None);
+        let c = start.elapsed().as_secs_f64();
+        checkpoint_writes = checkpoint_writes.max(writer.finish().expect("writer flushes"));
+        durable_ckpt_secs = durable_ckpt_secs.min(c);
+        assert_eq!(
+            run.outcome.assignment, durable_baseline.outcome.assignment,
+            "checkpointed rep diverged"
+        );
+        durable_ratios.push(c / u.max(1e-12));
+    }
+    durable_ratios.sort_by(f64::total_cmp);
+    let durability_overhead_pct = (durable_ratios[durable_ratios.len() / 2] - 1.0) * 100.0;
+
+    // Tear the final snapshot down to a one-restart prefix and resume.
+    let full = fpart_core::read_checkpoint(&ckpt_path).expect("final checkpoint parses");
+    assert_eq!(full.completed.len(), durable_restarts, "final snapshot covers every restart");
+    let torn =
+        fpart_core::Checkpoint { completed: full.completed.into_iter().take(1).collect(), ..full };
+    fpart_core::write_checkpoint(&ckpt_path, &torn).expect("torn prefix writes");
+    let saved = fpart_core::read_checkpoint(&ckpt_path).expect("torn prefix parses");
+    let resumed = run_durable(None, Some(&saved));
+    let resume_bit_identical = resumed.outcome.assignment == durable_baseline.outcome.assignment
+        && resumed.outcome.cut == durable_baseline.outcome.cut
+        && resumed.outcome.device_count == durable_baseline.outcome.device_count
+        && resumed.totals.get(Counter::RestartsResumed) == 1;
+    let _ = std::fs::remove_file(&ckpt_path);
+    println!(
+        "durability: baseline {durable_base_secs:.3}s, checkpointed {durable_ckpt_secs:.3}s \
+         ({checkpoint_writes} snapshot(s)) => overhead {durability_overhead_pct:+.1}%, \
+         resume_bit_identical={resume_bit_identical}"
+    );
+    let _ = writeln!(
+        json,
+        "  \"durability\": {{\"circuit\": \"rent20k\", \"nodes\": {}, \
+         \"restarts\": {durable_restarts}, \"baseline_seconds\": {durable_base_secs:.4}, \
+         \"checkpointed_seconds\": {durable_ckpt_secs:.4}, \
+         \"overhead_pct\": {durability_overhead_pct:.1}, \
+         \"checkpoint_writes\": {checkpoint_writes}, \
+         \"resume_bit_identical\": {resume_bit_identical}}},",
+        rent.node_count()
     );
 
     // 11. Memory: the process peak RSS (high-water mark, so it covers

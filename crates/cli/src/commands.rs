@@ -15,7 +15,7 @@ use fpart_hypergraph::gen::{
     ClusteredConfig, LayeredConfig, RentConfig, Technology, WindowConfig,
 };
 use fpart_hypergraph::stats::{rent_exponent, CircuitStats};
-use fpart_hypergraph::Hypergraph;
+use fpart_hypergraph::{Hypergraph, ParseLimits};
 
 use crate::args::{Args, Spec};
 use crate::error::CliError;
@@ -40,6 +40,15 @@ pub fn partition(raw: &[String]) -> Result<(), CliError> {
             "trace-chrome",
             "coarsen-floor",
             "write-assignment",
+            "checkpoint",
+            "checkpoint-interval-ms",
+            "resume",
+            "max-nodes",
+            "max-nets",
+            "max-pins",
+            "max-name-len",
+            "max-line-len",
+            "max-memory-mb",
         ],
         switches: &["trace", "multilevel", "progress"],
     };
@@ -47,7 +56,8 @@ pub fn partition(raw: &[String]) -> Result<(), CliError> {
     let input = args
         .positional(0)
         .ok_or_else(|| CliError::Usage("partition needs a netlist file".into()))?;
-    let graph = netlist_file::read(Path::new(input)).map_err(CliError::Input)?;
+    let limits = resolve_limits(&args).map_err(CliError::Usage)?;
+    let graph = netlist_file::read_limited(Path::new(input), &limits).map_err(CliError::Input)?;
 
     let constraints = resolve_constraints(&args).map_err(CliError::Usage)?;
     let method = args.option("method").unwrap_or("fpart");
@@ -124,6 +134,29 @@ pub fn partition(raw: &[String]) -> Result<(), CliError> {
     if args.option("coarsen-floor").is_some() && !multilevel {
         return Err(CliError::Usage("--coarsen-floor needs --multilevel".into()));
     }
+    if args.option("max-memory-mb").is_some() && !multilevel {
+        return Err(CliError::Usage(
+            "--max-memory-mb caps the multilevel hierarchy; it needs --multilevel".into(),
+        ));
+    }
+    let durable = args.option("checkpoint").is_some() || args.option("resume").is_some();
+    if durable && !engine_method {
+        return Err(CliError::Usage(
+            "--checkpoint/--resume only apply to --method fpart/multilevel".into(),
+        ));
+    }
+    if durable
+        && (args.switch("trace") || args.option("trace-json").is_some() || args.switch("progress"))
+    {
+        return Err(CliError::Usage(
+            "--checkpoint/--resume run the restart search; they conflict with the \
+             per-run --trace/--trace-json/--progress sinks"
+                .into(),
+        ));
+    }
+    if args.option("checkpoint-interval-ms").is_some() && args.option("checkpoint").is_none() {
+        return Err(CliError::Usage("--checkpoint-interval-ms needs --checkpoint".into()));
+    }
     let m = lower_bound(&graph, constraints);
     eprintln!(
         "{}: {} cells, {} nets, {} terminals; device {constraints}; lower bound M = {m}",
@@ -133,10 +166,11 @@ pub fn partition(raw: &[String]) -> Result<(), CliError> {
         graph.terminal_count()
     );
 
-    // Budget: SIGINT always cancels cooperatively; deadline and pass
-    // caps only when requested. The handler lets the run stop at the
-    // next pass/peel boundary and still print its best result.
-    crate::install_sigint_handler();
+    // Budget: SIGINT/SIGTERM always cancel cooperatively; deadline and
+    // pass caps only when requested. The handler lets the run stop at
+    // the next pass/peel boundary and still flush its best result (and
+    // any final checkpoint).
+    crate::install_signal_handlers();
     let budget = RunBudget {
         deadline: deadline_ms.map(std::time::Duration::from_millis),
         max_passes,
@@ -205,19 +239,24 @@ pub fn partition(raw: &[String]) -> Result<(), CliError> {
     }
 
     if let Some(output) = args.option("output") {
-        let file = std::fs::File::create(output)
+        let mut file = fpart_core::AtomicFile::create(Path::new(output))
             .map_err(|e| CliError::Runtime(format!("cannot create {output}: {e}")))?;
-        fpart_core::write_assignment(file, &graph, &assignment)
+        fpart_core::write_assignment(&mut file, &graph, &assignment)
             .map_err(|e| CliError::Runtime(format!("cannot write {output}: {e}")))?;
+        file.commit().map_err(|e| CliError::Runtime(format!("cannot write {output}: {e}")))?;
         eprintln!("assignment written to {output}");
     }
     if let Some(path) = args.option("write-assignment") {
         write_versioned_assignment(path, &graph, &assignment, device_count)?;
     }
-    if completion == Completion::Cancelled {
+    if completion == Completion::Cancelled || crate::interrupted() {
         // Results (and any --output/--metrics files) are complete; the
-        // distinct exit code tells scripts the run was cut short.
-        return Err(CliError::Interrupted);
+        // distinct exit code (130 SIGINT / 143 SIGTERM) tells scripts
+        // the run was cut short. The flag check matters for multi-run
+        // searches: the winning restart may have finished before the
+        // signal landed, so its own completion reads `complete` even
+        // though later restarts were cancelled.
+        return Err(crate::signal_exit_error());
     }
     Ok(())
 }
@@ -258,11 +297,19 @@ fn run_fpart(
     // the search's completion status, and restarts lost to panics.
     let mut aggregate: Option<(Metrics, Vec<Metrics>, Completion, Vec<FailedRestart>)> = None;
 
-    let outcome = if want_events {
+    let durable = args.option("checkpoint").is_some() || args.option("resume").is_some();
+    let outcome = if durable {
+        let report = run_durable(graph, constraints, &config, None, args, restarts, threads)?;
+        let outcome = report.outcome;
+        if want_metrics {
+            aggregate = Some((report.totals, report.per_restart, report.completion, report.failed));
+        }
+        outcome
+    } else if want_events {
         // Single observed run with the requested event sinks fanned out.
         let mut trace = Trace::enabled();
         let mut jsonl = match trace_json_path {
-            Some(path) => Some(JsonlSink::new(event_writer(path)?)),
+            Some(path) => Some(JsonlSink::new(EventOut::open(path)?)),
             None => None,
         };
         let mut progress_sink = progress.then_some(ProgressPrinter);
@@ -291,7 +338,7 @@ fn run_fpart(
             let path = trace_json_path.expect("jsonl implies a path");
             let lines = sink.lines();
             sink.into_inner()
-                .flush()
+                .finish()
                 .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
             eprintln!("trace: {lines} events written to {}", dest_name(path));
         }
@@ -343,6 +390,74 @@ fn run_fpart(
     Ok(outcome)
 }
 
+/// Runs the restart search durably (`--checkpoint` / `--resume`).
+///
+/// The run is fingerprinted (netlist structure, device, configuration,
+/// restart count) so a resume snapshot from a *different* run is
+/// rejected up front. `--resume` restores completed restarts from the
+/// checkpoint and runs only the missing indices; `--checkpoint` streams
+/// snapshots to a dedicated writer thread (atomic temp-file + rename,
+/// throttled by `--checkpoint-interval-ms`). The merged result is
+/// bit-identical to an uninterrupted run at any thread count.
+fn run_durable(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+    config: &FpartConfig,
+    ml: Option<&fpart_core::MultilevelConfig>,
+    args: &Args,
+    restarts: usize,
+    threads: usize,
+) -> Result<fpart_core::RestartsReport, CliError> {
+    let fingerprint = fpart_core::fingerprint_run(graph, constraints, config, ml, restarts);
+    let resume = match args.option("resume") {
+        Some(path) => {
+            let checkpoint = fpart_core::read_checkpoint(Path::new(path))
+                .map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+            checkpoint.verify(fingerprint).map_err(|e| CliError::Input(format!("{path}: {e}")))?;
+            eprintln!(
+                "resume: {} of {restarts} restarts restored from {path}",
+                checkpoint.completed.len()
+            );
+            Some(checkpoint)
+        }
+        None => None,
+    };
+    let interval: u64 =
+        args.option_parsed("checkpoint-interval-ms", 1000).map_err(CliError::Usage)?;
+    let writer = args.option("checkpoint").map(|path| {
+        fpart_core::CheckpointWriter::spawn(
+            std::path::PathBuf::from(path),
+            std::time::Duration::from_millis(interval),
+        )
+    });
+    let mut report = fpart_core::partition_restarts_durable(
+        graph,
+        constraints,
+        config,
+        ml,
+        restarts,
+        threads,
+        fingerprint,
+        resume.as_ref(),
+        writer.as_ref(),
+    )
+    .map_err(|e| CliError::Runtime(e.to_string()))?;
+    if let Some(writer) = writer {
+        let path = writer.path().display().to_string();
+        let writes = writer
+            .finish()
+            .map_err(|e| CliError::Runtime(format!("cannot write checkpoint {path}: {e}")))?;
+        // The writer thread sits outside the restart fan-out; book its
+        // writes on restart 0 so totals stay the per-restart sum.
+        report.totals.add(Counter::CheckpointsWritten, writes);
+        if let Some(first) = report.per_restart.first_mut() {
+            first.add(Counter::CheckpointsWritten, writes);
+        }
+        eprintln!("checkpoint: {writes} snapshots written to {path}");
+    }
+    Ok(report)
+}
+
 /// Heartbeat throttle for `--progress`: at most one line per interval.
 const PROGRESS_INTERVAL: std::time::Duration = std::time::Duration::from_millis(200);
 
@@ -355,15 +470,50 @@ fn dest_name(path: &str) -> &str {
     }
 }
 
-/// Opens the writer behind an event-stream path: stdout for `-`, a
-/// buffered file otherwise.
-fn event_writer(path: &str) -> Result<Box<dyn std::io::Write>, CliError> {
-    if path == "-" {
-        return Ok(Box::new(std::io::stdout()));
+/// Writer behind an event-stream path: stdout for `-`, an atomic temp
+/// file otherwise — the destination appears only on [`EventOut::finish`],
+/// so a crash mid-stream never leaves a torn trace file.
+enum EventOut {
+    /// The `-` convention: stream straight to stdout.
+    Stdout(std::io::Stdout),
+    /// A real path: temp file next to it, renamed into place on finish.
+    File(fpart_core::AtomicFile),
+}
+
+impl EventOut {
+    fn open(path: &str) -> Result<EventOut, CliError> {
+        if path == "-" {
+            return Ok(EventOut::Stdout(std::io::stdout()));
+        }
+        fpart_core::AtomicFile::create(Path::new(path))
+            .map(EventOut::File)
+            .map_err(|e| CliError::Runtime(format!("cannot create {path}: {e}")))
     }
-    let file = std::fs::File::create(path)
-        .map_err(|e| CliError::Runtime(format!("cannot create {path}: {e}")))?;
-    Ok(Box::new(std::io::BufWriter::new(file)))
+
+    /// Completes the stream: flush for stdout, atomic commit for files.
+    fn finish(mut self) -> std::io::Result<()> {
+        self.flush()?;
+        match self {
+            EventOut::Stdout(_) => Ok(()),
+            EventOut::File(file) => file.commit(),
+        }
+    }
+}
+
+impl std::io::Write for EventOut {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            EventOut::Stdout(out) => out.write(buf),
+            EventOut::File(file) => file.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            EventOut::Stdout(out) => out.flush(),
+            EventOut::File(file) => file.flush(),
+        }
+    }
 }
 
 /// Writes the merged span profile as a Chrome trace-event array
@@ -376,7 +526,7 @@ fn write_chrome_trace(path: &str, totals: &Metrics) -> Result<(), CliError> {
             .write_all(json.as_bytes())
             .map_err(|e| CliError::Runtime(format!("cannot write stdout: {e}")))?;
     } else {
-        std::fs::write(path, json)
+        fpart_core::write_atomic(Path::new(path), json.as_bytes())
             .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
     }
     eprintln!("chrome trace: {events} span events written to {}", dest_name(path));
@@ -442,6 +592,17 @@ fn run_multilevel(
         return Err(CliError::Usage("--coarsen-floor must be at least 2".into()));
     }
     let config = FpartConfig { budget, ..FpartConfig::default() };
+    // `--max-memory-mb` caps the estimated bytes held by the coarsening
+    // hierarchy: coarsening stops early and the run completes
+    // `degraded` instead of exhausting memory.
+    let max_memory_mb: Option<u64> = args
+        .option("max-memory-mb")
+        .map(|v| v.parse().map_err(|_| format!("option --max-memory-mb: cannot parse `{v}`")))
+        .transpose()
+        .map_err(CliError::Usage)?;
+    let memory = max_memory_mb.map_or_else(fpart_core::MemoryBudget::default, |mb| {
+        fpart_core::MemoryBudget::capped(mb.saturating_mul(1024 * 1024))
+    });
     // `--threads` is the total worker budget. The restart wrappers split
     // it themselves; the single-run path below hands the whole budget to
     // the V-cycle's intra-run stages (the field is overridden by the
@@ -449,6 +610,7 @@ fn run_multilevel(
     let ml = fpart_core::MultilevelConfig {
         coarsen_floor,
         threads,
+        memory,
         ..fpart_core::MultilevelConfig::default()
     };
     let metrics_path = args.option("metrics");
@@ -461,7 +623,15 @@ fn run_multilevel(
     // in the metrics registry).
     let mut aggregate: Option<(Metrics, Vec<Metrics>, Completion, Vec<FailedRestart>)> = None;
 
-    let outcome = if progress {
+    let durable = args.option("checkpoint").is_some() || args.option("resume").is_some();
+    let outcome = if durable {
+        let report = run_durable(graph, constraints, &config, Some(&ml), args, restarts, threads)?;
+        let outcome = report.outcome;
+        if want_metrics {
+            aggregate = Some((report.totals, report.per_restart, report.completion, report.failed));
+        }
+        outcome
+    } else if progress {
         // Single observed run so heartbeat events have a live sink.
         let mut sink = ProgressPrinter;
         // Heartbeats report the pass counter, so --progress needs a
@@ -580,7 +750,8 @@ fn write_metrics_file(
     if path == "-" {
         std::io::stdout().write_all(out.as_bytes()).map_err(|e| format!("cannot write stdout: {e}"))
     } else {
-        std::fs::write(path, out).map_err(|e| format!("cannot write {path}: {e}"))
+        fpart_core::write_atomic(Path::new(path), out.as_bytes())
+            .map_err(|e| format!("cannot write {path}: {e}"))
     }
 }
 
@@ -602,6 +773,21 @@ fn json_string(text: &str) -> String {
     }
     out.push('"');
     out
+}
+
+/// Resolves the `--max-*` input limits: [`ParseLimits::default`]'s sane
+/// caps, individually overridable. Every reader (netlist formats and
+/// the eco edit script) enforces them with typed line/column errors
+/// before allocating anything proportional to a claimed size.
+fn resolve_limits(args: &Args) -> Result<ParseLimits, String> {
+    let defaults = ParseLimits::default();
+    Ok(ParseLimits {
+        max_nodes: args.option_parsed("max-nodes", defaults.max_nodes)?,
+        max_nets: args.option_parsed("max-nets", defaults.max_nets)?,
+        max_pins: args.option_parsed("max-pins", defaults.max_pins)?,
+        max_name_len: args.option_parsed("max-name-len", defaults.max_name_len)?,
+        max_line_len: args.option_parsed("max-line-len", defaults.max_line_len)?,
+    })
 }
 
 fn resolve_constraints(args: &Args) -> Result<DeviceConstraints, String> {
@@ -714,10 +900,11 @@ fn write_versioned_assignment(
     assignment: &[u32],
     blocks: usize,
 ) -> Result<(), CliError> {
-    let file = std::fs::File::create(path)
+    let mut file = fpart_core::AtomicFile::create(Path::new(path))
         .map_err(|e| CliError::Runtime(format!("cannot create {path}: {e}")))?;
-    fpart_core::write_assignment_versioned(file, graph, assignment, blocks)
+    fpart_core::write_assignment_versioned(&mut file, graph, assignment, blocks)
         .map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
+    file.commit().map_err(|e| CliError::Runtime(format!("cannot write {path}: {e}")))?;
     eprintln!("versioned assignment written to {path}");
     Ok(())
 }
@@ -747,13 +934,19 @@ pub fn eco(raw: &[String]) -> Result<(), CliError> {
             "churn-threshold",
             "output",
             "write-assignment",
+            "max-nodes",
+            "max-nets",
+            "max-pins",
+            "max-name-len",
+            "max-line-len",
         ],
         switches: &[],
     };
     let args = Args::parse(raw, spec).map_err(CliError::Usage)?;
     let input =
         args.positional(0).ok_or_else(|| CliError::Usage("eco needs a netlist file".into()))?;
-    let graph = netlist_file::read(Path::new(input)).map_err(CliError::Input)?;
+    let limits = resolve_limits(&args).map_err(CliError::Usage)?;
+    let graph = netlist_file::read_limited(Path::new(input), &limits).map_err(CliError::Input)?;
     let constraints = resolve_constraints(&args).map_err(CliError::Usage)?;
     let assignment_file = args
         .option("assignment")
@@ -794,7 +987,7 @@ pub fn eco(raw: &[String]) -> Result<(), CliError> {
         .map_err(|e| CliError::Input(format!("{assignment_file}: {e}")))?;
     let edits = std::fs::File::open(edits_file)
         .map_err(|e| CliError::Input(format!("cannot read {edits_file}: {e}")))?;
-    let script = fpart_hypergraph::EditScript::read(edits)
+    let script = fpart_hypergraph::EditScript::read_limited(edits, &limits)
         .map_err(|e| CliError::Input(format!("{edits_file}: {e}")))?;
     let applied = fpart_hypergraph::apply_script(&graph, &script)
         .map_err(|e| CliError::Input(format!("{edits_file}: {e}")))?;
@@ -807,7 +1000,7 @@ pub fn eco(raw: &[String]) -> Result<(), CliError> {
         applied.removed_nodes
     );
 
-    crate::install_sigint_handler();
+    crate::install_signal_handlers();
     let budget = RunBudget {
         deadline: deadline_ms.map(std::time::Duration::from_millis),
         max_passes,
@@ -898,10 +1091,11 @@ pub fn eco(raw: &[String]) -> Result<(), CliError> {
     print_block_summary(&applied.graph, &outcome.assignment, outcome.device_count, constraints);
 
     if let Some(output) = args.option("output") {
-        let file = std::fs::File::create(output)
+        let mut file = fpart_core::AtomicFile::create(Path::new(output))
             .map_err(|e| CliError::Runtime(format!("cannot create {output}: {e}")))?;
-        fpart_core::write_assignment(file, &applied.graph, &outcome.assignment)
+        fpart_core::write_assignment(&mut file, &applied.graph, &outcome.assignment)
             .map_err(|e| CliError::Runtime(format!("cannot write {output}: {e}")))?;
+        file.commit().map_err(|e| CliError::Runtime(format!("cannot write {output}: {e}")))?;
         eprintln!("assignment written to {output}");
     }
     if let Some(path) = args.option("write-assignment") {
@@ -912,8 +1106,8 @@ pub fn eco(raw: &[String]) -> Result<(), CliError> {
             outcome.device_count,
         )?;
     }
-    if outcome.completion == Completion::Cancelled {
-        return Err(CliError::Interrupted);
+    if outcome.completion == Completion::Cancelled || crate::interrupted() {
+        return Err(crate::signal_exit_error());
     }
     Ok(())
 }

@@ -18,6 +18,9 @@ pub enum CliError {
     /// SIGINT arrived and the best-so-far result was printed — exit 130
     /// (the conventional `128 + SIGINT` code).
     Interrupted,
+    /// SIGTERM arrived; outputs and any final checkpoint were flushed —
+    /// exit 143 (the conventional `128 + SIGTERM` code).
+    Terminated,
 }
 
 impl CliError {
@@ -39,6 +42,10 @@ impl CliError {
             CliError::Interrupted => {
                 eprintln!("interrupted: printed the best result found so far");
                 ExitCode::from(130)
+            }
+            CliError::Terminated => {
+                eprintln!("terminated: flushed outputs and the best result found so far");
+                ExitCode::from(143)
             }
         }
     }

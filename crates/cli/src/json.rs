@@ -297,8 +297,8 @@ mod tests {
 
     #[test]
     fn round_trips_metrics_shapes() {
-        let doc = Json::parse(r#"{"schema_version": 7, "totals": {"spans": []}}"#).unwrap();
-        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(7));
+        let doc = Json::parse(r#"{"schema_version": 8, "totals": {"spans": []}}"#).unwrap();
+        assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(8));
         assert_eq!(doc.get("totals").unwrap().get("spans").unwrap().as_array(), Some(&[][..]));
     }
 }

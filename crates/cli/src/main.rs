@@ -20,35 +20,62 @@ mod netlist_file;
 mod report;
 
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
 
 use error::CliError;
 
-/// Process-wide interrupt flag, set by the SIGINT handler and polled by
-/// long-running commands through a `fpart_core::CancelToken`.
+/// Process-wide interrupt flag, set by the SIGINT/SIGTERM handler and
+/// polled by long-running commands through a `fpart_core::CancelToken`.
 pub(crate) static INTERRUPTED: AtomicBool = AtomicBool::new(false);
 
-/// Installs a SIGINT handler that only sets [`INTERRUPTED`]: the
-/// partitioner then stops at the next pass/peel boundary and the CLI
-/// prints the best-so-far result and exits 130 instead of dying
-/// mid-write. Uses the raw C `signal` API to stay dependency-free.
+/// The signal number that set [`INTERRUPTED`] (0 when none arrived):
+/// distinguishes exit 130 (SIGINT) from exit 143 (SIGTERM).
+pub(crate) static LAST_SIGNAL: AtomicI32 = AtomicI32::new(0);
+
+/// Installs SIGINT and SIGTERM handlers that only set [`INTERRUPTED`]
+/// (recording which signal in [`LAST_SIGNAL`]): the partitioner then
+/// stops at the next pass/peel boundary and the CLI flushes its outputs
+/// — including a final checkpoint when `--checkpoint` is active — and
+/// exits 130/143 instead of dying mid-write. Uses the raw C `signal`
+/// API to stay dependency-free.
 #[cfg(unix)]
-pub(crate) fn install_sigint_handler() {
-    extern "C" fn on_sigint(_signum: i32) {
+pub(crate) fn install_signal_handlers() {
+    extern "C" fn on_signal(signum: i32) {
+        LAST_SIGNAL.store(signum, Ordering::SeqCst);
         INTERRUPTED.store(true, Ordering::SeqCst);
     }
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
     unsafe {
-        signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
     }
 }
 
 /// Non-Unix platforms: no handler; `--deadline-ms` still works.
 #[cfg(not(unix))]
-pub(crate) fn install_sigint_handler() {}
+pub(crate) fn install_signal_handlers() {}
+
+/// Whether a SIGINT/SIGTERM arrived at any point during this run. Even
+/// when the best restart finished before the signal (so the winning
+/// outcome's completion reads `complete`), the process must still exit
+/// 130/143 so scripts can tell the search was cut short.
+pub(crate) fn interrupted() -> bool {
+    INTERRUPTED.load(Ordering::SeqCst)
+}
+
+/// The error a cancelled run maps to: exit 143 when SIGTERM caused the
+/// cancellation, exit 130 otherwise (SIGINT).
+pub(crate) fn signal_exit_error() -> CliError {
+    if LAST_SIGNAL.load(Ordering::SeqCst) == 15 {
+        CliError::Terminated
+    } else {
+        CliError::Interrupted
+    }
+}
 
 const USAGE: &str = "\
 fpart — multi-way FPGA netlist partitioning (FPART, DATE 1999)
@@ -103,6 +130,31 @@ PARTITION OPTIONS:
                       (`#%fpart-assignment v1 blocks <k>` header; the
                       format `fpart eco --assignment` expects)
 
+DURABILITY OPTIONS (partition, --method fpart/multilevel):
+  --checkpoint <FILE> maintain a crash-safe snapshot of completed
+                      restarts (written atomically on a dedicated
+                      thread; a SIGKILL never leaves a torn file)
+  --checkpoint-interval-ms <N>
+                      throttle checkpoint writes to one per interval
+                      (default 1000; the final state always flushes)
+  --resume <FILE>     restore completed restarts from a checkpoint and
+                      run only the missing ones; the final result is
+                      bit-identical to an uninterrupted run (the file
+                      must match this run's netlist/device/config
+                      fingerprint and schema version)
+
+INPUT LIMIT OPTIONS (all netlist/edit readers; defaults in parentheses):
+  --max-nodes <N>     node records (10000000)
+  --max-nets <N>      net records (10000000)
+  --max-pins <N>      total pins (200000000)
+  --max-name-len <N>  name length in bytes (1024)
+  --max-line-len <N>  line length in bytes (1048576)
+                      violations are typed errors with line and column,
+                      checked before any proportional allocation
+  --max-memory-mb <N> estimated-byte cap for the multilevel hierarchy;
+                      coarsening stops early and the run completes
+                      `degraded` instead of exhausting memory
+
 ECO OPTIONS:
   --assignment <FILE> previous assignment of the *pre-edit* netlist
                       (plain or versioned format)
@@ -132,6 +184,7 @@ EXIT CODES:
   1    runtime failure (no feasible partition, verification failed, ...)
   2    usage or input errors (bad flags, malformed netlists)
   130  interrupted by SIGINT after printing the best-so-far result
+  143  terminated by SIGTERM after flushing outputs and any checkpoint
 ";
 
 fn main() -> ExitCode {

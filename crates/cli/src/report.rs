@@ -297,7 +297,7 @@ mod tests {
 
     /// A pinned metrics document exercising nesting, leveled kinds, the
     /// pair-job coverage exclusion, and the hot-phase table.
-    const FIXTURE: &str = r#"{"schema_version": 7, "restarts": 1, "threads": 2,
+    const FIXTURE: &str = r#"{"schema_version": 8, "restarts": 1, "threads": 2,
         "elapsed_ms": 100, "completion": "complete",
         "quality": {"device_count": 3, "lower_bound": 3, "feasible": true, "cut": 17},
         "totals": {"spans": [
@@ -354,7 +354,7 @@ hot phases (top 3 by self time):
 
     #[test]
     fn missing_spans_degrade_gracefully() {
-        let doc = Json::parse(r#"{"schema_version": 7, "totals": {"spans": []}}"#).unwrap();
+        let doc = Json::parse(r#"{"schema_version": 8, "totals": {"spans": []}}"#).unwrap();
         let text = render(&doc, 5);
         assert!(text.contains("no span records"), "{text}");
     }
@@ -364,7 +364,7 @@ hot phases (top 3 by self time):
         // Hostile document: a <-> b parent cycle must not recurse
         // forever; both rows still appear (one as detached or nested).
         let doc = Json::parse(
-            r#"{"schema_version": 7, "elapsed_ms": 10, "totals": {"spans": [
+            r#"{"schema_version": 8, "elapsed_ms": 10, "totals": {"spans": [
                 {"kind": "a", "level": 0, "parent": "b", "count": 1,
                  "total_ns": 1000000, "self_ns": 1000000},
                 {"kind": "b", "level": 0, "parent": "a", "count": 1,

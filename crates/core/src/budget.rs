@@ -272,6 +272,36 @@ impl FaultPlan {
     }
 }
 
+/// Declarative cap on estimated memory used by hierarchy construction.
+///
+/// The multilevel flow's dominant allocation is the coarsening hierarchy:
+/// every level stores a full coarse hypergraph plus projection maps. A
+/// `MemoryBudget` bounds the *estimated* bytes of that hierarchy
+/// ([`fpart_hypergraph::Hypergraph::approx_bytes`] per level); when the
+/// next level would exceed the cap, coarsening simply stops at the
+/// current depth and the run continues on a shallower hierarchy,
+/// reporting [`Completion::Degraded`] — graceful degradation instead of
+/// an OOM kill. The default (`None`) costs nothing and changes nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryBudget {
+    /// Estimated-byte cap for hierarchy construction; `None` = unlimited.
+    pub max_bytes: Option<u64>,
+}
+
+impl MemoryBudget {
+    /// A budget capped at `max_bytes` estimated bytes.
+    #[must_use]
+    pub fn capped(max_bytes: u64) -> MemoryBudget {
+        MemoryBudget { max_bytes: Some(max_bytes) }
+    }
+
+    /// Whether no cap is configured.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        self.max_bytes.is_none()
+    }
+}
+
 /// Which limit stopped a run first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum StopKind {

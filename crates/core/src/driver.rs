@@ -358,25 +358,38 @@ pub fn partition_restarts_observed(
     threads: usize,
 ) -> Result<RestartsReport, PartitionError> {
     search_restarts_observed(restarts, threads, &|i| {
-        let cfg = restart_config(config, i);
-        let mut obs = Observer::new(Metrics::enabled(), None);
-        obs.metrics.set_span_lane(i as u32);
-        obs.metrics.span_open(crate::obs::SpanKind::Restart, 0);
-        let result = partition_observed(graph, constraints, &cfg, &mut obs);
-        let mut metrics = obs.metrics;
-        metrics.bump(Counter::Runs);
-        let span_stats = match &result {
-            Ok(outcome) => crate::obs::SpanStats {
-                nodes: graph.node_count() as u64,
-                nets: graph.net_count() as u64,
-                moves: outcome.total_moves as u64,
-                ..crate::obs::SpanStats::default()
-            },
-            Err(_) => crate::obs::SpanStats::default(),
-        };
-        metrics.span_close(span_stats);
-        (result, metrics)
+        observed_restart_job(graph, constraints, config, i)
     })
+}
+
+/// Runs restart `i` of the flat observed search exactly as
+/// [`partition_restarts_observed`] would: diversified config, enabled
+/// metrics registry, restart span. Shared with the checkpointing search
+/// so a resumed run replays the identical per-restart computation.
+pub(crate) fn observed_restart_job(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+    config: &FpartConfig,
+    i: usize,
+) -> (Result<PartitionOutcome, PartitionError>, Metrics) {
+    let cfg = restart_config(config, i);
+    let mut obs = Observer::new(Metrics::enabled(), None);
+    obs.metrics.set_span_lane(i as u32);
+    obs.metrics.span_open(crate::obs::SpanKind::Restart, 0);
+    let result = partition_observed(graph, constraints, &cfg, &mut obs);
+    let mut metrics = obs.metrics;
+    metrics.bump(Counter::Runs);
+    let span_stats = match &result {
+        Ok(outcome) => crate::obs::SpanStats {
+            nodes: graph.node_count() as u64,
+            nets: graph.net_count() as u64,
+            moves: outcome.total_moves as u64,
+            ..crate::obs::SpanStats::default()
+        },
+        Err(_) => crate::obs::SpanStats::default(),
+    };
+    metrics.span_close(span_stats);
+    (result, metrics)
 }
 
 /// The observed counterpart of [`search_restarts`]: each job returns its

@@ -62,6 +62,7 @@
 pub mod assignment;
 pub mod bucket;
 pub mod budget;
+pub mod checkpoint;
 pub mod config;
 pub mod constraints;
 pub mod cost;
@@ -77,6 +78,7 @@ pub mod interconnect;
 pub mod multilevel;
 pub mod obs;
 pub mod parallel;
+pub mod persist;
 pub mod refine;
 pub mod report;
 pub mod stack;
@@ -89,7 +91,12 @@ pub use assignment::{
     ASSIGNMENT_FORMAT_VERSION,
 };
 pub use budget::{
-    BudgetSnapshot, BudgetTracker, CancelToken, Completion, FaultAction, FaultPlan, RunBudget,
+    BudgetSnapshot, BudgetTracker, CancelToken, Completion, FaultAction, FaultPlan, MemoryBudget,
+    RunBudget,
+};
+pub use checkpoint::{
+    fingerprint_run, partition_restarts_durable, read_checkpoint, write_checkpoint, Checkpoint,
+    CheckpointWriter, ReadCheckpointError, RunFingerprint, SavedRestart,
 };
 pub use config::FpartConfig;
 pub use cost::{classify, CostEvaluator, FeasibilityClass, KeyTracker, SolutionKey};
@@ -117,6 +124,7 @@ pub use obs::{
     event_to_json, Counter, EventSink, FanoutSink, Heartbeat, JsonlSink, Metrics, Observer,
     SpanEvent, SpanKind, SpanRecord, SpanStack, SpanStats, TimeStat, SCHEMA_VERSION,
 };
+pub use persist::{write_atomic, AtomicFile};
 pub use report::QualityReport;
 pub use state::PartitionState;
 pub use trace::{ImproveKind, Trace, TraceEvent};

@@ -27,7 +27,7 @@
 use std::time::Instant;
 
 use fpart_device::{lower_bound, DeviceConstraints};
-use fpart_hypergraph::coarsen::coarsen_to_floor_timed;
+use fpart_hypergraph::coarsen::coarsen_to_floor_budgeted;
 use fpart_hypergraph::Hypergraph;
 
 use crate::budget::{BudgetTracker, Completion};
@@ -68,6 +68,12 @@ pub struct MultilevelConfig {
     /// wrappers derive it from their total thread budget. Clamped to at
     /// least 1.
     pub threads: usize,
+    /// Estimated-byte cap for hierarchy construction. When the next
+    /// coarsening level would exceed it, coarsening stops at the current
+    /// depth and the run reports [`Completion::Degraded`] instead of
+    /// exhausting memory. The cap is a deterministic function of the
+    /// input, so budgeted runs stay bit-identical at any thread count.
+    pub memory: crate::budget::MemoryBudget,
 }
 
 impl Default for MultilevelConfig {
@@ -80,6 +86,7 @@ impl Default for MultilevelConfig {
             pairs_per_round: 16,
             seed: 0x5EED,
             threads: crate::parallel::default_threads(),
+            memory: crate::budget::MemoryBudget::default(),
         }
     }
 }
@@ -222,16 +229,18 @@ pub fn partition_multilevel_observed(
         };
         let on_level: Option<fpart_hypergraph::coarsen::OnLevel<'_>> =
             if spans_on { Some(&mut on_level) } else { None };
-        coarsen_to_floor_timed(
+        coarsen_to_floor_budgeted(
             graph,
             cap,
             ml.coarsen_floor,
             ml.max_levels,
             ml.seed,
             ml.threads.max(1),
+            ml.memory.max_bytes,
             on_level,
         )
     };
+    let (hierarchy, memory_truncated) = hierarchy;
     obs.metrics.add(Counter::CoarsenLevels, hierarchy.level_count() as u64);
 
     // Partition the coarsest level under the shared tracker.
@@ -337,7 +346,15 @@ pub fn partition_multilevel_observed(
         start.elapsed(),
         Trace::disabled(),
         obs.metrics.clone(),
-        tracker.completion().worst(coarse_outcome.completion),
+        {
+            let mut completion = tracker.completion().worst(coarse_outcome.completion);
+            if memory_truncated {
+                // A memory-capped hierarchy is a graceful degradation:
+                // the run finished, just on a shallower V-cycle.
+                completion = completion.worst(Completion::Degraded);
+            }
+            completion
+        },
     ))
 }
 
@@ -408,27 +425,43 @@ pub fn partition_multilevel_restarts_observed(
 ) -> Result<RestartsReport, PartitionError> {
     let (outer, inner) = split_thread_budget(threads, restarts);
     search_restarts_observed(restarts, if threads == 0 { 0 } else { outer }, &|i| {
-        let cfg = restart_config(config, i);
-        let mlc =
-            MultilevelConfig { seed: ml.seed.wrapping_add(i as u64), threads: inner, ..ml.clone() };
-        let mut obs = Observer::new(Metrics::enabled(), None);
-        obs.metrics.set_span_lane(i as u32);
-        obs.metrics.span_open(SpanKind::Restart, 0);
-        let result = partition_multilevel_observed(graph, constraints, &cfg, &mlc, &mut obs);
-        let mut metrics = obs.metrics;
-        metrics.bump(Counter::Runs);
-        let span_stats = match &result {
-            Ok(outcome) => SpanStats {
-                nodes: graph.node_count() as u64,
-                nets: graph.net_count() as u64,
-                moves: outcome.total_moves as u64,
-                ..SpanStats::default()
-            },
-            Err(_) => SpanStats::default(),
-        };
-        metrics.span_close(span_stats);
-        (result, metrics)
+        observed_multilevel_restart_job(graph, constraints, config, ml, inner, i)
     })
+}
+
+/// Runs restart `i` of the multilevel observed search exactly as
+/// [`partition_multilevel_restarts_observed`] would: diversified driver
+/// and matching seeds, `inner` intra-run threads, enabled metrics
+/// registry, restart span. Shared with the checkpointing search so a
+/// resumed run replays the identical per-restart computation.
+pub(crate) fn observed_multilevel_restart_job(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+    config: &FpartConfig,
+    ml: &MultilevelConfig,
+    inner: usize,
+    i: usize,
+) -> (Result<PartitionOutcome, PartitionError>, Metrics) {
+    let cfg = restart_config(config, i);
+    let mlc =
+        MultilevelConfig { seed: ml.seed.wrapping_add(i as u64), threads: inner, ..ml.clone() };
+    let mut obs = Observer::new(Metrics::enabled(), None);
+    obs.metrics.set_span_lane(i as u32);
+    obs.metrics.span_open(SpanKind::Restart, 0);
+    let result = partition_multilevel_observed(graph, constraints, &cfg, &mlc, &mut obs);
+    let mut metrics = obs.metrics;
+    metrics.bump(Counter::Runs);
+    let span_stats = match &result {
+        Ok(outcome) => SpanStats {
+            nodes: graph.node_count() as u64,
+            nets: graph.net_count() as u64,
+            moves: outcome.total_moves as u64,
+            ..SpanStats::default()
+        },
+        Err(_) => SpanStats::default(),
+    };
+    metrics.span_close(span_stats);
+    (result, metrics)
 }
 
 #[cfg(test)]
@@ -579,6 +612,48 @@ mod tests {
             "violations: {:?}",
             v.violations
         );
+    }
+
+    #[test]
+    fn memory_budget_truncates_hierarchy_and_degrades() {
+        let g = window_circuit(&WindowConfig::new("w", 2000, 40), 5);
+        let constraints = Device::XC3020.constraints(0.9);
+        // A cap barely above the input graph leaves no room for any
+        // coarsening level at all.
+        let tight = MultilevelConfig {
+            coarsen_floor: 128,
+            memory: crate::budget::MemoryBudget::capped(g.approx_bytes() + 1024),
+            ..MultilevelConfig::default()
+        };
+        let mut obs = Observer::new(Metrics::enabled(), None);
+        let out = partition_multilevel_observed(
+            &g,
+            constraints,
+            &FpartConfig::default(),
+            &tight,
+            &mut obs,
+        )
+        .expect("degrades, does not error");
+        assert_eq!(out.completion, Completion::Degraded);
+        assert_eq!(out.metrics.get(Counter::CoarsenLevels), 0, "no level fit under the cap");
+        assert_eq!(out.assignment.len(), g.node_count());
+        assert!(verify_assignment(&g, &out.assignment, out.device_count, constraints).is_feasible());
+
+        // An unlimited budget is bit-identical to the plain entry point.
+        let unlimited = MultilevelConfig { coarsen_floor: 128, ..MultilevelConfig::default() };
+        let a = partition_multilevel(&g, constraints, &FpartConfig::default(), &unlimited).unwrap();
+        let b = partition_multilevel(
+            &g,
+            constraints,
+            &FpartConfig::default(),
+            &MultilevelConfig {
+                memory: crate::budget::MemoryBudget::capped(u64::MAX),
+                ..unlimited
+            },
+        )
+        .unwrap();
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.cut, b.cut);
     }
 
     #[test]

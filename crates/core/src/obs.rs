@@ -43,7 +43,7 @@ use crate::trace::{ImproveKind, TraceEvent};
 /// Schema version of every machine-readable document this module emits
 /// (the CLI `--metrics` file, the JSONL trace, `BENCH_*.json`). Bump it
 /// whenever a field is renamed, removed, or changes meaning.
-pub const SCHEMA_VERSION: u32 = 7;
+pub const SCHEMA_VERSION: u32 = 8;
 
 /// The named engine counters. Every counter is a monotonically
 /// increasing `u64`; [`Counter::name`] is the stable `snake_case` key used
@@ -95,11 +95,16 @@ pub enum Counter {
     /// Pair jobs lost to an isolated worker panic (their moves are
     /// dropped deterministically; the round's other pairs commit).
     PairPanics,
+    /// Restarts whose results were restored from a checkpoint instead
+    /// of being re-run.
+    RestartsResumed,
+    /// Checkpoint snapshots written to disk during the run.
+    CheckpointsWritten,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 21] = [
+    pub const ALL: [Counter; 23] = [
         Counter::Passes,
         Counter::MovesApplied,
         Counter::MovesReverted,
@@ -121,6 +126,8 @@ impl Counter {
         Counter::EcoFallbacks,
         Counter::PairJobs,
         Counter::PairPanics,
+        Counter::RestartsResumed,
+        Counter::CheckpointsWritten,
     ];
 
     /// Stable `snake_case` key of this counter in serialized metrics.
@@ -148,6 +155,8 @@ impl Counter {
             Counter::EcoFallbacks => "eco_fallbacks",
             Counter::PairJobs => "pair_jobs",
             Counter::PairPanics => "pair_panics",
+            Counter::RestartsResumed => "restarts_resumed",
+            Counter::CheckpointsWritten => "checkpoints_written",
         }
     }
 }

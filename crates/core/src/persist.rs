@@ -1,0 +1,171 @@
+//! Atomic file persistence: every artifact the partitioner writes
+//! (metrics JSON, traces, assignments, checkpoints) goes through one
+//! temp-file + rename helper, so a crash — even a SIGKILL mid-write —
+//! leaves either the previous file or the complete new one on disk,
+//! never a torn hybrid.
+//!
+//! The temp file lives in the destination's directory (rename is only
+//! atomic within a filesystem) and carries a process-unique suffix so
+//! concurrent writers to different destinations never collide. Contents
+//! are flushed and fsynced before the rename; [`AtomicFile`] dropped
+//! without [`AtomicFile::commit`] removes its temp file and leaves the
+//! destination untouched.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic per-process counter making temp names unique without a
+/// clock or RNG (both would perturb deterministic replay).
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_path_for(path: &Path) -> PathBuf {
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let pid = std::process::id();
+    let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    path.with_file_name(format!(".{name}.tmp.{pid}.{seq}"))
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same
+/// directory, write, flush, fsync, rename.
+///
+/// # Errors
+///
+/// Propagates I/O errors; on failure the temp file is removed and the
+/// destination is left as it was.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut file = AtomicFile::create(path)?;
+    file.write_all(bytes)?;
+    file.commit()
+}
+
+/// A streaming writer whose output becomes visible at `path` only on
+/// [`AtomicFile::commit`]. Dropping without committing discards the
+/// temp file and leaves any existing destination untouched.
+#[derive(Debug)]
+pub struct AtomicFile {
+    /// `Some` until commit/abort; holds the buffered temp-file writer.
+    inner: Option<BufWriter<File>>,
+    temp: PathBuf,
+    dest: PathBuf,
+}
+
+impl AtomicFile {
+    /// Opens a temp file next to `path` for streaming writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the temp-file creation error.
+    pub fn create(path: &Path) -> io::Result<AtomicFile> {
+        let temp = temp_path_for(path);
+        let file = File::create(&temp)?;
+        Ok(AtomicFile { inner: Some(BufWriter::new(file)), temp, dest: path.to_path_buf() })
+    }
+
+    /// Flushes, fsyncs, and renames the temp file over the destination.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors; on failure the temp file is removed and
+    /// the destination is left as it was.
+    pub fn commit(mut self) -> io::Result<()> {
+        let writer = self.inner.take().expect("commit consumes the writer");
+        let result = (|| {
+            let file = writer.into_inner().map_err(io::IntoInnerError::into_error)?;
+            file.sync_all()?;
+            fs::rename(&self.temp, &self.dest)
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&self.temp);
+        }
+        result
+    }
+
+    /// The destination the commit will rename onto.
+    #[must_use]
+    pub fn dest(&self) -> &Path {
+        &self.dest
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.inner.as_mut().expect("writer live until commit").write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.as_mut().expect("writer live until commit").flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if self.inner.take().is_some() {
+            let _ = fs::remove_file(&self.temp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fpart-persist-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_atomic_creates_and_replaces() {
+        let dir = temp_dir("replace");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dropped_atomic_file_leaves_old_content_and_no_temp() {
+        let dir = temp_dir("drop");
+        let path = dir.join("out.json");
+        write_atomic(&path, b"old").unwrap();
+        {
+            let mut file = AtomicFile::create(&path).unwrap();
+            file.write_all(b"half-written new conte").unwrap();
+            // No commit: simulates a crash before the rename.
+        }
+        assert_eq!(fs::read(&path).unwrap(), b"old", "destination untouched");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files cleaned up: {leftovers:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streaming_writes_arrive_only_on_commit() {
+        let dir = temp_dir("stream");
+        let path = dir.join("out.jsonl");
+        let mut file = AtomicFile::create(&path).unwrap();
+        writeln!(file, "line 1").unwrap();
+        assert!(!path.exists(), "destination must not exist before commit");
+        writeln!(file, "line 2").unwrap();
+        file.commit().unwrap();
+        assert_eq!(fs::read_to_string(&path).unwrap(), "line 1\nline 2\n");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_temp_names_do_not_collide() {
+        let a = temp_path_for(Path::new("/x/out.json"));
+        let b = temp_path_for(Path::new("/x/out.json"));
+        assert_ne!(a, b);
+        assert!(a.to_string_lossy().contains(".out.json.tmp."));
+    }
+}

@@ -23,20 +23,40 @@ use crate::builder::HypergraphBuilder;
 use crate::error::ParseNetlistError;
 use crate::graph::Hypergraph;
 use crate::ids::NodeId;
+use crate::limits::ParseLimits;
 
-/// Parses a structural BLIF model into a hypergraph.
+/// Parses a structural BLIF model into a hypergraph, enforcing
+/// [`ParseLimits::default`].
 ///
 /// # Errors
 ///
 /// Returns [`ParseNetlistError`] on unsupported constructs, undeclared
-/// signals used as latch inputs, or structural validation failure.
+/// signals used as latch inputs, exceeded limits, or structural
+/// validation failure.
 pub fn read_blif<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> {
+    read_blif_limited(reader, &ParseLimits::default())
+}
+
+/// Parses a structural BLIF model with explicit resource limits.
+///
+/// Line length is checked on physical source lines; signal-name length
+/// and element/pin counts are checked on logical (continuation-joined)
+/// lines, reporting the line where the logical line started.
+///
+/// # Errors
+///
+/// See [`read_blif`].
+pub fn read_blif_limited<R: Read>(
+    reader: R,
+    limits: &ParseLimits,
+) -> Result<Hypergraph, ParseNetlistError> {
     // Collect logical lines (BLIF continues lines with a trailing `\`).
     let mut logical: Vec<(usize, String)> = Vec::new();
     let mut pending: Option<(usize, String)> = None;
     for (idx, line) in BufReader::new(reader).lines().enumerate() {
         let line_no = idx + 1;
         let line = line.map_err(|_| ParseNetlistError::NotUtf8 { line: line_no })?;
+        limits.check_line(line_no, &line)?;
         let without_comment = match line.find('#') {
             Some(pos) => &line[..pos],
             None => &line[..],
@@ -80,13 +100,15 @@ pub fn read_blif<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> {
     }
     let mut elements: Vec<Element> = Vec::new();
     let mut seen_model = false;
+    let mut pin_total = 0usize;
 
     let mut i = 0usize;
     while i < logical.len() {
         let (line_no, line) = &logical[i];
         let line_no = *line_no;
-        let mut fields = line.split_whitespace();
-        let Some(keyword) = fields.next() else {
+        let fields = crate::limits::fields_with_columns(line);
+        let mut fields = fields.into_iter();
+        let Some((_, keyword)) = fields.next() else {
             i += 1;
             continue;
         };
@@ -99,25 +121,58 @@ pub fn read_blif<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> {
                     });
                 }
                 seen_model = true;
-                model_name = fields.next().unwrap_or("blif").to_owned();
+                model_name = match fields.next() {
+                    Some((col, name)) => {
+                        limits.check_name(line_no, col, name)?;
+                        name.to_owned()
+                    }
+                    None => "blif".to_owned(),
+                };
                 i += 1;
             }
             ".inputs" => {
-                inputs.extend(fields.map(str::to_owned));
+                for (col, name) in fields {
+                    limits.check_name(line_no, col, name)?;
+                    inputs.push(name.to_owned());
+                }
                 i += 1;
             }
             ".outputs" => {
-                outputs.extend(fields.map(str::to_owned));
+                for (col, name) in fields {
+                    limits.check_name(line_no, col, name)?;
+                    outputs.push(name.to_owned());
+                }
                 i += 1;
             }
             ".names" => {
-                let signals: Vec<String> = fields.map(str::to_owned).collect();
+                let mut signals: Vec<String> = Vec::new();
+                for (col, name) in fields {
+                    limits.check_name(line_no, col, name)?;
+                    if pin_total >= limits.max_pins {
+                        return Err(ParseNetlistError::LimitExceeded {
+                            line: line_no,
+                            column: col,
+                            what: "pin count",
+                            limit: limits.max_pins,
+                        });
+                    }
+                    pin_total += 1;
+                    signals.push(name.to_owned());
+                }
                 let Some((output, input_signals)) = signals.split_last() else {
                     return Err(ParseNetlistError::MalformedRecord {
                         line: line_no,
                         expected: ".names <inputs…> <output>",
                     });
                 };
+                if elements.len() >= limits.max_nodes {
+                    return Err(ParseNetlistError::LimitExceeded {
+                        line: line_no,
+                        column: 1,
+                        what: "node count",
+                        limit: limits.max_nodes,
+                    });
+                }
                 elements.push(Element {
                     output: output.clone(),
                     inputs: input_signals.to_vec(),
@@ -134,16 +189,28 @@ pub fn read_blif<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> {
                 }
             }
             ".latch" => {
-                let signals: Vec<&str> = fields.collect();
+                let signals: Vec<(usize, &str)> = fields.collect();
                 if signals.len() < 2 {
                     return Err(ParseNetlistError::MalformedRecord {
                         line: line_no,
                         expected: ".latch <input> <output> [type control] [init]",
                     });
                 }
+                for &(col, name) in &signals[..2] {
+                    limits.check_name(line_no, col, name)?;
+                }
+                if elements.len() >= limits.max_nodes {
+                    return Err(ParseNetlistError::LimitExceeded {
+                        line: line_no,
+                        column: 1,
+                        what: "node count",
+                        limit: limits.max_nodes,
+                    });
+                }
+                pin_total += 2;
                 elements.push(Element {
-                    output: signals[1].to_owned(),
-                    inputs: vec![signals[0].to_owned()],
+                    output: signals[1].1.to_owned(),
+                    inputs: vec![signals[0].1.to_owned()],
                     latch: true,
                 });
                 i += 1;
@@ -228,6 +295,18 @@ pub fn read_blif<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> {
 /// See [`read_blif`].
 pub fn parse_blif(text: &str) -> Result<Hypergraph, ParseNetlistError> {
     read_blif(text.as_bytes())
+}
+
+/// Parses BLIF from a string slice with explicit resource limits.
+///
+/// # Errors
+///
+/// See [`read_blif_limited`].
+pub fn parse_blif_limited(
+    text: &str,
+    limits: &ParseLimits,
+) -> Result<Hypergraph, ParseNetlistError> {
+    read_blif_limited(text.as_bytes(), limits)
 }
 
 #[cfg(test)]
@@ -340,6 +419,27 @@ b
         assert_eq!(g.node_count(), 1);
         assert_eq!(g.net_count(), 1);
         assert_eq!(g.terminal_count(), 1);
+    }
+
+    #[test]
+    fn element_count_limit_is_typed() {
+        let limits = ParseLimits { max_nodes: 1, ..ParseLimits::unlimited() };
+        let err = parse_blif_limited(FULL_ADDER, &limits).unwrap_err();
+        assert!(matches!(
+            err,
+            ParseNetlistError::LimitExceeded { line: 10, column: 1, what: "node count", limit: 1 }
+        ));
+    }
+
+    #[test]
+    fn signal_name_length_limit_is_typed() {
+        let limits = ParseLimits { max_name_len: 4, ..ParseLimits::unlimited() };
+        let err =
+            parse_blif_limited(".model m\n.inputs verylongsignal\n.end\n", &limits).unwrap_err();
+        assert!(matches!(
+            err,
+            ParseNetlistError::LimitExceeded { line: 2, column: 9, what: "name length", limit: 4 }
+        ));
     }
 
     #[test]

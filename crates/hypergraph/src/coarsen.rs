@@ -417,9 +417,50 @@ pub fn coarsen_to_floor_timed(
     max_levels: usize,
     seed: u64,
     threads: usize,
-    mut on_level: Option<OnLevel<'_>>,
+    on_level: Option<OnLevel<'_>>,
 ) -> Hierarchy {
+    coarsen_to_floor_budgeted(
+        graph,
+        max_cluster_size,
+        floor,
+        max_levels,
+        seed,
+        threads,
+        None,
+        on_level,
+    )
+    .0
+}
+
+/// [`coarsen_to_floor_timed`] with an estimated-byte cap on the whole
+/// hierarchy (input graph + every kept level's coarse graph and
+/// projection map, via [`Hypergraph::approx_bytes`]).
+///
+/// When the next level would push the estimate past `max_bytes`, that
+/// level is discarded and coarsening stops at the current depth; the
+/// second return value reports whether the cap truncated the hierarchy.
+/// The estimate is a deterministic function of the input and the
+/// parameters — never of the allocator or thread count — so budgeted
+/// runs stay bit-identical and checkpoint-safe.
+///
+/// # Panics
+///
+/// Panics if `max_cluster_size == 0`.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn coarsen_to_floor_budgeted(
+    graph: &Hypergraph,
+    max_cluster_size: u64,
+    floor: usize,
+    max_levels: usize,
+    seed: u64,
+    threads: usize,
+    max_bytes: Option<u64>,
+    mut on_level: Option<OnLevel<'_>>,
+) -> (Hierarchy, bool) {
     let mut hierarchy = Hierarchy::default();
+    let mut bytes = graph.approx_bytes();
+    let mut truncated = false;
     for level in 0..max_levels {
         let current = hierarchy.coarsest().unwrap_or(graph);
         if current.node_count() <= floor {
@@ -435,12 +476,21 @@ pub fn coarsen_to_floor_timed(
         if coarsening.ratio() < SATURATION_RATIO {
             break;
         }
+        if let Some(cap) = max_bytes {
+            let level_bytes = coarsening.coarse.approx_bytes()
+                + std::mem::size_of_val(coarsening.map.as_slice()) as u64;
+            if bytes.saturating_add(level_bytes) > cap {
+                truncated = true;
+                break;
+            }
+            bytes += level_bytes;
+        }
         if let (Some(on_level), Some(started)) = (on_level.as_deref_mut(), started) {
             on_level(level, &coarsening, started.elapsed());
         }
         hierarchy.levels.push(coarsening);
     }
-    hierarchy
+    (hierarchy, truncated)
 }
 
 #[cfg(test)]

@@ -195,6 +195,18 @@ pub enum ParseEditError {
         /// 1-based line number where reading failed.
         line: usize,
     },
+    /// The script asked for more resources than the configured
+    /// [`crate::ParseLimits`] allow.
+    LimitExceeded {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column (in characters) of the offending token.
+        column: usize,
+        /// Which limit was exceeded (e.g. `"name length"`).
+        what: &'static str,
+        /// The configured maximum.
+        limit: usize,
+    },
 }
 
 impl fmt::Display for ParseEditError {
@@ -217,6 +229,9 @@ impl fmt::Display for ParseEditError {
             }
             ParseEditError::NotUtf8 { line } => write!(f, "line {line}: not valid UTF-8"),
             ParseEditError::Io { line } => write!(f, "line {line}: read failed"),
+            ParseEditError::LimitExceeded { line, column, what, limit } => {
+                write!(f, "line {line}, column {column}: {what} exceeds limit of {limit}")
+            }
         }
     }
 }
@@ -392,10 +407,39 @@ impl EditScript {
     ///
     /// Returns [`ParseEditError`] with exact line/column context.
     pub fn parse(text: &str) -> Result<Self, ParseEditError> {
+        Self::parse_limited(text, &crate::ParseLimits::default())
+    }
+
+    /// Parses the JSON-Lines form with explicit resource limits: line
+    /// length, name length (with the column of the offending token),
+    /// and total op count (capped at `max_nodes + max_nets`).
+    ///
+    /// # Errors
+    ///
+    /// See [`EditScript::parse`]; limit violations are
+    /// [`ParseEditError::LimitExceeded`].
+    pub fn parse_limited(text: &str, limits: &crate::ParseLimits) -> Result<Self, ParseEditError> {
+        let max_ops = limits.max_nodes.saturating_add(limits.max_nets);
         let mut ops = Vec::new();
         for (idx, raw) in text.lines().enumerate() {
             let line_no = idx + 1;
-            if let Some(op) = parse_line(raw, line_no)? {
+            if raw.len() > limits.max_line_len {
+                return Err(ParseEditError::LimitExceeded {
+                    line: line_no,
+                    column: limits.max_line_len + 1,
+                    what: "line length",
+                    limit: limits.max_line_len,
+                });
+            }
+            if let Some(op) = parse_line_limited(raw, line_no, limits)? {
+                if ops.len() >= max_ops {
+                    return Err(ParseEditError::LimitExceeded {
+                        line: line_no,
+                        column: 1,
+                        what: "edit op count",
+                        limit: max_ops,
+                    });
+                }
                 ops.push(ScriptedOp { line: line_no, op });
             }
         }
@@ -409,7 +453,21 @@ impl EditScript {
     ///
     /// Returns [`ParseEditError`]; I/O failures map to
     /// [`ParseEditError::Io`] with the line where reading stopped.
-    pub fn read<R: Read>(mut reader: R) -> Result<Self, ParseEditError> {
+    pub fn read<R: Read>(reader: R) -> Result<Self, ParseEditError> {
+        Self::read_limited(reader, &crate::ParseLimits::default())
+    }
+
+    /// Reads the JSON-Lines form from any reader with explicit resource
+    /// limits.
+    ///
+    /// # Errors
+    ///
+    /// See [`EditScript::read`] and [`EditScript::parse_limited`].
+    pub fn read_limited<R: Read>(
+        mut reader: R,
+        limits: &crate::ParseLimits,
+    ) -> Result<Self, ParseEditError> {
+        let max_ops = limits.max_nodes.saturating_add(limits.max_nets);
         let mut bytes = Vec::new();
         let mut read_so_far = 0usize;
         if reader.read_to_end(&mut bytes).is_err() {
@@ -422,9 +480,25 @@ impl EditScript {
         for (idx, raw) in bytes.split(|&b| b == b'\n').enumerate() {
             let line_no = idx + 1;
             let raw = raw.strip_suffix(b"\r").unwrap_or(raw);
+            if raw.len() > limits.max_line_len {
+                return Err(ParseEditError::LimitExceeded {
+                    line: line_no,
+                    column: limits.max_line_len + 1,
+                    what: "line length",
+                    limit: limits.max_line_len,
+                });
+            }
             let text =
                 std::str::from_utf8(raw).map_err(|_| ParseEditError::NotUtf8 { line: line_no })?;
-            if let Some(op) = parse_line(text, line_no)? {
+            if let Some(op) = parse_line_limited(text, line_no, limits)? {
+                if ops.len() >= max_ops {
+                    return Err(ParseEditError::LimitExceeded {
+                        line: line_no,
+                        column: 1,
+                        what: "edit op count",
+                        limit: max_ops,
+                    });
+                }
                 ops.push(ScriptedOp { line: line_no, op });
             }
         }
@@ -717,7 +791,11 @@ impl Scanner {
 
 /// Parses one script line into an op; `Ok(None)` for blank and `#`
 /// comment lines.
-fn parse_line(raw: &str, line: usize) -> Result<Option<EditOp>, ParseEditError> {
+fn parse_line_limited(
+    raw: &str,
+    line: usize,
+    limits: &crate::ParseLimits,
+) -> Result<Option<EditOp>, ParseEditError> {
     let trimmed = raw.trim();
     if trimmed.is_empty() || trimmed.starts_with('#') {
         return Ok(None);
@@ -732,11 +810,31 @@ fn parse_line(raw: &str, line: usize) -> Result<Option<EditOp>, ParseEditError> 
         let value = match key.as_str() {
             "op" | "name" | "net" | "node" => {
                 let (v, col) = s.parse_string("a quoted string value")?;
-                let _ = col;
+                if v.len() > limits.max_name_len {
+                    return Err(ParseEditError::LimitExceeded {
+                        line,
+                        column: col,
+                        what: "name length",
+                        limit: limits.max_name_len,
+                    });
+                }
                 FieldValue::Str(v)
             }
             "size" => FieldValue::Num(s.parse_u32("an unsigned size")?),
-            "pins" => FieldValue::Arr(s.parse_string_array()?),
+            "pins" => {
+                let pins = s.parse_string_array()?;
+                for pin in &pins {
+                    if pin.len() > limits.max_name_len {
+                        return Err(ParseEditError::LimitExceeded {
+                            line,
+                            column: key_col,
+                            what: "name length",
+                            limit: limits.max_name_len,
+                        });
+                    }
+                }
+                FieldValue::Arr(pins)
+            }
             _ => {
                 return Err(ParseEditError::UnknownField { line, column: key_col, field: key });
             }

@@ -119,6 +119,18 @@ pub enum ParseNetlistError {
         /// 1-based line number.
         line: usize,
     },
+    /// The document asked for more resources than the configured
+    /// [`crate::ParseLimits`] allow.
+    LimitExceeded {
+        /// 1-based line number.
+        line: usize,
+        /// 1-based column (in characters) of the offending token.
+        column: usize,
+        /// Which limit was exceeded (e.g. `"node count"`).
+        what: &'static str,
+        /// The configured maximum.
+        limit: usize,
+    },
     /// The parsed netlist failed structural validation.
     Build(BuildError),
 }
@@ -143,6 +155,9 @@ impl fmt::Display for ParseNetlistError {
             }
             ParseNetlistError::NotUtf8 { line } => {
                 write!(f, "line {line}: not valid UTF-8")
+            }
+            ParseNetlistError::LimitExceeded { line, column, what, limit } => {
+                write!(f, "line {line}, column {column}: {what} exceeds limit of {limit}")
             }
             ParseNetlistError::Build(e) => write!(f, "netlist validation failed: {e}"),
         }

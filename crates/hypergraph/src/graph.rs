@@ -86,6 +86,33 @@ impl Hypergraph {
         self.total_size
     }
 
+    /// Estimated heap footprint of this graph in bytes: the flat
+    /// adjacency arrays plus name storage (`String` buffers counted at
+    /// their length plus the struct header). Used by memory budgets to
+    /// bound hierarchy construction; an estimate, not an allocator
+    /// measurement.
+    #[must_use]
+    pub fn approx_bytes(&self) -> u64 {
+        fn strings(v: &[String]) -> u64 {
+            v.iter().map(|s| s.len() as u64 + std::mem::size_of::<String>() as u64).sum()
+        }
+        fn slice<T>(v: &[T]) -> u64 {
+            std::mem::size_of_val(v) as u64
+        }
+        strings(&self.node_names)
+            + strings(&self.net_names)
+            + strings(&self.terminal_names)
+            + self.name.len() as u64
+            + slice(&self.node_sizes)
+            + slice(&self.net_pin_offsets)
+            + slice(&self.net_pins)
+            + slice(&self.node_net_offsets)
+            + slice(&self.node_nets)
+            + slice(&self.terminal_nets)
+            + slice(&self.net_terminal_offsets)
+            + slice(&self.net_terminals)
+    }
+
     /// Returns the size `S(x)` of an interior node.
     ///
     /// # Panics

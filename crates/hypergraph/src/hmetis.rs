@@ -25,29 +25,7 @@ use crate::builder::HypergraphBuilder;
 use crate::error::ParseNetlistError;
 use crate::graph::Hypergraph;
 use crate::ids::NodeId;
-
-/// Whitespace-separated fields of `line`, each with the 1-based column
-/// (counted in characters, matching what an editor displays) where the
-/// field starts.
-fn fields_with_columns(line: &str) -> Vec<(usize, &str)> {
-    let mut out = Vec::new();
-    let mut column = 0usize;
-    let mut start: Option<(usize, usize)> = None; // (column, byte offset)
-    for (byte, ch) in line.char_indices() {
-        column += 1;
-        if ch.is_whitespace() {
-            if let Some((col, at)) = start.take() {
-                out.push((col, &line[at..byte]));
-            }
-        } else if start.is_none() {
-            start = Some((column, byte));
-        }
-    }
-    if let Some((col, at)) = start {
-        out.push((col, &line[at..]));
-    }
-    out
-}
+use crate::limits::{fields_with_columns, ParseLimits};
 
 /// Parses the field at `(column, text)` as a number, reporting the exact
 /// location on failure.
@@ -78,6 +56,23 @@ fn parse_field<T: std::str::FromStr>(
 /// of range, truncated or trailing content, non-UTF-8 bytes, or
 /// structural validation failure.
 pub fn read_hmetis<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> {
+    read_hmetis_limited(reader, &ParseLimits::default())
+}
+
+/// Parses an hMETIS `.hgr` hypergraph with explicit resource limits.
+///
+/// The header's edge/vertex counts are validated against `limits`
+/// *before* any table is allocated: a forged `1 99999999999` header is a
+/// typed [`ParseNetlistError::LimitExceeded`] pointing at the header
+/// token, not a multi-gigabyte allocation.
+///
+/// # Errors
+///
+/// See [`read_hmetis`].
+pub fn read_hmetis_limited<R: Read>(
+    reader: R,
+    limits: &ParseLimits,
+) -> Result<Hypergraph, ParseNetlistError> {
     // Collect the trimmed, non-comment data lines up front, remembering
     // each one's source line and where the file ends, so later errors
     // can always point at a real location.
@@ -87,6 +82,7 @@ pub fn read_hmetis<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> 
         let no = idx + 1;
         end_line = no;
         let line = line.map_err(|_| ParseNetlistError::NotUtf8 { line: no })?;
+        limits.check_line(no, &line)?;
         let trimmed = line.trim();
         if !trimmed.is_empty() && !trimmed.starts_with('%') {
             // Keep the untrimmed text: columns in errors must match the
@@ -107,10 +103,29 @@ pub fn read_hmetis<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> 
             .copied()
             .ok_or(ParseNetlistError::MalformedRecord { line: header_line_no, expected })
     };
-    let edges: usize =
-        parse_field(header_line_no, count_field(0, "hyperedge count")?, "hyperedge count")?;
-    let vertices: usize =
-        parse_field(header_line_no, count_field(1, "vertex count")?, "vertex count")?;
+    let edge_field = count_field(0, "hyperedge count")?;
+    let edges: usize = parse_field(header_line_no, edge_field, "hyperedge count")?;
+    let vertex_field = count_field(1, "vertex count")?;
+    let vertices: usize = parse_field(header_line_no, vertex_field, "vertex count")?;
+    // Validate the declared sizes before the node/net tables are
+    // allocated — the header is the one place a few bytes of hostile
+    // input can demand gigabytes.
+    if edges > limits.max_nets {
+        return Err(ParseNetlistError::LimitExceeded {
+            line: header_line_no,
+            column: edge_field.0,
+            what: "net count",
+            limit: limits.max_nets,
+        });
+    }
+    if vertices > limits.max_nodes {
+        return Err(ParseNetlistError::LimitExceeded {
+            line: header_line_no,
+            column: vertex_field.0,
+            what: "node count",
+            limit: limits.max_nodes,
+        });
+    }
     let fmt: u32 = match header_fields.get(2).copied() {
         None => 0,
         Some(field) => {
@@ -139,6 +154,7 @@ pub fn read_hmetis<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> 
 
     let mut builder = HypergraphBuilder::new();
     let nodes: Vec<NodeId> = (1..=vertices).map(|i| builder.add_node(format!("v{i}"), 1)).collect();
+    let mut pin_total = 0usize;
 
     for e in 0..edges {
         let (no, line) = records.next().ok_or(ParseNetlistError::UnexpectedEnd {
@@ -159,6 +175,15 @@ pub fn read_hmetis<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> 
         };
         let mut pins = Vec::new();
         for &field in pin_fields {
+            if pin_total >= limits.max_pins {
+                return Err(ParseNetlistError::LimitExceeded {
+                    line: no,
+                    column: field.0,
+                    what: "pin count",
+                    limit: limits.max_pins,
+                });
+            }
+            pin_total += 1;
             let idx: usize = parse_field(no, field, "1-based vertex index")?;
             if idx == 0 || idx > vertices {
                 return Err(ParseNetlistError::UnknownName { line: no, name: field.1.to_owned() });
@@ -212,6 +237,19 @@ pub fn read_hmetis<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> 
 /// See [`read_hmetis`].
 pub fn parse_hmetis(text: &str) -> Result<Hypergraph, ParseNetlistError> {
     read_hmetis(text.as_bytes())
+}
+
+/// Parses an hMETIS `.hgr` hypergraph from a string slice with explicit
+/// resource limits.
+///
+/// # Errors
+///
+/// See [`read_hmetis_limited`].
+pub fn parse_hmetis_limited(
+    text: &str,
+    limits: &ParseLimits,
+) -> Result<Hypergraph, ParseNetlistError> {
+    read_hmetis_limited(text.as_bytes(), limits)
 }
 
 /// Writes a hypergraph in hMETIS `.hgr` format (pass `&mut writer` to
@@ -443,5 +481,37 @@ mod tests {
         let g = parse_hmetis(SIMPLE).unwrap();
         let map = vertex_numbers(&g);
         assert_eq!(map[&NodeId::from_index(3)], 4);
+    }
+
+    #[test]
+    fn hostile_header_rejected_before_allocation() {
+        // A forged vertex count must fail fast with a typed error, not
+        // pre-allocate a table sized by the attacker.
+        let err = parse_hmetis("1 99999999999\n1\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseNetlistError::LimitExceeded {
+                line: 1,
+                column: 3,
+                what: "node count",
+                limit: ParseLimits::default().max_nodes,
+            }
+        );
+        let limits = ParseLimits { max_nets: 4, ..ParseLimits::unlimited() };
+        let err = parse_hmetis_limited("50 2\n1 2\n", &limits).unwrap_err();
+        assert_eq!(
+            err,
+            ParseNetlistError::LimitExceeded { line: 1, column: 1, what: "net count", limit: 4 }
+        );
+    }
+
+    #[test]
+    fn pin_limit_points_at_the_first_excess_pin() {
+        let limits = ParseLimits { max_pins: 3, ..ParseLimits::unlimited() };
+        let err = parse_hmetis_limited("2 4\n1 2\n3 4\n", &limits).unwrap_err();
+        assert_eq!(
+            err,
+            ParseNetlistError::LimitExceeded { line: 3, column: 3, what: "pin count", limit: 3 }
+        );
     }
 }

@@ -22,63 +22,111 @@ use crate::builder::HypergraphBuilder;
 use crate::error::ParseNetlistError;
 use crate::graph::Hypergraph;
 use crate::ids::{NetId, NodeId};
+use crate::limits::{fields_with_columns, ParseLimits};
 
 /// Parses a netlist from any reader (pass `&mut reader` if you need the
-/// reader back afterwards).
+/// reader back afterwards), enforcing [`ParseLimits::default`].
 ///
 /// # Errors
 ///
-/// Returns [`ParseNetlistError`] on malformed records, undeclared names, or
-/// structural validation failure.
+/// Returns [`ParseNetlistError`] on malformed records, undeclared names,
+/// exceeded limits, or structural validation failure.
 pub fn read_netlist<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError> {
+    read_netlist_limited(reader, &ParseLimits::default())
+}
+
+/// Parses a netlist from any reader with explicit resource limits.
+///
+/// Every count and length the parser allocates in proportion to is checked
+/// against `limits` *before* the allocation happens, so hostile input fails
+/// with a typed error instead of exhausting memory.
+///
+/// # Errors
+///
+/// See [`read_netlist`].
+pub fn read_netlist_limited<R: Read>(
+    reader: R,
+    limits: &ParseLimits,
+) -> Result<Hypergraph, ParseNetlistError> {
     // Files carry user-written names: a duplicate `node` record would
     // silently shadow the first in the name lookup below, so the strict
     // builder check is always on here (generators keep it off).
     let mut builder = HypergraphBuilder::new().check_duplicate_names(true);
     let mut nodes: HashMap<String, NodeId> = HashMap::new();
     let mut nets: HashMap<String, NetId> = HashMap::new();
+    let mut pin_total = 0usize;
 
     for (idx, line) in BufReader::new(reader).lines().enumerate() {
         let line_no = idx + 1;
         let line = line.map_err(|_| ParseNetlistError::NotUtf8 { line: line_no })?;
+        limits.check_line(line_no, &line)?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut fields = line.split_whitespace();
-        let keyword = fields.next().expect("non-empty line has a first field");
+        let fields = fields_with_columns(line);
+        let mut fields = fields.into_iter();
+        let (_, keyword) = fields.next().expect("non-empty line has a first field");
         match keyword {
             "circuit" => {
-                let name = fields.next().ok_or(ParseNetlistError::MalformedRecord {
+                let (col, name) = fields.next().ok_or(ParseNetlistError::MalformedRecord {
                     line: line_no,
                     expected: "`circuit <name>`",
                 })?;
+                limits.check_name(line_no, col, name)?;
                 builder.set_name(name);
             }
             "node" => {
                 let name = fields.next();
-                let size = fields.next().and_then(|s| s.parse::<u32>().ok());
-                let (Some(name), Some(size)) = (name, size) else {
+                let size = fields.next().and_then(|(_, s)| s.parse::<u32>().ok());
+                let (Some((col, name)), Some(size)) = (name, size) else {
                     return Err(ParseNetlistError::MalformedRecord {
                         line: line_no,
                         expected: "`node <name> <size>`",
                     });
                 };
+                limits.check_name(line_no, col, name)?;
+                if nodes.len() >= limits.max_nodes {
+                    return Err(ParseNetlistError::LimitExceeded {
+                        line: line_no,
+                        column: 1,
+                        what: "node count",
+                        limit: limits.max_nodes,
+                    });
+                }
                 let id = builder.add_node(name, size);
                 nodes.insert(name.to_owned(), id);
             }
             "net" => {
-                let name = fields.next().ok_or(ParseNetlistError::MalformedRecord {
+                let (col, name) = fields.next().ok_or(ParseNetlistError::MalformedRecord {
                     line: line_no,
                     expected: "`net <name> <node>...`",
                 })?;
+                limits.check_name(line_no, col, name)?;
+                if nets.len() >= limits.max_nets {
+                    return Err(ParseNetlistError::LimitExceeded {
+                        line: line_no,
+                        column: 1,
+                        what: "net count",
+                        limit: limits.max_nets,
+                    });
+                }
                 let mut pins = Vec::new();
-                for pin in fields {
+                for (col, pin) in fields {
+                    if pin_total >= limits.max_pins {
+                        return Err(ParseNetlistError::LimitExceeded {
+                            line: line_no,
+                            column: col,
+                            what: "pin count",
+                            limit: limits.max_pins,
+                        });
+                    }
                     let id = nodes.get(pin).ok_or_else(|| ParseNetlistError::UnknownName {
                         line: line_no,
                         name: pin.to_owned(),
                     })?;
                     pins.push(*id);
+                    pin_total += 1;
                 }
                 let id = builder.add_net(name, pins)?;
                 nets.insert(name.to_owned(), id);
@@ -86,12 +134,13 @@ pub fn read_netlist<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError>
             "terminal" => {
                 let name = fields.next();
                 let net = fields.next();
-                let (Some(name), Some(net)) = (name, net) else {
+                let (Some((col, name)), Some((_, net))) = (name, net) else {
                     return Err(ParseNetlistError::MalformedRecord {
                         line: line_no,
                         expected: "`terminal <name> <net>`",
                     });
                 };
+                limits.check_name(line_no, col, name)?;
                 let net_id = nets.get(net).ok_or_else(|| ParseNetlistError::UnknownName {
                     line: line_no,
                     name: net.to_owned(),
@@ -116,6 +165,18 @@ pub fn read_netlist<R: Read>(reader: R) -> Result<Hypergraph, ParseNetlistError>
 /// See [`read_netlist`].
 pub fn parse_netlist(text: &str) -> Result<Hypergraph, ParseNetlistError> {
     read_netlist(text.as_bytes())
+}
+
+/// Parses a netlist from a string slice with explicit resource limits.
+///
+/// # Errors
+///
+/// See [`read_netlist_limited`].
+pub fn parse_netlist_limited(
+    text: &str,
+    limits: &ParseLimits,
+) -> Result<Hypergraph, ParseNetlistError> {
+    read_netlist_limited(text.as_bytes(), limits)
 }
 
 /// Writes a netlist in `.fhg` format (pass `&mut writer` if you need the
@@ -225,5 +286,47 @@ terminal out0 n2
     fn comments_and_blanks_ignored() {
         let h = parse_netlist("\n# hi\n\nnode a 1\nnet n a\n").unwrap();
         assert_eq!(h.node_count(), 1);
+    }
+
+    #[test]
+    fn node_count_limit_is_typed_with_location() {
+        let limits = ParseLimits { max_nodes: 2, ..ParseLimits::unlimited() };
+        let err = parse_netlist_limited("node a 1\nnode b 1\nnode c 1\nnet n a b c\n", &limits)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ParseNetlistError::LimitExceeded { line: 3, column: 1, what: "node count", limit: 2 }
+        );
+    }
+
+    #[test]
+    fn pin_count_limit_names_the_offending_column() {
+        let limits = ParseLimits { max_pins: 2, ..ParseLimits::unlimited() };
+        let err = parse_netlist_limited("node a 1\nnode b 1\nnode c 1\nnet n a b c\n", &limits)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            ParseNetlistError::LimitExceeded { line: 4, column: 11, what: "pin count", limit: 2 }
+        );
+    }
+
+    #[test]
+    fn name_length_limit_applies_to_all_records() {
+        let limits = ParseLimits { max_name_len: 3, ..ParseLimits::unlimited() };
+        let err = parse_netlist_limited("node abcd 1\n", &limits).unwrap_err();
+        assert!(matches!(
+            err,
+            ParseNetlistError::LimitExceeded { line: 1, column: 6, what: "name length", .. }
+        ));
+    }
+
+    #[test]
+    fn line_length_limit_rejects_before_parsing() {
+        let limits = ParseLimits { max_line_len: 10, ..ParseLimits::unlimited() };
+        let err = parse_netlist_limited("# this comment is quite long\n", &limits).unwrap_err();
+        assert!(matches!(
+            err,
+            ParseNetlistError::LimitExceeded { line: 1, what: "line length", .. }
+        ));
     }
 }

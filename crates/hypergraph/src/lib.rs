@@ -54,6 +54,7 @@ pub mod edit;
 pub mod gen;
 pub mod hmetis;
 pub mod io;
+pub mod limits;
 pub mod rng;
 pub mod stats;
 pub mod subgraph;
@@ -64,3 +65,4 @@ pub use edit::{apply_script, ApplyEditError, EditApplied, EditOp, EditScript, Pa
 pub use error::{BuildError, ParseNetlistError};
 pub use graph::Hypergraph;
 pub use ids::{NetId, NodeId, TerminalId};
+pub use limits::ParseLimits;

@@ -1,0 +1,170 @@
+//! Resource limits for untrusted netlist and edit-script input.
+//!
+//! The ROADMAP's daemon scale tier means the parsers must survive
+//! hostile input: a forged hMETIS header like `1 99999999999` would
+//! otherwise pre-allocate a hundred gigabytes of nodes before a single
+//! record is validated, and an unbounded line or name can balloon the
+//! name tables. [`ParseLimits`] bounds everything a reader allocates in
+//! proportion to, *before* the allocation happens; every violation is a
+//! typed error with exact line/column context
+//! ([`crate::ParseNetlistError::LimitExceeded`] /
+//! [`crate::edit::ParseEditError::LimitExceeded`]), never a panic or an
+//! OOM kill.
+//!
+//! Each reader has a `*_limited` entry point taking a `&ParseLimits`;
+//! the plain entry points delegate with [`ParseLimits::default`], so
+//! even code that never heard of limits gets the sane defaults. Trusted
+//! callers (in-process generators, tests of the parsers themselves) can
+//! opt out with [`ParseLimits::unlimited`].
+
+/// Hard caps applied while parsing netlists (`.fhg`, `.hgr`, BLIF) and
+/// edit scripts. All counts are totals per document; lengths are in
+/// bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseLimits {
+    /// Maximum interior nodes a document may declare (hMETIS headers are
+    /// checked *before* the node table is allocated).
+    pub max_nodes: usize,
+    /// Maximum nets/hyperedges a document may declare.
+    pub max_nets: usize,
+    /// Maximum total pins (net–node connections) across every net.
+    pub max_pins: usize,
+    /// Maximum length of one node/net/terminal name, in bytes.
+    pub max_name_len: usize,
+    /// Maximum length of one input line, in bytes.
+    pub max_line_len: usize,
+}
+
+impl Default for ParseLimits {
+    /// Defaults sized for the ROADMAP's million-cell tier with an order
+    /// of magnitude of headroom: 10 M nodes/nets, 200 M pins, 1 KiB
+    /// names, 1 MiB lines. A document within these bounds costs at most
+    /// a few gigabytes fully built; anything larger must be requested
+    /// explicitly (`--max-*` in the CLI).
+    fn default() -> Self {
+        ParseLimits {
+            max_nodes: 10_000_000,
+            max_nets: 10_000_000,
+            max_pins: 200_000_000,
+            max_name_len: 1024,
+            max_line_len: 1 << 20,
+        }
+    }
+}
+
+impl ParseLimits {
+    /// No limits at all (every cap at `usize::MAX`). For trusted
+    /// in-process input only.
+    #[must_use]
+    pub fn unlimited() -> Self {
+        ParseLimits {
+            max_nodes: usize::MAX,
+            max_nets: usize::MAX,
+            max_pins: usize::MAX,
+            max_name_len: usize::MAX,
+            max_line_len: usize::MAX,
+        }
+    }
+
+    /// Checks one raw input line against `max_line_len`, reporting the
+    /// first over-limit column.
+    pub(crate) fn check_line(
+        &self,
+        line_no: usize,
+        line: &str,
+    ) -> Result<(), crate::error::ParseNetlistError> {
+        if line.len() > self.max_line_len {
+            return Err(crate::error::ParseNetlistError::LimitExceeded {
+                line: line_no,
+                column: self.max_line_len + 1,
+                what: "line length",
+                limit: self.max_line_len,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks a name token (at 1-based `column`) against `max_name_len`.
+    pub(crate) fn check_name(
+        &self,
+        line_no: usize,
+        column: usize,
+        name: &str,
+    ) -> Result<(), crate::error::ParseNetlistError> {
+        if name.len() > self.max_name_len {
+            return Err(crate::error::ParseNetlistError::LimitExceeded {
+                line: line_no,
+                column,
+                what: "name length",
+                limit: self.max_name_len,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Whitespace-separated fields of `line`, each with the 1-based column
+/// (counted in characters, matching what an editor displays) where the
+/// field starts. Shared by every reader that reports column-exact
+/// errors.
+pub(crate) fn fields_with_columns(line: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut column = 0usize;
+    let mut start: Option<(usize, usize)> = None; // (column, byte offset)
+    for (byte, ch) in line.char_indices() {
+        column += 1;
+        if ch.is_whitespace() {
+            if let Some((col, at)) = start.take() {
+                out.push((col, &line[at..byte]));
+            }
+        } else if start.is_none() {
+            start = Some((column, byte));
+        }
+    }
+    if let Some((col, at)) = start {
+        out.push((col, &line[at..]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ParseNetlistError;
+
+    #[test]
+    fn defaults_are_sane_and_unlimited_is_unbounded() {
+        let d = ParseLimits::default();
+        assert!(d.max_nodes >= 1_000_000);
+        assert!(d.max_name_len >= 64);
+        let u = ParseLimits::unlimited();
+        assert_eq!(u.max_pins, usize::MAX);
+    }
+
+    #[test]
+    fn line_check_reports_limit_and_column() {
+        let limits = ParseLimits { max_line_len: 8, ..ParseLimits::default() };
+        assert!(limits.check_line(3, "short").is_ok());
+        let err = limits.check_line(3, "123456789").unwrap_err();
+        assert_eq!(
+            err,
+            ParseNetlistError::LimitExceeded { line: 3, column: 9, what: "line length", limit: 8 }
+        );
+    }
+
+    #[test]
+    fn name_check_reports_column_of_the_name() {
+        let limits = ParseLimits { max_name_len: 4, ..ParseLimits::default() };
+        let err = limits.check_name(2, 6, "toolong").unwrap_err();
+        assert!(matches!(
+            err,
+            ParseNetlistError::LimitExceeded { line: 2, column: 6, what: "name length", .. }
+        ));
+    }
+
+    #[test]
+    fn fields_with_columns_counts_characters() {
+        let fields = fields_with_columns("  ab  cd");
+        assert_eq!(fields, vec![(3, "ab"), (7, "cd")]);
+    }
+}

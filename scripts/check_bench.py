@@ -23,6 +23,14 @@ record list, the `profile` section must attribute >= 95% of the observed
 section reports peak RSS (null off Linux) and bytes/pin, and the
 metered-vs-unmetered overhead — now including span bookkeeping — must
 stay <= 2%.
+
+Schema 8 adds durability: the `durability` section compares the
+checkpointed multilevel restart search against the identical search
+without a writer on the 20k-node Rent circuit. The writer must actually
+write (`checkpoint_writes >= 1`), resuming from a torn one-restart
+prefix of the final snapshot must reproduce the uninterrupted baseline
+exactly (`resume_bit_identical`), and the median checkpointing overhead
+must stay <= 2%.
 """
 
 import argparse
@@ -228,6 +236,26 @@ def check(path, schema_version):
         if peak is not None:
             assert peak > 0, "memory: a real process has a nonzero peak RSS"
 
+    if schema_version >= 8:
+        dur = require(doc, "durability", dict, ctx)
+        for key, types in [("circuit", str), ("nodes", int),
+                           ("restarts", int),
+                           ("baseline_seconds", (int, float)),
+                           ("checkpointed_seconds", (int, float)),
+                           ("overhead_pct", (int, float)),
+                           ("checkpoint_writes", int),
+                           ("resume_bit_identical", bool)]:
+            require(dur, key, types, "durability")
+        assert dur["nodes"] >= 20000, \
+            "durability comparison must run on a 20k+-node circuit"
+        assert dur["checkpoint_writes"] >= 1, \
+            "the checkpointed run must put at least one snapshot on disk"
+        assert dur["resume_bit_identical"], \
+            "resuming a torn checkpoint must reproduce the baseline exactly"
+        assert dur["overhead_pct"] <= 2.0, \
+            (f"checkpointing overhead must stay <= 2%, got "
+             f"{dur['overhead_pct']}%")
+
     if "large_run" in doc:
         large = require(doc, "large_run", dict, ctx)
         for key, types in [("circuit", str), ("nodes", int),
@@ -247,8 +275,8 @@ def check(path, schema_version):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("file", help="bench JSON artifact to validate")
-    parser.add_argument("--schema-version", type=int, default=7,
-                        help="expected schema_version (default 7)")
+    parser.add_argument("--schema-version", type=int, default=8,
+                        help="expected schema_version (default 8)")
     args = parser.parse_args()
     try:
         check(args.file, args.schema_version)

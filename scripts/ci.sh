@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, release build, tests, degradation
-# smoke, quality-regression gate, observability smoke, smoke bench.
+# Local CI gate: formatting, lints, release build, tests, parser fuzz,
+# degradation smoke, kill-resume durability gate, quality-regression
+# gate, observability smoke, smoke bench.
 #
 # Usage: scripts/ci.sh [--skip-bench]
 #
@@ -41,6 +42,13 @@ for fpart_threads in 1 4; do
     FPART_THREADS=$fpart_threads cargo test --workspace -q
 done
 
+step "parser fuzz (20k seeded mutations x 5 parsers)"
+# Every parser (.fhg, hMETIS, BLIF, edit script, checkpoint) must return
+# typed errors — never panic — on arbitrary input. The fuzzer is fully
+# deterministic (workspace RNG, no external deps); a failure prints the
+# exact replay command.
+timeout 120 ./target/release/fuzz 20000 1
+
 step "degradation smoke (50 ms deadline on a large netlist)"
 # A wall-clock budget must yield a *successful* run that says it was cut
 # short: exit 0, a verifiable assignment, and `deadline_expired` in the
@@ -73,6 +81,50 @@ esac
 case "$err" in
     *RUST_BACKTRACE*) echo "parse error printed a backtrace: $err" >&2; exit 1 ;;
 esac
+
+step "kill-resume durability gate (SIGKILL mid-run, resume, bit-identical)"
+# The crash-safety contract end to end, against a real process: a
+# checkpointed 6-restart multilevel run on the 20k-node circuit is
+# SIGKILLed as soon as its first snapshot lands on disk; the snapshot
+# must still parse (atomic temp-file + rename — a torn write would fail
+# the resume), and resuming it must produce the *bit-identical*
+# assignment, cut, and device count of an uninterrupted run.
+timeout 120 ./target/release/fpart partition "$smoke_dir/large.fhg" \
+    --s-max 400 --t-max 120 --multilevel --restarts 6 \
+    --output "$smoke_dir/uninterrupted.txt" \
+    --metrics "$smoke_dir/uninterrupted.json"
+./target/release/fpart partition "$smoke_dir/large.fhg" \
+    --s-max 400 --t-max 120 --multilevel --restarts 6 \
+    --checkpoint "$smoke_dir/run.ckpt" --checkpoint-interval-ms 0 \
+    --output "$smoke_dir/killed.txt" >/dev/null 2>&1 &
+victim=$!
+for _ in $(seq 1 1200); do
+    [ -f "$smoke_dir/run.ckpt" ] && break
+    sleep 0.05
+done
+[ -f "$smoke_dir/run.ckpt" ] \
+    || { echo "no checkpoint appeared before the kill" >&2; exit 1; }
+kill -9 "$victim" 2>/dev/null || true
+set +e
+wait "$victim" 2>/dev/null
+set -e
+timeout 120 ./target/release/fpart partition "$smoke_dir/large.fhg" \
+    --s-max 400 --t-max 120 --multilevel --restarts 6 \
+    --resume "$smoke_dir/run.ckpt" \
+    --output "$smoke_dir/resumed.txt" --metrics "$smoke_dir/resumed.json"
+cmp "$smoke_dir/uninterrupted.txt" "$smoke_dir/resumed.txt" \
+    || { echo "resumed assignment differs from the uninterrupted run" >&2; exit 1; }
+python3 - "$smoke_dir/uninterrupted.json" "$smoke_dir/resumed.json" <<'EOF'
+import json, sys
+ref = json.load(open(sys.argv[1]))
+res = json.load(open(sys.argv[2]))
+for key in ("cut", "device_count", "feasible"):
+    assert ref["quality"][key] == res["quality"][key], \
+        f"{key}: {ref['quality'][key]} != {res['quality'][key]}"
+resumed = res["totals"]["counters"]["restarts_resumed"]
+assert resumed >= 1, "the killed run must have banked at least one restart"
+print(f"kill-resume gate: {resumed} restart(s) restored, result bit-identical")
+EOF
 
 step "quality-regression gate (pinned circuits vs goldens/quality_gate.json)"
 # Three pinned, seeded circuits are partitioned with the flat driver and
@@ -107,19 +159,21 @@ grep -q '"ph": "X"' "$smoke_dir/trace.chrome.json" \
     || { echo "chrome trace has no complete events" >&2; exit 1; }
 
 if [ "$skip_bench" -eq 0 ]; then
-    step "smoke bench -> BENCH_pr7.json"
-    timeout 900 ./target/release/smoke BENCH_pr7.json
+    step "smoke bench -> BENCH_pr8.json"
+    timeout 900 ./target/release/smoke BENCH_pr8.json
     # The artifact must be valid JSON *and* match the documented schema
     # (required keys with the right types), its multilevel section must
     # hold the n-level performance claims (>= 2x over flat at equal or
     # better quality), its eco section must hold the incremental repair
     # claims (>= 2x over from-scratch at comparable quality), its
     # intra_run section must show a bit-identical thread sweep (plus a
-    # >= 1.5x 4-worker speedup on 4+-core machines), and its profile
+    # >= 1.5x 4-worker speedup on 4+-core machines), its profile
     # section must attribute >= 95% of the multilevel run's wall time to
-    # phase self-time with metering overhead <= 2%, so a malformed or
-    # regressed bench fails CI rather than silently shipping.
-    python3 scripts/check_bench.py BENCH_pr7.json --schema-version 7
+    # phase self-time with metering overhead <= 2%, and its durability
+    # section must show checkpointing costs <= 2% with a bit-identical
+    # torn-checkpoint resume, so a malformed or regressed bench fails CI
+    # rather than silently shipping.
+    python3 scripts/check_bench.py BENCH_pr8.json --schema-version 8
 fi
 
 step "CI OK"
