@@ -1,7 +1,8 @@
 //! In-tree deterministic parser fuzzer: `fuzz [iterations] [seed]`.
 //!
 //! Mutates valid corpus documents (`.fhg`, hMETIS, BLIF, the eco edit
-//! script, the checkpoint format) with seeded byte- and token-level
+//! script, the checkpoint format, `fpart serve` protocol request
+//! lines) with seeded byte- and token-level
 //! havoc, then feeds every parser the result — twice, once under the
 //! default [`ParseLimits`] and once under hostile-tight limits so the
 //! limit-enforcement paths get exercised too. Any panic is a bug: the
@@ -15,6 +16,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
+use fpart_core::server::protocol;
 use fpart_core::Checkpoint;
 use fpart_hypergraph::gen::{window_circuit, WindowConfig};
 use fpart_hypergraph::rng::StdRng;
@@ -48,12 +50,20 @@ fn corpus() -> Vec<(&'static str, String)> {
          assignment 4 0 1 1 0\ncounters 3 5 9 2\nend\n",
         fpart_core::SCHEMA_VERSION
     );
+    let protocol = "\
+{\"id\": \"1\", \"cmd\": \"load\", \"session\": \"s\", \"path\": \"a.fhg\", \"device\": \"XC3020\", \"delta\": 0.9}\n\
+{\"id\": 2, \"cmd\": \"partition\", \"session\": \"s\", \"restarts\": 4, \"threads\": 2, \"seed\": 7, \
+\"deadline_ms\": 100, \"max_passes\": 8, \"method\": \"multilevel\", \"progress\": true, \"assignment\": true}\n\
+{\"id\": \"3\", \"cmd\": \"eco\", \"session\": \"s\", \"edits\": \"{\\\"op\\\": \\\"remove_node\\\", \\\"name\\\": \\\"n0\\\"}\"}\n\
+{\"id\": \"4\", \"cmd\": \"query\"}\n{\"id\": \"5\", \"cmd\": \"cancel\", \"target\": \"2\"}\n\
+{\"id\": \"6\", \"cmd\": \"shutdown\"}\n";
     vec![
         ("fhg", String::from_utf8(fhg).expect("ascii")),
         ("hgr", String::from_utf8(hgr).expect("ascii")),
         ("blif", blif.to_owned()),
         ("edits", edits.to_owned()),
         ("checkpoint", checkpoint),
+        ("protocol", protocol.to_owned()),
     ]
 }
 
@@ -78,6 +88,9 @@ const SPICE: &[&str] = &[
     "end",
     "\u{fffd}\u{30c6}",
     "{\"op\":",
+    "{\"id\":",
+    "\"cmd\"",
+    "\\u0022",
 ];
 
 /// Applies 1–8 seeded mutations to `base`.
@@ -145,12 +158,19 @@ fn mutate(rng: &mut StdRng, base: &str) -> String {
 /// the first parser that panicked, if any. Parse *errors* are the
 /// expected outcome and ignored.
 fn run_parsers(text: &str, limits: &ParseLimits) -> Option<&'static str> {
-    let cases: [(&'static str, &dyn Fn()); 5] = [
+    let cases: [(&'static str, &dyn Fn()); 6] = [
         ("parse_netlist_limited", &|| drop(io::parse_netlist_limited(text, limits))),
         ("parse_hmetis_limited", &|| drop(hmetis::parse_hmetis_limited(text, limits))),
         ("parse_blif_limited", &|| drop(blif::parse_blif_limited(text, limits))),
         ("EditScript::parse_limited", &|| drop(EditScript::parse_limited(text, limits))),
         ("Checkpoint::parse", &|| drop(Checkpoint::parse(text))),
+        // The server parses one request per line; feed it each mutated
+        // line the way `serve` would see them.
+        ("protocol::parse_request", &|| {
+            for line in text.lines() {
+                drop(protocol::parse_request(line));
+            }
+        }),
     ];
     for (name, run) in cases {
         if catch_unwind(AssertUnwindSafe(run)).is_err() {
@@ -190,5 +210,5 @@ fn main() {
         }
     }
     let _ = std::panic::take_hook();
-    println!("fuzz: {iterations} iterations x 5 parsers, seed {seed}: no panics");
+    println!("fuzz: {iterations} iterations x 6 parsers, seed {seed}: no panics");
 }

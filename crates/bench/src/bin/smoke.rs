@@ -1,8 +1,8 @@
 //! Smoke performance benchmark for the incremental-cost / zero-allocation
-//! / parallel-search work, emitting machine-readable `BENCH_pr8.json`
+//! / parallel-search work, emitting machine-readable `BENCH_pr9.json`
 //! (schema-versioned; see `fpart_core::obs::SCHEMA_VERSION`).
 //!
-//! Twelve measurements:
+//! Thirteen measurements:
 //!
 //! 1. **Pass throughput** — retained moves per second of `improve(...)`
 //!    on an MCNC-scale circuit (two-block and 8-way), exercising the
@@ -64,25 +64,35 @@
 //!     down to a one-restart prefix — the on-disk shape a mid-run
 //!     SIGKILL leaves — and resumed; `resume_bit_identical` asserts
 //!     the merged result matches the uninterrupted baseline exactly.
+//! 13. **Partition server** — warm-session request latency of the
+//!     `fpart serve` engine (`Server::handle` on a pre-loaded 20k-node
+//!     session) against a cold one-shot of the same deadline-bounded
+//!     search through the sibling `fpart` CLI binary (in-process
+//!     parse + partition where the binary is absent). Both sides run
+//!     the identical capped search, so the ratio isolates what a
+//!     session amortizes — process spawn, netlist parse, graph
+//!     construction — and `warm_over_cold <= 0.5` is the acceptance
+//!     gate `check_bench.py` enforces.
 //!
-//! Output path: first CLI argument, default `BENCH_pr8.json`.
+//! Output path: first CLI argument, default `BENCH_pr9.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use fpart_core::cost::CostEvaluator;
 use fpart_core::fm::{bipartition_fm, FmConfig};
+use fpart_core::server::protocol;
 use fpart_core::{
     improve, partition_multilevel_observed, partition_restarts, partition_restarts_observed,
-    Counter, FaultPlan, FpartConfig, ImproveContext, KeyTracker, Metrics, MultilevelConfig,
-    Observer, PartitionState, RunBudget, SpanKind,
+    Counter, FaultPlan, FpartConfig, ImproveContext, Json, KeyTracker, Metrics, MultilevelConfig,
+    Observer, PartitionState, RunBudget, Server, ServerConfig, SpanKind,
 };
 use fpart_device::{Device, DeviceConstraints};
 use fpart_hypergraph::gen::{find_profile, rent_circuit, synthesize_mcnc, RentConfig, Technology};
 use fpart_hypergraph::NodeId;
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr8.json".to_owned());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr9.json".to_owned());
     let graph = synthesize_mcnc(find_profile("s9234").expect("profile"), Technology::Xc3000);
     let constraints = Device::XC3020.constraints(0.9);
     let config = FpartConfig::default();
@@ -727,6 +737,116 @@ fn main() {
          \"overhead_pct\": {durability_overhead_pct:.1}, \
          \"checkpoint_writes\": {checkpoint_writes}, \
          \"resume_bit_identical\": {resume_bit_identical}}},",
+        rent.node_count()
+    );
+
+    // 13. Partition server: warm-session request latency against a cold
+    //     one-shot on the same 20k-node Rent circuit. Both sides run the
+    //     identical deadline-bounded flat search, so the
+    //     difference is exactly what a loaded session amortizes: process
+    //     spawn, netlist parse, and graph construction. Cold is the
+    //     sibling `fpart` CLI binary when it sits next to this bench
+    //     (the release layout `ci.sh` builds); otherwise an in-process
+    //     parse + partition stands in.
+    let server_netlist =
+        std::env::temp_dir().join(format!("fpart-smoke-server-{}.fhg", std::process::id()));
+    {
+        let file = std::fs::File::create(&server_netlist).expect("create server netlist");
+        fpart_hypergraph::io::write_netlist(file, &rent).expect("write server netlist");
+    }
+    let netlist_arg = server_netlist.display().to_string();
+    // The flat method with a tight deadline: flat FPART checks its
+    // budget at move granularity (stops within ~2 ms of expiry, per
+    // measurement 5), so the capped search stays small next to the
+    // parse and process spawn the warm session amortizes, while both
+    // sides still return a verified (degraded) solution.
+    let deadline_ms = 10u64;
+    let fpart_bin = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.join("fpart")))
+        .filter(|p| p.exists());
+    let cold_mode = if fpart_bin.is_some() { "cli" } else { "in_process" };
+    let mut cold_secs = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        if let Some(bin) = &fpart_bin {
+            let status = std::process::Command::new(bin)
+                .args([
+                    "partition",
+                    &netlist_arg,
+                    "--s-max",
+                    "400",
+                    "--t-max",
+                    "120",
+                    "--method",
+                    "fpart",
+                    "--deadline-ms",
+                    &deadline_ms.to_string(),
+                    "--threads",
+                    "1",
+                ])
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::null())
+                .status()
+                .expect("spawn the fpart CLI");
+            assert!(status.success(), "cold one-shot CLI run failed");
+        } else {
+            let file = std::fs::File::open(&server_netlist).expect("open server netlist");
+            let parsed = fpart_hypergraph::io::read_netlist(std::io::BufReader::new(file))
+                .expect("parse server netlist");
+            let capped = FpartConfig {
+                budget: RunBudget {
+                    deadline: Some(std::time::Duration::from_millis(deadline_ms)),
+                    ..RunBudget::default()
+                },
+                ..FpartConfig::default()
+            };
+            let run = fpart_core::partition(&parsed, rent_constraints, &capped)
+                .expect("cold in-process run");
+            std::hint::black_box(run.cut);
+        }
+        cold_secs = cold_secs.min(start.elapsed().as_secs_f64());
+    }
+
+    let server = Server::new(ServerConfig::default());
+    let mut load_reply = Vec::new();
+    server.handle(
+        &format!(
+            "{{\"id\": \"load\", \"cmd\": \"load\", \"session\": \"bench\", \"path\": {}, \
+             \"s_max\": 400, \"t_max\": 120}}",
+            protocol::json_string(&netlist_arg)
+        ),
+        &mut load_reply,
+    );
+    let load_line = String::from_utf8(load_reply).expect("utf8 load reply");
+    assert!(load_line.contains("\"ok\": true"), "session load failed: {load_line}");
+    let mut warm_secs = f64::INFINITY;
+    for rep in 0..5 {
+        let line = format!(
+            "{{\"id\": \"w{rep}\", \"cmd\": \"partition\", \"session\": \"bench\", \
+             \"method\": \"fpart\", \"deadline_ms\": {deadline_ms}}}"
+        );
+        let mut reply = Vec::new();
+        let start = Instant::now();
+        server.handle(&line, &mut reply);
+        warm_secs = warm_secs.min(start.elapsed().as_secs_f64());
+        let text = String::from_utf8(reply).expect("utf8 warm reply");
+        let last = text.lines().last().expect("a warm reply line");
+        let doc = Json::parse(last).expect("warm reply parses");
+        assert_eq!(doc.get("ok"), Some(&Json::Bool(true)), "warm request failed: {last}");
+    }
+    let _ = std::fs::remove_file(&server_netlist);
+    let warm_over_cold = warm_secs / cold_secs.max(1e-9);
+    println!(
+        "server: cold one-shot ({cold_mode}) {cold_secs:.3}s, warm session request \
+         {warm_secs:.3}s => warm/cold {warm_over_cold:.2}"
+    );
+    let _ = writeln!(
+        json,
+        "  \"server\": {{\"circuit\": \"rent20k\", \"nodes\": {}, \
+         \"deadline_ms\": {deadline_ms}, \"cold_mode\": \"{cold_mode}\", \
+         \"cold_seconds\": {cold_secs:.4}, \"warm_seconds\": {warm_secs:.4}, \
+         \"warm_over_cold\": {warm_over_cold:.3}}},",
         rent.node_count()
     );
 

@@ -779,7 +779,7 @@ fn json_string(text: &str) -> String {
 /// caps, individually overridable. Every reader (netlist formats and
 /// the eco edit script) enforces them with typed line/column errors
 /// before allocating anything proportional to a claimed size.
-fn resolve_limits(args: &Args) -> Result<ParseLimits, String> {
+pub(crate) fn resolve_limits(args: &Args) -> Result<ParseLimits, String> {
     let defaults = ParseLimits::default();
     Ok(ParseLimits {
         max_nodes: args.option_parsed("max-nodes", defaults.max_nodes)?,

@@ -15,9 +15,9 @@
 mod args;
 mod commands;
 mod error;
-mod json;
 mod netlist_file;
 mod report;
+mod serve;
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, AtomicI32, Ordering};
@@ -90,6 +90,9 @@ USAGE:
                                                         repair a partition after edits
   fpart report --metrics <FILE|->                       render a metrics file as a
                                                         phase-time report
+  fpart serve [--listen <SOCKET>] [options]             long-running partition server
+                                                        (JSON-Lines over stdio or a
+                                                        Unix socket)
   fpart devices                                         list the device catalog
 
 PARTITION OPTIONS:
@@ -167,6 +170,19 @@ ECO OPTIONS:
   plus --device/--s-max/--t-max/--delta, --restarts, --threads,
   --deadline-ms, --max-passes, --metrics, --output, --write-assignment
 
+SERVE OPTIONS:
+  --listen <SOCKET>   accept connections on a Unix domain socket instead
+                      of speaking the protocol over stdio
+  --threads <N>       total worker budget shared by all requests
+                      (default: $FPART_THREADS if set, else 1)
+  --queue <N>         per-session queued requests before `busy` (default 4)
+  --heartbeat-ms <N>  progress event throttle (default 200)
+  plus the input limit options; --max-line-len also bounds request lines
+  Protocol: one JSON object per line with an `id` and a `cmd` of
+  load | partition | eco | query | cancel | shutdown; every reply names
+  its request id and is either ok/result, ok:false/error (typed code),
+  or an interim queued/progress event. See DESIGN.md, Partition server.
+
 REPORT OPTIONS:
   --metrics <FILE|->  metrics JSON written by --metrics (`-` reads stdin);
                       also accepted as a positional argument
@@ -202,6 +218,7 @@ fn main() -> ExitCode {
         "verify" => commands::verify(rest),
         "eco" => commands::eco(rest),
         "report" => report::report(rest),
+        "serve" => serve::serve(rest),
         "devices" => commands::devices(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

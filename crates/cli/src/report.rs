@@ -14,7 +14,7 @@ use std::io::Read as _;
 
 use crate::args::{Args, Spec};
 use crate::error::CliError;
-use crate::json::Json;
+use fpart_core::json::Json;
 
 /// One span record row from `totals.spans`.
 struct Row {

@@ -210,7 +210,10 @@ fn metrics_and_trace_json_outputs() {
         .expect("runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let json = std::fs::read_to_string(&metrics_file).expect("metrics file");
-    assert!(json.contains("\"schema_version\": 8"), "{json}");
+    assert!(
+        json.contains(&format!("\"schema_version\": {}", fpart_core::SCHEMA_VERSION)),
+        "{json}"
+    );
     assert!(json.contains("\"restarts\": 3"), "{json}");
     assert!(json.contains("\"completion\": \"complete\""), "{json}");
     assert!(json.contains("\"failed_restarts\": []"), "{json}");
@@ -584,7 +587,10 @@ fn eco_repairs_an_edited_netlist() {
     assert!(text.contains("eco:"), "{text}");
     let metrics_text = std::fs::read_to_string(&metrics).expect("metrics written");
     assert!(metrics_text.contains("\"eco_edits_applied\": 3"), "{metrics_text}");
-    assert!(metrics_text.contains("\"schema_version\": 8"), "{metrics_text}");
+    assert!(
+        metrics_text.contains(&format!("\"schema_version\": {}", fpart_core::SCHEMA_VERSION)),
+        "{metrics_text}"
+    );
 
     // The repaired assignment verifies against the *edited* netlist —
     // which the original netlist file no longer is, so verify must
@@ -642,7 +648,10 @@ fn metrics_and_trace_json_accept_stdout() {
         .expect("runs");
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("\"schema_version\": 8"), "{stdout}");
+    assert!(
+        stdout.contains(&format!("\"schema_version\": {}", fpart_core::SCHEMA_VERSION)),
+        "{stdout}"
+    );
     assert!(stdout.contains("\"totals\": {"), "{stdout}");
     assert!(String::from_utf8_lossy(&out.stderr).contains("metrics written to stdout"));
 

@@ -1,10 +1,12 @@
-//! Minimal recursive-descent JSON parser for `fpart report`.
+//! Minimal recursive-descent JSON parser shared by the partition
+//! server's request decoding ([`crate::server`]) and the CLI's
+//! `fpart report` command.
 //!
-//! Reads the documents the CLI itself writes (`--metrics`,
-//! `--trace-json` lines), so it covers the full JSON grammar but keeps
-//! numbers as `f64` and objects as ordered key/value vectors — enough
-//! to navigate and render, deliberately dependency-free like the rest
-//! of the workspace.
+//! Reads the documents the workspace itself writes (`--metrics`,
+//! `--trace-json` lines, JSON-Lines protocol requests), so it covers
+//! the full JSON grammar but keeps numbers as `f64` and objects as
+//! ordered key/value vectors — enough to navigate and render,
+//! deliberately dependency-free like the rest of the workspace.
 
 /// A parsed JSON value. Object keys keep their document order so report
 /// output is stable.

@@ -75,12 +75,14 @@ pub mod gain;
 pub mod hetero;
 pub mod initial;
 pub mod interconnect;
+pub mod json;
 pub mod multilevel;
 pub mod obs;
 pub mod parallel;
 pub mod persist;
 pub mod refine;
 pub mod report;
+pub mod server;
 pub mod stack;
 pub mod state;
 pub mod trace;
@@ -116,6 +118,7 @@ pub use engine::{
 pub use hetero::{partition_hetero, HeteroOutcome};
 pub use initial::{bipartition_remainder, InitialMethod};
 pub use interconnect::InterconnectReport;
+pub use json::Json;
 pub use multilevel::{
     partition_multilevel, partition_multilevel_observed, partition_multilevel_restarts,
     partition_multilevel_restarts_observed, split_thread_budget, MultilevelConfig,
@@ -126,6 +129,7 @@ pub use obs::{
 };
 pub use persist::{write_atomic, AtomicFile};
 pub use report::QualityReport;
+pub use server::{RunParams, Server, ServerConfig};
 pub use state::PartitionState;
 pub use trace::{ImproveKind, Trace, TraceEvent};
 pub use verify::{verify_assignment, Verification, Violation};

@@ -43,7 +43,11 @@ use crate::trace::{ImproveKind, TraceEvent};
 /// Schema version of every machine-readable document this module emits
 /// (the CLI `--metrics` file, the JSONL trace, `BENCH_*.json`). Bump it
 /// whenever a field is renamed, removed, or changes meaning.
-pub const SCHEMA_VERSION: u32 = 8;
+///
+/// Version 9 adds the partition server: the `server_requests` /
+/// `server_cancelled` counters, the protocol `hello` banner's
+/// `schema_version` field, and the smoke bench's `server` section.
+pub const SCHEMA_VERSION: u32 = 9;
 
 /// The named engine counters. Every counter is a monotonically
 /// increasing `u64`; [`Counter::name`] is the stable `snake_case` key used
@@ -100,11 +104,17 @@ pub enum Counter {
     RestartsResumed,
     /// Checkpoint snapshots written to disk during the run.
     CheckpointsWritten,
+    /// Protocol requests executed against a server session (the
+    /// per-request registries merge into the session totals carrying
+    /// this count).
+    ServerRequests,
+    /// Server requests stopped by an explicit `cancel` request.
+    ServerCancelled,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 23] = [
+    pub const ALL: [Counter; 25] = [
         Counter::Passes,
         Counter::MovesApplied,
         Counter::MovesReverted,
@@ -128,6 +138,8 @@ impl Counter {
         Counter::PairPanics,
         Counter::RestartsResumed,
         Counter::CheckpointsWritten,
+        Counter::ServerRequests,
+        Counter::ServerCancelled,
     ];
 
     /// Stable `snake_case` key of this counter in serialized metrics.
@@ -157,6 +169,8 @@ impl Counter {
             Counter::PairPanics => "pair_panics",
             Counter::RestartsResumed => "restarts_resumed",
             Counter::CheckpointsWritten => "checkpoints_written",
+            Counter::ServerRequests => "server_requests",
+            Counter::ServerCancelled => "server_cancelled",
         }
     }
 }

@@ -1,0 +1,540 @@
+//! Wire protocol of the partition server: JSON-Lines requests in,
+//! typed JSON-Lines responses out.
+//!
+//! Every request is one line holding one JSON object with a
+//! client-supplied `"id"` and a `"cmd"`; every reply names the request
+//! it answers. Three reply shapes exist:
+//!
+//! * `{"id": .., "ok": true, "result": {..}}` — final success;
+//! * `{"id": .., "ok": false, "error": {"code": .., "message": ..}}` —
+//!   typed failure (malformed input **never** disconnects);
+//! * `{"id": .., "event": ..}` — interim notification (`queued`,
+//!   `progress`); zero or more precede the final reply.
+//!
+//! The server opens each connection with a banner line
+//! (`{"event": "hello", ..}`) carrying [`PROTOCOL_VERSION`] and
+//! [`crate::obs::SCHEMA_VERSION`] so clients can gate on both.
+//!
+//! Request decoding is hand-rolled on [`crate::json::Json`], mirroring
+//! the workspace's dependency-free JSON policy, and the line reader
+//! enforces [`fpart_hypergraph::ParseLimits::max_line_len`] *before*
+//! buffering a hostile line.
+
+use std::io::BufRead;
+
+use crate::json::Json;
+
+/// Version of the line protocol itself (independent of the metrics
+/// schema): bumped when the request or reply grammar changes shape.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A typed protocol-level failure. Serialized into the `"error"`
+/// object of a reply; receiving one never tears down the connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// Stable machine-readable code (`parse_error`, `bad_request`,
+    /// `unknown_command`, `unknown_session`, `line_too_long`, `busy`,
+    /// `duplicate_id`, `load_failed`, `run_failed`, `no_assignment`,
+    /// `shutting_down`).
+    pub code: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl ProtocolError {
+    /// Builds an error with the given code and message.
+    #[must_use]
+    pub fn new(code: &'static str, message: impl Into<String>) -> Self {
+        ProtocolError { code, message: message.into() }
+    }
+}
+
+/// How a `partition` request runs the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// Flat FPART search (the paper's driver).
+    Fpart,
+    /// Multilevel V-cycle (default: the mode that scales to the large
+    /// warm-session circuits the server exists for).
+    #[default]
+    Multilevel,
+}
+
+impl Method {
+    /// The wire spelling.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Fpart => "fpart",
+            Method::Multilevel => "multilevel",
+        }
+    }
+}
+
+/// Execution parameters shared by `partition` and `eco` requests. All
+/// fields are optional on the wire; the defaults mirror the CLI's.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunParams {
+    /// Independent restarts with consecutive seeds; best wins.
+    pub restarts: usize,
+    /// Worker budget for this request, clamped to the server's
+    /// `--threads` total (`None` → the full server budget).
+    pub threads: Option<usize>,
+    /// Overrides [`crate::FpartConfig::seed`] for this request.
+    pub seed: Option<u64>,
+    /// Per-request wall-clock deadline, wired into
+    /// [`crate::RunBudget::deadline`].
+    pub deadline_ms: Option<u64>,
+    /// FM pass budget ([`crate::RunBudget::max_passes`]).
+    pub max_passes: Option<u64>,
+    /// Applied-move budget ([`crate::RunBudget::max_moves`]).
+    pub max_moves: Option<u64>,
+    /// Engine selection (default [`Method::Multilevel`]).
+    pub method: Method,
+    /// Stream throttled `progress` events while running (honored when
+    /// `restarts` is 1, where the streamed run is bit-identical to the
+    /// unobserved one).
+    pub progress: bool,
+    /// Write the winning assignment to this path (atomic
+    /// temp-fsync-rename, versioned format).
+    pub output: Option<String>,
+    /// Inline the full per-node assignment array in the result.
+    pub return_assignment: bool,
+}
+
+impl Default for RunParams {
+    fn default() -> Self {
+        RunParams {
+            restarts: 1,
+            threads: None,
+            seed: None,
+            deadline_ms: None,
+            max_passes: None,
+            max_moves: None,
+            method: Method::default(),
+            progress: false,
+            output: None,
+            return_assignment: false,
+        }
+    }
+}
+
+/// Where an `eco` request's edit script comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditSource {
+    /// JSON-Lines edit operations embedded in the request (newlines
+    /// escaped as `\n` inside the JSON string).
+    Inline(String),
+    /// Path of a JSON-Lines edit script on the server's filesystem.
+    Path(String),
+}
+
+/// A decoded request, minus its `id` (returned separately so error
+/// replies can echo it even when the body is invalid).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Parse a netlist once and bind it to a named session.
+    Load {
+        /// Session name (created or replaced).
+        session: String,
+        /// Netlist path (`.fhg` / `.hgr` / `.blif` by extension).
+        path: String,
+        /// Device catalog name (alternative to `s_max`/`t_max`).
+        device: Option<String>,
+        /// Custom device size cap.
+        s_max: Option<u64>,
+        /// Custom device terminal cap.
+        t_max: Option<usize>,
+        /// Filling ratio applied to a catalog device (default 0.9).
+        delta: f64,
+    },
+    /// Partition a loaded session's netlist.
+    Partition {
+        /// Target session.
+        session: String,
+        /// Execution parameters.
+        params: RunParams,
+    },
+    /// Apply an edit script to a session and repair its last
+    /// partition (ECO flow).
+    Eco {
+        /// Target session.
+        session: String,
+        /// The edit script.
+        edits: EditSource,
+        /// Execution parameters.
+        params: RunParams,
+    },
+    /// Inspect one session (or list all when `session` is absent).
+    Query {
+        /// Session to inspect; `None` lists all sessions.
+        session: Option<String>,
+    },
+    /// Cooperatively cancel an in-flight or queued request by its id.
+    Cancel {
+        /// The `id` of the request to cancel.
+        target: String,
+    },
+    /// Cancel everything, refuse new work, and close.
+    Shutdown,
+}
+
+fn get_str(doc: &Json, key: &str) -> Result<Option<String>, ProtocolError> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(ProtocolError::new("bad_request", format!("`{key}` must be a string"))),
+    }
+}
+
+fn get_u64(doc: &Json, key: &str) -> Result<Option<u64>, ProtocolError> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(value) => value.as_u64().map(Some).ok_or_else(|| {
+            ProtocolError::new("bad_request", format!("`{key}` must be a non-negative integer"))
+        }),
+    }
+}
+
+fn get_f64(doc: &Json, key: &str) -> Result<Option<f64>, ProtocolError> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Num(n)) => Ok(Some(*n)),
+        Some(_) => Err(ProtocolError::new("bad_request", format!("`{key}` must be a number"))),
+    }
+}
+
+fn get_bool(doc: &Json, key: &str) -> Result<Option<bool>, ProtocolError> {
+    match doc.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(ProtocolError::new("bad_request", format!("`{key}` must be a boolean"))),
+    }
+}
+
+fn require_str(doc: &Json, key: &str) -> Result<String, ProtocolError> {
+    get_str(doc, key)?.ok_or_else(|| ProtocolError::new("bad_request", format!("missing `{key}`")))
+}
+
+fn parse_params(doc: &Json) -> Result<RunParams, ProtocolError> {
+    let method = match get_str(doc, "method")?.as_deref() {
+        None | Some("multilevel") => Method::Multilevel,
+        Some("fpart") => Method::Fpart,
+        Some(other) => {
+            return Err(ProtocolError::new(
+                "bad_request",
+                format!("unknown method `{other}` (expected `fpart` or `multilevel`)"),
+            ))
+        }
+    };
+    let restarts = get_u64(doc, "restarts")?.unwrap_or(1);
+    if restarts == 0 {
+        return Err(ProtocolError::new("bad_request", "`restarts` must be at least 1"));
+    }
+    Ok(RunParams {
+        restarts: restarts as usize,
+        threads: get_u64(doc, "threads")?.map(|n| n as usize),
+        seed: get_u64(doc, "seed")?,
+        deadline_ms: get_u64(doc, "deadline_ms")?,
+        max_passes: get_u64(doc, "max_passes")?,
+        max_moves: get_u64(doc, "max_moves")?,
+        method,
+        progress: get_bool(doc, "progress")?.unwrap_or(false),
+        output: get_str(doc, "output")?,
+        return_assignment: get_bool(doc, "assignment")?.unwrap_or(false),
+    })
+}
+
+/// Decodes one request line. The request `id` is returned separately
+/// (when one could be extracted) so the caller can echo it in error
+/// replies for bodies that fail validation.
+pub fn parse_request(line: &str) -> (Option<String>, Result<Command, ProtocolError>) {
+    let doc = match Json::parse(line.trim()) {
+        Ok(doc @ Json::Obj(_)) => doc,
+        Ok(_) => {
+            return (None, Err(ProtocolError::new("bad_request", "request must be a JSON object")))
+        }
+        Err(e) => return (None, Err(ProtocolError::new("parse_error", e))),
+    };
+    // Accept string or integer ids; reply lines always quote them.
+    let id = match doc.get("id") {
+        Some(Json::Str(s)) => Some(s.clone()),
+        Some(Json::Num(n)) if n.fract() == 0.0 => Some(format!("{n:.0}")),
+        _ => None,
+    };
+    let Some(ref _id) = id else {
+        return (None, Err(ProtocolError::new("bad_request", "missing `id` (string or integer)")));
+    };
+    let command = decode_command(&doc);
+    (id, command)
+}
+
+fn decode_command(doc: &Json) -> Result<Command, ProtocolError> {
+    let cmd = require_str(doc, "cmd")?;
+    match cmd.as_str() {
+        "load" => {
+            let delta = get_f64(doc, "delta")?.unwrap_or(0.9);
+            if !(delta > 0.0 && delta <= 1.0) {
+                return Err(ProtocolError::new("bad_request", "`delta` must be in (0, 1]"));
+            }
+            Ok(Command::Load {
+                session: require_str(doc, "session")?,
+                path: require_str(doc, "path")?,
+                device: get_str(doc, "device")?,
+                s_max: get_u64(doc, "s_max")?,
+                t_max: get_u64(doc, "t_max")?.map(|n| n as usize),
+                delta,
+            })
+        }
+        "partition" => Ok(Command::Partition {
+            session: require_str(doc, "session")?,
+            params: parse_params(doc)?,
+        }),
+        "eco" => {
+            let edits = match (get_str(doc, "edits")?, get_str(doc, "edits_path")?) {
+                (Some(inline), None) => EditSource::Inline(inline),
+                (None, Some(path)) => EditSource::Path(path),
+                (Some(_), Some(_)) => {
+                    return Err(ProtocolError::new(
+                        "bad_request",
+                        "give `edits` or `edits_path`, not both",
+                    ))
+                }
+                (None, None) => {
+                    return Err(ProtocolError::new(
+                        "bad_request",
+                        "missing `edits` (inline JSONL) or `edits_path`",
+                    ))
+                }
+            };
+            Ok(Command::Eco {
+                session: require_str(doc, "session")?,
+                edits,
+                params: parse_params(doc)?,
+            })
+        }
+        "query" => Ok(Command::Query { session: get_str(doc, "session")? }),
+        "cancel" => Ok(Command::Cancel { target: require_str(doc, "target")? }),
+        "shutdown" => Ok(Command::Shutdown),
+        other => Err(ProtocolError::new("unknown_command", format!("unknown command `{other}`"))),
+    }
+}
+
+/// Escapes `text` as a JSON string literal, quotes included.
+#[must_use]
+pub fn json_string(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    out.push('"');
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The banner line every connection starts with.
+#[must_use]
+pub fn hello_line() -> String {
+    format!(
+        "{{\"event\": \"hello\", \"server\": \"fpart\", \"protocol\": {PROTOCOL_VERSION}, \
+         \"schema_version\": {}}}",
+        crate::obs::SCHEMA_VERSION
+    )
+}
+
+/// A final success reply. `result` must be a rendered JSON value.
+#[must_use]
+pub fn ok_line(id: &str, result: &str) -> String {
+    format!("{{\"id\": {}, \"ok\": true, \"result\": {result}}}", json_string(id))
+}
+
+/// A final error reply (`id` is `null` when the line had none).
+#[must_use]
+pub fn error_line(id: Option<&str>, error: &ProtocolError) -> String {
+    let id = id.map_or_else(|| "null".to_owned(), json_string);
+    format!(
+        "{{\"id\": {id}, \"ok\": false, \"error\": {{\"code\": \"{}\", \"message\": {}}}}}",
+        error.code,
+        json_string(&error.message)
+    )
+}
+
+/// Interim ack for a request parked behind `position` earlier requests
+/// in its session's queue.
+#[must_use]
+pub fn queued_line(id: &str, position: usize) -> String {
+    format!("{{\"id\": {}, \"event\": \"queued\", \"position\": {position}}}", json_string(id))
+}
+
+/// Interim progress event wrapping one engine trace event (as rendered
+/// by [`crate::obs::event_to_json`]).
+#[must_use]
+pub fn progress_line(id: &str, event_json: &str) -> String {
+    format!("{{\"id\": {}, \"event\": \"progress\", \"data\": {event_json}}}", json_string(id))
+}
+
+/// Reads one `\n`-terminated line of at most `max_len` bytes.
+///
+/// * `Ok(None)` — end of stream (or `should_stop` turned true while
+///   waiting on a read timeout);
+/// * `Ok(Some(Err(..)))` — the line exceeded `max_len` or was not
+///   UTF-8; it has been consumed through its newline, so the caller
+///   can reply with a typed error and keep the connection;
+/// * `Ok(Some(Ok(line)))` — one line, newline stripped.
+///
+/// Timeout-flavored I/O errors (`WouldBlock`, `TimedOut`) poll
+/// `should_stop` and retry, so a socket with a read timeout observes
+/// server shutdown without losing partially-read lines.
+///
+/// # Errors
+///
+/// Any other I/O error is fatal for the connection.
+pub fn read_line_limited<R: BufRead>(
+    reader: &mut R,
+    max_len: usize,
+    should_stop: &dyn Fn() -> bool,
+) -> std::io::Result<Option<Result<String, ProtocolError>>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut overflow = false;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if should_stop() {
+                    return Ok(None);
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+                if should_stop() {
+                    return Ok(None);
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            if buf.is_empty() && !overflow {
+                return Ok(None);
+            }
+            break;
+        }
+        if let Some(newline) = chunk.iter().position(|&b| b == b'\n') {
+            if overflow || buf.len() + newline > max_len {
+                overflow = true;
+            } else {
+                buf.extend_from_slice(&chunk[..newline]);
+            }
+            reader.consume(newline + 1);
+            break;
+        }
+        let len = chunk.len();
+        if overflow || buf.len() + len > max_len {
+            overflow = true;
+            buf.clear();
+        } else {
+            buf.extend_from_slice(chunk);
+        }
+        reader.consume(len);
+    }
+    if overflow {
+        return Ok(Some(Err(ProtocolError::new(
+            "line_too_long",
+            format!("request line exceeds max_line_len ({max_len} bytes)"),
+        ))));
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => Ok(Some(Ok(line))),
+        Err(_) => {
+            Ok(Some(Err(ProtocolError::new("parse_error", "request line is not valid UTF-8"))))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decodes_partition_with_params() {
+        let (id, cmd) = parse_request(
+            r#"{"id": "7", "cmd": "partition", "session": "s", "restarts": 3, "threads": 2,
+                "seed": 9, "deadline_ms": 50, "progress": true, "method": "fpart"}"#,
+        );
+        assert_eq!(id.as_deref(), Some("7"));
+        let Command::Partition { session, params } = cmd.unwrap() else { panic!("wrong command") };
+        assert_eq!(session, "s");
+        assert_eq!(params.restarts, 3);
+        assert_eq!(params.threads, Some(2));
+        assert_eq!(params.seed, Some(9));
+        assert_eq!(params.deadline_ms, Some(50));
+        assert!(params.progress);
+        assert_eq!(params.method, Method::Fpart);
+    }
+
+    #[test]
+    fn integer_ids_are_accepted() {
+        let (id, cmd) = parse_request(r#"{"id": 12, "cmd": "shutdown"}"#);
+        assert_eq!(id.as_deref(), Some("12"));
+        assert_eq!(cmd.unwrap(), Command::Shutdown);
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_requests() {
+        let (id, cmd) = parse_request("{nope");
+        assert!(id.is_none());
+        assert_eq!(cmd.unwrap_err().code, "parse_error");
+
+        let (_, cmd) = parse_request(r#"{"id": "1", "cmd": "sing"}"#);
+        assert_eq!(cmd.unwrap_err().code, "unknown_command");
+
+        let (_, cmd) = parse_request(r#"{"cmd": "query"}"#);
+        assert_eq!(cmd.unwrap_err().code, "bad_request");
+
+        let (id, cmd) = parse_request(r#"{"id": "2", "cmd": "partition"}"#);
+        assert_eq!(id.as_deref(), Some("2"));
+        assert_eq!(cmd.unwrap_err().code, "bad_request");
+
+        let (_, cmd) =
+            parse_request(r#"{"id": "3", "cmd": "partition", "session": "s", "restarts": 0}"#);
+        assert_eq!(cmd.unwrap_err().code, "bad_request");
+    }
+
+    #[test]
+    fn line_reader_enforces_the_limit_and_resyncs() {
+        let text = format!("{}\nshort\n", "x".repeat(64));
+        let mut reader = std::io::BufReader::with_capacity(8, text.as_bytes());
+        let never = || false;
+        let first = read_line_limited(&mut reader, 16, &never).unwrap().unwrap();
+        assert_eq!(first.unwrap_err().code, "line_too_long");
+        let second = read_line_limited(&mut reader, 16, &never).unwrap().unwrap();
+        assert_eq!(second.unwrap(), "short");
+        assert!(read_line_limited(&mut reader, 16, &never).unwrap().is_none());
+    }
+
+    #[test]
+    fn reply_builders_escape_ids() {
+        let err = ProtocolError::new("bad_request", "broken \"quote\"");
+        let line = error_line(Some("a\"b"), &err);
+        assert!(line.contains("\"a\\\"b\""), "{line}");
+        assert!(line.contains("\\\"quote\\\""), "{line}");
+        assert!(error_line(None, &err).contains("\"id\": null"));
+        assert!(ok_line("1", "{}").contains("\"ok\": true"));
+    }
+}

@@ -2,6 +2,7 @@
 """Validate a smoke-bench artifact against its documented schema.
 
 Usage: check_bench.py <bench.json> [--schema-version N]
+       check_bench.py --compare OLD.json NEW.json
 
 The artifact must be valid JSON and carry every documented section with
 the right key types, so a malformed bench emitter fails CI rather than
@@ -31,6 +32,20 @@ write (`checkpoint_writes >= 1`), resuming from a torn one-restart
 prefix of the final snapshot must reproduce the uninterrupted baseline
 exactly (`resume_bit_identical`), and the median checkpointing overhead
 must stay <= 2%.
+
+Schema 9 adds the partition server: the `server` section compares a
+warm-session `partition` request (netlist already loaded, parse
+skipped) against a cold one-shot CLI run of the identical
+deadline-bounded search on the 20k-node circuit; the warm request must
+cost at most half the cold one (`warm_over_cold <= 0.5`).
+
+`--compare OLD.json NEW.json` is the trend gate: instead of validating
+one artifact it diffs the machine-normalized speedup ratios two
+artifacts share (`multilevel.speedup`, `eco.speedup`,
+`intra_run.speedup_4_workers`) and fails when NEW regresses any of them
+by more than 25% (new >= old * 0.75). Ratios are compared rather than
+raw seconds so the gate holds across machines of different speeds;
+sections absent from either artifact are skipped with a note.
 """
 
 import argparse
@@ -256,6 +271,22 @@ def check(path, schema_version):
             (f"checkpointing overhead must stay <= 2%, got "
              f"{dur['overhead_pct']}%")
 
+    if schema_version >= 9:
+        server = require(doc, "server", dict, ctx)
+        for key, types in [("circuit", str), ("nodes", int),
+                           ("deadline_ms", int), ("cold_mode", str),
+                           ("cold_seconds", (int, float)),
+                           ("warm_seconds", (int, float)),
+                           ("warm_over_cold", (int, float))]:
+            require(server, key, types, "server")
+        assert server["nodes"] >= 20000, \
+            "server comparison must run on a 20k+-node circuit"
+        assert server["cold_mode"] in ("cli", "in_process"), \
+            f"server: unknown cold_mode {server['cold_mode']!r}"
+        assert server["warm_over_cold"] <= 0.5, \
+            (f"a warm session request must cost <= 0.5x a cold one-shot, "
+             f"got {server['warm_over_cold']}x")
+
     if "large_run" in doc:
         large = require(doc, "large_run", dict, ctx)
         for key, types in [("circuit", str), ("nodes", int),
@@ -272,14 +303,62 @@ def check(path, schema_version):
     print(f"{path} matches the schema")
 
 
+# The speedup ratios two artifacts can be compared on: each is a
+# machine-normalized "X times faster than the in-artifact baseline"
+# scalar, so the trend gate holds across hosts of different speeds.
+TREND_RATIOS = [
+    ("multilevel", "speedup"),
+    ("eco", "speedup"),
+    ("intra_run", "speedup_4_workers"),
+]
+
+
+def compare(old_path, new_path, tolerance=0.25):
+    with open(old_path) as f:
+        old = json.load(f)
+    with open(new_path) as f:
+        new = json.load(f)
+    failures = []
+    for section, key in TREND_RATIOS:
+        name = f"{section}.{key}"
+        if section not in old or section not in new:
+            print(f"{name}: skipped (section absent from "
+                  f"{old_path if section not in old else new_path})")
+            continue
+        before = require(old[section], key, (int, float), f"{old_path}: {section}")
+        after = require(new[section], key, (int, float), f"{new_path}: {section}")
+        floor = before * (1.0 - tolerance)
+        verdict = "ok" if after >= floor else "REGRESSED"
+        print(f"{name}: {before:.2f} -> {after:.2f} "
+              f"(floor {floor:.2f}) {verdict}")
+        if after < floor:
+            failures.append(
+                f"{name} regressed more than {tolerance:.0%}: "
+                f"{before:.2f} -> {after:.2f}")
+    assert not failures, "; ".join(failures)
+    print(f"{new_path} holds every trend ratio within "
+          f"{tolerance:.0%} of {old_path}")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("file", help="bench JSON artifact to validate")
-    parser.add_argument("--schema-version", type=int, default=8,
-                        help="expected schema_version (default 8)")
+    parser.add_argument("file", nargs="?", help="bench JSON artifact to validate")
+    parser.add_argument("--schema-version", type=int, default=9,
+                        help="expected schema_version (default 9)")
+    parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
+                        help="trend mode: diff two artifacts' speedup "
+                             "ratios, fail on a >25%% regression")
     args = parser.parse_args()
     try:
-        check(args.file, args.schema_version)
+        if args.compare:
+            if args.file is not None:
+                parser.error("--compare takes exactly two artifacts; "
+                             "drop the positional file")
+            compare(*args.compare)
+        else:
+            if args.file is None:
+                parser.error("a bench JSON artifact is required")
+            check(args.file, args.schema_version)
     except AssertionError as err:
         print(f"FAIL: {err}", file=sys.stderr)
         sys.exit(1)

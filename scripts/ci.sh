@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # Local CI gate: formatting, lints, release build, tests, parser fuzz,
 # degradation smoke, kill-resume durability gate, quality-regression
-# gate, observability smoke, smoke bench.
+# gate, observability smoke, partition-server smoke, smoke bench.
 #
 # Usage: scripts/ci.sh [--skip-bench]
 #
 # The workspace is fully offline (no crates.io dependencies), so this
 # runs anywhere the Rust toolchain is installed.
+#
+# FPART_THREADS_LIST overrides the worker counts the test suite runs
+# under (default "1 4"); the hosted matrix sets it to a single value
+# per leg so each thread count gets its own runner.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -30,23 +34,24 @@ cargo clippy --workspace --all-targets -- -D warnings
 step "cargo build --release"
 cargo build --release --workspace
 
-step "cargo test (thread matrix: FPART_THREADS=1 and 4)"
+fpart_threads_list=${FPART_THREADS_LIST:-"1 4"}
+step "cargo test (thread matrix: FPART_THREADS in: $fpart_threads_list)"
 # Every parallel stage (restart fan-out, multilevel matching, net
 # projection, boundary pair refinement) is bit-identical at every
 # thread count, and the worker-count defaults honour FPART_THREADS.
 # Running the identical suite at 1 and 4 workers therefore proves the
 # determinism contract on every test, not just the dedicated
 # invariance proptests — a scheduling-dependent result fails one leg.
-for fpart_threads in 1 4; do
+for fpart_threads in $fpart_threads_list; do
     echo "--- FPART_THREADS=$fpart_threads"
     FPART_THREADS=$fpart_threads cargo test --workspace -q
 done
 
-step "parser fuzz (20k seeded mutations x 5 parsers)"
-# Every parser (.fhg, hMETIS, BLIF, edit script, checkpoint) must return
-# typed errors — never panic — on arbitrary input. The fuzzer is fully
-# deterministic (workspace RNG, no external deps); a failure prints the
-# exact replay command.
+step "parser fuzz (20k seeded mutations x 6 parsers)"
+# Every parser (.fhg, hMETIS, BLIF, edit script, checkpoint, server
+# protocol request lines) must return typed errors — never panic — on
+# arbitrary input. The fuzzer is fully deterministic (workspace RNG,
+# no external deps); a failure prints the exact replay command.
 timeout 120 ./target/release/fuzz 20000 1
 
 step "degradation smoke (50 ms deadline on a large netlist)"
@@ -158,9 +163,21 @@ done
 grep -q '"ph": "X"' "$smoke_dir/trace.chrome.json" \
     || { echo "chrome trace has no complete events" >&2; exit 1; }
 
+step "partition server smoke (fpart serve over a Unix socket)"
+# A scripted client drives one full protocol session against a real
+# `fpart serve` process: load, a deterministic partition, an inline
+# eco edit, a session query, a cancelled long run, and a clean
+# shutdown (exit 0). Every reply must be a typed JSON line; the
+# normalized exchange must match the committed golden byte for byte,
+# so a protocol drift is a reviewed diff, not a silent change.
+timeout 120 python3 scripts/server_smoke.py ./target/release/fpart \
+    --transcript "$smoke_dir/server.transcript"
+diff goldens/server_smoke.transcript "$smoke_dir/server.transcript" \
+    || { echo "server transcript drifted from the golden" >&2; exit 1; }
+
 if [ "$skip_bench" -eq 0 ]; then
-    step "smoke bench -> BENCH_pr8.json"
-    timeout 900 ./target/release/smoke BENCH_pr8.json
+    step "smoke bench -> BENCH_pr9.json"
+    timeout 900 ./target/release/smoke BENCH_pr9.json
     # The artifact must be valid JSON *and* match the documented schema
     # (required keys with the right types), its multilevel section must
     # hold the n-level performance claims (>= 2x over flat at equal or
@@ -169,11 +186,19 @@ if [ "$skip_bench" -eq 0 ]; then
     # intra_run section must show a bit-identical thread sweep (plus a
     # >= 1.5x 4-worker speedup on 4+-core machines), its profile
     # section must attribute >= 95% of the multilevel run's wall time to
-    # phase self-time with metering overhead <= 2%, and its durability
+    # phase self-time with metering overhead <= 2%, its durability
     # section must show checkpointing costs <= 2% with a bit-identical
-    # torn-checkpoint resume, so a malformed or regressed bench fails CI
-    # rather than silently shipping.
-    python3 scripts/check_bench.py BENCH_pr8.json --schema-version 8
+    # torn-checkpoint resume, and its server section must show a warm
+    # session request costing <= 0.5x a cold one-shot, so a malformed
+    # or regressed bench fails CI rather than silently shipping.
+    python3 scripts/check_bench.py BENCH_pr9.json --schema-version 9
+
+    step "bench trend gate (BENCH_pr9.json vs committed BENCH_pr8.json)"
+    # The machine-normalized speedup ratios the two artifacts share
+    # (multilevel, eco, intra-run scaling) may not regress by more than
+    # 25% against the committed previous-PR baseline. Ratios — not raw
+    # seconds — so the gate holds on runners of any speed.
+    python3 scripts/check_bench.py --compare BENCH_pr8.json BENCH_pr9.json
 fi
 
 step "CI OK"

@@ -1,0 +1,365 @@
+//! Protocol-level tests of the sessionful partition server.
+//!
+//! Covers the PR-9 acceptance gates: a protocol `partition` is
+//! bit-identical to the library search with the same seed/config,
+//! cancelling an in-flight run yields a verifiable degraded/cancelled
+//! outcome, and a corpus of malformed requests produces typed error
+//! replies without ever dropping the connection.
+
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::path::PathBuf;
+
+use fpart_core::server::protocol;
+use fpart_core::{
+    partition_multilevel_restarts, verify_assignment, FpartConfig, Json, MultilevelConfig, Server,
+    ServerConfig,
+};
+use fpart_device::DeviceConstraints;
+use fpart_hypergraph::gen::{rent_circuit, window_circuit, RentConfig, WindowConfig};
+use fpart_hypergraph::Hypergraph;
+
+use proptest::prelude::*;
+
+fn write_netlist(name: &str, graph: &Hypergraph) -> PathBuf {
+    let dir = std::env::temp_dir().join("fpart_server_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}.fhg"));
+    let file = std::fs::File::create(&path).unwrap();
+    fpart_hypergraph::io::write_netlist(file, graph).unwrap();
+    path
+}
+
+fn parse_lines(out: &[u8]) -> Vec<Json> {
+    String::from_utf8(out.to_vec())
+        .unwrap()
+        .lines()
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad reply line `{l}`: {e}")))
+        .collect()
+}
+
+fn final_reply<'a>(replies: &'a [Json], id: &str) -> &'a Json {
+    replies
+        .iter()
+        .find(|r| r.get("id").and_then(Json::as_str) == Some(id) && r.get("ok").is_some())
+        .unwrap_or_else(|| panic!("no final reply for id {id}"))
+}
+
+fn assignment_of(result: &Json) -> Vec<u32> {
+    result
+        .get("assignment")
+        .and_then(Json::as_array)
+        .expect("result carries the assignment")
+        .iter()
+        .map(|v| u32::try_from(v.as_u64().unwrap()).unwrap())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// A protocol `partition` returns exactly what the library's
+    /// restarts search returns for the same seed, restarts, and thread
+    /// budget — streamed progress included (restarts == 1 path).
+    #[test]
+    fn protocol_partition_matches_library(
+        nodes in 60usize..160,
+        seed in 0u64..1000,
+        restarts in 1usize..3,
+        threads in 1usize..3,
+        progress in any::<bool>(),
+    ) {
+        let graph = window_circuit(&WindowConfig::new("prop", nodes, 8), 11);
+        let constraints = DeviceConstraints::new(40, 24);
+        let path = write_netlist(&format!("prop_{nodes}_{seed}_{restarts}"), &graph);
+
+        let server = Server::new(ServerConfig { threads, ..ServerConfig::default() });
+        let mut out = Vec::new();
+        server.handle(
+            &format!(
+                "{{\"id\": \"l\", \"cmd\": \"load\", \"session\": \"s\", \"path\": {}, \
+                 \"s_max\": 40, \"t_max\": 24}}",
+                protocol::json_string(path.to_str().unwrap())
+            ),
+            &mut out,
+        );
+        server.handle(
+            &format!(
+                "{{\"id\": \"p\", \"cmd\": \"partition\", \"session\": \"s\", \"seed\": {seed}, \
+                 \"restarts\": {restarts}, \"threads\": {threads}, \"assignment\": true, \
+                 \"progress\": {progress}}}"
+            ),
+            &mut out,
+        );
+        let replies = parse_lines(&out);
+        let result = final_reply(&replies, "p").get("result").unwrap();
+
+        let cfg = FpartConfig { seed, ..FpartConfig::default() };
+        let expected = partition_multilevel_restarts(
+            &graph,
+            constraints,
+            &cfg,
+            &MultilevelConfig::default(),
+            restarts,
+            threads,
+        )
+        .unwrap();
+
+        prop_assert_eq!(assignment_of(result), expected.assignment.clone());
+        prop_assert_eq!(result.get("cut").unwrap().as_u64().unwrap() as usize, expected.cut);
+        prop_assert_eq!(
+            result.get("devices").unwrap().as_u64().unwrap() as usize,
+            expected.device_count
+        );
+        prop_assert_eq!(
+            result.get("completion").unwrap().as_str().unwrap(),
+            expected.completion.as_str()
+        );
+    }
+}
+
+/// Cancelling an in-flight request stops it cooperatively and the
+/// early outcome is still a verifiable partition of the session's
+/// graph.
+#[test]
+fn cancel_mid_run_yields_verifiable_outcome() {
+    let graph = rent_circuit(&RentConfig::new("cancel", 4000, 200), 3);
+    let constraints = DeviceConstraints::new(250, 90);
+    let path = write_netlist("cancel", &graph);
+
+    let socket = std::env::temp_dir().join("fpart_server_it").join("cancel.sock");
+    let server = Server::new(ServerConfig::default());
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve_unix(&socket));
+        let mut stream = loop {
+            match std::os::unix::net::UnixStream::connect(&socket) {
+                Ok(stream) => break stream,
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        };
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap(); // hello banner
+        assert!(line.contains("\"hello\""), "{line}");
+
+        writeln!(
+            stream,
+            "{{\"id\": \"l\", \"cmd\": \"load\", \"session\": \"s\", \"path\": {}, \
+             \"s_max\": 250, \"t_max\": 90}}",
+            protocol::json_string(path.to_str().unwrap())
+        )
+        .unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\": true"), "{line}");
+
+        // A many-restart run long enough for the cancel to land while
+        // it is in flight.
+        writeln!(
+            stream,
+            "{{\"id\": \"run\", \"cmd\": \"partition\", \"session\": \"s\", \
+             \"restarts\": 16, \"assignment\": true}}"
+        )
+        .unwrap();
+        writeln!(stream, "{{\"id\": \"c\", \"cmd\": \"cancel\", \"target\": \"run\"}}").unwrap();
+
+        // The cancel reply comes back inline (the run holds the
+        // worker); then the cancelled run's own final reply.
+        let mut cancel_reply = None;
+        let mut run_reply = None;
+        while run_reply.is_none() {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            let doc = Json::parse(line.trim()).unwrap();
+            match doc.get("id").and_then(Json::as_str) {
+                Some("c") => cancel_reply = Some(doc),
+                Some("run") if doc.get("ok").is_some() => run_reply = Some(doc),
+                _ => {}
+            }
+        }
+        let cancel_reply = cancel_reply.unwrap();
+        assert_eq!(
+            cancel_reply.get("result").unwrap().get("cancelled"),
+            Some(&Json::Bool(true)),
+            "cancel must find the in-flight run"
+        );
+        let result = run_reply.as_ref().unwrap().get("result").unwrap();
+        let completion = result.get("completion").unwrap().as_str().unwrap();
+        assert!(
+            completion == "cancelled" || completion == "degraded",
+            "cancelled run must not report a natural finish, got {completion}"
+        );
+        // The early outcome is still a complete, valid assignment.
+        let assignment = assignment_of(result);
+        let blocks = result.get("devices").unwrap().as_u64().unwrap() as usize;
+        let verification = verify_assignment(&graph, &assignment, blocks, constraints);
+        assert_eq!(assignment.len(), graph.node_count());
+        assert!(
+            verification.violations.iter().all(|v| !matches!(
+                v,
+                fpart_core::Violation::WrongLength { .. }
+                    | fpart_core::Violation::BlockOutOfRange { .. }
+            )),
+            "cancelled outcome must still be structurally sound: {:?}",
+            verification.violations
+        );
+
+        writeln!(stream, "{{\"id\": \"q\", \"cmd\": \"shutdown\"}}").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"shutdown\": true"), "{line}");
+        handle.join().unwrap().unwrap();
+    });
+}
+
+/// The malformed-request corpus: every hostile line gets a typed error
+/// reply with the right code, and the connection keeps serving
+/// afterwards (the final valid request succeeds).
+#[test]
+fn malformed_requests_get_typed_errors_and_never_disconnect() {
+    let graph = window_circuit(&WindowConfig::new("mal", 80, 8), 5);
+    let path = write_netlist("malformed", &graph);
+    let load = format!(
+        "{{\"id\": \"ok-load\", \"cmd\": \"load\", \"session\": \"s\", \"path\": {}, \
+         \"s_max\": 40, \"t_max\": 24}}",
+        protocol::json_string(path.to_str().unwrap())
+    );
+
+    let limits = fpart_hypergraph::ParseLimits { max_line_len: 512, ..Default::default() };
+    let oversized =
+        format!("{{\"id\": \"big\", \"cmd\": \"query\", \"pad\": \"{}\"}}", "x".repeat(600));
+    let script = [
+        "this is not json",                                               // parse_error
+        "[1, 2, 3]",                                  // bad_request (not an object)
+        "{\"cmd\": \"query\"}",                       // bad_request (no id)
+        "{\"id\": \"u\", \"cmd\": \"transmogrify\"}", // unknown_command
+        "{\"id\": \"w\", \"cmd\": \"partition\", \"session\": \"nope\"}", // unknown_session
+        "{\"id\": \"e\", \"cmd\": \"eco\", \"session\": \"s\"}", // bad_request (no edits)
+        "{\"id\": \"r\", \"cmd\": \"partition\", \"session\": \"s\", \"restarts\": 0}",
+        &oversized, // line_too_long
+        &load,      // valid
+        "{\"id\": \"ok-run\", \"cmd\": \"partition\", \"session\": \"s\", \"seed\": 1}",
+        "{\"id\": \"bye\", \"cmd\": \"shutdown\"}",
+    ]
+    .join("\n");
+
+    let server = Server::new(ServerConfig { limits, ..ServerConfig::default() });
+    let mut out = Vec::new();
+    server.serve(Cursor::new(script), &mut out).unwrap();
+    let replies = parse_lines(&out);
+
+    let code_of = |idx: usize| {
+        replies[idx].get("error").and_then(|e| e.get("code")).and_then(Json::as_str).unwrap()
+    };
+    assert!(replies[0].get("event").and_then(Json::as_str) == Some("hello"));
+    assert_eq!(code_of(1), "parse_error");
+    assert_eq!(code_of(2), "bad_request");
+    assert_eq!(code_of(3), "bad_request");
+    assert_eq!(code_of(4), "unknown_command");
+    assert_eq!(code_of(5), "unknown_session");
+    assert_eq!(code_of(6), "bad_request");
+    assert_eq!(code_of(7), "bad_request");
+    assert_eq!(code_of(8), "line_too_long");
+    // The connection survived all of it: load + partition + shutdown
+    // all succeeded.
+    assert_eq!(final_reply(&replies, "ok-load").get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(final_reply(&replies, "ok-run").get("ok"), Some(&Json::Bool(true)));
+    assert_eq!(final_reply(&replies, "bye").get("ok"), Some(&Json::Bool(true)));
+}
+
+/// The eco flow over the protocol: partition, edit, repair; the
+/// session's graph advances to the edited netlist.
+#[test]
+fn eco_round_trip_updates_the_session() {
+    let graph = window_circuit(&WindowConfig::new("eco", 120, 8), 9);
+    let path = write_netlist("eco", &graph);
+    let server = Server::new(ServerConfig::default());
+    let mut out = Vec::new();
+    server.handle(
+        &format!(
+            "{{\"id\": \"1\", \"cmd\": \"load\", \"session\": \"s\", \"path\": {}, \
+             \"s_max\": 40, \"t_max\": 24}}",
+            protocol::json_string(path.to_str().unwrap())
+        ),
+        &mut out,
+    );
+    // Eco before any partition: typed error.
+    server.handle(
+        "{\"id\": \"early\", \"cmd\": \"eco\", \"session\": \"s\", \
+         \"edits\": \"{\\\"op\\\": \\\"add_node\\\", \\\"name\\\": \\\"island\\\", \\\"size\\\": 1}\"}",
+        &mut out,
+    );
+    server.handle(
+        "{\"id\": \"2\", \"cmd\": \"partition\", \"session\": \"s\", \"seed\": 2}",
+        &mut out,
+    );
+    // An island node edit is name-independent of the generated circuit.
+    server.handle(
+        "{\"id\": \"3\", \"cmd\": \"eco\", \"session\": \"s\", \
+         \"edits\": \"{\\\"op\\\": \\\"add_node\\\", \\\"name\\\": \\\"island\\\", \\\"size\\\": 1}\"}",
+        &mut out,
+    );
+    server.handle("{\"id\": \"4\", \"cmd\": \"query\", \"session\": \"s\"}", &mut out);
+    let replies = parse_lines(&out);
+    assert_eq!(
+        final_reply(&replies, "early")
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("no_assignment")
+    );
+    let eco = final_reply(&replies, "3").get("result").unwrap();
+    assert_eq!(eco.get("added_nodes").unwrap().as_u64(), Some(1));
+    assert_eq!(eco.get("nodes").unwrap().as_u64(), Some(121));
+    let q = final_reply(&replies, "4").get("result").unwrap();
+    assert_eq!(q.get("nodes").unwrap().as_u64(), Some(121), "session graph advances");
+    assert_eq!(q.get("requests").unwrap().as_u64(), Some(2));
+}
+
+/// Queue backpressure: submits beyond the session's bounded queue are
+/// refused with `busy`, parked ones are acknowledged with `queued`,
+/// and every accepted request still gets its final reply.
+#[test]
+fn bounded_queue_reports_busy_and_queued() {
+    let graph = rent_circuit(&RentConfig::new("queue", 2500, 150), 8);
+    let path = write_netlist("queue", &graph);
+    let load = format!(
+        "{{\"id\": \"l\", \"cmd\": \"load\", \"session\": \"s\", \"path\": {}, \
+         \"s_max\": 200, \"t_max\": 80}}",
+        protocol::json_string(path.to_str().unwrap())
+    );
+    // Queue capacity 2: the first run occupies the worker (or its
+    // buffer slot), the second parks with a `queued` ack, and the
+    // burst after that bounces with `busy`.
+    let mut script = vec![load];
+    for i in 0..6 {
+        script.push(format!(
+            "{{\"id\": \"r{i}\", \"cmd\": \"partition\", \"session\": \"s\", \"restarts\": 4}}"
+        ));
+    }
+    script.push("{\"id\": \"bye\", \"cmd\": \"shutdown\"}".to_owned());
+
+    let server = Server::new(ServerConfig { queue_capacity: 2, ..ServerConfig::default() });
+    let mut out = Vec::new();
+    server.serve(Cursor::new(script.join("\n")), &mut out).unwrap();
+    let replies = parse_lines(&out);
+
+    let busy = replies
+        .iter()
+        .filter(|r| {
+            r.get("error").and_then(|e| e.get("code")).and_then(Json::as_str) == Some("busy")
+        })
+        .count();
+    let queued =
+        replies.iter().filter(|r| r.get("event").and_then(Json::as_str) == Some("queued")).count();
+    assert!(busy >= 1, "an overflowing submit must be refused: {replies:?}");
+    assert!(queued >= 1, "a parked submit must be acknowledged: {replies:?}");
+    // Every non-busy run got a final reply.
+    let finals = replies
+        .iter()
+        .filter(|r| {
+            r.get("ok") == Some(&Json::Bool(true))
+                && r.get("id").and_then(Json::as_str).is_some_and(|id| id.starts_with('r'))
+        })
+        .count();
+    assert_eq!(finals + busy, 6, "accepted + refused must cover all submits");
+}
