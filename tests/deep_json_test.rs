@@ -1,0 +1,5 @@
+#[test]
+fn deep_nesting_does_not_crash() {
+    let line = "[".repeat(400_000);
+    let _ = fpart_core::Json::parse(&line);
+}
