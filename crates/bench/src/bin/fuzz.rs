@@ -20,7 +20,9 @@ use fpart_core::server::protocol;
 use fpart_core::Checkpoint;
 use fpart_hypergraph::gen::{window_circuit, WindowConfig};
 use fpart_hypergraph::rng::StdRng;
-use fpart_hypergraph::{blif, hmetis, io, EditScript, ParseLimits};
+use fpart_hypergraph::{
+    apply_script, blif, fingerprint_graph, hmetis, io, EditScript, Hypergraph, ParseLimits,
+};
 
 /// Hostile-tight limits: small enough that mutated documents routinely
 /// trip every cap, covering the rejection paths as well as the happy
@@ -156,9 +158,13 @@ fn mutate(rng: &mut StdRng, base: &str) -> String {
 
 /// Runs every parser over `text` under `limits`; returns the name of
 /// the first parser that panicked, if any. Parse *errors* are the
-/// expected outcome and ignored.
-fn run_parsers(text: &str, limits: &ParseLimits) -> Option<&'static str> {
-    let cases: [(&'static str, &dyn Fn()); 6] = [
+/// expected outcome and ignored. `base` is the edit-application target:
+/// a mutated script that still parses *and* applies must leave the
+/// incremental fingerprint delta in agreement with a from-scratch
+/// recompute — that contract is release-mode-checked here, not just a
+/// debug assertion inside `apply_script`.
+fn run_parsers(text: &str, limits: &ParseLimits, base: &Hypergraph) -> Option<&'static str> {
+    let cases: [(&'static str, &dyn Fn()); 7] = [
         ("parse_netlist_limited", &|| drop(io::parse_netlist_limited(text, limits))),
         ("parse_hmetis_limited", &|| drop(hmetis::parse_hmetis_limited(text, limits))),
         ("parse_blif_limited", &|| drop(blif::parse_blif_limited(text, limits))),
@@ -169,6 +175,17 @@ fn run_parsers(text: &str, limits: &ParseLimits) -> Option<&'static str> {
         ("protocol::parse_request", &|| {
             for line in text.lines() {
                 drop(protocol::parse_request(line));
+            }
+        }),
+        ("fingerprint_delta", &|| {
+            if let Ok(script) = EditScript::parse_limited(text, limits) {
+                if let Ok(applied) = apply_script(base, &script) {
+                    assert_eq!(
+                        fingerprint_graph(base) ^ applied.fingerprint_delta,
+                        fingerprint_graph(&applied.graph),
+                        "incremental fingerprint diverged from recompute"
+                    );
+                }
             }
         }),
     ];
@@ -185,6 +202,7 @@ fn main() {
     let iterations: u64 = args.next().map_or(1000, |v| v.parse().expect("iterations: integer"));
     let seed: u64 = args.next().map_or(0xF0CC_5EED, |v| v.parse().expect("seed: integer"));
     let corpus = corpus();
+    let base_graph = window_circuit(&WindowConfig::new("fuzz", 24, 4), 7);
     let tight = tight_limits();
     let defaults = ParseLimits::default();
 
@@ -198,7 +216,7 @@ fn main() {
         let (kind, base) = &corpus[rng.gen_range(0..corpus.len())];
         let mutated = mutate(&mut rng, base);
         let limits = if rng.gen_bool(0.5) { &tight } else { &defaults };
-        if let Some(parser) = run_parsers(&mutated, limits) {
+        if let Some(parser) = run_parsers(&mutated, limits, &base_graph) {
             let _ = std::panic::take_hook();
             eprintln!(
                 "fuzz: PANIC in {parser} (corpus {kind}, seed {seed}, iteration {i}; \
@@ -210,5 +228,5 @@ fn main() {
         }
     }
     let _ = std::panic::take_hook();
-    println!("fuzz: {iterations} iterations x 6 parsers, seed {seed}: no panics");
+    println!("fuzz: {iterations} iterations x 7 parsers, seed {seed}: no panics");
 }

@@ -1,8 +1,8 @@
 //! Smoke performance benchmark for the incremental-cost / zero-allocation
-//! / parallel-search work, emitting machine-readable `BENCH_pr9.json`
+//! / parallel-search work, emitting machine-readable `BENCH_pr10.json`
 //! (schema-versioned; see `fpart_core::obs::SCHEMA_VERSION`).
 //!
-//! Thirteen measurements:
+//! Fourteen measurements:
 //!
 //! 1. **Pass throughput** — retained moves per second of `improve(...)`
 //!    on an MCNC-scale circuit (two-block and 8-way), exercising the
@@ -73,8 +73,17 @@
 //!     session amortizes — process spawn, netlist parse, graph
 //!     construction — and `warm_over_cold <= 0.5` is the acceptance
 //!     gate `check_bench.py` enforces.
+//! 14. **Memoization** — the fingerprint-keyed memo store on the
+//!     20k-node multilevel restart search: a cached re-run of the
+//!     identical request against the cold baseline (gated at >= 10x and
+//!     bit-identical), the cold-path overhead of a *fresh* store vs no
+//!     store at all (same interleaved median-of-pair-ratios estimator
+//!     as measurement 4, gated at <= 1%), and a post-ECO run through
+//!     the warm store — the edited graph's fingerprint must miss, so
+//!     its result stays bit-identical to the memo-less run on the
+//!     edited graph.
 //!
-//! Output path: first CLI argument, default `BENCH_pr9.json`.
+//! Output path: first CLI argument, default `BENCH_pr10.json`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -92,7 +101,7 @@ use fpart_hypergraph::gen::{find_profile, rent_circuit, synthesize_mcnc, RentCon
 use fpart_hypergraph::NodeId;
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr9.json".to_owned());
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_pr10.json".to_owned());
     let graph = synthesize_mcnc(find_profile("s9234").expect("profile"), Technology::Xc3000);
     let constraints = Device::XC3020.constraints(0.9);
     let config = FpartConfig::default();
@@ -848,6 +857,106 @@ fn main() {
          \"cold_seconds\": {cold_secs:.4}, \"warm_seconds\": {warm_secs:.4}, \
          \"warm_over_cold\": {warm_over_cold:.3}}},",
         rent.node_count()
+    );
+
+    // 14. Memoization: the fingerprint-keyed memo store on the 20k-node
+    //     multilevel restart search. Three claims stay measurable:
+    //     a warm store answers the identical request >= 10x faster and
+    //     bit-identically; a fresh (never-hit) store costs <= 1% over no
+    //     store at all (median of interleaved pair ratios, as in
+    //     measurement 4); and a post-ECO request through the warm store
+    //     misses — the edited graph's fingerprint differs — so its
+    //     result is bit-identical to the memo-less run on the edited
+    //     graph.
+    let memo_restarts = 2;
+    let run_memo = |graph: &fpart_hypergraph::Hypergraph,
+                    store: Option<std::sync::Arc<fpart_core::MemoStore>>| {
+        let ml = MultilevelConfig { memo: store, ..MultilevelConfig::default() };
+        fpart_core::partition_multilevel_restarts(
+            graph,
+            rent_constraints,
+            &config,
+            &ml,
+            memo_restarts,
+            1,
+        )
+        .expect("memo bench run succeeds")
+    };
+    let memo_baseline = run_memo(&rent, None);
+    let memo_reps = 7;
+    let mut memo_cold_secs = f64::INFINITY;
+    let mut memo_fresh_secs = f64::INFINITY;
+    let mut memo_ratios = Vec::with_capacity(memo_reps);
+    for _ in 0..memo_reps {
+        let start = Instant::now();
+        let run = run_memo(&rent, None);
+        let u = start.elapsed().as_secs_f64();
+        memo_cold_secs = memo_cold_secs.min(u);
+        assert_eq!(run.assignment, memo_baseline.assignment, "memo-less rep diverged");
+
+        // A fresh store every rep: this times the never-hit cold path
+        // (fingerprinting, lookups, insertions), not cache wins.
+        let start = Instant::now();
+        let run = run_memo(&rent, Some(fpart_core::MemoStore::shared()));
+        let c = start.elapsed().as_secs_f64();
+        memo_fresh_secs = memo_fresh_secs.min(c);
+        assert_eq!(run.assignment, memo_baseline.assignment, "fresh-store rep diverged");
+        memo_ratios.push(c / u.max(1e-12));
+    }
+    memo_ratios.sort_by(f64::total_cmp);
+    let memo_cold_overhead_pct = (memo_ratios[memo_ratios.len() / 2] - 1.0) * 100.0;
+
+    let memo_store = fpart_core::MemoStore::shared();
+    let populate = run_memo(&rent, Some(memo_store.clone()));
+    let mut memo_bit_identical = populate.assignment == memo_baseline.assignment
+        && populate.device_count == memo_baseline.device_count
+        && populate.cut == memo_baseline.cut;
+    let mut memo_cached_secs = f64::INFINITY;
+    for _ in 0..5 {
+        let start = Instant::now();
+        let run = run_memo(&rent, Some(memo_store.clone()));
+        memo_cached_secs = memo_cached_secs.min(start.elapsed().as_secs_f64());
+        memo_bit_identical = memo_bit_identical
+            && run.assignment == memo_baseline.assignment
+            && run.device_count == memo_baseline.device_count
+            && run.cut == memo_baseline.cut;
+    }
+    let memo_speedup = memo_cold_secs / memo_cached_secs.max(1e-9);
+
+    // Post-ECO: the edited graph must miss the warm store and land on
+    // the memo-less result for the edited graph.
+    let start = Instant::now();
+    let post_eco_cold = run_memo(&applied.graph, None);
+    let post_eco_cold_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let post_eco_cached = run_memo(&applied.graph, Some(memo_store.clone()));
+    let post_eco_cached_secs = start.elapsed().as_secs_f64();
+    let post_eco_bit_identical = post_eco_cached.assignment == post_eco_cold.assignment
+        && post_eco_cached.device_count == post_eco_cold.device_count
+        && post_eco_cached.cut == post_eco_cold.cut;
+    let memo_stats = memo_store.stats();
+    println!(
+        "memo: cold {memo_cold_secs:.3}s, cached {memo_cached_secs:.3}s \
+         => {memo_speedup:.1}x (bit_identical={memo_bit_identical}), \
+         fresh-store overhead {memo_cold_overhead_pct:+.1}%, post-ECO cached \
+         {post_eco_cached_secs:.3}s vs cold {post_eco_cold_secs:.3}s \
+         (bit_identical={post_eco_bit_identical}, solution hits {})",
+        memo_stats.solution_hits
+    );
+    let _ = writeln!(
+        json,
+        "  \"memo\": {{\"circuit\": \"rent20k\", \"nodes\": {}, \
+         \"restarts\": {memo_restarts}, \"cold_seconds\": {memo_cold_secs:.4}, \
+         \"cached_seconds\": {memo_cached_secs:.4}, \"cached_speedup\": {memo_speedup:.2}, \
+         \"bit_identical\": {memo_bit_identical}, \
+         \"cold_overhead_pct\": {memo_cold_overhead_pct:.1}, \
+         \"post_eco_cold_seconds\": {post_eco_cold_secs:.4}, \
+         \"post_eco_cached_seconds\": {post_eco_cached_secs:.4}, \
+         \"post_eco_bit_identical\": {post_eco_bit_identical}, \
+         \"solution_hits\": {}, \"hierarchy_hits\": {}}},",
+        rent.node_count(),
+        memo_stats.solution_hits,
+        memo_stats.hierarchy_hits
     );
 
     // 11. Memory: the process peak RSS (high-water mark, so it covers

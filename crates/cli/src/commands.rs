@@ -50,7 +50,7 @@ pub fn partition(raw: &[String]) -> Result<(), CliError> {
             "max-line-len",
             "max-memory-mb",
         ],
-        switches: &["trace", "multilevel", "progress"],
+        switches: &["trace", "multilevel", "progress", "cache"],
     };
     let args = Args::parse(raw, spec).map_err(CliError::Usage)?;
     let input = args
@@ -607,10 +607,17 @@ fn run_multilevel(
     // it themselves; the single-run path below hands the whole budget to
     // the V-cycle's intra-run stages (the field is overridden by the
     // wrappers, so setting it here is only visible to that path).
+    // `--cache` wires a fingerprint-keyed memo store into the run.
+    // Within one process it lets identical restarts share coarsening
+    // work; results are bit-identical with or without it. (The server
+    // is where the store pays off across requests — it defaults on
+    // there.)
+    let memo = args.switch("cache").then(fpart_core::MemoStore::shared);
     let ml = fpart_core::MultilevelConfig {
         coarsen_floor,
         threads,
         memory,
+        memo,
         ..fpart_core::MultilevelConfig::default()
     };
     let metrics_path = args.option("metrics");
@@ -940,7 +947,7 @@ pub fn eco(raw: &[String]) -> Result<(), CliError> {
             "max-name-len",
             "max-line-len",
         ],
-        switches: &[],
+        switches: &["cache"],
     };
     let args = Args::parse(raw, spec).map_err(CliError::Usage)?;
     let input =
@@ -1008,7 +1015,14 @@ pub fn eco(raw: &[String]) -> Result<(), CliError> {
         cancel: Some(CancelToken::from_static(&crate::INTERRUPTED)),
     };
     let config = FpartConfig { budget, ..FpartConfig::default() };
-    let eco_config = fpart_core::EcoConfig { churn_threshold, ..fpart_core::EcoConfig::default() };
+    let eco_config = fpart_core::EcoConfig {
+        churn_threshold,
+        multilevel: fpart_core::MultilevelConfig {
+            memo: args.switch("cache").then(fpart_core::MemoStore::shared),
+            ..fpart_core::MultilevelConfig::default()
+        },
+        ..fpart_core::EcoConfig::default()
+    };
 
     let started = std::time::Instant::now();
     let outcome = if let Some(path) = args.option("metrics") {

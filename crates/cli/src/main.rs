@@ -132,6 +132,9 @@ PARTITION OPTIONS:
                       write the versioned assignment format
                       (`#%fpart-assignment v1 blocks <k>` header; the
                       format `fpart eco --assignment` expects)
+  --cache             enable the fingerprint-keyed memo store (hierarchy
+                      cache + solution memo) for this process; results
+                      are bit-identical with or without it
 
 DURABILITY OPTIONS (partition, --method fpart/multilevel):
   --checkpoint <FILE> maintain a crash-safe snapshot of completed
@@ -168,7 +171,8 @@ ECO OPTIONS:
                       fall back to full repartitioning when the edit
                       touches more than this fraction of cells (default 0.15)
   plus --device/--s-max/--t-max/--delta, --restarts, --threads,
-  --deadline-ms, --max-passes, --metrics, --output, --write-assignment
+  --deadline-ms, --max-passes, --metrics, --output, --write-assignment,
+  --cache
 
 SERVE OPTIONS:
   --listen <SOCKET>   accept connections on a Unix domain socket instead
@@ -177,6 +181,9 @@ SERVE OPTIONS:
                       (default: $FPART_THREADS if set, else 1)
   --queue <N>         per-session queued requests before `busy` (default 4)
   --heartbeat-ms <N>  progress event throttle (default 200)
+  --no-cache          disable the fingerprint-keyed memo store (hierarchy
+                      cache + solution memo; results are bit-identical
+                      either way, so this mainly serves A/B timing)
   plus the input limit options; --max-line-len also bounds request lines
   Protocol: one JSON object per line with an `id` and a `cmd` of
   load | partition | eco | query | cancel | shutdown; every reply names

@@ -14,10 +14,12 @@
 //! * **Non-blocking hot loop** — [`CheckpointWriter`] serializes and
 //!   writes on a dedicated thread; workers only clone their outcome and
 //!   send it over a channel at restart boundaries.
-//! * **Identity** — every checkpoint embeds a [`RunFingerprint`] hash of
-//!   the graph structure, device constraints, search configuration, and
-//!   restart count; resuming against a different run is a typed error,
-//!   never a silently wrong merge.
+//! * **Identity** — every checkpoint embeds a [`fingerprint_run`] digest
+//!   (built on the zobrist-style [`fpart_hypergraph::fingerprint`]
+//!   module, the one hash implementation in the tree) of the graph,
+//!   device constraints, search configuration, and restart count;
+//!   resuming against a different run is a typed error, never a
+//!   silently wrong merge.
 //!
 //! Only [`Completion::Complete`] and [`Completion::Degraded`] restarts
 //! are persisted: cancelled or deadline-expired restarts depend on
@@ -33,7 +35,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fpart_device::DeviceConstraints;
-use fpart_hypergraph::Hypergraph;
+use fpart_hypergraph::{fingerprint_graph, order_checksum, Hypergraph};
 
 use crate::budget::{Completion, RunBudget};
 use crate::config::FpartConfig;
@@ -138,7 +140,7 @@ pub struct Checkpoint {
     /// Metrics schema version ([`SCHEMA_VERSION`]) the file was written
     /// under; a mismatch is rejected at parse time.
     pub schema_version: u32,
-    /// [`RunFingerprint`] digest of the run this snapshot belongs to.
+    /// [`fingerprint_run`] digest of the run this snapshot belongs to.
     pub fingerprint: u64,
     /// Total restarts of the search (completed + pending).
     pub restarts: usize,
@@ -480,81 +482,15 @@ pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, ReadCheckpointError> {
     Checkpoint::parse(&text)
 }
 
-/// FNV-1a (64-bit) digest identifying a run: graph structure, device
-/// constraints, search configuration, mode, and restart count. Thread
-/// counts and cancellation tokens are deliberately excluded — the search
-/// is bit-identical across thread counts, so a checkpoint taken at
-/// `--threads 8` resumes cleanly at `--threads 1`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RunFingerprint {
-    hash: u64,
-}
-
-impl Default for RunFingerprint {
-    fn default() -> Self {
-        RunFingerprint::new()
-    }
-}
-
-impl RunFingerprint {
-    /// Starts a digest at the FNV-1a offset basis.
-    #[must_use]
-    pub fn new() -> Self {
-        RunFingerprint { hash: 0xcbf2_9ce4_8422_2325 }
-    }
-
-    /// Folds raw bytes into the digest.
-    pub fn write_bytes(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.hash ^= u64::from(b);
-            self.hash = self.hash.wrapping_mul(0x100_0000_01b3);
-        }
-    }
-
-    /// Folds a length-prefixed string into the digest.
-    pub fn write_str(&mut self, s: &str) {
-        self.write_u64(s.len() as u64);
-        self.write_bytes(s.as_bytes());
-    }
-
-    /// Folds a 64-bit value into the digest.
-    pub fn write_u64(&mut self, v: u64) {
-        self.write_bytes(&v.to_le_bytes());
-    }
-
-    /// Folds the full hypergraph structure into the digest: counts,
-    /// node sizes, net pin lists, and terminal attachments (names are
-    /// irrelevant to the search and skipped).
-    pub fn write_graph(&mut self, graph: &Hypergraph) {
-        self.write_u64(graph.node_count() as u64);
-        self.write_u64(graph.net_count() as u64);
-        self.write_u64(graph.terminal_count() as u64);
-        for node in graph.node_ids() {
-            self.write_u64(u64::from(graph.node_size(node)));
-        }
-        for net in graph.net_ids() {
-            self.write_u64(graph.pins(net).len() as u64);
-            for &pin in graph.pins(net) {
-                self.write_u64(pin.index() as u64);
-            }
-        }
-        for terminal in graph.terminal_ids() {
-            self.write_u64(graph.terminal_net(terminal).index() as u64);
-        }
-    }
-
-    /// The finished digest.
-    #[must_use]
-    pub fn finish(&self) -> u64 {
-        self.hash
-    }
-}
-
 /// Fingerprints a restart search: everything that determines its result.
 ///
-/// Configuration scalars are folded via their `Debug` rendering (stable,
-/// value-based), after normalizing the fields a resume is allowed to
-/// change: thread counts and the cancellation token.
+/// Built on the zobrist-style [`fpart_hypergraph::fingerprint`] module —
+/// the same hash that keys the memoization caches — chaining the
+/// graph's content fingerprint and id-order checksum with the device
+/// constraints and configuration (folded via their `Debug` rendering:
+/// stable, value-based), after normalizing the fields a resume is
+/// allowed to change: thread counts, the cancellation token, and the
+/// memo-store handle (memoization never changes a result).
 #[must_use]
 pub fn fingerprint_run(
     graph: &Hypergraph,
@@ -563,24 +499,22 @@ pub fn fingerprint_run(
     multilevel: Option<&MultilevelConfig>,
     restarts: usize,
 ) -> u64 {
-    let mut fp = RunFingerprint::new();
-    fp.write_graph(graph);
-    fp.write_str(&format!("{constraints:?}"));
     let normalized = FpartConfig {
         budget: RunBudget { cancel: None, ..config.budget.clone() },
         ..config.clone()
     };
-    fp.write_str(&format!("{normalized:?}"));
-    match multilevel {
+    let mut fp = fingerprint_graph(graph)
+        .fold_u64(order_checksum(graph))
+        .fold_str(&format!("{constraints:?}"))
+        .fold_str(&format!("{normalized:?}"));
+    fp = match multilevel {
         Some(ml) => {
-            fp.write_str("multilevel");
-            let normalized = MultilevelConfig { threads: 1, ..ml.clone() };
-            fp.write_str(&format!("{normalized:?}"));
+            let normalized = MultilevelConfig { threads: 1, memo: None, ..ml.clone() };
+            fp.fold_str("multilevel").fold_str(&format!("{normalized:?}"))
         }
-        None => fp.write_str("flat"),
-    }
-    fp.write_u64(restarts as u64);
-    fp.finish()
+        None => fp.fold_str("flat"),
+    };
+    fp.fold_u64(restarts as u64).to_u64()
 }
 
 /// Message sent to the writer thread: a snapshot to persist.
@@ -768,10 +702,19 @@ pub fn partition_restarts_durable(
 
     // `pending` is empty when every restart was resumed; the single
     // dummy slot keeps the fan-out non-degenerate and is discarded.
+    let gk = multilevel.and_then(|ml| crate::multilevel::run_graph_key(graph, ml));
     let results = crate::parallel::run_indexed_caught(pending.len().max(1), outer, &|j| {
         let &i = pending.get(j)?;
         let (result, metrics) = match multilevel {
-            Some(ml) => observed_multilevel_restart_job(graph, constraints, config, ml, inner, i),
+            Some(ml) => observed_multilevel_restart_job(
+                graph,
+                constraints,
+                config,
+                ml,
+                inner,
+                i,
+                gk.as_ref(),
+            ),
             None => observed_restart_job(graph, constraints, config, i),
         };
         if let Ok(outcome) = &result {
@@ -982,7 +925,7 @@ mod tests {
         let mut partial = Vec::new();
         for i in [0usize, 2] {
             let (result, metrics) =
-                observed_multilevel_restart_job(&g, constraints, &config, &ml, 1, i);
+                observed_multilevel_restart_job(&g, constraints, &config, &ml, 1, i, None);
             partial.push(SavedRestart::from_outcome(i, &result.unwrap(), &metrics));
         }
         let snapshot = Checkpoint {

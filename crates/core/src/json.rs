@@ -7,6 +7,60 @@
 //! the full JSON grammar but keeps numbers as `f64` and objects as
 //! ordered key/value vectors — enough to navigate and render,
 //! deliberately dependency-free like the rest of the workspace.
+//!
+//! Nesting is bounded by [`MAX_NESTING_DEPTH`]: the parser recurses
+//! once per container level, so an adversarial `[[[[…` document would
+//! otherwise turn into stack exhaustion. Exceeding the limit is a typed
+//! [`JsonParseError::TooDeep`], not a crash.
+
+use std::error::Error;
+use std::fmt;
+
+/// Maximum container nesting depth [`Json::parse`] accepts. The
+/// workspace's own documents nest a handful of levels; 128 leaves two
+/// orders of magnitude of headroom while keeping the recursive parser's
+/// stack usage trivially bounded.
+pub const MAX_NESTING_DEPTH: usize = 128;
+
+/// Typed parse failure of [`Json::parse`] / [`Json::parse_prefix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonParseError {
+    /// Malformed JSON at the given byte offset.
+    Syntax {
+        /// Byte offset of the first offending character.
+        offset: usize,
+        /// What the parser expected or found.
+        message: String,
+    },
+    /// Container nesting exceeded [`MAX_NESTING_DEPTH`].
+    TooDeep {
+        /// The enforced depth limit.
+        limit: usize,
+        /// Byte offset of the container that crossed it.
+        offset: usize,
+    },
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonParseError::Syntax { offset, message } => {
+                write!(f, "{message} at byte {offset}")
+            }
+            JsonParseError::TooDeep { limit, offset } => {
+                write!(f, "nesting deeper than {limit} levels at byte {offset}")
+            }
+        }
+    }
+}
+
+impl Error for JsonParseError {}
+
+impl From<JsonParseError> for String {
+    fn from(e: JsonParseError) -> String {
+        e.to_string()
+    }
+}
 
 /// A parsed JSON value. Object keys keep their document order so report
 /// output is stable.
@@ -33,14 +87,16 @@ impl Json {
     ///
     /// # Errors
     ///
-    /// Returns a message with the byte offset of the first syntax error.
-    pub fn parse(text: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    /// Returns [`JsonParseError::Syntax`] with the byte offset of the
+    /// first syntax error, or [`JsonParseError::TooDeep`] when
+    /// containers nest beyond [`MAX_NESTING_DEPTH`].
+    pub fn parse(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         let value = p.value()?;
         p.skip_ws();
         if p.pos != p.bytes.len() {
-            return Err(format!("trailing data at byte {}", p.pos));
+            return Err(p.err("trailing data"));
         }
         Ok(value)
     }
@@ -52,10 +108,9 @@ impl Json {
     ///
     /// # Errors
     ///
-    /// Returns a message with the byte offset of the first syntax error
-    /// inside the leading value.
-    pub fn parse_prefix(text: &str) -> Result<Json, String> {
-        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    /// Same contract as [`Json::parse`], scoped to the leading value.
+    pub fn parse_prefix(text: &str) -> Result<Json, JsonParseError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
         p.skip_ws();
         p.value()
     }
@@ -102,9 +157,14 @@ impl Json {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError::Syntax { offset: self.pos, message: message.into() }
+    }
+
     fn skip_ws(&mut self) {
         while let Some(b) = self.bytes.get(self.pos) {
             if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
@@ -119,38 +179,54 @@ impl Parser<'_> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), String> {
+    fn expect(&mut self, b: u8) -> Result<(), JsonParseError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
         } else {
-            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+            Err(self.err(format!("expected `{}`", b as char)))
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    fn value(&mut self) -> Result<Json, JsonParseError> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Parser::object),
+            Some(b'[') => self.nested(Parser::array),
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
             Some(b'n') => self.literal("null", Json::Null),
             Some(b'-' | b'0'..=b'9') => self.number(),
-            _ => Err(format!("unexpected character at byte {}", self.pos)),
+            _ => Err(self.err("unexpected character")),
         }
     }
 
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+    /// Runs one container parse a level deeper, enforcing
+    /// [`MAX_NESTING_DEPTH`] (the recursive parser's only recursion is
+    /// through containers, so this bounds the stack).
+    fn nested(
+        &mut self,
+        inner: fn(&mut Self) -> Result<Json, JsonParseError>,
+    ) -> Result<Json, JsonParseError> {
+        if self.depth >= MAX_NESTING_DEPTH {
+            return Err(JsonParseError::TooDeep { limit: MAX_NESTING_DEPTH, offset: self.pos });
+        }
+        self.depth += 1;
+        let value = inner(self);
+        self.depth -= 1;
+        value
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
         if self.bytes[self.pos..].starts_with(word.as_bytes()) {
             self.pos += word.len();
             Ok(value)
         } else {
-            Err(format!("expected `{word}` at byte {}", self.pos))
+            Err(self.err(format!("expected `{word}`")))
         }
     }
 
-    fn number(&mut self) -> Result<Json, String> {
+    fn number(&mut self) -> Result<Json, JsonParseError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -158,17 +234,17 @@ impl Parser<'_> {
         while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| format!("bad number at byte {start}"))?;
-        text.parse::<f64>().map(Json::Num).map_err(|_| format!("bad number at byte {start}"))
+        let bad = |at: usize| JsonParseError::Syntax { offset: at, message: "bad number".into() };
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|_| bad(start))?;
+        text.parse::<f64>().map(Json::Num).map_err(|_| bad(start))
     }
 
-    fn string(&mut self) -> Result<String, String> {
+    fn string(&mut self) -> Result<String, JsonParseError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
-                None => return Err("unterminated string".into()),
+                None => return Err(self.err("unterminated string")),
                 Some(b'"') => {
                     self.pos += 1;
                     return Ok(out);
@@ -189,15 +265,15 @@ impl Parser<'_> {
                                 .bytes
                                 .get(self.pos + 1..self.pos + 5)
                                 .and_then(|h| std::str::from_utf8(h).ok())
-                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
                             let code = u32::from_str_radix(hex, 16)
-                                .map_err(|_| format!("bad \\u escape at byte {}", self.pos))?;
+                                .map_err(|_| self.err("bad \\u escape"))?;
                             // Surrogate pairs never appear in the CLI's
                             // own output; map lone surrogates to U+FFFD.
                             out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
                             self.pos += 4;
                         }
-                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        _ => return Err(self.err("bad escape")),
                     }
                     self.pos += 1;
                 }
@@ -205,7 +281,7 @@ impl Parser<'_> {
                     // Copy one UTF-8 scalar (multi-byte sequences pass
                     // through unchanged).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.pos))?;
+                        .map_err(|_| self.err("invalid UTF-8"))?;
                     let c = rest.chars().next().expect("peek saw a byte");
                     out.push(c);
                     self.pos += c.len_utf8();
@@ -214,7 +290,7 @@ impl Parser<'_> {
         }
     }
 
-    fn array(&mut self) -> Result<Json, String> {
+    fn array(&mut self) -> Result<Json, JsonParseError> {
         self.expect(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
@@ -232,12 +308,12 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Arr(items));
                 }
-                _ => return Err(format!("expected `,` or `]` at byte {}", self.pos)),
+                _ => return Err(self.err("expected `,` or `]`")),
             }
         }
     }
 
-    fn object(&mut self) -> Result<Json, String> {
+    fn object(&mut self) -> Result<Json, JsonParseError> {
         self.expect(b'{')?;
         let mut members = Vec::new();
         self.skip_ws();
@@ -260,7 +336,7 @@ impl Parser<'_> {
                     self.pos += 1;
                     return Ok(Json::Obj(members));
                 }
-                _ => return Err(format!("expected `,` or `}}` at byte {}", self.pos)),
+                _ => return Err(self.err("expected `,` or `}`")),
             }
         }
     }
@@ -302,5 +378,25 @@ mod tests {
         let doc = Json::parse(r#"{"schema_version": 8, "totals": {"spans": []}}"#).unwrap();
         assert_eq!(doc.get("schema_version").unwrap().as_u64(), Some(8));
         assert_eq!(doc.get("totals").unwrap().get("spans").unwrap().as_array(), Some(&[][..]));
+    }
+
+    #[test]
+    fn nesting_at_the_limit_parses_and_one_past_is_typed() {
+        let ok = "[".repeat(MAX_NESTING_DEPTH) + &"]".repeat(MAX_NESTING_DEPTH);
+        assert!(Json::parse(&ok).is_ok());
+        let deep = "[".repeat(MAX_NESTING_DEPTH + 1) + &"]".repeat(MAX_NESTING_DEPTH + 1);
+        match Json::parse(&deep) {
+            Err(JsonParseError::TooDeep { limit, offset }) => {
+                assert_eq!(limit, MAX_NESTING_DEPTH);
+                assert_eq!(offset, MAX_NESTING_DEPTH);
+            }
+            other => panic!("expected TooDeep, got {other:?}"),
+        }
+        // Mixed containers count the same levels.
+        let mixed = "{\"a\":".repeat(MAX_NESTING_DEPTH + 1);
+        assert!(matches!(Json::parse(&mixed), Err(JsonParseError::TooDeep { .. })));
+        // Errors render with their offset for humans.
+        let msg = String::from(Json::parse(&deep).unwrap_err());
+        assert!(msg.contains("128 levels"), "{msg}");
     }
 }

@@ -76,6 +76,7 @@ pub mod hetero;
 pub mod initial;
 pub mod interconnect;
 pub mod json;
+pub mod memo;
 pub mod multilevel;
 pub mod obs;
 pub mod parallel;
@@ -98,7 +99,7 @@ pub use budget::{
 };
 pub use checkpoint::{
     fingerprint_run, partition_restarts_durable, read_checkpoint, write_checkpoint, Checkpoint,
-    CheckpointWriter, ReadCheckpointError, RunFingerprint, SavedRestart,
+    CheckpointWriter, ReadCheckpointError, SavedRestart,
 };
 pub use config::FpartConfig;
 pub use cost::{classify, CostEvaluator, FeasibilityClass, KeyTracker, SolutionKey};
@@ -118,7 +119,8 @@ pub use engine::{
 pub use hetero::{partition_hetero, HeteroOutcome};
 pub use initial::{bipartition_remainder, InitialMethod};
 pub use interconnect::InterconnectReport;
-pub use json::Json;
+pub use json::{Json, JsonParseError};
+pub use memo::{CacheStats, CachedHierarchy, HierarchyKey, MemoConfig, MemoSolution, MemoStore};
 pub use multilevel::{
     partition_multilevel, partition_multilevel_observed, partition_multilevel_restarts,
     partition_multilevel_restarts_observed, split_thread_budget, MultilevelConfig,

@@ -24,11 +24,12 @@
 //! always completes), so the outcome stays a verifiable partition and
 //! reports [`Completion::DeadlineExpired`].
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use fpart_device::{lower_bound, DeviceConstraints};
 use fpart_hypergraph::coarsen::coarsen_to_floor_budgeted;
-use fpart_hypergraph::Hypergraph;
+use fpart_hypergraph::{fingerprint_graph, order_checksum, Fingerprint, Hypergraph};
 
 use crate::budget::{BudgetTracker, Completion};
 use crate::config::FpartConfig;
@@ -74,6 +75,13 @@ pub struct MultilevelConfig {
     /// exhausting memory. The cap is a deterministic function of the
     /// input, so budgeted runs stay bit-identical at any thread count.
     pub memory: crate::budget::MemoryBudget,
+    /// Optional shared memoization store (coarsening-hierarchy cache
+    /// plus restart-solution memo, see [`crate::memo`]). `None` — the
+    /// default — disables caching entirely; the cold path then performs
+    /// no fingerprinting at all. The store never changes any result:
+    /// cached runs are bit-identical to cold runs, so the handle is
+    /// normalized out of run fingerprints and memo keys.
+    pub memo: Option<Arc<crate::memo::MemoStore>>,
 }
 
 impl Default for MultilevelConfig {
@@ -87,6 +95,7 @@ impl Default for MultilevelConfig {
             seed: 0x5EED,
             threads: crate::parallel::default_threads(),
             memory: crate::budget::MemoryBudget::default(),
+            memo: None,
         }
     }
 }
@@ -104,6 +113,32 @@ impl MultilevelConfig {
             "cluster_cap_fraction must be positive and finite"
         );
     }
+}
+
+/// The memoization identity of one input graph: its content
+/// fingerprint and id-order checksum. Both are O(graph) to compute, so
+/// restart drivers compute them **once per run** and thread the pair
+/// through every restart's solution and hierarchy keys — the graph
+/// never changes between restarts, and recomputing per restart is
+/// exactly the kind of cold-path overhead the memo layer must not add.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct GraphKey {
+    /// [`fingerprint_graph`] of the input.
+    pub(crate) fp: Fingerprint,
+    /// [`order_checksum`] of the input.
+    pub(crate) order: u64,
+}
+
+/// Computes a graph's [`GraphKey`] (one O(graph) pass of each hash).
+pub(crate) fn graph_key(graph: &Hypergraph) -> GraphKey {
+    GraphKey { fp: fingerprint_graph(graph), order: order_checksum(graph) }
+}
+
+/// The per-run [`GraphKey`] a restart driver precomputes: `Some` only
+/// when a memo store is configured — without one, no fingerprinting
+/// happens at all.
+pub(crate) fn run_graph_key(graph: &Hypergraph, ml: &MultilevelConfig) -> Option<GraphKey> {
+    ml.memo.as_ref().map(|_| graph_key(graph))
 }
 
 /// Partitions `graph` through the n-level multilevel flow: coarsen to
@@ -168,6 +203,21 @@ pub fn partition_multilevel_observed(
     ml: &MultilevelConfig,
     obs: &mut Observer<'_>,
 ) -> Result<PartitionOutcome, PartitionError> {
+    let gk = run_graph_key(graph, ml);
+    partition_multilevel_observed_keyed(graph, constraints, config, ml, obs, gk.as_ref())
+}
+
+/// [`partition_multilevel_observed`] with the graph's memoization
+/// identity precomputed by the caller — restart drivers hash the graph
+/// once and reuse the key for every restart.
+pub(crate) fn partition_multilevel_observed_keyed(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+    config: &FpartConfig,
+    ml: &MultilevelConfig,
+    obs: &mut Observer<'_>,
+    gk: Option<&GraphKey>,
+) -> Result<PartitionOutcome, PartitionError> {
     config.validate();
     ml.validate();
     let start = Instant::now();
@@ -207,40 +257,9 @@ pub fn partition_multilevel_observed(
     // The worker count never changes the hierarchy (sharded proposals
     // commit serially), so intra-run parallelism keeps determinism.
     let cap = ((constraints.s_max as f64 * ml.cluster_cap_fraction) as u64).max(2);
-    let hierarchy = {
-        // Per-level coarsening spans: timing happens inside the
-        // coarsener (clock reads only when metrics are on) and lands
-        // here as externally-timed records.
-        let spans_on = obs.metrics.is_enabled();
-        let metrics = &mut obs.metrics;
-        let mut on_level = |level: usize,
-                            c: &fpart_hypergraph::coarsen::Coarsening,
-                            elapsed: std::time::Duration| {
-            metrics.record_span(
-                SpanKind::CoarsenLevel,
-                level as u32,
-                elapsed,
-                SpanStats {
-                    nodes: c.coarse.node_count() as u64,
-                    nets: c.coarse.net_count() as u64,
-                    ..SpanStats::default()
-                },
-            );
-        };
-        let on_level: Option<fpart_hypergraph::coarsen::OnLevel<'_>> =
-            if spans_on { Some(&mut on_level) } else { None };
-        coarsen_to_floor_budgeted(
-            graph,
-            cap,
-            ml.coarsen_floor,
-            ml.max_levels,
-            ml.seed,
-            ml.threads.max(1),
-            ml.memory.max_bytes,
-            on_level,
-        )
-    };
-    let (hierarchy, memory_truncated) = hierarchy;
+    let cached = obtain_hierarchy(graph, cap, ml, obs, gk);
+    let hierarchy = &cached.hierarchy;
+    let memory_truncated = cached.truncated;
     obs.metrics.add(Counter::CoarsenLevels, hierarchy.level_count() as u64);
 
     // Partition the coarsest level under the shared tracker.
@@ -358,6 +377,97 @@ pub fn partition_multilevel_observed(
     ))
 }
 
+/// Builds or reuses the coarsening hierarchy of one V-cycle.
+///
+/// With a memo store configured, the finished hierarchy is cached under
+/// the graph's content fingerprint, its id-order checksum, and every
+/// parameter the coarsener derives the hierarchy from (including the
+/// byte cap, which can truncate it). A hit skips coarsening entirely
+/// and replays the per-level [`SpanKind::CoarsenLevel`] records from
+/// the cached levels, so downstream span consumers see the same shape
+/// as a cold run. Without a store this is exactly the cold path — no
+/// fingerprinting happens at all.
+fn obtain_hierarchy(
+    graph: &Hypergraph,
+    cap: u64,
+    ml: &MultilevelConfig,
+    obs: &mut Observer<'_>,
+    gk: Option<&GraphKey>,
+) -> Arc<crate::memo::CachedHierarchy> {
+    let key = ml.memo.as_ref().map(|_| {
+        let gk = gk.copied().unwrap_or_else(|| graph_key(graph));
+        crate::memo::HierarchyKey {
+            graph: gk.fp,
+            order: gk.order,
+            cap,
+            floor: ml.coarsen_floor,
+            max_levels: ml.max_levels,
+            seed: ml.seed,
+            max_bytes: ml.memory.max_bytes,
+        }
+    });
+    if let (Some(store), Some(key)) = (ml.memo.as_deref(), key.as_ref()) {
+        if let Some(cached) = store.lookup_hierarchy(key) {
+            obs.metrics.bump(Counter::HierarchyCacheHits);
+            if obs.metrics.is_enabled() {
+                for (level, c) in cached.hierarchy.levels.iter().enumerate() {
+                    obs.metrics.record_span(
+                        SpanKind::CoarsenLevel,
+                        level as u32,
+                        std::time::Duration::ZERO,
+                        SpanStats {
+                            nodes: c.coarse.node_count() as u64,
+                            nets: c.coarse.net_count() as u64,
+                            ..SpanStats::default()
+                        },
+                    );
+                }
+            }
+            return cached;
+        }
+        obs.metrics.bump(Counter::HierarchyCacheMisses);
+    }
+    let (hierarchy, truncated) = {
+        // Per-level coarsening spans: timing happens inside the
+        // coarsener (clock reads only when metrics are on) and lands
+        // here as externally-timed records.
+        let spans_on = obs.metrics.is_enabled();
+        let metrics = &mut obs.metrics;
+        let mut on_level = |level: usize,
+                            c: &fpart_hypergraph::coarsen::Coarsening,
+                            elapsed: std::time::Duration| {
+            metrics.record_span(
+                SpanKind::CoarsenLevel,
+                level as u32,
+                elapsed,
+                SpanStats {
+                    nodes: c.coarse.node_count() as u64,
+                    nets: c.coarse.net_count() as u64,
+                    ..SpanStats::default()
+                },
+            );
+        };
+        let on_level: Option<fpart_hypergraph::coarsen::OnLevel<'_>> =
+            if spans_on { Some(&mut on_level) } else { None };
+        coarsen_to_floor_budgeted(
+            graph,
+            cap,
+            ml.coarsen_floor,
+            ml.max_levels,
+            ml.seed,
+            ml.threads.max(1),
+            ml.memory.max_bytes,
+            on_level,
+        )
+    };
+    let cached = Arc::new(crate::memo::CachedHierarchy { hierarchy, truncated });
+    if let (Some(store), Some(key)) = (ml.memo.as_deref(), key) {
+        let evicted = store.insert_hierarchy(key, Arc::clone(&cached));
+        obs.metrics.add(Counter::HierarchyCacheEvictions, evicted as u64);
+    }
+    cached
+}
+
 /// Splits a total worker budget between the restart fan-out and the
 /// intra-run stages of each restart: restarts claim workers first (they
 /// parallelize with no cloning overhead), and any surplus becomes
@@ -400,12 +510,78 @@ pub fn partition_multilevel_restarts(
     threads: usize,
 ) -> Result<PartitionOutcome, PartitionError> {
     let (outer, inner) = split_thread_budget(threads, restarts);
+    let gk = run_graph_key(graph, ml);
     search_restarts(restarts, if threads == 0 { 0 } else { outer }, &|i| {
         let cfg = restart_config(config, i);
         let mlc =
             MultilevelConfig { seed: ml.seed.wrapping_add(i as u64), threads: inner, ..ml.clone() };
-        partition_multilevel(graph, constraints, &cfg, &mlc)
+        let memo_key = restart_memo_key(gk.as_ref(), graph, constraints, &cfg, &mlc);
+        if let (Some(store), Some(key)) = (mlc.memo.as_deref(), memo_key) {
+            if let Some(sol) = store.lookup_solution(key) {
+                if let Some((result, _metrics)) = replay_memo_solution(graph, constraints, &sol, i)
+                {
+                    return result;
+                }
+            }
+        }
+        let mut obs = Observer::none();
+        let result = partition_multilevel_observed_keyed(
+            graph,
+            constraints,
+            &cfg,
+            &mlc,
+            &mut obs,
+            gk.as_ref(),
+        );
+        record_memo_solution(&mlc, memo_key, &result);
+        result
     })
+}
+
+/// The solution-memo key for one restart's effective configs, or `None`
+/// when no store is configured, the graph is empty, or the run is not
+/// [`crate::memo::memoizable`].
+fn restart_memo_key(
+    gk: Option<&GraphKey>,
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+    cfg: &FpartConfig,
+    mlc: &MultilevelConfig,
+) -> Option<Fingerprint> {
+    mlc.memo.as_ref().filter(|_| graph.node_count() > 0 && crate::memo::memoizable(cfg)).map(|_| {
+        let gk = gk.copied().unwrap_or_else(|| graph_key(graph));
+        crate::memo::restart_solution_key(gk.fp, gk.order, constraints, cfg, mlc)
+    })
+}
+
+/// Stores a finished restart in the solution memo — only `Complete`
+/// outcomes qualify (a degraded or expired run is not a pure function
+/// of the key).
+fn record_memo_solution(
+    mlc: &MultilevelConfig,
+    memo_key: Option<Fingerprint>,
+    result: &Result<PartitionOutcome, PartitionError>,
+) {
+    if let (Some(store), Some(key)) = (mlc.memo.as_deref(), memo_key) {
+        if let Ok(outcome) = result {
+            if outcome.completion == Completion::Complete {
+                // Solution evictions stay in the store-level
+                // `CacheStats`; only hierarchy evictions get a counter.
+                let _ = store.insert_solution(
+                    key,
+                    crate::memo::MemoSolution {
+                        assignment: outcome.assignment.clone(),
+                        device_count: outcome.device_count,
+                        cut: outcome.cut,
+                        feasible: outcome.feasible,
+                        iterations: outcome.iterations,
+                        improve_calls: outcome.improve_calls,
+                        total_moves: outcome.total_moves,
+                    },
+                );
+            }
+        }
+    }
 }
 
 /// [`partition_multilevel_restarts`] with per-restart metrics recording
@@ -424,8 +600,9 @@ pub fn partition_multilevel_restarts_observed(
     threads: usize,
 ) -> Result<RestartsReport, PartitionError> {
     let (outer, inner) = split_thread_budget(threads, restarts);
+    let gk = run_graph_key(graph, ml);
     search_restarts_observed(restarts, if threads == 0 { 0 } else { outer }, &|i| {
-        observed_multilevel_restart_job(graph, constraints, config, ml, inner, i)
+        observed_multilevel_restart_job(graph, constraints, config, ml, inner, i, gk.as_ref())
     })
 }
 
@@ -441,14 +618,26 @@ pub(crate) fn observed_multilevel_restart_job(
     ml: &MultilevelConfig,
     inner: usize,
     i: usize,
+    gk: Option<&GraphKey>,
 ) -> (Result<PartitionOutcome, PartitionError>, Metrics) {
     let cfg = restart_config(config, i);
     let mlc =
         MultilevelConfig { seed: ml.seed.wrapping_add(i as u64), threads: inner, ..ml.clone() };
+    // Solution memo: only restarts with no external budget of any kind
+    // qualify (their result is a pure function of the key), and a hit
+    // is verified against the live graph before it is trusted.
+    let memo_key = restart_memo_key(gk, graph, constraints, &cfg, &mlc);
+    if let (Some(store), Some(key)) = (mlc.memo.as_deref(), memo_key) {
+        if let Some(sol) = store.lookup_solution(key) {
+            if let Some(hit) = replay_memo_solution(graph, constraints, &sol, i) {
+                return hit;
+            }
+        }
+    }
     let mut obs = Observer::new(Metrics::enabled(), None);
     obs.metrics.set_span_lane(i as u32);
     obs.metrics.span_open(SpanKind::Restart, 0);
-    let result = partition_multilevel_observed(graph, constraints, &cfg, &mlc, &mut obs);
+    let result = partition_multilevel_observed_keyed(graph, constraints, &cfg, &mlc, &mut obs, gk);
     let mut metrics = obs.metrics;
     metrics.bump(Counter::Runs);
     let span_stats = match &result {
@@ -461,7 +650,65 @@ pub(crate) fn observed_multilevel_restart_job(
         Err(_) => SpanStats::default(),
     };
     metrics.span_close(span_stats);
+    record_memo_solution(&mlc, memo_key, &result);
     (result, metrics)
+}
+
+/// Rebuilds a restart's outcome from a memoized solution, after
+/// verifying the stored assignment against the live graph (coverage,
+/// block-id range, and a full reassembly cross-check of cut,
+/// feasibility, and block structure). Returns `None` — fall back to the
+/// cold search — on any disagreement, so even a fingerprint collision
+/// can never degrade quality.
+fn replay_memo_solution(
+    graph: &Hypergraph,
+    constraints: DeviceConstraints,
+    sol: &crate::memo::MemoSolution,
+    i: usize,
+) -> Option<(Result<PartitionOutcome, PartitionError>, Metrics)> {
+    let start = Instant::now();
+    if sol.assignment.len() != graph.node_count()
+        || sol.device_count == 0
+        || sol.assignment.iter().any(|&b| b as usize >= sol.device_count)
+    {
+        return None;
+    }
+    let mut metrics = Metrics::enabled();
+    metrics.set_span_lane(i as u32);
+    metrics.span_open(SpanKind::Restart, 0);
+    metrics.bump(Counter::MemoWarmStarts);
+    let m = lower_bound(graph, constraints);
+    let state = PartitionState::from_assignment(graph, sol.assignment.clone(), sol.device_count);
+    let outcome = crate::driver::assemble_outcome(
+        graph,
+        &state,
+        constraints,
+        m,
+        sol.iterations,
+        sol.improve_calls,
+        sol.total_moves,
+        start.elapsed(),
+        Trace::disabled(),
+        metrics.clone(),
+        Completion::Complete,
+    );
+    // The reassembled outcome must agree with everything the cold
+    // restart recorded; a collision shows up as a mismatch here.
+    if outcome.assignment != sol.assignment
+        || outcome.device_count != sol.device_count
+        || outcome.cut != sol.cut
+        || outcome.feasible != sol.feasible
+    {
+        return None;
+    }
+    metrics.bump(Counter::Runs);
+    metrics.span_close(SpanStats {
+        nodes: graph.node_count() as u64,
+        nets: graph.net_count() as u64,
+        moves: sol.total_moves as u64,
+        ..SpanStats::default()
+    });
+    Some((Ok(outcome), metrics))
 }
 
 #[cfg(test)]

@@ -47,7 +47,12 @@ use crate::trace::{ImproveKind, TraceEvent};
 /// Version 9 adds the partition server: the `server_requests` /
 /// `server_cancelled` counters, the protocol `hello` banner's
 /// `schema_version` field, and the smoke bench's `server` section.
-pub const SCHEMA_VERSION: u32 = 9;
+///
+/// Version 10 adds fingerprint-keyed memoization: the
+/// `hierarchy_cache_hits` / `hierarchy_cache_misses` /
+/// `hierarchy_cache_evictions` / `memo_warm_starts` /
+/// `server_coalesced` counters, and the smoke bench's `memo` section.
+pub const SCHEMA_VERSION: u32 = 10;
 
 /// The named engine counters. Every counter is a monotonically
 /// increasing `u64`; [`Counter::name`] is the stable `snake_case` key used
@@ -110,11 +115,24 @@ pub enum Counter {
     ServerRequests,
     /// Server requests stopped by an explicit `cancel` request.
     ServerCancelled,
+    /// Coarsening-hierarchy cache lookups that reused a cached
+    /// hierarchy (the run skipped `coarsen_to_floor`).
+    HierarchyCacheHits,
+    /// Coarsening-hierarchy cache lookups that missed and coarsened.
+    HierarchyCacheMisses,
+    /// Hierarchies evicted from the cache to honor its entry or byte
+    /// bound.
+    HierarchyCacheEvictions,
+    /// Restarts replayed from the solution memo instead of searching
+    /// (always verified against the live graph before being trusted).
+    MemoWarmStarts,
+    /// Duplicate in-flight server requests coalesced onto one run.
+    ServerCoalesced,
 }
 
 impl Counter {
     /// Every counter, in serialization order.
-    pub const ALL: [Counter; 25] = [
+    pub const ALL: [Counter; 30] = [
         Counter::Passes,
         Counter::MovesApplied,
         Counter::MovesReverted,
@@ -140,6 +158,11 @@ impl Counter {
         Counter::CheckpointsWritten,
         Counter::ServerRequests,
         Counter::ServerCancelled,
+        Counter::HierarchyCacheHits,
+        Counter::HierarchyCacheMisses,
+        Counter::HierarchyCacheEvictions,
+        Counter::MemoWarmStarts,
+        Counter::ServerCoalesced,
     ];
 
     /// Stable `snake_case` key of this counter in serialized metrics.
@@ -171,6 +194,11 @@ impl Counter {
             Counter::CheckpointsWritten => "checkpoints_written",
             Counter::ServerRequests => "server_requests",
             Counter::ServerCancelled => "server_cancelled",
+            Counter::HierarchyCacheHits => "hierarchy_cache_hits",
+            Counter::HierarchyCacheMisses => "hierarchy_cache_misses",
+            Counter::HierarchyCacheEvictions => "hierarchy_cache_evictions",
+            Counter::MemoWarmStarts => "memo_warm_starts",
+            Counter::ServerCoalesced => "server_coalesced",
         }
     }
 }

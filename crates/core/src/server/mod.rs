@@ -43,7 +43,9 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use fpart_device::{Device, DeviceConstraints};
-use fpart_hypergraph::{apply_script, EditScript, Hypergraph, ParseLimits};
+use fpart_hypergraph::{
+    apply_script, fingerprint_graph, EditScript, Fingerprint, Hypergraph, ParseLimits,
+};
 
 use crate::budget::{CancelToken, Completion, RunBudget};
 use crate::config::FpartConfig;
@@ -77,6 +79,12 @@ pub struct ServerConfig {
     /// flips, the server shuts down as if a `shutdown` request had
     /// arrived.
     pub stop: Option<CancelToken>,
+    /// Shared memoization store (hierarchy cache + solution memo,
+    /// see [`crate::memo`]) handed to every run. On by default — warm
+    /// repeated requests are the server's reason to exist; `None`
+    /// (the CLI's `--no-cache`) turns all caching off. Results are
+    /// bit-identical either way.
+    pub memo: Option<Arc<crate::memo::MemoStore>>,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +95,7 @@ impl Default for ServerConfig {
             limits: ParseLimits::default(),
             heartbeat_ms: 200,
             stop: None,
+            memo: Some(crate::memo::MemoStore::shared()),
         }
     }
 }
@@ -96,6 +105,10 @@ struct Session {
     graph: Arc<Hypergraph>,
     constraints: DeviceConstraints,
     path: String,
+    /// Zobrist fingerprint of `graph`: computed once in O(pins) at
+    /// `load` and maintained through `eco` in O(edit) via
+    /// [`fpart_hypergraph::EditApplied::fingerprint_delta`].
+    fingerprint: Fingerprint,
     /// Assignment of the most recent successful run (indexes `graph`).
     last: Option<Vec<u32>>,
     /// Block count of `last`.
@@ -131,10 +144,48 @@ enum JobKind {
 }
 
 /// A lazily-spawned per-session worker: the submit side of its bounded
-/// queue plus the count of jobs accepted but not yet started.
+/// queue plus the count of jobs accepted but not yet finished.
 struct WorkerHandle {
     tx: SyncSender<Job>,
     pending: Arc<AtomicUsize>,
+    /// Eco jobs accepted but not yet finished. While nonzero, new
+    /// `partition` requests must not coalesce onto an in-flight run:
+    /// the queued eco will change the graph between the leader's
+    /// execution and the newcomer's would-be execution.
+    eco_pending: Arc<AtomicUsize>,
+}
+
+/// One accepted `partition` run that a later identical request on the
+/// same connection may join instead of re-running the search. The
+/// entry lives from enqueue until the leader's reply is rendered; its
+/// followers each hold their own [`CancelToken`] (registered in the
+/// server's inflight table, so `cancel` can detach one without
+/// touching the leader).
+struct CoalesceEntry {
+    session: String,
+    params: RunParams,
+    leader: String,
+    followers: Vec<(String, CancelToken)>,
+}
+
+/// Removes the coalesce entry led by `leader`, returning its followers
+/// (empty when the job never had an entry — eco and progress runs).
+fn take_followers(
+    registry: &Mutex<Vec<CoalesceEntry>>,
+    leader: &str,
+) -> Vec<(String, CancelToken)> {
+    let mut entries = registry.lock().unwrap();
+    match entries.iter().position(|e| e.leader == leader) {
+        Some(i) => entries.swap_remove(i).followers,
+        None => Vec::new(),
+    }
+}
+
+/// Marks a fanned-out reply body as served from a coalesced leader run.
+fn coalesced_body(body: &str) -> String {
+    let mut marked = body.strip_suffix('}').unwrap_or(body).to_owned();
+    marked.push_str(", \"coalesced\": true}");
+    marked
 }
 
 fn write_line<W: Write>(out: &Mutex<W>, line: &str) {
@@ -334,10 +385,12 @@ impl Server {
         let graph = read_netlist(Path::new(path), &self.config.limits)
             .map_err(|e| ProtocolError::new("load_failed", e))?;
         let (nodes, nets, pins) = (graph.node_count(), graph.net_count(), graph.pin_count());
+        let fingerprint = fingerprint_graph(&graph);
         let session = Session {
             graph: Arc::new(graph),
             constraints,
             path: path.to_owned(),
+            fingerprint,
             last: None,
             blocks: 0,
             totals: Metrics::enabled(),
@@ -367,9 +420,10 @@ impl Server {
             return Ok(format!(
                 "{{\"session\": {}, \"path\": {}, \"nodes\": {}, \"nets\": {}, \
                  \"s_max\": {}, \"t_max\": {}, \"requests\": {}, \"blocks\": {}, \
-                 \"has_assignment\": {}, \"counters\": {{\"server_requests\": {}, \
-                 \"server_cancelled\": {}, \"runs\": {}, \"passes\": {}, \
-                 \"moves_applied\": {}}}}}",
+                 \"has_assignment\": {}, \"fingerprint\": \"{}\", \
+                 \"counters\": {{\"server_requests\": {}, \
+                 \"server_cancelled\": {}, \"server_coalesced\": {}, \"runs\": {}, \
+                 \"passes\": {}, \"moves_applied\": {}}}}}",
                 protocol::json_string(name),
                 protocol::json_string(&s.path),
                 s.graph.node_count(),
@@ -379,8 +433,10 @@ impl Server {
                 s.requests,
                 s.blocks,
                 s.last.is_some(),
+                s.fingerprint,
                 s.totals.get(Counter::ServerRequests),
                 s.totals.get(Counter::ServerCancelled),
+                s.totals.get(Counter::ServerCoalesced),
                 s.totals.get(Counter::Runs),
                 s.totals.get(Counter::Passes),
                 s.totals.get(Counter::MovesApplied),
@@ -486,7 +542,11 @@ impl Server {
                 let outcome = match params.method {
                     Method::Multilevel => {
                         let (_, inner) = split_thread_budget(threads, 1);
-                        let ml = MultilevelConfig { threads: inner, ..MultilevelConfig::default() };
+                        let ml = MultilevelConfig {
+                            threads: inner,
+                            memo: self.config.memo.clone(),
+                            ..MultilevelConfig::default()
+                        };
                         partition_multilevel_observed(&graph, constraints, &cfg, &ml, &mut obs)
                     }
                     Method::Fpart => partition_observed(&graph, constraints, &cfg, &mut obs),
@@ -507,7 +567,10 @@ impl Server {
                     &graph,
                     constraints,
                     &cfg,
-                    &MultilevelConfig::default(),
+                    &MultilevelConfig {
+                        memo: self.config.memo.clone(),
+                        ..MultilevelConfig::default()
+                    },
                     restarts,
                     threads,
                 )
@@ -542,7 +605,7 @@ impl Server {
         params: &RunParams,
         cancel: &CancelToken,
     ) -> Result<String, ProtocolError> {
-        let (graph, constraints, previous) = {
+        let (graph, constraints, previous, fp_before) = {
             let s = session.lock().unwrap();
             let previous = s.last.clone().ok_or_else(|| {
                 ProtocolError::new(
@@ -550,13 +613,23 @@ impl Server {
                     format!("session `{name}` has no partition to repair; run `partition` first"),
                 )
             })?;
-            (Arc::clone(&s.graph), s.constraints, previous)
+            (Arc::clone(&s.graph), s.constraints, previous, s.fingerprint)
         };
         let (cfg, threads) = self.budgeted_config(params, cancel);
         let started = Instant::now();
         let edited = apply_script(&graph, script)
             .map_err(|e| ProtocolError::new("bad_request", format!("edit script failed: {e}")))?;
-        let eco = EcoConfig::default();
+        // O(edit) fingerprint maintenance: the session hash advances by
+        // the edit's XOR delta instead of an O(pins) rehash.
+        let fp_after = fp_before ^ edited.fingerprint_delta;
+        debug_assert_eq!(fp_after, fingerprint_graph(&edited.graph));
+        let eco = EcoConfig {
+            multilevel: MultilevelConfig {
+                memo: self.config.memo.clone(),
+                ..MultilevelConfig::default()
+            },
+            ..EcoConfig::default()
+        };
         let report = repartition_eco_restarts_observed(
             &edited.graph,
             constraints,
@@ -588,6 +661,7 @@ impl Server {
             s.totals.bump(Counter::ServerCancelled);
         }
         s.graph = edited_graph;
+        s.fingerprint = fp_after;
         s.last = Some(report.outcome.assignment.clone());
         s.blocks = report.outcome.blocks.len();
         Ok(render_run_result(name, &report, params.restarts, threads, elapsed_ms, params, &extra))
@@ -613,6 +687,10 @@ impl Server {
         let out = Mutex::new(writer);
         write_line(&out, &protocol::hello_line());
         let stop = || self.is_stopped();
+        // Per-connection: coalescing fans replies out over this
+        // connection's writer, so requests from different connections
+        // never join each other's runs.
+        let registry: Mutex<Vec<CoalesceEntry>> = Mutex::new(Vec::new());
         std::thread::scope(|scope| -> std::io::Result<()> {
             let mut workers: HashMap<String, WorkerHandle> = HashMap::new();
             loop {
@@ -648,6 +726,7 @@ impl Server {
                         self.enqueue(
                             scope,
                             &mut workers,
+                            &registry,
                             &out,
                             &id,
                             &session,
@@ -660,6 +739,7 @@ impl Server {
                             self.enqueue(
                                 scope,
                                 &mut workers,
+                                &registry,
                                 &out,
                                 &id,
                                 &session,
@@ -714,12 +794,16 @@ impl Server {
     }
 
     /// Parks a run request in its session's queue, spawning the
-    /// session's worker on first use.
+    /// session's worker on first use. A non-streaming `partition`
+    /// whose params exactly match an accepted-but-unfinished one (and
+    /// with no eco pending in between) does not enqueue at all: it
+    /// joins that leader's [`CoalesceEntry`] and shares its run.
     #[allow(clippy::too_many_arguments)]
     fn enqueue<'scope, 'env, W: Write + Send + 'scope>(
         &'env self,
         scope: &'scope std::thread::Scope<'scope, 'env>,
         workers: &mut HashMap<String, WorkerHandle>,
+        registry: &'scope Mutex<Vec<CoalesceEntry>>,
         out: &'scope Mutex<W>,
         id: &str,
         name: &str,
@@ -738,6 +822,28 @@ impl Server {
                 return;
             }
         };
+        // Streaming runs never coalesce: each wants its own progress
+        // event stream.
+        let coalescable = matches!(kind, JobKind::Partition) && !params.progress;
+        if coalescable
+            && workers.get(name).is_some_and(|w| w.eco_pending.load(Ordering::SeqCst) == 0)
+        {
+            let mut entries = registry.lock().unwrap();
+            if let Some(entry) =
+                entries.iter_mut().find(|e| e.session == name && e.params == params)
+            {
+                match self.register(id) {
+                    Ok(token) => {
+                        entry.followers.push((id.to_owned(), token));
+                    }
+                    Err(e) => {
+                        drop(entries);
+                        write_line(out, &protocol::error_line(Some(id), &e));
+                    }
+                }
+                return;
+            }
+        }
         let cancel = match self.register(id) {
             Ok(token) => token,
             Err(e) => {
@@ -748,18 +854,36 @@ impl Server {
         let worker = workers.entry(name.to_owned()).or_insert_with(|| {
             let (tx, rx) = sync_channel::<Job>(self.config.queue_capacity);
             let pending = Arc::new(AtomicUsize::new(0));
+            let eco_pending = Arc::new(AtomicUsize::new(0));
             let worker_pending = Arc::clone(&pending);
+            let worker_eco = Arc::clone(&eco_pending);
             scope.spawn(move || {
                 while let Ok(job) = rx.recv() {
-                    let line = self.execute(
-                        &job.id,
-                        &job.name,
-                        &job.session,
-                        &job.kind,
-                        &job.params,
-                        Some(out),
-                        &job.cancel,
-                    );
+                    let result = match &job.kind {
+                        JobKind::Partition => self.run_partition(
+                            &job.id,
+                            &job.name,
+                            &job.session,
+                            &job.params,
+                            Some(out),
+                            &job.cancel,
+                        ),
+                        JobKind::Eco(script) => {
+                            self.run_eco(&job.name, &job.session, script, &job.params, &job.cancel)
+                        }
+                    };
+                    if matches!(job.kind, JobKind::Eco(_)) {
+                        worker_eco.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    let followers = take_followers(registry, &job.id);
+                    if !followers.is_empty() {
+                        let mut s = job.session.lock().unwrap();
+                        s.totals.add(Counter::ServerCoalesced, followers.len() as u64);
+                    }
+                    let line = match &result {
+                        Ok(body) => protocol::ok_line(&job.id, body),
+                        Err(e) => protocol::error_line(Some(&job.id), e),
+                    };
                     // Counted down on completion (not on start) so
                     // `pending` is running-plus-queued: a submit
                     // parked behind a running job sees position 1.
@@ -769,10 +893,43 @@ impl Server {
                     self.inflight.lock().unwrap().remove(&job.id);
                     worker_pending.fetch_sub(1, Ordering::SeqCst);
                     write_line(out, &line);
+                    // Fan the leader's result out to every coalesced
+                    // follower — unless a `cancel` detached it while
+                    // the run was in flight.
+                    for (fid, token) in followers {
+                        self.inflight.lock().unwrap().remove(&fid);
+                        let fline = if token.is_cancelled() {
+                            let e = ProtocolError::new(
+                                "cancelled",
+                                "request was cancelled while coalesced onto an \
+                                 identical in-flight run",
+                            );
+                            protocol::error_line(Some(&fid), &e)
+                        } else {
+                            match &result {
+                                Ok(body) => protocol::ok_line(&fid, &coalesced_body(body)),
+                                Err(e) => protocol::error_line(Some(&fid), e),
+                            }
+                        };
+                        write_line(out, &fline);
+                    }
                 }
             });
-            WorkerHandle { tx, pending }
+            WorkerHandle { tx, pending, eco_pending }
         });
+        // The entry goes in BEFORE the job is visible to the worker,
+        // so the worker's post-run sweep always finds it.
+        if coalescable {
+            registry.lock().unwrap().push(CoalesceEntry {
+                session: name.to_owned(),
+                params: params.clone(),
+                leader: id.to_owned(),
+                followers: Vec::new(),
+            });
+        }
+        if matches!(kind, JobKind::Eco(_)) {
+            worker.eco_pending.fetch_add(1, Ordering::SeqCst);
+        }
         let job = Job { id: id.to_owned(), name: name.to_owned(), session, kind, params, cancel };
         let ahead = worker.pending.fetch_add(1, Ordering::SeqCst);
         match worker.tx.try_send(job) {
@@ -783,6 +940,10 @@ impl Server {
             }
             Err(TrySendError::Full(job) | TrySendError::Disconnected(job)) => {
                 worker.pending.fetch_sub(1, Ordering::SeqCst);
+                if matches!(job.kind, JobKind::Eco(_)) {
+                    worker.eco_pending.fetch_sub(1, Ordering::SeqCst);
+                }
+                let _ = take_followers(registry, &job.id);
                 self.inflight.lock().unwrap().remove(&job.id);
                 let e = ProtocolError::new(
                     "busy",

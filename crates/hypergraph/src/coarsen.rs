@@ -45,6 +45,15 @@ pub struct Coarsening {
 }
 
 impl Coarsening {
+    /// Estimated heap footprint of this level in bytes: the coarse
+    /// graph ([`Hypergraph::approx_bytes`]) plus the projection map.
+    /// The same formula the byte-budgeted coarsener charges per level,
+    /// so cache layers bound retained hierarchies in the same currency.
+    #[must_use]
+    pub fn approx_bytes(&self) -> u64 {
+        self.coarse.approx_bytes() + std::mem::size_of_val(self.map.as_slice()) as u64
+    }
+
     /// Projects a coarse per-node block assignment back onto the fine
     /// hypergraph.
     ///
@@ -327,6 +336,13 @@ impl Hierarchy {
         self.levels.len()
     }
 
+    /// Estimated heap footprint of the whole hierarchy in bytes (sum of
+    /// [`Coarsening::approx_bytes`] over the levels).
+    #[must_use]
+    pub fn approx_bytes(&self) -> u64 {
+        self.levels.iter().map(Coarsening::approx_bytes).sum()
+    }
+
     /// The coarsest hypergraph, or `None` when no coarsening happened.
     #[must_use]
     pub fn coarsest(&self) -> Option<&Hypergraph> {
@@ -477,8 +493,7 @@ pub fn coarsen_to_floor_budgeted(
             break;
         }
         if let Some(cap) = max_bytes {
-            let level_bytes = coarsening.coarse.approx_bytes()
-                + std::mem::size_of_val(coarsening.map.as_slice()) as u64;
+            let level_bytes = coarsening.approx_bytes();
             if bytes.saturating_add(level_bytes) > cap {
                 truncated = true;
                 break;

@@ -41,6 +41,7 @@ use std::io::{Read, Write};
 
 use crate::builder::HypergraphBuilder;
 use crate::error::BuildError;
+use crate::fingerprint;
 use crate::graph::Hypergraph;
 use crate::ids::NodeId;
 
@@ -372,6 +373,13 @@ pub struct EditApplied {
     pub added_nodes: usize,
     /// Nodes the script removed.
     pub removed_nodes: usize,
+    /// XOR-delta of the graph [`Fingerprint`](crate::Fingerprint):
+    /// `fingerprint_graph(old) ^ fingerprint_delta ==
+    /// fingerprint_graph(new)`. Maintained in O(edit) by
+    /// [`apply_script`], so callers tracking an incremental fingerprint
+    /// advance it without rehashing the edited graph; a debug assertion
+    /// checks the identity against the from-scratch recompute.
+    pub fingerprint_delta: crate::Fingerprint,
 }
 
 impl EditScript {
@@ -1066,6 +1074,10 @@ pub fn apply_script(
     let original_nodes = nodes.len();
     let mut added_nodes = 0usize;
     let mut removed_nodes = 0usize;
+    // Incremental fingerprint bookkeeping: every element the script
+    // adds or removes XORs its token into the delta, so the edited
+    // graph's fingerprint is `old ^ delta` without an O(pins) rehash.
+    let mut delta = fingerprint::Fingerprint::ZERO;
 
     // Removes a pin from a net, cascading net removal when the net is
     // left pinless.
@@ -1073,12 +1085,18 @@ pub fn apply_script(
         nets: &mut [NetSlot],
         nodes: &mut [NodeSlot],
         net_index: &mut HashMap<String, usize>,
+        delta: &mut fingerprint::Fingerprint,
         e: usize,
         v: usize,
     ) {
+        *delta ^= fingerprint::pin_token(&nets[e].name, &nodes[v].name);
         nets[e].pins.retain(|&p| p != v);
         nodes[v].nets.retain(|&x| x != e);
         if nets[e].pins.is_empty() {
+            *delta ^= fingerprint::net_token(&nets[e].name);
+            for t in &nets[e].terminals {
+                *delta ^= fingerprint::terminal_token(t, &nets[e].name);
+            }
             nets[e].alive = false;
             nets[e].terminals.clear();
             net_index.remove(&nets[e].name);
@@ -1097,6 +1115,7 @@ pub fn apply_script(
                 }
                 node_index.insert(name.clone(), nodes.len());
                 nodes.push(NodeSlot { name: name.clone(), size: *size, alive: true, nets: vec![] });
+                delta ^= fingerprint::node_token(name, *size);
                 added_nodes += 1;
             }
             EditOp::RemoveNode { name } => {
@@ -1104,8 +1123,9 @@ pub fn apply_script(
                     .get(name)
                     .ok_or_else(|| ApplyEditError::UnknownNode { line, name: name.clone() })?;
                 for e in nodes[v].nets.clone() {
-                    drop_pin(&mut nets, &mut nodes, &mut net_index, e, v);
+                    drop_pin(&mut nets, &mut nodes, &mut net_index, &mut delta, e, v);
                 }
+                delta ^= fingerprint::node_token(name, nodes[v].size);
                 nodes[v].alive = false;
                 node_index.remove(name);
                 if v < original_nodes {
@@ -1121,6 +1141,10 @@ pub fn apply_script(
                 if *size == 0 {
                     return Err(ApplyEditError::ZeroSize { line, name: name.clone() });
                 }
+                // Swap tokens: old size out, new size in (a same-size
+                // resize cancels to a no-op, as it should).
+                delta ^= fingerprint::node_token(name, nodes[v].size);
+                delta ^= fingerprint::node_token(name, *size);
                 nodes[v].size = *size;
             }
             EditOp::AddNet { name, pins } => {
@@ -1145,8 +1169,10 @@ pub fn apply_script(
                     resolved.push(v);
                 }
                 let e = nets.len();
+                delta ^= fingerprint::net_token(name);
                 for &v in &resolved {
                     nodes[v].nets.push(e);
+                    delta ^= fingerprint::pin_token(name, &nodes[v].name);
                 }
                 net_index.insert(name.clone(), e);
                 nets.push(NetSlot {
@@ -1160,8 +1186,13 @@ pub fn apply_script(
                 let &e = net_index
                     .get(name)
                     .ok_or_else(|| ApplyEditError::UnknownNet { line, name: name.clone() })?;
+                delta ^= fingerprint::net_token(name);
                 for v in nets[e].pins.clone() {
                     nodes[v].nets.retain(|&x| x != e);
+                    delta ^= fingerprint::pin_token(name, &nodes[v].name);
+                }
+                for t in &nets[e].terminals {
+                    delta ^= fingerprint::terminal_token(t, name);
                 }
                 nets[e].alive = false;
                 nets[e].pins.clear();
@@ -1184,6 +1215,7 @@ pub fn apply_script(
                 }
                 nets[e].pins.push(v);
                 nodes[v].nets.push(e);
+                delta ^= fingerprint::pin_token(net, node);
             }
             EditOp::DisconnectPin { net, node } => {
                 let &e = net_index
@@ -1199,7 +1231,7 @@ pub fn apply_script(
                         node: node.clone(),
                     });
                 }
-                drop_pin(&mut nets, &mut nodes, &mut net_index, e, v);
+                drop_pin(&mut nets, &mut nodes, &mut net_index, &mut delta, e, v);
             }
         }
     }
@@ -1223,8 +1255,19 @@ pub fn apply_script(
         }
     }
     let edited = builder.finish()?;
+    debug_assert_eq!(
+        fingerprint::fingerprint_graph(graph) ^ delta,
+        fingerprint::fingerprint_graph(&edited),
+        "incremental fingerprint delta must equal the from-scratch recompute"
+    );
     let node_map = new_ids[..original_nodes].to_vec();
-    Ok(EditApplied { graph: edited, node_map, added_nodes, removed_nodes })
+    Ok(EditApplied {
+        graph: edited,
+        node_map,
+        added_nodes,
+        removed_nodes,
+        fingerprint_delta: delta,
+    })
 }
 
 #[cfg(test)]

@@ -10,6 +10,9 @@
 //!   validating pin references and net arity;
 //! * [`edit`] — netlist edit scripts (JSON Lines) and [`apply_script`],
 //!   the substrate of incremental (ECO) repartitioning;
+//! * [`fingerprint`] — zobrist-style 128-bit hypergraph fingerprints,
+//!   computed in O(pins) and maintained through [`apply_script`] in
+//!   O(edit); the key of every memoization layer upstream;
 //! * [`io`] — a small line-oriented text format (`.fhg`) reader/writer so
 //!   netlists can be stored and replayed;
 //! * [`hmetis`] — reader/writer for the hMETIS `.hgr` format, the
@@ -51,6 +54,7 @@ mod ids;
 pub mod blif;
 pub mod coarsen;
 pub mod edit;
+pub mod fingerprint;
 pub mod gen;
 pub mod hmetis;
 pub mod io;
@@ -63,6 +67,7 @@ pub mod traverse;
 pub use builder::HypergraphBuilder;
 pub use edit::{apply_script, ApplyEditError, EditApplied, EditOp, EditScript, ParseEditError};
 pub use error::{BuildError, ParseNetlistError};
+pub use fingerprint::{fingerprint_graph, order_checksum, Fingerprint};
 pub use graph::Hypergraph;
 pub use ids::{NetId, NodeId, TerminalId};
 pub use limits::ParseLimits;

@@ -39,6 +39,13 @@ skipped) against a cold one-shot CLI run of the identical
 deadline-bounded search on the 20k-node circuit; the warm request must
 cost at most half the cold one (`warm_over_cold <= 0.5`).
 
+Schema 10 adds memoization: the `memo` section compares a cached re-run
+of an identical multilevel restart request against the cold baseline on
+the 20k-node circuit. The cached run must be >= 10x faster and
+bit-identical, a fresh (never-hit) store must cost <= 1% over no store
+at all, and a post-ECO request through the warm store must miss — its
+result bit-identical to the memo-less run on the edited graph.
+
 `--compare OLD.json NEW.json` is the trend gate: instead of validating
 one artifact it diffs the machine-normalized speedup ratios two
 artifacts share (`multilevel.speedup`, `eco.speedup`,
@@ -287,6 +294,36 @@ def check(path, schema_version):
             (f"a warm session request must cost <= 0.5x a cold one-shot, "
              f"got {server['warm_over_cold']}x")
 
+    if schema_version >= 10:
+        memo = require(doc, "memo", dict, ctx)
+        for key, types in [("circuit", str), ("nodes", int),
+                           ("restarts", int),
+                           ("cold_seconds", (int, float)),
+                           ("cached_seconds", (int, float)),
+                           ("cached_speedup", (int, float)),
+                           ("bit_identical", bool),
+                           ("cold_overhead_pct", (int, float)),
+                           ("post_eco_cold_seconds", (int, float)),
+                           ("post_eco_cached_seconds", (int, float)),
+                           ("post_eco_bit_identical", bool),
+                           ("solution_hits", int),
+                           ("hierarchy_hits", int)]:
+            require(memo, key, types, "memo")
+        assert memo["nodes"] >= 20000, \
+            "memo comparison must run on a 20k+-node circuit"
+        assert memo["bit_identical"], \
+            "cached runs must be bit-identical to the memo-less baseline"
+        assert memo["cached_speedup"] >= 10.0, \
+            (f"a warm store must answer the identical request >= 10x "
+             f"faster, got {memo['cached_speedup']}x")
+        assert memo["cold_overhead_pct"] <= 1.0, \
+            (f"a never-hit store must cost <= 1% over no store, got "
+             f"{memo['cold_overhead_pct']}%")
+        assert memo["post_eco_bit_identical"], \
+            "a post-ECO request must miss and match the memo-less result"
+        assert memo["solution_hits"] >= 1, \
+            "the cached re-runs must actually hit the solution memo"
+
     if "large_run" in doc:
         large = require(doc, "large_run", dict, ctx)
         for key, types in [("circuit", str), ("nodes", int),
@@ -310,6 +347,7 @@ TREND_RATIOS = [
     ("multilevel", "speedup"),
     ("eco", "speedup"),
     ("intra_run", "speedup_4_workers"),
+    ("memo", "cached_speedup"),
 ]
 
 
@@ -343,8 +381,8 @@ def compare(old_path, new_path, tolerance=0.25):
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("file", nargs="?", help="bench JSON artifact to validate")
-    parser.add_argument("--schema-version", type=int, default=9,
-                        help="expected schema_version (default 9)")
+    parser.add_argument("--schema-version", type=int, default=10,
+                        help="expected schema_version (default 10)")
     parser.add_argument("--compare", nargs=2, metavar=("OLD", "NEW"),
                         help="trend mode: diff two artifacts' speedup "
                              "ratios, fail on a >25%% regression")

@@ -47,11 +47,14 @@ for fpart_threads in $fpart_threads_list; do
     FPART_THREADS=$fpart_threads cargo test --workspace -q
 done
 
-step "parser fuzz (20k seeded mutations x 6 parsers)"
+step "parser fuzz (20k seeded mutations x 7 targets)"
 # Every parser (.fhg, hMETIS, BLIF, edit script, checkpoint, server
 # protocol request lines) must return typed errors — never panic — on
-# arbitrary input. The fuzzer is fully deterministic (workspace RNG,
-# no external deps); a failure prints the exact replay command.
+# arbitrary input, and every edit script that *does* apply must leave
+# the incremental fingerprint delta agreeing with a from-scratch
+# rehash (checked here in release mode, where debug_asserts are off).
+# The fuzzer is fully deterministic (workspace RNG, no external deps);
+# a failure prints the exact replay command.
 timeout 120 ./target/release/fuzz 20000 1
 
 step "degradation smoke (50 ms deadline on a large netlist)"
@@ -166,8 +169,10 @@ grep -q '"ph": "X"' "$smoke_dir/trace.chrome.json" \
 step "partition server smoke (fpart serve over a Unix socket)"
 # A scripted client drives one full protocol session against a real
 # `fpart serve` process: load, a deterministic partition, an inline
-# eco edit, a session query, a cancelled long run, and a clean
-# shutdown (exit 0). Every reply must be a typed JSON line; the
+# eco edit, a session query, a coalesced duplicate-request pair (the
+# second byte-identical partition must be served from the leader's
+# run and marked `"coalesced": true`), a cancelled long run, and a
+# clean shutdown (exit 0). Every reply must be a typed JSON line; the
 # normalized exchange must match the committed golden byte for byte,
 # so a protocol drift is a reviewed diff, not a silent change.
 timeout 120 python3 scripts/server_smoke.py ./target/release/fpart \
@@ -176,8 +181,8 @@ diff goldens/server_smoke.transcript "$smoke_dir/server.transcript" \
     || { echo "server transcript drifted from the golden" >&2; exit 1; }
 
 if [ "$skip_bench" -eq 0 ]; then
-    step "smoke bench -> BENCH_pr9.json"
-    timeout 900 ./target/release/smoke BENCH_pr9.json
+    step "smoke bench -> BENCH_pr10.json"
+    timeout 900 ./target/release/smoke BENCH_pr10.json
     # The artifact must be valid JSON *and* match the documented schema
     # (required keys with the right types), its multilevel section must
     # hold the n-level performance claims (>= 2x over flat at equal or
@@ -188,17 +193,20 @@ if [ "$skip_bench" -eq 0 ]; then
     # section must attribute >= 95% of the multilevel run's wall time to
     # phase self-time with metering overhead <= 2%, its durability
     # section must show checkpointing costs <= 2% with a bit-identical
-    # torn-checkpoint resume, and its server section must show a warm
-    # session request costing <= 0.5x a cold one-shot, so a malformed
-    # or regressed bench fails CI rather than silently shipping.
-    python3 scripts/check_bench.py BENCH_pr9.json --schema-version 9
+    # torn-checkpoint resume, its server section must show a warm
+    # session request costing <= 0.5x a cold one-shot, and its memo
+    # section must show warm-started restarts >= 10x faster than cold
+    # with bit-identical results and a cold-path memo overhead <= 1%,
+    # so a malformed or regressed bench fails CI rather than silently
+    # shipping.
+    python3 scripts/check_bench.py BENCH_pr10.json --schema-version 10
 
-    step "bench trend gate (BENCH_pr9.json vs committed BENCH_pr8.json)"
+    step "bench trend gate (BENCH_pr10.json vs committed BENCH_pr9.json)"
     # The machine-normalized speedup ratios the two artifacts share
     # (multilevel, eco, intra-run scaling) may not regress by more than
     # 25% against the committed previous-PR baseline. Ratios — not raw
     # seconds — so the gate holds on runners of any speed.
-    python3 scripts/check_bench.py --compare BENCH_pr8.json BENCH_pr9.json
+    python3 scripts/check_bench.py --compare BENCH_pr9.json BENCH_pr10.json
 fi
 
 step "CI OK"

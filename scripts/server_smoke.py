@@ -11,10 +11,15 @@ Drives one full protocol session against a real server process:
 4. run a deterministic `partition` (seed 1) and assert it completes,
 5. apply an inline `eco` edit script and assert the repair result,
 6. `query` the session and assert its request/assignment bookkeeping,
-7. submit a long `partition` and `cancel` it mid-flight, asserting the
+7. submit two byte-identical `partition` requests back-to-back and
+   assert the duplicate coalesces onto the leader's in-flight run (its
+   fanned-out reply is marked `"coalesced": true` and carries the
+   identical result), then `query` again and assert the session counted
+   one coalesced duplicate and a stable 128-bit graph fingerprint,
+8. submit a long `partition` and `cancel` it mid-flight, asserting the
    cancel is acknowledged and the run's final reply is a verifiable
    cancelled/degraded outcome,
-8. `shutdown`, assert the goodbye reply, and require a clean exit 0.
+9. `shutdown`, assert the goodbye reply, and require a clean exit 0.
 
 Every reply must be a well-formed JSON line naming the request id —
 any parse failure, missing reply, or unexpected error code fails the
@@ -177,6 +182,51 @@ def main():
         expect(query["result"]["has_assignment"] is True,
                f"session must hold the eco assignment: {query}")
         transcript.append(query)
+
+        # Two byte-identical submits: the duplicate must coalesce onto
+        # the leader's in-flight run — the server runs the search once
+        # and fans the result out, marking the follower's reply. The
+        # leader's search takes orders of magnitude longer than reading
+        # the already-buffered duplicate line, so the join is reliable.
+        dup = {"cmd": "partition", "session": "s", "seed": 3, "restarts": 2}
+        client.send({"id": "d1", **dup})
+        client.send({"id": "d2", **dup})
+        dpair = {}
+        while len(dpair) < 2:
+            reply = client.read_line()
+            expect("ok" in reply and reply.get("id") in ("d1", "d2"),
+                   f"unexpected reply during the dedup exchange: {reply}")
+            expect(reply["id"] not in dpair,
+                   f"duplicate final reply for {reply['id']!r}")
+            dpair[reply["id"]] = reply
+        d1, d2 = dpair["d1"], dpair["d2"]
+        expect(d1.get("ok") is True, f"leader run failed: {d1}")
+        expect(d2.get("ok") is True, f"coalesced run failed: {d2}")
+        expect("coalesced" not in d1["result"],
+               f"the leader ran for real, not coalesced: {d1}")
+        expect(d2["result"].get("coalesced") is True,
+               f"the duplicate must be served from the leader's run: {d2}")
+        for key in ("cut", "devices", "completion", "feasible"):
+            expect(d1["result"].get(key) == d2["result"].get(key),
+                   f"fanned-out {key} differs: {d1} vs {d2}")
+        transcript.append(d1)
+        transcript.append(d2)
+
+        query2, _ = client.request({"id": "query2", "cmd": "query",
+                                    "session": "s"})
+        expect(query2.get("ok") is True, f"query2 failed: {query2}")
+        counters = query2["result"]["counters"]
+        expect(counters.get("server_coalesced") == 1,
+               f"the session must have counted one coalesced duplicate: "
+               f"{query2}")
+        expect(query2["result"]["requests"] == 3,
+               f"the coalesced duplicate must not count as a served run: "
+               f"{query2}")
+        fingerprint = query2["result"].get("fingerprint", "")
+        expect(len(fingerprint) == 32
+               and all(c in "0123456789abcdef" for c in fingerprint),
+               f"query must render the 128-bit graph fingerprint: {query2}")
+        transcript.append(query2)
 
         # Submit a long run and cancel it mid-flight. The final reply
         # for "big" and the inline reply for "kill" race on the wire,

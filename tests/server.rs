@@ -266,6 +266,128 @@ fn malformed_requests_get_typed_errors_and_never_disconnect() {
     assert_eq!(final_reply(&replies, "bye").get("ok"), Some(&Json::Bool(true)));
 }
 
+/// Duplicate in-flight `partition` requests coalesce: the leader runs
+/// the search once and the follower's reply is fanned out from the
+/// same result (marked `"coalesced": true`), while a request with
+/// different params still runs on its own.
+#[test]
+fn identical_concurrent_partitions_coalesce() {
+    let graph = rent_circuit(&RentConfig::new("dedup", 2000, 120), 5);
+    let path = write_netlist("dedup", &graph);
+    let socket = std::env::temp_dir().join("fpart_server_it").join("dedup.sock");
+    let server = Server::new(ServerConfig::default());
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve_unix(&socket));
+        let mut stream = loop {
+            match std::os::unix::net::UnixStream::connect(&socket) {
+                Ok(stream) => break stream,
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        };
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap(); // hello banner
+        writeln!(
+            stream,
+            "{{\"id\": \"l\", \"cmd\": \"load\", \"session\": \"s\", \"path\": {}, \
+             \"s_max\": 150, \"t_max\": 60}}",
+            protocol::json_string(path.to_str().unwrap())
+        )
+        .unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\": true"), "{line}");
+
+        // Two byte-identical submits plus one that differs only in its
+        // seed, sent back-to-back: p2 must join p1's run, p3 must not.
+        let run = |id: &str, seed: u64| {
+            format!(
+                "{{\"id\": \"{id}\", \"cmd\": \"partition\", \"session\": \"s\", \
+                 \"seed\": {seed}, \"restarts\": 2, \"assignment\": true}}"
+            )
+        };
+        writeln!(stream, "{}", run("p1", 7)).unwrap();
+        writeln!(stream, "{}", run("p2", 7)).unwrap();
+        writeln!(stream, "{}", run("p3", 8)).unwrap();
+
+        let mut finals: std::collections::HashMap<String, Json> = std::collections::HashMap::new();
+        while finals.len() < 3 {
+            line.clear();
+            reader.read_line(&mut line).unwrap();
+            let doc = Json::parse(line.trim()).unwrap();
+            if doc.get("ok").is_some() {
+                let id = doc.get("id").and_then(Json::as_str).unwrap().to_owned();
+                finals.insert(id, doc);
+            }
+        }
+        let result = |id: &str| finals[id].get("result").unwrap();
+        for id in ["p1", "p2", "p3"] {
+            assert_eq!(finals[id].get("ok"), Some(&Json::Bool(true)), "{id}");
+        }
+        assert_eq!(result("p1").get("coalesced"), None, "the leader ran for real");
+        assert_eq!(
+            result("p2").get("coalesced"),
+            Some(&Json::Bool(true)),
+            "the duplicate must be served from the leader's run"
+        );
+        assert_eq!(result("p3").get("coalesced"), None, "different seed, own run");
+        assert_eq!(
+            assignment_of(result("p1")),
+            assignment_of(result("p2")),
+            "fanned-out reply carries the identical assignment"
+        );
+        assert_eq!(result("p1").get("cut"), result("p2").get("cut"));
+
+        // p3 ran for real: the session counted two actual runs and one
+        // coalesced duplicate. (Comparing p3's assignment to p1's would
+        // be fragile — different seeds may legitimately converge to the
+        // same partition.)
+        writeln!(stream, "{{\"id\": \"q\", \"cmd\": \"query\", \"session\": \"s\"}}").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        let q = Json::parse(line.trim()).unwrap();
+        let qr = q.get("result").unwrap();
+        assert_eq!(qr.get("requests").and_then(Json::as_u64), Some(2));
+        let counters = qr.get("counters").unwrap();
+        assert_eq!(counters.get("server_requests").and_then(Json::as_u64), Some(2));
+        assert_eq!(counters.get("server_coalesced").and_then(Json::as_u64), Some(1));
+        let fp = qr.get("fingerprint").and_then(Json::as_str).unwrap();
+        assert_eq!(fp.len(), 32, "128-bit session fingerprint rendered as hex: {fp}");
+
+        writeln!(stream, "{{\"id\": \"bye\", \"cmd\": \"shutdown\"}}").unwrap();
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"shutdown\": true"), "{line}");
+        handle.join().unwrap().unwrap();
+    });
+}
+
+/// Folded in from the old `deep_json_test.rs`: pathologically nested
+/// input is a *typed* depth error, not a stack overflow — standalone
+/// and over the wire (where it surfaces as a `parse_error` reply).
+#[test]
+fn deep_nesting_is_a_typed_error_not_a_crash() {
+    let line = "[".repeat(400_000);
+    let err = fpart_core::Json::parse(&line).unwrap_err();
+    assert!(
+        matches!(err, fpart_core::JsonParseError::TooDeep { limit: 128, .. }),
+        "expected a typed depth error, got {err}"
+    );
+
+    let server = Server::new(ServerConfig::default());
+    let mut out = Vec::new();
+    let deep = format!("{}1{}", "[".repeat(200), "]".repeat(200));
+    server.handle(&deep, &mut out);
+    let replies = parse_lines(&out);
+    assert_eq!(
+        replies[0].get("error").and_then(|e| e.get("code")).and_then(Json::as_str),
+        Some("parse_error")
+    );
+    let message =
+        replies[0].get("error").and_then(|e| e.get("message")).and_then(Json::as_str).unwrap();
+    assert!(message.contains("128"), "depth limit named in the reply: {message}");
+}
+
 /// The eco flow over the protocol: partition, edit, repair; the
 /// session's graph advances to the edited netlist.
 #[test]
@@ -329,11 +451,14 @@ fn bounded_queue_reports_busy_and_queued() {
     );
     // Queue capacity 2: the first run occupies the worker (or its
     // buffer slot), the second parks with a `queued` ack, and the
-    // burst after that bounces with `busy`.
+    // burst after that bounces with `busy`. Distinct seeds keep the
+    // submits from coalescing — identical ones would dedup instead of
+    // exercising the queue.
     let mut script = vec![load];
     for i in 0..6 {
         script.push(format!(
-            "{{\"id\": \"r{i}\", \"cmd\": \"partition\", \"session\": \"s\", \"restarts\": 4}}"
+            "{{\"id\": \"r{i}\", \"cmd\": \"partition\", \"session\": \"s\", \
+             \"seed\": {i}, \"restarts\": 4}}"
         ));
     }
     script.push("{\"id\": \"bye\", \"cmd\": \"shutdown\"}".to_owned());
